@@ -1,0 +1,47 @@
+//! Criterion bench: SLP-graph construction throughput per configuration —
+//! the compile-time-critical step Figure 14 measures end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lslp::{GraphBuilder, VectorizerConfig};
+use lslp_analysis::AddrInfo;
+use lslp_ir::Opcode;
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_build");
+    for kernel in lslp_kernels::suite() {
+        let f = kernel.compile();
+        let addr = AddrInfo::analyze(&f);
+        let positions = f.position_map();
+        let use_map = f.use_map();
+        let seeds: Vec<_> = f
+            .iter_body()
+            .filter(|(_, _, i)| i.op == Opcode::Store)
+            .map(|(_, id, _)| id)
+            .take(4)
+            .collect();
+        for cfg_name in ["SLP", "LSLP"] {
+            let cfg = VectorizerConfig::preset(cfg_name).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(cfg_name, kernel.name),
+                &seeds,
+                |b, seeds| {
+                    b.iter(|| {
+                        GraphBuilder::new(&f, &cfg, &addr, &positions, &use_map)
+                            .build(std::hint::black_box(seeds))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(30);
+    targets = bench_graph_build
+}
+criterion_main!(benches);

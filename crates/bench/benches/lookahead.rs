@@ -1,0 +1,47 @@
+//! Criterion bench: the cost of the recursive look-ahead score as a
+//! function of the maximum depth — the knob Figure 13 sweeps and the main
+//! compile-time risk Figure 14 quantifies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lslp::score::la_score;
+use lslp::ScoreAgg;
+use lslp_analysis::AddrInfo;
+use lslp_ir::Opcode;
+
+fn bench_lookahead(c: &mut Criterion) {
+    // Deep commutative kernel: quartic_cylinder has degree-4 chains.
+    let kernel = lslp_kernels::suite()
+        .into_iter()
+        .find(|k| k.name == "quartic_cylinder")
+        .unwrap();
+    let f = kernel.compile();
+    let addr = AddrInfo::analyze(&f);
+    // Pick the two lanes' root multiplications as the score operands.
+    let muls: Vec<_> = f
+        .iter_body()
+        .filter(|(_, _, i)| i.op == Opcode::FAdd)
+        .map(|(_, id, _)| id)
+        .collect();
+    let (v1, v2) = (muls[0], *muls.last().unwrap());
+
+    let mut group = c.benchmark_group("la_score");
+    for depth in [1u32, 2, 4, 8, 12] {
+        group.bench_with_input(BenchmarkId::new("sum", depth), &depth, |b, &d| {
+            b.iter(|| la_score(&f, &addr, v1, v2, std::hint::black_box(d), ScoreAgg::Sum))
+        });
+    }
+    group.bench_with_input(BenchmarkId::new("max", 8u32), &8u32, |b, &d| {
+        b.iter(|| la_score(&f, &addr, v1, v2, std::hint::black_box(d), ScoreAgg::Max))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(30);
+    targets = bench_lookahead
+}
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Runs the complete evaluation: every table and figure of the paper's §5,
+//! in order. `cargo run --release -p lslp-bench --bin all_experiments`
+fn main() {
+    use lslp_bench::figures as f;
+    for section in [f::table2(), f::fig09(), f::fig10(), f::fig11(), f::fig12(), f::fig13(), f::fig14(10)] {
+        println!("{section}");
+        println!("{}", "=".repeat(72));
+    }
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 9: kernel speedups over O3.
+fn main() {
+    print!("{}", lslp_bench::figures::fig09());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 10: static vectorization cost per kernel.
+fn main() {
+    print!("{}", lslp_bench::figures::fig10());
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 11: whole-benchmark static cost normalized to SLP.
+fn main() {
+    print!("{}", lslp_bench::figures::fig11());
+}

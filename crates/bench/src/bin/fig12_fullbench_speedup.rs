@@ -1,0 +1,4 @@
+//! Regenerates Figure 12: whole-benchmark speedup over O3.
+fn main() {
+    print!("{}", lslp_bench::figures::fig12());
+}

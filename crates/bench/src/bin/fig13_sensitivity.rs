@@ -1,0 +1,4 @@
+//! Regenerates Figure 13: look-ahead depth and multi-node size sensitivity.
+fn main() {
+    print!("{}", lslp_bench::figures::fig13());
+}

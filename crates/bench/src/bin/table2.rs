@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (kernel inventory).
+fn main() {
+    print!("{}", lslp_bench::figures::table2());
+}

@@ -1,0 +1,258 @@
+//! Renderers for each table/figure of the paper's evaluation section.
+//!
+//! Every function returns the finished textual report so the per-figure
+//! binaries and `all_experiments` share one implementation.
+
+use lslp_kernels::{motivation_kernels, spec_kernels, suite, synthesize, Kernel, BENCHMARKS};
+
+use crate::{
+    format_table, geomean, measure_benchmark, measure_compile_time, measure_kernel, KernelRow,
+};
+
+fn fmt_speedup(x: f64) -> String {
+    format!("{x:.3}x")
+}
+
+/// Table 2: the kernel inventory.
+pub fn table2() -> String {
+    let headers = vec!["Kernel".to_string(), "Benchmark".into(), "Filename:Line".into()];
+    let rows: Vec<Vec<String>> = suite()
+        .iter()
+        .map(|k| vec![k.name.to_string(), k.benchmark.to_string(), k.file_line.to_string()])
+        .collect();
+    format!("Table 2: kernels used for evaluation\n\n{}", format_table(&headers, &rows))
+}
+
+fn speedup_block(kernels: &[Kernel], iters_scale: usize) -> (Vec<KernelRow>, String) {
+    let configs = ["O3", "SLP-NR", "SLP", "LSLP"];
+    let rows: Vec<KernelRow> = kernels
+        .iter()
+        .map(|k| measure_kernel(k, &configs, k.default_iters / iters_scale.max(1)))
+        .collect();
+    let headers: Vec<String> =
+        ["Kernel", "SLP-NR", "SLP", "LSLP"].iter().map(|s| s.to_string()).collect();
+    let mut table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                fmt_speedup(r.speedup[1]),
+                fmt_speedup(r.speedup[2]),
+                fmt_speedup(r.speedup[3]),
+            ]
+        })
+        .collect();
+    let gmean: Vec<String> = (1..4)
+        .map(|c| {
+            let xs: Vec<f64> = rows.iter().map(|r| r.speedup[c]).collect();
+            fmt_speedup(geomean(&xs))
+        })
+        .collect();
+    let mut grow = vec!["GMean".to_string()];
+    grow.extend(gmean);
+    table.push(grow);
+    (rows, format_table(&headers, &table))
+}
+
+/// Figure 9: execution speedup over O3 for the kernel suite (simulated
+/// cycles), SPEC kernels and motivation examples in separate clusters as
+/// in the paper.
+pub fn fig09() -> String {
+    let (_, spec_table) = speedup_block(&spec_kernels(), 1);
+    let (_, motiv_table) = speedup_block(&motivation_kernels(), 1);
+    format!(
+        "Figure 9: speedup over O3 (cost-weighted simulated cycles)\n\n\
+         SPEC-shaped kernels:\n{spec_table}\n\
+         Motivation examples (paper right-hand cluster):\n{motiv_table}"
+    )
+}
+
+/// Figure 10: static vectorization cost per kernel (the applied tree
+/// costs; more negative = better, matching the paper's plot where the
+/// bars extend downward).
+pub fn fig10() -> String {
+    let configs = ["O3", "SLP-NR", "SLP", "LSLP"];
+    let headers: Vec<String> =
+        ["Kernel", "SLP-NR", "SLP", "LSLP"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    let mut sums = [0i64; 3];
+    for k in suite() {
+        let r = measure_kernel(&k, &configs, 1);
+        for (c, sum) in sums.iter_mut().enumerate() {
+            *sum += r.static_cost[c + 1];
+        }
+        rows.push(vec![
+            r.name.clone(),
+            r.static_cost[1].to_string(),
+            r.static_cost[2].to_string(),
+            r.static_cost[3].to_string(),
+        ]);
+    }
+    let n = suite().len() as f64;
+    rows.push(vec![
+        "Mean".to_string(),
+        format!("{:.1}", sums[0] as f64 / n),
+        format!("{:.1}", sums[1] as f64 / n),
+        format!("{:.1}", sums[2] as f64 / n),
+    ]);
+    format!(
+        "Figure 10: static vectorization cost (lower = better vectorization)\n\n{}",
+        format_table(&headers, &rows)
+    )
+}
+
+/// Figure 11: whole-benchmark static cost normalized to SLP (percent;
+/// >100% means more negative total cost than SLP, i.e. better).
+pub fn fig11() -> String {
+    let configs = ["O3", "SLP-NR", "SLP", "LSLP"];
+    let headers: Vec<String> =
+        ["Benchmark", "SLP-NR %", "SLP %", "LSLP %"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for &(name, ..) in BENCHMARKS {
+        let wp = synthesize(name);
+        let r = measure_benchmark(&wp, &configs);
+        let slp = r.static_cost[2] as f64;
+        assert!(slp < 0.0, "{name}: SLP must vectorize something");
+        let pct: Vec<f64> =
+            (1..4).map(|c| 100.0 * r.static_cost[c] as f64 / slp).collect();
+        for (c, &p) in pct.iter().enumerate() {
+            ratios[c].push(p);
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.1}", pct[0]),
+            format!("{:.1}", pct[1]),
+            format!("{:.1}", pct[2]),
+        ]);
+    }
+    let gmeans: Vec<String> =
+        ratios.iter().map(|xs| format!("{:.1}", geomean(xs))).collect();
+    let mut grow = vec!["GMean".to_string()];
+    grow.extend(gmeans);
+    rows.push(grow);
+    format!(
+        "Figure 11: whole-benchmark static cost normalized to SLP (higher = better)\n\n{}",
+        format_table(&headers, &rows)
+    )
+}
+
+/// Figure 12: whole-benchmark speedup over O3 (hotness-weighted simulated
+/// cycles).
+pub fn fig12() -> String {
+    let configs = ["O3", "SLP-NR", "SLP", "LSLP"];
+    let headers: Vec<String> =
+        ["Benchmark", "SLP-NR", "SLP", "LSLP"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for &(name, ..) in BENCHMARKS {
+        let wp = synthesize(name);
+        let r = measure_benchmark(&wp, &configs);
+        for (c, col) in cols.iter_mut().enumerate() {
+            col.push(r.speedup[c + 1]);
+        }
+        rows.push(vec![
+            name.to_string(),
+            fmt_speedup(r.speedup[1]),
+            fmt_speedup(r.speedup[2]),
+            fmt_speedup(r.speedup[3]),
+        ]);
+    }
+    let mut grow = vec!["GMean".to_string()];
+    grow.extend(cols.iter().map(|xs| fmt_speedup(geomean(xs))));
+    rows.push(grow);
+    format!(
+        "Figure 12: whole-benchmark speedup over O3 (weighted simulated cycles)\n\n{}",
+        format_table(&headers, &rows)
+    )
+}
+
+/// Figure 13: sensitivity to look-ahead depth (LA0/1/2/4, multi-node
+/// unbounded) and multi-node size (Multi1/2/3, LA=8), speedups over O3
+/// normalized to full LSLP.
+pub fn fig13() -> String {
+    let configs = [
+        "O3", "SLP", "LSLP-LA0", "LSLP-LA1", "LSLP-LA2", "LSLP-LA4", "LSLP-Multi1",
+        "LSLP-Multi2", "LSLP-Multi3", "LSLP",
+    ];
+    let mut headers: Vec<String> = vec!["Kernel".into()];
+    headers.extend(configs[1..].iter().map(|s| s.to_string()));
+    let mut rows = Vec::new();
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); configs.len() - 1];
+    for k in suite() {
+        let r = measure_kernel(&k, &configs, k.default_iters / 8);
+        let lslp = *r.speedup.last().unwrap();
+        let mut row = vec![r.name.clone()];
+        for c in 1..configs.len() {
+            let norm = r.speedup[c] / lslp;
+            cols[c - 1].push(norm);
+            row.push(format!("{norm:.3}"));
+        }
+        rows.push(row);
+    }
+    let mut grow = vec!["GMean".to_string()];
+    grow.extend(cols.iter().map(|xs| format!("{:.3}", geomean(xs))));
+    rows.push(grow);
+    format!(
+        "Figure 13: speedup breakdown normalized to LSLP (look-ahead depth and multi-node size)\n\n{}",
+        format_table(&headers, &rows)
+    )
+}
+
+/// Figure 14: compilation time (frontend + vectorizer wall-clock)
+/// normalized to O3, with LA=8 for LSLP, averaged over `reps` runs after a
+/// warm-up run (the paper uses 10 runs after skipping one).
+pub fn fig14(reps: usize) -> String {
+    let configs = ["O3", "SLP-NR", "SLP", "LSLP"];
+    let headers: Vec<String> =
+        ["Kernel", "SLP-NR", "SLP", "LSLP"].iter().map(|s| s.to_string()).collect();
+    let mut rows = Vec::new();
+    let mut cols: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for k in suite() {
+        let base = measure_compile_time(&k, configs[0], reps);
+        let mut row = vec![k.name.to_string()];
+        for (c, name) in configs[1..].iter().enumerate() {
+            let t = measure_compile_time(&k, name, reps);
+            let norm = t / base;
+            cols[c].push(norm);
+            row.push(format!("{norm:.3}"));
+        }
+        rows.push(row);
+    }
+    let mut grow = vec!["GMean".to_string()];
+    grow.extend(cols.iter().map(|xs| format!("{:.3}", geomean(xs))));
+    rows.push(grow);
+    format!(
+        "Figure 14: compilation time normalized to O3 (LA=8, {reps} runs after warm-up)\n\n{}",
+        format_table(&headers, &rows)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_lists_all_kernels() {
+        let t = table2();
+        assert!(t.contains("453.povray"));
+        assert!(t.contains("motivation_multi"));
+        assert_eq!(t.lines().count(), 2 + 2 + 11);
+    }
+
+    #[test]
+    fn fig10_contains_paper_values() {
+        let t = fig10();
+        assert!(t.contains("motivation_loads"), "{t}");
+        // LSLP column of motivation_loads is −6 (Fig 2d).
+        let line = t.lines().find(|l| l.starts_with("motivation_loads")).unwrap();
+        assert!(line.trim_end().ends_with("-6"), "{line}");
+    }
+
+    #[test]
+    fn fig13_normalizes_to_lslp() {
+        let t = fig13();
+        let line = t.lines().find(|l| l.starts_with("motivation_loads")).unwrap();
+        assert!(line.trim_end().ends_with("1.000"), "LSLP column must be 1.0: {line}");
+    }
+}

@@ -1,0 +1,239 @@
+//! # lslp-bench
+//!
+//! The measurement harness that regenerates every table and figure of the
+//! paper's evaluation (§5). Each figure has a dedicated binary
+//! (`fig09_speedup`, `fig10_static_cost`, …, `table2`) and
+//! `all_experiments` runs the full set, printing the same rows/series the
+//! paper reports.
+//!
+//! Measurement substitutions (see DESIGN.md):
+//!
+//! * execution speedup = ratio of cost-weighted simulated cycles
+//!   ([`lslp_interp::perf`]) instead of Skylake wall-clock;
+//! * whole benchmarks (Figs 11–12) are the synthetic programs of
+//!   [`lslp_kernels::wholeprog`];
+//! * compilation time (Fig 14) is real wall-clock of our own pipeline
+//!   (frontend + vectorizer pass), normalized to the `O3` configuration.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use lslp::{vectorize_function, VectorizerConfig};
+use lslp_interp::perf::body_cycles;
+use lslp_kernels::{Kernel, WholeProgram};
+use lslp_target::CostModel;
+
+/// The four headline configurations of §5.1, in the paper's order.
+pub const CONFIG_NAMES: [&str; 4] = ["O3", "SLP-NR", "SLP", "LSLP"];
+
+/// Per-kernel, per-configuration measurements.
+#[derive(Clone, Debug)]
+pub struct KernelRow {
+    /// Kernel name.
+    pub name: String,
+    /// Static vectorization cost per configuration (Fig 10).
+    pub static_cost: Vec<i64>,
+    /// Simulated execution cycles per configuration.
+    pub cycles: Vec<i64>,
+    /// Speedup over `O3` per configuration (Fig 9).
+    pub speedup: Vec<f64>,
+}
+
+/// Measure one kernel under the given configuration names.
+///
+/// # Panics
+///
+/// Panics on unknown configuration names or kernel execution failure —
+/// both indicate harness bugs.
+pub fn measure_kernel(k: &Kernel, configs: &[&str], iters: usize) -> KernelRow {
+    let tm = CostModel::skylake_like();
+    let mut static_cost = Vec::new();
+    let mut cycles = Vec::new();
+    for &name in configs {
+        let cfg = VectorizerConfig::preset(name)
+            .unwrap_or_else(|| panic!("unknown configuration `{name}`"));
+        let mut f = k.compile();
+        let report = vectorize_function(&mut f, &cfg, &tm);
+        let mut mem = k.setup_memory(&f, iters);
+        let c = k
+            .run(&f, &mut mem, iters, &tm)
+            .unwrap_or_else(|e| panic!("{} under {name}: {e}", k.name));
+        static_cost.push(report.applied_cost);
+        cycles.push(c);
+    }
+    let base = cycles[0] as f64;
+    let speedup = cycles.iter().map(|&c| base / c as f64).collect();
+    KernelRow { name: k.name.to_string(), static_cost, cycles, speedup }
+}
+
+/// Per-benchmark whole-program measurements (Figs 11–12).
+#[derive(Clone, Debug)]
+pub struct BenchmarkRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Total applied static cost per configuration (Fig 11 plots this
+    /// normalized to SLP).
+    pub static_cost: Vec<i64>,
+    /// Hotness-weighted simulated cycles per configuration.
+    pub weighted_cycles: Vec<f64>,
+    /// Speedup over `O3` (Fig 12).
+    pub speedup: Vec<f64>,
+}
+
+/// Measure one synthetic whole-program benchmark.
+pub fn measure_benchmark(wp: &WholeProgram, configs: &[&str]) -> BenchmarkRow {
+    let tm = CostModel::skylake_like();
+    let mut static_cost = Vec::new();
+    let mut weighted_cycles = Vec::new();
+    for &name in configs {
+        let cfg = VectorizerConfig::preset(name).expect("known configuration");
+        let mut cost = 0i64;
+        let mut cyc = 0f64;
+        for (p, &w) in wp.functions.iter().zip(&wp.weights) {
+            let mut f = p.function.clone();
+            let report = vectorize_function(&mut f, &cfg, &tm);
+            cost += report.applied_cost;
+            // Straight-line code: one execution = static body cycles; the
+            // hotness weight stands in for the invocation count.
+            cyc += w * body_cycles(&f, &tm) as f64;
+        }
+        static_cost.push(cost);
+        weighted_cycles.push(cyc);
+    }
+    // Dilute with the benchmark's non-vectorizable background execution
+    // (see `WholeProgram::background_factor`): configs differ only on the
+    // straight-line regions, exactly as in the paper's Figure 12.
+    let background = wp.background_factor * weighted_cycles[0];
+    for c in &mut weighted_cycles {
+        *c += background;
+    }
+    let base = weighted_cycles[0];
+    let speedup = weighted_cycles.iter().map(|&c| base / c).collect();
+    BenchmarkRow { name: wp.name.to_string(), static_cost, weighted_cycles, speedup }
+}
+
+/// Compilation-time measurement for Fig 14: wall-clock of the full
+/// compilation pipeline (frontend + scalar `-O3`-style passes + the
+/// configured vectorizer, see [`lslp::run_pipeline`]) over `reps`
+/// repetitions after one discarded warm-up run (the paper's methodology).
+/// Individual runs are microseconds here, so the median is reported to
+/// suppress scheduler noise.
+pub fn measure_compile_time(k: &Kernel, cfg_name: &str, reps: usize) -> f64 {
+    let cfg = VectorizerConfig::preset(cfg_name).expect("known configuration");
+    let tm = CostModel::skylake_like();
+    // Each sample batches several pipeline runs so a sample is comfortably
+    // above timer resolution.
+    const BATCH: usize = 8;
+    let mut samples = Vec::with_capacity(reps);
+    for rep in 0..=reps {
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            let m = lslp_frontend::compile(k.src).expect("kernel compiles");
+            for mut f in m.functions {
+                lslp::run_pipeline(&mut f, &cfg, &tm);
+                std::hint::black_box(&f);
+            }
+        }
+        let dt = start.elapsed().as_secs_f64() / BATCH as f64;
+        if rep > 0 {
+            samples.push(dt);
+        }
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Geometric mean of strictly positive samples.
+pub fn geomean(xs: &[f64]) -> f64 {
+    debug_assert!(xs.iter().all(|&x| x > 0.0));
+    (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+}
+
+/// Render a fixed-width table: a header row plus data rows.
+pub fn format_table(headers: &[String], rows: &[Vec<String>]) -> String {
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate() {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |row: &[String], widths: &[usize]| -> String {
+        let cells: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| {
+                if c == 0 {
+                    format!("{cell:<width$}", width = widths[c])
+                } else {
+                    format!("{cell:>width$}", width = widths[c])
+                }
+            })
+            .collect();
+        cells.join("  ")
+    };
+    out.push_str(&fmt_row(headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kernel_measurement_is_consistent() {
+        let k = lslp_kernels::motivation_kernels()
+            .into_iter()
+            .find(|k| k.name == "motivation_loads")
+            .unwrap();
+        let row = measure_kernel(&k, &CONFIG_NAMES, 8);
+        assert_eq!(row.speedup[0], 1.0, "O3 is the baseline");
+        assert_eq!(row.static_cost[0], 0);
+        assert_eq!(row.static_cost[3], -6);
+        assert!(row.speedup[3] > row.speedup[2], "LSLP beats SLP on Fig 2");
+    }
+
+    #[test]
+    fn benchmark_measurement_shows_dilution() {
+        let wp = lslp_kernels::synthesize("410.bwaves");
+        let row = measure_benchmark(&wp, &CONFIG_NAMES);
+        // Whole-program speedups are small but real (Fig 12's story).
+        assert!(row.speedup[3] >= row.speedup[0]);
+        assert!(row.static_cost[3] <= row.static_cost[2]);
+    }
+
+    #[test]
+    fn table_formatting_aligns() {
+        let t = format_table(
+            &["name".into(), "x".into()],
+            &[vec!["a".into(), "1.00".into()], vec!["bb".into(), "10.00".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].ends_with(" 1.00"));
+    }
+
+    #[test]
+    fn compile_time_is_positive() {
+        let k = &lslp_kernels::motivation_kernels()[0];
+        let t = measure_compile_time(k, "LSLP", 3);
+        assert!(t > 0.0);
+    }
+}
+
+pub mod figures;

@@ -1,0 +1,197 @@
+//! Hand-rolled argument parsing for `lslpc` (no CLI dependency).
+
+use std::fmt;
+
+/// What the driver should print.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Emit {
+    /// The optimized IR (default).
+    #[default]
+    Ir,
+    /// The SLP graphs built for each seed group, with per-node costs.
+    Graphs,
+    /// A per-kernel vectorization report (attempts, costs, timings).
+    Report,
+    /// Graphviz DOT of the SLP graphs built for each seed group.
+    Dot,
+}
+
+/// Parsed command line.
+#[derive(Clone, Debug)]
+pub struct Args {
+    /// Input path (`-` for stdin).
+    pub input: String,
+    /// Configuration preset name (`O3`, `SLP-NR`, `SLP`, `LSLP`, ...).
+    pub config: String,
+    /// Output selection.
+    pub emit: Emit,
+    /// Run the full `-O3`-style pipeline (scalar passes + vectorizer)
+    /// instead of the vectorizer alone.
+    pub pipeline: bool,
+    /// Execute each kernel after compilation and print result checksums
+    /// and simulated cycles.
+    pub run: bool,
+    /// Iterations for `--run`.
+    pub iters: usize,
+    /// With `--run`: print every instruction's value for the first
+    /// iteration of each kernel.
+    pub trace: bool,
+    /// Second configuration for `--compare` (side-by-side costs).
+    pub compare: Option<String>,
+    /// Output file (stdout if absent).
+    pub output: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Args {
+        Args {
+            input: String::new(),
+            config: "LSLP".into(),
+            emit: Emit::Ir,
+            pipeline: false,
+            run: false,
+            iters: 16,
+            trace: false,
+            compare: None,
+            output: None,
+        }
+    }
+}
+
+/// An argument-parsing failure (message for stderr).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// The usage text printed by `--help`.
+pub const USAGE: &str = "\
+lslpc — the LSLP auto-vectorizer driver
+
+USAGE:
+    lslpc <file.slc|-> [OPTIONS]
+
+OPTIONS:
+    --config <NAME>    O3 | SLP-NR | SLP | LSLP | LSLP-LA<n> | LSLP-Multi<n>
+                       (default: LSLP)
+    --emit <WHAT>      ir | graphs | report | dot   (default: ir)
+    --pipeline         run the full scalar+vector pipeline (simplify, fold,
+                       cse, dce around the vectorizer)
+    --run              execute each kernel and print output checksums and
+                       simulated cycles
+    --iters <N>        iterations for --run (default: 16)
+    --trace            with --run: print each instruction's value for the
+                       first iteration
+    --compare <NAME>   also compile under a second configuration and print
+                       a cost comparison
+    -o <FILE>          write output to FILE instead of stdout
+    -h, --help         show this help
+";
+
+/// Parse a raw argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns [`ArgError`] on unknown flags, missing values, or a missing
+/// input path; the message is ready for stderr.
+pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
+    let mut args = Args::default();
+    let mut input: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut value_of = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| ArgError(format!("{flag} requires a value")))
+        };
+        match a.as_str() {
+            "-h" | "--help" => return Err(ArgError(USAGE.to_string())),
+            "--config" => args.config = value_of("--config")?,
+            "--emit" => {
+                args.emit = match value_of("--emit")?.as_str() {
+                    "ir" => Emit::Ir,
+                    "graphs" => Emit::Graphs,
+                    "report" => Emit::Report,
+                    "dot" => Emit::Dot,
+                    other => return Err(ArgError(format!("unknown --emit mode `{other}`"))),
+                }
+            }
+            "--pipeline" => args.pipeline = true,
+            "--run" => args.run = true,
+            "--trace" => args.trace = true,
+            "--iters" => {
+                args.iters = value_of("--iters")?
+                    .parse()
+                    .map_err(|e| ArgError(format!("bad --iters value: {e}")))?
+            }
+            "--compare" => args.compare = Some(value_of("--compare")?),
+            "-o" => args.output = Some(value_of("-o")?),
+            flag if flag.starts_with('-') && flag != "-" => {
+                return Err(ArgError(format!("unknown option `{flag}` (see --help)")))
+            }
+            path => {
+                if input.replace(path.to_string()).is_some() {
+                    return Err(ArgError("more than one input file given".into()));
+                }
+            }
+        }
+    }
+    args.input = input.ok_or_else(|| ArgError(format!("no input file\n\n{USAGE}")))?;
+    Ok(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &[&str]) -> Result<Args, ArgError> {
+        let v: Vec<String> = s.iter().map(|x| x.to_string()).collect();
+        parse(&v)
+    }
+
+    #[test]
+    fn minimal_invocation() {
+        let a = p(&["kernel.slc"]).unwrap();
+        assert_eq!(a.input, "kernel.slc");
+        assert_eq!(a.config, "LSLP");
+        assert_eq!(a.emit, Emit::Ir);
+        assert!(!a.run);
+    }
+
+    #[test]
+    fn full_invocation() {
+        let a = p(&[
+            "k.slc", "--config", "SLP", "--emit", "report", "--pipeline", "--run", "--iters",
+            "32", "--compare", "LSLP", "-o", "out.txt",
+        ])
+        .unwrap();
+        assert_eq!(a.config, "SLP");
+        assert_eq!(a.emit, Emit::Report);
+        assert!(a.pipeline && a.run);
+        assert_eq!(a.iters, 32);
+        assert_eq!(a.compare.as_deref(), Some("LSLP"));
+        assert_eq!(a.output.as_deref(), Some("out.txt"));
+    }
+
+    #[test]
+    fn stdin_dash_is_an_input() {
+        let a = p(&["-"]).unwrap();
+        assert_eq!(a.input, "-");
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(p(&[]).unwrap_err().0.contains("no input file"));
+        assert!(p(&["a", "b"]).unwrap_err().0.contains("more than one"));
+        assert!(p(&["a", "--emit", "svg"]).unwrap_err().0.contains("unknown --emit"));
+        assert!(p(&["a", "--bogus"]).unwrap_err().0.contains("unknown option"));
+        assert!(p(&["a", "--iters"]).unwrap_err().0.contains("requires a value"));
+        assert!(p(&["--help"]).unwrap_err().0.contains("USAGE"));
+    }
+}

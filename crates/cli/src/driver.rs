@@ -1,0 +1,390 @@
+//! The `lslpc` driver logic, kept separate from `main` for testability.
+
+use std::fmt::Write as _;
+
+use lslp::{run_pipeline, vectorize_function, VectorizerConfig, VectorizeReport};
+use lslp_analysis::AddrInfo;
+use lslp_interp::{measure_cycles, run_function_traced, Memory, Value};
+use lslp_ir::{Function, Module, Opcode, ScalarType, Type};
+use lslp_target::CostModel;
+
+use crate::args::{Args, Emit};
+
+/// A driver failure (message for stderr, non-zero exit).
+#[derive(Debug)]
+pub struct DriverError(pub String);
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DriverError {}
+
+fn config(name: &str) -> Result<VectorizerConfig, DriverError> {
+    VectorizerConfig::preset(name)
+        .ok_or_else(|| DriverError(format!("unknown configuration `{name}`")))
+}
+
+fn optimize(m: &mut Module, cfg: &VectorizerConfig, pipeline: bool, tm: &CostModel) -> Vec<VectorizeReport> {
+    if pipeline {
+        lslp::run_pipeline_module(m, cfg, tm).into_iter().map(|r| r.vectorize).collect()
+    } else {
+        lslp::vectorize_module(m, cfg, tm)
+    }
+}
+
+fn emit_dot(src_module: &Module, cfg: &VectorizerConfig, tm: &CostModel) -> String {
+    let mut out = String::new();
+    for f in &src_module.functions {
+        let addr = AddrInfo::analyze(f);
+        let positions = f.position_map();
+        let use_map = f.use_map();
+        for chain in lslp::seeds::collect_store_chains(f, &addr) {
+            let graph = lslp::GraphBuilder::new(f, cfg, &addr, &positions, &use_map)
+                .build(&chain.stores);
+            let cost = lslp::graph_cost(f, &graph, tm, &use_map);
+            let _ = writeln!(out, "// @{} — seed chain of {} stores", f.name(), chain.len());
+            out.push_str(&graph.to_dot(f, Some(&cost.per_node)));
+        }
+    }
+    out
+}
+
+fn emit_graphs(src_module: &Module, cfg: &VectorizerConfig, tm: &CostModel) -> String {
+    let mut out = String::new();
+    for f in &src_module.functions {
+        let _ = writeln!(out, "; @{} — SLP graphs before vectorization", f.name());
+        let addr = AddrInfo::analyze(f);
+        let positions = f.position_map();
+        let use_map = f.use_map();
+        for chain in lslp::seeds::collect_store_chains(f, &addr) {
+            let graph = lslp::GraphBuilder::new(f, cfg, &addr, &positions, &use_map)
+                .build(&chain.stores);
+            let cost = lslp::graph_cost(f, &graph, tm, &use_map);
+            let _ = writeln!(out, "; seed chain of {} stores:", chain.len());
+            for line in graph.dump(f).lines() {
+                let _ = writeln!(out, ";   {line}");
+            }
+            let _ = writeln!(
+                out,
+                ";   total cost {} -> {}",
+                cost.total,
+                if cost.total < cfg.cost_threshold { "vectorize" } else { "keep scalar" }
+            );
+        }
+    }
+    out
+}
+
+fn emit_report(m: &Module, reports: &[VectorizeReport]) -> String {
+    let mut out = String::new();
+    for (f, r) in m.functions.iter().zip(reports) {
+        let _ = writeln!(
+            out,
+            "@{}: {} attempt(s), {} vectorized, applied cost {}, {} extract(s), pass time {:?}",
+            f.name(),
+            r.attempts.len(),
+            r.trees_vectorized,
+            r.applied_cost,
+            r.stats.extracts,
+            r.elapsed
+        );
+        for a in &r.attempts {
+            let _ = writeln!(
+                out,
+                "  seed {} VF={} cost={} nodes={} gathers={} -> {}",
+                a.seed,
+                a.vf,
+                a.cost,
+                a.nodes,
+                a.gathers,
+                if a.vectorized { "vectorized" } else { "scalar" }
+            );
+        }
+        for red in &r.reductions {
+            let _ = writeln!(
+                out,
+                "  {} cost={} -> {}",
+                red.desc,
+                red.cost,
+                if red.applied { "vectorized" } else { "scalar" }
+            );
+        }
+    }
+    out
+}
+
+/// Deterministically initialize arrays for `--run` (mirrors the evaluation
+/// harness: pointer parameters become arrays, scalar parameters get fixed
+/// values).
+fn run_kernels(
+    m: &Module,
+    iters: usize,
+    trace: bool,
+    tm: &CostModel,
+) -> Result<String, DriverError> {
+    let mut out = String::new();
+    for f in &m.functions {
+        let mut mem = Memory::new();
+        let len = 16 * (iters + 8);
+        let mut args = Vec::new();
+        for (k, &p) in f.params().iter().enumerate() {
+            match f.ty(p) {
+                Type::Scalar(ScalarType::Ptr) => {
+                    let name = f.value_name(p).unwrap_or("arr").to_string();
+                    // Element kind is unknown at the signature level; infer
+                    // from the first typed access.
+                    let elem = infer_elem(f, p);
+                    let ptr = if elem.is_float() {
+                        let init: Vec<f64> =
+                            (0..len).map(|j| 0.5 + ((j * 37 + k * 11) % 64) as f64 / 32.0).collect();
+                        mem.alloc_f64(&name, &init)
+                    } else {
+                        let init: Vec<i64> =
+                            (0..len).map(|j| ((j * 2654435761 + k * 97) % 509) as i64 + 1).collect();
+                        mem.alloc_i64(&name, &init)
+                    };
+                    args.push(ptr);
+                }
+                Type::Scalar(s) if s.is_float() => args.push(Value::Float(1.5)),
+                _ => args.push(Value::Int(0)),
+            }
+        }
+        let mut cycles = 0i64;
+        for t in 0..iters {
+            let mut iter_args = args.clone();
+            for (&p, v) in f.params().iter().zip(iter_args.iter_mut()) {
+                if f.ty(p) == Type::I64 {
+                    *v = Value::Int(t as i64);
+                }
+            }
+            if trace && t == 0 {
+                let _ = writeln!(out, "@{} trace (iteration 0):", f.name());
+                let mut lines = Vec::new();
+                run_function_traced(f, &iter_args, &mut mem, |id, v| {
+                    lines.push(format!("  {id} = {v}"));
+                })
+                .map_err(|e| DriverError(format!("@{}: {e}", f.name())))?;
+                for l in lines {
+                    let _ = writeln!(out, "{l}");
+                }
+                cycles += lslp_interp::perf::body_cycles(f, tm);
+                continue;
+            }
+            cycles += measure_cycles(f, &iter_args, &mut mem, tm)
+                .map_err(|e| DriverError(format!("@{}: {e}", f.name())))?
+                .cycles;
+        }
+        let mut checksum = 0u64;
+        for name in mem.buffer_names() {
+            for &b in mem.bytes(name).unwrap() {
+                checksum = checksum.wrapping_mul(1099511628211).wrapping_add(b as u64);
+            }
+        }
+        let _ = writeln!(
+            out,
+            "@{}: {iters} iteration(s), {cycles} simulated cycles, memory checksum {checksum:016x}",
+            f.name()
+        );
+    }
+    Ok(out)
+}
+
+/// The element type an array parameter is accessed at (first access wins;
+/// `i64` if the parameter is never dereferenced).
+fn infer_elem(f: &Function, param: lslp_ir::ValueId) -> ScalarType {
+    let geps: std::collections::HashSet<lslp_ir::ValueId> = f
+        .iter_body()
+        .filter(|(_, _, inst)| inst.op == Opcode::Gep && inst.args[0] == param)
+        .map(|(_, id, _)| id)
+        .collect();
+    for (_, _, inst) in f.iter_body() {
+        match inst.op {
+            Opcode::Load if geps.contains(&inst.args[0]) => {
+                if let Some(e) = inst.ty.elem() {
+                    return e;
+                }
+            }
+            Opcode::Store if geps.contains(&inst.args[1]) => {
+                if let Some(e) = f.ty(inst.args[0]).elem() {
+                    return e;
+                }
+            }
+            _ => {}
+        }
+    }
+    ScalarType::I64
+}
+
+/// Run the driver over already-loaded source text; returns what would be
+/// printed to stdout.
+///
+/// # Errors
+///
+/// Returns [`DriverError`] for unknown configurations, compile errors, or
+/// runtime failures under `--run`.
+pub fn run_on_source(args: &Args, src: &str) -> Result<String, DriverError> {
+    let cfg = config(&args.config)?;
+    let tm = CostModel::skylake_like();
+    let module = lslp_frontend::compile(src).map_err(|e| DriverError(e.to_string()))?;
+
+    let mut out = String::new();
+    if let Some(other) = &args.compare {
+        let cfg2 = config(other)?;
+        let _ = writeln!(out, "; cost comparison {} vs {}", args.config, other);
+        for f in &module.functions {
+            let mut f1 = f.clone();
+            let r1 = vectorize_function(&mut f1, &cfg, &tm);
+            let mut f2 = f.clone();
+            let r2 = vectorize_function(&mut f2, &cfg2, &tm);
+            let _ = writeln!(
+                out,
+                ";   @{}: {} {:+} ({} trees) | {} {:+} ({} trees)",
+                f.name(),
+                args.config,
+                r1.applied_cost,
+                r1.trees_vectorized,
+                other,
+                r2.applied_cost,
+                r2.trees_vectorized
+            );
+        }
+        out.push('\n');
+    }
+
+    match args.emit {
+        Emit::Graphs => {
+            out.push_str(&emit_graphs(&module, &cfg, &tm));
+            Ok(out)
+        }
+        Emit::Dot => {
+            out.push_str(&emit_dot(&module, &cfg, &tm));
+            Ok(out)
+        }
+        Emit::Ir | Emit::Report => {
+            let mut module = module;
+            let reports = if args.pipeline {
+                let mut rs = Vec::new();
+                for f in &mut module.functions {
+                    rs.push(run_pipeline(f, &cfg, &tm).vectorize);
+                }
+                rs
+            } else {
+                optimize(&mut module, &cfg, false, &tm)
+            };
+            if args.emit == Emit::Report {
+                out.push_str(&emit_report(&module, &reports));
+            } else {
+                out.push_str(&lslp_ir::print_module(&module));
+            }
+            if args.run {
+                out.push('\n');
+                out.push_str(&run_kernels(&module, args.iters, args.trace, &tm)?);
+            }
+            Ok(out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args;
+
+    const SRC: &str = "kernel k(f64* A, f64* B, i64 i) {
+                           for o in 0..4 { A[i+o] = B[i+o] * B[i+o]; }
+                       }";
+
+    fn run(extra: &[&str]) -> String {
+        let mut argv: Vec<String> = vec!["-".into()];
+        argv.extend(extra.iter().map(|s| s.to_string()));
+        let a = args::parse(&argv).unwrap();
+        run_on_source(&a, SRC).unwrap()
+    }
+
+    #[test]
+    fn emits_vectorized_ir_by_default() {
+        let out = run(&[]);
+        assert!(out.contains("<4 x f64>"), "{out}");
+    }
+
+    #[test]
+    fn o3_emits_scalar_ir() {
+        let out = run(&["--config", "O3"]);
+        assert!(!out.contains('<'), "{out}");
+        assert!(out.contains("fmul f64"), "{out}");
+    }
+
+    #[test]
+    fn report_mode_shows_attempts() {
+        let out = run(&["--emit", "report"]);
+        assert!(out.contains("applied cost"), "{out}");
+        assert!(out.contains("VF=4"), "{out}");
+    }
+
+    #[test]
+    fn graphs_mode_dumps_nodes() {
+        let out = run(&["--emit", "graphs"]);
+        assert!(out.contains("seed chain of 4 stores"), "{out}");
+        assert!(out.contains("store ["), "{out}");
+        assert!(out.contains("-> vectorize"), "{out}");
+    }
+
+    #[test]
+    fn dot_mode_emits_graphviz() {
+        let out = run(&["--emit", "dot"]);
+        assert!(out.contains("digraph slp {"), "{out}");
+        assert!(out.contains("->"), "{out}");
+    }
+
+    #[test]
+    fn compare_mode_shows_both_configs() {
+        let out = run(&["--compare", "SLP"]);
+        assert!(out.contains("cost comparison LSLP vs SLP"), "{out}");
+    }
+
+    #[test]
+    fn run_mode_executes_and_checksums() {
+        let vec_out = run(&["--run", "--iters", "4"]);
+        assert!(vec_out.contains("simulated cycles"), "{vec_out}");
+        // The same program under O3 must produce the same checksum.
+        let scalar_out = run(&["--run", "--iters", "4", "--config", "O3"]);
+        let checksum = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("checksum"))
+                .and_then(|l| l.split_whitespace().last().map(str::to_string))
+                .unwrap()
+        };
+        assert_eq!(checksum(&vec_out), checksum(&scalar_out), "results must agree");
+    }
+
+    #[test]
+    fn trace_mode_prints_values() {
+        let out = run(&["--run", "--iters", "2", "--trace"]);
+        assert!(out.contains("trace (iteration 0):"), "{out}");
+        assert!(out.contains(" = <"), "vector values traced:\n{out}");
+        assert!(out.contains("simulated cycles"), "{out}");
+    }
+
+    #[test]
+    fn pipeline_flag_runs_scalar_passes() {
+        let out = run(&["--pipeline"]);
+        assert!(out.contains("<4 x f64>"), "{out}");
+    }
+
+    #[test]
+    fn unknown_config_is_reported() {
+        let a = args::parse(&["-".to_string(), "--config".into(), "GCC".into()]).unwrap();
+        let err = run_on_source(&a, SRC).unwrap_err();
+        assert!(err.0.contains("unknown configuration"), "{err}");
+    }
+
+    #[test]
+    fn compile_errors_propagate() {
+        let a = args::parse(&["-".to_string()]).unwrap();
+        let err = run_on_source(&a, "kernel broken(").unwrap_err();
+        assert!(err.0.contains("slc error"), "{err}");
+    }
+}

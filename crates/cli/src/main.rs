@@ -1,0 +1,48 @@
+//! `lslpc` entry point: I/O and exit codes around [`lslp_cli::driver`].
+
+use std::io::Read as _;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match lslp_cli::parse(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let src = if args.input == "-" {
+        let mut s = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut s) {
+            eprintln!("lslpc: cannot read stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        s
+    } else {
+        match std::fs::read_to_string(&args.input) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("lslpc: cannot read {}: {e}", args.input);
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+    match lslp_cli::run_on_source(&args, &src) {
+        Ok(out) => {
+            if let Some(path) = &args.output {
+                if let Err(e) = std::fs::write(path, out) {
+                    eprintln!("lslpc: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            } else {
+                print!("{out}");
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lslpc: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Vectorizer configuration and the paper's named presets.
+
+/// Operand-reordering strategy for commutative instruction groups.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ReorderKind {
+    /// No reordering at all — the paper's `SLP-NR` configuration.
+    NoReorder,
+    /// Vanilla SLP reordering: per-lane swaps driven only by the immediate
+    /// operand opcodes (and load consecutiveness), as in LLVM's original
+    /// `reorderInputsAccordingToOpcode`.
+    Opcode,
+    /// LSLP reordering: the single-pass, mode-tracking algorithm of
+    /// Listing 5 with look-ahead tie-breaking (Listings 6–7).
+    LookAhead,
+}
+
+/// How look-ahead sub-scores are aggregated (paper footnote 4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ScoreAgg {
+    /// Sum of all operand-pair scores (the paper's choice).
+    Sum,
+    /// Maximum over operand-pair scores (the footnoted alternative).
+    Max,
+}
+
+/// Weights for the look-ahead leaf matches (`lslp::score`).
+///
+/// The paper scores every trivial match as 1 (Figure 7); mainline LLVM's
+/// descendant of this heuristic weights match kinds differently so that a
+/// consecutive-load signal outranks a mere opcode match. Defaults are the
+/// paper's flat weights.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ScoreWeights {
+    /// Two loads at consecutive addresses.
+    pub consecutive_load: i64,
+    /// Two instructions with the same opcode (non-load).
+    pub same_opcode: i64,
+    /// Two constants.
+    pub constants: i64,
+    /// The exact same value in both lanes.
+    pub splat: i64,
+}
+
+impl ScoreWeights {
+    /// The paper's flat scoring: every match kind counts 1.
+    pub fn paper() -> ScoreWeights {
+        ScoreWeights { consecutive_load: 1, same_opcode: 1, constants: 1, splat: 1 }
+    }
+
+    /// Weights approximating LLVM's `TargetTransformInfo`-era look-ahead
+    /// heuristics (consecutive loads dominate, splats rank above plain
+    /// opcode matches).
+    pub fn llvm_like() -> ScoreWeights {
+        ScoreWeights { consecutive_load: 4, same_opcode: 2, constants: 2, splat: 3 }
+    }
+}
+
+impl Default for ScoreWeights {
+    fn default() -> ScoreWeights {
+        ScoreWeights::paper()
+    }
+}
+
+/// Full configuration of the (L)SLP pass.
+///
+/// Construct via the named presets ([`VectorizerConfig::slp`],
+/// [`VectorizerConfig::lslp`], ...) and adjust fields as needed:
+///
+/// ```
+/// use lslp::VectorizerConfig;
+/// let cfg = VectorizerConfig { la_depth: 2, ..VectorizerConfig::lslp() };
+/// assert!(cfg.enabled);
+/// ```
+#[derive(Clone, Debug)]
+pub struct VectorizerConfig {
+    /// Whether the vectorizer runs at all (`false` = the paper's `O3`
+    /// baseline, which has all vectorizers disabled).
+    pub enabled: bool,
+    /// Operand reordering strategy.
+    pub reorder: ReorderKind,
+    /// Maximum look-ahead depth for [`ReorderKind::LookAhead`]
+    /// (the paper uses 8 by default and sweeps 0–4 in §5.3).
+    pub la_depth: u32,
+    /// Maximum number of chained commutative instructions collected into a
+    /// multi-node *per lane*; `1` disables multi-node formation (vanilla
+    /// behaviour), the paper's LSLP default is unbounded.
+    pub max_multinode_insts: usize,
+    /// Upper bound on the vector factor (lanes); the effective VF is also
+    /// limited by the target register width.
+    pub max_vf: u32,
+    /// Allow floating-point reassociation (the paper compiles with
+    /// `-ffast-math`); required for FP multi-node formation.
+    pub fast_math: bool,
+    /// Vectorize only when the tree cost is strictly below this threshold
+    /// (paper: "usually 0").
+    pub cost_threshold: i64,
+    /// Look-ahead score aggregation.
+    pub score_agg: ScoreAgg,
+    /// Look-ahead leaf-match weights (paper: all 1).
+    pub score_weights: ScoreWeights,
+    /// Enable SPLAT mode detection in the reordering (Listing 5, line 23).
+    pub splat_mode: bool,
+    /// Recursion depth cap for graph building.
+    pub max_depth: u32,
+    /// Also vectorize horizontal reduction chains (the paper's second seed
+    /// class, §2.2; not exercised by its evaluation, so off in the
+    /// standard presets — see `lslp::reduce`).
+    pub enable_reductions: bool,
+    /// Throttle SLP graphs (`lslp::throttle`, after Porpodas & Jones,
+    /// PACT'15 — the paper's related work \[22\]): cut cost-harmful subtrees
+    /// before the profitability decision. Off in the paper presets.
+    pub throttle: bool,
+}
+
+impl VectorizerConfig {
+    fn base() -> VectorizerConfig {
+        VectorizerConfig {
+            enabled: true,
+            reorder: ReorderKind::Opcode,
+            la_depth: 0,
+            max_multinode_insts: 1,
+            max_vf: 16,
+            fast_math: true,
+            cost_threshold: 0,
+            score_agg: ScoreAgg::Sum,
+            score_weights: ScoreWeights::paper(),
+            splat_mode: true,
+            max_depth: 24,
+            enable_reductions: false,
+            throttle: false,
+        }
+    }
+
+    /// `O3`: all vectorizers disabled.
+    pub fn o3() -> VectorizerConfig {
+        VectorizerConfig { enabled: false, ..Self::base() }
+    }
+
+    /// `SLP-NR`: vanilla SLP with operand reordering disabled.
+    pub fn slp_nr() -> VectorizerConfig {
+        VectorizerConfig { reorder: ReorderKind::NoReorder, ..Self::base() }
+    }
+
+    /// `SLP`: vanilla bottom-up SLP with opcode-based reordering.
+    pub fn slp() -> VectorizerConfig {
+        Self::base()
+    }
+
+    /// `LSLP`: multi-node formation plus look-ahead reordering (depth 8).
+    pub fn lslp() -> VectorizerConfig {
+        VectorizerConfig {
+            reorder: ReorderKind::LookAhead,
+            la_depth: 8,
+            max_multinode_insts: usize::MAX,
+            ..Self::base()
+        }
+    }
+
+    /// LSLP with a specific look-ahead depth (the `LSLP-LA{n}` bars of
+    /// Figure 13; multi-node size unrestricted).
+    pub fn lslp_la(depth: u32) -> VectorizerConfig {
+        VectorizerConfig { la_depth: depth, ..Self::lslp() }
+    }
+
+    /// LSLP with a restricted multi-node size (the `LSLP-Multi{n}` bars of
+    /// Figure 13; look-ahead depth kept at 8).
+    pub fn lslp_multi(max_insts: usize) -> VectorizerConfig {
+        VectorizerConfig { max_multinode_insts: max_insts, ..Self::lslp() }
+    }
+
+    /// Look up a preset by the paper's configuration names: `O3`, `SLP-NR`,
+    /// `SLP`, `LSLP`, `LSLP-LA{n}`, `LSLP-Multi{n}`.
+    pub fn preset(name: &str) -> Option<VectorizerConfig> {
+        if let Some(d) = name.strip_prefix("LSLP-LA") {
+            return d.parse().ok().map(Self::lslp_la);
+        }
+        if let Some(d) = name.strip_prefix("LSLP-Multi") {
+            return d.parse().ok().map(Self::lslp_multi);
+        }
+        if name == "LSLP-Throttle" {
+            return Some(VectorizerConfig { throttle: true, ..Self::lslp() });
+        }
+        match name {
+            "O3" => Some(Self::o3()),
+            "SLP-NR" => Some(Self::slp_nr()),
+            "SLP" => Some(Self::slp()),
+            "LSLP" => Some(Self::lslp()),
+            _ => None,
+        }
+    }
+}
+
+impl Default for VectorizerConfig {
+    /// The default configuration is the paper's headline algorithm, LSLP.
+    fn default() -> VectorizerConfig {
+        VectorizerConfig::lslp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_semantics() {
+        assert!(!VectorizerConfig::o3().enabled);
+        assert_eq!(VectorizerConfig::slp_nr().reorder, ReorderKind::NoReorder);
+        let slp = VectorizerConfig::slp();
+        assert_eq!(slp.reorder, ReorderKind::Opcode);
+        assert_eq!(slp.max_multinode_insts, 1);
+        let lslp = VectorizerConfig::lslp();
+        assert_eq!(lslp.reorder, ReorderKind::LookAhead);
+        assert_eq!(lslp.la_depth, 8);
+        assert_eq!(lslp.max_multinode_insts, usize::MAX);
+    }
+
+    #[test]
+    fn preset_lookup_by_name() {
+        assert!(VectorizerConfig::preset("O3").is_some_and(|c| !c.enabled));
+        assert!(VectorizerConfig::preset("SLP").is_some());
+        assert!(VectorizerConfig::preset("SLP-NR").is_some());
+        assert_eq!(VectorizerConfig::preset("LSLP-LA2").unwrap().la_depth, 2);
+        assert_eq!(
+            VectorizerConfig::preset("LSLP-Multi3").unwrap().max_multinode_insts,
+            3
+        );
+        assert!(VectorizerConfig::preset("GCC").is_none());
+        assert!(VectorizerConfig::preset("LSLP-LAx").is_none());
+    }
+
+    #[test]
+    fn default_is_lslp() {
+        let d = VectorizerConfig::default();
+        assert_eq!(d.reorder, ReorderKind::LookAhead);
+    }
+}

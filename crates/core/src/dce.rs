@@ -1,0 +1,86 @@
+//! Trivial dead-code elimination.
+//!
+//! After vector code generation the scalar instructions whose results were
+//! fully superseded by vector values have no remaining users; this pass
+//! sweeps them (and the address computations that die with them). Stores
+//! are side-effecting and never removed here — the vectorizer deletes the
+//! scalar stores it replaces explicitly.
+
+use std::collections::{HashMap, HashSet};
+
+use lslp_ir::{Function, Module, ValueId};
+
+/// Remove side-effect-free instructions with no users, iterating to a fixed
+/// point. Returns the number of instructions removed.
+pub fn run(f: &mut Function) -> usize {
+    let mut removed = 0;
+    loop {
+        let mut used: HashMap<ValueId, usize> = HashMap::new();
+        for (_, _, inst) in f.iter_body() {
+            for &a in &inst.args {
+                *used.entry(a).or_default() += 1;
+            }
+        }
+        let dead: HashSet<ValueId> = f
+            .iter_body()
+            .filter(|(_, id, inst)| {
+                !inst.op.has_side_effect() && used.get(id).copied().unwrap_or(0) == 0
+            })
+            .map(|(_, id, _)| id)
+            .collect();
+        if dead.is_empty() {
+            return removed;
+        }
+        removed += dead.len();
+        f.remove_from_body(&dead);
+    }
+}
+
+/// Run DCE over every function of a module; returns total removals.
+pub fn run_module(m: &mut Module) -> usize {
+    m.functions.iter_mut().map(run).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lslp_ir::{FunctionBuilder, Type};
+
+    #[test]
+    fn removes_transitively_dead_chains() {
+        let mut f = Function::new("d");
+        let a = f.add_param("a", Type::I64);
+        let p = f.add_param("P", Type::PTR);
+        let mut b = FunctionBuilder::new(&mut f);
+        let x = b.add(a, a); // dead via y
+        let _y = b.mul(x, a); // dead
+        let z = b.sub(a, a); // live (stored)
+        b.store(z, p);
+        assert_eq!(run(&mut f), 2);
+        assert_eq!(f.body_len(), 2);
+        lslp_ir::verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn keeps_stores_and_their_inputs() {
+        let mut f = Function::new("d");
+        let a = f.add_param("a", Type::I64);
+        let p = f.add_param("P", Type::PTR);
+        let mut b = FunctionBuilder::new(&mut f);
+        let g = b.gep(p, a, 8);
+        let x = b.add(a, a);
+        b.store(x, g);
+        assert_eq!(run(&mut f), 0);
+        assert_eq!(f.body_len(), 3);
+    }
+
+    #[test]
+    fn dead_loads_are_removed() {
+        let mut f = Function::new("d");
+        let p = f.add_param("P", Type::PTR);
+        let mut b = FunctionBuilder::new(&mut f);
+        let _l = b.load(Type::I64, p);
+        assert_eq!(run(&mut f), 1);
+        assert_eq!(f.body_len(), 0);
+    }
+}

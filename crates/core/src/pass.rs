@@ -1,0 +1,343 @@
+//! The vectorization pass driver (paper Figure 1).
+//!
+//! Finds seed store chains, builds the (L)SLP graph per seed group,
+//! evaluates the cost, generates vector code when profitable, removes the
+//! group and repeats until no seed vectorizes, then sweeps dead scalars.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use lslp_analysis::AddrInfo;
+use lslp_ir::{Function, Module, ValueId};
+use lslp_target::CostModel;
+
+use crate::codegen::{self, CodegenStats};
+use crate::config::VectorizerConfig;
+use crate::cost::graph_cost;
+use crate::dce;
+use crate::graph::GraphBuilder;
+use crate::seeds::collect_store_chains;
+
+/// One attempted seed group.
+#[derive(Clone, Debug)]
+pub struct Attempt {
+    /// Human-readable seed description, e.g. `A[+0..+2)`.
+    pub seed: String,
+    /// Vector factor (lanes).
+    pub vf: usize,
+    /// Total tree cost (`VectorCost − ScalarCost`; negative is profitable).
+    pub cost: i64,
+    /// Number of nodes in the graph.
+    pub nodes: usize,
+    /// Number of gather (non-vectorizable) nodes.
+    pub gathers: usize,
+    /// Whether vector code was generated.
+    pub vectorized: bool,
+}
+
+/// The result of running the pass over one function.
+#[derive(Clone, Debug, Default)]
+pub struct VectorizeReport {
+    /// Every seed group attempted, in order.
+    pub attempts: Vec<Attempt>,
+    /// Sum of the costs of all *applied* graphs — the "static cost" the
+    /// paper plots in Figures 10–11 (lower/more negative is better).
+    pub applied_cost: i64,
+    /// Number of seed groups vectorized.
+    pub trees_vectorized: usize,
+    /// Aggregated code generation statistics.
+    pub stats: CodegenStats,
+    /// Instructions removed by the final DCE sweep.
+    pub dce_removed: usize,
+    /// Reduction-seed attempts (only when
+    /// [`VectorizerConfig::enable_reductions`] is set).
+    pub reductions: Vec<crate::reduce::ReductionAttempt>,
+    /// Wall-clock time spent in the pass (compilation-time metric of
+    /// Figure 14).
+    pub elapsed: Duration,
+}
+
+impl VectorizeReport {
+    fn absorb(&mut self, s: &CodegenStats) {
+        self.stats.vector_insts += s.vector_insts;
+        self.stats.extracts += s.extracts;
+        self.stats.stores_deleted += s.stores_deleted;
+    }
+}
+
+fn seed_desc(f: &Function, addr: &AddrInfo, bundle: &[ValueId]) -> String {
+    let Some(loc) = addr.loc(bundle[0]) else {
+        return format!("{} stores", bundle.len());
+    };
+    let base = f
+        .value_name(loc.addr.base)
+        .map(str::to_owned)
+        .unwrap_or_else(|| format!("%{}", loc.addr.base.raw()));
+    let lo = loc.addr.offset.konst;
+    let hi = lo + (bundle.len() as i64) * loc.bytes as i64;
+    format!("{base}[+{lo}..+{hi})")
+}
+
+/// Largest power of two ≤ `n`.
+fn pow2_floor(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        1 << (usize::BITS - 1 - n.leading_zeros())
+    }
+}
+
+/// Run the (L)SLP pass over one straight-line function.
+///
+/// ```
+/// use lslp::{vectorize_function, VectorizerConfig};
+/// use lslp_ir::{Function, FunctionBuilder, Type};
+/// use lslp_target::CostModel;
+///
+/// // A[i+o] = B[i+o] + C[i+o] for o in 0..2
+/// let mut f = Function::new("axpy");
+/// let pa = f.add_param("A", Type::PTR);
+/// let pb = f.add_param("B", Type::PTR);
+/// let pc = f.add_param("C", Type::PTR);
+/// let i = f.add_param("i", Type::I64);
+/// for o in 0..2 {
+///     let mut b = FunctionBuilder::new(&mut f);
+///     let off = b.func().const_i64(o);
+///     let idx = b.add(i, off);
+///     let gb = b.gep(pb, idx, 8);
+///     let lb = b.load(Type::I64, gb);
+///     let gc = b.gep(pc, idx, 8);
+///     let lc = b.load(Type::I64, gc);
+///     let s = b.add(lb, lc);
+///     let ga = b.gep(pa, idx, 8);
+///     b.store(s, ga);
+/// }
+/// let report = vectorize_function(&mut f, &VectorizerConfig::lslp(), &CostModel::default());
+/// assert_eq!(report.trees_vectorized, 1);
+/// assert!(report.applied_cost < 0);
+/// ```
+pub fn vectorize_function(
+    f: &mut Function,
+    cfg: &VectorizerConfig,
+    tm: &CostModel,
+) -> VectorizeReport {
+    let start = Instant::now();
+    let mut report = VectorizeReport::default();
+    if !cfg.enabled {
+        report.elapsed = start.elapsed();
+        return report;
+    }
+
+    let mut tried: HashSet<Vec<ValueId>> = HashSet::new();
+    'restart: loop {
+        let addr = AddrInfo::analyze(f);
+        let chains = collect_store_chains(f, &addr);
+        let positions = f.position_map();
+        let use_map = f.use_map();
+        for chain in &chains {
+            let elem = f
+                .ty(f.args_of(chain.stores[0])[0])
+                .elem()
+                .expect("store of data value");
+            let max_vf = (tm.max_vf(elem) as usize).min(cfg.max_vf as usize);
+            let mut i = 0;
+            while i < chain.len() {
+                let remaining = chain.len() - i;
+                let mut vf = pow2_floor(remaining.min(max_vf));
+                while vf >= 2 {
+                    let bundle = chain.stores[i..i + vf].to_vec();
+                    if tried.insert(bundle.clone()) {
+                        let mut graph = GraphBuilder::new(f, cfg, &addr, &positions, &use_map)
+                            .build(&bundle);
+                        if cfg.throttle {
+                            crate::throttle::throttle(f, &mut graph, tm, &use_map);
+                        }
+                        let cost = graph_cost(f, &graph, tm, &use_map);
+                        let gathers = graph
+                            .nodes()
+                            .iter()
+                            .filter(|n| !n.is_vectorizable())
+                            .count();
+                        let vectorize = cost.total < cfg.cost_threshold;
+                        report.attempts.push(Attempt {
+                            seed: seed_desc(f, &addr, &bundle),
+                            vf,
+                            cost: cost.total,
+                            nodes: graph.nodes().len(),
+                            gathers,
+                            vectorized: vectorize,
+                        });
+                        if vectorize {
+                            let stats = codegen::generate(f, &graph);
+                            report.absorb(&stats);
+                            report.applied_cost += cost.total;
+                            report.trees_vectorized += 1;
+                            continue 'restart;
+                        }
+                    }
+                    vf /= 2;
+                }
+                i += 1;
+            }
+        }
+        break;
+    }
+    if cfg.enable_reductions {
+        report.reductions = crate::reduce::run(f, cfg, tm);
+        for r in &report.reductions {
+            if r.applied {
+                report.applied_cost += r.cost;
+                report.trees_vectorized += 1;
+            }
+        }
+    }
+    report.dce_removed = dce::run(f);
+    debug_assert!(
+        lslp_ir::verify_function(f).is_ok(),
+        "vectorized function failed verification: {:?}",
+        lslp_ir::verify_function(f)
+    );
+    report.elapsed = start.elapsed();
+    report
+}
+
+/// Run the pass over every function of a module; returns per-function
+/// reports in definition order.
+pub fn vectorize_module(
+    m: &mut Module,
+    cfg: &VectorizerConfig,
+    tm: &CostModel,
+) -> Vec<VectorizeReport> {
+    m.functions
+        .iter_mut()
+        .map(|f| vectorize_function(f, cfg, tm))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lslp_ir::{FunctionBuilder, Type};
+
+    fn axpy_kernel(lanes: i64) -> Function {
+        let mut f = Function::new("axpy");
+        let pa = f.add_param("A", Type::PTR);
+        let pb = f.add_param("B", Type::PTR);
+        let pc = f.add_param("C", Type::PTR);
+        let i = f.add_param("i", Type::I64);
+        for o in 0..lanes {
+            let mut b = FunctionBuilder::new(&mut f);
+            let off = b.func().const_i64(o);
+            let idx = b.add(i, off);
+            let gb = b.gep(pb, idx, 8);
+            let lb = b.load(Type::I64, gb);
+            let gc = b.gep(pc, idx, 8);
+            let lc = b.load(Type::I64, gc);
+            let s = b.add(lb, lc);
+            let ga = b.gep(pa, idx, 8);
+            b.store(s, ga);
+        }
+        f
+    }
+
+    #[test]
+    fn o3_does_nothing() {
+        let mut f = axpy_kernel(2);
+        let before = lslp_ir::print_function(&f);
+        let report = vectorize_function(&mut f, &VectorizerConfig::o3(), &CostModel::default());
+        assert_eq!(report.trees_vectorized, 0);
+        assert!(report.attempts.is_empty());
+        assert_eq!(lslp_ir::print_function(&f), before);
+    }
+
+    #[test]
+    fn two_lane_kernel_vectorizes() {
+        let mut f = axpy_kernel(2);
+        let report = vectorize_function(&mut f, &VectorizerConfig::slp(), &CostModel::default());
+        assert_eq!(report.trees_vectorized, 1);
+        assert_eq!(report.applied_cost, -4);
+        assert!(report.dce_removed > 0);
+        lslp_ir::verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn four_lane_kernel_uses_vf4() {
+        let mut f = axpy_kernel(4);
+        let report = vectorize_function(&mut f, &VectorizerConfig::lslp(), &CostModel::default());
+        assert_eq!(report.trees_vectorized, 1);
+        let applied: Vec<_> = report.attempts.iter().filter(|a| a.vectorized).collect();
+        assert_eq!(applied[0].vf, 4);
+        let text = lslp_ir::print_function(&f);
+        assert!(text.contains("<4 x i64>"), "{text}");
+    }
+
+    #[test]
+    fn six_lanes_vectorize_as_four_plus_two() {
+        let mut f = axpy_kernel(6);
+        let report = vectorize_function(&mut f, &VectorizerConfig::lslp(), &CostModel::default());
+        assert_eq!(report.trees_vectorized, 2);
+        let vfs: Vec<usize> = report
+            .attempts
+            .iter()
+            .filter(|a| a.vectorized)
+            .map(|a| a.vf)
+            .collect();
+        assert_eq!(vfs, vec![4, 2]);
+    }
+
+    #[test]
+    fn max_vf_config_caps_lanes() {
+        let mut f = axpy_kernel(4);
+        let cfg = VectorizerConfig { max_vf: 2, ..VectorizerConfig::lslp() };
+        let report = vectorize_function(&mut f, &cfg, &CostModel::default());
+        assert_eq!(report.trees_vectorized, 2);
+        assert!(report.attempts.iter().all(|a| a.vf <= 2));
+    }
+
+    #[test]
+    fn seed_descriptions_are_readable() {
+        let mut f = axpy_kernel(2);
+        let report = vectorize_function(&mut f, &VectorizerConfig::lslp(), &CostModel::default());
+        assert_eq!(report.attempts[0].seed, "A[+0..+16)");
+    }
+
+    #[test]
+    fn pow2_floor_values() {
+        assert_eq!(pow2_floor(0), 0);
+        assert_eq!(pow2_floor(1), 1);
+        assert_eq!(pow2_floor(2), 2);
+        assert_eq!(pow2_floor(3), 2);
+        assert_eq!(pow2_floor(4), 4);
+        assert_eq!(pow2_floor(7), 4);
+        assert_eq!(pow2_floor(8), 8);
+    }
+
+    #[test]
+    fn unprofitable_seed_is_reported_not_applied() {
+        // Stores of two unrelated argument values: gathering costs as much
+        // as the store saves, so the tree is not profitable.
+        let mut f = Function::new("u");
+        let pa = f.add_param("A", Type::PTR);
+        let x = f.add_param("x", Type::I64);
+        let y = f.add_param("y", Type::I64);
+        let i = f.add_param("i", Type::I64);
+        {
+            let mut b = FunctionBuilder::new(&mut f);
+            let g = b.gep(pa, i, 8);
+            b.store(x, g);
+        }
+        {
+            let mut b = FunctionBuilder::new(&mut f);
+            let one = b.func().const_i64(1);
+            let idx = b.add(i, one);
+            let g = b.gep(pa, idx, 8);
+            b.store(y, g);
+        }
+        let report = vectorize_function(&mut f, &VectorizerConfig::lslp(), &CostModel::default());
+        assert_eq!(report.trees_vectorized, 0);
+        assert_eq!(report.attempts.len(), 1);
+        assert_eq!(report.attempts[0].cost, 1); // store −1 + gather +2
+        let text = lslp_ir::print_function(&f);
+        assert!(!text.contains('<'), "must stay scalar:\n{text}");
+    }
+}

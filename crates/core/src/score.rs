@@ -1,0 +1,328 @@
+//! Look-ahead score calculation (paper §4.4, Listing 7 and Figure 7).
+//!
+//! `getLAScore(v1, v2, level)` estimates how well the use-def subgraphs
+//! hanging off two candidate operands match: pairs of values that trivially
+//! match (consecutive loads, same opcode, both constants) contribute 1, and
+//! matching instructions recurse over *all combinations* of their operands,
+//! summing (or, per footnote 4, maxing) the sub-scores.
+
+use lslp_analysis::AddrInfo;
+use lslp_ir::{Function, Opcode, ValueId};
+
+use crate::config::{ScoreAgg, ScoreWeights};
+
+/// The trivial matching test of Listing 6/7 (`are_consecutive_or_match`):
+///
+/// * two constants match;
+/// * two loads match iff `b` loads the address right after `a`;
+/// * two instructions of the same opcode (and attribute) match;
+/// * any value matches itself (splat);
+/// * everything else does not match.
+pub fn consecutive_or_match(f: &Function, addr: &AddrInfo, a: ValueId, b: ValueId) -> bool {
+    if a == b {
+        return true;
+    }
+    if f.is_const(a) && f.is_const(b) {
+        return true;
+    }
+    match (f.inst(a), f.inst(b)) {
+        (Some(ia), Some(ib)) => {
+            if ia.op != ib.op || ia.ty != ib.ty {
+                return false;
+            }
+            match ia.op {
+                Opcode::Load => addr.consecutive(a, b),
+                _ => ia.attr == ib.attr,
+            }
+        }
+        _ => false,
+    }
+}
+
+/// Whether look-ahead should recurse through this pair: both are
+/// instructions of the same opcode/type/attribute (consecutive loads also
+/// recurse, through their address operands).
+fn recursable(f: &Function, addr: &AddrInfo, a: ValueId, b: ValueId) -> bool {
+    match (f.inst(a), f.inst(b)) {
+        (Some(ia), Some(ib)) => {
+            ia.op == ib.op
+                && ia.ty == ib.ty
+                && match ia.op {
+                    Opcode::Load => addr.consecutive(a, b),
+                    _ => ia.attr == ib.attr,
+                }
+        }
+        _ => false,
+    }
+}
+
+/// The weighted value of one leaf match (see [`ScoreWeights`]); 0 when the
+/// pair does not match.
+pub fn match_score(
+    f: &Function,
+    addr: &AddrInfo,
+    a: ValueId,
+    b: ValueId,
+    w: &ScoreWeights,
+) -> i64 {
+    if a == b {
+        return w.splat;
+    }
+    if f.is_const(a) && f.is_const(b) {
+        return w.constants;
+    }
+    match (f.inst(a), f.inst(b)) {
+        (Some(ia), Some(ib)) if ia.op == ib.op && ia.ty == ib.ty => match ia.op {
+            Opcode::Load => {
+                if addr.consecutive(a, b) {
+                    w.consecutive_load
+                } else {
+                    0
+                }
+            }
+            _ if ia.attr == ib.attr => w.same_opcode,
+            _ => 0,
+        },
+        _ => 0,
+    }
+}
+
+/// Listing 7: the recursive look-ahead score of a candidate pair, with the
+/// paper's flat weights.
+///
+/// At `max_level == 0`, or whenever the pair stops matching, the score is
+/// the result of the trivial match. Otherwise every combination of the
+/// two values' operands is scored one level deeper and aggregated.
+pub fn la_score(
+    f: &Function,
+    addr: &AddrInfo,
+    v1: ValueId,
+    v2: ValueId,
+    max_level: u32,
+    agg: ScoreAgg,
+) -> i64 {
+    la_score_weighted(f, addr, v1, v2, max_level, agg, &ScoreWeights::paper())
+}
+
+/// [`la_score`] with configurable leaf-match weights.
+pub fn la_score_weighted(
+    f: &Function,
+    addr: &AddrInfo,
+    v1: ValueId,
+    v2: ValueId,
+    max_level: u32,
+    agg: ScoreAgg,
+    w: &ScoreWeights,
+) -> i64 {
+    if max_level == 0 || !recursable(f, addr, v1, v2) {
+        return match_score(f, addr, v1, v2, w);
+    }
+    let mut total = 0i64;
+    for &op1 in f.args_of(v1) {
+        for &op2 in f.args_of(v2) {
+            let s = la_score_weighted(f, addr, op1, op2, max_level - 1, agg, w);
+            total = match agg {
+                ScoreAgg::Sum => total + s,
+                ScoreAgg::Max => total.max(s),
+            };
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lslp_ir::{FunctionBuilder, ScalarType, Type};
+
+    /// Reconstructs the example of Figure 7:
+    ///
+    /// last lane:    `(load B[i+0]) << 1`
+    /// candidate 1:  `(load B[i+1]) << 2`   (loads consecutive with last)
+    /// candidate 2:  `(load C[i+1]) << 3`   (different array)
+    struct Fig7 {
+        f: Function,
+        last: ValueId,
+        cand_good: ValueId,
+        cand_bad: ValueId,
+    }
+
+    fn fig7() -> Fig7 {
+        let mut f = Function::new("fig7");
+        let bptr = f.add_param("B", Type::PTR);
+        let cptr = f.add_param("C", Type::PTR);
+        let i = f.add_param("i", Type::I64);
+        let mut b = FunctionBuilder::new(&mut f);
+        let c1 = b.func().const_i64(1);
+        let c2 = b.func().const_i64(2);
+        let c3 = b.func().const_i64(3);
+        let p_b0 = b.gep(bptr, i, 8);
+        let l_b0 = b.load(Type::I64, p_b0);
+        let last = b.shl(l_b0, c1);
+        let i1 = b.add(i, c1);
+        let p_b1 = b.gep(bptr, i1, 8);
+        let l_b1 = b.load(Type::I64, p_b1);
+        let cand_good = b.shl(l_b1, c2);
+        let p_c1 = b.gep(cptr, i1, 8);
+        let l_c1 = b.load(Type::I64, p_c1);
+        let cand_bad = b.shl(l_c1, c3);
+        Fig7 { f, last, cand_good, cand_bad }
+    }
+
+    #[test]
+    fn figure7_scores() {
+        let x = fig7();
+        let addr = AddrInfo::analyze(&x.f);
+        // Candidate with the consecutive B-load scores 2 (load pair +
+        // constant pair); the C-load candidate scores only 1 (constants).
+        let good = la_score(&x.f, &addr, x.last, x.cand_good, 1, ScoreAgg::Sum);
+        let bad = la_score(&x.f, &addr, x.last, x.cand_bad, 1, ScoreAgg::Sum);
+        assert_eq!(good, 2);
+        assert_eq!(bad, 1);
+    }
+
+    #[test]
+    fn level_zero_is_trivial_match() {
+        let x = fig7();
+        let addr = AddrInfo::analyze(&x.f);
+        // Both candidates are shifts like `last`, so at level 0 they tie.
+        assert_eq!(la_score(&x.f, &addr, x.last, x.cand_good, 0, ScoreAgg::Sum), 1);
+        assert_eq!(la_score(&x.f, &addr, x.last, x.cand_bad, 0, ScoreAgg::Sum), 1);
+    }
+
+    #[test]
+    fn max_aggregation_caps_subscores() {
+        let x = fig7();
+        let addr = AddrInfo::analyze(&x.f);
+        let good = la_score(&x.f, &addr, x.last, x.cand_good, 1, ScoreAgg::Max);
+        let bad = la_score(&x.f, &addr, x.last, x.cand_bad, 1, ScoreAgg::Max);
+        assert_eq!(good, 1);
+        assert_eq!(bad, 1);
+    }
+
+    #[test]
+    fn deeper_levels_see_through_geps() {
+        let x = fig7();
+        let addr = AddrInfo::analyze(&x.f);
+        // With more levels, the consecutive-load path keeps accumulating
+        // matches (through the loads' geps), so good stays ahead.
+        let good = la_score(&x.f, &addr, x.last, x.cand_good, 4, ScoreAgg::Sum);
+        let bad = la_score(&x.f, &addr, x.last, x.cand_bad, 4, ScoreAgg::Sum);
+        assert!(good > bad, "good={good} bad={bad}");
+    }
+
+    #[test]
+    fn trivial_match_rules() {
+        let mut f = Function::new("m");
+        let a = f.add_param("a", Type::I64);
+        let b_ = f.add_param("b", Type::I64);
+        let mut b = FunctionBuilder::new(&mut f);
+        let c1 = b.func().const_i64(1);
+        let c2 = b.func().const_float(ScalarType::F64, 2.0);
+        let s = b.add(a, b_);
+        let t = b.add(b_, a);
+        let u = b.mul(a, b_);
+        let addr = AddrInfo::analyze(&f);
+        assert!(consecutive_or_match(&f, &addr, c1, c2), "constants match");
+        assert!(consecutive_or_match(&f, &addr, s, t), "same opcode matches");
+        assert!(!consecutive_or_match(&f, &addr, s, u), "different opcode");
+        assert!(consecutive_or_match(&f, &addr, a, a), "same value (splat)");
+        assert!(!consecutive_or_match(&f, &addr, a, b_), "different args");
+        assert!(!consecutive_or_match(&f, &addr, a, s), "arg vs inst");
+    }
+
+    #[test]
+    fn non_consecutive_loads_do_not_match() {
+        let mut f = Function::new("l");
+        let p = f.add_param("A", Type::PTR);
+        let i = f.add_param("i", Type::I64);
+        let mut b = FunctionBuilder::new(&mut f);
+        let two = b.func().const_i64(2);
+        let p0 = b.gep(p, i, 8);
+        let l0 = b.load(Type::F64, p0);
+        let i2 = b.add(i, two);
+        let p2 = b.gep(p, i2, 8);
+        let l2 = b.load(Type::F64, p2);
+        // Gap of exactly one element would match; build it to confirm.
+        let one = b.func().const_i64(1);
+        let i1 = b.add(i, one);
+        let p1 = b.gep(p, i1, 8);
+        let l1 = b.load(Type::F64, p1);
+        let addr = AddrInfo::analyze(&f);
+        assert!(!consecutive_or_match(&f, &addr, l0, l2));
+        let addr = AddrInfo::analyze(&f);
+        assert!(consecutive_or_match(&f, &addr, l0, l1));
+        assert!(!consecutive_or_match(&f, &addr, l1, l0), "direction matters");
+    }
+}
+
+#[cfg(test)]
+mod weight_tests {
+    use super::*;
+    use crate::config::ScoreWeights;
+    use lslp_ir::{FunctionBuilder, Type};
+
+    /// Under flat weights a same-opcode match ties a consecutive-load
+    /// match; LLVM-like weights rank the load signal strictly higher.
+    #[test]
+    fn weights_break_flat_ties() {
+        let mut f = Function::new("w");
+        let a = f.add_param("A", Type::PTR);
+        let i = f.add_param("i", Type::I64);
+        let x = f.add_param("x", Type::I64);
+        let mut b = FunctionBuilder::new(&mut f);
+        let one = b.func().const_i64(1);
+        let p0 = b.gep(a, i, 8);
+        let l0 = b.load(Type::I64, p0);
+        let i1 = b.add(i, one);
+        let p1 = b.gep(a, i1, 8);
+        let l1 = b.load(Type::I64, p1);
+        let s0 = b.sub(x, one);
+        let s1 = b.sub(x, x);
+        let addr = AddrInfo::analyze(&f);
+
+        let flat = ScoreWeights::paper();
+        assert_eq!(match_score(&f, &addr, l0, l1, &flat), 1);
+        assert_eq!(match_score(&f, &addr, s0, s1, &flat), 1);
+
+        let llvm = ScoreWeights::llvm_like();
+        assert!(
+            match_score(&f, &addr, l0, l1, &llvm) > match_score(&f, &addr, s0, s1, &llvm),
+            "consecutive loads must outrank opcode matches"
+        );
+        assert_eq!(match_score(&f, &addr, x, x, &llvm), llvm.splat);
+        assert_eq!(match_score(&f, &addr, one, one, &llvm), llvm.splat);
+        assert_eq!(match_score(&f, &addr, l0, s0, &llvm), 0);
+    }
+
+    /// Flat weights keep `la_score` equal to the original definition.
+    #[test]
+    fn flat_weights_match_paper_scores() {
+        let mut f = Function::new("w");
+        let a = f.add_param("A", Type::PTR);
+        let i = f.add_param("i", Type::I64);
+        let mut b = FunctionBuilder::new(&mut f);
+        let c1 = b.func().const_i64(1);
+        let c2 = b.func().const_i64(2);
+        let p0 = b.gep(a, i, 8);
+        let l0 = b.load(Type::I64, p0);
+        let i1 = b.add(i, c1);
+        let p1 = b.gep(a, i1, 8);
+        let l1 = b.load(Type::I64, p1);
+        let sh0 = b.shl(l0, c1);
+        let sh1 = b.shl(l1, c2);
+        let addr = AddrInfo::analyze(&f);
+        let flat = la_score(&f, &addr, sh0, sh1, 1, ScoreAgg::Sum);
+        let weighted = la_score_weighted(
+            &f,
+            &addr,
+            sh0,
+            sh1,
+            1,
+            ScoreAgg::Sum,
+            &ScoreWeights::paper(),
+        );
+        assert_eq!(flat, weighted);
+        assert_eq!(flat, 2, "load pair + constant pair");
+    }
+}

@@ -1,0 +1,38 @@
+use lslp::config::VectorizerConfig;
+use lslp::graph::GraphBuilder;
+use lslp_analysis::AddrInfo;
+use lslp_ir::{verify_function, Function, FunctionBuilder, Type, ValueId};
+
+#[test]
+fn hoisted_load_ptr_dominance() {
+    // Body order: gep/load A[i+1]; store x->A[i+1]; gep A,i; load A[i];
+    // then seed stores C[i]=l0, C[i+1]=l1.
+    let mut f = Function::new("k");
+    let pa = f.add_param("A", Type::PTR);
+    let pc = f.add_param("C", Type::PTR);
+    let x = f.add_param("x", Type::I64);
+    let i = f.add_param("i", Type::I64);
+    let mut b = FunctionBuilder::new(&mut f);
+    let one = b.func().const_i64(1);
+    let i1 = b.add(i, one);
+    let p1 = b.gep(pa, i1, 8);
+    let l1 = b.load(Type::I64, p1);
+    b.store(x, p1); // aliasing store kills sink for the load bundle
+    let p0 = b.gep(pa, i, 8); // lane-0 pointer defined AFTER l1
+    let l0 = b.load(Type::I64, p0);
+    let c0 = b.gep(pc, i, 8);
+    let s0 = b.store(l0, c0);
+    let c1 = b.gep(pc, i1, 8);
+    let s1 = b.store(l1, c1);
+    let seeds: Vec<ValueId> = vec![s0, s1];
+
+    let cfg = VectorizerConfig::lslp();
+    let addr = AddrInfo::analyze(&f);
+    let positions = f.position_map();
+    let use_map = f.use_map();
+    let graph = GraphBuilder::new(&f, &cfg, &addr, &positions, &use_map).build(&seeds);
+    println!("{}", graph.dump(&f));
+    lslp::codegen::generate(&mut f, &graph);
+    println!("{}", lslp_ir::print_function(&f));
+    verify_function(&f).expect("vectorized code must verify");
+}

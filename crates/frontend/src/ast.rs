@@ -1,0 +1,184 @@
+//! The SLC abstract syntax tree.
+
+use lslp_ir::ScalarType;
+
+/// A parameter type: a scalar or a pointer-to-scalar array.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ParamType {
+    /// A scalar value parameter (e.g. `i64 i`).
+    Scalar(ScalarType),
+    /// A pointer parameter (e.g. `f64* A`); indexing yields the element.
+    Pointer(ScalarType),
+}
+
+/// One kernel parameter.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub ty: ParamType,
+}
+
+/// Binary operators, with C semantics on the IR's types.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (signed / float division)
+    Div,
+    /// `%` (signed remainder, integers only)
+    Rem,
+    /// `&` (integers only)
+    And,
+    /// `|` (integers only)
+    Or,
+    /// `^` (integers only)
+    Xor,
+    /// `<<` (integers only)
+    Shl,
+    /// `>>` arithmetic shift right (integers only)
+    Shr,
+    /// `>>>` logical shift right (integers only)
+    LShr,
+}
+
+/// An expression, annotated with its source position for diagnostics.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Expr {
+    /// Integer literal (type adapts to context).
+    IntLit {
+        /// The literal value.
+        value: i64,
+        /// Source line/column.
+        pos: (usize, usize),
+    },
+    /// Float literal (type adapts to `f32`/`f64` context).
+    FloatLit {
+        /// The literal value.
+        value: f64,
+        /// Source line/column.
+        pos: (usize, usize),
+    },
+    /// Reference to a parameter or `let` binding.
+    Var {
+        /// The referenced name.
+        name: String,
+        /// Source line/column.
+        pos: (usize, usize),
+    },
+    /// Array element read: `A[index]`.
+    Index {
+        /// The pointer parameter name.
+        array: String,
+        /// The element index expression (type `i64`).
+        index: Box<Expr>,
+        /// Source line/column.
+        pos: (usize, usize),
+    },
+    /// Unary negation.
+    Neg {
+        /// The operand.
+        expr: Box<Expr>,
+        /// Source line/column.
+        pos: (usize, usize),
+    },
+    /// Type conversion: `expr as ty` (C-style value conversion).
+    Cast {
+        /// The converted expression.
+        expr: Box<Expr>,
+        /// The target scalar type.
+        ty: ScalarType,
+        /// Source line/column.
+        pos: (usize, usize),
+    },
+    /// Binary operation.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source line/column.
+        pos: (usize, usize),
+    },
+}
+
+impl Expr {
+    /// The source position of the expression.
+    pub fn pos(&self) -> (usize, usize) {
+        match self {
+            Expr::IntLit { pos, .. }
+            | Expr::FloatLit { pos, .. }
+            | Expr::Var { pos, .. }
+            | Expr::Index { pos, .. }
+            | Expr::Neg { pos, .. }
+            | Expr::Cast { pos, .. }
+            | Expr::Binary { pos, .. } => *pos,
+        }
+    }
+}
+
+/// A statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Stmt {
+    /// `let name[: ty] = expr;`
+    Let {
+        /// Binding name.
+        name: String,
+        /// Optional type annotation (inferred otherwise).
+        ty: Option<ScalarType>,
+        /// Bound expression.
+        expr: Expr,
+        /// Source line/column.
+        pos: (usize, usize),
+    },
+    /// `for var in start..end { body }` — a compile-time-unrolled loop
+    /// with constant integer bounds; `var` is bound to each value in turn.
+    For {
+        /// Loop variable name (an `i64` compile-time constant per copy).
+        var: String,
+        /// Inclusive start.
+        start: i64,
+        /// Exclusive end.
+        end: i64,
+        /// The unrolled body.
+        body: Vec<Stmt>,
+        /// Source line/column.
+        pos: (usize, usize),
+    },
+    /// `array[index] = value;`
+    Assign {
+        /// The pointer parameter name.
+        array: String,
+        /// Element index expression.
+        index: Expr,
+        /// Stored value expression.
+        value: Expr,
+        /// Source line/column.
+        pos: (usize, usize),
+    },
+}
+
+/// One kernel definition.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Kernel {
+    /// Kernel (function) name.
+    pub name: String,
+    /// Parameters in declaration order.
+    pub params: Vec<Param>,
+    /// Straight-line statement list.
+    pub body: Vec<Stmt>,
+}
+
+/// A parsed source file.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct Program {
+    /// The kernels, in definition order.
+    pub kernels: Vec<Kernel>,
+}

@@ -1,0 +1,282 @@
+//! The SLC lexer.
+
+use crate::CompileError;
+
+/// A token with its source position.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Token {
+    /// The token kind/payload.
+    pub kind: TokKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+/// Token kinds.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TokKind {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Colon,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    Shl,
+    Shr,
+    LShr,
+    Equals,
+    DotDot,
+    Eof,
+}
+
+impl std::fmt::Display for TokKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TokKind::Ident(s) => write!(f, "`{s}`"),
+            TokKind::Int(v) => write!(f, "`{v}`"),
+            TokKind::Float(v) => write!(f, "`{v}`"),
+            TokKind::LParen => f.write_str("`(`"),
+            TokKind::RParen => f.write_str("`)`"),
+            TokKind::LBrace => f.write_str("`{`"),
+            TokKind::RBrace => f.write_str("`}`"),
+            TokKind::LBracket => f.write_str("`[`"),
+            TokKind::RBracket => f.write_str("`]`"),
+            TokKind::Comma => f.write_str("`,`"),
+            TokKind::Semi => f.write_str("`;`"),
+            TokKind::Colon => f.write_str("`:`"),
+            TokKind::Star => f.write_str("`*`"),
+            TokKind::Plus => f.write_str("`+`"),
+            TokKind::Minus => f.write_str("`-`"),
+            TokKind::Slash => f.write_str("`/`"),
+            TokKind::Percent => f.write_str("`%`"),
+            TokKind::Amp => f.write_str("`&`"),
+            TokKind::Pipe => f.write_str("`|`"),
+            TokKind::Caret => f.write_str("`^`"),
+            TokKind::Shl => f.write_str("`<<`"),
+            TokKind::Shr => f.write_str("`>>`"),
+            TokKind::LShr => f.write_str("`>>>`"),
+            TokKind::Equals => f.write_str("`=`"),
+            TokKind::DotDot => f.write_str("`..`"),
+            TokKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// Tokenize SLC source. `//` comments run to end of line.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, CompileError> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let (mut i, mut line, mut col) = (0usize, 1usize, 1usize);
+    macro_rules! bump {
+        () => {{
+            if bytes[i] == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+    while i < bytes.len() {
+        let c = bytes[i];
+        let (tline, tcol) = (line, col);
+        let kind = match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                bump!();
+                continue;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    bump!();
+                }
+                continue;
+            }
+            b'(' => { bump!(); TokKind::LParen }
+            b')' => { bump!(); TokKind::RParen }
+            b'{' => { bump!(); TokKind::LBrace }
+            b'}' => { bump!(); TokKind::RBrace }
+            b'[' => { bump!(); TokKind::LBracket }
+            b']' => { bump!(); TokKind::RBracket }
+            b',' => { bump!(); TokKind::Comma }
+            b';' => { bump!(); TokKind::Semi }
+            b':' => { bump!(); TokKind::Colon }
+            b'*' => { bump!(); TokKind::Star }
+            b'+' => { bump!(); TokKind::Plus }
+            b'-' => { bump!(); TokKind::Minus }
+            b'/' => { bump!(); TokKind::Slash }
+            b'%' => { bump!(); TokKind::Percent }
+            b'&' => { bump!(); TokKind::Amp }
+            b'|' => { bump!(); TokKind::Pipe }
+            b'^' => { bump!(); TokKind::Caret }
+            b'=' => { bump!(); TokKind::Equals }
+            b'.' if bytes.get(i + 1) == Some(&b'.') => {
+                bump!();
+                bump!();
+                TokKind::DotDot
+            }
+            b'<' if bytes.get(i + 1) == Some(&b'<') => {
+                bump!();
+                bump!();
+                TokKind::Shl
+            }
+            b'>' if bytes.get(i + 1) == Some(&b'>') => {
+                bump!();
+                bump!();
+                if bytes.get(i) == Some(&b'>') {
+                    bump!();
+                    TokKind::LShr
+                } else {
+                    TokKind::Shr
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let mut is_float = false;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'0'..=b'9' | b'_' => bump!(),
+                        b'x' | b'X' if i == start + 1 && bytes[start] == b'0' => bump!(),
+                        b'a'..=b'f' | b'A'..=b'F'
+                            if src[start..].starts_with("0x") || src[start..].starts_with("0X") =>
+                        {
+                            bump!()
+                        }
+                        b'.' if !is_float
+                            && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) =>
+                        {
+                            is_float = true;
+                            bump!();
+                        }
+                        b'e' | b'E'
+                            if !src[start..].starts_with("0x")
+                                && bytes
+                                    .get(i + 1)
+                                    .is_some_and(|&d| d.is_ascii_digit() || d == b'-' || d == b'+') =>
+                        {
+                            is_float = true;
+                            bump!();
+                            bump!();
+                        }
+                        _ => break,
+                    }
+                }
+                let text: String = src[start..i].chars().filter(|&ch| ch != '_').collect();
+                if is_float {
+                    TokKind::Float(text.parse().map_err(|e| {
+                        CompileError::new(tline, tcol, format!("bad float `{text}`: {e}"))
+                    })?)
+                } else if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X"))
+                {
+                    TokKind::Int(i64::from_str_radix(hex, 16).map_err(|e| {
+                        CompileError::new(tline, tcol, format!("bad hex `{text}`: {e}"))
+                    })?)
+                } else {
+                    TokKind::Int(text.parse().map_err(|e| {
+                        CompileError::new(tline, tcol, format!("bad integer `{text}`: {e}"))
+                    })?)
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    bump!();
+                }
+                TokKind::Ident(src[start..i].to_string())
+            }
+            other => {
+                return Err(CompileError::new(
+                    tline,
+                    tcol,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        };
+        toks.push(Token { kind, line: tline, col: tcol });
+    }
+    toks.push(Token { kind: TokKind::Eof, line, col });
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("a << 1 >> 2 >>> 3 & | ^"),
+            vec![
+                TokKind::Ident("a".into()),
+                TokKind::Shl,
+                TokKind::Int(1),
+                TokKind::Shr,
+                TokKind::Int(2),
+                TokKind::LShr,
+                TokKind::Int(3),
+                TokKind::Amp,
+                TokKind::Pipe,
+                TokKind::Caret,
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("42 0x11 3.5 1e-3 2.5e2 1_000"),
+            vec![
+                TokKind::Int(42),
+                TokKind::Int(0x11),
+                TokKind::Float(3.5),
+                TokKind::Float(1e-3),
+                TokKind::Float(2.5e2),
+                TokKind::Int(1000),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_positions() {
+        let toks = tokenize("a // hi\n  b").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].kind, TokKind::Ident("b".into()));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let err = tokenize("a $ b").unwrap_err();
+        assert_eq!((err.line, err.col), (1, 3));
+    }
+
+    #[test]
+    fn dot_without_digit_is_not_float() {
+        // `1.x` is invalid at parse level but lexes as Int(1) then garbage.
+        let err = tokenize("1.x").unwrap_err();
+        assert!(err.message.contains("unexpected character"), "{err}");
+    }
+}

@@ -1,0 +1,120 @@
+//! # lslp-frontend
+//!
+//! **SLC** ("straight-line C") — a miniature C-like kernel language that
+//! lowers to [`lslp_ir`]. It exists so the evaluation kernels of the LSLP
+//! reproduction can be written in the same shape as the paper's C sources:
+//!
+//! ```text
+//! kernel motivation_loads(i64* A, i64* B, i64* C, i64 i) {
+//!     A[i+0] = (B[i+0] << 1) & (C[i+0] << 2);
+//!     A[i+1] = (C[i+1] << 3) & (B[i+1] << 4);
+//! }
+//! ```
+//!
+//! The language is deliberately small: straight-line statements only
+//! (`let` bindings and array-element assignments), C operator precedence,
+//! signed integer (`i8`–`i64`) and float (`f32`, `f64`) arithmetic, and
+//! pointer parameters indexed with arbitrary affine (or not) expressions.
+//!
+//! ```
+//! let m = lslp_frontend::compile(
+//!     "kernel scale(f64* A, f64* B, i64 i) { A[i] = B[i] * 2.0; }",
+//! )?;
+//! assert_eq!(m.functions[0].name(), "scale");
+//! # Ok::<(), lslp_frontend::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod ast;
+mod lex;
+mod lower;
+mod parse;
+
+use std::error::Error;
+use std::fmt;
+
+use lslp_ir::Module;
+
+pub use ast::{BinOp, Expr, Kernel, Param, ParamType, Program, Stmt};
+
+/// A frontend failure (lexing, parsing, or type checking) with position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CompileError {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl CompileError {
+    pub(crate) fn new(line: usize, col: usize, message: impl Into<String>) -> CompileError {
+        CompileError { line, col, message: message.into() }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "slc error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for CompileError {}
+
+/// Parse an SLC source file into its AST.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] with position information on malformed input.
+pub fn parse(src: &str) -> Result<Program, CompileError> {
+    parse::parse_program(src)
+}
+
+/// Compile SLC source to an IR module (one function per kernel).
+///
+/// The output is verified before being returned.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] for syntax or type errors.
+pub fn compile(src: &str) -> Result<Module, CompileError> {
+    let program = parse(src)?;
+    let m = lower::lower_program(&program)?;
+    if let Err(e) = lslp_ir::verify_module(&m) {
+        // A verifier failure out of the lowerer is a frontend bug; surface
+        // it as an internal error rather than panicking.
+        return Err(CompileError::new(0, 0, format!("internal: lowered IR invalid: {e}")));
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn end_to_end_compile() {
+        let m = compile(
+            "kernel k(f64* A, f64* B, i64 i) {
+                 let t: f64 = B[i] + 1.0;
+                 A[i] = t * t;
+             }",
+        )
+        .expect("compiles");
+        let f = &m.functions[0];
+        assert_eq!(f.name(), "k");
+        assert_eq!(f.params().len(), 3);
+        let text = lslp_ir::print_function(f);
+        assert!(text.contains("fmul"), "{text}");
+        assert!(text.contains("store f64"), "{text}");
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let err = compile("kernel k(f64* A, i64 i) {\n  A[i] = ;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("slc error"));
+    }
+}

@@ -1,0 +1,477 @@
+//! Type checking and lowering of SLC to IR.
+
+use std::collections::HashMap;
+
+use lslp_ir::{Function, InstAttr, Module, Opcode, ScalarType, Type, ValueId};
+
+use crate::ast::{BinOp, Expr, Kernel, Param, ParamType, Program, Stmt};
+use crate::CompileError;
+
+struct Lowerer {
+    f: Function,
+    arrays: HashMap<String, (ValueId, ScalarType)>,
+    scalars: HashMap<String, (ValueId, ScalarType)>,
+}
+
+fn err(pos: (usize, usize), message: impl Into<String>) -> CompileError {
+    CompileError::new(pos.0, pos.1, message)
+}
+
+impl Lowerer {
+    /// Bottom-up type inference; literals are `None` (they adapt).
+    fn infer(&self, e: &Expr) -> Result<Option<ScalarType>, CompileError> {
+        Ok(match e {
+            Expr::IntLit { .. } | Expr::FloatLit { .. } => None,
+            Expr::Var { name, pos } => Some(
+                self.scalars
+                    .get(name)
+                    .ok_or_else(|| err(*pos, format!("unknown variable `{name}`")))?
+                    .1,
+            ),
+            Expr::Index { array, pos, .. } => Some(
+                self.arrays
+                    .get(array)
+                    .ok_or_else(|| err(*pos, format!("unknown array `{array}`")))?
+                    .1,
+            ),
+            Expr::Neg { expr, .. } => self.infer(expr)?,
+            Expr::Cast { ty, .. } => Some(*ty),
+            Expr::Binary { lhs, rhs, .. } => match self.infer(lhs)? {
+                Some(t) => Some(t),
+                None => self.infer(rhs)?,
+            },
+        })
+    }
+
+    fn binop_opcode(op: BinOp, ty: ScalarType, pos: (usize, usize)) -> Result<Opcode, CompileError> {
+        let float = ty.is_float();
+        let oc = match (op, float) {
+            (BinOp::Add, false) => Opcode::Add,
+            (BinOp::Add, true) => Opcode::FAdd,
+            (BinOp::Sub, false) => Opcode::Sub,
+            (BinOp::Sub, true) => Opcode::FSub,
+            (BinOp::Mul, false) => Opcode::Mul,
+            (BinOp::Mul, true) => Opcode::FMul,
+            (BinOp::Div, false) => Opcode::SDiv,
+            (BinOp::Div, true) => Opcode::FDiv,
+            (BinOp::Rem, false) => Opcode::SRem,
+            (BinOp::And, false) => Opcode::And,
+            (BinOp::Or, false) => Opcode::Or,
+            (BinOp::Xor, false) => Opcode::Xor,
+            (BinOp::Shl, false) => Opcode::Shl,
+            (BinOp::Shr, false) => Opcode::AShr,
+            (BinOp::LShr, false) => Opcode::LShr,
+            (other, true) => {
+                return Err(err(pos, format!("operator {other:?} is not defined on {ty}")))
+            }
+        };
+        Ok(oc)
+    }
+
+    /// Lower `e`, coercing literals to `want`; non-literals must match.
+    fn lower_expr(&mut self, e: &Expr, want: ScalarType) -> Result<ValueId, CompileError> {
+        match e {
+            Expr::IntLit { value, pos } => {
+                if want.is_int() {
+                    Ok(self.f.const_int(want, *value))
+                } else if want.is_float() {
+                    Ok(self.f.const_float(want, *value as f64))
+                } else {
+                    Err(err(*pos, "integer literal in pointer context"))
+                }
+            }
+            Expr::FloatLit { value, pos } => {
+                if want.is_float() {
+                    Ok(self.f.const_float(want, *value))
+                } else {
+                    Err(err(*pos, format!("float literal where {want} expected")))
+                }
+            }
+            Expr::Var { name, pos } => {
+                let &(id, ty) = self
+                    .scalars
+                    .get(name)
+                    .ok_or_else(|| err(*pos, format!("unknown variable `{name}`")))?;
+                if ty != want {
+                    return Err(err(*pos, format!("`{name}` has type {ty}, expected {want}")));
+                }
+                Ok(id)
+            }
+            Expr::Index { array, index, pos } => {
+                let &(base, elem) = self
+                    .arrays
+                    .get(array)
+                    .ok_or_else(|| err(*pos, format!("unknown array `{array}`")))?;
+                if elem != want {
+                    return Err(err(
+                        *pos,
+                        format!("`{array}` has element type {elem}, expected {want}"),
+                    ));
+                }
+                let idx = self.lower_expr(index, ScalarType::I64)?;
+                let gep = self.f.push(
+                    Opcode::Gep,
+                    Type::PTR,
+                    vec![base, idx],
+                    InstAttr::ElemBytes(elem.bytes()),
+                );
+                Ok(self.f.push(Opcode::Load, Type::Scalar(elem), vec![gep], InstAttr::None))
+            }
+            Expr::Neg { expr, pos } => {
+                let v = self.lower_expr(expr, want)?;
+                let (zero, op) = if want.is_float() {
+                    (self.f.const_float(want, 0.0), Opcode::FSub)
+                } else if want.is_int() {
+                    (self.f.const_int(want, 0), Opcode::Sub)
+                } else {
+                    return Err(err(*pos, "cannot negate a pointer"));
+                };
+                Ok(self.f.push(op, Type::Scalar(want), vec![zero, v], InstAttr::None))
+            }
+            Expr::Cast { expr, ty, pos } => {
+                if *ty != want {
+                    return Err(err(*pos, format!("cast to {ty} where {want} expected")));
+                }
+                let Some(src) = self.infer(expr)? else {
+                    // A literal cast (`2 as f64`) lowers the literal
+                    // directly at the target type.
+                    return self.lower_expr(expr, want);
+                };
+                let v = self.lower_expr(expr, src)?;
+                if src == want {
+                    return Ok(v);
+                }
+                let op = match (src.is_int(), want.is_int()) {
+                    (true, true) if src.bits() < want.bits() => Opcode::Sext,
+                    (true, true) => Opcode::Trunc,
+                    (true, false) => Opcode::Sitofp,
+                    (false, true) => Opcode::Fptosi,
+                    (false, false) if src.bits() < want.bits() => Opcode::Fpext,
+                    (false, false) => Opcode::Fptrunc,
+                };
+                Ok(self.f.push(op, Type::Scalar(want), vec![v], InstAttr::None))
+            }
+            Expr::Binary { op, lhs, rhs, pos } => {
+                let oc = Self::binop_opcode(*op, want, *pos)?;
+                let l = self.lower_expr(lhs, want)?;
+                let r = self.lower_expr(rhs, want)?;
+                Ok(self.f.push(oc, Type::Scalar(want), vec![l, r], InstAttr::None))
+            }
+        }
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt) -> Result<(), CompileError> {
+        match s {
+            Stmt::For { var, start, end, body, pos } => {
+                if self.scalars.contains_key(var) || self.arrays.contains_key(var) {
+                    return Err(err(*pos, format!("`{var}` is already defined")));
+                }
+                for k in *start..*end {
+                    // Bind the loop variable to the iteration constant; the
+                    // body is fully unrolled (SLC has no runtime control
+                    // flow — this is how multi-lane kernels are written
+                    // compactly).
+                    let c = self.f.const_i64(k);
+                    self.scalars.insert(var.clone(), (c, ScalarType::I64));
+                    // Body-local `let`s are scoped per iteration.
+                    let saved: Vec<String> = self.scalars.keys().cloned().collect();
+                    for stmt in body {
+                        self.lower_stmt(stmt)?;
+                    }
+                    self.scalars.retain(|k2, _| saved.contains(k2));
+                    self.scalars.remove(var);
+                }
+                Ok(())
+            }
+            Stmt::Let { name, ty, expr, pos } => {
+                if self.scalars.contains_key(name) || self.arrays.contains_key(name) {
+                    return Err(err(*pos, format!("`{name}` is already defined")));
+                }
+                let want = match ty {
+                    Some(t) => *t,
+                    None => self.infer(expr)?.ok_or_else(|| {
+                        err(*pos, format!("cannot infer type of `{name}`; add `: ty`"))
+                    })?,
+                };
+                let v = self.lower_expr(expr, want)?;
+                // Name the value for readable IR dumps (constants excluded:
+                // they may be shared).
+                if self.f.is_inst(v) {
+                    self.f.set_value_name(v, name.clone());
+                }
+                self.scalars.insert(name.clone(), (v, want));
+                Ok(())
+            }
+            Stmt::Assign { array, index, value, pos } => {
+                let &(base, elem) = self
+                    .arrays
+                    .get(array)
+                    .ok_or_else(|| err(*pos, format!("unknown array `{array}`")))?;
+                let val = self.lower_expr(value, elem)?;
+                let idx = self.lower_expr(index, ScalarType::I64)?;
+                let gep = self.f.push(
+                    Opcode::Gep,
+                    Type::PTR,
+                    vec![base, idx],
+                    InstAttr::ElemBytes(elem.bytes()),
+                );
+                self.f.push(Opcode::Store, Type::Void, vec![val, gep], InstAttr::None);
+                Ok(())
+            }
+        }
+    }
+}
+
+fn lower_kernel(k: &Kernel) -> Result<Function, CompileError> {
+    let mut lw = Lowerer {
+        f: Function::new(k.name.clone()),
+        arrays: HashMap::new(),
+        scalars: HashMap::new(),
+    };
+    for Param { name, ty } in &k.params {
+        if lw.scalars.contains_key(name) || lw.arrays.contains_key(name) {
+            return Err(CompileError::new(1, 1, format!("parameter `{name}` is duplicated")));
+        }
+        match ty {
+            ParamType::Pointer(elem) => {
+                let id = lw.f.add_param(name.clone(), Type::PTR);
+                lw.arrays.insert(name.clone(), (id, *elem));
+            }
+            ParamType::Scalar(t) => {
+                let id = lw.f.add_param(name.clone(), Type::Scalar(*t));
+                lw.scalars.insert(name.clone(), (id, *t));
+            }
+        }
+    }
+    for s in &k.body {
+        lw.lower_stmt(s)?;
+    }
+    Ok(lw.f)
+}
+
+/// Lower a parsed program to an IR module.
+pub fn lower_program(p: &Program) -> Result<Module, CompileError> {
+    let mut m = Module::new();
+    for k in &p.kernels {
+        if m.function(&k.name).is_some() {
+            return Err(CompileError::new(1, 1, format!("kernel `{}` is duplicated", k.name)));
+        }
+        m.functions.push(lower_kernel(k)?);
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn compile_ok(src: &str) -> Module {
+        let m = lower_program(&parse(src).unwrap()).unwrap();
+        lslp_ir::verify_module(&m).unwrap();
+        m
+    }
+
+    fn compile_err(src: &str) -> CompileError {
+        match parse(src) {
+            Err(e) => e,
+            Ok(p) => lower_program(&p).unwrap_err(),
+        }
+    }
+
+    #[test]
+    fn lowers_motivation_loads_shape() {
+        let m = compile_ok(
+            "kernel m(i64* A, i64* B, i64* C, i64 i) {
+                 A[i+0] = (B[i+0] << 1) & (C[i+0] << 2);
+                 A[i+1] = (C[i+1] << 3) & (B[i+1] << 4);
+             }",
+        );
+        let text = lslp_ir::print_function(&m.functions[0]);
+        assert_eq!(text.matches("shl i64").count(), 4, "{text}");
+        assert_eq!(text.matches("and i64").count(), 2, "{text}");
+        assert_eq!(text.matches("store i64").count(), 2, "{text}");
+        assert_eq!(text.matches("load i64").count(), 4, "{text}");
+    }
+
+    #[test]
+    fn int_literals_adapt_to_float_context() {
+        let m = compile_ok("kernel k(f64* A, i64 i) { A[i] = A[i] + 2; }");
+        let text = lslp_ir::print_function(&m.functions[0]);
+        assert!(text.contains("fadd f64"), "{text}");
+        assert!(text.contains("2.0"), "{text}");
+    }
+
+    #[test]
+    fn let_bindings_are_named_and_typed() {
+        let m = compile_ok(
+            "kernel k(f64* A, i64 i) {
+                 let sq = A[i] * A[i];
+                 A[i] = sq + sq;
+             }",
+        );
+        let text = lslp_ir::print_function(&m.functions[0]);
+        assert!(text.contains("%sq = fmul f64"), "{text}");
+    }
+
+    #[test]
+    fn unary_negation_lowers_to_sub_from_zero() {
+        let m = compile_ok("kernel k(f64* A, i64 i) { A[i] = -A[i]; }");
+        let text = lslp_ir::print_function(&m.functions[0]);
+        assert!(text.contains("fsub f64 0.0"), "{text}");
+        let m = compile_ok("kernel k(i64* A, i64 i) { A[i] = -A[i]; }");
+        let text = lslp_ir::print_function(&m.functions[0]);
+        assert!(text.contains("sub i64 0"), "{text}");
+    }
+
+    #[test]
+    fn shift_variants_lower_distinctly() {
+        let m = compile_ok(
+            "kernel k(i64* A, i64 i) { A[i] = (A[i] << 1) + (A[i] >> 2) + (A[i] >>> 3); }",
+        );
+        let text = lslp_ir::print_function(&m.functions[0]);
+        assert!(text.contains("shl i64"), "{text}");
+        assert!(text.contains("ashr i64"), "{text}");
+        assert!(text.contains("lshr i64"), "{text}");
+    }
+
+    #[test]
+    fn type_errors_are_reported() {
+        let e = compile_err("kernel k(f64* A, i64 i) { A[i] = A[i] & 1; }");
+        assert!(e.message.contains("not defined on f64"), "{e}");
+        let e = compile_err("kernel k(i64* A, i64 i) { A[i] = 1.5; }");
+        assert!(e.message.contains("float literal"), "{e}");
+        let e = compile_err("kernel k(f64* A, f32* B, i64 i) { A[i] = B[i]; }");
+        assert!(e.message.contains("element type f32"), "{e}");
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let e = compile_err("kernel k(i64* A, i64 i) { A[i] = nope; }");
+        assert!(e.message.contains("unknown variable"), "{e}");
+        let e = compile_err("kernel k(i64* A, i64 i) { B[i] = 1; }");
+        assert!(e.message.contains("unknown array"), "{e}");
+    }
+
+    #[test]
+    fn inference_failure_requests_annotation() {
+        let e = compile_err("kernel k(i64* A) { let x = 1 + 2; A[0] = x; }");
+        assert!(e.message.contains("cannot infer"), "{e}");
+    }
+
+    #[test]
+    fn redefinitions_are_rejected() {
+        let e = compile_err("kernel k(i64* A, i64 i) { let i: i64 = 1; A[0] = i; }");
+        assert!(e.message.contains("already defined"), "{e}");
+        let e = compile_err("kernel a(i64* A) { } kernel a(i64* B) { }");
+        assert!(e.message.contains("duplicated"), "{e}");
+    }
+
+    #[test]
+    fn index_expressions_can_be_nonlinear() {
+        let m = compile_ok("kernel k(i64* A, i64 i) { A[i*i] = 1; }");
+        let text = lslp_ir::print_function(&m.functions[0]);
+        assert!(text.contains("mul i64 %i, %i"), "{text}");
+    }
+}
+#[cfg(test)]
+mod for_tests {
+    use crate::parse;
+    use super::lower_program;
+
+    #[test]
+    fn for_loops_unroll_at_compile_time() {
+        let m = lower_program(
+            &parse(
+                "kernel k(f64* A, f64* B, i64 i) {
+                     for o in 0..4 {
+                         A[i+o] = B[i+o] * 2.0;
+                     }
+                 }",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lslp_ir::verify_module(&m).unwrap();
+        let text = lslp_ir::print_function(&m.functions[0]);
+        assert_eq!(text.matches("store f64").count(), 4, "{text}");
+        assert_eq!(text.matches("fmul").count(), 4, "{text}");
+    }
+
+    #[test]
+    fn loop_variable_folds_into_indices() {
+        // `i + o` with o = 2 lowers to an add with the constant 2.
+        let m = lower_program(
+            &parse("kernel k(i64* A, i64 i) { for o in 2..3 { A[i+o] = o; } }").unwrap(),
+        )
+        .unwrap();
+        let text = lslp_ir::print_function(&m.functions[0]);
+        assert!(text.contains("add i64 %i, 2"), "{text}");
+        assert!(text.contains("store i64 2"), "{text}");
+    }
+
+    #[test]
+    fn nested_loops_and_scoped_lets() {
+        let m = lower_program(
+            &parse(
+                "kernel k(f64* A, f64* X, i64 i) {
+                     for r in 0..2 {
+                         for c in 0..2 {
+                             let v = X[4*i + 2*r + c];
+                             A[4*i + 2*r + c] = v * v;
+                         }
+                     }
+                 }",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        lslp_ir::verify_module(&m).unwrap();
+        let text = lslp_ir::print_function(&m.functions[0]);
+        assert_eq!(text.matches("store f64").count(), 4, "{text}");
+    }
+
+    #[test]
+    fn loop_variable_leaves_scope() {
+        let e = lower_program(
+            &parse("kernel k(i64* A) { for o in 0..2 { A[o] = o; } A[9] = o; }").unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.message.contains("unknown variable"), "{e}");
+    }
+
+    #[test]
+    fn shadowing_the_index_is_rejected() {
+        let e = lower_program(
+            &parse("kernel k(i64* A, i64 i) { for i in 0..2 { A[i] = 1; } }").unwrap(),
+        )
+        .unwrap_err();
+        assert!(e.message.contains("already defined"), "{e}");
+    }
+
+    #[test]
+    fn giant_ranges_are_rejected_at_parse_time() {
+        let e = parse("kernel k(i64* A) { for o in 0..5000 { A[o] = 1; } }").unwrap_err();
+        assert!(e.message.contains("1024"), "{e}");
+    }
+
+    #[test]
+    fn for_kernels_vectorize_like_manual_ones() {
+        // The unrolled loop is indistinguishable from hand-written lanes.
+        let m = lower_program(
+            &parse(
+                "kernel k(f64* A, f64* B, f64* C, i64 i) {
+                     for o in 0..4 {
+                         A[i+o] = B[i+o] + C[i+o];
+                     }
+                 }",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        // Just the lowering is checked here; the vectorizer integration is
+        // covered by tests/pipeline.rs. Per lane: 3 index adds, 3 geps,
+        // 2 loads, 1 fadd, 1 store = 10 instructions.
+        assert_eq!(m.functions[0].body_len(), 4 * 10);
+    }
+}

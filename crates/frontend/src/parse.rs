@@ -1,0 +1,406 @@
+//! The SLC recursive-descent parser (C operator precedence).
+
+use lslp_ir::ScalarType;
+
+use crate::ast::{BinOp, Expr, Kernel, Param, ParamType, Program, Stmt};
+use crate::lex::{tokenize, TokKind, Token};
+use crate::CompileError;
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.toks[self.pos]
+    }
+
+    fn at(&self, kind: &TokKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> CompileError {
+        let t = self.peek();
+        CompileError::new(t.line, t.col, message)
+    }
+
+    fn expect(&mut self, kind: TokKind) -> Result<Token, CompileError> {
+        if self.at(&kind) {
+            Ok(self.advance())
+        } else {
+            Err(self.err_here(format!("expected {kind}, found {}", self.peek().kind)))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, usize, usize), CompileError> {
+        match self.peek().kind.clone() {
+            TokKind::Ident(s) => {
+                let t = self.advance();
+                Ok((s, t.line, t.col))
+            }
+            other => Err(self.err_here(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn scalar_type(&mut self) -> Result<ScalarType, CompileError> {
+        let (name, line, col) = self.expect_ident()?;
+        ScalarType::from_name(&name)
+            .filter(|t| !t.is_ptr())
+            .ok_or_else(|| CompileError::new(line, col, format!("unknown type `{name}`")))
+    }
+
+    fn param(&mut self) -> Result<Param, CompileError> {
+        let base = self.scalar_type()?;
+        let ty = if self.at(&TokKind::Star) {
+            self.advance();
+            ParamType::Pointer(base)
+        } else {
+            ParamType::Scalar(base)
+        };
+        let (name, ..) = self.expect_ident()?;
+        Ok(Param { name, ty })
+    }
+
+    // C precedence (low → high): | , ^ , & , << >> >>> , + - , * / %
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.bin_or()
+    }
+
+    fn binary_level<F>(
+        &mut self,
+        next: F,
+        ops: &[(TokKind, BinOp)],
+    ) -> Result<Expr, CompileError>
+    where
+        F: Fn(&mut Self) -> Result<Expr, CompileError>,
+    {
+        let mut lhs = next(self)?;
+        'outer: loop {
+            for (kind, op) in ops {
+                if self.at(kind) {
+                    let t = self.advance();
+                    let rhs = next(self)?;
+                    lhs = Expr::Binary {
+                        op: *op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                        pos: (t.line, t.col),
+                    };
+                    continue 'outer;
+                }
+            }
+            return Ok(lhs);
+        }
+    }
+
+    fn bin_or(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(Self::bin_xor, &[(TokKind::Pipe, BinOp::Or)])
+    }
+
+    fn bin_xor(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(Self::bin_and, &[(TokKind::Caret, BinOp::Xor)])
+    }
+
+    fn bin_and(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(Self::bin_shift, &[(TokKind::Amp, BinOp::And)])
+    }
+
+    fn bin_shift(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            Self::bin_add,
+            &[
+                (TokKind::Shl, BinOp::Shl),
+                (TokKind::LShr, BinOp::LShr),
+                (TokKind::Shr, BinOp::Shr),
+            ],
+        )
+    }
+
+    fn bin_add(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            Self::bin_mul,
+            &[(TokKind::Plus, BinOp::Add), (TokKind::Minus, BinOp::Sub)],
+        )
+    }
+
+    fn bin_mul(&mut self) -> Result<Expr, CompileError> {
+        self.binary_level(
+            Self::unary,
+            &[
+                (TokKind::Star, BinOp::Mul),
+                (TokKind::Slash, BinOp::Div),
+                (TokKind::Percent, BinOp::Rem),
+            ],
+        )
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        if self.at(&TokKind::Minus) {
+            let t = self.advance();
+            let expr = self.unary()?;
+            return Ok(Expr::Neg { expr: Box::new(expr), pos: (t.line, t.col) });
+        }
+        let mut e = self.primary()?;
+        // Postfix casts: `expr as ty` (left-associative, binds tighter than
+        // binary operators, as in Rust).
+        while let TokKind::Ident(kw) = &self.peek().kind {
+            if kw != "as" {
+                break;
+            }
+            let t = self.advance();
+            let ty = self.scalar_type()?;
+            e = Expr::Cast { expr: Box::new(e), ty, pos: (t.line, t.col) };
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let t = self.peek().clone();
+        match t.kind {
+            TokKind::Int(v) => {
+                self.advance();
+                Ok(Expr::IntLit { value: v, pos: (t.line, t.col) })
+            }
+            TokKind::Float(v) => {
+                self.advance();
+                Ok(Expr::FloatLit { value: v, pos: (t.line, t.col) })
+            }
+            TokKind::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(TokKind::RParen)?;
+                Ok(e)
+            }
+            TokKind::Ident(name) => {
+                self.advance();
+                if self.at(&TokKind::LBracket) {
+                    self.advance();
+                    let index = self.expr()?;
+                    self.expect(TokKind::RBracket)?;
+                    Ok(Expr::Index {
+                        array: name,
+                        index: Box::new(index),
+                        pos: (t.line, t.col),
+                    })
+                } else {
+                    Ok(Expr::Var { name, pos: (t.line, t.col) })
+                }
+            }
+            other => Err(self.err_here(format!("expected expression, found {other}"))),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<i64, CompileError> {
+        match self.peek().kind.clone() {
+            TokKind::Int(v) => {
+                self.advance();
+                Ok(v)
+            }
+            other => Err(self.err_here(format!("expected integer, found {other}"))),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let t = self.peek().clone();
+        if let TokKind::Ident(name) = &t.kind {
+            if name == "for" {
+                self.advance();
+                let (var, ..) = self.expect_ident()?;
+                let (kw, line, col) = self.expect_ident()?;
+                if kw != "in" {
+                    return Err(CompileError::new(line, col, format!("expected `in`, found `{kw}`")));
+                }
+                let start = self.expect_int()?;
+                self.expect(TokKind::DotDot)?;
+                let end = self.expect_int()?;
+                if end < start {
+                    return Err(CompileError::new(
+                        t.line,
+                        t.col,
+                        format!("empty-or-negative range {start}..{end}"),
+                    ));
+                }
+                if end - start > 1024 {
+                    return Err(CompileError::new(
+                        t.line,
+                        t.col,
+                        "loop unrolls to more than 1024 iterations",
+                    ));
+                }
+                self.expect(TokKind::LBrace)?;
+                let mut body = Vec::new();
+                while !self.at(&TokKind::RBrace) {
+                    body.push(self.stmt()?);
+                }
+                self.expect(TokKind::RBrace)?;
+                return Ok(Stmt::For { var, start, end, body, pos: (t.line, t.col) });
+            }
+            if name == "let" {
+                self.advance();
+                let (bind, line, col) = self.expect_ident()?;
+                let ty = if self.at(&TokKind::Colon) {
+                    self.advance();
+                    Some(self.scalar_type()?)
+                } else {
+                    None
+                };
+                self.expect(TokKind::Equals)?;
+                let expr = self.expr()?;
+                self.expect(TokKind::Semi)?;
+                return Ok(Stmt::Let { name: bind, ty, expr, pos: (line, col) });
+            }
+            // array[index] = value;
+            let array = name.clone();
+            self.advance();
+            self.expect(TokKind::LBracket)?;
+            let index = self.expr()?;
+            self.expect(TokKind::RBracket)?;
+            self.expect(TokKind::Equals)?;
+            let value = self.expr()?;
+            self.expect(TokKind::Semi)?;
+            return Ok(Stmt::Assign { array, index, value, pos: (t.line, t.col) });
+        }
+        Err(self.err_here(format!("expected statement, found {}", t.kind)))
+    }
+
+    fn kernel(&mut self) -> Result<Kernel, CompileError> {
+        let (kw, line, col) = self.expect_ident()?;
+        if kw != "kernel" {
+            return Err(CompileError::new(line, col, format!("expected `kernel`, found `{kw}`")));
+        }
+        let (name, ..) = self.expect_ident()?;
+        self.expect(TokKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.at(&TokKind::RParen) {
+            loop {
+                params.push(self.param()?);
+                if self.at(&TokKind::Comma) {
+                    self.advance();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(TokKind::RParen)?;
+        self.expect(TokKind::LBrace)?;
+        let mut body = Vec::new();
+        while !self.at(&TokKind::RBrace) {
+            body.push(self.stmt()?);
+        }
+        self.expect(TokKind::RBrace)?;
+        Ok(Kernel { name, params, body })
+    }
+}
+
+/// Parse a whole SLC source file.
+pub fn parse_program(src: &str) -> Result<Program, CompileError> {
+    let toks = tokenize(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut program = Program::default();
+    while !p.at(&TokKind::Eof) {
+        program.kernels.push(p.kernel()?);
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_motivation_loads() {
+        let p = parse_program(
+            "kernel m(i64* A, i64* B, i64* C, i64 i) {
+                 A[i+0] = (B[i+0] << 1) & (C[i+0] << 2);
+                 A[i+1] = (C[i+1] << 3) & (B[i+1] << 4);
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.kernels.len(), 1);
+        let k = &p.kernels[0];
+        assert_eq!(k.params.len(), 4);
+        assert_eq!(k.params[0].ty, ParamType::Pointer(ScalarType::I64));
+        assert_eq!(k.params[3].ty, ParamType::Scalar(ScalarType::I64));
+        assert_eq!(k.body.len(), 2);
+    }
+
+    #[test]
+    fn precedence_matches_c() {
+        // a + b * c  →  a + (b * c)
+        let p = parse_program("kernel k(i64* A, i64 a, i64 b, i64 c) { A[0] = a + b * c; }")
+            .unwrap();
+        let Stmt::Assign { value, .. } = &p.kernels[0].body[0] else { panic!() };
+        let Expr::Binary { op: BinOp::Add, rhs, .. } = value else {
+            panic!("expected top-level add, got {value:?}")
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+        // a & b + c  →  a & (b + c)
+        let p = parse_program("kernel k(i64* A, i64 a, i64 b, i64 c) { A[0] = a & b + c; }")
+            .unwrap();
+        let Stmt::Assign { value, .. } = &p.kernels[0].body[0] else { panic!() };
+        assert!(matches!(value, Expr::Binary { op: BinOp::And, .. }));
+    }
+
+    #[test]
+    fn unary_minus_binds_tight() {
+        let p = parse_program("kernel k(f64* A, f64 x) { A[0] = -x * x; }").unwrap();
+        let Stmt::Assign { value, .. } = &p.kernels[0].body[0] else { panic!() };
+        let Expr::Binary { op: BinOp::Mul, lhs, .. } = value else { panic!() };
+        assert!(matches!(**lhs, Expr::Neg { .. }));
+    }
+
+    #[test]
+    fn let_with_and_without_annotation() {
+        let p = parse_program(
+            "kernel k(f64* A, i64 i) {
+                 let a: f64 = A[i];
+                 let b = a * a;
+                 A[i] = b;
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.kernels[0].body.len(), 3);
+        let Stmt::Let { ty, .. } = &p.kernels[0].body[0] else { panic!() };
+        assert_eq!(*ty, Some(ScalarType::F64));
+        let Stmt::Let { ty, .. } = &p.kernels[0].body[1] else { panic!() };
+        assert_eq!(*ty, None);
+    }
+
+    #[test]
+    fn multiple_kernels() {
+        let p = parse_program(
+            "kernel a(i64* A) { A[0] = 1; }
+             kernel b(i64* B) { B[0] = 2; }",
+        )
+        .unwrap();
+        assert_eq!(p.kernels.len(), 2);
+    }
+
+    #[test]
+    fn error_positions_are_exact() {
+        let err = parse_program("kernel k(i64* A) {\n    A[0] = 1 +;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 15);
+    }
+
+    #[test]
+    fn rejects_missing_semicolon() {
+        let err = parse_program("kernel k(i64* A) { A[0] = 1 }").unwrap_err();
+        assert!(err.message.contains("expected `;`"), "{err}");
+    }
+
+    #[test]
+    fn rejects_pointer_locals() {
+        let err = parse_program("kernel k(ptr* A) { }").unwrap_err();
+        assert!(err.message.contains("unknown type"), "{err}");
+    }
+}

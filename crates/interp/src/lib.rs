@@ -1,0 +1,37 @@
+//! # lslp-interp
+//!
+//! An interpreter and performance simulator for [`lslp_ir`] functions.
+//!
+//! The interpreter serves two roles in the LSLP reproduction:
+//!
+//! * **correctness oracle** — vectorized code must compute exactly the same
+//!   memory state as the scalar original (bit-exact for integers, within
+//!   tolerance for reassociated fast-math floats); the property-based test
+//!   suite leans on this heavily;
+//! * **performance simulator** — the paper measures wall-clock speedups on
+//!   a Skylake machine; we substitute a cost-weighted dynamic instruction
+//!   count (each executed instruction contributes its TTI cost from
+//!   [`lslp_target::CostModel`]), which preserves the *shape* of the
+//!   speedup results (who wins and by roughly how much).
+//!
+//! ```
+//! use lslp_interp::{Memory, run_function, Value};
+//! use lslp_frontend::compile;
+//!
+//! let m = compile("kernel inc(i64* A, i64 i) { A[i] = A[i] + 1; }").unwrap();
+//! let mut mem = Memory::new();
+//! let a = mem.alloc_i64("A", &[41, 0]);
+//! let stats = run_function(&m.functions[0], &[a, Value::Int(0)], &mut mem).unwrap();
+//! assert_eq!(mem.read_i64("A", 0).unwrap(), 42);
+//! assert!(stats.insts > 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod exec;
+mod memory;
+pub mod perf;
+
+pub use exec::{run_function, run_function_traced, ExecError, ExecStats};
+pub use memory::{Memory, Value};
+pub use perf::{measure_cycles, PerfResult};

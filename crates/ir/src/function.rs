@@ -1,0 +1,442 @@
+//! Functions, modules, and use-def bookkeeping.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::inst::{Inst, InstAttr, Opcode};
+use crate::types::Type;
+use crate::value::{Constant, ValueId};
+
+/// The payload stored for each [`ValueId`] of a function.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ValueData {
+    /// A function parameter.
+    Arg {
+        /// Zero-based parameter position.
+        index: u32,
+        /// The parameter type.
+        ty: Type,
+    },
+    /// An interned constant.
+    Const(Constant),
+    /// An instruction; only instructions appear in the body.
+    Inst(Inst),
+}
+
+/// One use of a value: which instruction uses it and at which operand slot.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Use {
+    /// The using instruction.
+    pub user: ValueId,
+    /// The operand index within the user's argument list.
+    pub index: usize,
+}
+
+/// A map from values to their uses within a function body, in body order.
+///
+/// Snapshot semantics: the map reflects the function at the time
+/// [`Function::use_map`] was called and is not updated by later mutation.
+#[derive(Clone, Debug, Default)]
+pub struct UseMap {
+    map: HashMap<ValueId, Vec<Use>>,
+}
+
+impl UseMap {
+    /// All uses of `v`, in body order. Empty when unused.
+    pub fn uses(&self, v: ValueId) -> &[Use] {
+        self.map.get(&v).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of uses of `v`.
+    pub fn num_uses(&self, v: ValueId) -> usize {
+        self.uses(v).len()
+    }
+}
+
+/// A straight-line function: parameters, interned constants, and a single
+/// ordered list of instructions (the *body*).
+///
+/// All values live in one arena indexed by [`ValueId`]. Instructions removed
+/// from the body stay in the arena as orphans; only body membership defines
+/// program semantics.
+#[derive(Clone, Debug)]
+pub struct Function {
+    name: String,
+    values: Vec<ValueData>,
+    names: Vec<Option<String>>,
+    params: Vec<ValueId>,
+    body: Vec<ValueId>,
+    const_map: HashMap<Constant, ValueId>,
+}
+
+impl Function {
+    /// Create an empty function.
+    pub fn new(name: impl Into<String>) -> Function {
+        Function {
+            name: name.into(),
+            values: Vec::new(),
+            names: Vec::new(),
+            params: Vec::new(),
+            body: Vec::new(),
+            const_map: HashMap::new(),
+        }
+    }
+
+    /// The function name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn alloc(&mut self, data: ValueData, name: Option<String>) -> ValueId {
+        let id = ValueId::from_raw(self.values.len() as u32);
+        self.values.push(data);
+        self.names.push(name);
+        id
+    }
+
+    /// Append a parameter of the given type; returns its value handle.
+    pub fn add_param(&mut self, name: impl Into<String>, ty: Type) -> ValueId {
+        let index = self.params.len() as u32;
+        let id = self.alloc(ValueData::Arg { index, ty }, Some(name.into()));
+        self.params.push(id);
+        id
+    }
+
+    /// The parameter values, in declaration order.
+    pub fn params(&self) -> &[ValueId] {
+        &self.params
+    }
+
+    /// Intern a constant, returning a stable handle (equal constants share
+    /// one handle, so handle equality is constant equality).
+    pub fn constant(&mut self, c: Constant) -> ValueId {
+        if let Some(&id) = self.const_map.get(&c) {
+            return id;
+        }
+        let id = self.alloc(ValueData::Const(c.clone()), None);
+        self.const_map.insert(c, id);
+        id
+    }
+
+    /// Intern an integer constant of scalar type `ty`.
+    pub fn const_int(&mut self, ty: crate::ScalarType, v: i64) -> ValueId {
+        self.constant(Constant::int(ty, v))
+    }
+
+    /// Intern an `i64` constant.
+    pub fn const_i64(&mut self, v: i64) -> ValueId {
+        self.const_int(crate::ScalarType::I64, v)
+    }
+
+    /// Intern a float constant of scalar type `ty`.
+    pub fn const_float(&mut self, ty: crate::ScalarType, v: f64) -> ValueId {
+        self.constant(Constant::float(ty, v))
+    }
+
+    /// Append an instruction to the body; returns its value handle.
+    pub fn push(&mut self, op: Opcode, ty: Type, args: Vec<ValueId>, attr: InstAttr) -> ValueId {
+        let id = self.alloc(ValueData::Inst(Inst::new(op, ty, args, attr)), None);
+        self.body.push(id);
+        id
+    }
+
+    /// Insert an instruction at body position `at` (shifting later ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > body_len()`.
+    pub fn insert(
+        &mut self,
+        at: usize,
+        op: Opcode,
+        ty: Type,
+        args: Vec<ValueId>,
+        attr: InstAttr,
+    ) -> ValueId {
+        assert!(at <= self.body.len(), "insert position out of range");
+        let id = self.alloc(ValueData::Inst(Inst::new(op, ty, args, attr)), None);
+        self.body.insert(at, id);
+        id
+    }
+
+    /// Attach a debug name to a value (shown by the printer).
+    pub fn set_value_name(&mut self, v: ValueId, name: impl Into<String>) {
+        self.names[v.index()] = Some(name.into());
+    }
+
+    /// The debug name of a value, if any.
+    pub fn value_name(&self, v: ValueId) -> Option<&str> {
+        self.names[v.index()].as_deref()
+    }
+
+    /// The payload of a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` does not belong to this function.
+    pub fn value(&self, v: ValueId) -> &ValueData {
+        &self.values[v.index()]
+    }
+
+    /// The instruction record, if `v` is an instruction.
+    pub fn inst(&self, v: ValueId) -> Option<&Inst> {
+        match self.value(v) {
+            ValueData::Inst(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to an instruction record.
+    pub fn inst_mut(&mut self, v: ValueId) -> Option<&mut Inst> {
+        match &mut self.values[v.index()] {
+            ValueData::Inst(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The constant, if `v` is a constant.
+    pub fn as_const(&self, v: ValueId) -> Option<&Constant> {
+        match self.value(v) {
+            ValueData::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Whether `v` is an instruction.
+    pub fn is_inst(&self, v: ValueId) -> bool {
+        matches!(self.value(v), ValueData::Inst(_))
+    }
+
+    /// Whether `v` is a constant.
+    pub fn is_const(&self, v: ValueId) -> bool {
+        matches!(self.value(v), ValueData::Const(_))
+    }
+
+    /// Whether `v` is a parameter.
+    pub fn is_arg(&self, v: ValueId) -> bool {
+        matches!(self.value(v), ValueData::Arg { .. })
+    }
+
+    /// The opcode, if `v` is an instruction.
+    pub fn opcode(&self, v: ValueId) -> Option<Opcode> {
+        self.inst(v).map(|i| i.op)
+    }
+
+    /// The operands of `v` (empty for non-instructions).
+    pub fn args_of(&self, v: ValueId) -> &[ValueId] {
+        self.inst(v).map_or(&[], |i| i.args.as_slice())
+    }
+
+    /// The type of any value.
+    pub fn ty(&self, v: ValueId) -> Type {
+        match self.value(v) {
+            ValueData::Arg { ty, .. } => *ty,
+            ValueData::Const(c) => c.ty(),
+            ValueData::Inst(i) => i.ty,
+        }
+    }
+
+    /// The instruction body, in execution order.
+    pub fn body(&self) -> &[ValueId] {
+        &self.body
+    }
+
+    /// Number of instructions in the body.
+    pub fn body_len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Total number of allocated values (including orphans and constants).
+    pub fn num_values(&self) -> usize {
+        self.values.len()
+    }
+
+    /// A map from each body instruction to its current position.
+    pub fn position_map(&self) -> HashMap<ValueId, usize> {
+        self.body
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i))
+            .collect()
+    }
+
+    /// Compute the current use map of the body.
+    pub fn use_map(&self) -> UseMap {
+        let mut map: HashMap<ValueId, Vec<Use>> = HashMap::new();
+        for &user in &self.body {
+            if let ValueData::Inst(inst) = self.value(user) {
+                for (index, &arg) in inst.args.iter().enumerate() {
+                    map.entry(arg).or_default().push(Use { user, index });
+                }
+            }
+        }
+        UseMap { map }
+    }
+
+    /// Replace every body use of `old` with `new`.
+    pub fn replace_uses(&mut self, old: ValueId, new: ValueId) {
+        let body = self.body.clone();
+        for user in body {
+            if let ValueData::Inst(inst) = &mut self.values[user.index()] {
+                for arg in &mut inst.args {
+                    if *arg == old {
+                        *arg = new;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Remove the given instructions from the body (they become orphans).
+    pub fn remove_from_body(&mut self, dead: &HashSet<ValueId>) {
+        self.body.retain(|v| !dead.contains(v));
+    }
+
+    /// Replace the body with a new instruction order.
+    ///
+    /// Used by vector code generation to interleave newly created
+    /// instructions at their proper positions. Instructions left out of
+    /// `new_order` become orphans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_order` contains duplicates or non-instructions.
+    pub fn rebuild_body(&mut self, new_order: Vec<ValueId>) {
+        let mut seen = HashSet::with_capacity(new_order.len());
+        for &v in &new_order {
+            assert!(self.is_inst(v), "rebuild_body: {v} is not an instruction");
+            assert!(seen.insert(v), "rebuild_body: {v} appears twice");
+        }
+        self.body = new_order;
+    }
+
+    /// Iterate over `(position, id, inst)` for the body.
+    pub fn iter_body(&self) -> impl Iterator<Item = (usize, ValueId, &Inst)> + '_ {
+        self.body.iter().enumerate().map(move |(i, &v)| {
+            let ValueData::Inst(inst) = self.value(v) else {
+                unreachable!("body contains only instructions");
+            };
+            (i, v, inst)
+        })
+    }
+}
+
+/// A set of functions compiled together.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// The functions, in definition order.
+    pub functions: Vec<Function>,
+}
+
+impl Module {
+    /// An empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Find a function by name.
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name() == name)
+    }
+
+    /// Find a function by name, mutably.
+    pub fn function_mut(&mut self, name: &str) -> Option<&mut Function> {
+        self.functions.iter_mut().find(|f| f.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ScalarType, Type};
+
+    fn sample() -> (Function, ValueId, ValueId) {
+        let mut f = Function::new("t");
+        let a = f.add_param("a", Type::I64);
+        let one = f.const_i64(1);
+        let add = f.push(Opcode::Add, Type::I64, vec![a, one], InstAttr::None);
+        let mul = f.push(Opcode::Mul, Type::I64, vec![add, add], InstAttr::None);
+        (f, add, mul)
+    }
+
+    #[test]
+    fn constants_are_interned() {
+        let mut f = Function::new("t");
+        let c1 = f.const_i64(7);
+        let c2 = f.const_i64(7);
+        let c3 = f.const_i64(8);
+        assert_eq!(c1, c2);
+        assert_ne!(c1, c3);
+        let cf1 = f.const_float(ScalarType::F64, 0.5);
+        let cf2 = f.const_float(ScalarType::F64, 0.5);
+        assert_eq!(cf1, cf2);
+    }
+
+    #[test]
+    fn body_and_positions() {
+        let (f, add, mul) = sample();
+        assert_eq!(f.body_len(), 2);
+        let pos = f.position_map();
+        assert_eq!(pos[&add], 0);
+        assert_eq!(pos[&mul], 1);
+    }
+
+    #[test]
+    fn use_map_counts() {
+        let (f, add, mul) = sample();
+        let um = f.use_map();
+        assert_eq!(um.num_uses(add), 2);
+        assert_eq!(um.uses(add)[0].user, mul);
+        assert_eq!(um.uses(add)[0].index, 0);
+        assert_eq!(um.uses(add)[1].index, 1);
+        assert_eq!(um.num_uses(mul), 0);
+    }
+
+    #[test]
+    fn replace_uses_rewrites_operands() {
+        let (mut f, add, mul) = sample();
+        let zero = f.const_i64(0);
+        f.replace_uses(add, zero);
+        assert_eq!(f.args_of(mul), &[zero, zero]);
+    }
+
+    #[test]
+    fn remove_from_body_orphans_instructions() {
+        let (mut f, add, _mul) = sample();
+        let mut dead = HashSet::new();
+        dead.insert(add);
+        f.remove_from_body(&dead);
+        assert_eq!(f.body_len(), 1);
+        // Orphan is still queryable.
+        assert_eq!(f.opcode(add), Some(Opcode::Add));
+    }
+
+    #[test]
+    fn insert_shifts_positions() {
+        let (mut f, add, _) = sample();
+        let c = f.const_i64(3);
+        let early = f.insert(0, Opcode::Add, Type::I64, vec![c, c], InstAttr::None);
+        let pos = f.position_map();
+        assert_eq!(pos[&early], 0);
+        assert_eq!(pos[&add], 1);
+    }
+
+    #[test]
+    fn value_names() {
+        let (mut f, add, _) = sample();
+        assert_eq!(f.value_name(add), None);
+        f.set_value_name(add, "sum");
+        assert_eq!(f.value_name(add), Some("sum"));
+        assert_eq!(f.value_name(f.params()[0]), Some("a"));
+    }
+
+    #[test]
+    fn module_lookup() {
+        let mut m = Module::new();
+        m.functions.push(Function::new("a"));
+        m.functions.push(Function::new("b"));
+        assert!(m.function("a").is_some());
+        assert!(m.function("c").is_none());
+        m.function_mut("b").unwrap().add_param("x", Type::I64);
+        assert_eq!(m.function("b").unwrap().params().len(), 1);
+    }
+}

@@ -1,0 +1,267 @@
+//! Scalar and vector types.
+
+use std::fmt;
+
+/// An element type: the machine-level scalar kinds the IR computes on.
+///
+/// `Ptr` is an opaque pointer (no pointee type), 8 bytes wide, matching the
+/// flat byte-addressed memory model of the interpreter.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum ScalarType {
+    /// 8-bit integer.
+    I8,
+    /// 16-bit integer.
+    I16,
+    /// 32-bit integer.
+    I32,
+    /// 64-bit integer.
+    I64,
+    /// 32-bit IEEE-754 float.
+    F32,
+    /// 64-bit IEEE-754 float.
+    F64,
+    /// Opaque pointer (8 bytes).
+    Ptr,
+}
+
+impl ScalarType {
+    /// Width of the type in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            ScalarType::I8 => 8,
+            ScalarType::I16 => 16,
+            ScalarType::I32 => 32,
+            ScalarType::I64 | ScalarType::Ptr | ScalarType::F64 => 64,
+            ScalarType::F32 => 32,
+        }
+    }
+
+    /// Width of the type in bytes.
+    pub fn bytes(self) -> u32 {
+        self.bits() / 8
+    }
+
+    /// Whether this is one of the integer types.
+    pub fn is_int(self) -> bool {
+        matches!(
+            self,
+            ScalarType::I8 | ScalarType::I16 | ScalarType::I32 | ScalarType::I64
+        )
+    }
+
+    /// Whether this is one of the floating-point types.
+    pub fn is_float(self) -> bool {
+        matches!(self, ScalarType::F32 | ScalarType::F64)
+    }
+
+    /// Whether this is the pointer type.
+    pub fn is_ptr(self) -> bool {
+        self == ScalarType::Ptr
+    }
+
+    /// The textual mnemonic (`i32`, `f64`, `ptr`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalarType::I8 => "i8",
+            ScalarType::I16 => "i16",
+            ScalarType::I32 => "i32",
+            ScalarType::I64 => "i64",
+            ScalarType::F32 => "f32",
+            ScalarType::F64 => "f64",
+            ScalarType::Ptr => "ptr",
+        }
+    }
+
+    /// Parse a mnemonic produced by [`ScalarType::name`].
+    pub fn from_name(s: &str) -> Option<ScalarType> {
+        Some(match s {
+            "i8" => ScalarType::I8,
+            "i16" => ScalarType::I16,
+            "i32" => ScalarType::I32,
+            "i64" => ScalarType::I64,
+            "f32" => ScalarType::F32,
+            "f64" => ScalarType::F64,
+            "ptr" => ScalarType::Ptr,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A value type: void, a scalar, or a SIMD vector of scalars.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Type {
+    /// No value (the type of `store`).
+    Void,
+    /// A single scalar element.
+    Scalar(ScalarType),
+    /// A vector of `lanes` elements of the given scalar type.
+    Vector(ScalarType, u32),
+}
+
+impl Type {
+    /// Shorthand for `Type::Scalar(ScalarType::I64)`.
+    pub const I64: Type = Type::Scalar(ScalarType::I64);
+    /// Shorthand for `Type::Scalar(ScalarType::F64)`.
+    pub const F64: Type = Type::Scalar(ScalarType::F64);
+    /// Shorthand for `Type::Scalar(ScalarType::Ptr)`.
+    pub const PTR: Type = Type::Scalar(ScalarType::Ptr);
+
+    /// Total size in bytes (0 for void).
+    pub fn bytes(self) -> u32 {
+        match self {
+            Type::Void => 0,
+            Type::Scalar(s) => s.bytes(),
+            Type::Vector(s, n) => s.bytes() * n,
+        }
+    }
+
+    /// Number of lanes: 1 for scalars, `n` for vectors, 0 for void.
+    pub fn lanes(self) -> u32 {
+        match self {
+            Type::Void => 0,
+            Type::Scalar(_) => 1,
+            Type::Vector(_, n) => n,
+        }
+    }
+
+    /// The element type of a scalar or vector.
+    pub fn elem(self) -> Option<ScalarType> {
+        match self {
+            Type::Void => None,
+            Type::Scalar(s) | Type::Vector(s, _) => Some(s),
+        }
+    }
+
+    /// Whether this is a vector type.
+    pub fn is_vector(self) -> bool {
+        matches!(self, Type::Vector(..))
+    }
+
+    /// Whether this is a scalar type.
+    pub fn is_scalar(self) -> bool {
+        matches!(self, Type::Scalar(_))
+    }
+
+    /// Whether this is void.
+    pub fn is_void(self) -> bool {
+        self == Type::Void
+    }
+
+    /// Whether the element type is an integer.
+    pub fn is_int_like(self) -> bool {
+        self.elem().is_some_and(ScalarType::is_int)
+    }
+
+    /// Whether the element type is a float.
+    pub fn is_float_like(self) -> bool {
+        self.elem().is_some_and(ScalarType::is_float)
+    }
+
+    /// The vector type with the same element and the given lane count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is void or `lanes == 0`.
+    pub fn with_lanes(self, lanes: u32) -> Type {
+        assert!(lanes > 0, "vector types need at least one lane");
+        let elem = self.elem().expect("void has no element type");
+        if lanes == 1 {
+            Type::Scalar(elem)
+        } else {
+            Type::Vector(elem, lanes)
+        }
+    }
+}
+
+impl From<ScalarType> for Type {
+    fn from(s: ScalarType) -> Type {
+        Type::Scalar(s)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Void => f.write_str("void"),
+            Type::Scalar(s) => write!(f, "{s}"),
+            Type::Vector(s, n) => write!(f, "<{n} x {s}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_widths() {
+        assert_eq!(ScalarType::I8.bytes(), 1);
+        assert_eq!(ScalarType::I16.bytes(), 2);
+        assert_eq!(ScalarType::I32.bytes(), 4);
+        assert_eq!(ScalarType::I64.bytes(), 8);
+        assert_eq!(ScalarType::F32.bytes(), 4);
+        assert_eq!(ScalarType::F64.bytes(), 8);
+        assert_eq!(ScalarType::Ptr.bytes(), 8);
+    }
+
+    #[test]
+    fn scalar_classification() {
+        assert!(ScalarType::I32.is_int());
+        assert!(!ScalarType::I32.is_float());
+        assert!(ScalarType::F32.is_float());
+        assert!(ScalarType::Ptr.is_ptr());
+        assert!(!ScalarType::Ptr.is_int());
+    }
+
+    #[test]
+    fn scalar_name_roundtrip() {
+        for s in [
+            ScalarType::I8,
+            ScalarType::I16,
+            ScalarType::I32,
+            ScalarType::I64,
+            ScalarType::F32,
+            ScalarType::F64,
+            ScalarType::Ptr,
+        ] {
+            assert_eq!(ScalarType::from_name(s.name()), Some(s));
+        }
+        assert_eq!(ScalarType::from_name("i128"), None);
+    }
+
+    #[test]
+    fn type_lanes_and_bytes() {
+        let v = Type::Vector(ScalarType::F64, 4);
+        assert_eq!(v.lanes(), 4);
+        assert_eq!(v.bytes(), 32);
+        assert_eq!(v.elem(), Some(ScalarType::F64));
+        assert_eq!(Type::Void.lanes(), 0);
+        assert_eq!(Type::I64.lanes(), 1);
+    }
+
+    #[test]
+    fn with_lanes_round_trips_to_scalar() {
+        let v = Type::Vector(ScalarType::I32, 8);
+        assert_eq!(v.with_lanes(1), Type::Scalar(ScalarType::I32));
+        assert_eq!(Type::I64.with_lanes(2), Type::Vector(ScalarType::I64, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn with_lanes_zero_panics() {
+        let _ = Type::I64.with_lanes(0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Type::Vector(ScalarType::F32, 8).to_string(), "<8 x f32>");
+        assert_eq!(Type::I64.to_string(), "i64");
+        assert_eq!(Type::Void.to_string(), "void");
+    }
+}

@@ -1,0 +1,278 @@
+//! Value handles and constants.
+
+use std::fmt;
+
+use crate::types::{ScalarType, Type};
+
+/// A handle to a value (argument, constant, or instruction) inside one
+/// [`Function`](crate::Function).
+///
+/// Handles are plain indices into the function's value arena; they are only
+/// meaningful together with the function that created them.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ValueId(u32);
+
+impl ValueId {
+    /// Create a handle from a raw index. Intended for the owning function and
+    /// serialization code; arbitrary indices will panic on use.
+    pub fn from_raw(raw: u32) -> ValueId {
+        ValueId(raw)
+    }
+
+    /// The raw arena index.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The raw arena index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A compile-time constant.
+///
+/// Floats are stored by their IEEE bit pattern so that constants are `Eq` and
+/// `Hash` and can be interned; use [`Constant::float`] / [`Constant::as_f64`]
+/// to work with numeric values.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Constant {
+    /// An integer constant of the given width, stored sign-extended.
+    Int {
+        /// The integer type (must satisfy [`ScalarType::is_int`]).
+        ty: ScalarType,
+        /// The value, canonicalized by sign-extension from `ty`'s width.
+        value: i64,
+    },
+    /// A floating-point constant, stored as bits of its own width.
+    Float {
+        /// The float type (must satisfy [`ScalarType::is_float`]).
+        ty: ScalarType,
+        /// For `F32` the low 32 bits hold `f32::to_bits`; for `F64` all 64
+        /// bits hold `f64::to_bits`.
+        bits: u64,
+    },
+    /// A vector constant: one scalar constant per lane, all of `elem` type.
+    Vector {
+        /// The element type of every lane.
+        elem: ScalarType,
+        /// Per-lane scalar constants (`Int` or `Float`, never `Vector`).
+        lanes: Vec<Constant>,
+    },
+}
+
+/// Sign-extend the low `bits` bits of `value`.
+fn sext(value: i64, bits: u32) -> i64 {
+    if bits >= 64 {
+        value
+    } else {
+        let shift = 64 - bits;
+        (value << shift) >> shift
+    }
+}
+
+impl Constant {
+    /// An integer constant, canonicalized (wrapped and sign-extended) to the
+    /// width of `ty`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` is not an integer type.
+    pub fn int(ty: ScalarType, value: i64) -> Constant {
+        assert!(ty.is_int(), "Constant::int needs an integer type, got {ty}");
+        Constant::Int {
+            ty,
+            value: sext(value, ty.bits()),
+        }
+    }
+
+    /// A floating-point constant of type `ty` with value `value` (rounded to
+    /// `f32` when `ty` is [`ScalarType::F32`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ty` is not a float type.
+    pub fn float(ty: ScalarType, value: f64) -> Constant {
+        assert!(ty.is_float(), "Constant::float needs a float type, got {ty}");
+        let bits = match ty {
+            ScalarType::F32 => (value as f32).to_bits() as u64,
+            _ => value.to_bits(),
+        };
+        Constant::Float { ty, bits }
+    }
+
+    /// A vector constant from per-lane scalars.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is empty, contains a vector, or mixes element types.
+    pub fn vector(lanes: Vec<Constant>) -> Constant {
+        assert!(!lanes.is_empty(), "vector constants need at least one lane");
+        let elem = lanes[0].scalar_ty().expect("vector constant lanes must be scalars");
+        for l in &lanes {
+            assert_eq!(
+                l.scalar_ty(),
+                Some(elem),
+                "vector constant lanes must share one element type"
+            );
+        }
+        Constant::Vector { elem, lanes }
+    }
+
+    /// The IR type of this constant.
+    pub fn ty(&self) -> Type {
+        match self {
+            Constant::Int { ty, .. } | Constant::Float { ty, .. } => Type::Scalar(*ty),
+            Constant::Vector { elem, lanes } => Type::Vector(*elem, lanes.len() as u32),
+        }
+    }
+
+    /// The scalar type, if this is a scalar constant.
+    pub fn scalar_ty(&self) -> Option<ScalarType> {
+        match self {
+            Constant::Int { ty, .. } | Constant::Float { ty, .. } => Some(*ty),
+            Constant::Vector { .. } => None,
+        }
+    }
+
+    /// The integer value, if this is an integer constant.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Constant::Int { value, .. } => Some(*value),
+            _ => None,
+        }
+    }
+
+    /// The float value (widened to `f64`), if this is a float constant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Constant::Float { ty: ScalarType::F32, bits } => {
+                Some(f32::from_bits(*bits as u32) as f64)
+            }
+            Constant::Float { bits, .. } => Some(f64::from_bits(*bits)),
+            _ => None,
+        }
+    }
+
+    /// Whether this constant is numerically zero (all lanes zero for vectors).
+    pub fn is_zero(&self) -> bool {
+        match self {
+            Constant::Int { value, .. } => *value == 0,
+            Constant::Float { .. } => self.as_f64() == Some(0.0),
+            Constant::Vector { lanes, .. } => lanes.iter().all(Constant::is_zero),
+        }
+    }
+
+    /// A zero constant of scalar type `ty`.
+    pub fn zero(ty: ScalarType) -> Constant {
+        if ty.is_float() {
+            Constant::float(ty, 0.0)
+        } else {
+            // Pointers have no literal constants in this IR, so zero is only
+            // meaningful for ints here; treat ptr-zero as an i64 null.
+            Constant::Int {
+                ty: if ty.is_int() { ty } else { ScalarType::I64 },
+                value: 0,
+            }
+        }
+    }
+}
+
+impl fmt::Display for Constant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constant::Int { value, .. } => write!(f, "{value}"),
+            Constant::Float { ty: ScalarType::F32, bits } => {
+                write!(f, "{:?}", f32::from_bits(*bits as u32))
+            }
+            Constant::Float { bits, .. } => write!(f, "{:?}", f64::from_bits(*bits)),
+            Constant::Vector { lanes, .. } => {
+                f.write_str("<")?;
+                for (i, l) in lanes.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{l}")?;
+                }
+                f.write_str(">")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_constants_canonicalize_by_width() {
+        let a = Constant::int(ScalarType::I8, 0x1_7F);
+        assert_eq!(a.as_int(), Some(0x7F));
+        let b = Constant::int(ScalarType::I8, 0xFF);
+        assert_eq!(b.as_int(), Some(-1));
+        let c = Constant::int(ScalarType::I64, -5);
+        assert_eq!(c.as_int(), Some(-5));
+    }
+
+    #[test]
+    fn equal_ints_intern_equal() {
+        assert_eq!(Constant::int(ScalarType::I8, 0xFF), Constant::int(ScalarType::I8, -1));
+        assert_ne!(Constant::int(ScalarType::I8, 1), Constant::int(ScalarType::I16, 1));
+    }
+
+    #[test]
+    fn float_round_trip() {
+        let c = Constant::float(ScalarType::F64, 0.1);
+        assert_eq!(c.as_f64(), Some(0.1));
+        let c32 = Constant::float(ScalarType::F32, 0.1);
+        assert_eq!(c32.as_f64(), Some(0.1f32 as f64));
+    }
+
+    #[test]
+    fn vector_constant_type() {
+        let v = Constant::vector(vec![
+            Constant::int(ScalarType::I32, 1),
+            Constant::int(ScalarType::I32, 2),
+        ]);
+        assert_eq!(v.ty(), Type::Vector(ScalarType::I32, 2));
+        assert!(!v.is_zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "share one element type")]
+    fn vector_constant_mixed_types_panics() {
+        let _ = Constant::vector(vec![
+            Constant::int(ScalarType::I32, 1),
+            Constant::int(ScalarType::I64, 2),
+        ]);
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Constant::float(ScalarType::F64, 0.0).is_zero());
+        assert!(Constant::int(ScalarType::I8, 0).is_zero());
+        assert!(!Constant::int(ScalarType::I8, 3).is_zero());
+        assert!(Constant::vector(vec![
+            Constant::int(ScalarType::I32, 0),
+            Constant::int(ScalarType::I32, 0)
+        ])
+        .is_zero());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Constant::int(ScalarType::I64, 42).to_string(), "42");
+        assert_eq!(Constant::float(ScalarType::F64, 1.5).to_string(), "1.5");
+        let v = Constant::vector(vec![
+            Constant::int(ScalarType::I32, 1),
+            Constant::int(ScalarType::I32, 2),
+        ]);
+        assert_eq!(v.to_string(), "<1, 2>");
+    }
+}

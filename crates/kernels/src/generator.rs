@@ -1,0 +1,321 @@
+//! Seeded random straight-line program generator.
+//!
+//! Generates kernels in the image of the evaluation workloads: groups of
+//! adjacent stores whose lanes compute structurally identical expression
+//! trees, with commutative operand order optionally shuffled per lane
+//! (the exact non-isomorphism LSLP exists to repair). Used by the
+//! property-based equivalence tests and by the whole-program synthesizer
+//! of Figures 11–12.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use lslp_ir::{Function, FunctionBuilder, Opcode, ScalarType, Type, ValueId};
+
+/// Configuration of one generated function.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// RNG seed (same seed ⇒ identical function).
+    pub seed: u64,
+    /// Number of store groups.
+    pub groups: usize,
+    /// Lanes per store group (consecutive stores).
+    pub lanes: usize,
+    /// Expression tree depth.
+    pub depth: u32,
+    /// Generate integer (`i64`) code instead of `f64`.
+    pub int: bool,
+    /// Probability that a commutative node's operands are swapped in lanes
+    /// beyond the first (0.0 ⇒ perfectly isomorphic code that vanilla SLP
+    /// handles; higher values increasingly require look-ahead reordering).
+    pub swap_prob: f64,
+    /// Number of distinct input arrays.
+    pub arrays: usize,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig { seed: 0, groups: 2, lanes: 2, depth: 3, int: true, swap_prob: 0.5, arrays: 3 }
+    }
+}
+
+/// A generated function plus the array metadata needed to execute it.
+#[derive(Clone, Debug)]
+pub struct GeneratedProgram {
+    /// The function; the first parameter is the output array `OUT`, the
+    /// following `arrays` parameters are inputs `IN0..`, and the last
+    /// parameter is the index `i`.
+    pub function: Function,
+    /// Element type of every array.
+    pub elem: ScalarType,
+    /// Number of input arrays.
+    pub inputs: usize,
+    /// Minimum element count for every array.
+    pub min_len: usize,
+}
+
+/// A structural expression shape, instantiated once per lane.
+enum Shape {
+    /// Load from input array `arr` at `i + base + lane`.
+    Load { arr: usize, base: i64 },
+    /// A constant (same for all lanes).
+    Const(i64),
+    /// Binary node; `swap_lanes` marks the lanes whose operands are
+    /// presented in reverse order.
+    Bin { op: Opcode, lhs: Box<Shape>, rhs: Box<Shape>, swap_mask: u64 },
+    /// `select(cmp(pred, a, b), t, e)` — exercises compare/select groups.
+    Select { pred: u8, a: Box<Shape>, b: Box<Shape>, t: Box<Shape>, e: Box<Shape> },
+    /// A narrowing/widening cast round-trip (`i64→i32→i64` or
+    /// `f64→f32→f64`) — exercises conversion groups; lossy but
+    /// deterministic.
+    NarrowRoundtrip { inner: Box<Shape> },
+}
+
+fn gen_shape(rng: &mut StdRng, cfg: &GenConfig, depth: u32) -> Shape {
+    if depth == 0 || rng.gen_bool(0.2) {
+        return if rng.gen_bool(0.25) {
+            Shape::Const(rng.gen_range(1..16))
+        } else {
+            Shape::Load { arr: rng.gen_range(0..cfg.arrays), base: rng.gen_range(0..4) * 4 }
+        };
+    }
+    // Selects only in integer mode: under fast-math a reassociated float
+    // compare can flip discontinuously, which would make tolerance-based
+    // equivalence checking unsound.
+    if cfg.int && rng.gen_bool(0.08) {
+        return Shape::Select {
+            pred: rng.gen_range(0..6),
+            a: Box::new(gen_shape(rng, cfg, depth - 1)),
+            b: Box::new(gen_shape(rng, cfg, depth - 1)),
+            t: Box::new(gen_shape(rng, cfg, depth - 1)),
+            e: Box::new(gen_shape(rng, cfg, depth - 1)),
+        };
+    }
+    if rng.gen_bool(0.08) {
+        return Shape::NarrowRoundtrip { inner: Box::new(gen_shape(rng, cfg, depth - 1)) };
+    }
+    let op = if cfg.int {
+        *[
+            Opcode::Add,
+            Opcode::Mul,
+            Opcode::And,
+            Opcode::Or,
+            Opcode::Xor,
+            Opcode::Sub,
+            Opcode::Shl,
+        ]
+        .get(rng.gen_range(0..7))
+        .unwrap()
+    } else {
+        *[Opcode::FAdd, Opcode::FMul, Opcode::FSub].get(rng.gen_range(0..3)).unwrap()
+    };
+    let mut swap_mask = 0u64;
+    if op.is_commutative() {
+        for lane in 1..cfg.lanes.min(64) {
+            if rng.gen_bool(cfg.swap_prob) {
+                swap_mask |= 1 << lane;
+            }
+        }
+    }
+    let lhs = Box::new(gen_shape(rng, cfg, depth - 1));
+    let rhs = if op == Opcode::Shl {
+        // Bounded shift amounts keep integer semantics portable.
+        Box::new(Shape::Const(rng.gen_range(1..8)))
+    } else {
+        Box::new(gen_shape(rng, cfg, depth - 1))
+    };
+    Shape::Bin { op, lhs, rhs, swap_mask }
+}
+
+fn max_load_index(shape: &Shape) -> i64 {
+    match shape {
+        Shape::Load { base, .. } => *base,
+        Shape::Const(_) => 0,
+        Shape::Bin { lhs, rhs, .. } => max_load_index(lhs).max(max_load_index(rhs)),
+        Shape::Select { a, b, t, e, .. } => max_load_index(a)
+            .max(max_load_index(b))
+            .max(max_load_index(t))
+            .max(max_load_index(e)),
+        Shape::NarrowRoundtrip { inner } => max_load_index(inner),
+    }
+}
+
+struct Emit<'f> {
+    b: FunctionBuilder<'f>,
+    inputs: Vec<ValueId>,
+    idx: ValueId,
+    elem: ScalarType,
+}
+
+impl Emit<'_> {
+    fn shape(&mut self, s: &Shape, lane: i64) -> ValueId {
+        match s {
+            Shape::Load { arr, base } => {
+                let off = self.b.func().const_i64(base + lane);
+                let idx = self.b.add(self.idx, off);
+                let p = self.b.gep(self.inputs[*arr], idx, self.elem.bytes());
+                self.b.load(Type::Scalar(self.elem), p)
+            }
+            Shape::Const(c) => {
+                if self.elem.is_float() {
+                    self.b.func().const_float(self.elem, *c as f64)
+                } else {
+                    self.b.func().const_int(self.elem, *c)
+                }
+            }
+            Shape::Bin { op, lhs, rhs, swap_mask } => {
+                let l = self.shape(lhs, lane);
+                let r = self.shape(rhs, lane);
+                let swapped = lane < 64 && (swap_mask >> lane) & 1 == 1;
+                if swapped {
+                    self.b.binop(*op, r, l)
+                } else {
+                    self.b.binop(*op, l, r)
+                }
+            }
+            Shape::Select { pred, a, b, t, e } => {
+                let av = self.shape(a, lane);
+                let bv = self.shape(b, lane);
+                let tv = self.shape(t, lane);
+                let ev = self.shape(e, lane);
+                let cond = if self.elem.is_float() {
+                    use lslp_ir::FloatPred::*;
+                    let p = [Oeq, One, Olt, Ole, Ogt, Oge][*pred as usize % 6];
+                    self.b.fcmp(p, av, bv)
+                } else {
+                    use lslp_ir::IntPred::*;
+                    let p = [Eq, Ne, Slt, Sle, Sgt, Sge][*pred as usize % 6];
+                    self.b.icmp(p, av, bv)
+                };
+                self.b.select(cond, tv, ev)
+            }
+            Shape::NarrowRoundtrip { inner } => {
+                let v = self.shape(inner, lane);
+                if self.elem.is_float() {
+                    let narrow =
+                        self.b.cast(Opcode::Fptrunc, v, Type::Scalar(ScalarType::F32));
+                    self.b.cast(Opcode::Fpext, narrow, Type::Scalar(ScalarType::F64))
+                } else {
+                    let narrow = self.b.cast(Opcode::Trunc, v, Type::Scalar(ScalarType::I32));
+                    self.b.cast(Opcode::Sext, narrow, Type::Scalar(ScalarType::I64))
+                }
+            }
+        }
+    }
+}
+
+/// Generate one function from the configuration.
+pub fn generate(cfg: &GenConfig) -> GeneratedProgram {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let elem = if cfg.int { ScalarType::I64 } else { ScalarType::F64 };
+    let mut f = Function::new(format!("gen_{}", cfg.seed));
+    let out = f.add_param("OUT", Type::PTR);
+    let inputs: Vec<ValueId> = (0..cfg.arrays.max(1))
+        .map(|k| f.add_param(format!("IN{k}"), Type::PTR))
+        .collect();
+    let idx = f.add_param("i", Type::I64);
+
+    let mut max_idx = 0i64;
+    for g in 0..cfg.groups {
+        let shape = gen_shape(&mut rng, cfg, cfg.depth);
+        max_idx = max_idx.max(max_load_index(&shape) + cfg.lanes as i64);
+        // Occasionally emit the group's statements in reverse address
+        // order: seed collection sorts lanes by address, so lane 0 then
+        // sits *later* in the body — the shape that stresses hoist/sink
+        // dominance in scheduling and codegen.
+        let reversed = rng.gen_bool(0.25);
+        let lane_order: Vec<i64> = if reversed {
+            (0..cfg.lanes as i64).rev().collect()
+        } else {
+            (0..cfg.lanes as i64).collect()
+        };
+        for lane in lane_order {
+            let mut e = Emit {
+                b: FunctionBuilder::new(&mut f),
+                inputs: inputs.clone(),
+                idx,
+                elem,
+            };
+            let v = e.shape(&shape, lane);
+            let out_off = e.b.func().const_i64(g as i64 * cfg.lanes as i64 + lane);
+            let oi = e.b.add(idx, out_off);
+            let p = e.b.gep(out, oi, elem.bytes());
+            e.b.store(v, p);
+        }
+        max_idx = max_idx.max((g + 1) as i64 * cfg.lanes as i64);
+    }
+
+    debug_assert!(lslp_ir::verify_function(&f).is_ok());
+    GeneratedProgram {
+        function: f,
+        elem,
+        inputs: cfg.arrays.max(1),
+        min_len: (max_idx + 16) as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig { seed: 42, ..GenConfig::default() };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(
+            lslp_ir::print_function(&a.function),
+            lslp_ir::print_function(&b.function)
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GenConfig { seed: 1, ..GenConfig::default() });
+        let b = generate(&GenConfig { seed: 2, ..GenConfig::default() });
+        assert_ne!(
+            lslp_ir::print_function(&a.function),
+            lslp_ir::print_function(&b.function)
+        );
+    }
+
+    #[test]
+    fn generated_programs_verify() {
+        for seed in 0..50 {
+            for int in [true, false] {
+                let cfg = GenConfig { seed, int, depth: 4, ..GenConfig::default() };
+                let p = generate(&cfg);
+                lslp_ir::verify_function(&p.function)
+                    .unwrap_or_else(|e| panic!("seed {seed} int {int}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_form_store_groups() {
+        let p = generate(&GenConfig { seed: 7, groups: 3, lanes: 4, ..GenConfig::default() });
+        let stores = p
+            .function
+            .iter_body()
+            .filter(|(_, _, i)| i.op == Opcode::Store)
+            .count();
+        assert_eq!(stores, 12);
+    }
+
+    #[test]
+    fn zero_swap_prob_is_isomorphic_across_lanes() {
+        // With no swapping, lane bodies must be structurally identical
+        // (modulo lane offsets), which we approximate by opcode sequences.
+        let p = generate(&GenConfig {
+            seed: 3,
+            groups: 1,
+            lanes: 2,
+            swap_prob: 0.0,
+            ..GenConfig::default()
+        });
+        let ops: Vec<Opcode> =
+            p.function.iter_body().map(|(_, _, i)| i.op).collect();
+        let half = ops.len() / 2;
+        assert_eq!(ops[..half], ops[half..]);
+    }
+}

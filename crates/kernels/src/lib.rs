@@ -1,0 +1,30 @@
+//! # lslp-kernels
+//!
+//! The evaluation workloads of the LSLP reproduction:
+//!
+//! * [`mod@suite`] — the eleven kernels of the paper's Table 2: eight kernels
+//!   re-written in SLC with the dataflow shape of their SPEC CPU2006
+//!   originals (povray / milc), plus the three motivating examples of §3
+//!   (Figures 2–4). SPEC sources are licensed, so each kernel is a
+//!   re-creation of the *structure* the paper exploits: chains of
+//!   commutative operations whose operand order differs between lanes.
+//! * [`generator`] — a seeded random straight-line program generator used
+//!   by the property-based equivalence tests and the whole-program
+//!   synthesizer.
+//! * [`wholeprog`] — synthetic "full benchmark" modules standing in for the
+//!   whole SPEC benchmarks of Figures 11–12 (many neutral functions, a few
+//!   LSLP-sensitive ones, weighted by synthetic hotness).
+//! * [`extensions`] — workloads for the studies beyond the paper's
+//!   evaluation (horizontal reductions, narrow element widths).
+
+#![warn(missing_docs)]
+
+pub mod extensions;
+pub mod generator;
+pub mod suite;
+pub mod wholeprog;
+
+pub use extensions::{extended_kernels, narrow_kernels, reduction_kernels};
+pub use generator::{generate, GenConfig, GeneratedProgram};
+pub use suite::{motivation_kernels, spec_kernels, suite, ElemKind, Kernel};
+pub use wholeprog::{synthesize, WholeProgram, BENCHMARKS};

@@ -1,0 +1,414 @@
+//! The Table 2 kernel suite.
+//!
+//! Eight kernels mirroring the dataflow shape of the paper's SPEC CPU2006
+//! extracts (453.povray and 433.milc) plus the three motivating examples of
+//! §3. SPEC sources are licensed, so each kernel re-creates the *structure*
+//! the paper's evaluation exploits — chains of commutative operations whose
+//! operand order differs between the lanes of a store group — rather than
+//! the literal SPEC code (the substitution is documented in DESIGN.md).
+
+use lslp_interp::{measure_cycles, ExecError, Memory, Value};
+use lslp_ir::Function;
+use lslp_target::CostModel;
+
+/// Element kind of a kernel's arrays.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ElemKind {
+    /// 64-bit signed integers (`i64*` arrays).
+    I64,
+    /// 64-bit floats (`f64*` arrays).
+    F64,
+}
+
+/// One evaluation kernel: SLC source plus the driver metadata needed to
+/// allocate its arrays and sweep its index argument.
+#[derive(Clone, Copy, Debug)]
+pub struct Kernel {
+    /// Kernel name (also the SLC kernel / IR function name).
+    pub name: &'static str,
+    /// Provenance: benchmark the paper extracted the kernel from.
+    pub benchmark: &'static str,
+    /// Provenance: the paper's Table 2 `Filename:Line` entry.
+    pub file_line: &'static str,
+    /// The SLC source.
+    pub src: &'static str,
+    /// How much the index argument `i` advances per invocation.
+    pub i_step: i64,
+    /// Maximum coefficient of `i` in any index expression.
+    pub idx_scale: i64,
+    /// Maximum constant offset in any index expression.
+    pub idx_off: i64,
+    /// Array element kind (uniform per kernel).
+    pub elem: ElemKind,
+    /// Default iteration count for performance simulation.
+    pub default_iters: usize,
+}
+
+impl Kernel {
+    /// Compile the kernel to an IR function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the embedded source does not compile — a bug caught by the
+    /// suite's own tests.
+    pub fn compile(&self) -> Function {
+        let m = lslp_frontend::compile(self.src)
+            .unwrap_or_else(|e| panic!("kernel {} does not compile: {e}", self.name));
+        m.functions.into_iter().next().expect("one kernel per source")
+    }
+
+    /// Array length needed to run `iters` iterations safely.
+    pub fn array_len(&self, iters: usize) -> usize {
+        (self.idx_scale * self.i_step * iters as i64 + self.idx_off + 8) as usize
+    }
+
+    /// Allocate and deterministically initialize every array the kernel
+    /// touches (all pointer parameters of the compiled function).
+    pub fn setup_memory(&self, f: &Function, iters: usize) -> Memory {
+        let mut mem = Memory::new();
+        let len = self.array_len(iters);
+        for (ai, &p) in f.params().iter().enumerate() {
+            if f.ty(p) != lslp_ir::Type::PTR {
+                continue;
+            }
+            let name = f.value_name(p).expect("named parameter");
+            match self.elem {
+                ElemKind::F64 => {
+                    let init: Vec<f64> = (0..len)
+                        .map(|k| 0.5 + (mix(ai as u64, k as u64) % 1024) as f64 / 1024.0)
+                        .collect();
+                    mem.alloc_f64(name, &init);
+                }
+                ElemKind::I64 => {
+                    let init: Vec<i64> =
+                        (0..len).map(|k| (mix(ai as u64, k as u64) % 4096) as i64 + 1).collect();
+                    mem.alloc_i64(name, &init);
+                }
+            }
+        }
+        mem
+    }
+
+    /// Build the argument list for invocation index `i`.
+    pub fn args(&self, f: &Function, mem: &Memory, i: i64) -> Vec<Value> {
+        f.params()
+            .iter()
+            .map(|&p| {
+                if f.ty(p) == lslp_ir::Type::PTR {
+                    mem.ptr(f.value_name(p).expect("named parameter"))
+                        .expect("array allocated")
+                } else {
+                    Value::Int(i)
+                }
+            })
+            .collect()
+    }
+
+    /// Run `iters` invocations; returns total simulated cycles.
+    ///
+    /// # Errors
+    ///
+    /// Propagates interpreter failures (which indicate a miscompile).
+    pub fn run(
+        &self,
+        f: &Function,
+        mem: &mut Memory,
+        iters: usize,
+        tm: &CostModel,
+    ) -> Result<i64, ExecError> {
+        let mut cycles = 0;
+        for t in 0..iters {
+            let args = self.args(f, mem, t as i64 * self.i_step);
+            cycles += measure_cycles(f, &args, mem, tm)?.cycles;
+        }
+        Ok(cycles)
+    }
+}
+
+/// A small deterministic mixer for array initialization.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut x = a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x
+}
+
+/// The three motivating examples of §3 (Figures 2–4).
+pub fn motivation_kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "motivation_loads",
+            benchmark: "Section 3.1",
+            file_line: "Figure 2",
+            src: "kernel motivation_loads(i64* A, i64* B, i64* C, i64 i) {
+                      A[i+0] = (B[i+0] << 1) & (C[i+0] << 2);
+                      A[i+1] = (C[i+1] << 3) & (B[i+1] << 4);
+                  }",
+            i_step: 2,
+            idx_scale: 1,
+            idx_off: 1,
+            elem: ElemKind::I64,
+            default_iters: 512,
+        },
+        Kernel {
+            name: "motivation_opcodes",
+            benchmark: "Section 3.2",
+            file_line: "Figure 3",
+            src: "kernel motivation_opcodes(i64* A, i64* B, i64* C, i64* D, i64* E, i64 i) {
+                      A[i+0] = ((B[2*i] << 1) & 0x11) + ((C[2*i] + 2) & 0x12);
+                      A[i+1] = ((D[2*i] + 3) & 0x13) + ((E[2*i] << 4) & 0x14);
+                  }",
+            i_step: 2,
+            idx_scale: 2,
+            idx_off: 1,
+            elem: ElemKind::I64,
+            default_iters: 512,
+        },
+        Kernel {
+            name: "motivation_multi",
+            benchmark: "Section 3.3",
+            file_line: "Figure 4",
+            src: "kernel motivation_multi(i64* A, i64* B, i64* C, i64* D, i64* E, i64 i) {
+                      A[i+0] = A[i+0] & (B[i+0] + C[i+0]) & (D[i+0] + E[i+0]);
+                      A[i+1] = (D[i+1] + E[i+1]) & (B[i+1] + C[i+1]) & A[i+1];
+                  }",
+            i_step: 2,
+            idx_scale: 1,
+            idx_off: 1,
+            elem: ElemKind::I64,
+            default_iters: 512,
+        },
+    ]
+}
+
+/// The eight SPEC-shaped kernels of Table 2.
+pub fn spec_kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "boy_surface",
+            benchmark: "SPEC2006 453.povray",
+            file_line: "fnintern.cpp:355",
+            // Boy-surface distance polynomial: a sum of scaled cubic terms
+            // per lane, with the factor order permuted in lane 1 (the real
+            // povray function sums scaled powers of intermediate values).
+            src: "kernel boy_surface(f64* R, f64* X, f64* Y, f64* Z, f64* W, i64 i) {
+                      let x0 = X[i+0]; let y0 = Y[i+0]; let z0 = Z[i+0]; let w0 = W[i+0];
+                      R[i+0] = x0*x0*x0*64.0 + y0*y0*y0*48.0 + z0*z0*z0*12.0 + w0*w0*w0*2.0;
+                      let x1 = X[i+1]; let y1 = Y[i+1]; let z1 = Z[i+1]; let w1 = W[i+1];
+                      R[i+1] = x1*64.0*x1*x1 + 48.0*y1*y1*y1 + z1*12.0*z1*z1 + 2.0*w1*w1*w1;
+                  }",
+            i_step: 2,
+            idx_scale: 1,
+            idx_off: 1,
+            elem: ElemKind::F64,
+            default_iters: 256,
+        },
+        Kernel {
+            name: "intersect_quadratic",
+            benchmark: "SPEC2006 453.povray",
+            file_line: "poly.cpp:813",
+            // Quadratic-intersection discriminants with commuted products.
+            src: "kernel intersect_quadratic(f64* T, f64* A, f64* B, f64* C, i64 i) {
+                      T[i+0] = B[i+0]*B[i+0] - A[i+0]*C[i+0]*4.0;
+                      T[i+1] = B[i+1]*B[i+1] - 4.0*C[i+1]*A[i+1];
+                  }",
+            i_step: 2,
+            idx_scale: 1,
+            idx_off: 1,
+            elem: ElemKind::F64,
+            default_iters: 512,
+        },
+        Kernel {
+            name: "calc_z3",
+            benchmark: "SPEC2006 453.povray",
+            file_line: "quatern.cpp:433",
+            // Quaternion z^3 component update: four adjacent stores, only
+            // some lanes isomorphic (realistic partial vectorization).
+            src: "kernel calc_z3(f64* R, f64* Q, i64 i) {
+                      let w = Q[4*i+0]; let x = Q[4*i+1]; let y = Q[4*i+2]; let z = Q[4*i+3];
+                      let n = x*x + y*y + z*z;
+                      let a = w*w*3.0 - n;
+                      R[4*i+0] = w * (w*w - n*3.0);
+                      R[4*i+1] = x*a;
+                      R[4*i+2] = a*y;
+                      R[4*i+3] = z*a;
+                  }",
+            i_step: 1,
+            idx_scale: 4,
+            idx_off: 3,
+            elem: ElemKind::F64,
+            default_iters: 256,
+        },
+        Kernel {
+            name: "vsumsqr",
+            benchmark: "SPEC2006 453.povray",
+            file_line: "vector.h:362",
+            // Vector sum-of-squares over 3-component points; three loads
+            // per lane, terms permuted in lane 1.
+            src: "kernel vsumsqr(f64* R, f64* V, i64 i) {
+                      R[i+0] = V[3*i+0]*V[3*i+0] + V[3*i+1]*V[3*i+1] + V[3*i+2]*V[3*i+2];
+                      R[i+1] = V[3*i+4]*V[3*i+4] + V[3*i+3]*V[3*i+3] + V[3*i+5]*V[3*i+5];
+                  }",
+            i_step: 2,
+            idx_scale: 3,
+            idx_off: 5,
+            elem: ElemKind::F64,
+            default_iters: 256,
+        },
+        Kernel {
+            name: "hreciprocal",
+            benchmark: "SPEC2006 453.povray",
+            file_line: "hcmplx.cpp:113",
+            // Hypercomplex reciprocal: one shared norm factor broadcast
+            // over four component stores with sign constants.
+            src: "kernel hreciprocal(f64* R, f64* H, i64 i) {
+                      let n = H[4*i+0]*H[4*i+0] + H[4*i+1]*H[4*i+1]
+                            + H[4*i+2]*H[4*i+2] + H[4*i+3]*H[4*i+3];
+                      R[4*i+0] = H[4*i+0] * n * 1.0;
+                      R[4*i+1] = n * H[4*i+1] * -1.0;
+                      R[4*i+2] = H[4*i+2] * -1.0 * n;
+                      R[4*i+3] = -1.0 * H[4*i+3] * n;
+                  }",
+            i_step: 1,
+            idx_scale: 4,
+            idx_off: 3,
+            elem: ElemKind::F64,
+            default_iters: 256,
+        },
+        Kernel {
+            name: "mesh1",
+            benchmark: "SPEC2006 453.povray",
+            file_line: "fnintern.cpp:759",
+            // Mesh distance terms: squared deltas, terms permuted per lane.
+            src: "kernel mesh1(f64* R, f64* PX, f64* PY, f64* QX, f64* QY, i64 i) {
+                      let dx0 = PX[i+0] - QX[i+0];
+                      let dy0 = PY[i+0] - QY[i+0];
+                      R[i+0] = dx0*dx0 + dy0*dy0 + dx0*dy0*0.5;
+                      let dx1 = PX[i+1] - QX[i+1];
+                      let dy1 = PY[i+1] - QY[i+1];
+                      R[i+1] = dy1*dy1 + dx1*dx1 + 0.5*dx1*dy1;
+                  }",
+            i_step: 2,
+            idx_scale: 1,
+            idx_off: 1,
+            elem: ElemKind::F64,
+            default_iters: 512,
+        },
+        Kernel {
+            name: "mult_su2",
+            benchmark: "SPEC2006 433.milc",
+            file_line: "m_su2_mat_vec_a.c:23",
+            // SU(2) matrix × complex 2-vector with conjugation signs folded
+            // into the matrix arrays (UP/UM), interleaved complex vector.
+            src: "kernel mult_su2(f64* D, f64* UP, f64* UM, f64* V, i64 i) {
+                      D[2*i+0] = UP[4*i+0]*V[4*i+0] + UM[4*i+1]*V[4*i+1]
+                               + UP[4*i+2]*V[4*i+2] + UM[4*i+3]*V[4*i+3];
+                      D[2*i+1] = UP[4*i+1]*V[4*i+0] + UM[4*i+0]*V[4*i+1]
+                               + UP[4*i+3]*V[4*i+2] + UM[4*i+2]*V[4*i+3];
+                  }",
+            i_step: 1,
+            idx_scale: 4,
+            idx_off: 3,
+            elem: ElemKind::F64,
+            default_iters: 256,
+        },
+        Kernel {
+            name: "quartic_cylinder",
+            benchmark: "SPEC2006 453.povray",
+            file_line: "fnintern.cpp:924",
+            // Quartic cylinder polynomial: degree-4 product chains with
+            // factor order swapped between lanes.
+            src: "kernel quartic_cylinder(f64* R, f64* X, f64* Y, i64 i) {
+                      let x0 = X[i+0]; let y0 = Y[i+0];
+                      R[i+0] = x0*x0*x0*x0 + y0*y0*2.0*x0*x0 + y0*y0*y0*y0 - 1.0;
+                      let x1 = X[i+1]; let y1 = Y[i+1];
+                      R[i+1] = y1*y1*y1*y1 + x1*x1*y1*y1*2.0 + x1*x1*x1*x1 - 1.0;
+                  }",
+            i_step: 2,
+            idx_scale: 1,
+            idx_off: 1,
+            elem: ElemKind::F64,
+            default_iters: 256,
+        },
+    ]
+}
+
+/// The full Table 2 suite: the eight SPEC-shaped kernels followed by the
+/// three motivating examples, in the paper's order.
+pub fn suite() -> Vec<Kernel> {
+    let mut all = spec_kernels();
+    all.extend(motivation_kernels());
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_kernel_compiles_and_verifies() {
+        for k in suite() {
+            let f = k.compile();
+            lslp_ir::verify_function(&f).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            assert_eq!(f.name(), k.name);
+        }
+    }
+
+    #[test]
+    fn every_kernel_runs_scalar() {
+        let tm = CostModel::default();
+        for k in suite() {
+            let f = k.compile();
+            let mut mem = k.setup_memory(&f, 8);
+            let cycles = k.run(&f, &mut mem, 8, &tm).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            assert!(cycles > 0, "{} must execute work", k.name);
+        }
+    }
+
+    #[test]
+    fn suite_matches_table2_inventory() {
+        let s = suite();
+        assert_eq!(s.len(), 11);
+        let names: Vec<&str> = s.iter().map(|k| k.name).collect();
+        for expected in [
+            "boy_surface",
+            "intersect_quadratic",
+            "calc_z3",
+            "vsumsqr",
+            "hreciprocal",
+            "mesh1",
+            "mult_su2",
+            "quartic_cylinder",
+            "motivation_loads",
+            "motivation_opcodes",
+            "motivation_multi",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn array_lengths_cover_all_accesses() {
+        // Running at the default iteration count must not fault.
+        let tm = CostModel::default();
+        for k in suite() {
+            let f = k.compile();
+            let iters = 4.min(k.default_iters);
+            let mut mem = k.setup_memory(&f, iters);
+            k.run(&f, &mut mem, iters, &tm)
+                .unwrap_or_else(|e| panic!("{} out of bounds: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn memory_init_is_deterministic() {
+        let k = &suite()[0];
+        let f = k.compile();
+        let m1 = k.setup_memory(&f, 4);
+        let m2 = k.setup_memory(&f, 4);
+        for name in m1.buffer_names() {
+            assert_eq!(m1.bytes(name), m2.bytes(name));
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Cross-crate pipeline tests: SLC source → IR → vectorizer → interpreter,
+//! exercising the public API the way a downstream user would.
+
+use lslp::{vectorize_function, vectorize_module, ReorderKind, VectorizerConfig};
+use lslp_interp::{run_function, Memory, Value};
+
+use lslp_target::CostModel;
+
+#[test]
+fn slc_to_simd_end_to_end() {
+    // The classic saxpy-like kernel, 4 lanes wide.
+    let src = "kernel saxpy4(f64* Y, f64* X, f64 a, i64 i) {
+                   Y[i+0] = Y[i+0] + a * X[i+0];
+                   Y[i+1] = Y[i+1] + a * X[i+1];
+                   Y[i+2] = Y[i+2] + a * X[i+2];
+                   Y[i+3] = Y[i+3] + a * X[i+3];
+               }";
+    let mut m = lslp_frontend::compile(src).unwrap();
+    let reports = vectorize_module(&mut m, &VectorizerConfig::lslp(), &CostModel::default());
+    assert_eq!(reports[0].trees_vectorized, 1);
+    let text = lslp_ir::print_function(&m.functions[0]);
+    assert!(text.contains("<4 x f64>"), "{text}");
+
+    let mut mem = Memory::new();
+    let y = mem.alloc_f64("Y", &[1.0, 2.0, 3.0, 4.0]);
+    let x = mem.alloc_f64("X", &[10.0, 20.0, 30.0, 40.0]);
+    run_function(&m.functions[0], &[y, x, Value::Float(0.5), Value::Int(0)], &mut mem).unwrap();
+    assert_eq!(mem.read_f64("Y", 0), Some(6.0));
+    assert_eq!(mem.read_f64("Y", 3), Some(24.0));
+}
+
+#[test]
+fn listing1_compiles_and_vectorizes_under_plain_slp() {
+    // Listing 1 of the paper: operands in the wrong order; vanilla SLP's
+    // opcode-based reordering is sufficient.
+    let src = "kernel listing1(i64* E, i64* A, i64 x, i64 y, i64 i) {
+                   E[i+0] = (x - 1) + A[i+0];
+                   E[i+1] = A[i+1] + (y - 1);
+               }";
+    let mut m = lslp_frontend::compile(src).unwrap();
+    let reports = vectorize_module(&mut m, &VectorizerConfig::slp(), &CostModel::default());
+    assert_eq!(reports[0].trees_vectorized, 1, "SLP reorders Listing 1 fine");
+
+    // But with reordering disabled (SLP-NR) the same kernel fails.
+    let mut m = lslp_frontend::compile(src).unwrap();
+    let reports = vectorize_module(&mut m, &VectorizerConfig::slp_nr(), &CostModel::default());
+    assert_eq!(reports[0].trees_vectorized, 0, "SLP-NR cannot fix the order");
+}
+
+#[test]
+fn listing2_defeats_slp_but_not_lslp() {
+    // Listing 2 of the paper: all operands are multiplications; only the
+    // look-ahead can decide the pairing.
+    let src = "kernel listing2(i64* E, i64* A, i64* B, i64* C, i64* D, i64 i) {
+                   E[i+0] = A[i+0]*B[i+0] + C[i+0]*D[i+0];
+                   E[i+1] = C[i+1]*D[i+1] + A[i+1]*B[i+1];
+               }";
+    let mut m = lslp_frontend::compile(src).unwrap();
+    let slp = vectorize_module(&mut m, &VectorizerConfig::slp(), &CostModel::default());
+    let mut m2 = lslp_frontend::compile(src).unwrap();
+    let lslp = vectorize_module(&mut m2, &VectorizerConfig::lslp(), &CostModel::default());
+    assert!(
+        lslp[0].applied_cost < slp[0].applied_cost,
+        "LSLP {} must beat SLP {}",
+        lslp[0].applied_cost,
+        slp[0].applied_cost
+    );
+    // LSLP vectorizes the whole tree including all eight loads.
+    let text = lslp_ir::print_function(&m2.functions[0]);
+    assert_eq!(text.matches("load <2 x i64>").count(), 4, "{text}");
+}
+
+#[test]
+fn reports_expose_attempt_details() {
+    let src = "kernel two_groups(i64* A, i64* B, i64 i) {
+                   A[i+0] = B[i+0] + 1;
+                   A[i+1] = B[i+1] + 2;
+                   A[i+9] = B[i+9] * 3;
+                   A[i+10] = B[i+10] * 4;
+               }";
+    let mut m = lslp_frontend::compile(src).unwrap();
+    let mut f = m.functions.remove(0);
+    let report = vectorize_function(&mut f, &VectorizerConfig::lslp(), &CostModel::default());
+    assert_eq!(report.trees_vectorized, 2);
+    assert_eq!(report.attempts.iter().filter(|a| a.vectorized).count(), 2);
+    for a in &report.attempts {
+        assert_eq!(a.vf, 2);
+        assert!(a.seed.starts_with("A[+"), "seed desc: {}", a.seed);
+        assert!(a.nodes > 0);
+    }
+    assert!(report.stats.stores_deleted == 4);
+    assert!(report.elapsed.as_nanos() > 0);
+}
+
+#[test]
+fn config_presets_differ_only_where_documented() {
+    let slp = VectorizerConfig::slp();
+    let nr = VectorizerConfig::slp_nr();
+    assert_eq!(nr.max_multinode_insts, slp.max_multinode_insts);
+    assert_eq!(nr.reorder, ReorderKind::NoReorder);
+    let lslp = VectorizerConfig::lslp();
+    assert_eq!(lslp.cost_threshold, slp.cost_threshold);
+    assert_eq!(lslp.max_vf, slp.max_vf);
+}
+
+#[test]
+fn whole_module_vectorization_handles_mixed_functions() {
+    let src = "kernel vec(i64* A, i64* B, i64 i) {
+                   A[i+0] = B[i+0] ^ 1;
+                   A[i+1] = B[i+1] ^ 2;
+               }
+               kernel scalar_only(i64* A, i64 i) {
+                   A[i*i] = 7;
+               }";
+    let mut m = lslp_frontend::compile(src).unwrap();
+    let reports = vectorize_module(&mut m, &VectorizerConfig::lslp(), &CostModel::default());
+    assert_eq!(reports.len(), 2);
+    assert_eq!(reports[0].trees_vectorized, 1);
+    assert_eq!(reports[1].trees_vectorized, 0);
+    lslp_ir::verify_module(&m).unwrap();
+}
+
+#[test]
+fn fast_math_gates_fp_multinodes() {
+    let src = "kernel dot3(f64* R, f64* X, i64 i) {
+                   R[i+0] = X[3*i+0] + X[3*i+1] + X[3*i+2];
+                   R[i+1] = X[3*i+4] + X[3*i+3] + X[3*i+5];
+               }";
+    let tm = CostModel::default();
+    let mut strict_m = lslp_frontend::compile(src).unwrap();
+    let strict_cfg = VectorizerConfig { fast_math: false, ..VectorizerConfig::lslp() };
+    let strict = vectorize_module(&mut strict_m, &strict_cfg, &tm);
+    let mut fast_m = lslp_frontend::compile(src).unwrap();
+    let fast = vectorize_module(&mut fast_m, &VectorizerConfig::lslp(), &tm);
+    assert!(
+        fast[0].applied_cost <= strict[0].applied_cost,
+        "fast-math multi-nodes must not lose: fast {} strict {}",
+        fast[0].applied_cost,
+        strict[0].applied_cost
+    );
+}
+
+#[test]
+fn casts_compile_interpret_and_vectorize() {
+    // Widen i32 samples, scale in f64, truncate back — a classic DSP-style
+    // conversion kernel. All four lanes are isomorphic casts.
+    let src = "kernel widen_scale(i32* OUT, i32* IN, f64 g, i64 i) {
+                   OUT[i+0] = ((IN[i+0] as f64) * g) as i32;
+                   OUT[i+1] = ((IN[i+1] as f64) * g) as i32;
+                   OUT[i+2] = ((IN[i+2] as f64) * g) as i32;
+                   OUT[i+3] = ((IN[i+3] as f64) * g) as i32;
+               }";
+    let mut m = lslp_frontend::compile(src).unwrap();
+    let reports = vectorize_module(&mut m, &VectorizerConfig::lslp(), &CostModel::default());
+    assert_eq!(reports[0].trees_vectorized, 1, "cast lanes must vectorize");
+    lslp_ir::verify_module(&m).unwrap();
+    let text = lslp_ir::print_function(&m.functions[0]);
+    assert!(text.contains("sitofp <4 x i32>"), "{text}");
+    assert!(text.contains("fptosi <4 x f64>"), "{text}");
+
+    // Round-trip the vectorized cast IR through the textual format.
+    let reparsed = lslp_ir::parse_function(&text).unwrap();
+    assert_eq!(lslp_ir::print_function(&reparsed), text);
+
+    // And execute it.
+    let mut mem = Memory::new();
+    mem.alloc("OUT", 8 * 4);
+    let p_in = mem.alloc("IN", 8 * 4);
+    for (k, v) in [3i64, -7, 100, 0].into_iter().enumerate() {
+        mem.write_scalar(&p_in, (k * 4) as i64, lslp_ir::ScalarType::I32, Value::Int(v))
+            .unwrap();
+    }
+    let args = vec![
+        mem.ptr("OUT").unwrap(),
+        mem.ptr("IN").unwrap(),
+        Value::Float(2.5),
+        Value::Int(0),
+    ];
+    run_function(&m.functions[0], &args, &mut mem).unwrap();
+    let out = mem.ptr("OUT").unwrap();
+    let read = |k: usize, mem: &Memory| {
+        mem.read_scalar(&out, (k * 4) as i64, lslp_ir::ScalarType::I32)
+            .unwrap()
+            .as_int()
+    };
+    assert_eq!(read(0, &mem), 7); // 3 * 2.5 = 7.5 → 7
+    assert_eq!(read(1, &mem), -17); // -7 * 2.5 = -17.5 → -17
+    assert_eq!(read(2, &mem), 250);
+    assert_eq!(read(3, &mem), 0);
+}
+
+#[test]
+fn narrow_types_widen_the_vector_factor() {
+    // f32 elements fit 8 lanes into 256 bits.
+    let mut src = String::from("kernel f32x8(f32* A, f32* B, i64 i) {\n");
+    for o in 0..8 {
+        src.push_str(&format!("    A[i+{o}] = B[i+{o}] * B[i+{o}];\n"));
+    }
+    src.push('}');
+    let mut m = lslp_frontend::compile(&src).unwrap();
+    let reports = vectorize_module(&mut m, &VectorizerConfig::lslp(), &CostModel::default());
+    assert_eq!(reports[0].trees_vectorized, 1);
+    let text = lslp_ir::print_function(&m.functions[0]);
+    assert!(text.contains("<8 x f32>"), "{text}");
+}
