@@ -140,12 +140,8 @@ fn linearize(f: &Function, v: ValueId, depth: u32) -> LinExpr {
     };
     let args = &inst.args;
     match inst.op {
-        Opcode::Add => {
-            linearize(f, args[0], depth - 1).add(&linearize(f, args[1], depth - 1))
-        }
-        Opcode::Sub => {
-            linearize(f, args[0], depth - 1).sub(&linearize(f, args[1], depth - 1))
-        }
+        Opcode::Add => linearize(f, args[0], depth - 1).add(&linearize(f, args[1], depth - 1)),
+        Opcode::Sub => linearize(f, args[0], depth - 1).sub(&linearize(f, args[1], depth - 1)),
         Opcode::Mul => {
             let a = linearize(f, args[0], depth - 1);
             let b = linearize(f, args[1], depth - 1);

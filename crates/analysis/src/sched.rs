@@ -20,7 +20,12 @@ use crate::addr::AddrInfo;
 use crate::alias::may_alias;
 
 /// Whether `from` transitively depends on `to` through SSA operands.
-fn depends_on(f: &Function, from: ValueId, to: ValueId, cache: &mut HashMap<(ValueId, ValueId), bool>) -> bool {
+fn depends_on(
+    f: &Function,
+    from: ValueId,
+    to: ValueId,
+    cache: &mut HashMap<(ValueId, ValueId), bool>,
+) -> bool {
     if from == to {
         return true;
     }
@@ -138,9 +143,7 @@ pub fn bundle_hoistable(
     // address) can sit *later* in the body than the first member — its
     // address computation would not dominate the hoisted load.
     let lane0_ptr = f.args_of(bundle[0])[0];
-    if f.is_inst(lane0_ptr)
-        && positions.get(&lane0_ptr).is_none_or(|&p| p >= first_pos)
-    {
+    if f.is_inst(lane0_ptr) && positions.get(&lane0_ptr).is_none_or(|&p| p >= first_pos) {
         return false;
     }
     let in_bundle: HashSet<ValueId> = bundle.iter().copied().collect();

@@ -12,17 +12,13 @@ fn bench_pass(c: &mut Criterion) {
         let f = kernel.compile();
         for cfg_name in ["SLP-NR", "SLP", "LSLP"] {
             let cfg = VectorizerConfig::preset(cfg_name).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(cfg_name, kernel.name),
-                &f,
-                |b, f| {
-                    b.iter_batched(
-                        || f.clone(),
-                        |mut f| vectorize_function(&mut f, &cfg, &tm),
-                        criterion::BatchSize::SmallInput,
-                    )
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(cfg_name, kernel.name), &f, |b, f| {
+                b.iter_batched(
+                    || f.clone(),
+                    |mut f| vectorize_function(&mut f, &cfg, &tm),
+                    criterion::BatchSize::SmallInput,
+                )
+            });
         }
     }
     group.finish();

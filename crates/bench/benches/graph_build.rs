@@ -21,16 +21,12 @@ fn bench_graph_build(c: &mut Criterion) {
             .collect();
         for cfg_name in ["SLP", "LSLP"] {
             let cfg = VectorizerConfig::preset(cfg_name).unwrap();
-            group.bench_with_input(
-                BenchmarkId::new(cfg_name, kernel.name),
-                &seeds,
-                |b, seeds| {
-                    b.iter(|| {
-                        GraphBuilder::new(&f, &cfg, &addr, &positions, &use_map)
-                            .build(std::hint::black_box(seeds))
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(cfg_name, kernel.name), &seeds, |b, seeds| {
+                b.iter(|| {
+                    GraphBuilder::new(&f, &cfg, &addr, &positions, &use_map)
+                        .build(std::hint::black_box(seeds))
+                })
+            });
         }
     }
     group.finish();

@@ -10,18 +10,12 @@ use lslp_ir::Opcode;
 
 fn bench_lookahead(c: &mut Criterion) {
     // Deep commutative kernel: quartic_cylinder has degree-4 chains.
-    let kernel = lslp_kernels::suite()
-        .into_iter()
-        .find(|k| k.name == "quartic_cylinder")
-        .unwrap();
+    let kernel = lslp_kernels::suite().into_iter().find(|k| k.name == "quartic_cylinder").unwrap();
     let f = kernel.compile();
     let addr = AddrInfo::analyze(&f);
     // Pick the two lanes' root multiplications as the score operands.
-    let muls: Vec<_> = f
-        .iter_body()
-        .filter(|(_, _, i)| i.op == Opcode::FAdd)
-        .map(|(_, id, _)| id)
-        .collect();
+    let muls: Vec<_> =
+        f.iter_body().filter(|(_, _, i)| i.op == Opcode::FAdd).map(|(_, id, _)| id).collect();
     let (v1, v2) = (muls[0], *muls.last().unwrap());
 
     let mut group = c.benchmark_group("la_score");

@@ -2,7 +2,9 @@
 //! in order. `cargo run --release -p lslp-bench --bin all_experiments`
 fn main() {
     use lslp_bench::figures as f;
-    for section in [f::table2(), f::fig09(), f::fig10(), f::fig11(), f::fig12(), f::fig13(), f::fig14(10)] {
+    for section in
+        [f::table2(), f::fig09(), f::fig10(), f::fig11(), f::fig12(), f::fig13(), f::fig14(10)]
+    {
         println!("{section}");
         println!("{}", "=".repeat(72));
     }

@@ -28,10 +28,7 @@ fn main() {
             "score aggregation = Max",
             VectorizerConfig { score_agg: ScoreAgg::Max, ..VectorizerConfig::lslp() },
         ),
-        (
-            "splat detection off",
-            VectorizerConfig { splat_mode: false, ..VectorizerConfig::lslp() },
-        ),
+        ("splat detection off", VectorizerConfig { splat_mode: false, ..VectorizerConfig::lslp() }),
         (
             "LLVM-like score weights",
             VectorizerConfig {

@@ -7,11 +7,13 @@
 use lslp::{vectorize_function, VectorizerConfig};
 use lslp_target::CostModel;
 
-
 fn main() {
     let tm = CostModel::skylake_like();
     println!("Extension: horizontal-reduction seeds (cost; lower = better)\n");
-    println!("{:10} {:>14} {:>18} {:>20}", "Kernel", "LSLP", "LSLP+reductions", "reduction attempts");
+    println!(
+        "{:10} {:>14} {:>18} {:>20}",
+        "Kernel", "LSLP", "LSLP+reductions", "reduction attempts"
+    );
     for k in lslp_kernels::reduction_kernels() {
         let base = {
             let mut f = k.compile();

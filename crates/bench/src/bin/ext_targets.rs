@@ -23,13 +23,8 @@ fn main() {
         for (_, tm) in &targets {
             let mut f = k.compile();
             let report = vectorize_function(&mut f, &VectorizerConfig::lslp(), tm);
-            let max_vf = report
-                .attempts
-                .iter()
-                .filter(|a| a.vectorized)
-                .map(|a| a.vf)
-                .max()
-                .unwrap_or(0);
+            let max_vf =
+                report.attempts.iter().filter(|a| a.vectorized).map(|a| a.vf).max().unwrap_or(0);
             print!(" {:>12} / VF{max_vf}", report.applied_cost);
         }
         println!();

@@ -1,8 +1,5 @@
 //! Regenerates Figure 14: compilation time normalized to O3.
 fn main() {
-    let reps = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(10);
+    let reps = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
     print!("{}", lslp_bench::figures::fig14(reps));
 }

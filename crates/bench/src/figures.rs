@@ -114,8 +114,7 @@ pub fn fig11() -> String {
         let r = measure_benchmark(&wp, &configs);
         let slp = r.static_cost[2] as f64;
         assert!(slp < 0.0, "{name}: SLP must vectorize something");
-        let pct: Vec<f64> =
-            (1..4).map(|c| 100.0 * r.static_cost[c] as f64 / slp).collect();
+        let pct: Vec<f64> = (1..4).map(|c| 100.0 * r.static_cost[c] as f64 / slp).collect();
         for (c, &p) in pct.iter().enumerate() {
             ratios[c].push(p);
         }
@@ -126,8 +125,7 @@ pub fn fig11() -> String {
             format!("{:.1}", pct[2]),
         ]);
     }
-    let gmeans: Vec<String> =
-        ratios.iter().map(|xs| format!("{:.1}", geomean(xs))).collect();
+    let gmeans: Vec<String> = ratios.iter().map(|xs| format!("{:.1}", geomean(xs))).collect();
     let mut grow = vec!["GMean".to_string()];
     grow.extend(gmeans);
     rows.push(grow);
@@ -172,8 +170,16 @@ pub fn fig12() -> String {
 /// normalized to full LSLP.
 pub fn fig13() -> String {
     let configs = [
-        "O3", "SLP", "LSLP-LA0", "LSLP-LA1", "LSLP-LA2", "LSLP-LA4", "LSLP-Multi1",
-        "LSLP-Multi2", "LSLP-Multi3", "LSLP",
+        "O3",
+        "SLP",
+        "LSLP-LA0",
+        "LSLP-LA1",
+        "LSLP-LA2",
+        "LSLP-LA4",
+        "LSLP-Multi1",
+        "LSLP-Multi2",
+        "LSLP-Multi3",
+        "LSLP",
     ];
     let mut headers: Vec<String> = vec!["Kernel".into()];
     headers.extend(configs[1..].iter().map(|s| s.to_string()));

@@ -38,6 +38,10 @@ pub struct KernelRow {
     pub cycles: Vec<i64>,
     /// Speedup over `O3` per configuration (Fig 9).
     pub speedup: Vec<f64>,
+    /// Pass-guard incidents per configuration (should be all zero for the
+    /// shipped kernel suite; a non-zero count means the guard rolled a
+    /// transform back instead of miscompiling).
+    pub incidents: Vec<usize>,
 }
 
 /// Measure one kernel under the given configuration names.
@@ -50,6 +54,7 @@ pub fn measure_kernel(k: &Kernel, configs: &[&str], iters: usize) -> KernelRow {
     let tm = CostModel::skylake_like();
     let mut static_cost = Vec::new();
     let mut cycles = Vec::new();
+    let mut incidents = Vec::new();
     for &name in configs {
         let cfg = VectorizerConfig::preset(name)
             .unwrap_or_else(|| panic!("unknown configuration `{name}`"));
@@ -61,10 +66,11 @@ pub fn measure_kernel(k: &Kernel, configs: &[&str], iters: usize) -> KernelRow {
             .unwrap_or_else(|e| panic!("{} under {name}: {e}", k.name));
         static_cost.push(report.applied_cost);
         cycles.push(c);
+        incidents.push(report.incidents.len());
     }
     let base = cycles[0] as f64;
     let speedup = cycles.iter().map(|&c| base / c as f64).collect();
-    KernelRow { name: k.name.to_string(), static_cost, cycles, speedup }
+    KernelRow { name: k.name.to_string(), static_cost, cycles, speedup, incidents }
 }
 
 /// Per-benchmark whole-program measurements (Figs 11–12).
@@ -79,6 +85,9 @@ pub struct BenchmarkRow {
     pub weighted_cycles: Vec<f64>,
     /// Speedup over `O3` (Fig 12).
     pub speedup: Vec<f64>,
+    /// Pass-guard incidents per configuration, summed over the benchmark's
+    /// functions.
+    pub incidents: Vec<usize>,
 }
 
 /// Measure one synthetic whole-program benchmark.
@@ -86,20 +95,24 @@ pub fn measure_benchmark(wp: &WholeProgram, configs: &[&str]) -> BenchmarkRow {
     let tm = CostModel::skylake_like();
     let mut static_cost = Vec::new();
     let mut weighted_cycles = Vec::new();
+    let mut incidents = Vec::new();
     for &name in configs {
         let cfg = VectorizerConfig::preset(name).expect("known configuration");
         let mut cost = 0i64;
         let mut cyc = 0f64;
+        let mut inc = 0usize;
         for (p, &w) in wp.functions.iter().zip(&wp.weights) {
             let mut f = p.function.clone();
             let report = vectorize_function(&mut f, &cfg, &tm);
             cost += report.applied_cost;
+            inc += report.incidents.len();
             // Straight-line code: one execution = static body cycles; the
             // hotness weight stands in for the invocation count.
             cyc += w * body_cycles(&f, &tm) as f64;
         }
         static_cost.push(cost);
         weighted_cycles.push(cyc);
+        incidents.push(inc);
     }
     // Dilute with the benchmark's non-vectorizable background execution
     // (see `WholeProgram::background_factor`): configs differ only on the
@@ -110,7 +123,7 @@ pub fn measure_benchmark(wp: &WholeProgram, configs: &[&str]) -> BenchmarkRow {
     }
     let base = weighted_cycles[0];
     let speedup = weighted_cycles.iter().map(|&c| base / c).collect();
-    BenchmarkRow { name: wp.name.to_string(), static_cost, weighted_cycles, speedup }
+    BenchmarkRow { name: wp.name.to_string(), static_cost, weighted_cycles, speedup, incidents }
 }
 
 /// Compilation-time measurement for Fig 14: wall-clock of the full
@@ -206,6 +219,7 @@ mod tests {
         assert_eq!(row.static_cost[0], 0);
         assert_eq!(row.static_cost[3], -6);
         assert!(row.speedup[3] > row.speedup[2], "LSLP beats SLP on Fig 2");
+        assert!(row.incidents.iter().all(|&n| n == 0), "clean kernels raise no incidents");
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub struct Args {
     pub compare: Option<String>,
     /// Output file (stdout if absent).
     pub output: Option<String>,
+    /// Pass-guard mode override (`off` | `rollback` | `strict`); `None`
+    /// keeps the preset default (rollback).
+    pub guard: Option<String>,
+    /// Paranoid mode: differentially execute every committed transform
+    /// against its pre-transform snapshot (slow).
+    pub paranoid: bool,
 }
 
 impl Default for Args {
@@ -54,6 +60,8 @@ impl Default for Args {
             trace: false,
             compare: None,
             output: None,
+            guard: None,
+            paranoid: false,
         }
     }
 }
@@ -90,6 +98,13 @@ OPTIONS:
                        first iteration
     --compare <NAME>   also compile under a second configuration and print
                        a cost comparison
+    --guard <MODE>     off | rollback | strict — transactional pass guard
+                       semantics (default: rollback). Every pass and seed
+                       attempt is snapshotted, panic-isolated and verified;
+                       rollback restores the scalar code on any incident,
+                       strict aborts compilation, off disables the guard
+    --paranoid         differentially execute every committed transform
+                       against its pre-transform snapshot (slow)
     -o <FILE>          write output to FILE instead of stdout
     -h, --help         show this help
 ";
@@ -106,9 +121,7 @@ pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         let mut value_of = |flag: &str| {
-            it.next()
-                .cloned()
-                .ok_or_else(|| ArgError(format!("{flag} requires a value")))
+            it.next().cloned().ok_or_else(|| ArgError(format!("{flag} requires a value")))
         };
         match a.as_str() {
             "-h" | "--help" => return Err(ArgError(USAGE.to_string())),
@@ -131,6 +144,14 @@ pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
                     .map_err(|e| ArgError(format!("bad --iters value: {e}")))?
             }
             "--compare" => args.compare = Some(value_of("--compare")?),
+            "--guard" => {
+                let mode = value_of("--guard")?;
+                if !matches!(mode.as_str(), "off" | "rollback" | "strict") {
+                    return Err(ArgError(format!("unknown --guard mode `{mode}`")));
+                }
+                args.guard = Some(mode);
+            }
+            "--paranoid" => args.paranoid = true,
             "-o" => args.output = Some(value_of("-o")?),
             flag if flag.starts_with('-') && flag != "-" => {
                 return Err(ArgError(format!("unknown option `{flag}` (see --help)")))
@@ -167,8 +188,19 @@ mod tests {
     #[test]
     fn full_invocation() {
         let a = p(&[
-            "k.slc", "--config", "SLP", "--emit", "report", "--pipeline", "--run", "--iters",
-            "32", "--compare", "LSLP", "-o", "out.txt",
+            "k.slc",
+            "--config",
+            "SLP",
+            "--emit",
+            "report",
+            "--pipeline",
+            "--run",
+            "--iters",
+            "32",
+            "--compare",
+            "LSLP",
+            "-o",
+            "out.txt",
         ])
         .unwrap();
         assert_eq!(a.config, "SLP");
@@ -183,6 +215,17 @@ mod tests {
     fn stdin_dash_is_an_input() {
         let a = p(&["-"]).unwrap();
         assert_eq!(a.input, "-");
+    }
+
+    #[test]
+    fn guard_flags_parse() {
+        let a = p(&["k.slc", "--guard", "strict", "--paranoid"]).unwrap();
+        assert_eq!(a.guard.as_deref(), Some("strict"));
+        assert!(a.paranoid);
+        let d = p(&["k.slc"]).unwrap();
+        assert_eq!(d.guard, None);
+        assert!(!d.paranoid);
+        assert!(p(&["k.slc", "--guard", "yolo"]).unwrap_err().0.contains("unknown --guard"));
     }
 
     #[test]

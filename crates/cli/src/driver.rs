@@ -2,7 +2,10 @@
 
 use std::fmt::Write as _;
 
-use lslp::{run_pipeline, vectorize_function, VectorizerConfig, VectorizeReport};
+use lslp::{
+    try_run_pipeline, try_vectorize_function, vectorize_function, GuardMode, VectorizeReport,
+    VectorizerConfig,
+};
 use lslp_analysis::AddrInfo;
 use lslp_interp::{measure_cycles, run_function_traced, Memory, Value};
 use lslp_ir::{Function, Module, Opcode, ScalarType, Type};
@@ -22,17 +25,33 @@ impl std::fmt::Display for DriverError {
 
 impl std::error::Error for DriverError {}
 
-fn config(name: &str) -> Result<VectorizerConfig, DriverError> {
-    VectorizerConfig::preset(name)
-        .ok_or_else(|| DriverError(format!("unknown configuration `{name}`")))
+fn config(args: &Args) -> Result<VectorizerConfig, DriverError> {
+    let mut cfg = VectorizerConfig::preset(&args.config)
+        .ok_or_else(|| DriverError(format!("unknown configuration `{}`", args.config)))?;
+    if let Some(mode) = &args.guard {
+        cfg.guard = GuardMode::parse(mode)
+            .ok_or_else(|| DriverError(format!("unknown guard mode `{mode}`")))?;
+    }
+    cfg.paranoid = args.paranoid;
+    Ok(cfg)
 }
 
-fn optimize(m: &mut Module, cfg: &VectorizerConfig, pipeline: bool, tm: &CostModel) -> Vec<VectorizeReport> {
-    if pipeline {
-        lslp::run_pipeline_module(m, cfg, tm).into_iter().map(|r| r.vectorize).collect()
-    } else {
-        lslp::vectorize_module(m, cfg, tm)
+fn optimize(
+    m: &mut Module,
+    cfg: &VectorizerConfig,
+    pipeline: bool,
+    tm: &CostModel,
+) -> Result<Vec<VectorizeReport>, DriverError> {
+    let mut rs = Vec::new();
+    for f in &mut m.functions {
+        let r = if pipeline {
+            try_run_pipeline(f, cfg, tm).map(|r| r.vectorize)
+        } else {
+            try_vectorize_function(f, cfg, tm)
+        };
+        rs.push(r.map_err(|e| DriverError(format!("@{}: {e}", f.name())))?);
     }
+    Ok(rs)
 }
 
 fn emit_dot(src_module: &Module, cfg: &VectorizerConfig, tm: &CostModel) -> String {
@@ -42,8 +61,8 @@ fn emit_dot(src_module: &Module, cfg: &VectorizerConfig, tm: &CostModel) -> Stri
         let positions = f.position_map();
         let use_map = f.use_map();
         for chain in lslp::seeds::collect_store_chains(f, &addr) {
-            let graph = lslp::GraphBuilder::new(f, cfg, &addr, &positions, &use_map)
-                .build(&chain.stores);
+            let graph =
+                lslp::GraphBuilder::new(f, cfg, &addr, &positions, &use_map).build(&chain.stores);
             let cost = lslp::graph_cost(f, &graph, tm, &use_map);
             let _ = writeln!(out, "// @{} — seed chain of {} stores", f.name(), chain.len());
             out.push_str(&graph.to_dot(f, Some(&cost.per_node)));
@@ -60,8 +79,8 @@ fn emit_graphs(src_module: &Module, cfg: &VectorizerConfig, tm: &CostModel) -> S
         let positions = f.position_map();
         let use_map = f.use_map();
         for chain in lslp::seeds::collect_store_chains(f, &addr) {
-            let graph = lslp::GraphBuilder::new(f, cfg, &addr, &positions, &use_map)
-                .build(&chain.stores);
+            let graph =
+                lslp::GraphBuilder::new(f, cfg, &addr, &positions, &use_map).build(&chain.stores);
             let cost = lslp::graph_cost(f, &graph, tm, &use_map);
             let _ = writeln!(out, "; seed chain of {} stores:", chain.len());
             for line in graph.dump(f).lines() {
@@ -112,6 +131,9 @@ fn emit_report(m: &Module, reports: &[VectorizeReport]) -> String {
                 if red.applied { "vectorized" } else { "scalar" }
             );
         }
+        for inc in &r.incidents {
+            let _ = writeln!(out, "  incident {inc}");
+        }
     }
     out
 }
@@ -138,12 +160,14 @@ fn run_kernels(
                     // from the first typed access.
                     let elem = infer_elem(f, p);
                     let ptr = if elem.is_float() {
-                        let init: Vec<f64> =
-                            (0..len).map(|j| 0.5 + ((j * 37 + k * 11) % 64) as f64 / 32.0).collect();
+                        let init: Vec<f64> = (0..len)
+                            .map(|j| 0.5 + ((j * 37 + k * 11) % 64) as f64 / 32.0)
+                            .collect();
                         mem.alloc_f64(&name, &init)
                     } else {
-                        let init: Vec<i64> =
-                            (0..len).map(|j| ((j * 2654435761 + k * 97) % 509) as i64 + 1).collect();
+                        let init: Vec<i64> = (0..len)
+                            .map(|j| ((j * 2654435761 + k * 97) % 509) as i64 + 1)
+                            .collect();
                         mem.alloc_i64(&name, &init)
                     };
                     args.push(ptr);
@@ -226,13 +250,15 @@ fn infer_elem(f: &Function, param: lslp_ir::ValueId) -> ScalarType {
 /// Returns [`DriverError`] for unknown configurations, compile errors, or
 /// runtime failures under `--run`.
 pub fn run_on_source(args: &Args, src: &str) -> Result<String, DriverError> {
-    let cfg = config(&args.config)?;
+    let cfg = config(args)?;
     let tm = CostModel::skylake_like();
     let module = lslp_frontend::compile(src).map_err(|e| DriverError(e.to_string()))?;
 
     let mut out = String::new();
     if let Some(other) = &args.compare {
-        let cfg2 = config(other)?;
+        let mut cmp_args = args.clone();
+        cmp_args.config = other.clone();
+        let cfg2 = config(&cmp_args)?;
         let _ = writeln!(out, "; cost comparison {} vs {}", args.config, other);
         for f in &module.functions {
             let mut f1 = f.clone();
@@ -265,15 +291,7 @@ pub fn run_on_source(args: &Args, src: &str) -> Result<String, DriverError> {
         }
         Emit::Ir | Emit::Report => {
             let mut module = module;
-            let reports = if args.pipeline {
-                let mut rs = Vec::new();
-                for f in &mut module.functions {
-                    rs.push(run_pipeline(f, &cfg, &tm).vectorize);
-                }
-                rs
-            } else {
-                optimize(&mut module, &cfg, false, &tm)
-            };
+            let reports = optimize(&mut module, &cfg, args.pipeline, &tm)?;
             if args.emit == Emit::Report {
                 out.push_str(&emit_report(&module, &reports));
             } else {
@@ -372,6 +390,27 @@ mod tests {
     fn pipeline_flag_runs_scalar_passes() {
         let out = run(&["--pipeline"]);
         assert!(out.contains("<4 x f64>"), "{out}");
+    }
+
+    #[test]
+    fn guard_modes_accepted_end_to_end() {
+        // A well-formed kernel raises no incidents, so every guard mode
+        // (and paranoid differential execution) produces the same IR.
+        let baseline = run(&[]);
+        for extra in [
+            &["--guard", "off"][..],
+            &["--guard", "rollback"],
+            &["--guard", "strict"],
+            &["--guard", "rollback", "--paranoid"],
+        ] {
+            assert_eq!(run(extra), baseline, "guard flags {extra:?} changed the output");
+        }
+    }
+
+    #[test]
+    fn report_mode_is_incident_free_on_clean_input() {
+        let out = run(&["--emit", "report", "--pipeline", "--paranoid"]);
+        assert!(!out.contains("incident"), "{out}");
     }
 
     #[test]

@@ -114,8 +114,7 @@ impl<'a> Codegen<'a> {
             NodeKind::Vector { op } => {
                 let (_, hi) = self.member_pos(node);
                 let children = self.graph.node(node).operands.clone();
-                let args: Vec<ValueId> =
-                    children.iter().map(|&c| self.emit(c, hi)).collect();
+                let args: Vec<ValueId> = children.iter().map(|&c| self.emit(c, hi)).collect();
                 let ty = self.vec_ty(node);
                 let attr = self.f.inst(scalars[0]).expect("member").attr.clone();
                 let v = self.f.push(op, ty, args, attr);
@@ -165,11 +164,7 @@ impl<'a> Codegen<'a> {
     }
 
     fn emit_gather(&mut self, scalars: &[ValueId], lanes: u32, at: usize) -> ValueId {
-        let elem = self
-            .f
-            .ty(scalars[0])
-            .elem()
-            .expect("gather lanes have data types");
+        let elem = self.f.ty(scalars[0]).elem().expect("gather lanes have data types");
         // Base constant vector: constant lanes in place, zeros elsewhere.
         let base_lanes: Vec<Constant> = scalars
             .iter()
@@ -482,10 +477,8 @@ mod tests {
     fn multinode_codegen_folds_chain() {
         // A[i+o] = B[i+o] & C[i+o] & D[i+o]: 2-instruction chain per lane.
         let mut f = Function::new("k");
-        let arrays: Vec<ValueId> = ["A", "B", "C", "D"]
-            .iter()
-            .map(|n| f.add_param(*n, Type::PTR))
-            .collect();
+        let arrays: Vec<ValueId> =
+            ["A", "B", "C", "D"].iter().map(|n| f.add_param(*n, Type::PTR)).collect();
         let i = f.add_param("i", Type::I64);
         let mut stores = Vec::new();
         for o in 0..2i64 {
@@ -587,11 +580,7 @@ mod cmp_select_tests {
         let positions = f.position_map();
         let use_map = f.use_map();
         let graph = GraphBuilder::new(&f, &cfg, &addr, &positions, &use_map).build(&stores);
-        let gathers = graph
-            .nodes()
-            .iter()
-            .filter(|n| !n.is_vectorizable())
-            .count();
+        let gathers = graph.nodes().iter().filter(|n| !n.is_vectorizable()).count();
         assert!(gathers > 0, "differing predicates cannot form a group:\n{}", graph.dump(&f));
     }
 

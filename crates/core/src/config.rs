@@ -1,5 +1,7 @@
 //! Vectorizer configuration and the paper's named presets.
 
+use crate::guard::GuardMode;
+
 /// Operand-reordering strategy for commutative instruction groups.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ReorderKind {
@@ -110,6 +112,23 @@ pub struct VectorizerConfig {
     /// PACT'15 — the paper's related work \[22\]): cut cost-harmful subtrees
     /// before the profitability decision. Off in the paper presets.
     pub throttle: bool,
+    /// Transactional pass guard semantics (`lslp::guard`): every pass and
+    /// per-seed vectorization attempt is snapshotted, panic-isolated, and
+    /// verified before committing. Default [`GuardMode::Rollback`].
+    pub guard: GuardMode,
+    /// Paranoid mode: additionally check every committed transform by
+    /// differential execution against the pre-transform function with the
+    /// `lslp_interp` oracle on synthesized inputs. Slow; off by default.
+    pub paranoid: bool,
+    /// Compile fuel: maximum number of SLP graph nodes per seed attempt.
+    /// When the builder hits the cap the remaining bundles become gather
+    /// leaves and a `FuelExhausted` incident is recorded.
+    pub max_graph_nodes: usize,
+    /// Compile fuel: wall-clock budget for the whole pass over one
+    /// function, in milliseconds. `None` = unlimited. When the budget runs
+    /// out the pass stops attempting further seeds (work already committed
+    /// is kept) and records a `FuelExhausted` incident.
+    pub time_budget_ms: Option<u64>,
 }
 
 impl VectorizerConfig {
@@ -128,6 +147,10 @@ impl VectorizerConfig {
             max_depth: 24,
             enable_reductions: false,
             throttle: false,
+            guard: GuardMode::Rollback,
+            paranoid: false,
+            max_graph_nodes: 4096,
+            time_budget_ms: None,
         }
     }
 
@@ -220,10 +243,7 @@ mod tests {
         assert!(VectorizerConfig::preset("SLP").is_some());
         assert!(VectorizerConfig::preset("SLP-NR").is_some());
         assert_eq!(VectorizerConfig::preset("LSLP-LA2").unwrap().la_depth, 2);
-        assert_eq!(
-            VectorizerConfig::preset("LSLP-Multi3").unwrap().max_multinode_insts,
-            3
-        );
+        assert_eq!(VectorizerConfig::preset("LSLP-Multi3").unwrap().max_multinode_insts, 3);
         assert!(VectorizerConfig::preset("GCC").is_none());
         assert!(VectorizerConfig::preset("LSLP-LAx").is_none());
     }

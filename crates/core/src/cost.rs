@@ -66,10 +66,7 @@ fn has_external_use(
     s: ValueId,
     doomed: &std::collections::HashSet<ValueId>,
 ) -> bool {
-    use_map
-        .uses(s)
-        .iter()
-        .any(|u| !graph.contains(u.user) && !doomed.contains(&u.user))
+    use_map.uses(s).iter().any(|u| !graph.contains(u.user) && !doomed.contains(&u.user))
 }
 
 /// Compute the cost report for a graph over the current function state.
@@ -113,13 +110,9 @@ pub fn graph_cost_excluding(
             extract_cost += tm.extract_for_external_use();
         }
     }
-    let total = per_node
-        .iter()
-        .enumerate()
-        .filter(|&(id, _)| reach[id])
-        .map(|(_, &c)| c)
-        .sum::<i64>()
-        + extract_cost;
+    let total =
+        per_node.iter().enumerate().filter(|&(id, _)| reach[id]).map(|(_, &c)| c).sum::<i64>()
+            + extract_cost;
     CostReport { per_node, extract_cost, total }
 }
 

@@ -5,7 +5,9 @@
 //! [`crate::dce`] this forms the scalar `-O3`-style pipeline that precedes
 //! the vectorizer (see [`crate::pipeline`]).
 
-use lslp_ir::{Constant, FloatPred, Function, InstAttr, IntPred, Module, Opcode, ScalarType, ValueId};
+use lslp_ir::{
+    Constant, FloatPred, Function, InstAttr, IntPred, Module, Opcode, ScalarType, ValueId,
+};
 
 fn sext(v: i64, bits: u32) -> i64 {
     if bits >= 64 {
@@ -107,7 +109,13 @@ fn eval_fcmp(p: FloatPred, a: f64, b: f64) -> bool {
     }
 }
 
-fn fold_scalar(op: Opcode, ty: ScalarType, attr: &InstAttr, a: &Constant, b: &Constant) -> Option<Constant> {
+fn fold_scalar(
+    op: Opcode,
+    ty: ScalarType,
+    attr: &InstAttr,
+    a: &Constant,
+    b: &Constant,
+) -> Option<Constant> {
     match (op, attr) {
         (Opcode::ICmp, InstAttr::IntPred(p)) => {
             let bits = a.scalar_ty()?.bits();
@@ -116,15 +124,16 @@ fn fold_scalar(op: Opcode, ty: ScalarType, attr: &InstAttr, a: &Constant, b: &Co
                 eval_icmp(*p, bits, a.as_int()?, b.as_int()?) as i64,
             ))
         }
-        (Opcode::FCmp, InstAttr::FloatPred(p)) => Some(Constant::int(
-            ScalarType::I8,
-            eval_fcmp(*p, a.as_f64()?, b.as_f64()?) as i64,
-        )),
+        (Opcode::FCmp, InstAttr::FloatPred(p)) => {
+            Some(Constant::int(ScalarType::I8, eval_fcmp(*p, a.as_f64()?, b.as_f64()?) as i64))
+        }
         _ if ty.is_float() => {
             let r = eval_float(op, a.as_f64()?, b.as_f64()?)?;
             Some(Constant::float(ty, if ty == ScalarType::F32 { r as f32 as f64 } else { r }))
         }
-        _ if ty.is_int() => Some(Constant::int(ty, eval_int(op, ty.bits(), a.as_int()?, b.as_int()?)?)),
+        _ if ty.is_int() => {
+            Some(Constant::int(ty, eval_int(op, ty.bits(), a.as_int()?, b.as_int()?)?))
+        }
         _ => None,
     }
 }

@@ -46,6 +46,9 @@ pub enum GatherReason {
     /// Demoted by graph throttling (`lslp::throttle`): vectorizing this
     /// subtree costs more than gathering its roots.
     Throttled,
+    /// The node-count fuel budget ([`VectorizerConfig::max_graph_nodes`])
+    /// ran out; the rest of the subtree is conservatively gathered.
+    NodeBudget,
 }
 
 impl fmt::Display for GatherReason {
@@ -60,6 +63,7 @@ impl fmt::Display for GatherReason {
             GatherReason::NotSchedulable => "not schedulable",
             GatherReason::DepthLimit => "depth limit",
             GatherReason::Throttled => "throttled",
+            GatherReason::NodeBudget => "node budget exhausted",
         };
         f.write_str(s)
     }
@@ -177,6 +181,14 @@ impl SlpGraph {
         self.in_tree.iter().map(|(&v, &n)| (v, n))
     }
 
+    /// Whether the node-count fuel budget truncated this graph (some
+    /// bundle was gathered with [`GatherReason::NodeBudget`]).
+    pub fn budget_exhausted(&self) -> bool {
+        self.nodes
+            .iter()
+            .any(|n| matches!(n.kind, NodeKind::Gather { reason: GatherReason::NodeBudget }))
+    }
+
     /// Node ids reachable from the root (unreachable nodes exist after
     /// throttling cuts; cost and codegen ignore them).
     pub fn reachable(&self) -> Vec<bool> {
@@ -227,12 +239,7 @@ impl SlpGraph {
                         .unwrap_or_else(|| format!("%{}", s.raw())),
                 })
                 .collect();
-            let _ = writeln!(
-                out,
-                "n{id}: {kind} [{}] -> {:?}",
-                lanes.join(", "),
-                node.operands
-            );
+            let _ = writeln!(out, "n{id}: {kind} [{}] -> {:?}", lanes.join(", "), node.operands);
         }
         out
     }
@@ -315,6 +322,9 @@ impl<'a> GraphBuilder<'a> {
     fn build_rec_fresh(&mut self, bundle: Vec<ValueId>, depth: u32) -> NodeId {
         let f = self.f;
         // Termination conditions (footnote 1 of the paper).
+        if self.nodes.len() >= self.cfg.max_graph_nodes {
+            return self.gather(bundle, GatherReason::NodeBudget);
+        }
         if depth > self.cfg.max_depth {
             return self.gather(bundle, GatherReason::DepthLimit);
         }
@@ -335,9 +345,7 @@ impl<'a> GraphBuilder<'a> {
         let first = f.inst(bundle[0]).expect("checked: instruction");
         let isomorphic = bundle.iter().all(|&v| {
             let i = f.inst(v).expect("checked: instruction");
-            i.op == first.op
-                && i.ty == first.ty
-                && (i.op == Opcode::Load || i.attr == first.attr)
+            i.op == first.op && i.ty == first.ty && (i.op == Opcode::Load || i.attr == first.attr)
         });
         if !isomorphic {
             return self.gather(bundle, GatherReason::OpcodeMismatch);
@@ -362,9 +370,7 @@ impl<'a> GraphBuilder<'a> {
     }
 
     fn build_load(&mut self, bundle: Vec<ValueId>) -> NodeId {
-        let consecutive = bundle
-            .windows(2)
-            .all(|w| self.addr.consecutive(w[0], w[1]));
+        let consecutive = bundle.windows(2).all(|w| self.addr.consecutive(w[0], w[1]));
         if !consecutive {
             return self.gather(bundle, GatherReason::NotConsecutiveLoads);
         }
@@ -379,9 +385,7 @@ impl<'a> GraphBuilder<'a> {
     }
 
     fn build_store(&mut self, bundle: Vec<ValueId>, depth: u32) -> NodeId {
-        let consecutive = bundle
-            .windows(2)
-            .all(|w| self.addr.consecutive(w[0], w[1]));
+        let consecutive = bundle.windows(2).all(|w| self.addr.consecutive(w[0], w[1]));
         if !consecutive {
             return self.gather(bundle, GatherReason::NotConsecutiveLoads);
         }
@@ -422,13 +426,8 @@ impl<'a> GraphBuilder<'a> {
         // lanes; the root check above covers them transitively because each
         // internal value feeds its lane root, but re-check defensively when
         // chains are non-trivial.
-        let lane_operands: Vec<Vec<ValueId>> =
-            chains.iter().map(|c| c.operands.clone()).collect();
-        let kind = if k > 1 {
-            NodeKind::MultiNode { op, chains }
-        } else {
-            NodeKind::Vector { op }
-        };
+        let lane_operands: Vec<Vec<ValueId>> = chains.iter().map(|c| c.operands.clone()).collect();
+        let kind = if k > 1 { NodeKind::MultiNode { op, chains } } else { NodeKind::Vector { op } };
         let id = self.reserve(bundle, kind);
         let slots = reorder_operands(self.f, self.addr, &lane_operands, self.cfg);
         for slot in slots {
@@ -447,8 +446,7 @@ impl<'a> GraphBuilder<'a> {
         let nargs = self.f.args_of(bundle[0]).len();
         let id = self.reserve(bundle.clone(), NodeKind::Vector { op });
         for slot in 0..nargs {
-            let column: Vec<ValueId> =
-                bundle.iter().map(|&v| self.f.args_of(v)[slot]).collect();
+            let column: Vec<ValueId> = bundle.iter().map(|&v| self.f.args_of(v)[slot]).collect();
             let child = self.build_rec(column, depth + 1);
             self.nodes[id].operands.push(child);
         }
@@ -500,22 +498,14 @@ mod tests {
         // Store -> add -> two load nodes; no gathers.
         let gathers = g.nodes().iter().filter(|n| !n.is_vectorizable()).count();
         assert_eq!(gathers, 0, "{}", g.dump(&f));
-        let loads = g
-            .nodes()
-            .iter()
-            .filter(|n| matches!(n.kind, NodeKind::Load { .. }))
-            .count();
+        let loads = g.nodes().iter().filter(|n| matches!(n.kind, NodeKind::Load { .. })).count();
         assert_eq!(loads, 2);
     }
 
     #[test]
     fn all_configs_share_graph_on_aligned_code() {
         let (f, seeds) = simple_add_kernel();
-        for cfg in [
-            VectorizerConfig::slp_nr(),
-            VectorizerConfig::slp(),
-            VectorizerConfig::lslp(),
-        ] {
+        for cfg in [VectorizerConfig::slp_nr(), VectorizerConfig::slp(), VectorizerConfig::lslp()] {
             let g = build_for(&f, &cfg, &seeds);
             assert!(
                 g.nodes().iter().all(Node::is_vectorizable),
@@ -685,7 +675,8 @@ impl SlpGraph {
     /// `per_node` vector.
     pub fn to_dot(&self, f: &Function, per_node_cost: Option<&[i64]>) -> String {
         use std::fmt::Write as _;
-        let mut out = String::from("digraph slp {\n  rankdir=BT;\n  node [fontname=\"monospace\"];\n");
+        let mut out =
+            String::from("digraph slp {\n  rankdir=BT;\n  node [fontname=\"monospace\"];\n");
         let reach = self.reachable();
         for (id, node) in self.nodes.iter().enumerate() {
             if !reach[id] {

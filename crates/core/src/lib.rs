@@ -59,6 +59,7 @@ pub mod cse;
 pub mod dce;
 pub mod fold;
 pub mod graph;
+pub mod guard;
 pub mod multinode;
 pub mod pass;
 pub mod pipeline;
@@ -73,5 +74,8 @@ pub use codegen::CodegenStats;
 pub use config::{ReorderKind, ScoreAgg, ScoreWeights, VectorizerConfig};
 pub use cost::{graph_cost, graph_cost_excluding, graph_cost_reachable, CostReport};
 pub use graph::{GatherReason, GraphBuilder, Node, NodeId, NodeKind, Placement, SlpGraph};
-pub use pass::{vectorize_function, vectorize_module, Attempt, VectorizeReport};
-pub use pipeline::{run_pipeline, run_pipeline_module, PipelineReport};
+pub use guard::{GuardError, GuardMode, Incident, IncidentKind};
+pub use pass::{
+    try_vectorize_function, vectorize_function, vectorize_module, Attempt, VectorizeReport,
+};
+pub use pipeline::{run_pipeline, run_pipeline_module, try_run_pipeline, PipelineReport};

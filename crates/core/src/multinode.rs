@@ -103,12 +103,8 @@ pub fn form_multinode(
     fast_math: bool,
 ) -> Vec<LaneChain> {
     let cap = if op.is_associative(fast_math) { max_insts.max(1) } else { 1 };
-    let k = roots
-        .iter()
-        .map(|&r| max_chain_insts(f, use_map, in_tree, r))
-        .min()
-        .unwrap_or(1)
-        .min(cap);
+    let k =
+        roots.iter().map(|&r| max_chain_insts(f, use_map, in_tree, r)).min().unwrap_or(1).min(cap);
     roots
         .iter()
         .map(|&r| {
@@ -237,15 +233,8 @@ mod tests {
         b.store(r0, p);
         b.store(r1, p);
         let um = f.use_map();
-        let chains = form_multinode(
-            &f,
-            &um,
-            &HashMap::new(),
-            &[r0, r1],
-            Opcode::And,
-            usize::MAX,
-            true,
-        );
+        let chains =
+            form_multinode(&f, &um, &HashMap::new(), &[r0, r1], Opcode::And, usize::MAX, true);
         assert_eq!(chains[0].insts.len(), 2);
         assert_eq!(chains[1].insts.len(), 2);
         assert_eq!(chains[0].operands.len(), 3);

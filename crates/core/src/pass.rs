@@ -16,6 +16,7 @@ use crate::config::VectorizerConfig;
 use crate::cost::graph_cost;
 use crate::dce;
 use crate::graph::GraphBuilder;
+use crate::guard::{self, GuardError, GuardMode, Incident, IncidentKind};
 use crate::seeds::collect_store_chains;
 
 /// One attempted seed group.
@@ -52,6 +53,11 @@ pub struct VectorizeReport {
     /// Reduction-seed attempts (only when
     /// [`VectorizerConfig::enable_reductions`] is set).
     pub reductions: Vec<crate::reduce::ReductionAttempt>,
+    /// Guard incidents recorded while the pass ran: rolled-back seed
+    /// attempts, skipped unsupported seeds, exhausted fuel budgets (empty
+    /// under [`GuardMode::Off`], and in strict mode the first incident
+    /// aborts the pass instead).
+    pub incidents: Vec<Incident>,
     /// Wall-clock time spent in the pass (compilation-time metric of
     /// Figure 14).
     pub elapsed: Duration,
@@ -121,59 +127,152 @@ pub fn vectorize_function(
     cfg: &VectorizerConfig,
     tm: &CostModel,
 ) -> VectorizeReport {
+    try_vectorize_function(f, cfg, tm)
+        .unwrap_or_else(|e| panic!("vectorizer aborted under the strict guard: {e}"))
+}
+
+/// [`vectorize_function`], surfacing [`GuardMode::Strict`] aborts as an
+/// error instead of a panic. Under the other guard modes this never fails.
+///
+/// # Errors
+///
+/// In strict mode, returns the first guard incident (panic, verification
+/// failure, or oracle mismatch) as a [`GuardError`]; the function is left
+/// rolled back to its state before the failing transaction.
+pub fn try_vectorize_function(
+    f: &mut Function,
+    cfg: &VectorizerConfig,
+    tm: &CostModel,
+) -> Result<VectorizeReport, GuardError> {
     let start = Instant::now();
+    let deadline = cfg.time_budget_ms.map(|ms| start + Duration::from_millis(ms));
     let mut report = VectorizeReport::default();
     if !cfg.enabled {
         report.elapsed = start.elapsed();
-        return report;
+        return Ok(report);
     }
+    // Scalar fallback anchor: if the function is somehow left broken at
+    // the end despite the per-attempt checks, restore the scalar original.
+    let entry_snapshot = (cfg.guard != GuardMode::Off).then(|| f.clone());
 
     let mut tried: HashSet<Vec<ValueId>> = HashSet::new();
+    let mut fuel_spent = false;
     'restart: loop {
         let addr = AddrInfo::analyze(f);
         let chains = collect_store_chains(f, &addr);
         let positions = f.position_map();
         let use_map = f.use_map();
         for chain in &chains {
-            let elem = f
-                .ty(f.args_of(chain.stores[0])[0])
-                .elem()
-                .expect("store of data value");
+            let Some(elem) = f.ty(f.args_of(chain.stores[0])[0]).elem() else {
+                // A store whose stored value has no element type (void):
+                // nothing we could widen. Skip the chain and record it.
+                let bundle = chain.stores.clone();
+                if tried.insert(bundle.clone()) {
+                    guard::record(
+                        cfg.guard,
+                        &mut report.incidents,
+                        Incident {
+                            pass: "vectorize".into(),
+                            seed: Some(seed_desc(f, &addr, &bundle)),
+                            kind: IncidentKind::UnsupportedSeed,
+                            detail: "stored value has no element type".into(),
+                        },
+                    )?;
+                }
+                continue;
+            };
             let max_vf = (tm.max_vf(elem) as usize).min(cfg.max_vf as usize);
             let mut i = 0;
             while i < chain.len() {
+                if !fuel_spent {
+                    if let Some(d) = deadline {
+                        if Instant::now() > d {
+                            fuel_spent = true;
+                            guard::record(
+                                cfg.guard,
+                                &mut report.incidents,
+                                Incident {
+                                    pass: "vectorize".into(),
+                                    seed: None,
+                                    kind: IncidentKind::FuelExhausted,
+                                    detail: format!(
+                                        "time budget of {}ms exhausted; remaining seeds skipped",
+                                        cfg.time_budget_ms.unwrap_or(0)
+                                    ),
+                                },
+                            )?;
+                        }
+                    }
+                }
+                if fuel_spent {
+                    break 'restart;
+                }
                 let remaining = chain.len() - i;
                 let mut vf = pow2_floor(remaining.min(max_vf));
                 while vf >= 2 {
                     let bundle = chain.stores[i..i + vf].to_vec();
                     if tried.insert(bundle.clone()) {
-                        let mut graph = GraphBuilder::new(f, cfg, &addr, &positions, &use_map)
-                            .build(&bundle);
-                        if cfg.throttle {
-                            crate::throttle::throttle(f, &mut graph, tm, &use_map);
+                        let seed_name = seed_desc(f, &addr, &bundle);
+                        let attempt = guard::run_guarded(
+                            f,
+                            cfg.guard,
+                            cfg.paranoid,
+                            "vectorize",
+                            Some(&seed_name),
+                            &mut report.incidents,
+                            |f| {
+                                let mut graph =
+                                    GraphBuilder::new(f, cfg, &addr, &positions, &use_map)
+                                        .build(&bundle);
+                                if cfg.throttle {
+                                    crate::throttle::throttle(f, &mut graph, tm, &use_map);
+                                }
+                                let cost = graph_cost(f, &graph, tm, &use_map);
+                                let gathers =
+                                    graph.nodes().iter().filter(|n| !n.is_vectorizable()).count();
+                                let vectorize = cost.total < cfg.cost_threshold;
+                                let attempt = Attempt {
+                                    seed: seed_name.clone(),
+                                    vf,
+                                    cost: cost.total,
+                                    nodes: graph.nodes().len(),
+                                    gathers,
+                                    vectorized: vectorize,
+                                };
+                                let truncated = graph.budget_exhausted();
+                                let stats = vectorize.then(|| codegen::generate(f, &graph));
+                                let mutated = stats.is_some();
+                                ((attempt, stats, truncated), mutated)
+                            },
+                        )?;
+                        if let Some((attempt, stats, truncated)) = attempt {
+                            if truncated {
+                                guard::record(
+                                    cfg.guard,
+                                    &mut report.incidents,
+                                    Incident {
+                                        pass: "vectorize".into(),
+                                        seed: Some(attempt.seed.clone()),
+                                        kind: IncidentKind::FuelExhausted,
+                                        detail: format!(
+                                            "graph truncated at {} nodes",
+                                            cfg.max_graph_nodes
+                                        ),
+                                    },
+                                )?;
+                            }
+                            let cost = attempt.cost;
+                            let applied = attempt.vectorized;
+                            report.attempts.push(attempt);
+                            if applied {
+                                report.absorb(&stats.expect("stats exist when vectorized"));
+                                report.applied_cost += cost;
+                                report.trees_vectorized += 1;
+                                continue 'restart;
+                            }
                         }
-                        let cost = graph_cost(f, &graph, tm, &use_map);
-                        let gathers = graph
-                            .nodes()
-                            .iter()
-                            .filter(|n| !n.is_vectorizable())
-                            .count();
-                        let vectorize = cost.total < cfg.cost_threshold;
-                        report.attempts.push(Attempt {
-                            seed: seed_desc(f, &addr, &bundle),
-                            vf,
-                            cost: cost.total,
-                            nodes: graph.nodes().len(),
-                            gathers,
-                            vectorized: vectorize,
-                        });
-                        if vectorize {
-                            let stats = codegen::generate(f, &graph);
-                            report.absorb(&stats);
-                            report.applied_cost += cost.total;
-                            report.trees_vectorized += 1;
-                            continue 'restart;
-                        }
+                        // A rolled-back attempt: the seed stays in `tried`,
+                        // so the pass moves on to narrower bundles.
                     }
                     vf /= 2;
                 }
@@ -183,7 +282,20 @@ pub fn vectorize_function(
         break;
     }
     if cfg.enable_reductions {
-        report.reductions = crate::reduce::run(f, cfg, tm);
+        let reds = guard::run_guarded(
+            f,
+            cfg.guard,
+            cfg.paranoid,
+            "reductions",
+            None,
+            &mut report.incidents,
+            |f| {
+                let reds = crate::reduce::run(f, cfg, tm);
+                let mutated = reds.iter().any(|r| r.applied);
+                (reds, mutated)
+            },
+        )?;
+        report.reductions = reds.unwrap_or_default();
         for r in &report.reductions {
             if r.applied {
                 report.applied_cost += r.cost;
@@ -191,14 +303,47 @@ pub fn vectorize_function(
             }
         }
     }
-    report.dce_removed = dce::run(f);
-    debug_assert!(
-        lslp_ir::verify_function(f).is_ok(),
-        "vectorized function failed verification: {:?}",
-        lslp_ir::verify_function(f)
-    );
+    report.dce_removed =
+        guard::run_guarded(f, cfg.guard, cfg.paranoid, "dce", None, &mut report.incidents, |f| {
+            let n = dce::run(f);
+            (n, n > 0)
+        })?
+        .unwrap_or(0);
+    // Final checkpoint: every committed transaction was verified above, so
+    // this should never fire — but if it does, fall back to the scalar
+    // original rather than emit a broken function.
+    if let Some(snapshot) = entry_snapshot {
+        if let Err(e) = lslp_ir::verify_function(f) {
+            *f = snapshot;
+            let incident = Incident {
+                pass: "vectorize".into(),
+                seed: None,
+                kind: IncidentKind::VerifyError,
+                detail: format!("final checkpoint failed, scalar fallback taken: {e}"),
+            };
+            if cfg.guard == GuardMode::Strict {
+                return Err(GuardError(incident));
+            }
+            report = VectorizeReport {
+                incidents: {
+                    let mut v = report.incidents;
+                    v.push(incident);
+                    v
+                },
+                elapsed: start.elapsed(),
+                ..VectorizeReport::default()
+            };
+            return Ok(report);
+        }
+    } else {
+        debug_assert!(
+            lslp_ir::verify_function(f).is_ok(),
+            "vectorized function failed verification: {:?}",
+            lslp_ir::verify_function(f)
+        );
+    }
     report.elapsed = start.elapsed();
-    report
+    Ok(report)
 }
 
 /// Run the pass over every function of a module; returns per-function
@@ -208,10 +353,7 @@ pub fn vectorize_module(
     cfg: &VectorizerConfig,
     tm: &CostModel,
 ) -> Vec<VectorizeReport> {
-    m.functions
-        .iter_mut()
-        .map(|f| vectorize_function(f, cfg, tm))
-        .collect()
+    m.functions.iter_mut().map(|f| vectorize_function(f, cfg, tm)).collect()
 }
 
 #[cfg(test)]
@@ -276,12 +418,8 @@ mod tests {
         let mut f = axpy_kernel(6);
         let report = vectorize_function(&mut f, &VectorizerConfig::lslp(), &CostModel::default());
         assert_eq!(report.trees_vectorized, 2);
-        let vfs: Vec<usize> = report
-            .attempts
-            .iter()
-            .filter(|a| a.vectorized)
-            .map(|a| a.vf)
-            .collect();
+        let vfs: Vec<usize> =
+            report.attempts.iter().filter(|a| a.vectorized).map(|a| a.vf).collect();
         assert_eq!(vfs, vec![4, 2]);
     }
 

@@ -13,7 +13,8 @@ use lslp_ir::{Function, Module};
 use lslp_target::CostModel;
 
 use crate::config::VectorizerConfig;
-use crate::pass::{vectorize_function, VectorizeReport};
+use crate::guard::{self, GuardError, GuardMode, Incident};
+use crate::pass::{try_vectorize_function, VectorizeReport};
 use crate::{cse, dce, fold, simplify};
 
 /// Statistics from one pipeline run over a function.
@@ -29,6 +30,9 @@ pub struct PipelineReport {
     pub dce_removed: usize,
     /// The vectorizer's report (empty when disabled).
     pub vectorize: VectorizeReport,
+    /// Guard incidents from the *scalar* passes (the vectorizer's own
+    /// incidents are in [`VectorizeReport::incidents`]).
+    pub incidents: Vec<Incident>,
     /// Wall-clock time of the scalar pipeline (excluding the vectorizer).
     pub scalar_time: Duration,
     /// Total wall-clock time including the vectorizer.
@@ -39,27 +43,59 @@ pub struct PipelineReport {
 const SCALAR_ROUNDS: usize = 2;
 
 /// Run the full pipeline over one function.
-pub fn run_pipeline(
+pub fn run_pipeline(f: &mut Function, cfg: &VectorizerConfig, tm: &CostModel) -> PipelineReport {
+    try_run_pipeline(f, cfg, tm)
+        .unwrap_or_else(|e| panic!("pipeline aborted under the strict guard: {e}"))
+}
+
+/// [`run_pipeline`], surfacing [`GuardMode::Strict`] aborts as an error
+/// instead of a panic. Every scalar pass and the vectorizer run as guarded
+/// transactions (see `lslp::guard`).
+///
+/// # Errors
+///
+/// In strict mode, returns the first guard incident as a [`GuardError`];
+/// the function is left rolled back to its state before the failing
+/// transaction.
+pub fn try_run_pipeline(
     f: &mut Function,
     cfg: &VectorizerConfig,
     tm: &CostModel,
-) -> PipelineReport {
+) -> Result<PipelineReport, GuardError> {
     let start = Instant::now();
     let mut report = PipelineReport::default();
+    // Each scalar pass is its own transaction: a pass that panics or
+    // corrupts the function is rolled back and skipped; the rest of the
+    // pipeline still runs.
+    let guarded = |f: &mut Function,
+                   incidents: &mut Vec<Incident>,
+                   pass: &str,
+                   body: fn(&mut Function, &VectorizerConfig) -> usize|
+     -> Result<usize, GuardError> {
+        Ok(guard::run_guarded(f, cfg.guard, cfg.paranoid, pass, None, incidents, |f| {
+            let n = body(f, cfg);
+            (n, n > 0)
+        })?
+        .unwrap_or(0))
+    };
     for _ in 0..SCALAR_ROUNDS {
-        report.simplified += simplify::run(f, cfg.fast_math);
-        report.folded += fold::run(f);
-        report.cse_merged += cse::run(f);
-        report.dce_removed += dce::run(f);
+        let inc = &mut report.incidents;
+        report.simplified += guarded(f, inc, "simplify", |f, cfg| simplify::run(f, cfg.fast_math))?;
+        report.folded += guarded(f, inc, "fold", |f, _| fold::run(f))?;
+        report.cse_merged += guarded(f, inc, "cse", |f, _| cse::run(f))?;
+        report.dce_removed += guarded(f, inc, "dce", |f, _| dce::run(f))?;
     }
     report.scalar_time = start.elapsed();
-    report.vectorize = vectorize_function(f, cfg, tm);
+    report.vectorize = try_vectorize_function(f, cfg, tm)?;
     // A final clean-up round: vectorization exposes dead address math (the
     // vectorizer also runs its own DCE; fold both counts together).
-    report.dce_removed += report.vectorize.dce_removed + dce::run(f);
+    report.dce_removed += report.vectorize.dce_removed
+        + guarded(f, &mut report.incidents, "dce", |f, _| dce::run(f))?;
     report.total_time = start.elapsed();
-    debug_assert!(lslp_ir::verify_function(f).is_ok());
-    report
+    if cfg.guard == GuardMode::Off {
+        debug_assert!(lslp_ir::verify_function(f).is_ok());
+    }
+    Ok(report)
 }
 
 /// Run the pipeline over every function of a module.
@@ -68,10 +104,7 @@ pub fn run_pipeline_module(
     cfg: &VectorizerConfig,
     tm: &CostModel,
 ) -> Vec<PipelineReport> {
-    m.functions
-        .iter_mut()
-        .map(|f| run_pipeline(f, cfg, tm))
-        .collect()
+    m.functions.iter_mut().map(|f| run_pipeline(f, cfg, tm)).collect()
 }
 
 #[cfg(test)]
@@ -142,10 +175,7 @@ mod tests {
         run_pipeline(&mut f, &VectorizerConfig::o3(), &CostModel::default());
         let after = f.body_len();
         assert!(after < before, "pipeline must shrink the busy function");
-        let stores = f
-            .iter_body()
-            .filter(|(_, _, i)| i.op == lslp_ir::Opcode::Store)
-            .count();
+        let stores = f.iter_body().filter(|(_, _, i)| i.op == lslp_ir::Opcode::Store).count();
         assert_eq!(stores, 2);
     }
 

@@ -355,8 +355,7 @@ mod tests {
         let mut mem = Memory::new();
         mem.alloc_i64("R", &[0; 8]);
         mem.alloc_i64("X", &[10, 20, 30, 40, 50, 60]);
-        let args =
-            vec![mem.ptr("R").unwrap(), mem.ptr("X").unwrap(), Value::Int(0)];
+        let args = vec![mem.ptr("R").unwrap(), mem.ptr("X").unwrap(), Value::Int(0)];
         run_function(&f, &args, &mut mem).unwrap();
         assert_eq!(mem.read_i64("R", 0), Some(150));
     }

@@ -178,9 +178,7 @@ pub fn reorder_lookahead(
 pub fn reorder_none(lane_operands: &[Vec<ValueId>]) -> Vec<Vec<ValueId>> {
     let lanes = lane_operands.len();
     let nops = lane_operands[0].len();
-    (0..nops)
-        .map(|i| (0..lanes).map(|l| lane_operands[l][i]).collect())
-        .collect()
+    (0..nops).map(|i| (0..lanes).map(|l| lane_operands[l][i]).collect()).collect()
 }
 
 /// Vanilla SLP reordering: for each lane beyond the first, swap the two

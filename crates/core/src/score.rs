@@ -58,13 +58,7 @@ fn recursable(f: &Function, addr: &AddrInfo, a: ValueId, b: ValueId) -> bool {
 
 /// The weighted value of one leaf match (see [`ScoreWeights`]); 0 when the
 /// pair does not match.
-pub fn match_score(
-    f: &Function,
-    addr: &AddrInfo,
-    a: ValueId,
-    b: ValueId,
-    w: &ScoreWeights,
-) -> i64 {
+pub fn match_score(f: &Function, addr: &AddrInfo, a: ValueId, b: ValueId, w: &ScoreWeights) -> i64 {
     if a == b {
         return w.splat;
     }
@@ -73,13 +67,8 @@ pub fn match_score(
     }
     match (f.inst(a), f.inst(b)) {
         (Some(ia), Some(ib)) if ia.op == ib.op && ia.ty == ib.ty => match ia.op {
-            Opcode::Load => {
-                if addr.consecutive(a, b) {
-                    w.consecutive_load
-                } else {
-                    0
-                }
-            }
+            Opcode::Load if addr.consecutive(a, b) => w.consecutive_load,
+            Opcode::Load => 0,
             _ if ia.attr == ib.attr => w.same_opcode,
             _ => 0,
         },
@@ -313,15 +302,8 @@ mod weight_tests {
         let sh1 = b.shl(l1, c2);
         let addr = AddrInfo::analyze(&f);
         let flat = la_score(&f, &addr, sh0, sh1, 1, ScoreAgg::Sum);
-        let weighted = la_score_weighted(
-            &f,
-            &addr,
-            sh0,
-            sh1,
-            1,
-            ScoreAgg::Sum,
-            &ScoreWeights::paper(),
-        );
+        let weighted =
+            la_score_weighted(&f, &addr, sh0, sh1, 1, ScoreAgg::Sum, &ScoreWeights::paper());
         assert_eq!(flat, weighted);
         assert_eq!(flat, 2, "load pair + constant pair");
     }

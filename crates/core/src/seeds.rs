@@ -46,11 +46,8 @@ pub fn collect_store_chains(f: &Function, addr: &AddrInfo) -> Vec<StoreChain> {
             continue;
         }
         let Some(loc) = addr.loc(id) else { continue };
-        let key = Key {
-            base: loc.addr.base,
-            terms: loc.addr.offset.terms.clone(),
-            bytes: loc.bytes,
-        };
+        let key =
+            Key { base: loc.addr.base, terms: loc.addr.offset.terms.clone(), bytes: loc.bytes };
         groups.entry(key).or_default().push((loc.addr.offset.konst, pos, id));
     }
 
@@ -87,10 +84,7 @@ pub fn collect_store_chains(f: &Function, addr: &AddrInfo) -> Vec<StoreChain> {
 
 fn flush(chains: &mut Vec<StoreChain>, run: &mut Vec<(usize, ValueId)>, elem_bytes: u32) {
     if run.len() >= 2 {
-        chains.push(StoreChain {
-            stores: run.iter().map(|&(_, id)| id).collect(),
-            elem_bytes,
-        });
+        chains.push(StoreChain { stores: run.iter().map(|&(_, id)| id).collect(), elem_bytes });
     }
     run.clear();
 }

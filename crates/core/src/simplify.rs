@@ -40,9 +40,9 @@ fn simplify_inst(f: &Function, id: ValueId, fast_math: bool) -> Option<Action> {
         [a, b] => (*a, *b),
         [c, x, y] if inst.op == Opcode::Select => {
             return (x == y).then_some(Action::Replace(*x)).or_else(|| {
-                f.as_const(*c).and_then(Constant::as_int).map(|cv| {
-                    Action::Replace(if cv != 0 { *x } else { *y })
-                })
+                f.as_const(*c)
+                    .and_then(Constant::as_int)
+                    .map(|cv| Action::Replace(if cv != 0 { *x } else { *y }))
             });
         }
         _ => return None,

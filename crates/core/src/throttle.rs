@@ -58,10 +58,7 @@ fn solve(
     }
     let n = graph.node(node);
     let vectorized_cost = per_node[node]
-        + n.operands
-            .iter()
-            .map(|&c| solve(f, graph, tm, per_node, c, memo))
-            .sum::<i64>();
+        + n.operands.iter().map(|&c| solve(f, graph, tm, per_node, c, memo)).sum::<i64>();
     let dp = match n.kind {
         // Gathers and the root (stores) have no cut alternative: stores
         // are the seed the whole attempt exists for, and gathers already

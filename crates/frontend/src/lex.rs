@@ -107,24 +107,78 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, CompileError> {
                 }
                 continue;
             }
-            b'(' => { bump!(); TokKind::LParen }
-            b')' => { bump!(); TokKind::RParen }
-            b'{' => { bump!(); TokKind::LBrace }
-            b'}' => { bump!(); TokKind::RBrace }
-            b'[' => { bump!(); TokKind::LBracket }
-            b']' => { bump!(); TokKind::RBracket }
-            b',' => { bump!(); TokKind::Comma }
-            b';' => { bump!(); TokKind::Semi }
-            b':' => { bump!(); TokKind::Colon }
-            b'*' => { bump!(); TokKind::Star }
-            b'+' => { bump!(); TokKind::Plus }
-            b'-' => { bump!(); TokKind::Minus }
-            b'/' => { bump!(); TokKind::Slash }
-            b'%' => { bump!(); TokKind::Percent }
-            b'&' => { bump!(); TokKind::Amp }
-            b'|' => { bump!(); TokKind::Pipe }
-            b'^' => { bump!(); TokKind::Caret }
-            b'=' => { bump!(); TokKind::Equals }
+            b'(' => {
+                bump!();
+                TokKind::LParen
+            }
+            b')' => {
+                bump!();
+                TokKind::RParen
+            }
+            b'{' => {
+                bump!();
+                TokKind::LBrace
+            }
+            b'}' => {
+                bump!();
+                TokKind::RBrace
+            }
+            b'[' => {
+                bump!();
+                TokKind::LBracket
+            }
+            b']' => {
+                bump!();
+                TokKind::RBracket
+            }
+            b',' => {
+                bump!();
+                TokKind::Comma
+            }
+            b';' => {
+                bump!();
+                TokKind::Semi
+            }
+            b':' => {
+                bump!();
+                TokKind::Colon
+            }
+            b'*' => {
+                bump!();
+                TokKind::Star
+            }
+            b'+' => {
+                bump!();
+                TokKind::Plus
+            }
+            b'-' => {
+                bump!();
+                TokKind::Minus
+            }
+            b'/' => {
+                bump!();
+                TokKind::Slash
+            }
+            b'%' => {
+                bump!();
+                TokKind::Percent
+            }
+            b'&' => {
+                bump!();
+                TokKind::Amp
+            }
+            b'|' => {
+                bump!();
+                TokKind::Pipe
+            }
+            b'^' => {
+                bump!();
+                TokKind::Caret
+            }
+            b'=' => {
+                bump!();
+                TokKind::Equals
+            }
             b'.' if bytes.get(i + 1) == Some(&b'.') => {
                 bump!();
                 bump!();
@@ -157,17 +211,15 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, CompileError> {
                         {
                             bump!()
                         }
-                        b'.' if !is_float
-                            && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) =>
-                        {
+                        b'.' if !is_float && bytes.get(i + 1).is_some_and(u8::is_ascii_digit) => {
                             is_float = true;
                             bump!();
                         }
                         b'e' | b'E'
                             if !src[start..].starts_with("0x")
-                                && bytes
-                                    .get(i + 1)
-                                    .is_some_and(|&d| d.is_ascii_digit() || d == b'-' || d == b'+') =>
+                                && bytes.get(i + 1).is_some_and(|&d| {
+                                    d.is_ascii_digit() || d == b'-' || d == b'+'
+                                }) =>
                         {
                             is_float = true;
                             bump!();
@@ -181,7 +233,8 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, CompileError> {
                     TokKind::Float(text.parse().map_err(|e| {
                         CompileError::new(tline, tcol, format!("bad float `{text}`: {e}"))
                     })?)
-                } else if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X"))
+                } else if let Some(hex) =
+                    text.strip_prefix("0x").or_else(|| text.strip_prefix("0X"))
                 {
                     TokKind::Int(i64::from_str_radix(hex, 16).map_err(|e| {
                         CompileError::new(tline, tcol, format!("bad hex `{text}`: {e}"))
@@ -194,9 +247,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, CompileError> {
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     bump!();
                 }
                 TokKind::Ident(src[start..i].to_string())

@@ -43,7 +43,11 @@ impl Lowerer {
         })
     }
 
-    fn binop_opcode(op: BinOp, ty: ScalarType, pos: (usize, usize)) -> Result<Opcode, CompileError> {
+    fn binop_opcode(
+        op: BinOp,
+        ty: ScalarType,
+        pos: (usize, usize),
+    ) -> Result<Opcode, CompileError> {
         let float = ty.is_float();
         let oc = match (op, float) {
             (BinOp::Add, false) => Opcode::Add,
@@ -376,8 +380,8 @@ mod tests {
 }
 #[cfg(test)]
 mod for_tests {
-    use crate::parse;
     use super::lower_program;
+    use crate::parse;
 
     #[test]
     fn for_loops_unroll_at_compile_time() {

@@ -75,11 +75,7 @@ impl Parser {
         self.bin_or()
     }
 
-    fn binary_level<F>(
-        &mut self,
-        next: F,
-        ops: &[(TokKind, BinOp)],
-    ) -> Result<Expr, CompileError>
+    fn binary_level<F>(&mut self, next: F, ops: &[(TokKind, BinOp)]) -> Result<Expr, CompileError>
     where
         F: Fn(&mut Self) -> Result<Expr, CompileError>,
     {
@@ -117,11 +113,7 @@ impl Parser {
     fn bin_shift(&mut self) -> Result<Expr, CompileError> {
         self.binary_level(
             Self::bin_add,
-            &[
-                (TokKind::Shl, BinOp::Shl),
-                (TokKind::LShr, BinOp::LShr),
-                (TokKind::Shr, BinOp::Shr),
-            ],
+            &[(TokKind::Shl, BinOp::Shl), (TokKind::LShr, BinOp::LShr), (TokKind::Shr, BinOp::Shr)],
         )
     }
 
@@ -186,11 +178,7 @@ impl Parser {
                     self.advance();
                     let index = self.expr()?;
                     self.expect(TokKind::RBracket)?;
-                    Ok(Expr::Index {
-                        array: name,
-                        index: Box::new(index),
-                        pos: (t.line, t.col),
-                    })
+                    Ok(Expr::Index { array: name, index: Box::new(index), pos: (t.line, t.col) })
                 } else {
                     Ok(Expr::Var { name, pos: (t.line, t.col) })
                 }
@@ -217,7 +205,11 @@ impl Parser {
                 let (var, ..) = self.expect_ident()?;
                 let (kw, line, col) = self.expect_ident()?;
                 if kw != "in" {
-                    return Err(CompileError::new(line, col, format!("expected `in`, found `{kw}`")));
+                    return Err(CompileError::new(
+                        line,
+                        col,
+                        format!("expected `in`, found `{kw}`"),
+                    ));
                 }
                 let start = self.expect_int()?;
                 self.expect(TokKind::DotDot)?;
@@ -336,16 +328,16 @@ mod tests {
     #[test]
     fn precedence_matches_c() {
         // a + b * c  →  a + (b * c)
-        let p = parse_program("kernel k(i64* A, i64 a, i64 b, i64 c) { A[0] = a + b * c; }")
-            .unwrap();
+        let p =
+            parse_program("kernel k(i64* A, i64 a, i64 b, i64 c) { A[0] = a + b * c; }").unwrap();
         let Stmt::Assign { value, .. } = &p.kernels[0].body[0] else { panic!() };
         let Expr::Binary { op: BinOp::Add, rhs, .. } = value else {
             panic!("expected top-level add, got {value:?}")
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
         // a & b + c  →  a & (b + c)
-        let p = parse_program("kernel k(i64* A, i64 a, i64 b, i64 c) { A[0] = a & b + c; }")
-            .unwrap();
+        let p =
+            parse_program("kernel k(i64* A, i64 a, i64 b, i64 c) { A[0] = a & b + c; }").unwrap();
         let Stmt::Assign { value, .. } = &p.kernels[0].body[0] else { panic!() };
         assert!(matches!(value, Expr::Binary { op: BinOp::And, .. }));
     }

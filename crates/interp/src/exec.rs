@@ -152,12 +152,7 @@ fn fcmp(pred: FloatPred, a: f64, b: f64) -> bool {
 
 /// One lane of a conversion. Float→int saturates (Rust `as` semantics;
 /// LLVM leaves overflow undefined, so any total choice is conforming).
-fn cast_lane(
-    op: Opcode,
-    src: ScalarType,
-    dst: ScalarType,
-    v: Value,
-) -> Result<Value, ExecError> {
+fn cast_lane(op: Opcode, src: ScalarType, dst: ScalarType, v: Value) -> Result<Value, ExecError> {
     Ok(match op {
         Opcode::Sext => Value::Int(v.as_int()),
         Opcode::Zext => Value::Int(zext(v.as_int(), src.bits()) as i64),
@@ -165,8 +160,13 @@ fn cast_lane(
         Opcode::Fptosi => {
             let f = v.as_float();
             let wide = f as i64;
-            Value::Int(sext(wide.clamp(-(1i64 << (dst.bits().min(63) - 1)),
-                (1i64 << (dst.bits().min(63) - 1)) - 1), dst.bits()))
+            Value::Int(sext(
+                wide.clamp(
+                    -(1i64 << (dst.bits().min(63) - 1)),
+                    (1i64 << (dst.bits().min(63) - 1)) - 1,
+                ),
+                dst.bits(),
+            ))
         }
         Opcode::Sitofp => {
             let x = v.as_int() as f64;
@@ -222,8 +222,7 @@ impl<'a> Interp<'a> {
 
     fn exec_inst(&mut self, id: ValueId, inst: &Inst) -> Result<(), ExecError> {
         self.stats.insts += 1;
-        let is_vec = inst.ty.is_vector()
-            || inst.args.iter().any(|&a| self.f.ty(a).is_vector());
+        let is_vec = inst.ty.is_vector() || inst.args.iter().any(|&a| self.f.ty(a).is_vector());
         if is_vec {
             self.stats.vector_insts += 1;
         }
@@ -367,7 +366,11 @@ impl<'a> Interp<'a> {
 ///
 /// Returns [`ExecError`] on division by zero, out-of-bounds memory access,
 /// argument count/type mismatch, or malformed IR.
-pub fn run_function(f: &Function, args: &[Value], mem: &mut Memory) -> Result<ExecStats, ExecError> {
+pub fn run_function(
+    f: &Function,
+    args: &[Value],
+    mem: &mut Memory,
+) -> Result<ExecStats, ExecError> {
     run_function_traced(f, args, mem, |_, _| {})
 }
 

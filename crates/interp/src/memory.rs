@@ -121,8 +121,7 @@ impl Memory {
     pub fn alloc_f32(&mut self, name: &str, init: &[f32]) -> Value {
         let p = self.alloc(name, init.len() * 4);
         for (i, &v) in init.iter().enumerate() {
-            self.write_scalar(&p, (i * 4) as i64, ScalarType::F32, Value::Float(v as f64))
-                .unwrap();
+            self.write_scalar(&p, (i * 4) as i64, ScalarType::F32, Value::Float(v as f64)).unwrap();
         }
         p
     }
@@ -187,9 +186,7 @@ impl Memory {
             ScalarType::I32 => {
                 Value::Int(i32::from_le_bytes(data[at..at + 4].try_into().unwrap()) as i64)
             }
-            ScalarType::I64 => {
-                Value::Int(i64::from_le_bytes(data[at..at + 8].try_into().unwrap()))
-            }
+            ScalarType::I64 => Value::Int(i64::from_le_bytes(data[at..at + 8].try_into().unwrap())),
             ScalarType::F32 => {
                 Value::Float(f32::from_le_bytes(data[at..at + 4].try_into().unwrap()) as f64)
             }
@@ -219,9 +216,7 @@ impl Memory {
             (ScalarType::I32, Value::Int(x)) => {
                 data[at..at + 4].copy_from_slice(&(x as i32).to_le_bytes())
             }
-            (ScalarType::I64, Value::Int(x)) => {
-                data[at..at + 8].copy_from_slice(&x.to_le_bytes())
-            }
+            (ScalarType::I64, Value::Int(x)) => data[at..at + 8].copy_from_slice(&x.to_le_bytes()),
             (ScalarType::F32, Value::Float(x)) => {
                 data[at..at + 4].copy_from_slice(&(x as f32).to_le_bytes())
             }

@@ -125,12 +125,7 @@ impl<'f> FunctionBuilder<'f> {
 
     /// Pointer arithmetic: `base + index * elem_bytes`.
     pub fn gep(&mut self, base: ValueId, index: ValueId, elem_bytes: u32) -> ValueId {
-        self.f.push(
-            Opcode::Gep,
-            Type::PTR,
-            vec![base, index],
-            InstAttr::ElemBytes(elem_bytes),
-        )
+        self.f.push(Opcode::Gep, Type::PTR, vec![base, index], InstAttr::ElemBytes(elem_bytes))
     }
 
     /// Load a value of type `ty` from `ptr`.
@@ -145,18 +140,9 @@ impl<'f> FunctionBuilder<'f> {
 
     /// Extract lane `lane` of vector `vec`.
     pub fn extract(&mut self, vec: ValueId, lane: u32) -> ValueId {
-        let elem = self
-            .f
-            .ty(vec)
-            .elem()
-            .expect("extractelement needs a vector operand");
+        let elem = self.f.ty(vec).elem().expect("extractelement needs a vector operand");
         let idx = self.f.const_i64(lane as i64);
-        self.f.push(
-            Opcode::ExtractElement,
-            Type::Scalar(elem),
-            vec![vec, idx],
-            InstAttr::None,
-        )
+        self.f.push(Opcode::ExtractElement, Type::Scalar(elem), vec![vec, idx], InstAttr::None)
     }
 
     /// Insert scalar `val` into lane `lane` of vector `vec`.

@@ -252,11 +252,7 @@ impl Function {
 
     /// A map from each body instruction to its current position.
     pub fn position_map(&self) -> HashMap<ValueId, usize> {
-        self.body
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| (v, i))
-            .collect()
+        self.body.iter().enumerate().map(|(i, &v)| (v, i)).collect()
     }
 
     /// Compute the current use map of the body.

@@ -537,10 +537,7 @@ mod tests {
         for op in Opcode::ALL {
             assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op));
         }
-        assert_eq!(
-            Opcode::from_mnemonic("insertelement"),
-            Some(Opcode::InsertElement)
-        );
+        assert_eq!(Opcode::from_mnemonic("insertelement"), Some(Opcode::InsertElement));
         assert_eq!(Opcode::from_mnemonic("frobnicate"), None);
     }
 

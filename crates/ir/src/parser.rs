@@ -188,17 +188,50 @@ impl<'s> Lexer<'s> {
             return Ok((Tok::Eof, line, col));
         };
         let tok = match c {
-            b'(' => { self.bump(); Tok::LParen }
-            b')' => { self.bump(); Tok::RParen }
-            b'{' => { self.bump(); Tok::LBrace }
-            b'}' => { self.bump(); Tok::RBrace }
-            b'[' => { self.bump(); Tok::LBracket }
-            b']' => { self.bump(); Tok::RBracket }
-            b'<' => { self.bump(); Tok::Less }
-            b'>' => { self.bump(); Tok::Greater }
-            b',' => { self.bump(); Tok::Comma }
-            b':' => { self.bump(); Tok::Colon }
-            b'=' => { self.bump(); Tok::Equals }
+            b'(' => {
+                self.bump();
+                Tok::LParen
+            }
+            b')' => {
+                self.bump();
+                Tok::RParen
+            }
+            b'{' => {
+                self.bump();
+                Tok::LBrace
+            }
+            b'}' => {
+                self.bump();
+                Tok::RBrace
+            }
+            b'[' => {
+                self.bump();
+                Tok::LBracket
+            }
+            b']' => {
+                self.bump();
+                Tok::RBracket
+            }
+            b'<' => {
+                self.bump();
+                Tok::Less
+            }
+            b'>' => {
+                self.bump();
+                Tok::Greater
+            }
+            b',' => {
+                self.bump();
+                Tok::Comma
+            }
+            b':' => {
+                self.bump();
+                Tok::Colon
+            }
+            b'=' => {
+                self.bump();
+                Tok::Equals
+            }
             b'@' => {
                 self.bump();
                 Tok::At(self.ident())
@@ -709,10 +742,8 @@ mod tests {
 
     #[test]
     fn rejects_redefinition() {
-        let err = parse_function(
-            "func @b(%a: i64) { %x = add i64 %a, 1\n %x = add i64 %a, 2 }",
-        )
-        .unwrap_err();
+        let err = parse_function("func @b(%a: i64) { %x = add i64 %a, 1\n %x = add i64 %a, 2 }")
+            .unwrap_err();
         assert!(err.message.contains("redefined"), "{err}");
     }
 

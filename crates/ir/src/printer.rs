@@ -41,11 +41,7 @@ struct Namer {
 
 impl Namer {
     fn new(f: &Function) -> Namer {
-        let mut n = Namer {
-            names: HashMap::new(),
-            taken: HashSet::new(),
-            next: 0,
-        };
+        let mut n = Namer { names: HashMap::new(), taken: HashSet::new(), next: 0 };
         for &p in f.params() {
             let base = sanitize(f.value_name(p).unwrap_or("arg"));
             n.assign(p, base);
@@ -136,23 +132,11 @@ fn print_inst(out: &mut String, f: &Function, namer: &Namer, id: ValueId, inst: 
             let _ = write!(out, "insertelement {} {}, {}, {}", inst.ty, op(0), op(1), op(2));
         }
         Opcode::ExtractElement => {
-            let _ = write!(
-                out,
-                "extractelement {} {}, {}",
-                f.ty(inst.args[0]),
-                op(0),
-                op(1)
-            );
+            let _ = write!(out, "extractelement {} {}, {}", f.ty(inst.args[0]), op(0), op(1));
         }
         Opcode::ShuffleVector => {
             let InstAttr::Mask(mask) = &inst.attr else { unreachable!() };
-            let _ = write!(
-                out,
-                "shufflevector {} {}, {}, [",
-                f.ty(inst.args[0]),
-                op(0),
-                op(1)
-            );
+            let _ = write!(out, "shufflevector {} {}, {}, [", f.ty(inst.args[0]), op(0), op(1));
             for (i, m) in mask.iter().enumerate() {
                 if i > 0 {
                     out.push_str(", ");

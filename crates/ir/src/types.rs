@@ -43,10 +43,7 @@ impl ScalarType {
 
     /// Whether this is one of the integer types.
     pub fn is_int(self) -> bool {
-        matches!(
-            self,
-            ScalarType::I8 | ScalarType::I16 | ScalarType::I32 | ScalarType::I64
-        )
+        matches!(self, ScalarType::I8 | ScalarType::I16 | ScalarType::I32 | ScalarType::I64)
     }
 
     /// Whether this is one of the floating-point types.

@@ -86,10 +86,7 @@ impl Constant {
     /// Panics if `ty` is not an integer type.
     pub fn int(ty: ScalarType, value: i64) -> Constant {
         assert!(ty.is_int(), "Constant::int needs an integer type, got {ty}");
-        Constant::Int {
-            ty,
-            value: sext(value, ty.bits()),
-        }
+        Constant::Int { ty, value: sext(value, ty.bits()) }
     }
 
     /// A floating-point constant of type `ty` with value `value` (rounded to
@@ -176,10 +173,7 @@ impl Constant {
         } else {
             // Pointers have no literal constants in this IR, so zero is only
             // meaningful for ints here; treat ptr-zero as an i64 null.
-            Constant::Int {
-                ty: if ty.is_int() { ty } else { ScalarType::I64 },
-                value: 0,
-            }
+            Constant::Int { ty: if ty.is_int() { ty } else { ScalarType::I64 }, value: 0 }
         }
     }
 }

@@ -37,34 +37,31 @@ struct Checker<'f> {
 
 impl<'f> Checker<'f> {
     fn err(&self, value: Option<ValueId>, message: impl Into<String>) -> VerifyError {
-        VerifyError {
-            function: self.f.name().to_string(),
-            value,
-            message: message.into(),
-        }
+        VerifyError { function: self.f.name().to_string(), value, message: message.into() }
     }
 
-    fn check_inst(&self, id: ValueId, inst: &Inst, defined: &HashSet<ValueId>) -> Result<(), VerifyError> {
+    fn check_inst(
+        &self,
+        id: ValueId,
+        inst: &Inst,
+        defined: &HashSet<ValueId>,
+    ) -> Result<(), VerifyError> {
         let f = self.f;
         for &a in &inst.args {
             if a.index() >= f.num_values() {
                 return Err(self.err(Some(id), "operand handle out of range"));
             }
             if f.is_inst(a) && !defined.contains(&a) {
-                return Err(self.err(
-                    Some(id),
-                    format!("operand {a} used before definition (or orphaned)"),
-                ));
+                return Err(
+                    self.err(Some(id), format!("operand {a} used before definition (or orphaned)"))
+                );
             }
         }
         let aty = |i: usize| f.ty(inst.args[i]);
         let nargs = inst.args.len();
         let expect_args = |n: usize| -> Result<(), VerifyError> {
             if nargs != n {
-                Err(self.err(
-                    Some(id),
-                    format!("{} expects {n} operands, has {nargs}", inst.op),
-                ))
+                Err(self.err(Some(id), format!("{} expects {n} operands, has {nargs}", inst.op)))
             } else {
                 Ok(())
             }
@@ -86,10 +83,9 @@ impl<'f> Checker<'f> {
                 }
                 let float_ty = inst.ty.is_float_like();
                 if op.is_float_op() != float_ty {
-                    return Err(self.err(
-                        Some(id),
-                        format!("{op} on wrong element class {}", inst.ty),
-                    ));
+                    return Err(
+                        self.err(Some(id), format!("{op} on wrong element class {}", inst.ty))
+                    );
                 }
                 if !op.is_float_op() && !inst.ty.is_int_like() {
                     return Err(self.err(
@@ -125,8 +121,7 @@ impl<'f> Checker<'f> {
                 if aty(1) != inst.ty || aty(2) != inst.ty {
                     return Err(self.err(Some(id), "select arms must match result type"));
                 }
-                if aty(0).elem() != Some(crate::ScalarType::I8)
-                    || aty(0).lanes() != inst.ty.lanes()
+                if aty(0).elem() != Some(crate::ScalarType::I8) || aty(0).lanes() != inst.ty.lanes()
                 {
                     return Err(self.err(Some(id), "select condition must be i8 with result lanes"));
                 }
@@ -144,7 +139,9 @@ impl<'f> Checker<'f> {
                 }
                 match inst.attr {
                     InstAttr::ElemBytes(b) if b > 0 => {}
-                    _ => return Err(self.err(Some(id), "gep needs a positive elem-bytes attribute")),
+                    _ => {
+                        return Err(self.err(Some(id), "gep needs a positive elem-bytes attribute"))
+                    }
                 }
             }
             Opcode::Load => {
@@ -222,19 +219,12 @@ impl<'f> Checker<'f> {
                     Opcode::Trunc => se.is_int() && de.is_int() && se.bits() > de.bits(),
                     Opcode::Fptosi => se.is_float() && de.is_int(),
                     Opcode::Sitofp => se.is_int() && de.is_float(),
-                    Opcode::Fpext => {
-                        se == crate::ScalarType::F32 && de == crate::ScalarType::F64
-                    }
-                    Opcode::Fptrunc => {
-                        se == crate::ScalarType::F64 && de == crate::ScalarType::F32
-                    }
+                    Opcode::Fpext => se == crate::ScalarType::F32 && de == crate::ScalarType::F64,
+                    Opcode::Fptrunc => se == crate::ScalarType::F64 && de == crate::ScalarType::F32,
                     _ => unreachable!(),
                 };
                 if !ok {
-                    return Err(self.err(
-                        Some(id),
-                        format!("invalid cast {op}: {src} to {dst}"),
-                    ));
+                    return Err(self.err(Some(id), format!("invalid cast {op}: {src} to {dst}")));
                 }
             }
             op => {
@@ -336,6 +326,46 @@ mod tests {
         let b = f.add_param("b", Type::F64);
         f.push(Opcode::Add, Type::I64, vec![a, b], InstAttr::None);
         assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn use_before_def_names_the_offender() {
+        let mut f = Function::new("bad");
+        let a = f.add_param("a", Type::I64);
+        let orphan = f.push(Opcode::Add, Type::I64, vec![a, a], InstAttr::None);
+        let mut dead = HashSet::new();
+        dead.insert(orphan);
+        f.remove_from_body(&dead);
+        let user = f.push(Opcode::Add, Type::I64, vec![orphan, a], InstAttr::None);
+        let err = verify_function(&f).unwrap_err();
+        assert_eq!(err.value, Some(user), "the *using* instruction is blamed");
+        assert!(
+            err.message.contains(&orphan.to_string()),
+            "…and the message names the orphan: {err}"
+        );
+        assert_eq!(err.function, "bad");
+    }
+
+    #[test]
+    fn type_mismatch_names_the_offender() {
+        let mut f = Function::new("bad");
+        let a = f.add_param("a", Type::I64);
+        let b = f.add_param("b", Type::F64);
+        let mix = f.push(Opcode::Add, Type::I64, vec![a, b], InstAttr::None);
+        let err = verify_function(&f).unwrap_err();
+        assert_eq!(err.value, Some(mix));
+        assert!(err.to_string().contains(&mix.to_string()), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_handle_names_the_offender() {
+        let mut f = Function::new("bad");
+        let a = f.add_param("a", Type::I64);
+        let bogus = ValueId::from_raw(9999);
+        let user = f.push(Opcode::Add, Type::I64, vec![a, bogus], InstAttr::None);
+        let err = verify_function(&f).unwrap_err();
+        assert_eq!(err.value, Some(user));
+        assert!(err.message.contains("out of range"), "{err}");
     }
 
     #[test]

@@ -73,23 +73,21 @@ pub fn reduction_kernels() -> Vec<Kernel> {
 /// Narrow-element kernels written with SLC `for`-loops (8 and 16 lanes on
 /// a 256-bit target).
 pub fn narrow_kernels() -> Vec<Kernel> {
-    vec![
-        Kernel {
-            name: "f32_scale8",
-            benchmark: "extension",
-            file_line: "width study",
-            src: "kernel f32_scale8(f32* A, f32* B, i64 i) {
+    vec![Kernel {
+        name: "f32_scale8",
+        benchmark: "extension",
+        file_line: "width study",
+        src: "kernel f32_scale8(f32* A, f32* B, i64 i) {
                       for o in 0..8 {
                           A[i+o] = B[i+o] * B[i+o] + 1.0;
                       }
                   }",
-            i_step: 8,
-            idx_scale: 1,
-            idx_off: 7,
-            elem: ElemKind::F64, // array helpers unused for this kernel
-            default_iters: 128,
-        },
-    ]
+        i_step: 8,
+        idx_scale: 1,
+        idx_off: 7,
+        elem: ElemKind::F64, // array helpers unused for this kernel
+        default_iters: 128,
+    }]
 }
 
 /// A broader set of SPEC-flavoured kernels exercising wider shapes than
@@ -194,11 +192,7 @@ mod tests {
 
     #[test]
     fn extension_kernels_compile() {
-        for k in reduction_kernels()
-            .iter()
-            .chain(&narrow_kernels())
-            .chain(&extended_kernels())
-        {
+        for k in reduction_kernels().iter().chain(&narrow_kernels()).chain(&extended_kernels()) {
             let f = k.compile();
             lslp_ir::verify_function(&f).unwrap_or_else(|e| panic!("{}: {e}", k.name));
         }

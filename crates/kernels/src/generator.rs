@@ -76,7 +76,7 @@ fn gen_shape(rng: &mut StdRng, cfg: &GenConfig, depth: u32) -> Shape {
         return if rng.gen_bool(0.25) {
             Shape::Const(rng.gen_range(1..16))
         } else {
-            Shape::Load { arr: rng.gen_range(0..cfg.arrays), base: rng.gen_range(0..4) * 4 }
+            Shape::Load { arr: rng.gen_range(0..cfg.arrays), base: rng.gen_range(0i64..4) * 4 }
         };
     }
     // Selects only in integer mode: under fast-math a reassociated float
@@ -95,19 +95,11 @@ fn gen_shape(rng: &mut StdRng, cfg: &GenConfig, depth: u32) -> Shape {
         return Shape::NarrowRoundtrip { inner: Box::new(gen_shape(rng, cfg, depth - 1)) };
     }
     let op = if cfg.int {
-        *[
-            Opcode::Add,
-            Opcode::Mul,
-            Opcode::And,
-            Opcode::Or,
-            Opcode::Xor,
-            Opcode::Sub,
-            Opcode::Shl,
-        ]
-        .get(rng.gen_range(0..7))
-        .unwrap()
+        *[Opcode::Add, Opcode::Mul, Opcode::And, Opcode::Or, Opcode::Xor, Opcode::Sub, Opcode::Shl]
+            .get(rng.gen_range(0..7usize))
+            .unwrap()
     } else {
-        *[Opcode::FAdd, Opcode::FMul, Opcode::FSub].get(rng.gen_range(0..3)).unwrap()
+        *[Opcode::FAdd, Opcode::FMul, Opcode::FSub].get(rng.gen_range(0..3usize)).unwrap()
     };
     let mut swap_mask = 0u64;
     if op.is_commutative() {
@@ -132,10 +124,9 @@ fn max_load_index(shape: &Shape) -> i64 {
         Shape::Load { base, .. } => *base,
         Shape::Const(_) => 0,
         Shape::Bin { lhs, rhs, .. } => max_load_index(lhs).max(max_load_index(rhs)),
-        Shape::Select { a, b, t, e, .. } => max_load_index(a)
-            .max(max_load_index(b))
-            .max(max_load_index(t))
-            .max(max_load_index(e)),
+        Shape::Select { a, b, t, e, .. } => {
+            max_load_index(a).max(max_load_index(b)).max(max_load_index(t)).max(max_load_index(e))
+        }
         Shape::NarrowRoundtrip { inner } => max_load_index(inner),
     }
 }
@@ -192,8 +183,7 @@ impl Emit<'_> {
             Shape::NarrowRoundtrip { inner } => {
                 let v = self.shape(inner, lane);
                 if self.elem.is_float() {
-                    let narrow =
-                        self.b.cast(Opcode::Fptrunc, v, Type::Scalar(ScalarType::F32));
+                    let narrow = self.b.cast(Opcode::Fptrunc, v, Type::Scalar(ScalarType::F32));
                     self.b.cast(Opcode::Fpext, narrow, Type::Scalar(ScalarType::F64))
                 } else {
                     let narrow = self.b.cast(Opcode::Trunc, v, Type::Scalar(ScalarType::I32));
@@ -210,9 +200,8 @@ pub fn generate(cfg: &GenConfig) -> GeneratedProgram {
     let elem = if cfg.int { ScalarType::I64 } else { ScalarType::F64 };
     let mut f = Function::new(format!("gen_{}", cfg.seed));
     let out = f.add_param("OUT", Type::PTR);
-    let inputs: Vec<ValueId> = (0..cfg.arrays.max(1))
-        .map(|k| f.add_param(format!("IN{k}"), Type::PTR))
-        .collect();
+    let inputs: Vec<ValueId> =
+        (0..cfg.arrays.max(1)).map(|k| f.add_param(format!("IN{k}"), Type::PTR)).collect();
     let idx = f.add_param("i", Type::I64);
 
     let mut max_idx = 0i64;
@@ -230,12 +219,7 @@ pub fn generate(cfg: &GenConfig) -> GeneratedProgram {
             (0..cfg.lanes as i64).collect()
         };
         for lane in lane_order {
-            let mut e = Emit {
-                b: FunctionBuilder::new(&mut f),
-                inputs: inputs.clone(),
-                idx,
-                elem,
-            };
+            let mut e = Emit { b: FunctionBuilder::new(&mut f), inputs: inputs.clone(), idx, elem };
             let v = e.shape(&shape, lane);
             let out_off = e.b.func().const_i64(g as i64 * cfg.lanes as i64 + lane);
             let oi = e.b.add(idx, out_off);
@@ -263,20 +247,14 @@ mod tests {
         let cfg = GenConfig { seed: 42, ..GenConfig::default() };
         let a = generate(&cfg);
         let b = generate(&cfg);
-        assert_eq!(
-            lslp_ir::print_function(&a.function),
-            lslp_ir::print_function(&b.function)
-        );
+        assert_eq!(lslp_ir::print_function(&a.function), lslp_ir::print_function(&b.function));
     }
 
     #[test]
     fn different_seeds_differ() {
         let a = generate(&GenConfig { seed: 1, ..GenConfig::default() });
         let b = generate(&GenConfig { seed: 2, ..GenConfig::default() });
-        assert_ne!(
-            lslp_ir::print_function(&a.function),
-            lslp_ir::print_function(&b.function)
-        );
+        assert_ne!(lslp_ir::print_function(&a.function), lslp_ir::print_function(&b.function));
     }
 
     #[test]
@@ -294,11 +272,7 @@ mod tests {
     #[test]
     fn lanes_form_store_groups() {
         let p = generate(&GenConfig { seed: 7, groups: 3, lanes: 4, ..GenConfig::default() });
-        let stores = p
-            .function
-            .iter_body()
-            .filter(|(_, _, i)| i.op == Opcode::Store)
-            .count();
+        let stores = p.function.iter_body().filter(|(_, _, i)| i.op == Opcode::Store).count();
         assert_eq!(stores, 12);
     }
 
@@ -313,8 +287,7 @@ mod tests {
             swap_prob: 0.0,
             ..GenConfig::default()
         });
-        let ops: Vec<Opcode> =
-            p.function.iter_body().map(|(_, _, i)| i.op).collect();
+        let ops: Vec<Opcode> = p.function.iter_body().map(|(_, _, i)| i.op).collect();
         let half = ops.len() / 2;
         assert_eq!(ops[..half], ops[half..]);
     }

@@ -95,8 +95,7 @@ impl Kernel {
             .iter()
             .map(|&p| {
                 if f.ty(p) == lslp_ir::Type::PTR {
-                    mem.ptr(f.value_name(p).expect("named parameter"))
-                        .expect("array allocated")
+                    mem.ptr(f.value_name(p).expect("named parameter")).expect("array allocated")
                 } else {
                     Value::Int(i)
                 }

@@ -44,8 +44,8 @@ pub const BENCHMARKS: &[(&str, u64, usize, f64, f64)] = &[
     ("454.calculix", 103, 56, 0.08, 30.0),
     ("481.wrf", 104, 72, 0.06, 40.0),
     ("433.milc", 105, 40, 0.10, 20.0),
-    ("410.bwaves", 106, 32, 0.05, 30.0),
-    ("416.gamess", 107, 96, 0.04, 60.0),
+    ("410.bwaves", 108, 32, 0.05, 30.0),
+    ("416.gamess", 109, 96, 0.04, 60.0),
 ];
 
 /// Synthesize a benchmark by name.
@@ -115,10 +115,7 @@ mod tests {
         let b = synthesize("433.milc");
         assert_eq!(a.weights, b.weights);
         for (x, y) in a.functions.iter().zip(&b.functions) {
-            assert_eq!(
-                lslp_ir::print_function(&x.function),
-                lslp_ir::print_function(&y.function)
-            );
+            assert_eq!(lslp_ir::print_function(&x.function), lslp_ir::print_function(&y.function));
         }
     }
 

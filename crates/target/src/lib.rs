@@ -1,0 +1,180 @@
+//! # lslp-target
+//!
+//! TTI-style target cost models for the LSLP reproduction, standing in for
+//! LLVM's `TargetTransformInfo` at the scale the paper's cost function
+//! needs (§3.1): per-opcode scalar and vector costs, gather/extract
+//! penalties, and the register width that bounds the vector factor.
+//!
+//! Costs are abstract throughput units, not cycles on any particular
+//! microarchitecture; what matters for the paper's story is the *relative*
+//! cost of vector versus scalar code, which these constants preserve:
+//! one unit per simple ALU/memory op per register, free address
+//! arithmetic (`gep` folds into addressing modes), expensive division,
+//! and per-element insert/extract penalties for crossing the
+//! scalar/vector boundary.
+
+#![warn(missing_docs)]
+
+use lslp_ir::{Opcode, ScalarType};
+
+/// A target cost model: register width plus the unit costs the SLP cost
+/// function (and the performance simulator) query.
+///
+/// Construct via [`CostModel::skylake_like`] (256-bit, the paper's
+/// evaluation machine) or [`CostModel::sse_like`] (128-bit); `Default` is
+/// the Skylake-like model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Human-readable model name (for reports).
+    pub name: &'static str,
+    /// SIMD register width in bits; bounds the vector factor per element
+    /// type (see [`CostModel::max_vf`]).
+    pub register_bits: u32,
+    /// Cost of inserting one scalar into a vector register.
+    pub insert_cost: i64,
+    /// Cost of extracting one scalar from a vector register.
+    pub extract_cost: i64,
+    /// Cost of one vector shuffle.
+    pub shuffle_cost: i64,
+    /// Cost of a division or remainder (scalar, per register for vectors).
+    pub div_cost: i64,
+}
+
+impl CostModel {
+    /// A 256-bit AVX2-era model approximating the paper's Skylake
+    /// evaluation machine.
+    pub fn skylake_like() -> CostModel {
+        CostModel {
+            name: "skylake-like",
+            register_bits: 256,
+            insert_cost: 1,
+            extract_cost: 1,
+            shuffle_cost: 1,
+            div_cost: 20,
+        }
+    }
+
+    /// A 128-bit SSE-era model: narrower registers halve the maximum
+    /// vector factor and double the per-op cost of wide bundles.
+    pub fn sse_like() -> CostModel {
+        CostModel { name: "sse-128", register_bits: 128, ..CostModel::skylake_like() }
+    }
+
+    /// A 512-bit AVX-512-era model: doubles the maximum vector factor
+    /// relative to the Skylake-like 256-bit model.
+    pub fn avx512_like() -> CostModel {
+        CostModel { name: "avx512-512", register_bits: 512, ..CostModel::skylake_like() }
+    }
+
+    /// The cost of one scalar instruction of the given opcode.
+    ///
+    /// Address arithmetic is free (it folds into addressing modes);
+    /// division and remainder cost [`CostModel::div_cost`]; everything
+    /// else is one unit.
+    pub fn scalar_cost(&self, op: Opcode) -> i64 {
+        match op {
+            Opcode::Gep => 0,
+            Opcode::SDiv | Opcode::UDiv | Opcode::SRem | Opcode::URem | Opcode::FDiv => {
+                self.div_cost
+            }
+            _ => 1,
+        }
+    }
+
+    /// The cost of one vector instruction of `lanes` elements of `elem`.
+    ///
+    /// A bundle wider than one register is legalized by splitting, so the
+    /// cost scales with the number of registers it occupies.
+    pub fn vector_cost(&self, op: Opcode, elem: ScalarType, lanes: u32) -> i64 {
+        self.scalar_cost(op) * self.registers_for(elem, lanes)
+    }
+
+    /// The cost of materializing a vector from `lanes` scalar values
+    /// (paper §3.1): all-constant bundles are folded into a literal pool
+    /// load (free), a splat of one non-constant value is a single
+    /// broadcast, and a mixed bundle pays one insert per lane.
+    pub fn gather_cost(&self, lanes: u32, any_non_const: bool, splat: bool) -> i64 {
+        if !any_non_const {
+            0
+        } else if splat {
+            self.insert_cost
+        } else {
+            self.insert_cost * lanes as i64
+        }
+    }
+
+    /// The cost charged per vectorized scalar that still has a scalar user
+    /// outside the tree (one `extractelement`).
+    pub fn extract_for_external_use(&self) -> i64 {
+        self.extract_cost
+    }
+
+    /// Maximum vector factor for the element type: how many elements fit
+    /// in one register (at least 1).
+    pub fn max_vf(&self, elem: ScalarType) -> u32 {
+        (self.register_bits / elem.bits()).max(1)
+    }
+
+    /// Number of registers a bundle of `lanes` elements of `elem`
+    /// occupies (at least 1).
+    pub fn registers_for(&self, elem: ScalarType, lanes: u32) -> i64 {
+        (lanes * elem.bits()).div_ceil(self.register_bits).max(1) as i64
+    }
+}
+
+impl Default for CostModel {
+    /// The Skylake-like 256-bit model (the paper's evaluation target).
+    fn default() -> CostModel {
+        CostModel::skylake_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_costs_match_paper_constants() {
+        let tm = CostModel::skylake_like();
+        // One unit per simple op; a 2-lane i64 op saves `lanes - 1`.
+        assert_eq!(tm.scalar_cost(Opcode::Add), 1);
+        assert_eq!(tm.vector_cost(Opcode::Add, ScalarType::I64, 2), 1);
+        assert_eq!(tm.vector_cost(Opcode::Store, ScalarType::I64, 4), 1);
+        // Address arithmetic is free.
+        assert_eq!(tm.scalar_cost(Opcode::Gep), 0);
+        // Division dominates.
+        assert!(tm.scalar_cost(Opcode::SDiv) > 10);
+    }
+
+    #[test]
+    fn gather_costs_follow_paper() {
+        let tm = CostModel::skylake_like();
+        assert_eq!(tm.gather_cost(4, false, false), 0, "constants are free");
+        assert_eq!(tm.gather_cost(4, true, true), 1, "splat is one broadcast");
+        assert_eq!(tm.gather_cost(4, true, false), 4, "mixed pays per lane");
+    }
+
+    #[test]
+    fn register_width_bounds_vf() {
+        let avx = CostModel::skylake_like();
+        assert_eq!(avx.max_vf(ScalarType::I64), 4);
+        assert_eq!(avx.max_vf(ScalarType::F32), 8);
+        let sse = CostModel::sse_like();
+        assert_eq!(sse.max_vf(ScalarType::I64), 2);
+        assert_eq!(sse.max_vf(ScalarType::F64), 2);
+    }
+
+    #[test]
+    fn wide_bundles_split_across_registers() {
+        let sse = CostModel::sse_like();
+        // 4 x i64 = 256 bits = two 128-bit registers.
+        assert_eq!(sse.vector_cost(Opcode::Add, ScalarType::I64, 4), 2);
+        let avx = CostModel::skylake_like();
+        assert_eq!(avx.vector_cost(Opcode::Add, ScalarType::I64, 4), 1);
+    }
+
+    #[test]
+    fn default_is_skylake() {
+        assert_eq!(CostModel::default(), CostModel::skylake_like());
+    }
+}

@@ -14,7 +14,9 @@ use lslp_target::CostModel;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(path) = args.first() else {
-        eprintln!("usage: vectorize_file <file.slc|-> [O3|SLP-NR|SLP|LSLP|LSLP-LA<n>|LSLP-Multi<n>]");
+        eprintln!(
+            "usage: vectorize_file <file.slc|-> [O3|SLP-NR|SLP|LSLP|LSLP-LA<n>|LSLP-Multi<n>]"
+        );
         return ExitCode::from(2);
     };
     let cfg_name = args.get(1).map(String::as_str).unwrap_or("LSLP");

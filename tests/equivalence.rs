@@ -29,7 +29,9 @@ fn setup(p: &lslp_kernels::GeneratedProgram, salt: u64) -> (Memory, Vec<Value>) 
                 }
                 _ => {
                     let init: Vec<i64> = (0..p.min_len)
-                        .map(|j| ((j as u64 * 2654435761 + k as u64 * 97 + salt) % 1021) as i64 - 300)
+                        .map(|j| {
+                            ((j as u64 * 2654435761 + k as u64 * 97 + salt) % 1021) as i64 - 300
+                        })
                         .collect();
                     mem.alloc_i64(&name, &init)
                 }
@@ -162,7 +164,6 @@ proptest! {
 mod reductions {
     use super::*;
     use lslp_ir::{Function, FunctionBuilder, Opcode, Type, ValueId};
-    
 
     /// Builds `R[0] = X[p(0)] ⊕ X[p(1)] ⊕ ... ⊕ X[p(n-1)]` with a seeded
     /// association order, where `p` shuffles which element each term loads.
@@ -231,7 +232,6 @@ mod reductions {
 /// vectorizer) preserves semantics end to end.
 mod pipeline_equivalence {
     use super::*;
-    
 
     proptest! {
         #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]

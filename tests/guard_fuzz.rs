@@ -1,0 +1,183 @@
+//! Differential fuzzing of the guarded vectorizer.
+//!
+//! For ≥100 generator seeds per configuration, a random straight-line
+//! program is vectorized under every paper configuration × every guard
+//! mode, executed, and its final memory compared against the scalar
+//! oracle (bit-exact for integers, relative tolerance for fast-math
+//! floats). Clean inputs must also raise zero guard incidents — the guard
+//! must be transparent when nothing goes wrong. On a mismatch the failing
+//! case is shrunk (lanes, depth, groups, swap probability) before
+//! reporting, so the panic message carries a minimal reproducer.
+
+use lslp::{try_vectorize_function, GuardMode, VectorizerConfig};
+use lslp_interp::{run_function, Memory, Value};
+use lslp_ir::ScalarType;
+use lslp_kernels::{generate, GenConfig, GeneratedProgram};
+use lslp_target::CostModel;
+
+const SEEDS_PER_CONFIG: u64 = 100;
+const PRESETS: [&str; 4] = ["O3", "SLP-NR", "SLP", "LSLP"];
+const GUARDS: [GuardMode; 3] = [GuardMode::Off, GuardMode::Rollback, GuardMode::Strict];
+
+/// Deterministically initialize memory for a generated program (same
+/// scheme as the equivalence suite) and run it.
+fn capture(p: &GeneratedProgram, f: &lslp_ir::Function, salt: u64) -> Memory {
+    let mut mem = Memory::new();
+    let mut args = Vec::new();
+    for (k, &param) in f.params().iter().enumerate() {
+        if f.ty(param) == lslp_ir::Type::PTR {
+            let name = f.value_name(param).unwrap().to_string();
+            let ptr = match p.elem {
+                ScalarType::F64 => {
+                    let init: Vec<f64> = (0..p.min_len)
+                        .map(|j| 0.25 + ((j as u64 * 37 + k as u64 * 11 + salt) % 64) as f64 / 16.0)
+                        .collect();
+                    mem.alloc_f64(&name, &init)
+                }
+                _ => {
+                    let init: Vec<i64> = (0..p.min_len)
+                        .map(|j| {
+                            ((j as u64 * 2654435761 + k as u64 * 97 + salt) % 1021) as i64 - 300
+                        })
+                        .collect();
+                    mem.alloc_i64(&name, &init)
+                }
+            };
+            args.push(ptr);
+        } else {
+            args.push(Value::Int(0));
+        }
+    }
+    run_function(f, &args, &mut mem).expect("straight-line programs execute");
+    mem
+}
+
+/// Run one (program, preset, guard mode) cell; `Err` describes the first
+/// divergence from the scalar oracle (or a spurious incident).
+fn check_one(
+    gen_cfg: &GenConfig,
+    preset: &str,
+    guard: GuardMode,
+    paranoid: bool,
+) -> Result<(), String> {
+    let p = generate(gen_cfg);
+    let scalar = capture(&p, &p.function, gen_cfg.seed);
+    let cfg = VectorizerConfig { guard, paranoid, ..VectorizerConfig::preset(preset).unwrap() };
+    let mut f = p.function.clone();
+    let report = try_vectorize_function(&mut f, &cfg, &CostModel::skylake_like())
+        .map_err(|e| format!("strict abort on clean input: {e}"))?;
+    if !report.incidents.is_empty() {
+        return Err(format!("spurious incident on clean input: {}", report.incidents[0]));
+    }
+    lslp_ir::verify_function(&f).map_err(|e| format!("invalid IR: {e}"))?;
+    let vec = capture(&p, &f, gen_cfg.seed);
+    for name in scalar.buffer_names() {
+        let a = scalar.bytes(name).unwrap();
+        let b = vec.bytes(name).unwrap();
+        if a == b {
+            continue;
+        }
+        if p.elem != ScalarType::F64 {
+            return Err(format!("integer buffer {name} differs"));
+        }
+        for (idx, (ca, cb)) in a.chunks(8).zip(b.chunks(8)).enumerate() {
+            let x = f64::from_le_bytes(ca.try_into().unwrap());
+            let y = f64::from_le_bytes(cb.try_into().unwrap());
+            let tol = 1e-8 * x.abs().max(y.abs()).max(1.0);
+            if (x - y).abs() > tol {
+                return Err(format!("{name}[{idx}] = {x} vs {y}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Greedily shrink a failing case along each axis while it keeps failing.
+fn shrink(mut cfg: GenConfig, preset: &str, guard: GuardMode, paranoid: bool) -> GenConfig {
+    loop {
+        let mut candidates = Vec::new();
+        if cfg.groups > 1 {
+            candidates.push(GenConfig { groups: cfg.groups - 1, ..cfg.clone() });
+        }
+        if cfg.lanes > 2 {
+            candidates.push(GenConfig { lanes: cfg.lanes - 1, ..cfg.clone() });
+        }
+        if cfg.depth > 1 {
+            candidates.push(GenConfig { depth: cfg.depth - 1, ..cfg.clone() });
+        }
+        if cfg.swap_prob > 0.0 {
+            candidates.push(GenConfig { swap_prob: 0.0, ..cfg.clone() });
+        }
+        if cfg.arrays > 1 {
+            candidates.push(GenConfig { arrays: cfg.arrays - 1, ..cfg.clone() });
+        }
+        match candidates.into_iter().find(|c| check_one(c, preset, guard, paranoid).is_err()) {
+            Some(smaller) => cfg = smaller,
+            None => return cfg,
+        }
+    }
+}
+
+fn fuzz(int: bool, paranoid: bool) {
+    for (g, &guard) in GUARDS.iter().enumerate() {
+        for preset in PRESETS {
+            for seed in 0..SEEDS_PER_CONFIG {
+                // Derive shape parameters from the seed so the sweep covers
+                // lanes × depth × swap × arrays without an RNG in the test.
+                let gen_cfg = GenConfig {
+                    seed: seed.wrapping_mul(0x9e3779b97f4a7c15) ^ g as u64,
+                    groups: 1 + (seed % 2) as usize,
+                    lanes: [2, 3, 4][(seed % 3) as usize],
+                    depth: 1 + (seed % 4) as u32,
+                    int,
+                    swap_prob: (seed % 10) as f64 / 10.0,
+                    arrays: 1 + (seed % 3) as usize,
+                };
+                if let Err(e) = check_one(&gen_cfg, preset, guard, paranoid) {
+                    let min = shrink(gen_cfg, preset, guard, paranoid);
+                    let err = check_one(&min, preset, guard, paranoid).unwrap_err();
+                    panic!(
+                        "guard fuzz failure under {preset}/{guard}{}: {e}\n\
+                         minimal reproducer {min:?}: {err}",
+                        if paranoid { " (paranoid)" } else { "" }
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn integer_programs_survive_all_guard_modes() {
+    fuzz(true, false);
+}
+
+#[test]
+fn float_programs_survive_all_guard_modes() {
+    fuzz(false, false);
+}
+
+#[test]
+fn paranoid_oracle_raises_no_false_alarms() {
+    // The differential oracle re-executes every committed transform; on
+    // clean inputs it must agree with itself (no OracleMismatch incidents,
+    // no behavioral change). A smaller sweep — each cell runs the
+    // interpreter several extra times.
+    for preset in PRESETS {
+        for seed in 0..32u64 {
+            let gen_cfg = GenConfig {
+                seed: seed.wrapping_mul(0x2545f4914f6cdd1d),
+                groups: 1 + (seed % 2) as usize,
+                lanes: [2, 4][(seed % 2) as usize],
+                depth: 1 + (seed % 3) as u32,
+                int: seed % 2 == 0,
+                swap_prob: (seed % 4) as f64 / 4.0,
+                arrays: 2,
+            };
+            if let Err(e) = check_one(&gen_cfg, preset, GuardMode::Rollback, true) {
+                let min = shrink(gen_cfg, preset, GuardMode::Rollback, true);
+                panic!("paranoid fuzz failure under {preset}: {e}\nminimal reproducer {min:?}");
+            }
+        }
+    }
+}

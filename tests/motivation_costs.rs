@@ -21,10 +21,7 @@ use lslp_target::CostModel;
 /// Run a named motivation kernel under `cfg`; returns
 /// `(first-attempt cost, applied cost, trees vectorized)`.
 fn run(kernel: &str, cfg: &VectorizerConfig) -> (i64, i64, usize) {
-    let k = motivation_kernels()
-        .into_iter()
-        .find(|k| k.name == kernel)
-        .expect("kernel exists");
+    let k = motivation_kernels().into_iter().find(|k| k.name == kernel).expect("kernel exists");
     let mut f = k.compile();
     let report = vectorize_function(&mut f, cfg, &CostModel::skylake_like());
     lslp_ir::verify_function(&f).expect("output verifies");

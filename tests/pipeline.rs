@@ -167,21 +167,14 @@ fn casts_compile_interpret_and_vectorize() {
     mem.alloc("OUT", 8 * 4);
     let p_in = mem.alloc("IN", 8 * 4);
     for (k, v) in [3i64, -7, 100, 0].into_iter().enumerate() {
-        mem.write_scalar(&p_in, (k * 4) as i64, lslp_ir::ScalarType::I32, Value::Int(v))
-            .unwrap();
+        mem.write_scalar(&p_in, (k * 4) as i64, lslp_ir::ScalarType::I32, Value::Int(v)).unwrap();
     }
-    let args = vec![
-        mem.ptr("OUT").unwrap(),
-        mem.ptr("IN").unwrap(),
-        Value::Float(2.5),
-        Value::Int(0),
-    ];
+    let args =
+        vec![mem.ptr("OUT").unwrap(), mem.ptr("IN").unwrap(), Value::Float(2.5), Value::Int(0)];
     run_function(&m.functions[0], &args, &mut mem).unwrap();
     let out = mem.ptr("OUT").unwrap();
     let read = |k: usize, mem: &Memory| {
-        mem.read_scalar(&out, (k * 4) as i64, lslp_ir::ScalarType::I32)
-            .unwrap()
-            .as_int()
+        mem.read_scalar(&out, (k * 4) as i64, lslp_ir::ScalarType::I32).unwrap().as_int()
     };
     assert_eq!(read(0, &mem), 7); // 3 * 2.5 = 7.5 → 7
     assert_eq!(read(1, &mem), -17); // -7 * 2.5 = -17.5 → -17

@@ -10,8 +10,8 @@ use lslp_target::CostModel;
 
 fn roundtrip(f: &lslp_ir::Function) {
     let printed = print_function(f);
-    let reparsed = parse_function(&printed)
-        .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+    let reparsed =
+        parse_function(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
     verify_function(&reparsed).unwrap_or_else(|e| panic!("reverify failed: {e}\n{printed}"));
     let reprinted = print_function(&reparsed);
     assert_eq!(printed, reprinted, "printing must be a fixed point");

@@ -1,0 +1,248 @@
+//! Offline stand-in for the subset of `criterion` used by this workspace.
+//!
+//! The container build has no access to crates.io, so the workspace
+//! vendors a minimal benchmark harness with the same surface the benches
+//! use: `criterion_group!`/`criterion_main!`, `Criterion` with the
+//! builder knobs the benches set, `benchmark_group`,
+//! `bench_function`/`bench_with_input` with `BenchmarkId`, and
+//! `Bencher::{iter, iter_batched}`. It runs each routine a fixed small
+//! number of timed iterations and prints a median per-iteration time —
+//! enough to keep `cargo bench` compiling and producing signal, without
+//! criterion's statistics machinery.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver (subset of criterion's type).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; the stand-in has no warm-up phase.
+    pub fn warm_up_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in times a fixed number
+    /// of samples rather than a wall-clock window.
+    pub fn measurement_time(self, _d: Duration) -> Criterion {
+        self
+    }
+
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    /// Run one benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks (subset of criterion's type).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility (see [`Criterion::sample_size`]).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(&format!("{}/{}", self.name, id.0), self.criterion.sample_size, f);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.0), self.criterion.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark's display id.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter` id, like criterion's.
+    pub fn new(function: impl Into<String>, parameter: impl core::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Id from a bare parameter.
+    pub fn from_parameter(parameter: impl core::fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId(s.to_string())
+    }
+}
+
+/// How `iter_batched` sizes its batches; the stand-in runs one routine
+/// call per setup regardless.
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Passed to each benchmark closure; runs and times the routine.
+pub struct Bencher {
+    samples: usize,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.total += start.elapsed();
+            self.iters += 1;
+            core::hint::black_box(&out);
+        }
+    }
+
+    /// Time `routine` on fresh inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let out = routine(input);
+            self.total += start.elapsed();
+            self.iters += 1;
+            core::hint::black_box(&out);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, samples: usize, mut f: F) {
+    let mut b = Bencher { samples, total: Duration::ZERO, iters: 0 };
+    f(&mut b);
+    let per_iter = if b.iters > 0 { b.total / b.iters as u32 } else { Duration::ZERO };
+    println!("bench {id:<48} {per_iter:>12?}/iter ({} iters)", b.iters);
+}
+
+/// Re-export point used by generated `criterion_group!` code.
+pub fn __run_group(name: &str, config: Criterion, benches: &mut [&mut dyn FnMut(&mut Criterion)]) {
+    println!("group {name}");
+    let mut c = config;
+    for bench in benches {
+        bench(&mut c);
+    }
+}
+
+/// Defines a benchmark group (both the `name/config/targets` struct form
+/// and the positional form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $crate::__run_group(
+                stringify!($name),
+                $config,
+                &mut [$(&mut |c: &mut $crate::Criterion| $target(c)),+],
+            );
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Defines `main` for a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Opaque value barrier (re-exported like criterion's).
+pub fn black_box<T>(x: T) -> T {
+    core::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_counts_iters() {
+        let mut c = Criterion::default().sample_size(5);
+        let mut group = c.benchmark_group("g");
+        let mut count = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", 2), &3u64, |b, &x| {
+            b.iter(|| {
+                count += x;
+            })
+        });
+        group.finish();
+        assert_eq!(count, 15);
+    }
+
+    #[test]
+    fn iter_batched_uses_fresh_inputs() {
+        let mut c = Criterion::default().sample_size(4);
+        let mut made = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    made += 1;
+                    vec![1u64; 8]
+                },
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(made, 4);
+    }
+}

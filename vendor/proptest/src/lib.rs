@@ -1,0 +1,216 @@
+//! Offline stand-in for the subset of `proptest` used by this workspace.
+//!
+//! The container build cannot reach crates.io, so the workspace vendors a
+//! small, dependency-free property-testing harness with the same surface
+//! the test-suite uses: the [`proptest!`] macro, `ProptestConfig { cases }`,
+//! range/`any`/`select`/string-pattern strategies, and the
+//! `prop_assert*`/`prop_assume!` macros. Sampling is plain seeded random
+//! draws; there is no shrinking (failures report the sampled inputs
+//! instead, which the deterministic generators make reproducible).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+/// Runner configuration (subset of proptest's type of the same name).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; this stand-in does not shrink.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64, max_shrink_iters: 1024 }
+    }
+}
+
+/// Why a sampled case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is skipped.
+    Reject,
+    /// A `prop_assert*!` failed.
+    Fail(String),
+}
+
+/// Drives the sampled cases of one property (used by the [`proptest!`]
+/// expansion; not part of the public proptest API surface).
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A deterministic runner: the property name seeds the RNG, so every
+    /// run samples the same cases.
+    pub fn new(name: &str) -> TestRunner {
+        let mut seed = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            seed = (seed ^ b as u64).wrapping_mul(0x100000001b3);
+        }
+        TestRunner { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// The RNG strategies sample from.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Strategy namespace (mirrors `proptest::prelude::prop`).
+pub mod prop {
+    /// Sampling helpers.
+    pub mod sample {
+        use crate::strategy::Select;
+
+        /// Uniformly select one of the given options per case.
+        pub fn select<T: Clone + core::fmt::Debug>(options: Vec<T>) -> Select<T> {
+            Select { options }
+        }
+    }
+}
+
+/// The common imports (mirrors `proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        TestCaseError,
+    };
+}
+
+/// Defines sampled property tests; see the module docs for the supported
+/// subset of proptest's grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut runner = $crate::TestRunner::new(stringify!($name));
+            let mut ran = 0u32;
+            let mut attempts = 0u32;
+            while ran < config.cases && attempts < config.cases.saturating_mul(10) {
+                attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::sample(&$strat, runner.rng());)*
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    Ok(()) => ran += 1,
+                    Err($crate::TestCaseError::Reject) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "property {} failed: {}\n  inputs: {}",
+                            stringify!($name),
+                            msg,
+                            [$(format!(concat!(stringify!($arg), " = {:?}"), $arg)),*].join(", "),
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Fallible assertion: fails the current case with the sampled inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fallible equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{:?} != {:?}", a, b);
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "{:?} != {:?}: {}", a, b, format!($($fmt)*));
+    }};
+}
+
+/// Fallible inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "{:?} == {:?}", a, b);
+    }};
+}
+
+/// Skip the current case when its sampled inputs are unusable.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in 1usize..4, y in 0u64..10, f in 0.0f64..1.0) {
+            prop_assert!((1..4).contains(&x));
+            prop_assert!(y < 10);
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn select_picks_an_option(lanes in prop::sample::select(vec![2usize, 3, 4])) {
+            prop_assert!([2, 3, 4].contains(&lanes));
+        }
+
+        #[test]
+        fn any_bool_and_assume(b in any::<bool>(), n in 0u32..8) {
+            prop_assume!(n != 3);
+            prop_assert_ne!(n, 3);
+            let _ = b;
+        }
+
+        #[test]
+        fn string_patterns_honor_charclass(s in "[ -~\n]{0,200}") {
+            prop_assert!(s.len() <= 200);
+            prop_assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Strategies: how each `arg in strategy` in [`proptest!`](crate::proptest)
+//! samples a value.
+//!
+//! Supported strategy expressions (the subset this workspace uses):
+//! integer and float `Range`s, [`any`]`::<bool>()`,
+//! `prop::sample::select(vec![..])`, and string literals holding a
+//! single-character-class regex like `"[ -~\n]{0,200}"`.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A source of sampled values (subset of proptest's trait of the same name).
+pub trait Strategy {
+    /// The sampled type.
+    type Value: Clone + core::fmt::Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Uniform choice between fixed options; built by
+/// [`prop::sample::select`](crate::prop::sample::select).
+#[derive(Clone, Debug)]
+pub struct Select<T> {
+    /// The options to choose between.
+    pub options: Vec<T>,
+}
+
+impl<T: Clone + core::fmt::Debug> Strategy for Select<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        assert!(!self.options.is_empty(), "select over no options");
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}
+
+/// Arbitrary values of `T` (mirrors `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+/// The strategy returned by [`any`].
+#[derive(Clone, Debug)]
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+/// Types with a canonical `any()` strategy.
+pub trait Arbitrary: Clone + core::fmt::Debug {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut StdRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut StdRng) -> i64 {
+        rng.next_u64() as i64
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// String literals are regex strategies. Only the shape this workspace
+/// uses is supported: one character class (`[...]` with literal chars,
+/// `a-z` ranges, and `\n`/`\t`/`\\` escapes) followed by a `{min,max}`
+/// repetition; a bare class means exactly one char.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let (chars, min, max) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string strategy pattern: {self:?}"));
+        let len = rng.gen_range(min..=max);
+        (0..len).map(|_| chars[rng.gen_range(0..chars.len())]).collect()
+    }
+}
+
+fn parse_class_pattern(pat: &str) -> Option<(Vec<char>, usize, usize)> {
+    let mut it = pat.chars().peekable();
+    if it.next()? != '[' {
+        return None;
+    }
+    let mut chars = Vec::new();
+    loop {
+        let c = match it.next()? {
+            ']' => break,
+            '\\' => match it.next()? {
+                'n' => '\n',
+                't' => '\t',
+                other => other,
+            },
+            c => c,
+        };
+        if it.peek() == Some(&'-') {
+            it.next();
+            let hi = match it.next()? {
+                '\\' => match it.next()? {
+                    'n' => '\n',
+                    't' => '\t',
+                    other => other,
+                },
+                ']' => {
+                    // Trailing `-` is a literal; put both back conceptually.
+                    chars.push(c);
+                    chars.push('-');
+                    break;
+                }
+                hi => hi,
+            };
+            chars.extend((c..=hi).collect::<Vec<char>>());
+        } else {
+            chars.push(c);
+        }
+    }
+    if chars.is_empty() {
+        return None;
+    }
+    let rest: String = it.collect();
+    if rest.is_empty() {
+        return Some((chars, 1, 1));
+    }
+    let inner = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match inner.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = inner.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    Some((chars, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_class_pattern;
+
+    #[test]
+    fn parses_printable_class_with_bounds() {
+        let (chars, lo, hi) = parse_class_pattern("[ -~\n]{0,200}").unwrap();
+        assert_eq!((lo, hi), (0, 200));
+        assert!(chars.contains(&' ') && chars.contains(&'~') && chars.contains(&'\n'));
+        assert_eq!(chars.len(), 96); // 95 printable ASCII + newline
+    }
+
+    #[test]
+    fn bare_class_is_one_char() {
+        let (chars, lo, hi) = parse_class_pattern("[abc]").unwrap();
+        assert_eq!((lo, hi), (1, 1));
+        assert_eq!(chars, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn rejects_unsupported_shapes() {
+        assert!(parse_class_pattern("abc").is_none());
+        assert!(parse_class_pattern("[]{1,2}").is_none());
+    }
+}
