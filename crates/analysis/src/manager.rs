@@ -1,0 +1,418 @@
+//! The analysis manager: lazy, epoch-keyed caching of function analyses.
+//!
+//! Modeled on LLVM's new-pass-manager `FunctionAnalysisManager`. Consumers
+//! ask the manager for an analysis instead of computing it; the manager
+//! computes on first request and serves cached results until the function's
+//! mutation epoch ([`lslp_ir::Function::epoch`]) moves. Because epochs are
+//! globally unique and preserved by `Clone`, a transactional rollback that
+//! restores a snapshot also restores its epoch — so a rolled-back
+//! vectorization attempt leaves the cache warm, while any committed
+//! mutation invalidates it automatically.
+//!
+//! Passes that mutate the function but provably keep some analyses valid
+//! declare them through [`PreservedAnalyses`]; [`AnalysisManager::
+//! mark_preserved`] then re-keys the surviving entries to the new epoch
+//! instead of recomputing them.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use lslp_ir::{Function, UseMap, ValueId};
+
+use crate::addr::AddrInfo;
+use crate::memdep::MemDep;
+
+/// Map from each body instruction to its position (cached analysis form of
+/// [`lslp_ir::Function::position_map`]).
+pub type PositionMap = HashMap<ValueId, usize>;
+
+/// The analyses the manager knows how to compute and cache.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AnalysisKind {
+    /// Symbolic address analysis ([`AddrInfo`]).
+    Addr,
+    /// Body position map.
+    Positions,
+    /// Use-def map ([`UseMap`]).
+    Uses,
+    /// Memory-dependence summary ([`MemDep`]).
+    MemDep,
+}
+
+/// All analysis kinds, in display order.
+pub const ANALYSIS_KINDS: [AnalysisKind; 4] =
+    [AnalysisKind::Addr, AnalysisKind::Positions, AnalysisKind::Uses, AnalysisKind::MemDep];
+
+impl AnalysisKind {
+    /// Stable display name (used in statistics output).
+    pub fn name(self) -> &'static str {
+        match self {
+            AnalysisKind::Addr => "addr",
+            AnalysisKind::Positions => "positions",
+            AnalysisKind::Uses => "uses",
+            AnalysisKind::MemDep => "memdep",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            AnalysisKind::Addr => 0,
+            AnalysisKind::Positions => 1,
+            AnalysisKind::Uses => 2,
+            AnalysisKind::MemDep => 3,
+        }
+    }
+}
+
+/// The set of analyses a pass declares intact after running (LLVM's
+/// `PreservedAnalyses`). A pass that did not mutate the function at all
+/// should return [`PreservedAnalyses::all`]; a mutating pass returns
+/// [`PreservedAnalyses::none`] unless it can prove better.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PreservedAnalyses {
+    preserved: [bool; 4],
+}
+
+impl PreservedAnalyses {
+    /// Every analysis survives (the function is semantically unchanged for
+    /// analysis purposes).
+    pub fn all() -> PreservedAnalyses {
+        PreservedAnalyses { preserved: [true; 4] }
+    }
+
+    /// No analysis survives (safe default after arbitrary mutation).
+    pub fn none() -> PreservedAnalyses {
+        PreservedAnalyses { preserved: [false; 4] }
+    }
+
+    /// Additionally declare `kind` preserved.
+    #[must_use]
+    pub fn preserve(mut self, kind: AnalysisKind) -> PreservedAnalyses {
+        self.preserved[kind.index()] = true;
+        self
+    }
+
+    /// Whether `kind` is declared preserved.
+    pub fn is_preserved(&self, kind: AnalysisKind) -> bool {
+        self.preserved[kind.index()]
+    }
+
+    /// Whether every analysis is preserved.
+    pub fn preserves_all(&self) -> bool {
+        self.preserved.iter().all(|&p| p)
+    }
+}
+
+/// Cache effectiveness counters, cumulative over the manager's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to compute the analysis.
+    pub misses: u64,
+    /// Times cached entries were dropped because the function's epoch
+    /// moved without a preservation claim.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.invalidations += other.invalidations;
+    }
+}
+
+/// Lazily computes and caches per-function analyses, keyed by the
+/// function's mutation epoch.
+///
+/// ```
+/// use lslp_analysis::AnalysisManager;
+/// use lslp_ir::{Function, Type};
+///
+/// let mut f = Function::new("k");
+/// f.add_param("A", Type::PTR);
+/// let mut am = AnalysisManager::new();
+/// let a1 = am.addr_info(&f);
+/// let a2 = am.addr_info(&f); // served from cache
+/// assert!(std::rc::Rc::ptr_eq(&a1, &a2));
+/// assert_eq!(am.cache_stats().hits, 1);
+/// assert_eq!(am.cache_stats().misses, 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisManager {
+    /// Epoch the cached entries were computed at (`None` = empty cache).
+    epoch: Option<u64>,
+    addr: Option<Rc<AddrInfo>>,
+    positions: Option<Rc<PositionMap>>,
+    uses: Option<Rc<UseMap>>,
+    memdep: Option<Rc<MemDep>>,
+    total: CacheStats,
+    per_kind: [CacheStats; 4],
+    analysis_time: Duration,
+}
+
+impl AnalysisManager {
+    /// An empty manager.
+    pub fn new() -> AnalysisManager {
+        AnalysisManager::default()
+    }
+
+    /// Cumulative cache counters (all analyses combined).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.total
+    }
+
+    /// Cache counters for one analysis kind.
+    pub fn cache_stats_for(&self, kind: AnalysisKind) -> CacheStats {
+        self.per_kind[kind.index()]
+    }
+
+    /// Total wall-clock time spent *computing* analyses (cache misses).
+    pub fn analysis_time(&self) -> Duration {
+        self.analysis_time
+    }
+
+    /// Fold another manager's counters into this one (used when a nested
+    /// run keeps its own manager).
+    pub fn absorb_stats(&mut self, other: &AnalysisManager) {
+        self.total.absorb(&other.total);
+        for (mine, theirs) in self.per_kind.iter_mut().zip(&other.per_kind) {
+            mine.absorb(theirs);
+        }
+        self.analysis_time += other.analysis_time;
+    }
+
+    /// Drop every cached entry.
+    pub fn invalidate_all(&mut self) {
+        if self.has_entries() {
+            self.total.invalidations += 1;
+        }
+        self.epoch = None;
+        self.addr = None;
+        self.positions = None;
+        self.uses = None;
+        self.memdep = None;
+    }
+
+    fn has_entries(&self) -> bool {
+        self.addr.is_some()
+            || self.positions.is_some()
+            || self.uses.is_some()
+            || self.memdep.is_some()
+    }
+
+    /// Re-key the cache after a pass reported `preserved`: surviving
+    /// entries move to `f`'s current epoch, the rest are dropped. With
+    /// [`PreservedAnalyses::all`] the whole cache stays warm even though
+    /// the epoch moved.
+    pub fn mark_preserved(&mut self, f: &Function, preserved: &PreservedAnalyses) {
+        if self.epoch == Some(f.epoch()) {
+            return; // nothing moved
+        }
+        if !preserved.is_preserved(AnalysisKind::Addr) {
+            self.addr = None;
+        }
+        if !preserved.is_preserved(AnalysisKind::Positions) {
+            self.positions = None;
+        }
+        if !preserved.is_preserved(AnalysisKind::Uses) {
+            self.uses = None;
+        }
+        if !preserved.is_preserved(AnalysisKind::MemDep) {
+            self.memdep = None;
+        }
+        if !preserved.preserves_all() {
+            self.total.invalidations += 1;
+        }
+        self.epoch = Some(f.epoch());
+    }
+
+    /// Invalidate stale entries if `f` moved past the cached epoch.
+    fn refresh(&mut self, f: &Function) {
+        if self.epoch != Some(f.epoch()) {
+            self.invalidate_all();
+            self.epoch = Some(f.epoch());
+        }
+    }
+
+    /// The address analysis for the current state of `f`.
+    pub fn addr_info(&mut self, f: &Function) -> Rc<AddrInfo> {
+        self.refresh(f);
+        if self.addr.is_some() {
+            self.hit(AnalysisKind::Addr);
+            return Rc::clone(self.addr.as_ref().expect("checked above"));
+        }
+        let start = Instant::now();
+        let a = Rc::new(AddrInfo::analyze(f));
+        self.miss(AnalysisKind::Addr, start);
+        self.addr = Some(Rc::clone(&a));
+        a
+    }
+
+    /// The body position map for the current state of `f`.
+    pub fn positions(&mut self, f: &Function) -> Rc<PositionMap> {
+        self.refresh(f);
+        if self.positions.is_some() {
+            self.hit(AnalysisKind::Positions);
+            return Rc::clone(self.positions.as_ref().expect("checked above"));
+        }
+        let start = Instant::now();
+        let p = Rc::new(f.position_map());
+        self.miss(AnalysisKind::Positions, start);
+        self.positions = Some(Rc::clone(&p));
+        p
+    }
+
+    /// The use-def map for the current state of `f`.
+    pub fn use_map(&mut self, f: &Function) -> Rc<UseMap> {
+        self.refresh(f);
+        if self.uses.is_some() {
+            self.hit(AnalysisKind::Uses);
+            return Rc::clone(self.uses.as_ref().expect("checked above"));
+        }
+        let start = Instant::now();
+        let u = Rc::new(f.use_map());
+        self.miss(AnalysisKind::Uses, start);
+        self.uses = Some(Rc::clone(&u));
+        u
+    }
+
+    /// The memory-dependence summary for the current state of `f`
+    /// (computes the address analysis first if needed).
+    pub fn memdep(&mut self, f: &Function) -> Rc<MemDep> {
+        self.refresh(f);
+        if self.memdep.is_some() {
+            self.hit(AnalysisKind::MemDep);
+            return Rc::clone(self.memdep.as_ref().expect("checked above"));
+        }
+        let addr = self.addr_info(f);
+        let start = Instant::now();
+        let m = Rc::new(MemDep::analyze(f, &addr));
+        self.miss(AnalysisKind::MemDep, start);
+        self.memdep = Some(Rc::clone(&m));
+        m
+    }
+
+    fn hit(&mut self, kind: AnalysisKind) {
+        self.total.hits += 1;
+        self.per_kind[kind.index()].hits += 1;
+    }
+
+    fn miss(&mut self, kind: AnalysisKind, started: Instant) {
+        self.total.misses += 1;
+        self.per_kind[kind.index()].misses += 1;
+        self.analysis_time += started.elapsed();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lslp_ir::{FunctionBuilder, Type};
+
+    fn kernel() -> Function {
+        let mut f = Function::new("k");
+        let a = f.add_param("A", Type::PTR);
+        let x = f.add_param("x", Type::I64);
+        let i = f.add_param("i", Type::I64);
+        let mut b = FunctionBuilder::new(&mut f);
+        let g = b.gep(a, i, 8);
+        let l = b.load(Type::I64, g);
+        let s = b.add(l, x);
+        b.store(s, g);
+        f
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_cache() {
+        let f = kernel();
+        let mut am = AnalysisManager::new();
+        let a1 = am.addr_info(&f);
+        let p1 = am.positions(&f);
+        let u1 = am.use_map(&f);
+        let a2 = am.addr_info(&f);
+        let p2 = am.positions(&f);
+        let u2 = am.use_map(&f);
+        assert!(Rc::ptr_eq(&a1, &a2));
+        assert!(Rc::ptr_eq(&p1, &p2));
+        assert!(Rc::ptr_eq(&u1, &u2));
+        assert_eq!(am.cache_stats(), CacheStats { hits: 3, misses: 3, invalidations: 0 });
+        assert_eq!(am.cache_stats_for(AnalysisKind::Addr).hits, 1);
+    }
+
+    #[test]
+    fn mutation_invalidates() {
+        let mut f = kernel();
+        let mut am = AnalysisManager::new();
+        let a1 = am.addr_info(&f);
+        f.add_param("junk", Type::I64);
+        let a2 = am.addr_info(&f);
+        assert!(!Rc::ptr_eq(&a1, &a2), "stale analysis must not be served");
+        assert_eq!(am.cache_stats().misses, 2);
+        assert_eq!(am.cache_stats().invalidations, 1);
+    }
+
+    #[test]
+    fn rollback_to_snapshot_keeps_cache_warm() {
+        let mut f = kernel();
+        let snapshot = f.clone();
+        let mut am = AnalysisManager::new();
+        let a1 = am.addr_info(&f);
+        f.add_param("junk", Type::I64); // aborted attempt mutates...
+        f = snapshot; // ...and is rolled back
+        let a2 = am.addr_info(&f);
+        assert!(Rc::ptr_eq(&a1, &a2), "identical content ⇒ cache hit");
+        assert_eq!(am.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn memdep_rides_on_addr() {
+        let f = kernel();
+        let mut am = AnalysisManager::new();
+        let _ = am.memdep(&f);
+        // memdep computed addr internally; both are now cached.
+        let _ = am.addr_info(&f);
+        let _ = am.memdep(&f);
+        assert_eq!(am.cache_stats_for(AnalysisKind::MemDep).misses, 1);
+        assert_eq!(am.cache_stats_for(AnalysisKind::MemDep).hits, 1);
+        assert_eq!(am.cache_stats_for(AnalysisKind::Addr).hits, 1);
+    }
+
+    #[test]
+    fn preserved_analyses_rekey_without_recompute() {
+        let mut f = kernel();
+        let mut am = AnalysisManager::new();
+        let a1 = am.addr_info(&f);
+        let u1 = am.use_map(&f);
+        // A "pass" that mutates only debug names: analyses survive.
+        let v = f.params()[0];
+        f.set_value_name(v, "renamed");
+        am.mark_preserved(&f, &PreservedAnalyses::all());
+        let a2 = am.addr_info(&f);
+        let u2 = am.use_map(&f);
+        assert!(Rc::ptr_eq(&a1, &a2));
+        assert!(Rc::ptr_eq(&u1, &u2));
+        assert_eq!(am.cache_stats().invalidations, 0);
+        // Partial preservation drops only the unlisted entries.
+        f.set_value_name(v, "renamed-again");
+        am.mark_preserved(&f, &PreservedAnalyses::none().preserve(AnalysisKind::Addr));
+        let a3 = am.addr_info(&f);
+        assert!(Rc::ptr_eq(&a1, &a3), "addr was preserved");
+        let u3 = am.use_map(&f);
+        assert!(!Rc::ptr_eq(&u1, &u3), "uses were not preserved");
+    }
+
+    #[test]
+    fn preserved_set_composes() {
+        let pa = PreservedAnalyses::none()
+            .preserve(AnalysisKind::Positions)
+            .preserve(AnalysisKind::Uses);
+        assert!(pa.is_preserved(AnalysisKind::Positions));
+        assert!(pa.is_preserved(AnalysisKind::Uses));
+        assert!(!pa.is_preserved(AnalysisKind::Addr));
+        assert!(!pa.preserves_all());
+        assert!(PreservedAnalyses::all().preserves_all());
+    }
+}

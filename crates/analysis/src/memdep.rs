@@ -1,0 +1,99 @@
+//! Memory-dependence summary ("MemorySSA-lite").
+//!
+//! For every load in a straight-line function, precompute which *memory
+//! epoch* it reads from: the index (1-based) of the most recent preceding
+//! store that may alias the load's address, or 0 when no such store exists.
+//! Two loads of the same address are redundant exactly when they share a
+//! memory epoch — the query local CSE performs. Centralizing the summary
+//! here lets the [`crate::AnalysisManager`] cache it alongside the address
+//! analysis instead of every consumer re-deriving aliasing pairwise.
+
+use std::collections::HashMap;
+
+use lslp_ir::{Function, Opcode, ValueId};
+
+use crate::addr::AddrInfo;
+use crate::alias::may_alias;
+
+/// Per-load memory epochs for one function (snapshot semantics: reflects
+/// the function at analysis time, like [`AddrInfo`]).
+#[derive(Clone, Debug, Default)]
+pub struct MemDep {
+    load_epoch: HashMap<ValueId, usize>,
+    num_stores: usize,
+}
+
+impl MemDep {
+    /// Analyze `f` against an address analysis computed for the same
+    /// function state.
+    pub fn analyze(f: &Function, addr: &AddrInfo) -> MemDep {
+        let mut load_epoch = HashMap::new();
+        let mut stores: Vec<ValueId> = Vec::new();
+        for (_, id, inst) in f.iter_body() {
+            match inst.op {
+                Opcode::Store => stores.push(id),
+                Opcode::Load => {
+                    // The load's epoch is the most recent store that may
+                    // alias it; a load with no address expression
+                    // conservatively depends on every store so far.
+                    let epoch = match addr.loc(id) {
+                        Some(lloc) => stores
+                            .iter()
+                            .rposition(|&s| match addr.loc(s) {
+                                Some(sloc) => may_alias(f, lloc, sloc),
+                                None => true,
+                            })
+                            .map(|p| p + 1)
+                            .unwrap_or(0),
+                        None => stores.len(),
+                    };
+                    load_epoch.insert(id, epoch);
+                }
+                _ => {}
+            }
+        }
+        MemDep { load_epoch, num_stores: stores.len() }
+    }
+
+    /// The memory epoch of load `v`: 1-based index of the latest preceding
+    /// may-aliasing store, 0 when the load reads initial memory. `None` if
+    /// `v` is not a load of the analyzed body.
+    pub fn load_epoch(&self, v: ValueId) -> Option<usize> {
+        self.load_epoch.get(&v).copied()
+    }
+
+    /// Number of stores in the analyzed body.
+    pub fn num_stores(&self) -> usize {
+        self.num_stores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lslp_ir::{FunctionBuilder, Type};
+
+    #[test]
+    fn epochs_split_around_aliasing_stores() {
+        let mut f = Function::new("t");
+        let a = f.add_param("A", Type::PTR);
+        let b_ = f.add_param("B", Type::PTR);
+        let x = f.add_param("x", Type::I64);
+        let i = f.add_param("i", Type::I64);
+        let mut b = FunctionBuilder::new(&mut f);
+        let ga = b.gep(a, i, 8);
+        let l1 = b.load(Type::I64, ga);
+        let gb = b.gep(b_, i, 8);
+        b.store(x, gb); // distinct base: does not advance A's epoch
+        let l2 = b.load(Type::I64, ga);
+        b.store(x, ga); // overwrites A[i]
+        let l3 = b.load(Type::I64, ga);
+        let addr = AddrInfo::analyze(&f);
+        let md = MemDep::analyze(&f, &addr);
+        assert_eq!(md.load_epoch(l1), Some(0));
+        assert_eq!(md.load_epoch(l2), Some(0), "store to B must not block");
+        assert_eq!(md.load_epoch(l3), Some(2), "store to A[i] advances the epoch");
+        assert_eq!(md.num_stores(), 2);
+        assert_eq!(md.load_epoch(ga), None, "geps are not loads");
+    }
+}

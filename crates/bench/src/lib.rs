@@ -157,6 +157,69 @@ pub fn measure_compile_time(k: &Kernel, cfg_name: &str, reps: usize) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// Median per-phase compile-time breakdown (seconds) for one kernel under
+/// one configuration: where the pipeline's wall-clock actually goes.
+#[derive(Clone, Copy, Debug)]
+pub struct CompilePhases {
+    /// Whole-pipeline wall clock (scalar rounds + vectorizer + final DCE).
+    pub total: f64,
+    /// Scalar simplification rounds (simplify/fold/cse/dce).
+    pub scalar: f64,
+    /// The vectorizer pass proper.
+    pub vectorize: f64,
+    /// Analysis recomputation on cache misses. This time is *included* in
+    /// the pass times above (analyses run lazily inside passes); reporting
+    /// it separately shows how much the [`lslp::AnalysisManager`] cache is
+    /// saving versus recomputing per use.
+    pub analysis: f64,
+}
+
+/// Measure the per-phase compile-time breakdown for Fig 14's
+/// scalar-vs-vectorizer-vs-analysis rows. Uses the same
+/// batch-median methodology as [`measure_compile_time`], but times the
+/// optimization pipeline only (no frontend) via [`lslp::run_pipeline`]'s
+/// [`lslp::PipelineReport`] phase timers.
+pub fn measure_compile_phases(k: &Kernel, cfg_name: &str, reps: usize) -> CompilePhases {
+    let cfg = VectorizerConfig::preset(cfg_name).expect("known configuration");
+    let tm = CostModel::skylake_like();
+    const BATCH: usize = 8;
+    let m = lslp_frontend::compile(k.src).expect("kernel compiles");
+    let mut totals = Vec::with_capacity(reps);
+    let mut scalars = Vec::with_capacity(reps);
+    let mut vectors = Vec::with_capacity(reps);
+    let mut analyses = Vec::with_capacity(reps);
+    for rep in 0..=reps {
+        let (mut total, mut scalar, mut vector, mut analysis) = (0f64, 0f64, 0f64, 0f64);
+        for _ in 0..BATCH {
+            for proto in &m.functions {
+                let mut f = proto.clone();
+                let report = lslp::run_pipeline(&mut f, &cfg, &tm);
+                total += report.total_time.as_secs_f64();
+                scalar += report.scalar_time.as_secs_f64();
+                vector += report.vectorize.elapsed.as_secs_f64();
+                analysis += report.analysis_time.as_secs_f64();
+                std::hint::black_box(&f);
+            }
+        }
+        if rep > 0 {
+            totals.push(total / BATCH as f64);
+            scalars.push(scalar / BATCH as f64);
+            vectors.push(vector / BATCH as f64);
+            analyses.push(analysis / BATCH as f64);
+        }
+    }
+    let median = |xs: &mut Vec<f64>| {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2]
+    };
+    CompilePhases {
+        total: median(&mut totals),
+        scalar: median(&mut scalars),
+        vectorize: median(&mut vectors),
+        analysis: median(&mut analyses),
+    }
+}
+
 /// Geometric mean of strictly positive samples.
 pub fn geomean(xs: &[f64]) -> f64 {
     debug_assert!(xs.iter().all(|&x| x > 0.0));
@@ -247,6 +310,19 @@ mod tests {
         let k = &lslp_kernels::motivation_kernels()[0];
         let t = measure_compile_time(k, "LSLP", 3);
         assert!(t > 0.0);
+    }
+
+    #[test]
+    fn compile_phases_nest_inside_total() {
+        let k = &lslp_kernels::motivation_kernels()[0];
+        let p = measure_compile_phases(k, "LSLP", 3);
+        assert!(p.total > 0.0);
+        assert!(p.scalar > 0.0, "scalar rounds always run under --pipeline");
+        assert!(p.vectorize > 0.0, "LSLP vectorizes this kernel");
+        // Medians of independent samples may not add exactly, but each
+        // phase must be bounded by (a small multiple of) the total.
+        assert!(p.scalar < p.total && p.vectorize < p.total);
+        assert!(p.analysis < p.total, "analysis time is a subset of pass time");
     }
 }
 

@@ -46,6 +46,11 @@ pub struct Args {
     /// Paranoid mode: differentially execute every committed transform
     /// against its pre-transform snapshot (slow).
     pub paranoid: bool,
+    /// Print per-pass wall-clock timings after the main output.
+    pub print_pass_times: bool,
+    /// Print pass statistics and analysis-cache counters after the main
+    /// output (LLVM `-stats` style).
+    pub stats: bool,
 }
 
 impl Default for Args {
@@ -62,6 +67,8 @@ impl Default for Args {
             output: None,
             guard: None,
             paranoid: false,
+            print_pass_times: false,
+            stats: false,
         }
     }
 }
@@ -105,6 +112,10 @@ OPTIONS:
                        strict aborts compilation, off disables the guard
     --paranoid         differentially execute every committed transform
                        against its pre-transform snapshot (slow)
+    --print-pass-times print per-pass wall-clock timings (and total analysis
+                       time) after the main output
+    --stats            print pass statistics and analysis-cache hit/miss
+                       counters after the main output
     -o <FILE>          write output to FILE instead of stdout
     -h, --help         show this help
 ";
@@ -152,6 +163,8 @@ pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
                 args.guard = Some(mode);
             }
             "--paranoid" => args.paranoid = true,
+            "--print-pass-times" => args.print_pass_times = true,
+            "--stats" => args.stats = true,
             "-o" => args.output = Some(value_of("-o")?),
             flag if flag.starts_with('-') && flag != "-" => {
                 return Err(ArgError(format!("unknown option `{flag}` (see --help)")))
@@ -226,6 +239,16 @@ mod tests {
         assert_eq!(d.guard, None);
         assert!(!d.paranoid);
         assert!(p(&["k.slc", "--guard", "yolo"]).unwrap_err().0.contains("unknown --guard"));
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let a = p(&["k.slc", "--print-pass-times", "--stats"]).unwrap();
+        assert!(a.print_pass_times);
+        assert!(a.stats);
+        let d = p(&["k.slc"]).unwrap();
+        assert!(!d.print_pass_times);
+        assert!(!d.stats);
     }
 
     #[test]

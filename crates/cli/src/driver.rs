@@ -3,10 +3,10 @@
 use std::fmt::Write as _;
 
 use lslp::{
-    try_run_pipeline, try_vectorize_function, vectorize_function, GuardMode, VectorizeReport,
+    try_run_pipeline, try_run_vectorize_only, vectorize_function, GuardMode, PipelineReport,
     VectorizerConfig,
 };
-use lslp_analysis::AddrInfo;
+use lslp_analysis::AnalysisManager;
 use lslp_interp::{measure_cycles, run_function_traced, Memory, Value};
 use lslp_ir::{Function, Module, Opcode, ScalarType, Type};
 use lslp_target::CostModel;
@@ -41,13 +41,15 @@ fn optimize(
     cfg: &VectorizerConfig,
     pipeline: bool,
     tm: &CostModel,
-) -> Result<Vec<VectorizeReport>, DriverError> {
+) -> Result<Vec<PipelineReport>, DriverError> {
     let mut rs = Vec::new();
     for f in &mut m.functions {
+        // Both paths run under the pass manager, so per-pass timings,
+        // statistics, and analysis-cache counters are always available.
         let r = if pipeline {
-            try_run_pipeline(f, cfg, tm).map(|r| r.vectorize)
+            try_run_pipeline(f, cfg, tm)
         } else {
-            try_vectorize_function(f, cfg, tm)
+            try_run_vectorize_only(f, cfg, tm)
         };
         rs.push(r.map_err(|e| DriverError(format!("@{}: {e}", f.name())))?);
     }
@@ -57,9 +59,10 @@ fn optimize(
 fn emit_dot(src_module: &Module, cfg: &VectorizerConfig, tm: &CostModel) -> String {
     let mut out = String::new();
     for f in &src_module.functions {
-        let addr = AddrInfo::analyze(f);
-        let positions = f.position_map();
-        let use_map = f.use_map();
+        let mut am = AnalysisManager::new();
+        let addr = am.addr_info(f);
+        let positions = am.positions(f);
+        let use_map = am.use_map(f);
         for chain in lslp::seeds::collect_store_chains(f, &addr) {
             let graph =
                 lslp::GraphBuilder::new(f, cfg, &addr, &positions, &use_map).build(&chain.stores);
@@ -75,9 +78,10 @@ fn emit_graphs(src_module: &Module, cfg: &VectorizerConfig, tm: &CostModel) -> S
     let mut out = String::new();
     for f in &src_module.functions {
         let _ = writeln!(out, "; @{} — SLP graphs before vectorization", f.name());
-        let addr = AddrInfo::analyze(f);
-        let positions = f.position_map();
-        let use_map = f.use_map();
+        let mut am = AnalysisManager::new();
+        let addr = am.addr_info(f);
+        let positions = am.positions(f);
+        let use_map = am.use_map(f);
         for chain in lslp::seeds::collect_store_chains(f, &addr) {
             let graph =
                 lslp::GraphBuilder::new(f, cfg, &addr, &positions, &use_map).build(&chain.stores);
@@ -97,9 +101,10 @@ fn emit_graphs(src_module: &Module, cfg: &VectorizerConfig, tm: &CostModel) -> S
     out
 }
 
-fn emit_report(m: &Module, reports: &[VectorizeReport]) -> String {
+fn emit_report(m: &Module, reports: &[PipelineReport]) -> String {
     let mut out = String::new();
-    for (f, r) in m.functions.iter().zip(reports) {
+    for (f, pr) in m.functions.iter().zip(reports) {
+        let r = &pr.vectorize;
         let _ = writeln!(
             out,
             "@{}: {} attempt(s), {} vectorized, applied cost {}, {} extract(s), pass time {:?}",
@@ -133,6 +138,45 @@ fn emit_report(m: &Module, reports: &[VectorizeReport]) -> String {
         }
         for inc in &r.incidents {
             let _ = writeln!(out, "  incident {inc}");
+        }
+        for inc in &pr.incidents {
+            let _ = writeln!(out, "  incident {inc}");
+        }
+    }
+    out
+}
+
+/// Render the `--print-pass-times` / `--stats` sections (as `;` comments,
+/// so IR output stays parseable).
+fn emit_observability(m: &Module, reports: &[PipelineReport], times: bool, stats: bool) -> String {
+    let mut out = String::new();
+    for (f, r) in m.functions.iter().zip(reports) {
+        if times {
+            let _ = writeln!(out, "; pass times @{}:", f.name());
+            for t in &r.pass_timings {
+                let _ = writeln!(
+                    out,
+                    ";   {:<10} {:>10.1?}  ({} rewrites)",
+                    t.pass, t.time, t.rewrites
+                );
+            }
+            let _ = writeln!(
+                out,
+                ";   {:<10} {:>10.1?}  (cache misses, included in pass times)",
+                "analyses", r.analysis_time
+            );
+        }
+        if stats {
+            let _ = writeln!(out, "; statistics @{}:", f.name());
+            for row in r.stats.rows() {
+                let _ = writeln!(out, ";   {:>6}  {} - {}", row.value, row.pass, row.counter);
+            }
+            let cs = r.analysis_cache;
+            let _ = writeln!(
+                out,
+                ";   analysis cache: {} hit(s), {} miss(es), {} invalidation(s)",
+                cs.hits, cs.misses, cs.invalidations
+            );
         }
     }
     out
@@ -297,6 +341,15 @@ pub fn run_on_source(args: &Args, src: &str) -> Result<String, DriverError> {
             } else {
                 out.push_str(&lslp_ir::print_module(&module));
             }
+            if args.print_pass_times || args.stats {
+                out.push('\n');
+                out.push_str(&emit_observability(
+                    &module,
+                    &reports,
+                    args.print_pass_times,
+                    args.stats,
+                ));
+            }
             if args.run {
                 out.push('\n');
                 out.push_str(&run_kernels(&module, args.iters, args.trace, &tm)?);
@@ -411,6 +464,35 @@ mod tests {
     fn report_mode_is_incident_free_on_clean_input() {
         let out = run(&["--emit", "report", "--pipeline", "--paranoid"]);
         assert!(!out.contains("incident"), "{out}");
+    }
+
+    #[test]
+    fn pass_times_flag_prints_timers() {
+        let out = run(&["--pipeline", "--print-pass-times"]);
+        assert!(out.contains("; pass times @k:"), "{out}");
+        for pass in ["simplify", "fold", "cse", "dce", "vectorize", "analyses"] {
+            assert!(out.contains(pass), "missing {pass} in:\n{out}");
+        }
+        assert!(out.contains("<4 x f64>"), "IR still printed:\n{out}");
+    }
+
+    #[test]
+    fn stats_flag_prints_counters_and_cache() {
+        let out = run(&["--pipeline", "--stats"]);
+        assert!(out.contains("; statistics @k:"), "{out}");
+        assert!(out.contains("vectorize - trees-vectorized"), "{out}");
+        assert!(out.contains("analysis cache:"), "{out}");
+        assert!(out.contains("hit(s)"), "{out}");
+    }
+
+    #[test]
+    fn observability_works_without_pipeline() {
+        // The default (vectorize-only) path runs under the pass manager
+        // too, so the flags work without --pipeline.
+        let out = run(&["--print-pass-times", "--stats"]);
+        assert!(out.contains("; pass times @k:"), "{out}");
+        assert!(out.contains("vectorize"), "{out}");
+        assert!(out.contains("analysis cache:"), "{out}");
     }
 
     #[test]

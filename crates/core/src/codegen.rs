@@ -14,7 +14,9 @@
 //! became unreachable.
 
 use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 
+use lslp_analysis::{AnalysisManager, PositionMap};
 use lslp_ir::{Constant, Function, InstAttr, Opcode, Type, ValueId};
 
 use crate::graph::{NodeId, NodeKind, Placement, SlpGraph};
@@ -33,9 +35,9 @@ pub struct CodegenStats {
 struct Codegen<'a> {
     f: &'a mut Function,
     graph: &'a SlpGraph,
-    positions: HashMap<ValueId, usize>,
+    positions: Rc<PositionMap>,
     /// Original uses snapshot (before any new instruction was pushed).
-    uses: lslp_ir::UseMap,
+    uses: Rc<lslp_ir::UseMap>,
     /// New instructions to splice in *after* the original body index.
     queued: HashMap<usize, Vec<ValueId>>,
     vec_vals: HashMap<NodeId, ValueId>,
@@ -295,11 +297,37 @@ pub fn generate(f: &mut Function, graph: &SlpGraph) -> CodegenStats {
     generate_tree(f, graph).stats
 }
 
+/// [`generate`], pulling the position/use maps from `am`'s cache instead
+/// of recomputing them (the pass driver's hot path).
+pub fn generate_with(f: &mut Function, graph: &SlpGraph, am: &mut AnalysisManager) -> CodegenStats {
+    generate_tree_with(f, graph, am).stats
+}
+
 /// Like [`generate`], additionally returning the root's vector value so
 /// callers (e.g. horizontal-reduction codegen) can consume it.
 pub fn generate_tree(f: &mut Function, graph: &SlpGraph) -> GeneratedTree {
-    let positions = f.position_map();
-    let uses = f.use_map();
+    let positions = Rc::new(f.position_map());
+    let uses = Rc::new(f.use_map());
+    generate_tree_cached(f, graph, positions, uses)
+}
+
+/// [`generate_tree`] with analyses supplied by the [`AnalysisManager`].
+pub fn generate_tree_with(
+    f: &mut Function,
+    graph: &SlpGraph,
+    am: &mut AnalysisManager,
+) -> GeneratedTree {
+    let positions = am.positions(f);
+    let uses = am.use_map(f);
+    generate_tree_cached(f, graph, positions, uses)
+}
+
+fn generate_tree_cached(
+    f: &mut Function,
+    graph: &SlpGraph,
+    positions: Rc<PositionMap>,
+    uses: Rc<lslp_ir::UseMap>,
+) -> GeneratedTree {
     let mut cg = Codegen {
         f,
         graph,

@@ -7,7 +7,7 @@
 
 use std::collections::HashMap;
 
-use lslp_analysis::{may_alias, AddrInfo};
+use lslp_analysis::AnalysisManager;
 use lslp_ir::{Function, InstAttr, Module, Opcode, Type, ValueId};
 
 #[derive(PartialEq, Eq, Hash)]
@@ -22,8 +22,15 @@ struct Key {
 }
 
 /// Run one CSE pass; returns the number of instructions merged away.
+/// (Standalone entry point: computes its analyses into a throwaway
+/// manager. The pipeline uses [`run_with`] to share the cache.)
 pub fn run(f: &mut Function) -> usize {
-    let addr = AddrInfo::analyze(f);
+    run_with(f, &mut AnalysisManager::new())
+}
+
+/// [`run`], pulling the memory-dependence summary from `am`'s cache.
+pub fn run_with(f: &mut Function, am: &mut AnalysisManager) -> usize {
+    let memdep = am.memdep(f);
     let mut table: HashMap<Key, ValueId> = HashMap::new();
     let mut replace: Vec<(ValueId, ValueId)> = Vec::new();
     // Map from merged-away values to their representative, applied eagerly
@@ -33,29 +40,15 @@ pub fn run(f: &mut Function) -> usize {
     let resolve = |resolved: &HashMap<ValueId, ValueId>, v: ValueId| -> ValueId {
         resolved.get(&v).copied().unwrap_or(v)
     };
-    // Positions of the stores seen so far, to compute each load's epoch.
-    let mut store_positions: Vec<ValueId> = Vec::new();
-
     for (_, id, inst) in f.iter_body() {
         match inst.op {
             Opcode::Store => {
-                store_positions.push(id);
                 continue;
             }
             Opcode::Load => {
-                // The load's epoch is the most recent store that may alias
-                // it; a conservative fallback is "any store" (its index).
-                let epoch = match addr.loc(id) {
-                    Some(lloc) => store_positions
-                        .iter()
-                        .rposition(|&s| match addr.loc(s) {
-                            Some(sloc) => may_alias(f, lloc, sloc),
-                            None => true,
-                        })
-                        .map(|p| p + 1)
-                        .unwrap_or(0),
-                    None => store_positions.len(),
-                };
+                // The load's memory epoch is precomputed by the MemDep
+                // analysis; a conservative fallback is "any store".
+                let epoch = memdep.load_epoch(id).unwrap_or(memdep.num_stores());
                 let key = Key {
                     op: inst.op,
                     ty: inst.ty,

@@ -24,6 +24,7 @@
 //!
 //! See `DESIGN.md` § "Pass guard & failure semantics".
 
+use std::any::Any;
 use std::cell::Cell;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
@@ -166,7 +167,144 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Run `body` over `f` as a guarded transaction.
+/// A lazily evaluated seed description: only rendered when an incident is
+/// actually recorded, so the hot path never pays the formatting cost.
+pub type SeedDesc<'a> = &'a dyn Fn(&Function) -> String;
+
+/// Pass-instrumentation hooks: the snapshot / verify / rollback machinery
+/// of the transactional guard, factored out so the pass manager
+/// (`crate::pm::PassManager`) wraps whole passes with the same
+/// before/after-pass protocol that per-seed vectorization transactions
+/// use, instead of every call site re-implementing the wrapping.
+///
+/// Protocol:
+///
+/// 1. [`GuardInstrumentation::before_pass`] — snapshot the function;
+/// 2. run the transform (under [`GuardInstrumentation::catch_panics`] when
+///    panic isolation is wanted);
+/// 3. [`GuardInstrumentation::after_pass`] — verify the mutated function
+///    (plus the differential-execution oracle in paranoid mode) and either
+///    commit (`None`) or roll back to the snapshot and return the
+///    [`Incident`].
+///
+/// The caller applies the [`GuardMode`] policy to a returned incident via
+/// [`record`]; [`GuardInstrumentation::transact`] bundles all of the above
+/// for one-shot transactions.
+pub struct GuardInstrumentation {
+    mode: GuardMode,
+    paranoid: bool,
+    snapshot: Option<Function>,
+}
+
+impl GuardInstrumentation {
+    /// Instrumentation for the given failure semantics. Installs the quiet
+    /// panic hook once per process when the guard is active.
+    pub fn new(mode: GuardMode, paranoid: bool) -> GuardInstrumentation {
+        if mode != GuardMode::Off {
+            install_quiet_hook();
+        }
+        GuardInstrumentation { mode, paranoid, snapshot: None }
+    }
+
+    /// The failure semantics this instrumentation applies.
+    pub fn mode(&self) -> GuardMode {
+        self.mode
+    }
+
+    /// Before-pass hook: snapshot `f` so `after_pass` can roll back.
+    /// No-op (no snapshot cost) in [`GuardMode::Off`].
+    pub fn before_pass(&mut self, f: &Function) {
+        if self.mode != GuardMode::Off {
+            self.snapshot = Some(f.clone());
+        }
+    }
+
+    /// Run `body` with panics caught and the default panic report
+    /// suppressed (the guard converts the payload into an incident).
+    pub fn catch_panics<T>(&self, body: impl FnOnce() -> T) -> Result<T, Box<dyn Any + Send>> {
+        GUARD_ACTIVE.with(|g| g.set(true));
+        let r = panic::catch_unwind(AssertUnwindSafe(body));
+        GUARD_ACTIVE.with(|g| g.set(false));
+        r
+    }
+
+    /// After-pass hook. `outcome` is `Ok(mutated)` when the transform
+    /// completed (`mutated` says whether `f` changed, so clean read-only
+    /// runs skip verification and oracle costs) or `Err(payload)` when it
+    /// panicked. Returns `None` on commit; on any failure restores `f`
+    /// from the `before_pass` snapshot bit-for-bit and returns the
+    /// incident. `seed` is evaluated lazily, only when an incident is
+    /// built (after rollback, so it describes the pre-transform state).
+    pub fn after_pass(
+        &mut self,
+        pass: &str,
+        seed: Option<SeedDesc>,
+        f: &mut Function,
+        outcome: Result<bool, Box<dyn Any + Send>>,
+    ) -> Option<Incident> {
+        let snapshot = self.snapshot.take();
+        if self.mode == GuardMode::Off {
+            if let Err(payload) = outcome {
+                panic::resume_unwind(payload);
+            }
+            return None;
+        }
+        let snapshot = snapshot.expect("before_pass must run before after_pass");
+        let fail = |f: &mut Function, kind: IncidentKind, detail: String| {
+            *f = snapshot.clone();
+            Incident { pass: pass.to_string(), seed: seed.map(|d| d(f)), kind, detail }
+        };
+        let incident = match outcome {
+            Err(payload) => fail(f, IncidentKind::Panic, panic_message(payload)),
+            Ok(mutated) => {
+                if !mutated {
+                    return None;
+                }
+                if let Err(e) = lslp_ir::verify_function(f) {
+                    fail(f, IncidentKind::VerifyError, e.to_string())
+                } else if let Err(detail) = oracle_check(self.paranoid, &snapshot, f) {
+                    fail(f, IncidentKind::OracleMismatch, detail)
+                } else {
+                    return None;
+                }
+            }
+        };
+        Some(incident)
+    }
+
+    /// One complete guarded transaction over `f`: snapshot, run `body`
+    /// (which returns `(result, mutated)`), verify, commit or roll back.
+    /// In [`GuardMode::Off`] the body runs unguarded and panics propagate.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`Incident`] when the transaction was rolled back; the
+    /// caller decides between recording and aborting (see [`record`]).
+    pub fn transact<T>(
+        &mut self,
+        pass: &str,
+        seed: Option<SeedDesc>,
+        f: &mut Function,
+        body: impl FnOnce(&mut Function) -> (T, bool),
+    ) -> Result<T, Incident> {
+        if self.mode == GuardMode::Off {
+            let (t, _mutated) = body(f);
+            return Ok(t);
+        }
+        self.before_pass(f);
+        let (value, flag) = match self.catch_panics(AssertUnwindSafe(|| body(f))) {
+            Ok((t, mutated)) => (Some(t), Ok(mutated)),
+            Err(payload) => (None, Err(payload)),
+        };
+        match self.after_pass(pass, seed, f, flag) {
+            None => Ok(value.expect("commit implies the body completed")),
+            Some(incident) => Err(incident),
+        }
+    }
+}
+
+/// Run `body` over `f` as a guarded transaction (convenience wrapper over
+/// [`GuardInstrumentation::transact`] + [`record`]).
 ///
 /// `body` returns `(result, mutated)`; `mutated` tells the guard whether
 /// `f` was actually changed, so clean read-only attempts skip the
@@ -187,48 +325,17 @@ pub fn run_guarded<T>(
     mode: GuardMode,
     paranoid: bool,
     pass: &str,
-    seed: Option<&str>,
+    seed: Option<SeedDesc>,
     incidents: &mut Vec<Incident>,
     body: impl FnOnce(&mut Function) -> (T, bool),
 ) -> Result<Option<T>, GuardError> {
-    if mode == GuardMode::Off {
-        let (t, _mutated) = body(f);
-        return Ok(Some(t));
-    }
-    install_quiet_hook();
-    let snapshot = f.clone();
-    let outcome = {
-        GUARD_ACTIVE.with(|g| g.set(true));
-        let r = panic::catch_unwind(AssertUnwindSafe(|| body(f)));
-        GUARD_ACTIVE.with(|g| g.set(false));
-        r
-    };
-    let fail = |f: &mut Function, kind: IncidentKind, detail: String| {
-        *f = snapshot.clone();
-        Incident { pass: pass.to_string(), seed: seed.map(str::to_string), kind, detail }
-    };
-    let incident = match outcome {
-        Err(payload) => fail(f, IncidentKind::Panic, panic_message(payload)),
-        Ok((t, mutated)) => {
-            if !mutated {
-                return Ok(Some(t));
-            }
-            if let Err(e) = lslp_ir::verify_function(f) {
-                fail(f, IncidentKind::VerifyError, e.to_string())
-            } else if let Err(detail) = oracle_check(paranoid, &snapshot, f) {
-                fail(f, IncidentKind::OracleMismatch, detail)
-            } else {
-                return Ok(Some(t));
-            }
-        }
-    };
-    match mode {
-        GuardMode::Strict => Err(GuardError(incident)),
-        GuardMode::Rollback => {
-            incidents.push(incident);
+    let mut gi = GuardInstrumentation::new(mode, paranoid);
+    match gi.transact(pass, seed, f, body) {
+        Ok(t) => Ok(Some(t)),
+        Err(incident) => {
+            record(mode, incidents, incident)?;
             Ok(None)
         }
-        GuardMode::Off => unreachable!("off mode returns early"),
     }
 }
 
@@ -384,12 +491,13 @@ mod tests {
         let mut f = store_kernel();
         let before = lslp_ir::print_function(&f);
         let mut incidents = Vec::new();
+        let desc = |_: &Function| "A[+0..+8)".to_string();
         let r = run_guarded(
             &mut f,
             GuardMode::Rollback,
             false,
             "test",
-            Some("A[+0..+8)"),
+            Some(&desc as SeedDesc),
             &mut incidents,
             |f| {
                 f.add_param("junk", Type::I64); // partial mutation, then...
@@ -442,6 +550,38 @@ mod tests {
             )
         }));
         assert!(r.is_err(), "off mode must let panics propagate");
+    }
+
+    #[test]
+    fn instrumentation_hooks_compose() {
+        let mut f = store_kernel();
+        let before = lslp_ir::print_function(&f);
+        let mut gi = GuardInstrumentation::new(GuardMode::Rollback, false);
+        gi.before_pass(&f);
+        let outcome: Result<(), _> = gi.catch_panics(|| {
+            f.add_param("junk", Type::I64);
+            panic!("late panic");
+        });
+        assert!(outcome.is_err());
+        let incident = gi
+            .after_pass("hooked", None, &mut f, outcome.map(|_| true))
+            .expect("panic must produce an incident");
+        assert_eq!(incident.kind, IncidentKind::Panic);
+        assert_eq!(incident.pass, "hooked");
+        assert_eq!(lslp_ir::print_function(&f), before, "after_pass must roll back");
+    }
+
+    #[test]
+    fn transact_commits_clean_mutations() {
+        let mut f = store_kernel();
+        let mut gi = GuardInstrumentation::new(GuardMode::Strict, false);
+        let r = gi.transact("test", None, &mut f, |f| {
+            let n = f.num_values();
+            f.add_param("extra", Type::I64);
+            (n, true)
+        });
+        assert!(r.is_ok(), "valid mutation must commit even in strict mode");
+        assert_eq!(f.params().len(), 4, "mutation survives the transaction");
     }
 
     #[test]

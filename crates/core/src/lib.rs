@@ -63,11 +63,13 @@ pub mod guard;
 pub mod multinode;
 pub mod pass;
 pub mod pipeline;
+pub mod pm;
 pub mod reduce;
 pub mod reorder;
 pub mod score;
 pub mod seeds;
 pub mod simplify;
+pub mod stats;
 pub mod throttle;
 
 pub use codegen::CodegenStats;
@@ -75,7 +77,17 @@ pub use config::{ReorderKind, ScoreAgg, ScoreWeights, VectorizerConfig};
 pub use cost::{graph_cost, graph_cost_excluding, graph_cost_reachable, CostReport};
 pub use graph::{GatherReason, GraphBuilder, Node, NodeId, NodeKind, Placement, SlpGraph};
 pub use guard::{GuardError, GuardMode, Incident, IncidentKind};
+pub use lslp_analysis::{AnalysisKind, AnalysisManager, CacheStats, PreservedAnalyses};
 pub use pass::{
-    try_vectorize_function, vectorize_function, vectorize_module, Attempt, VectorizeReport,
+    try_vectorize_function, try_vectorize_function_with, vectorize_function, vectorize_module,
+    Attempt, VectorizeReport,
 };
-pub use pipeline::{run_pipeline, run_pipeline_module, try_run_pipeline, PipelineReport};
+pub use pipeline::{
+    run_pipeline, run_pipeline_module, try_run_pipeline, try_run_pipeline_with,
+    try_run_vectorize_only, PipelineReport,
+};
+pub use pm::{
+    CsePass, DcePass, FoldPass, Pass, PassContext, PassManager, PassResult, PassTiming,
+    SimplifyPass, VectorizePass,
+};
+pub use stats::{StatRow, Statistics};

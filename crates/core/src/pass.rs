@@ -7,7 +7,7 @@
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
-use lslp_analysis::AddrInfo;
+use lslp_analysis::{AddrInfo, AnalysisManager};
 use lslp_ir::{Function, Module, ValueId};
 use lslp_target::CostModel;
 
@@ -144,6 +144,51 @@ pub fn try_vectorize_function(
     cfg: &VectorizerConfig,
     tm: &CostModel,
 ) -> Result<VectorizeReport, GuardError> {
+    try_vectorize_function_with(f, cfg, tm, &mut AnalysisManager::new())
+}
+
+/// Check the wall-clock compile budget; flips `fuel_spent` and records one
+/// [`IncidentKind::FuelExhausted`] incident the first time it trips.
+fn fuel_check(
+    deadline: Option<Instant>,
+    cfg: &VectorizerConfig,
+    fuel_spent: &mut bool,
+    incidents: &mut Vec<Incident>,
+) -> Result<(), GuardError> {
+    if *fuel_spent || deadline.is_none_or(|d| Instant::now() <= d) {
+        return Ok(());
+    }
+    *fuel_spent = true;
+    guard::record(
+        cfg.guard,
+        incidents,
+        Incident {
+            pass: "vectorize".into(),
+            seed: None,
+            kind: IncidentKind::FuelExhausted,
+            detail: format!(
+                "time budget of {}ms exhausted; remaining seeds skipped",
+                cfg.time_budget_ms.unwrap_or(0)
+            ),
+        },
+    )
+}
+
+/// [`try_vectorize_function`], pulling analyses from `am`'s epoch-keyed
+/// cache: each restart of the seed loop re-queries the manager, which
+/// recomputes only what a committed transformation invalidated (a
+/// rolled-back attempt restores the function's epoch with it, so the cache
+/// stays warm across failed attempts).
+///
+/// # Errors
+///
+/// See [`try_vectorize_function`].
+pub fn try_vectorize_function_with(
+    f: &mut Function,
+    cfg: &VectorizerConfig,
+    tm: &CostModel,
+    am: &mut AnalysisManager,
+) -> Result<VectorizeReport, GuardError> {
     let start = Instant::now();
     let deadline = cfg.time_budget_ms.map(|ms| start + Duration::from_millis(ms));
     let mut report = VectorizeReport::default();
@@ -158,10 +203,10 @@ pub fn try_vectorize_function(
     let mut tried: HashSet<Vec<ValueId>> = HashSet::new();
     let mut fuel_spent = false;
     'restart: loop {
-        let addr = AddrInfo::analyze(f);
+        let addr = am.addr_info(f);
         let chains = collect_store_chains(f, &addr);
-        let positions = f.position_map();
-        let use_map = f.use_map();
+        let positions = am.positions(f);
+        let use_map = am.use_map(f);
         for chain in &chains {
             let Some(elem) = f.ty(f.args_of(chain.stores[0])[0]).elem() else {
                 // A store whose stored value has no element type (void):
@@ -184,41 +229,32 @@ pub fn try_vectorize_function(
             let max_vf = (tm.max_vf(elem) as usize).min(cfg.max_vf as usize);
             let mut i = 0;
             while i < chain.len() {
-                if !fuel_spent {
-                    if let Some(d) = deadline {
-                        if Instant::now() > d {
-                            fuel_spent = true;
-                            guard::record(
-                                cfg.guard,
-                                &mut report.incidents,
-                                Incident {
-                                    pass: "vectorize".into(),
-                                    seed: None,
-                                    kind: IncidentKind::FuelExhausted,
-                                    detail: format!(
-                                        "time budget of {}ms exhausted; remaining seeds skipped",
-                                        cfg.time_budget_ms.unwrap_or(0)
-                                    ),
-                                },
-                            )?;
-                        }
-                    }
-                }
+                fuel_check(deadline, cfg, &mut fuel_spent, &mut report.incidents)?;
                 if fuel_spent {
                     break 'restart;
                 }
                 let remaining = chain.len() - i;
                 let mut vf = pow2_floor(remaining.min(max_vf));
                 while vf >= 2 {
+                    // The deadline must also bound the narrowing retries:
+                    // a wide chain that keeps failing at high vf would
+                    // otherwise overrun the budget inside this loop.
+                    fuel_check(deadline, cfg, &mut fuel_spent, &mut report.incidents)?;
+                    if fuel_spent {
+                        break 'restart;
+                    }
                     let bundle = chain.stores[i..i + vf].to_vec();
                     if tried.insert(bundle.clone()) {
-                        let seed_name = seed_desc(f, &addr, &bundle);
+                        // Rendered lazily: on commit inside the attempt
+                        // (for the report), on rollback by the guard (for
+                        // the incident) — never both, never for free.
+                        let desc = |f: &Function| seed_desc(f, &addr, &bundle);
                         let attempt = guard::run_guarded(
                             f,
                             cfg.guard,
                             cfg.paranoid,
                             "vectorize",
-                            Some(&seed_name),
+                            Some(&desc as guard::SeedDesc),
                             &mut report.incidents,
                             |f| {
                                 let mut graph =
@@ -232,7 +268,7 @@ pub fn try_vectorize_function(
                                     graph.nodes().iter().filter(|n| !n.is_vectorizable()).count();
                                 let vectorize = cost.total < cfg.cost_threshold;
                                 let attempt = Attempt {
-                                    seed: seed_name.clone(),
+                                    seed: seed_desc(f, &addr, &bundle),
                                     vf,
                                     cost: cost.total,
                                     nodes: graph.nodes().len(),
@@ -240,7 +276,8 @@ pub fn try_vectorize_function(
                                     vectorized: vectorize,
                                 };
                                 let truncated = graph.budget_exhausted();
-                                let stats = vectorize.then(|| codegen::generate(f, &graph));
+                                let stats =
+                                    vectorize.then(|| codegen::generate_with(f, &graph, am));
                                 let mutated = stats.is_some();
                                 ((attempt, stats, truncated), mutated)
                             },
@@ -290,7 +327,7 @@ pub fn try_vectorize_function(
             None,
             &mut report.incidents,
             |f| {
-                let reds = crate::reduce::run(f, cfg, tm);
+                let reds = crate::reduce::run_with(f, cfg, tm, am);
                 let mutated = reds.iter().any(|r| r.applied);
                 (reds, mutated)
             },

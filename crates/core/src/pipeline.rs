@@ -6,16 +6,25 @@
 //! differs (`O3` = disabled, `SLP-NR`/`SLP`/`LSLP` = enabled with the
 //! respective reordering strategy). Figure 14's compilation times are
 //! measured over this pipeline.
+//!
+//! The pipeline is a thin schedule over the [`crate::pm::PassManager`]:
+//! each pass runs as a guarded transaction, pulls its analyses from a
+//! shared [`AnalysisManager`], and reports timings and counters that
+//! surface in the [`PipelineReport`].
 
 use std::time::{Duration, Instant};
 
+use lslp_analysis::{AnalysisManager, CacheStats};
 use lslp_ir::{Function, Module};
 use lslp_target::CostModel;
 
 use crate::config::VectorizerConfig;
-use crate::guard::{self, GuardError, GuardMode, Incident};
-use crate::pass::{try_vectorize_function, VectorizeReport};
-use crate::{cse, dce, fold, simplify};
+use crate::guard::{GuardError, GuardMode, Incident};
+use crate::pass::VectorizeReport;
+use crate::pm::{
+    CsePass, DcePass, FoldPass, PassContext, PassManager, PassTiming, SimplifyPass, VectorizePass,
+};
+use crate::stats::Statistics;
 
 /// Statistics from one pipeline run over a function.
 #[derive(Clone, Debug, Default)]
@@ -37,6 +46,15 @@ pub struct PipelineReport {
     pub scalar_time: Duration,
     /// Total wall-clock time including the vectorizer.
     pub total_time: Duration,
+    /// Per-pass wall-clock timings, in execution order
+    /// (`lslpc --print-pass-times`).
+    pub pass_timings: Vec<PassTiming>,
+    /// Named per-pass counters (`lslpc --stats`).
+    pub stats: Statistics,
+    /// Analysis-cache hit/miss/invalidation counters for the run.
+    pub analysis_cache: CacheStats,
+    /// Wall-clock time spent computing analyses (cache misses).
+    pub analysis_time: Duration,
 }
 
 /// Number of scalar clean-up rounds before the vectorizer.
@@ -50,7 +68,7 @@ pub fn run_pipeline(f: &mut Function, cfg: &VectorizerConfig, tm: &CostModel) ->
 
 /// [`run_pipeline`], surfacing [`GuardMode::Strict`] aborts as an error
 /// instead of a panic. Every scalar pass and the vectorizer run as guarded
-/// transactions (see `lslp::guard`).
+/// transactions under the pass manager (see `lslp::pm` and `lslp::guard`).
 ///
 /// # Errors
 ///
@@ -62,39 +80,96 @@ pub fn try_run_pipeline(
     cfg: &VectorizerConfig,
     tm: &CostModel,
 ) -> Result<PipelineReport, GuardError> {
+    try_run_pipeline_with(f, cfg, tm, &mut AnalysisManager::new())
+}
+
+/// [`try_run_pipeline`] over a caller-provided [`AnalysisManager`], so the
+/// cache (and its counters) can outlive one pipeline run.
+///
+/// # Errors
+///
+/// See [`try_run_pipeline`].
+pub fn try_run_pipeline_with(
+    f: &mut Function,
+    cfg: &VectorizerConfig,
+    tm: &CostModel,
+    am: &mut AnalysisManager,
+) -> Result<PipelineReport, GuardError> {
     let start = Instant::now();
     let mut report = PipelineReport::default();
-    // Each scalar pass is its own transaction: a pass that panics or
-    // corrupts the function is rolled back and skipped; the rest of the
-    // pipeline still runs.
-    let guarded = |f: &mut Function,
-                   incidents: &mut Vec<Incident>,
-                   pass: &str,
-                   body: fn(&mut Function, &VectorizerConfig) -> usize|
-     -> Result<usize, GuardError> {
-        Ok(guard::run_guarded(f, cfg.guard, cfg.paranoid, pass, None, incidents, |f| {
-            let n = body(f, cfg);
-            (n, n > 0)
-        })?
-        .unwrap_or(0))
-    };
-    for _ in 0..SCALAR_ROUNDS {
-        let inc = &mut report.incidents;
-        report.simplified += guarded(f, inc, "simplify", |f, cfg| simplify::run(f, cfg.fast_math))?;
-        report.folded += guarded(f, inc, "fold", |f, _| fold::run(f))?;
-        report.cse_merged += guarded(f, inc, "cse", |f, _| cse::run(f))?;
-        report.dce_removed += guarded(f, inc, "dce", |f, _| dce::run(f))?;
-    }
-    report.scalar_time = start.elapsed();
-    report.vectorize = try_vectorize_function(f, cfg, tm)?;
-    // A final clean-up round: vectorization exposes dead address math (the
-    // vectorizer also runs its own DCE; fold both counts together).
-    report.dce_removed += report.vectorize.dce_removed
-        + guarded(f, &mut report.incidents, "dce", |f, _| dce::run(f))?;
+    let stats = Statistics::new();
+    let cx = PassContext { cfg, tm, stats: &stats };
+    let mut pm = PassManager::new(cfg.guard, cfg.paranoid);
+    let outcome = run_schedule(f, &cx, &mut pm, am, &mut report, start);
+    // Observability is filled in even when a strict-mode abort unwinds the
+    // schedule, so callers can still see how far the run got.
+    report.incidents = pm.take_incidents();
+    report.pass_timings = pm.take_timings();
+    report.stats = stats;
+    report.analysis_cache = am.cache_stats();
+    report.analysis_time = am.analysis_time();
     report.total_time = start.elapsed();
     if cfg.guard == GuardMode::Off {
         debug_assert!(lslp_ir::verify_function(f).is_ok());
     }
+    outcome?;
+    Ok(report)
+}
+
+/// The pass schedule proper: scalar rounds, vectorizer, final clean-up.
+fn run_schedule(
+    f: &mut Function,
+    cx: &PassContext,
+    pm: &mut PassManager,
+    am: &mut AnalysisManager,
+    report: &mut PipelineReport,
+    start: Instant,
+) -> Result<(), GuardError> {
+    for _ in 0..SCALAR_ROUNDS {
+        report.simplified += pm.run_pass(&mut SimplifyPass, f, am, cx)?;
+        report.folded += pm.run_pass(&mut FoldPass, f, am, cx)?;
+        report.cse_merged += pm.run_pass(&mut CsePass, f, am, cx)?;
+        report.dce_removed += pm.run_pass(&mut DcePass, f, am, cx)?;
+    }
+    report.scalar_time = start.elapsed();
+    let mut vp = VectorizePass::default();
+    pm.run_pass(&mut vp, f, am, cx)?;
+    report.vectorize = vp.take_report()?;
+    // A final clean-up round: vectorization exposes dead address math (the
+    // vectorizer also runs its own DCE; fold both counts together).
+    report.dce_removed += report.vectorize.dce_removed + pm.run_pass(&mut DcePass, f, am, cx)?;
+    Ok(())
+}
+
+/// Run only the vectorizer (no scalar pipeline) under a pass manager, so
+/// the default `lslpc` path gets the same observability as `--pipeline`.
+///
+/// # Errors
+///
+/// In strict mode, returns the first guard incident as a [`GuardError`].
+pub fn try_run_vectorize_only(
+    f: &mut Function,
+    cfg: &VectorizerConfig,
+    tm: &CostModel,
+) -> Result<PipelineReport, GuardError> {
+    let start = Instant::now();
+    let mut am = AnalysisManager::new();
+    let mut report = PipelineReport::default();
+    let stats = Statistics::new();
+    let cx = PassContext { cfg, tm, stats: &stats };
+    let mut pm = PassManager::new(cfg.guard, cfg.paranoid);
+    let mut vp = VectorizePass::default();
+    let outcome = pm.run_pass(&mut vp, f, &mut am, &cx);
+    let vectorize = vp.take_report();
+    report.incidents = pm.take_incidents();
+    report.pass_timings = pm.take_timings();
+    report.stats = stats;
+    report.analysis_cache = am.cache_stats();
+    report.analysis_time = am.analysis_time();
+    report.total_time = start.elapsed();
+    outcome?;
+    report.vectorize = vectorize?;
+    report.dce_removed = report.vectorize.dce_removed;
     Ok(report)
 }
 
@@ -185,5 +260,55 @@ mod tests {
         let report = run_pipeline(&mut f, &VectorizerConfig::lslp(), &CostModel::default());
         assert!(report.total_time >= report.scalar_time);
         assert!(report.total_time.as_nanos() > 0);
+    }
+
+    #[test]
+    fn per_pass_timings_cover_the_schedule() {
+        let mut f = busy_function();
+        let report = run_pipeline(&mut f, &VectorizerConfig::lslp(), &CostModel::default());
+        // 2 rounds × 4 scalar passes + vectorize + final dce.
+        assert_eq!(report.pass_timings.len(), SCALAR_ROUNDS * 4 + 2);
+        assert_eq!(report.pass_timings[0].pass, "simplify");
+        let names: Vec<_> = report.pass_timings.iter().map(|t| t.pass).collect();
+        assert!(names.contains(&"vectorize"));
+        assert_eq!(*names.last().unwrap(), "dce");
+        let total: Duration = report.pass_timings.iter().map(|t| t.time).sum();
+        assert!(total <= report.total_time, "pass times must nest inside the total");
+    }
+
+    #[test]
+    fn stats_registry_matches_report_counts() {
+        let mut f = busy_function();
+        let report = run_pipeline(&mut f, &VectorizerConfig::lslp(), &CostModel::default());
+        assert_eq!(report.stats.get("simplify", "rewrites"), report.simplified as u64);
+        assert_eq!(report.stats.get("fold", "constants-folded"), report.folded as u64);
+        assert_eq!(report.stats.get("cse", "insts-merged"), report.cse_merged as u64);
+        assert_eq!(
+            report.stats.get("vectorize", "trees-vectorized"),
+            report.vectorize.trees_vectorized as u64
+        );
+    }
+
+    #[test]
+    fn analysis_cache_is_exercised() {
+        let mut f = busy_function();
+        let report = run_pipeline(&mut f, &VectorizerConfig::lslp(), &CostModel::default());
+        let cs = report.analysis_cache;
+        assert!(cs.misses > 0, "analyses must be computed at least once");
+        assert!(cs.hits > 0, "passes must share cached analyses: {cs:?}");
+        assert!(report.analysis_time <= report.total_time);
+    }
+
+    #[test]
+    fn vectorize_only_reports_observability() {
+        let mut f = busy_function();
+        let report =
+            try_run_vectorize_only(&mut f, &VectorizerConfig::lslp(), &CostModel::default())
+                .unwrap();
+        assert_eq!(report.simplified, 0, "no scalar passes in vectorize-only mode");
+        assert!(report.vectorize.trees_vectorized > 0 || !report.vectorize.attempts.is_empty());
+        assert_eq!(report.pass_timings.len(), 1);
+        assert_eq!(report.pass_timings[0].pass, "vectorize");
+        assert!(report.analysis_cache.misses > 0);
     }
 }

@@ -16,7 +16,7 @@
 
 use std::collections::HashSet;
 
-use lslp_analysis::AddrInfo;
+use lslp_analysis::{AnalysisManager, PositionMap};
 use lslp_ir::{Function, InstAttr, Opcode, UseMap, ValueId};
 use lslp_target::CostModel;
 
@@ -58,6 +58,7 @@ fn pow2_floor(n: usize) -> usize {
 pub fn find_candidates(
     f: &Function,
     use_map: &UseMap,
+    positions: &PositionMap,
     cfg: &VectorizerConfig,
     tm: &CostModel,
 ) -> Vec<ReductionCandidate> {
@@ -90,7 +91,6 @@ pub fn find_candidates(
         // so structurally adjacent terms (and hence their loads) land in
         // adjacent lanes, maximizing the graph's chance of consecutive
         // access groups.
-        let positions = f.position_map();
         let mut operands = chain.operands.clone();
         operands.sort_by_key(|v| positions.get(v).copied().unwrap_or(usize::MAX));
         out.push(ReductionCandidate {
@@ -130,6 +130,17 @@ pub fn try_reduction(
     cfg: &VectorizerConfig,
     tm: &CostModel,
 ) -> ReductionAttempt {
+    try_reduction_with(f, cand, cfg, tm, &mut AnalysisManager::new())
+}
+
+/// [`try_reduction`], pulling analyses from `am`'s cache.
+pub fn try_reduction_with(
+    f: &mut Function,
+    cand: &ReductionCandidate,
+    cfg: &VectorizerConfig,
+    tm: &CostModel,
+    am: &mut AnalysisManager,
+) -> ReductionAttempt {
     let m = cand.lanes.len();
     let elem = f.ty(cand.root).elem().expect("scalar reduction root");
     let desc = format!(
@@ -139,9 +150,9 @@ pub fn try_reduction(
         f.value_name(cand.root).unwrap_or(&cand.root.to_string())
     );
 
-    let addr = AddrInfo::analyze(f);
-    let positions = f.position_map();
-    let use_map = f.use_map();
+    let addr = am.addr_info(f);
+    let positions = am.positions(f);
+    let use_map = am.use_map(f);
     let graph = GraphBuilder::new(f, cfg, &addr, &positions, &use_map).build(&cand.lanes);
     let doomed: HashSet<ValueId> = cand.chain.iter().copied().collect();
     let tree_cost = graph_cost_excluding(f, &graph, tm, &use_map, &doomed);
@@ -153,13 +164,13 @@ pub fn try_reduction(
     }
 
     // Materialize the lane tree; its root value is the vector to reduce.
-    let tree = codegen::generate_tree(f, &graph);
+    let tree = codegen::generate_tree_with(f, &graph, am);
     let vec_val = tree.root_value.expect("reduction tree produces a value");
 
     // Insert the log-shuffle reduction after the vector value and after
     // every leftover operand's definition (all of which precede the chain
     // root, so the replacement still dominates the root's users).
-    let positions = f.position_map();
+    let positions = am.positions(f);
     let mut at = positions[&vec_val];
     for left in &cand.leftovers {
         if let Some(&p) = positions.get(left) {
@@ -208,16 +219,27 @@ pub fn try_reduction(
 /// returns all attempts. Called by the pass driver when
 /// [`VectorizerConfig::enable_reductions`] is set.
 pub fn run(f: &mut Function, cfg: &VectorizerConfig, tm: &CostModel) -> Vec<ReductionAttempt> {
+    run_with(f, cfg, tm, &mut AnalysisManager::new())
+}
+
+/// [`run`], sharing the caller's analysis cache.
+pub fn run_with(
+    f: &mut Function,
+    cfg: &VectorizerConfig,
+    tm: &CostModel,
+    am: &mut AnalysisManager,
+) -> Vec<ReductionAttempt> {
     let mut attempts = Vec::new();
     let mut tried: HashSet<ValueId> = HashSet::new();
     'restart: loop {
-        let use_map = f.use_map();
-        let candidates = find_candidates(f, &use_map, cfg, tm);
+        let use_map = am.use_map(f);
+        let positions = am.positions(f);
+        let candidates = find_candidates(f, &use_map, &positions, cfg, tm);
         for cand in candidates {
             if !tried.insert(cand.root) {
                 continue;
             }
-            let attempt = try_reduction(f, &cand, cfg, tm);
+            let attempt = try_reduction_with(f, &cand, cfg, tm, am);
             let applied = attempt.applied;
             attempts.push(attempt);
             if applied {
@@ -268,7 +290,8 @@ mod tests {
     fn detects_dot_product_candidate() {
         let (f, root) = dot4();
         let um = f.use_map();
-        let cands = find_candidates(&f, &um, &cfg_with_reductions(), &CostModel::default());
+        let pos = f.position_map();
+        let cands = find_candidates(&f, &um, &pos, &cfg_with_reductions(), &CostModel::default());
         assert_eq!(cands.len(), 1);
         assert_eq!(cands[0].root, root);
         assert_eq!(cands[0].lanes.len(), 4);
@@ -279,7 +302,8 @@ mod tests {
     fn interior_chain_nodes_are_not_candidates() {
         let (f, root) = dot4();
         let um = f.use_map();
-        let cands = find_candidates(&f, &um, &cfg_with_reductions(), &CostModel::default());
+        let pos = f.position_map();
+        let cands = find_candidates(&f, &um, &pos, &cfg_with_reductions(), &CostModel::default());
         // Only the outermost fadd is a root; s01/s012 are interior.
         assert!(cands.iter().all(|c| c.root == root));
     }

@@ -1,0 +1,139 @@
+//! Pass statistics registry (LLVM `-stats` style).
+//!
+//! Passes report named counters ("how many instructions did CSE merge",
+//! "how many trees did the vectorizer commit") through the
+//! [`crate::pm::PassContext`] they run under. Counters accumulate per
+//! `(pass, counter)` key over one pipeline run and are surfaced through
+//! [`crate::PipelineReport::stats`] and `lslpc --stats`.
+//!
+//! Interior mutability keeps the reporting API usable from `&PassContext`
+//! (many passes share the registry within one run); the registry is
+//! single-threaded like the rest of the pipeline.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One reported counter row.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StatRow {
+    /// The reporting pass, e.g. `"cse"`.
+    pub pass: String,
+    /// The counter name, e.g. `"insts-merged"`.
+    pub counter: String,
+    /// Accumulated value.
+    pub value: u64,
+}
+
+/// An accumulating registry of named per-pass counters.
+#[derive(Clone, Debug, Default)]
+pub struct Statistics {
+    counters: RefCell<BTreeMap<(String, String), u64>>,
+}
+
+impl Statistics {
+    /// An empty registry.
+    pub fn new() -> Statistics {
+        Statistics::default()
+    }
+
+    /// Add `n` to the `(pass, counter)` cell (creating it at zero).
+    pub fn add(&self, pass: &str, counter: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self.counters.borrow_mut().entry((pass.to_string(), counter.to_string())).or_insert(0) +=
+            n;
+    }
+
+    /// Current value of a counter (0 when never reported).
+    pub fn get(&self, pass: &str, counter: &str) -> u64 {
+        self.counters.borrow().get(&(pass.to_string(), counter.to_string())).copied().unwrap_or(0)
+    }
+
+    /// Whether no counter was ever reported.
+    pub fn is_empty(&self) -> bool {
+        self.counters.borrow().is_empty()
+    }
+
+    /// All rows, sorted by pass then counter name.
+    pub fn rows(&self) -> Vec<StatRow> {
+        self.counters
+            .borrow()
+            .iter()
+            .map(|((pass, counter), &value)| StatRow {
+                pass: pass.clone(),
+                counter: counter.clone(),
+                value,
+            })
+            .collect()
+    }
+
+    /// Fold another registry's counters into this one.
+    pub fn absorb(&self, other: &Statistics) {
+        for row in other.rows() {
+            self.add(&row.pass, &row.counter, row.value);
+        }
+    }
+}
+
+impl fmt::Display for Statistics {
+    /// LLVM `-stats`-style rendering: `value  pass - counter` lines.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let rows = self.rows();
+        let width = rows.iter().map(|r| r.value.to_string().len()).max().unwrap_or(1);
+        for r in rows {
+            writeln!(f, "{:>width$}  {} - {}", r.value, r.pass, r.counter)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = Statistics::new();
+        assert!(s.is_empty());
+        s.add("cse", "insts-merged", 2);
+        s.add("cse", "insts-merged", 3);
+        s.add("dce", "insts-removed", 1);
+        assert_eq!(s.get("cse", "insts-merged"), 5);
+        assert_eq!(s.get("dce", "insts-removed"), 1);
+        assert_eq!(s.get("dce", "never"), 0);
+        let rows = s.rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].pass, "cse", "sorted by pass");
+    }
+
+    #[test]
+    fn zero_adds_are_not_recorded() {
+        let s = Statistics::new();
+        s.add("fold", "constants-folded", 0);
+        assert!(s.is_empty(), "zero counters stay out of -stats output");
+    }
+
+    #[test]
+    fn display_is_llvm_style() {
+        let s = Statistics::new();
+        s.add("vectorize", "trees-vectorized", 4);
+        s.add("simplify", "rewrites", 12);
+        let text = s.to_string();
+        assert!(text.contains("12  simplify - rewrites"), "{text}");
+        assert!(text.contains(" 4  vectorize - trees-vectorized"), "{text}");
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let a = Statistics::new();
+        a.add("cse", "insts-merged", 1);
+        let b = Statistics::new();
+        b.add("cse", "insts-merged", 2);
+        b.add("fold", "constants-folded", 7);
+        a.absorb(&b);
+        assert_eq!(a.get("cse", "insts-merged"), 3);
+        assert_eq!(a.get("fold", "constants-folded"), 7);
+    }
+}

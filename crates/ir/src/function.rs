@@ -1,10 +1,21 @@
 //! Functions, modules, and use-def bookkeeping.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::inst::{Inst, InstAttr, Opcode};
 use crate::types::Type;
 use crate::value::{Constant, ValueId};
+
+/// Process-wide source of mutation epochs. Every mutation of any function
+/// draws a fresh value, so an epoch identifies *one specific content state*
+/// of one function: two functions (or two states of the same function) with
+/// equal epochs are guaranteed identical. Cached analyses key on this.
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_epoch() -> u64 {
+    NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
+}
 
 /// The payload stored for each [`ValueId`] of a function.
 #[derive(Clone, PartialEq, Debug)]
@@ -66,6 +77,11 @@ pub struct Function {
     params: Vec<ValueId>,
     body: Vec<ValueId>,
     const_map: HashMap<Constant, ValueId>,
+    /// Mutation epoch: refreshed from a process-wide counter on every
+    /// mutation, preserved by `Clone` (a clone has identical content).
+    /// Equal epochs imply identical content, so analysis caches keyed by
+    /// epoch stay warm across snapshot/rollback cycles.
+    epoch: u64,
 }
 
 impl Function {
@@ -78,6 +94,7 @@ impl Function {
             params: Vec::new(),
             body: Vec::new(),
             const_map: HashMap::new(),
+            epoch: fresh_epoch(),
         }
     }
 
@@ -86,7 +103,26 @@ impl Function {
         &self.name
     }
 
+    /// The current mutation epoch.
+    ///
+    /// Every mutating method refreshes this from a process-wide counter, so
+    /// an epoch names one specific content state: if two `Function` values
+    /// report the same epoch they are bit-identical (clones preserve the
+    /// epoch together with the content; a transactional rollback that
+    /// restores a snapshot therefore also restores its epoch, keeping
+    /// epoch-keyed analysis caches warm). Cached analyses compare this
+    /// against the epoch they were computed at to detect staleness.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Mark the function as mutated (invalidates epoch-keyed caches).
+    fn touch(&mut self) {
+        self.epoch = fresh_epoch();
+    }
+
     fn alloc(&mut self, data: ValueData, name: Option<String>) -> ValueId {
+        self.touch();
         let id = ValueId::from_raw(self.values.len() as u32);
         self.values.push(data);
         self.names.push(name);
@@ -160,6 +196,7 @@ impl Function {
 
     /// Attach a debug name to a value (shown by the printer).
     pub fn set_value_name(&mut self, v: ValueId, name: impl Into<String>) {
+        self.touch();
         self.names[v.index()] = Some(name.into());
     }
 
@@ -187,6 +224,8 @@ impl Function {
 
     /// Mutable access to an instruction record.
     pub fn inst_mut(&mut self, v: ValueId) -> Option<&mut Inst> {
+        // Conservatively assume the caller mutates through the reference.
+        self.touch();
         match &mut self.values[v.index()] {
             ValueData::Inst(i) => Some(i),
             _ => None,
@@ -270,6 +309,7 @@ impl Function {
 
     /// Replace every body use of `old` with `new`.
     pub fn replace_uses(&mut self, old: ValueId, new: ValueId) {
+        self.touch();
         let body = self.body.clone();
         for user in body {
             if let ValueData::Inst(inst) = &mut self.values[user.index()] {
@@ -284,6 +324,7 @@ impl Function {
 
     /// Remove the given instructions from the body (they become orphans).
     pub fn remove_from_body(&mut self, dead: &HashSet<ValueId>) {
+        self.touch();
         self.body.retain(|v| !dead.contains(v));
     }
 
@@ -297,6 +338,7 @@ impl Function {
     ///
     /// Panics if `new_order` contains duplicates or non-instructions.
     pub fn rebuild_body(&mut self, new_order: Vec<ValueId>) {
+        self.touch();
         let mut seen = HashSet::with_capacity(new_order.len());
         for &v in &new_order {
             assert!(self.is_inst(v), "rebuild_body: {v} is not an instruction");
@@ -423,6 +465,52 @@ mod tests {
         f.set_value_name(add, "sum");
         assert_eq!(f.value_name(add), Some("sum"));
         assert_eq!(f.value_name(f.params()[0]), Some("a"));
+    }
+
+    #[test]
+    fn epoch_tracks_mutation() {
+        let (mut f, add, _) = sample();
+        let e0 = f.epoch();
+        // Read-only queries keep the epoch.
+        let _ = f.body_len();
+        let _ = f.use_map();
+        let _ = f.position_map();
+        assert_eq!(f.epoch(), e0);
+        // Interning an already-known constant is not a mutation.
+        let one_again = f.const_i64(1);
+        assert_eq!(f.epoch(), e0);
+        let _ = one_again;
+        // Any real mutation draws a fresh, never-before-seen epoch.
+        let zero = f.const_i64(0);
+        let e1 = f.epoch();
+        assert_ne!(e1, e0);
+        f.replace_uses(add, zero);
+        let e2 = f.epoch();
+        assert_ne!(e2, e1);
+    }
+
+    #[test]
+    fn epoch_survives_snapshot_rollback() {
+        let (mut f, _, _) = sample();
+        let snapshot = f.clone();
+        let e0 = f.epoch();
+        assert_eq!(snapshot.epoch(), e0, "a clone has identical content");
+        f.add_param("junk", Type::I64);
+        assert_ne!(f.epoch(), e0);
+        f = snapshot;
+        assert_eq!(f.epoch(), e0, "rollback restores the snapshot's epoch");
+        // Post-rollback mutations never reuse an epoch from the abandoned
+        // timeline (epochs are globally unique).
+        let abandoned = f.epoch();
+        f.add_param("other", Type::I64);
+        assert_ne!(f.epoch(), abandoned);
+    }
+
+    #[test]
+    fn epochs_are_distinct_across_functions() {
+        let a = Function::new("a");
+        let b = Function::new("b");
+        assert_ne!(a.epoch(), b.epoch());
     }
 
     #[test]

@@ -1,7 +1,13 @@
 //! Cross-crate pipeline tests: SLC source → IR → vectorizer → interpreter,
 //! exercising the public API the way a downstream user would.
 
-use lslp::{vectorize_function, vectorize_module, ReorderKind, VectorizerConfig};
+use std::rc::Rc;
+
+use lslp::{
+    try_vectorize_function_with, vectorize_function, vectorize_module, AnalysisKind,
+    AnalysisManager, GuardMode, Pass, PassContext, PassManager, PassResult, PreservedAnalyses,
+    ReorderKind, Statistics, VectorizerConfig,
+};
 use lslp_interp::{run_function, Memory, Value};
 
 use lslp_target::CostModel;
@@ -180,6 +186,108 @@ fn casts_compile_interpret_and_vectorize() {
     assert_eq!(read(1, &mem), -17); // -7 * 2.5 = -17.5 → -17
     assert_eq!(read(2, &mem), 250);
     assert_eq!(read(3, &mem), 0);
+}
+
+fn saxpy_function() -> lslp_ir::Function {
+    let src = "kernel saxpy4(f64* Y, f64* X, f64 a, i64 i) {
+                   Y[i+0] = Y[i+0] + a * X[i+0];
+                   Y[i+1] = Y[i+1] + a * X[i+1];
+                   Y[i+2] = Y[i+2] + a * X[i+2];
+                   Y[i+3] = Y[i+3] + a * X[i+3];
+               }";
+    lslp_frontend::compile(src).unwrap().functions.remove(0)
+}
+
+#[test]
+fn analysis_cache_serves_repeat_queries_warm() {
+    let f = saxpy_function();
+    let mut am = AnalysisManager::new();
+    let a1 = am.addr_info(&f);
+    let p1 = am.positions(&f);
+    let u1 = am.use_map(&f);
+    // Nothing mutated the function, so every repeat query is a cache hit
+    // returning the same shared object.
+    assert!(Rc::ptr_eq(&a1, &am.addr_info(&f)));
+    assert!(Rc::ptr_eq(&p1, &am.positions(&f)));
+    assert!(Rc::ptr_eq(&u1, &am.use_map(&f)));
+    let stats = am.cache_stats();
+    assert_eq!(stats.misses, 3, "one miss per analysis kind");
+    assert_eq!(stats.hits, 3, "one hit per repeat query");
+    assert_eq!(stats.invalidations, 0);
+    assert_eq!(am.cache_stats_for(AnalysisKind::Addr).misses, 1);
+    assert!(am.analysis_time().as_nanos() > 0, "misses are timed");
+}
+
+#[test]
+fn committed_vectorization_invalidates_cached_analyses() {
+    let mut f = saxpy_function();
+    let mut am = AnalysisManager::new();
+    let stale_positions = am.positions(&f);
+    let epoch_before = f.epoch();
+
+    let report = try_vectorize_function_with(
+        &mut f,
+        &VectorizerConfig::lslp(),
+        &CostModel::default(),
+        &mut am,
+    )
+    .unwrap();
+    assert_eq!(report.trees_vectorized, 1);
+    assert_ne!(f.epoch(), epoch_before, "committed vectorization moves the epoch");
+
+    // The cache must not serve the scalar-body position map for the
+    // vectorized function: the epoch check forces a recompute.
+    let misses_before = am.cache_stats().misses;
+    let fresh_positions = am.positions(&f);
+    assert!(
+        !Rc::ptr_eq(&stale_positions, &fresh_positions),
+        "stale scalar analysis must not survive vectorization"
+    );
+    assert!(am.cache_stats().misses > misses_before);
+    assert!(am.cache_stats().invalidations > 0, "epoch moves invalidated the cache");
+    // The fresh map describes the vectorized body exactly.
+    assert_eq!(fresh_positions.len(), f.body().len());
+}
+
+#[test]
+fn preserving_pass_leaves_cache_warm_across_pass_manager() {
+    // A pass that mutates the function (renames a value, which moves the
+    // epoch) but preserves every analysis: names feed none of them.
+    struct RenamePass;
+    impl Pass for RenamePass {
+        fn name(&self) -> &'static str {
+            "rename"
+        }
+        fn run(
+            &mut self,
+            f: &mut lslp_ir::Function,
+            _am: &mut AnalysisManager,
+            _cx: &PassContext,
+        ) -> PassResult {
+            let v = *f.body().first().expect("non-empty body");
+            f.set_value_name(v, "renamed");
+            PassResult { rewrites: 1, preserved: PreservedAnalyses::all() }
+        }
+    }
+
+    let mut f = saxpy_function();
+    let mut am = AnalysisManager::new();
+    let p1 = am.positions(&f);
+    let misses_before = am.cache_stats().misses;
+
+    let cfg = VectorizerConfig::lslp();
+    let tm = CostModel::default();
+    let stats = Statistics::new();
+    let cx = PassContext { cfg: &cfg, tm: &tm, stats: &stats };
+    let mut pm = PassManager::new(GuardMode::Rollback, false);
+    let n = pm.run_pass(&mut RenamePass, &mut f, &mut am, &cx).unwrap();
+    assert_eq!(n, 1);
+
+    // PreservedAnalyses::all() re-keys the cached entries to the new epoch:
+    // the next query is a hit on the same shared object, not a recompute.
+    let p2 = am.positions(&f);
+    assert!(Rc::ptr_eq(&p1, &p2), "preserved analysis must stay cached");
+    assert_eq!(am.cache_stats().misses, misses_before, "no recompute happened");
 }
 
 #[test]
