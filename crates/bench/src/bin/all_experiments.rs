@@ -1,10 +1,35 @@
 //! Runs the complete evaluation: every table and figure of the paper's §5,
 //! in order. `cargo run --release -p lslp-bench --bin all_experiments`
+//!
+//! `--jobs N` measures the kernel-level figures (9, 10, 13) on up to `N`
+//! threads; tables are byte-identical to the sequential run (the
+//! simulated-cycle measurements are deterministic). The wall-clock figure
+//! (14) always runs sequentially — timing it on loaded cores would skew
+//! the medians.
 fn main() {
+    let mut jobs = 1usize;
+    let mut argv = std::env::args().skip(1);
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--jobs" => {
+                jobs = argv
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| panic!("--jobs requires a number"));
+            }
+            other => panic!("unknown option `{other}` (only --jobs N is supported)"),
+        }
+    }
     use lslp_bench::figures as f;
-    for section in
-        [f::table2(), f::fig09(), f::fig10(), f::fig11(), f::fig12(), f::fig13(), f::fig14(10)]
-    {
+    for section in [
+        f::table2(),
+        f::fig09_jobs(jobs),
+        f::fig10_jobs(jobs),
+        f::fig11(),
+        f::fig12(),
+        f::fig13_jobs(jobs),
+        f::fig14(10),
+    ] {
         println!("{section}");
         println!("{}", "=".repeat(72));
     }

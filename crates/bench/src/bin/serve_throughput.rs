@@ -1,0 +1,456 @@
+//! Load generator for `lslpd`: replays the kernel suite (plus heavyweight
+//! synthetic kernels) against the compile service at configurable
+//! concurrency and reports a throughput/latency table.
+//!
+//! Two passes are driven over the same request mix: a **cold** pass that
+//! populates the result cache and a **warm** pass that should be served
+//! almost entirely from it. For every response the payload is checked
+//! byte-for-byte against a locally computed expectation, so dropped *and*
+//! corrupted responses are both counted (and fail the run).
+//!
+//! ```text
+//! cargo run --release -p lslp-bench --bin serve_throughput -- [options]
+//!   --addr HOST:PORT    drive an already-running lslpd (default: spawn an
+//!                       in-process server on a free port)
+//!   --concurrency N     client threads (default 8)
+//!   --repeat N          how often each distinct request appears per pass
+//!                       (default 3)
+//!   --workers N         worker threads for the in-process server
+//!   --smoke             CI mode: fire 32 concurrent requests (including
+//!                       one malformed and one timeout-inducing), assert
+//!                       every response arrives, then send SHUTDOWN
+//! ```
+//!
+//! Exit status is nonzero if any response is dropped, corrupted, or an
+//! unexpected error, or (in the full run) if the warm pass is not faster
+//! than the cold pass.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use lslp::{try_run_pipeline_with, VectorizerConfig};
+use lslp_analysis::AnalysisManager;
+use lslp_bench::format_table;
+use lslp_server::metrics::percentiles;
+use lslp_server::protocol::{CompileRequest, ErrorKind, Response};
+use lslp_server::{Client, Server, ServerConfig};
+use lslp_target::CostModel;
+
+/// Generous per-request budget: large enough that the guard's deadline
+/// never fires on a healthy run, so server output is byte-identical to the
+/// local expectation.
+const AMPLE_BUDGET_MS: u64 = 60_000;
+
+fn main() {
+    let opts = Opts::parse();
+    let ok = if opts.smoke { run_smoke(&opts) } else { run_load(&opts) };
+    std::process::exit(if ok { 0 } else { 1 });
+}
+
+struct Opts {
+    addr: Option<String>,
+    concurrency: usize,
+    repeat: usize,
+    workers: Option<usize>,
+    smoke: bool,
+}
+
+impl Opts {
+    fn parse() -> Opts {
+        let mut opts = Opts { addr: None, concurrency: 8, repeat: 3, workers: None, smoke: false };
+        fn num(argv: &mut impl Iterator<Item = String>, name: &str) -> usize {
+            argv.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} requires a number"))
+        }
+        let mut argv = std::env::args().skip(1);
+        while let Some(a) = argv.next() {
+            match a.as_str() {
+                "--addr" => opts.addr = Some(argv.next().expect("--addr requires HOST:PORT")),
+                "--concurrency" => opts.concurrency = num(&mut argv, "--concurrency").max(1),
+                "--repeat" => opts.repeat = num(&mut argv, "--repeat").max(1),
+                "--workers" => opts.workers = Some(num(&mut argv, "--workers").max(1)),
+                "--smoke" => opts.smoke = true,
+                other => {
+                    eprintln!("serve_throughput: unknown option `{other}`");
+                    std::process::exit(2);
+                }
+            }
+        }
+        opts
+    }
+}
+
+/// Connect to `--addr`, or spawn an in-process server and return its join
+/// handle so a clean drain can be asserted.
+fn connect_target(opts: &Opts) -> (String, Option<std::thread::JoinHandle<std::io::Result<()>>>) {
+    match &opts.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let mut cfg = ServerConfig::default();
+            if let Some(w) = opts.workers {
+                cfg.workers = w;
+            }
+            let (addr, handle) = Server::spawn(cfg).expect("spawn in-process server");
+            (addr.to_string(), Some(handle))
+        }
+    }
+}
+
+/// One distinct request plus the payload the server must return for it.
+struct Expected {
+    name: String,
+    req: CompileRequest,
+    payload: String,
+}
+
+/// A synthetic kernel with `groups` adjacent store groups of width 4 and a
+/// deep commutative chain per lane — heavy enough that a cache hit is
+/// measurably cheaper than a recompile.
+fn big_kernel(name: &str, groups: usize) -> String {
+    let mut src = format!("kernel {name}(f64* A, f64* B, i64 i) {{\n");
+    for g in 0..groups {
+        for l in 0..4 {
+            let idx = g * 4 + l;
+            src.push_str(&format!(
+                "  A[i+{idx}] = (B[i+{idx}] * B[i+{idx}] + {g}.0) * B[i+{idx}] + B[i+{}];\n",
+                (idx + 1) % (groups * 4)
+            ));
+        }
+    }
+    src.push('}');
+    src
+}
+
+/// The request mix: every suite kernel plus four heavyweight synthetics,
+/// each with its locally computed expected payload.
+fn build_expected() -> Vec<Expected> {
+    let mut sources: Vec<(String, String)> = lslp_kernels::suite()
+        .into_iter()
+        .map(|k| (k.name.to_string(), k.src.to_string()))
+        .collect();
+    for groups in [16usize, 32, 48, 64] {
+        let name = format!("synth{groups}");
+        sources.push((name.clone(), big_kernel(&name, groups)));
+    }
+
+    let tm = CostModel::skylake_like();
+    let mut am = AnalysisManager::new();
+    let mut cfg = VectorizerConfig::preset("LSLP").expect("LSLP preset");
+    cfg.time_budget_ms = Some(AMPLE_BUDGET_MS);
+
+    sources
+        .into_iter()
+        .map(|(name, src)| {
+            let mut module = lslp_frontend::compile(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            for f in &mut module.functions {
+                try_run_pipeline_with(f, &cfg, &tm, &mut am)
+                    .unwrap_or_else(|e| panic!("{name}: {e}"));
+            }
+            let req =
+                CompileRequest { timeout_ms: Some(AMPLE_BUDGET_MS), ..CompileRequest::new(&src) };
+            Expected { name, req, payload: lslp_ir::print_module(&module) }
+        })
+        .collect()
+}
+
+#[derive(Default)]
+struct PassOutcome {
+    ok: u64,
+    errors: u64,
+    corrupted: u64,
+    retries: u64,
+    latencies_us: Vec<u64>,
+    elapsed: Duration,
+}
+
+/// Replay `repeat` rounds of the request mix at `concurrency`, round-robin
+/// interleaved so repeats of the same kernel are spread across the pass.
+fn drive_pass(addr: &str, expected: &[Expected], opts: &Opts) -> PassOutcome {
+    let total = expected.len() * opts.repeat;
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(u64, bool, bool, u64)>(); // (lat_us, ok, corrupt, retries)
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..opts.concurrency.min(total) {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= total {
+                        break;
+                    }
+                    let exp = &expected[i % expected.len()];
+                    let t0 = Instant::now();
+                    let (resp, retries) = compile_with_retry(&mut client, &exp.req);
+                    let lat = t0.elapsed().as_micros() as u64;
+                    let (ok, corrupt) = match resp {
+                        Some(r) if r.ok => (true, r.payload != exp.payload),
+                        _ => (false, false),
+                    };
+                    if corrupt {
+                        eprintln!("serve_throughput: corrupted payload for `{}`", exp.name);
+                    }
+                    tx.send((lat, ok, corrupt, retries)).expect("collector alive");
+                }
+            });
+        }
+        drop(tx);
+        let mut out = PassOutcome::default();
+        for (lat, ok, corrupt, retries) in rx {
+            out.latencies_us.push(lat);
+            out.retries += retries;
+            if corrupt {
+                out.corrupted += 1;
+            }
+            if ok {
+                out.ok += 1;
+            } else {
+                out.errors += 1;
+            }
+        }
+        out.elapsed = start.elapsed();
+        out
+    })
+}
+
+/// Overload rejections are backpressure, not failures: retry with a little
+/// backoff until the queue admits the request. Anything else is final.
+fn compile_with_retry(client: &mut Client, req: &CompileRequest) -> (Option<Response>, u64) {
+    let mut retries = 0u64;
+    loop {
+        match client.compile(req) {
+            Ok(r) if r.error == Some(ErrorKind::Overload) => {
+                retries += 1;
+                std::thread::sleep(Duration::from_millis((retries * 2).min(20)));
+            }
+            Ok(r) => return (Some(r), retries),
+            Err(_) => return (None, retries),
+        }
+    }
+}
+
+/// Pull `hits=`/`misses=` off the STATS `cache:` gauge line and `max=` off
+/// the `queue:` line.
+fn parse_stats(payload: &str) -> (u64, u64, u64) {
+    let field = |line: &str, key: &str| -> u64 {
+        line.split_whitespace()
+            .find_map(|tok| tok.strip_prefix(key))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    let (mut hits, mut misses, mut qmax) = (0, 0, 0);
+    for line in payload.lines() {
+        if let Some(rest) = line.strip_prefix("cache: ") {
+            hits = field(rest, "hits=");
+            misses = field(rest, "misses=");
+        } else if let Some(rest) = line.strip_prefix("queue: ") {
+            qmax = field(rest, "max=");
+        }
+    }
+    (hits, misses, qmax)
+}
+
+fn run_load(opts: &Opts) -> bool {
+    let (addr, handle) = connect_target(opts);
+    eprintln!("serve_throughput: target {addr}, concurrency {}", opts.concurrency);
+
+    eprintln!("serve_throughput: computing expected payloads locally...");
+    let expected = build_expected();
+    let total = expected.len() * opts.repeat;
+    eprintln!(
+        "serve_throughput: {} distinct kernels x {} = {} requests per pass",
+        expected.len(),
+        opts.repeat,
+        total
+    );
+
+    let mut control = Client::connect(&addr).expect("connect control client");
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut prev = (0u64, 0u64); // (hits, misses) before the pass
+    let mut outcomes = Vec::new();
+    for pass in ["cold", "warm"] {
+        let out = drive_pass(&addr, &expected, opts);
+        let stats = control.stats().expect("STATS");
+        let (hits, misses, qmax) = parse_stats(&stats.payload);
+        let (dh, dm) = (hits - prev.0, misses - prev.1);
+        prev = (hits, misses);
+
+        let mut lat = out.latencies_us.clone();
+        let summary = percentiles(&mut lat);
+        let secs = out.elapsed.as_secs_f64();
+        rows.push(vec![
+            pass.to_string(),
+            total.to_string(),
+            out.ok.to_string(),
+            out.errors.to_string(),
+            out.corrupted.to_string(),
+            out.retries.to_string(),
+            format!("{:.1}", secs * 1e3),
+            format!("{:.1}", out.ok as f64 / secs),
+            format!("{:.2}", summary.p50_us as f64 / 1e3),
+            format!("{:.2}", summary.p99_us as f64 / 1e3),
+            format!("{:.1}", 100.0 * dh as f64 / (dh + dm).max(1) as f64),
+            qmax.to_string(),
+        ]);
+        outcomes.push(out);
+    }
+
+    let headers: Vec<String> = [
+        "pass",
+        "requests",
+        "ok",
+        "errors",
+        "corrupt",
+        "retries",
+        "elapsed-ms",
+        "req/s",
+        "p50-ms",
+        "p99-ms",
+        "hit-rate-%",
+        "queue-max",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    println!("{}", format_table(&headers, &rows));
+
+    let cold_rps = outcomes[0].ok as f64 / outcomes[0].elapsed.as_secs_f64();
+    let warm_rps = outcomes[1].ok as f64 / outcomes[1].elapsed.as_secs_f64();
+    println!("warm-over-cold throughput: {:.2}x", warm_rps / cold_rps);
+
+    let mut ok = true;
+    for (pass, out) in ["cold", "warm"].iter().zip(&outcomes) {
+        if out.errors > 0 || out.corrupted > 0 || out.ok != total as u64 {
+            eprintln!(
+                "serve_throughput: FAIL ({pass}): {} ok / {} errors / {} corrupted of {total}",
+                out.ok, out.errors, out.corrupted
+            );
+            ok = false;
+        }
+    }
+    if warm_rps <= cold_rps {
+        eprintln!("serve_throughput: FAIL: warm pass not faster than cold pass");
+        ok = false;
+    }
+
+    shutdown_if_owned(control, handle, &mut ok);
+    ok
+}
+
+/// CI smoke: 32 concurrent requests — one malformed line, one
+/// timeout-inducing (tiny budget, heavy kernel), the rest normal — then a
+/// SHUTDOWN. Every request must get a well-formed response.
+fn run_smoke(opts: &Opts) -> bool {
+    const N: usize = 32;
+    const MALFORMED: usize = 5;
+    const TIMEOUTY: usize = 9;
+
+    let (addr, handle) = connect_target(opts);
+    eprintln!("serve_throughput: smoke against {addr} ({N} concurrent requests)");
+
+    let suite = lslp_kernels::suite();
+    let heavy = big_kernel("pathological", 96);
+    let (tx, rx) = mpsc::channel::<(usize, Option<Response>)>();
+    std::thread::scope(|scope| {
+        for i in 0..N {
+            let tx = tx.clone();
+            let (addr, suite, heavy) = (&addr, &suite, &heavy);
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                let resp = match i {
+                    MALFORMED => client.roundtrip("COMPILE pipeline=maybe src=x").ok(),
+                    TIMEOUTY => {
+                        let req =
+                            CompileRequest { timeout_ms: Some(0), ..CompileRequest::new(heavy) };
+                        compile_with_retry(&mut client, &req).0
+                    }
+                    _ => {
+                        let k = &suite[i % suite.len()];
+                        let req = CompileRequest {
+                            timeout_ms: Some(AMPLE_BUDGET_MS),
+                            ..CompileRequest::new(k.src)
+                        };
+                        compile_with_retry(&mut client, &req).0
+                    }
+                };
+                tx.send((i, resp)).expect("collector alive");
+            });
+        }
+    });
+    drop(tx);
+
+    let mut got = [false; N];
+    let mut ok = true;
+    for (i, resp) in rx {
+        got[i] = true;
+        match resp {
+            None => {
+                eprintln!("smoke: request {i} got no response");
+                ok = false;
+            }
+            Some(r) if i == MALFORMED => {
+                if r.error != Some(ErrorKind::Proto) {
+                    eprintln!("smoke: malformed request answered {r:?}, wanted kind=proto");
+                    ok = false;
+                }
+            }
+            Some(r) => {
+                if !r.ok {
+                    eprintln!("smoke: request {i} failed: {r:?}");
+                    ok = false;
+                }
+            }
+        }
+    }
+    if let Some(missing) = got.iter().position(|g| !g) {
+        eprintln!("smoke: request {missing} never reported");
+        ok = false;
+    }
+    if ok {
+        println!("smoke: all {N} responses arrived (1 malformed rejected, 1 budget-limited ok)");
+    }
+
+    let control = Client::connect(&addr).expect("connect control client");
+    shutdown_always(control, handle, &mut ok);
+    ok
+}
+
+/// Full-run teardown: only stop the daemon we spawned ourselves; an
+/// external `--addr` target is left running for further passes.
+fn shutdown_if_owned(
+    control: Client,
+    handle: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+    ok: &mut bool,
+) {
+    if handle.is_some() {
+        shutdown_always(control, handle, ok);
+    }
+}
+
+/// Send SHUTDOWN and, for an in-process server, assert the clean drain.
+fn shutdown_always(
+    mut control: Client,
+    handle: Option<std::thread::JoinHandle<std::io::Result<()>>>,
+    ok: &mut bool,
+) {
+    match control.shutdown() {
+        Ok(r) if r.ok => {}
+        other => {
+            eprintln!("serve_throughput: SHUTDOWN failed: {other:?}");
+            *ok = false;
+        }
+    }
+    if let Some(h) = handle {
+        match h.join() {
+            Ok(Ok(())) => eprintln!("serve_throughput: server drained cleanly"),
+            other => {
+                eprintln!("serve_throughput: server did not drain cleanly: {other:?}");
+                *ok = false;
+            }
+        }
+    }
+}

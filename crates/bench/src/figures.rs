@@ -7,7 +7,7 @@ use lslp_kernels::{motivation_kernels, spec_kernels, suite, synthesize, Kernel, 
 
 use crate::{
     format_table, geomean, measure_benchmark, measure_compile_phases, measure_compile_time,
-    measure_kernel, KernelRow,
+    measure_kernel, par_map_indexed, KernelRow,
 };
 
 fn fmt_speedup(x: f64) -> String {
@@ -24,12 +24,12 @@ pub fn table2() -> String {
     format!("Table 2: kernels used for evaluation\n\n{}", format_table(&headers, &rows))
 }
 
-fn speedup_block(kernels: &[Kernel], iters_scale: usize) -> (Vec<KernelRow>, String) {
+fn speedup_block(kernels: &[Kernel], iters_scale: usize, jobs: usize) -> (Vec<KernelRow>, String) {
     let configs = ["O3", "SLP-NR", "SLP", "LSLP"];
-    let rows: Vec<KernelRow> = kernels
-        .iter()
-        .map(|k| measure_kernel(k, &configs, k.default_iters / iters_scale.max(1)))
-        .collect();
+    let rows: Vec<KernelRow> = par_map_indexed(kernels.len(), jobs, |i| {
+        let k = &kernels[i];
+        measure_kernel(k, &configs, k.default_iters / iters_scale.max(1))
+    });
     let headers: Vec<String> =
         ["Kernel", "SLP-NR", "SLP", "LSLP"].iter().map(|s| s.to_string()).collect();
     let mut table: Vec<Vec<String>> = rows
@@ -59,8 +59,14 @@ fn speedup_block(kernels: &[Kernel], iters_scale: usize) -> (Vec<KernelRow>, Str
 /// cycles), SPEC kernels and motivation examples in separate clusters as
 /// in the paper.
 pub fn fig09() -> String {
-    let (_, spec_table) = speedup_block(&spec_kernels(), 1);
-    let (_, motiv_table) = speedup_block(&motivation_kernels(), 1);
+    fig09_jobs(1)
+}
+
+/// [`fig09`] measured on up to `jobs` threads (`all_experiments --jobs`);
+/// rows are byte-identical to the sequential run.
+pub fn fig09_jobs(jobs: usize) -> String {
+    let (_, spec_table) = speedup_block(&spec_kernels(), 1, jobs);
+    let (_, motiv_table) = speedup_block(&motivation_kernels(), 1, jobs);
     format!(
         "Figure 9: speedup over O3 (cost-weighted simulated cycles)\n\n\
          SPEC-shaped kernels:\n{spec_table}\n\
@@ -72,13 +78,21 @@ pub fn fig09() -> String {
 /// costs; more negative = better, matching the paper's plot where the
 /// bars extend downward).
 pub fn fig10() -> String {
+    fig10_jobs(1)
+}
+
+/// [`fig10`] measured on up to `jobs` threads; rows are byte-identical to
+/// the sequential run.
+pub fn fig10_jobs(jobs: usize) -> String {
     let configs = ["O3", "SLP-NR", "SLP", "LSLP"];
     let headers: Vec<String> =
         ["Kernel", "SLP-NR", "SLP", "LSLP"].iter().map(|s| s.to_string()).collect();
+    let kernels = suite();
+    let measured =
+        par_map_indexed(kernels.len(), jobs, |i| measure_kernel(&kernels[i], &configs, 1));
     let mut rows = Vec::new();
     let mut sums = [0i64; 3];
-    for k in suite() {
-        let r = measure_kernel(&k, &configs, 1);
+    for r in &measured {
         for (c, sum) in sums.iter_mut().enumerate() {
             *sum += r.static_cost[c + 1];
         }
@@ -170,6 +184,12 @@ pub fn fig12() -> String {
 /// unbounded) and multi-node size (Multi1/2/3, LA=8), speedups over O3
 /// normalized to full LSLP.
 pub fn fig13() -> String {
+    fig13_jobs(1)
+}
+
+/// [`fig13`] measured on up to `jobs` threads; rows are byte-identical to
+/// the sequential run.
+pub fn fig13_jobs(jobs: usize) -> String {
     let configs = [
         "O3",
         "SLP",
@@ -186,8 +206,11 @@ pub fn fig13() -> String {
     headers.extend(configs[1..].iter().map(|s| s.to_string()));
     let mut rows = Vec::new();
     let mut cols: Vec<Vec<f64>> = vec![Vec::new(); configs.len() - 1];
-    for k in suite() {
-        let r = measure_kernel(&k, &configs, k.default_iters / 8);
+    let kernels = suite();
+    let measured = par_map_indexed(kernels.len(), jobs, |i| {
+        measure_kernel(&kernels[i], &configs, kernels[i].default_iters / 8)
+    });
+    for r in measured {
         let lslp = *r.speedup.last().unwrap();
         let mut row = vec![r.name.clone()];
         for c in 1..configs.len() {
@@ -277,6 +300,11 @@ mod tests {
         // LSLP column of motivation_loads is −6 (Fig 2d).
         let line = t.lines().find(|l| l.starts_with("motivation_loads")).unwrap();
         assert!(line.trim_end().ends_with("-6"), "{line}");
+    }
+
+    #[test]
+    fn fig10_is_byte_identical_under_jobs() {
+        assert_eq!(fig10_jobs(1), fig10_jobs(4), "--jobs must not change the table");
     }
 
     #[test]

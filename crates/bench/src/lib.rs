@@ -220,6 +220,49 @@ pub fn measure_compile_phases(k: &Kernel, cfg_name: &str, reps: usize) -> Compil
     }
 }
 
+/// Map `f` over `0..n` on up to `jobs` threads, returning results in
+/// index order — so a parallel harness run produces byte-identical tables
+/// to the sequential one (`jobs <= 1` degenerates to a plain loop, and the
+/// per-index work itself must be deterministic, which holds for the
+/// simulated-cycle measurements but *not* for wall-clock ones; keep
+/// compile-time figures sequential).
+///
+/// Work is distributed by an atomic index counter (work stealing), so
+/// uneven kernels don't serialize behind a static partition.
+pub fn par_map_indexed<T, F>(n: usize, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, T)>();
+        for _ in 0..jobs.min(n) {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                if tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, value) in rx {
+            slots[i] = Some(value);
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every index produced")).collect()
+}
+
 /// Geometric mean of strictly positive samples.
 pub fn geomean(xs: &[f64]) -> f64 {
     debug_assert!(xs.iter().all(|&x| x > 0.0));
@@ -303,6 +346,32 @@ mod tests {
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
         assert!(lines[2].ends_with(" 1.00"));
+    }
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        let seq = par_map_indexed(17, 1, |i| i * i);
+        let par = par_map_indexed(17, 4, |i| i * i);
+        assert_eq!(seq, par);
+        assert_eq!(par[16], 256);
+        assert!(par_map_indexed(0, 4, |i| i).is_empty());
+    }
+
+    #[test]
+    fn parallel_kernel_measurement_matches_sequential() {
+        // The --jobs satellite contract: simulated-cycle measurements are
+        // deterministic, so the parallel harness must reproduce the
+        // sequential rows exactly.
+        let kernels = lslp_kernels::motivation_kernels();
+        let measure = |i: usize| measure_kernel(&kernels[i], &CONFIG_NAMES, 8);
+        let seq = par_map_indexed(kernels.len(), 1, measure);
+        let par = par_map_indexed(kernels.len(), 4, measure);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.static_cost, b.static_cost);
+            assert_eq!(a.cycles, b.cycles);
+            assert_eq!(a.speedup, b.speedup);
+        }
     }
 
     #[test]

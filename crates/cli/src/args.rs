@@ -51,6 +51,13 @@ pub struct Args {
     /// Print pass statistics and analysis-cache counters after the main
     /// output (LLVM `-stats` style).
     pub stats: bool,
+    /// Run as the `lslpd` compile daemon instead of compiling one input
+    /// (see `docs/SERVER.md`).
+    pub serve: bool,
+    /// Bind address for `--serve`.
+    pub addr: String,
+    /// Worker-thread count for `--serve` (`None` = CPU count).
+    pub workers: Option<usize>,
 }
 
 impl Default for Args {
@@ -69,6 +76,9 @@ impl Default for Args {
             paranoid: false,
             print_pass_times: false,
             stats: false,
+            serve: false,
+            addr: "127.0.0.1:7979".into(),
+            workers: None,
         }
     }
 }
@@ -117,7 +127,15 @@ OPTIONS:
     --stats            print pass statistics and analysis-cache hit/miss
                        counters after the main output
     -o <FILE>          write output to FILE instead of stdout
+    --serve            run as the lslpd compile daemon (no input file; see
+                       docs/SERVER.md for the protocol)
+    --addr <H:P>       bind address for --serve (default: 127.0.0.1:7979)
+    --workers <N>      worker threads for --serve (default: CPU count)
     -h, --help         show this help
+
+EXIT CODES:
+    0  success          2  bad invocation (flags, unknown config)
+    1  compiler failure 3  input error (SLC parse/type/verify)
 ";
 
 /// Parse a raw argument vector (without the program name).
@@ -165,6 +183,15 @@ pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
             "--paranoid" => args.paranoid = true,
             "--print-pass-times" => args.print_pass_times = true,
             "--stats" => args.stats = true,
+            "--serve" => args.serve = true,
+            "--addr" => args.addr = value_of("--addr")?,
+            "--workers" => {
+                args.workers = Some(
+                    value_of("--workers")?
+                        .parse()
+                        .map_err(|e| ArgError(format!("bad --workers value: {e}")))?,
+                )
+            }
             "-o" => args.output = Some(value_of("-o")?),
             flag if flag.starts_with('-') && flag != "-" => {
                 return Err(ArgError(format!("unknown option `{flag}` (see --help)")))
@@ -176,7 +203,14 @@ pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
             }
         }
     }
-    args.input = input.ok_or_else(|| ArgError(format!("no input file\n\n{USAGE}")))?;
+    if args.serve {
+        // The daemon takes no input file; a stray one is a usage error.
+        if let Some(extra) = input {
+            return Err(ArgError(format!("--serve takes no input file (got `{extra}`)")));
+        }
+    } else {
+        args.input = input.ok_or_else(|| ArgError(format!("no input file\n\n{USAGE}")))?;
+    }
     Ok(args)
 }
 
@@ -249,6 +283,20 @@ mod tests {
         let d = p(&["k.slc"]).unwrap();
         assert!(!d.print_pass_times);
         assert!(!d.stats);
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let a = p(&["--serve", "--addr", "0.0.0.0:9000", "--workers", "8"]).unwrap();
+        assert!(a.serve);
+        assert_eq!(a.addr, "0.0.0.0:9000");
+        assert_eq!(a.workers, Some(8));
+        assert!(a.input.is_empty(), "daemon mode has no input file");
+        assert!(p(&["--serve", "kernel.slc"]).unwrap_err().0.contains("takes no input"));
+        assert!(p(&["--serve", "--workers", "many"]).unwrap_err().0.contains("bad --workers"));
+        let d = p(&["k.slc"]).unwrap();
+        assert!(!d.serve);
+        assert_eq!(d.workers, None);
     }
 
     #[test]

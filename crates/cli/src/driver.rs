@@ -13,9 +13,43 @@ use lslp_target::CostModel;
 
 use crate::args::{Args, Emit};
 
-/// A driver failure (message for stderr, non-zero exit).
+/// How a driver failure should be classified at the process boundary, so
+/// scripts and the compile service can tell user error from compiler bug.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DriverErrorKind {
+    /// Bad invocation (unknown configuration/guard name): exit 2, like an
+    /// argument-parse failure.
+    Usage,
+    /// The *input* is at fault (SLC parse/type/verify error): exit 3.
+    Input,
+    /// The compiler itself failed (strict-guard abort, runtime failure
+    /// under `--run`): exit 1.
+    Internal,
+}
+
+/// A driver failure (message for stderr, non-zero exit). The second field
+/// selects the exit code (see [`DriverErrorKind`]); `.0` is the message.
 #[derive(Debug)]
-pub struct DriverError(pub String);
+pub struct DriverError(pub String, pub DriverErrorKind);
+
+impl DriverError {
+    fn usage(msg: String) -> DriverError {
+        DriverError(msg, DriverErrorKind::Usage)
+    }
+
+    fn input(msg: String) -> DriverError {
+        DriverError(msg, DriverErrorKind::Input)
+    }
+
+    fn internal(msg: String) -> DriverError {
+        DriverError(msg, DriverErrorKind::Internal)
+    }
+
+    /// The classification for exit-code mapping.
+    pub fn kind(&self) -> DriverErrorKind {
+        self.1
+    }
+}
 
 impl std::fmt::Display for DriverError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -27,10 +61,10 @@ impl std::error::Error for DriverError {}
 
 fn config(args: &Args) -> Result<VectorizerConfig, DriverError> {
     let mut cfg = VectorizerConfig::preset(&args.config)
-        .ok_or_else(|| DriverError(format!("unknown configuration `{}`", args.config)))?;
+        .ok_or_else(|| DriverError::usage(format!("unknown configuration `{}`", args.config)))?;
     if let Some(mode) = &args.guard {
         cfg.guard = GuardMode::parse(mode)
-            .ok_or_else(|| DriverError(format!("unknown guard mode `{mode}`")))?;
+            .ok_or_else(|| DriverError::usage(format!("unknown guard mode `{mode}`")))?;
     }
     cfg.paranoid = args.paranoid;
     Ok(cfg)
@@ -51,7 +85,7 @@ fn optimize(
         } else {
             try_run_vectorize_only(f, cfg, tm)
         };
-        rs.push(r.map_err(|e| DriverError(format!("@{}: {e}", f.name())))?);
+        rs.push(r.map_err(|e| DriverError::internal(format!("@{}: {e}", f.name())))?);
     }
     Ok(rs)
 }
@@ -234,7 +268,7 @@ fn run_kernels(
                 run_function_traced(f, &iter_args, &mut mem, |id, v| {
                     lines.push(format!("  {id} = {v}"));
                 })
-                .map_err(|e| DriverError(format!("@{}: {e}", f.name())))?;
+                .map_err(|e| DriverError::internal(format!("@{}: {e}", f.name())))?;
                 for l in lines {
                     let _ = writeln!(out, "{l}");
                 }
@@ -242,7 +276,7 @@ fn run_kernels(
                 continue;
             }
             cycles += measure_cycles(f, &iter_args, &mut mem, tm)
-                .map_err(|e| DriverError(format!("@{}: {e}", f.name())))?
+                .map_err(|e| DriverError::internal(format!("@{}: {e}", f.name())))?
                 .cycles;
         }
         let mut checksum = 0u64;
@@ -296,7 +330,7 @@ fn infer_elem(f: &Function, param: lslp_ir::ValueId) -> ScalarType {
 pub fn run_on_source(args: &Args, src: &str) -> Result<String, DriverError> {
     let cfg = config(args)?;
     let tm = CostModel::skylake_like();
-    let module = lslp_frontend::compile(src).map_err(|e| DriverError(e.to_string()))?;
+    let module = lslp_frontend::compile(src).map_err(|e| DriverError::input(e.to_string()))?;
 
     let mut out = String::new();
     if let Some(other) = &args.compare {
@@ -507,5 +541,19 @@ mod tests {
         let a = args::parse(&["-".to_string()]).unwrap();
         let err = run_on_source(&a, "kernel broken(").unwrap_err();
         assert!(err.0.contains("slc error"), "{err}");
+    }
+
+    #[test]
+    fn error_kinds_separate_user_from_compiler() {
+        // Malformed input is the user's fault: exit 3 territory.
+        let a = args::parse(&["-".to_string()]).unwrap();
+        let err = run_on_source(&a, "kernel broken(").unwrap_err();
+        assert_eq!(err.kind(), DriverErrorKind::Input);
+        // An unknown preset is a bad invocation: exit 2 territory.
+        let a = args::parse(&["-".to_string(), "--config".into(), "GCC".into()]).unwrap();
+        let err = run_on_source(&a, SRC).unwrap_err();
+        assert_eq!(err.kind(), DriverErrorKind::Usage);
+        let a = args::parse(&["-".to_string(), "--guard".into(), "rollback".into()]).unwrap();
+        assert!(run_on_source(&a, SRC).is_ok());
     }
 }

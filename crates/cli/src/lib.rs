@@ -17,4 +17,4 @@ pub mod args;
 pub mod driver;
 
 pub use args::{parse, Args, Emit};
-pub use driver::{run_on_source, DriverError};
+pub use driver::{run_on_source, DriverError, DriverErrorKind};

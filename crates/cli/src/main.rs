@@ -1,7 +1,13 @@
 //! `lslpc` entry point: I/O and exit codes around [`lslp_cli::driver`].
+//!
+//! Exit codes: 0 success, 1 internal compiler failure, 2 bad invocation,
+//! 3 input (parse/verify) error — so scripts and the compile service can
+//! tell user error from compiler bug.
 
 use std::io::Read as _;
 use std::process::ExitCode;
+
+use lslp_cli::DriverErrorKind;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -12,6 +18,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.serve {
+        return serve(&args);
+    }
     let src = if args.input == "-" {
         let mut s = String::new();
         if let Err(e) = std::io::stdin().read_to_string(&mut s) {
@@ -40,6 +49,33 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        Err(e) => {
+            eprintln!("lslpc: {e}");
+            match e.kind() {
+                DriverErrorKind::Usage => ExitCode::from(2),
+                DriverErrorKind::Input => ExitCode::from(3),
+                DriverErrorKind::Internal => ExitCode::FAILURE,
+            }
+        }
+    }
+}
+
+/// `lslpc --serve`: run the `lslpd` daemon in-process.
+fn serve(args: &lslp_cli::Args) -> ExitCode {
+    let mut cfg = lslp_server::ServerConfig { addr: args.addr.clone(), ..Default::default() };
+    if let Some(workers) = args.workers {
+        cfg.workers = workers;
+    }
+    let server = match lslp_server::Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lslpc: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("lslpc: serving on {} (send SHUTDOWN to stop)", server.local_addr());
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("lslpc: {e}");
             ExitCode::FAILURE

@@ -90,4 +90,4 @@ pub use pm::{
     CsePass, DcePass, FoldPass, Pass, PassContext, PassManager, PassResult, PassTiming,
     SimplifyPass, VectorizePass,
 };
-pub use stats::{StatRow, Statistics};
+pub use stats::{StatRow, Statistics, SyncStatistics};

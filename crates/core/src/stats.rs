@@ -13,6 +13,7 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Mutex;
 
 /// One reported counter row.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -78,7 +79,9 @@ impl Statistics {
 }
 
 impl fmt::Display for Statistics {
-    /// LLVM `-stats`-style rendering: `value  pass - counter` lines.
+    /// LLVM `-stats`-style rendering: `value  pass - counter` lines,
+    /// deterministically ordered (sorted by pass, then counter name) so
+    /// dumps diff cleanly across runs.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let rows = self.rows();
         let width = rows.iter().map(|r| r.value.to_string().len()).max().unwrap_or(1);
@@ -86,6 +89,67 @@ impl fmt::Display for Statistics {
             writeln!(f, "{:>width$}  {} - {}", r.value, r.pass, r.counter)?;
         }
         Ok(())
+    }
+}
+
+/// A thread-safe [`Statistics`] for concurrent consumers (the `lslpd`
+/// compile service, parallel harnesses).
+///
+/// Same `(pass, counter)` accumulation semantics, but counters live behind
+/// a `Mutex` so many worker threads can report into one registry. Use
+/// [`SyncStatistics::snapshot`] to obtain a point-in-time [`Statistics`]
+/// for rendering (rows stay sorted by pass then counter name, so dumps are
+/// deterministic modulo counter values).
+#[derive(Debug, Default)]
+pub struct SyncStatistics {
+    counters: Mutex<BTreeMap<(String, String), u64>>,
+}
+
+impl SyncStatistics {
+    /// An empty registry.
+    pub fn new() -> SyncStatistics {
+        SyncStatistics::default()
+    }
+
+    /// Add `n` to the `(pass, counter)` cell (creating it at zero).
+    pub fn add(&self, pass: &str, counter: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        *self
+            .counters
+            .lock()
+            .expect("statistics lock")
+            .entry((pass.to_string(), counter.to_string()))
+            .or_insert(0) += n;
+    }
+
+    /// Current value of a counter (0 when never reported).
+    pub fn get(&self, pass: &str, counter: &str) -> u64 {
+        self.counters
+            .lock()
+            .expect("statistics lock")
+            .get(&(pass.to_string(), counter.to_string()))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Fold a single-threaded registry's counters into this one (e.g. a
+    /// per-request [`Statistics`] produced by one pipeline run).
+    pub fn absorb(&self, other: &Statistics) {
+        let mut counters = self.counters.lock().expect("statistics lock");
+        for row in other.rows() {
+            *counters.entry((row.pass, row.counter)).or_insert(0) += row.value;
+        }
+    }
+
+    /// A point-in-time copy as a plain [`Statistics`].
+    pub fn snapshot(&self) -> Statistics {
+        let s = Statistics::new();
+        for ((pass, counter), &value) in self.counters.lock().expect("statistics lock").iter() {
+            s.add(pass, counter, value);
+        }
+        s
     }
 }
 
@@ -123,6 +187,57 @@ mod tests {
         let text = s.to_string();
         assert!(text.contains("12  simplify - rewrites"), "{text}");
         assert!(text.contains(" 4  vectorize - trees-vectorized"), "{text}");
+    }
+
+    #[test]
+    fn dump_order_is_deterministic() {
+        // Two registries fed in opposite insertion orders must render
+        // byte-identically: service metrics and `--stats` diffs rely on it.
+        let a = Statistics::new();
+        let b = Statistics::new();
+        let rows = [("vectorize", "trees"), ("cse", "insts-merged"), ("cse", "hits"), ("dce", "x")];
+        for (pass, counter) in rows {
+            a.add(pass, counter, 1);
+        }
+        for (pass, counter) in rows.iter().rev() {
+            b.add(pass, counter, 1);
+        }
+        assert_eq!(a.to_string(), b.to_string());
+        let names: Vec<String> =
+            a.rows().into_iter().map(|r| format!("{}/{}", r.pass, r.counter)).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "rows are sorted by pass then counter");
+    }
+
+    #[test]
+    fn sync_statistics_accumulate_across_threads() {
+        let s = SyncStatistics::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        s.add("server", "requests", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.get("server", "requests"), 400);
+        assert_eq!(s.snapshot().get("server", "requests"), 400);
+    }
+
+    #[test]
+    fn sync_statistics_absorb_and_snapshot() {
+        let local = Statistics::new();
+        local.add("cse", "insts-merged", 3);
+        let global = SyncStatistics::new();
+        global.absorb(&local);
+        global.absorb(&local);
+        global.add("server", "cache-hits", 1);
+        let snap = global.snapshot();
+        assert_eq!(snap.get("cse", "insts-merged"), 6);
+        assert_eq!(snap.get("server", "cache-hits"), 1);
+        assert_eq!(snap.rows().len(), 2);
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! `lslpd` — the LSLP compile daemon.
+//!
+//! ```text
+//! lslpd [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]
+//!       [--cache-shards N] [--time-budget-ms N]
+//! ```
+//!
+//! Serves the line-delimited protocol of `docs/SERVER.md` until a client
+//! sends `SHUTDOWN`, then drains queued work and exits 0.
+
+use std::process::ExitCode;
+
+use lslp_server::{Server, ServerConfig};
+
+const USAGE: &str = "\
+lslpd — the LSLP compile daemon
+
+USAGE:
+    lslpd [OPTIONS]
+
+OPTIONS:
+    --addr <HOST:PORT>     bind address (default: 127.0.0.1:7979; port 0
+                           picks a free port and prints it)
+    --workers <N>          compile worker threads (default: CPU count)
+    --queue-cap <N>        bounded queue capacity; beyond it requests are
+                           rejected with ERR kind=overload (default: 64)
+    --cache-cap <N>        result-cache entries across shards (default: 1024)
+    --cache-shards <N>     result-cache shard count (default: 16)
+    --time-budget-ms <N>   default per-request compile budget (default: 500)
+    -h, --help             show this help
+";
+
+fn parse_args(argv: &[String]) -> Result<ServerConfig, String> {
+    let mut cfg = ServerConfig { addr: "127.0.0.1:7979".into(), ..ServerConfig::default() };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut value_of =
+            |flag: &str| it.next().cloned().ok_or_else(|| format!("{flag} requires a value"));
+        match a.as_str() {
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            "--addr" => cfg.addr = value_of("--addr")?,
+            "--workers" => {
+                cfg.workers =
+                    value_of("--workers")?.parse().map_err(|e| format!("bad --workers: {e}"))?
+            }
+            "--queue-cap" => {
+                cfg.queue_capacity =
+                    value_of("--queue-cap")?.parse().map_err(|e| format!("bad --queue-cap: {e}"))?
+            }
+            "--cache-cap" => {
+                cfg.cache_capacity =
+                    value_of("--cache-cap")?.parse().map_err(|e| format!("bad --cache-cap: {e}"))?
+            }
+            "--cache-shards" => {
+                cfg.cache_shards = value_of("--cache-shards")?
+                    .parse()
+                    .map_err(|e| format!("bad --cache-shards: {e}"))?
+            }
+            "--time-budget-ms" => {
+                cfg.default_time_budget_ms = value_of("--time-budget-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --time-budget-ms: {e}"))?
+            }
+            other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
+        }
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_args(&argv) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lslpd: cannot bind: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("lslpd: serving on {}", server.local_addr());
+    match server.run() {
+        Ok(()) => {
+            eprintln!("lslpd: drained, bye");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("lslpd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

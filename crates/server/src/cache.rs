@@ -1,0 +1,241 @@
+//! Sharded, content-addressed result cache for the compile service.
+//!
+//! Keyed by an FNV-1a hash of the *full request content* — source text
+//! plus every compile-relevant option (config preset, pipeline flag, emit
+//! mode, guard override, effective time budget) — so two requests share an
+//! entry exactly when the service would produce byte-identical output for
+//! both. The key material itself is stored alongside each entry and
+//! compared on lookup, so a 64-bit hash collision degrades to a miss, never
+//! to serving the wrong artifact.
+//!
+//! Shards are independent `Mutex`-protected maps selected by the key's top
+//! bits; workers contend only within a shard. Eviction is LRU-ish: every
+//! entry carries a last-access stamp from a global monotonic counter, and
+//! an insert into a full shard evicts that shard's least-recently-stamped
+//! entry (a linear scan — shards are small by construction).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Counters describing cache effectiveness, wired into the service's
+/// [`lslp::SyncStatistics`] registry by the caller.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that required a compile.
+    pub misses: u64,
+    /// Entries dropped to make room.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+/// The cached artifact for one `(source, options)` content key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CachedResult {
+    /// The response payload (IR text or report).
+    pub output: String,
+    /// Vectorized tree count summed over the module's functions.
+    pub trees: usize,
+    /// Applied vectorization cost summed over the module's functions.
+    pub cost: i64,
+    /// Guard incidents observed while compiling (kept so a cache hit
+    /// reports the same diagnostics as the original compile).
+    pub incidents: usize,
+}
+
+/// FNV-1a over the request's content fields, with `\0` separators so field
+/// boundaries cannot alias (`("ab","c")` vs `("a","bc")`).
+pub fn content_key(parts: &[&str]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for part in parts {
+        for &b in part.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= 0;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+struct Entry {
+    /// Full key material, compared on lookup to rule out hash collisions.
+    material: String,
+    result: CachedResult,
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: HashMap<u64, Entry>,
+}
+
+/// The sharded cache proper.
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Capacity per shard (total capacity / shard count, at least 1).
+    shard_capacity: usize,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` entries across `shards` shards.
+    pub fn new(capacity: usize, shards: usize) -> ResultCache {
+        let shards = shards.max(1);
+        ResultCache {
+            shard_capacity: (capacity.max(1)).div_ceil(shards),
+            shards: (0..shards).map(|_| Mutex::new(Shard::default())).collect(),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        // Top bits: FNV mixes low bits heavily, top bits are fine too and
+        // keep shard choice independent of map bucketing.
+        let idx = (key >> 56) as usize % self.shards.len();
+        &self.shards[idx]
+    }
+
+    /// Look up `key` (with its full `material` for collision rejection).
+    /// Counts a hit or a miss.
+    pub fn get(&self, key: u64, material: &str) -> Option<CachedResult> {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        match shard.map.get_mut(&key) {
+            Some(entry) if entry.material == material => {
+                entry.stamp = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.result.clone())
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a result, evicting the shard's least-recently-used entry when
+    /// the shard is at capacity.
+    pub fn insert(&self, key: u64, material: &str, result: CachedResult) {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        if !shard.map.contains_key(&key) && shard.map.len() >= self.shard_capacity {
+            let victim = shard.map.iter().min_by_key(|(_, entry)| entry.stamp).map(|(&k, _)| k);
+            if let Some(victim) = victim {
+                shard.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(key, Entry { material: material.to_string(), result, stamp });
+    }
+
+    /// Point-in-time counters.
+    pub fn counters(&self) -> CacheCounters {
+        let entries =
+            self.shards.iter().map(|s| s.lock().expect("cache shard lock").map.len() as u64).sum();
+        CacheCounters {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(tag: &str) -> CachedResult {
+        CachedResult { output: tag.to_string(), trees: 1, cost: -4, incidents: 0 }
+    }
+
+    #[test]
+    fn key_separators_prevent_aliasing() {
+        assert_ne!(content_key(&["ab", "c"]), content_key(&["a", "bc"]));
+        assert_ne!(content_key(&["x"]), content_key(&["x", ""]));
+        assert_eq!(content_key(&["src", "LSLP"]), content_key(&["src", "LSLP"]));
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let cache = ResultCache::new(8, 2);
+        let key = content_key(&["src", "LSLP"]);
+        assert_eq!(cache.get(key, "src\0LSLP"), None);
+        cache.insert(key, "src\0LSLP", result("out"));
+        assert_eq!(cache.get(key, "src\0LSLP").unwrap().output, "out");
+        let c = cache.counters();
+        assert_eq!((c.hits, c.misses, c.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn colliding_key_with_different_material_is_a_miss() {
+        let cache = ResultCache::new(8, 1);
+        cache.insert(42, "materialA", result("A"));
+        assert_eq!(cache.get(42, "materialB"), None, "same hash, different content");
+        assert_eq!(cache.get(42, "materialA").unwrap().output, "A");
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_used() {
+        let cache = ResultCache::new(2, 1);
+        cache.insert(1, "k1", result("1"));
+        cache.insert(2, "k2", result("2"));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(1, "k1").is_some());
+        cache.insert(3, "k3", result("3"));
+        assert_eq!(cache.counters().evictions, 1);
+        assert!(cache.get(1, "k1").is_some(), "recently used survives");
+        assert!(cache.get(2, "k2").is_none(), "LRU entry evicted");
+        assert!(cache.get(3, "k3").is_some());
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let cache = ResultCache::new(2, 1);
+        cache.insert(1, "k1", result("1"));
+        cache.insert(2, "k2", result("2"));
+        cache.insert(1, "k1", result("1b"));
+        assert_eq!(cache.counters().evictions, 0);
+        assert_eq!(cache.get(1, "k1").unwrap().output, "1b");
+        assert!(cache.get(2, "k2").is_some());
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let cache = ResultCache::new(64, 8);
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for i in 0..100u64 {
+                        let material = format!("m{}", (t * 100 + i) % 32);
+                        let key = content_key(&[&material]);
+                        if cache.get(key, &material).is_none() {
+                            cache.insert(key, &material, result(&material));
+                        }
+                    }
+                });
+            }
+        });
+        let c = cache.counters();
+        assert_eq!(c.hits + c.misses, 800);
+        assert!(c.entries <= 64);
+        // Every resident entry serves its own content back.
+        for m in 0..32u64 {
+            let material = format!("m{m}");
+            if let Some(r) = cache.get(content_key(&[&material]), &material) {
+                assert_eq!(r.output, material);
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! A blocking `lslpd` client: one request line out, one response line in.
+//!
+//! Used by `lslpc --serve`-adjacent tooling, the integration tests, and
+//! the `serve_throughput` load generator.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::protocol::{CompileRequest, Response};
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// Client-side failure: transport error or an unparseable response.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server sent something that is not a protocol response.
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl Client {
+    /// Connect to a daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Bound how long [`Client::roundtrip`] may block waiting for a
+    /// response (`None` = wait forever, the default).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `set_read_timeout` failures.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Send one raw request line (no trailing newline) and read the
+    /// response line.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure (including a server that
+    /// closed mid-request), [`ClientError::Protocol`] on a malformed
+    /// response.
+    pub fn roundtrip(&mut self, line: &str) -> Result<Response, ClientError> {
+        debug_assert!(!line.contains('\n'), "requests are single lines");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Response::parse(&response).map_err(ClientError::Protocol)
+    }
+
+    /// Submit a compile request.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`]; an `ERR` response is returned as a
+    /// successful [`Response`] with `ok == false`.
+    pub fn compile(&mut self, req: &CompileRequest) -> Result<Response, ClientError> {
+        self.roundtrip(&req.to_line())
+    }
+
+    /// Fetch the metrics dump.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn stats(&mut self) -> Result<Response, ClientError> {
+        self.roundtrip("STATS")
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn ping(&mut self) -> Result<Response, ClientError> {
+        self.roundtrip("PING")
+    }
+
+    /// Ask the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn shutdown(&mut self) -> Result<Response, ClientError> {
+        self.roundtrip("SHUTDOWN")
+    }
+}

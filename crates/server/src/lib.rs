@@ -1,0 +1,568 @@
+//! # lslp-server — `lslpd`, the concurrent LSLP compile service
+//!
+//! A long-lived, multi-threaded compile daemon over [`lslp`]'s guarded
+//! pass pipeline: SLC source in, vectorized IR (or a report) out, with a
+//! line-delimited protocol ([`protocol`]), a bounded work queue with
+//! rejection backpressure ([`queue`]), a worker pool where every worker
+//! owns its own analysis state, and a sharded content-addressed result
+//! cache ([`cache`]) so repeated traffic is served without re-running the
+//! pipeline. Metrics (per-pass counters, cache hits, queue depth, latency
+//! percentiles) accumulate in a [`lslp::SyncStatistics`] registry and are
+//! served by the `STATS` verb ([`metrics`]).
+//!
+//! `std`-only by design: `TcpListener` + `thread` (the build environment
+//! has no package registry), which also keeps the concurrency model
+//! auditable — one acceptor, one lightweight thread per connection doing
+//! framing only, and a fixed pool of compile workers behind the queue.
+//!
+//! Failure containment: per-request compile budgets are fed into the pass
+//! guard's time-budget fuel ([`lslp::VectorizerConfig::time_budget_ms`]),
+//! so a pathological input degrades to (partially) scalar output and a
+//! `FuelExhausted` incident instead of stalling a worker; panics and
+//! miscompiles inside passes are already isolated by the transactional
+//! guard (see `docs/GUARD.md`).
+//!
+//! See `docs/SERVER.md` for the protocol and operational semantics.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod queue;
+
+use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lslp::{
+    try_run_pipeline_with, try_run_vectorize_only, GuardMode, PipelineReport, SyncStatistics,
+    VectorizerConfig,
+};
+use lslp_analysis::AnalysisManager;
+use lslp_target::CostModel;
+
+use cache::{content_key, CachedResult, ResultCache};
+use metrics::LatencyReservoir;
+use protocol::{CompileRequest, Emit, ErrorKind, Request, Response};
+use queue::{Bounded, PushError};
+
+pub use client::Client;
+
+/// Tunables for one daemon instance.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Compile worker threads.
+    pub workers: usize,
+    /// Bounded queue capacity; pushes beyond it are rejected with
+    /// `ERR kind=overload`.
+    pub queue_capacity: usize,
+    /// Total cache entries across all shards.
+    pub cache_capacity: usize,
+    /// Cache shard count.
+    pub cache_shards: usize,
+    /// Default per-request compile budget (ms) when the request does not
+    /// carry `timeout-ms=`.
+    pub default_time_budget_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            queue_capacity: 64,
+            cache_capacity: 1024,
+            cache_shards: 16,
+            default_time_budget_ms: 500,
+        }
+    }
+}
+
+/// One unit of compile work: the parsed request plus the channel the
+/// connection thread is blocked on.
+struct Job {
+    req: CompileRequest,
+    reply: mpsc::Sender<String>,
+}
+
+/// State shared by the acceptor, connection threads, and workers.
+struct Shared {
+    cfg: ServerConfig,
+    queue: Bounded<Job>,
+    cache: ResultCache,
+    registry: SyncStatistics,
+    latency: LatencyReservoir,
+    shutdown: AtomicBool,
+}
+
+/// A bound-but-not-yet-running daemon.
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Bind the listener and allocate the shared state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors (bad address, port in use).
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            queue: Bounded::new(cfg.queue_capacity),
+            cache: ResultCache::new(cfg.cache_capacity, cfg.cache_shards),
+            registry: SyncStatistics::new(),
+            latency: LatencyReservoir::new(),
+            shutdown: AtomicBool::new(false),
+            cfg,
+        });
+        Ok(Server { listener, local_addr, shared })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Bind and run on a background thread; returns the address and the
+    /// join handle (which resolves when the daemon has fully drained).
+    ///
+    /// # Errors
+    ///
+    /// See [`Server::bind`].
+    pub fn spawn(
+        cfg: ServerConfig,
+    ) -> std::io::Result<(SocketAddr, JoinHandle<std::io::Result<()>>)> {
+        let server = Server::bind(cfg)?;
+        let addr = server.local_addr();
+        Ok((addr, std::thread::spawn(move || server.run())))
+    }
+
+    /// Serve until a `SHUTDOWN` request arrives, then drain queued work,
+    /// join every worker and connection thread, and return.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept-loop socket errors.
+    pub fn run(self) -> std::io::Result<()> {
+        let Server { listener, local_addr, shared } = self;
+        let workers: Vec<JoinHandle<()>> = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+
+        let mut connections: Vec<JoinHandle<()>> = Vec::new();
+        for stream in listener.incoming() {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let shared = Arc::clone(&shared);
+            connections.push(std::thread::spawn(move || {
+                // Connection errors only affect that client.
+                let _ = serve_connection(stream, &shared, local_addr);
+            }));
+            // Reap finished connection threads so a long-lived daemon does
+            // not accumulate handles.
+            connections.retain(|h| !h.is_finished());
+        }
+
+        // Graceful shutdown: stop accepting, let workers drain everything
+        // already admitted to the queue, then join the framing threads
+        // (they observe the shutdown flag via their read timeout).
+        shared.queue.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        for c in connections {
+            let _ = c.join();
+        }
+        Ok(())
+    }
+}
+
+/// How long a connection thread blocks in `read` before re-checking the
+/// shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+fn serve_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    local_addr: SocketAddr,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TICK))?;
+    stream.set_nodelay(true).ok();
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(_) => {
+                let response = handle_line(&line, shared, local_addr);
+                line.clear();
+                writer.write_all(response.as_bytes())?;
+                writer.write_all(b"\n")?;
+                writer.flush()?;
+            }
+            Err(e) if e.kind() == IoErrorKind::WouldBlock || e.kind() == IoErrorKind::TimedOut => {
+                // `read_line` keeps partial bytes in `line`; just re-poll.
+                if shared.shutdown.load(Ordering::SeqCst) && line.is_empty() {
+                    return Ok(());
+                }
+            }
+            Err(e) if e.kind() == IoErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn handle_line(line: &str, shared: &Shared, local_addr: SocketAddr) -> String {
+    let request = match protocol::parse_request(line) {
+        Ok(r) => r,
+        Err(msg) => {
+            shared.registry.add("server", "errors-proto", 1);
+            return Response::err_line(ErrorKind::Proto, &msg);
+        }
+    };
+    match request {
+        Request::Ping => Response::ok_line(&[], "pong"),
+        Request::Stats => {
+            let payload = render_stats_payload(shared);
+            Response::ok_line(&[], &payload)
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Unblock the acceptor, which is parked in `accept`.
+            let _ = TcpStream::connect(local_addr);
+            Response::ok_line(&[], "draining")
+        }
+        Request::Compile(req) => {
+            // The queue closes only once the acceptor has unparked; check
+            // the flag too so work arriving after the SHUTDOWN response is
+            // refused deterministically, not raced against the drain.
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Response::err_line(ErrorKind::Shutdown, "server is draining");
+            }
+            let (tx, rx) = mpsc::channel();
+            match shared.queue.push(Job { req, reply: tx }) {
+                Ok(()) => rx.recv().unwrap_or_else(|_| {
+                    Response::err_line(ErrorKind::Internal, "worker dropped the request")
+                }),
+                Err(PushError::Full(_)) => {
+                    shared.registry.add("server", "rejected-overload", 1);
+                    Response::err_line(ErrorKind::Overload, "work queue full, retry with backoff")
+                }
+                Err(PushError::Closed(_)) => {
+                    Response::err_line(ErrorKind::Shutdown, "server is draining")
+                }
+            }
+        }
+    }
+}
+
+fn render_stats_payload(shared: &Shared) -> String {
+    let c = shared.cache.counters();
+    let extra = [
+        (
+            "cache",
+            format!(
+                "entries={} capacity={} hits={} misses={} evictions={}",
+                c.entries, shared.cfg.cache_capacity, c.hits, c.misses, c.evictions
+            ),
+        ),
+        (
+            "queue",
+            format!(
+                "depth={} max={} capacity={}",
+                shared.queue.len(),
+                shared.queue.max_depth(),
+                shared.queue.capacity()
+            ),
+        ),
+        ("workers", shared.cfg.workers.to_string()),
+    ];
+    metrics::render_stats(&shared.registry, &shared.latency, &extra)
+}
+
+/// One worker: owns its analysis manager for the lifetime of the thread
+/// (the pass manager is instantiated per pipeline run under it) and drains
+/// the queue until close.
+fn worker_loop(shared: &Shared) {
+    let tm = CostModel::skylake_like();
+    let mut am = AnalysisManager::new();
+    while let Some(job) = shared.queue.pop() {
+        let response = compile_request(&job.req, shared, &tm, &mut am);
+        // A vanished connection is not a worker error.
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Serve one compile request: cache lookup, pipeline run on miss, cache
+/// fill, metrics.
+fn compile_request(
+    req: &CompileRequest,
+    shared: &Shared,
+    tm: &CostModel,
+    am: &mut AnalysisManager,
+) -> String {
+    let start = Instant::now();
+    let budget_ms = req.timeout_ms.unwrap_or(shared.cfg.default_time_budget_ms);
+    let emit_name = match req.emit {
+        Emit::Ir => "ir",
+        Emit::Report => "report",
+    };
+    let guard_name = req.guard.as_deref().unwrap_or("-");
+    let parts = [
+        req.src.as_str(),
+        req.config.as_str(),
+        if req.pipeline { "1" } else { "0" },
+        emit_name,
+        guard_name,
+        &budget_ms.to_string(),
+    ];
+    let material = parts.join("\0");
+    let key = content_key(&parts);
+
+    if let Some(hit) = shared.cache.get(key, &material) {
+        shared.registry.add("server", "cache-hits", 1);
+        shared.registry.add("server", "requests-ok", 1);
+        let us = start.elapsed().as_micros() as u64;
+        shared.latency.record(us);
+        return ok_response(key, "hit", &hit, us);
+    }
+    shared.registry.add("server", "cache-misses", 1);
+
+    let mut cfg = match VectorizerConfig::preset(&req.config) {
+        Some(c) => c,
+        None => {
+            shared.registry.add("server", "errors-config", 1);
+            return Response::err_line(
+                ErrorKind::Config,
+                &format!("unknown configuration `{}`", req.config),
+            );
+        }
+    };
+    if let Some(mode) = &req.guard {
+        match GuardMode::parse(mode) {
+            Some(m) => cfg.guard = m,
+            None => {
+                shared.registry.add("server", "errors-config", 1);
+                return Response::err_line(
+                    ErrorKind::Config,
+                    &format!("unknown guard mode `{mode}`"),
+                );
+            }
+        }
+    }
+    // The per-request timeout rides on the guard's compile-fuel budget: the
+    // vectorizer stops attempting seeds at the deadline and the function
+    // ships (partially) scalar, so a pathological input cannot pin a
+    // worker.
+    cfg.time_budget_ms = Some(budget_ms.max(1));
+
+    let mut module = match lslp_frontend::compile(&req.src) {
+        Ok(m) => m,
+        Err(e) => {
+            shared.registry.add("server", "errors-parse", 1);
+            return Response::err_line(ErrorKind::Parse, &e.to_string());
+        }
+    };
+
+    let mut reports: Vec<PipelineReport> = Vec::with_capacity(module.functions.len());
+    for f in &mut module.functions {
+        let run = if req.pipeline {
+            try_run_pipeline_with(f, &cfg, tm, am)
+        } else {
+            try_run_vectorize_only(f, &cfg, tm)
+        };
+        match run {
+            Ok(r) => reports.push(r),
+            Err(e) => {
+                shared.registry.add("server", "errors-internal", 1);
+                return Response::err_line(ErrorKind::Internal, &format!("@{}: {e}", f.name()));
+            }
+        }
+    }
+
+    let mut trees = 0usize;
+    let mut cost = 0i64;
+    let mut incidents = 0usize;
+    for r in &reports {
+        trees += r.vectorize.trees_vectorized;
+        cost += r.vectorize.applied_cost;
+        incidents += r.incidents.len() + r.vectorize.incidents.len();
+        shared.registry.absorb(&r.stats);
+    }
+    if incidents > 0 {
+        shared.registry.add("server", "guard-incidents", incidents as u64);
+    }
+
+    let output = match req.emit {
+        Emit::Ir => lslp_ir::print_module(&module),
+        Emit::Report => render_report(&module, &reports),
+    };
+    let result = CachedResult { output, trees, cost, incidents };
+    shared.cache.insert(key, &material, result.clone());
+    shared.registry.add("server", "requests-ok", 1);
+    let us = start.elapsed().as_micros() as u64;
+    shared.latency.record(us);
+    ok_response(key, "miss", &result, us)
+}
+
+fn ok_response(key: u64, cached: &str, result: &CachedResult, us: u64) -> String {
+    Response::ok_line(
+        &[
+            ("key", format!("{key:016x}")),
+            ("cached", cached.to_string()),
+            ("trees", result.trees.to_string()),
+            ("cost", result.cost.to_string()),
+            ("incidents", result.incidents.to_string()),
+            ("us", us.to_string()),
+        ],
+        &result.output,
+    )
+}
+
+/// The `emit=report` payload: one summary line per function plus incident
+/// lines (mirrors `lslpc --emit report` at service granularity).
+fn render_report(module: &lslp_ir::Module, reports: &[PipelineReport]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for (f, pr) in module.functions.iter().zip(reports) {
+        let r = &pr.vectorize;
+        let _ = writeln!(
+            out,
+            "@{}: {} attempt(s), {} vectorized, applied cost {}, {} incident(s)",
+            f.name(),
+            r.attempts.len(),
+            r.trees_vectorized,
+            r.applied_cost,
+            pr.incidents.len() + r.incidents.len(),
+        );
+        for inc in r.incidents.iter().chain(&pr.incidents) {
+            let _ = writeln!(out, "  incident {inc}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "kernel k(f64* A, f64* B, i64 i) {
+                           A[i+0] = B[i+0] * B[i+0];
+                           A[i+1] = B[i+1] * B[i+1];
+                           A[i+2] = B[i+2] * B[i+2];
+                           A[i+3] = B[i+3] * B[i+3];
+                       }";
+
+    fn shared() -> Shared {
+        let cfg = ServerConfig { workers: 1, ..ServerConfig::default() };
+        Shared {
+            queue: Bounded::new(cfg.queue_capacity),
+            cache: ResultCache::new(cfg.cache_capacity, cfg.cache_shards),
+            registry: SyncStatistics::new(),
+            latency: LatencyReservoir::new(),
+            shutdown: AtomicBool::new(false),
+            cfg,
+        }
+    }
+
+    fn run(req: &CompileRequest, shared: &Shared) -> Response {
+        let tm = CostModel::skylake_like();
+        let mut am = AnalysisManager::new();
+        Response::parse(&compile_request(req, shared, &tm, &mut am)).unwrap()
+    }
+
+    #[test]
+    fn compile_vectorizes_and_reports_fields() {
+        let s = shared();
+        let r = run(&CompileRequest::new(SRC), &s);
+        assert!(r.ok, "{r:?}");
+        assert_eq!(r.field("cached"), Some("miss"));
+        assert_eq!(r.field("trees"), Some("1"));
+        assert_eq!(r.field("incidents"), Some("0"));
+        assert!(r.payload.contains("<4 x f64>"), "{}", r.payload);
+        assert_eq!(s.registry.get("server", "requests-ok"), 1);
+        assert_eq!(s.registry.get("server", "cache-misses"), 1);
+        assert!(s.registry.get("vectorize", "trees-vectorized") >= 1, "pipeline stats absorbed");
+    }
+
+    #[test]
+    fn second_request_hits_the_cache_byte_identically() {
+        let s = shared();
+        let first = run(&CompileRequest::new(SRC), &s);
+        let second = run(&CompileRequest::new(SRC), &s);
+        assert_eq!(second.field("cached"), Some("hit"));
+        assert_eq!(first.payload, second.payload, "cache must serve identical bytes");
+        assert_eq!(first.field("trees"), second.field("trees"));
+        assert_eq!(s.registry.get("server", "cache-misses"), 1, "exactly one miss");
+        assert_eq!(s.registry.get("server", "cache-hits"), 1, "exactly one hit");
+    }
+
+    #[test]
+    fn differing_config_does_not_hit() {
+        let s = shared();
+        let lslp = run(&CompileRequest::new(SRC), &s);
+        let o3 = run(&CompileRequest { config: "O3".into(), ..CompileRequest::new(SRC) }, &s);
+        assert_eq!(o3.field("cached"), Some("miss"), "different config is a different key");
+        assert_ne!(lslp.payload, o3.payload);
+        assert_eq!(s.registry.get("server", "cache-hits"), 0);
+        assert_eq!(s.registry.get("server", "cache-misses"), 2);
+    }
+
+    #[test]
+    fn user_errors_are_typed() {
+        let s = shared();
+        let parse = run(&CompileRequest::new("kernel broken("), &s);
+        assert_eq!(parse.error, Some(ErrorKind::Parse), "{parse:?}");
+        let config = run(&CompileRequest { config: "GCC".into(), ..CompileRequest::new(SRC) }, &s);
+        assert_eq!(config.error, Some(ErrorKind::Config));
+        let guard =
+            run(&CompileRequest { guard: Some("yolo".into()), ..CompileRequest::new(SRC) }, &s);
+        assert_eq!(guard.error, Some(ErrorKind::Config));
+        assert_eq!(s.registry.get("server", "errors-parse"), 1);
+        assert_eq!(s.registry.get("server", "errors-config"), 2);
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_scalar_output() {
+        // timeout-ms=1 with an already-spent deadline is hard to force
+        // deterministically, so use a large kernel and the smallest budget:
+        // the vectorizer must stop at the deadline, ship what it has, and
+        // record an incident — never an error response.
+        let mut src = String::from("kernel big(f64* A, f64* B, i64 i) {\n");
+        for g in 0..64 {
+            for l in 0..4 {
+                let idx = g * 4 + l;
+                src.push_str(&format!(
+                    "  A[i+{idx}] = (B[i+{idx}] * B[i+{idx}] + {g}.0) * B[i+{idx}];\n"
+                ));
+            }
+        }
+        src.push('}');
+        let s = shared();
+        let r = run(&CompileRequest { timeout_ms: Some(0), ..CompileRequest::new(&src) }, &s);
+        assert!(r.ok, "a timed-out compile still responds: {r:?}");
+        // Budget 0 is clamped to 1ms; the compile may or may not finish
+        // within it, but the response is always well-formed IR.
+        assert!(r.payload.contains("@big"), "{}", r.payload);
+    }
+}

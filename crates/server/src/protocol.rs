@@ -1,0 +1,449 @@
+//! The `lslpd` wire protocol: line-delimited requests and responses.
+//!
+//! One request per line, one response line per request, both framed by a
+//! single `\n`. Multi-line payloads (SLC source in, IR out) travel on one
+//! line via a two-character escape ([`escape`]/[`unescape`]): `\n` → `\\n`,
+//! `\r` → `\\r`, `\\` → `\\\\`. This keeps clients trivial — a client is a
+//! `writeln!` plus a `read_line` — and makes requests greppable in traffic
+//! captures.
+//!
+//! Grammar (see `docs/SERVER.md` for the full description):
+//!
+//! ```text
+//! request  := "COMPILE" (SP option)* SP "src=" escaped-source
+//!           | "STATS" | "PING" | "SHUTDOWN"
+//! option   := "config=" NAME      (preset, default LSLP)
+//!           | "pipeline=" 0|1     (full scalar+vector pipeline, default 1)
+//!           | "emit=" ir|report   (default ir)
+//!           | "guard=" off|rollback|strict
+//!           | "timeout-ms=" N    (compile budget, default server-wide)
+//! response := "OK" (SP field)* SP "out=" escaped-payload
+//!           | "ERR kind=" KIND SP "msg=" escaped-message
+//! ```
+//!
+//! `src=`/`out=`/`msg=` always come last so the escaped payload may contain
+//! spaces and `=` freely.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escape a payload onto a single protocol line.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + s.len() / 8);
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Invert [`escape`]. Unknown escapes and a trailing lone `\` error.
+pub fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => return Err(format!("bad escape `\\{other}`")),
+            None => return Err("truncated escape at end of line".into()),
+        }
+    }
+    Ok(out)
+}
+
+/// Why a request was refused (the `kind=` field of an `ERR` response).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ErrorKind {
+    /// The request line itself is malformed (unknown verb, bad option,
+    /// broken escape).
+    Proto,
+    /// The submitted source does not lex/parse/verify — a *user* error.
+    Parse,
+    /// Unknown configuration preset or guard mode.
+    Config,
+    /// The bounded work queue is full; retry with backoff.
+    Overload,
+    /// The server is draining for shutdown and accepts no new work.
+    Shutdown,
+    /// The compiler itself failed (strict-guard abort, internal bug).
+    Internal,
+}
+
+impl ErrorKind {
+    /// Wire name of the kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            ErrorKind::Proto => "proto",
+            ErrorKind::Parse => "parse",
+            ErrorKind::Config => "config",
+            ErrorKind::Overload => "overload",
+            ErrorKind::Shutdown => "shutdown",
+            ErrorKind::Internal => "internal",
+        }
+    }
+
+    /// Parse a wire name back into a kind.
+    pub fn parse(s: &str) -> Option<ErrorKind> {
+        Some(match s {
+            "proto" => ErrorKind::Proto,
+            "parse" => ErrorKind::Parse,
+            "config" => ErrorKind::Config,
+            "overload" => ErrorKind::Overload,
+            "shutdown" => ErrorKind::Shutdown,
+            "internal" => ErrorKind::Internal,
+            _ => return None,
+        })
+    }
+}
+
+/// What the response payload contains.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Emit {
+    /// The optimized module IR.
+    #[default]
+    Ir,
+    /// A per-function vectorization report.
+    Report,
+}
+
+/// A parsed `COMPILE` request.
+#[derive(Clone, Debug)]
+pub struct CompileRequest {
+    /// Configuration preset name (`O3` | `SLP-NR` | `SLP` | `LSLP` | ...).
+    pub config: String,
+    /// Run the full scalar+vector pipeline (default) or the vectorizer
+    /// alone.
+    pub pipeline: bool,
+    /// Payload selection.
+    pub emit: Emit,
+    /// Guard-mode override (`None` keeps the preset default).
+    pub guard: Option<String>,
+    /// Per-request compile budget in milliseconds (`None` = the server's
+    /// default). Fed into the guard's time-budget fuel, so a pathological
+    /// input degrades to (partially) scalar output instead of stalling a
+    /// worker.
+    pub timeout_ms: Option<u64>,
+    /// The SLC source (unescaped).
+    pub src: String,
+}
+
+impl Default for CompileRequest {
+    fn default() -> CompileRequest {
+        CompileRequest {
+            config: "LSLP".into(),
+            pipeline: true,
+            emit: Emit::Ir,
+            guard: None,
+            timeout_ms: None,
+            src: String::new(),
+        }
+    }
+}
+
+impl CompileRequest {
+    /// A default-configured request for `src`.
+    pub fn new(src: &str) -> CompileRequest {
+        CompileRequest { src: src.to_string(), ..CompileRequest::default() }
+    }
+
+    /// Render the request as one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut line = String::from("COMPILE");
+        let _ = write!(line, " config={}", self.config);
+        let _ = write!(line, " pipeline={}", if self.pipeline { 1 } else { 0 });
+        if self.emit == Emit::Report {
+            line.push_str(" emit=report");
+        }
+        if let Some(g) = &self.guard {
+            let _ = write!(line, " guard={g}");
+        }
+        if let Some(ms) = self.timeout_ms {
+            let _ = write!(line, " timeout-ms={ms}");
+        }
+        let _ = write!(line, " src={}", escape(&self.src));
+        line
+    }
+}
+
+/// Any parsed request line.
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Compile a source payload.
+    Compile(CompileRequest),
+    /// Dump the metrics registry.
+    Stats,
+    /// Liveness check.
+    Ping,
+    /// Begin graceful shutdown: drain queued work, then exit.
+    Shutdown,
+}
+
+/// Parse one request line (without its trailing newline).
+///
+/// # Errors
+///
+/// Returns a [`ErrorKind::Proto`]-ready message for malformed lines.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let line = line.trim_end_matches(['\r', '\n']);
+    let (verb, rest) = match line.split_once(' ') {
+        Some((v, r)) => (v, r),
+        None => (line, ""),
+    };
+    match verb {
+        "STATS" => Ok(Request::Stats),
+        "PING" => Ok(Request::Ping),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        "COMPILE" => parse_compile(rest).map(Request::Compile),
+        "" => Err("empty request".into()),
+        other => Err(format!("unknown verb `{other}`")),
+    }
+}
+
+fn parse_compile(rest: &str) -> Result<CompileRequest, String> {
+    let mut req = CompileRequest::default();
+    let mut remaining = rest;
+    loop {
+        let token = match remaining.split_once(' ') {
+            Some((t, r)) => {
+                remaining = r;
+                t
+            }
+            None => {
+                let t = remaining;
+                remaining = "";
+                t
+            }
+        };
+        let (key, value) =
+            token.split_once('=').ok_or_else(|| format!("expected key=value, got `{token}`"))?;
+        match key {
+            "src" => {
+                // `src=` swallows the rest of the line (the escaped payload
+                // may contain spaces).
+                let raw = if remaining.is_empty() {
+                    value.to_string()
+                } else {
+                    [value, remaining].join(" ")
+                };
+                req.src = unescape(&raw)?;
+                return Ok(req);
+            }
+            "config" => req.config = value.to_string(),
+            "pipeline" => {
+                req.pipeline = match value {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(format!("bad pipeline value `{other}`")),
+                }
+            }
+            "emit" => {
+                req.emit = match value {
+                    "ir" => Emit::Ir,
+                    "report" => Emit::Report,
+                    other => return Err(format!("unknown emit mode `{other}`")),
+                }
+            }
+            "guard" => req.guard = Some(value.to_string()),
+            "timeout-ms" => {
+                req.timeout_ms =
+                    Some(value.parse().map_err(|e| format!("bad timeout-ms value: {e}"))?)
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+        if remaining.is_empty() {
+            return Err("missing src= payload".into());
+        }
+    }
+}
+
+/// A parsed response line.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// `OK` vs `ERR`.
+    pub ok: bool,
+    /// The `kind=` of an `ERR` response.
+    pub error: Option<ErrorKind>,
+    /// All `key=value` fields before the payload, in wire order.
+    pub fields: BTreeMap<String, String>,
+    /// The unescaped `out=` / `msg=` payload.
+    pub payload: String,
+}
+
+impl Response {
+    /// Render an `OK` response line. `fields` must not contain `out`.
+    pub fn ok_line(fields: &[(&str, String)], payload: &str) -> String {
+        let mut line = String::from("OK");
+        for (k, v) in fields {
+            debug_assert!(!v.contains([' ', '\n']), "field values must be atoms");
+            let _ = write!(line, " {k}={v}");
+        }
+        let _ = write!(line, " out={}", escape(payload));
+        line
+    }
+
+    /// Render an `ERR` response line.
+    pub fn err_line(kind: ErrorKind, msg: &str) -> String {
+        format!("ERR kind={} msg={}", kind.name(), escape(msg))
+    }
+
+    /// A named field, when present.
+    pub fn field(&self, key: &str) -> Option<&str> {
+        self.fields.get(key).map(String::as_str)
+    }
+
+    /// Parse one response line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for lines that are not well-formed responses.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let line = line.trim_end_matches(['\r', '\n']);
+        let (verb, rest) =
+            line.split_once(' ').ok_or_else(|| format!("malformed response `{line}`"))?;
+        let ok = match verb {
+            "OK" => true,
+            "ERR" => false,
+            other => return Err(format!("unknown response verb `{other}`")),
+        };
+        let mut fields = BTreeMap::new();
+        let mut payload = None;
+        let mut remaining = rest;
+        while !remaining.is_empty() {
+            let token = match remaining.split_once(' ') {
+                Some((t, r)) => {
+                    remaining = r;
+                    t
+                }
+                None => {
+                    let t = remaining;
+                    remaining = "";
+                    t
+                }
+            };
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got `{token}`"))?;
+            if key == "out" || key == "msg" {
+                let raw = if remaining.is_empty() {
+                    value.to_string()
+                } else {
+                    [value, remaining].join(" ")
+                };
+                payload = Some(unescape(&raw)?);
+                break;
+            }
+            fields.insert(key.to_string(), value.to_string());
+        }
+        let payload = payload.ok_or("response has no out=/msg= payload")?;
+        let error = if ok {
+            None
+        } else {
+            Some(
+                fields
+                    .get("kind")
+                    .and_then(|k| ErrorKind::parse(k))
+                    .ok_or("ERR response without a known kind=")?,
+            )
+        };
+        Ok(Response { ok, error, fields, payload })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_roundtrips() {
+        for s in ["", "plain", "a\nb\r\nc", "back\\slash\\n", "kernel k() {\n  A[i] = 1;\n}"] {
+            assert_eq!(unescape(&escape(s)).unwrap(), s, "{s:?}");
+        }
+        assert!(escape("a\nb").lines().count() == 1, "escaped payloads are single-line");
+        assert!(unescape("bad\\q").is_err());
+        assert!(unescape("trailing\\").is_err());
+    }
+
+    #[test]
+    fn compile_request_roundtrips() {
+        let req = CompileRequest {
+            config: "SLP".into(),
+            pipeline: false,
+            emit: Emit::Report,
+            guard: Some("strict".into()),
+            timeout_ms: Some(25),
+            src: "kernel k(f64* A, i64 i) {\n  A[i] = A[i] + 1.0;\n}".into(),
+        };
+        let line = req.to_line();
+        assert!(!line.contains('\n'));
+        match parse_request(&line).unwrap() {
+            Request::Compile(r) => {
+                assert_eq!(r.config, "SLP");
+                assert!(!r.pipeline);
+                assert_eq!(r.emit, Emit::Report);
+                assert_eq!(r.guard.as_deref(), Some("strict"));
+                assert_eq!(r.timeout_ms, Some(25));
+                assert_eq!(r.src, req.src);
+            }
+            other => panic!("wrong request: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_verbs_parse() {
+        assert!(matches!(parse_request("STATS").unwrap(), Request::Stats));
+        assert!(matches!(parse_request("PING\n").unwrap(), Request::Ping));
+        assert!(matches!(parse_request("SHUTDOWN\r\n").unwrap(), Request::Shutdown));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("FROBNICATE now").is_err());
+        assert!(parse_request("COMPILE nonsense").is_err());
+        assert!(parse_request("COMPILE config=LSLP").is_err(), "missing src=");
+        assert!(parse_request("COMPILE pipeline=maybe src=x").is_err());
+        assert!(parse_request("COMPILE timeout-ms=soon src=x").is_err());
+        assert!(parse_request("COMPILE src=bad\\escape\\q").is_err());
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        let line =
+            Response::ok_line(&[("cached", "hit".into()), ("trees", "2".into())], "v0 = add\n");
+        let r = Response::parse(&line).unwrap();
+        assert!(r.ok);
+        assert_eq!(r.field("cached"), Some("hit"));
+        assert_eq!(r.field("trees"), Some("2"));
+        assert_eq!(r.payload, "v0 = add\n");
+
+        let e = Response::parse(&Response::err_line(ErrorKind::Overload, "queue full")).unwrap();
+        assert!(!e.ok);
+        assert_eq!(e.error, Some(ErrorKind::Overload));
+        assert_eq!(e.payload, "queue full");
+    }
+
+    #[test]
+    fn every_error_kind_roundtrips() {
+        for kind in [
+            ErrorKind::Proto,
+            ErrorKind::Parse,
+            ErrorKind::Config,
+            ErrorKind::Overload,
+            ErrorKind::Shutdown,
+            ErrorKind::Internal,
+        ] {
+            assert_eq!(ErrorKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(ErrorKind::parse("nope"), None);
+    }
+}

@@ -1,0 +1,204 @@
+//! End-to-end tests for the `lslpd` service: real sockets, real worker
+//! pool, real shutdown.
+
+use std::time::Duration;
+
+use lslp_server::protocol::{CompileRequest, ErrorKind};
+use lslp_server::{Client, Server, ServerConfig};
+
+const SRC: &str = "kernel k(f64* A, f64* B, i64 i) {
+    A[i+0] = B[i+0] * B[i+0];
+    A[i+1] = B[i+1] * B[i+1];
+    A[i+2] = B[i+2] * B[i+2];
+    A[i+3] = B[i+3] * B[i+3];
+}";
+
+fn test_config() -> ServerConfig {
+    ServerConfig { addr: "127.0.0.1:0".into(), workers: 4, ..ServerConfig::default() }
+}
+
+/// A big-but-valid kernel for load/timeout tests: `groups` chains of 4
+/// consecutive stores with commutative fodder.
+fn big_kernel(name: &str, groups: usize) -> String {
+    let mut src = format!("kernel {name}(f64* A, f64* B, f64* C, i64 i) {{\n");
+    for g in 0..groups {
+        for l in 0..4 {
+            let idx = g * 4 + l;
+            src.push_str(&format!(
+                "  A[i+{idx}] = (B[i+{idx}] * C[i+{idx}] + B[i+{idx}]) * (C[i+{idx}] + {g}.0);\n"
+            ));
+        }
+    }
+    src.push('}');
+    src
+}
+
+#[test]
+fn ping_compile_stats_shutdown() {
+    let (addr, daemon) = Server::spawn(test_config()).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    assert_eq!(client.ping().unwrap().payload, "pong");
+
+    let r = client.compile(&CompileRequest::new(SRC)).unwrap();
+    assert!(r.ok, "{r:?}");
+    assert_eq!(r.field("cached"), Some("miss"));
+    assert!(r.payload.contains("<4 x f64>"), "{}", r.payload);
+
+    let stats = client.stats().unwrap();
+    assert!(stats.ok);
+    assert!(stats.payload.contains("server - requests-ok"), "{}", stats.payload);
+    assert!(stats.payload.contains("vectorize - trees-vectorized"), "{}", stats.payload);
+    assert!(stats.payload.contains("latency: count=1"), "{}", stats.payload);
+    assert!(stats.payload.contains("queue: depth=0"), "{}", stats.payload);
+
+    assert_eq!(client.shutdown().unwrap().payload, "draining");
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn cache_roundtrip_over_the_wire() {
+    let (addr, daemon) = Server::spawn(test_config()).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    let first = client.compile(&CompileRequest::new(SRC)).unwrap();
+    let second = client.compile(&CompileRequest::new(SRC)).unwrap();
+    assert_eq!(first.field("cached"), Some("miss"));
+    assert_eq!(second.field("cached"), Some("hit"));
+    assert_eq!(first.payload, second.payload, "hits serve byte-identical output");
+    assert_eq!(first.field("key"), second.field("key"));
+
+    // A different configuration is a different content key.
+    let o3 = client
+        .compile(&CompileRequest { config: "O3".into(), ..CompileRequest::new(SRC) })
+        .unwrap();
+    assert_eq!(o3.field("cached"), Some("miss"));
+    assert_ne!(o3.field("key"), first.field("key"));
+    assert!(!o3.payload.contains('<'), "O3 output is scalar");
+
+    let stats = client.stats().unwrap();
+    assert!(stats.payload.contains("1  server - cache-hits"), "{}", stats.payload);
+    assert!(stats.payload.contains("2  server - cache-misses"), "{}", stats.payload);
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn malformed_and_user_errors_do_not_kill_the_connection() {
+    let (addr, daemon) = Server::spawn(test_config()).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    let bad = client.roundtrip("FROBNICATE the vectorizer").unwrap();
+    assert_eq!(bad.error, Some(ErrorKind::Proto));
+
+    let parse = client.compile(&CompileRequest::new("kernel broken(")).unwrap();
+    assert_eq!(parse.error, Some(ErrorKind::Parse));
+
+    let cfg = client
+        .compile(&CompileRequest { config: "GCC".into(), ..CompileRequest::new(SRC) })
+        .unwrap();
+    assert_eq!(cfg.error, Some(ErrorKind::Config));
+
+    // The same connection still serves good requests afterwards.
+    let ok = client.compile(&CompileRequest::new(SRC)).unwrap();
+    assert!(ok.ok, "{ok:?}");
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn tight_budget_degrades_instead_of_stalling() {
+    let (addr, daemon) = Server::spawn(test_config()).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    let src = big_kernel("big", 128);
+    let r = client
+        .compile(&CompileRequest { timeout_ms: Some(0), ..CompileRequest::new(&src) })
+        .unwrap();
+    assert!(r.ok, "budget exhaustion is not an error: {r:?}");
+    assert!(r.payload.contains("@big"), "{}", r.payload);
+
+    // An ample budget on the same source is a different content key (the
+    // budget shapes the output), so it must not be served from the
+    // tight-budget entry.
+    let full = client
+        .compile(&CompileRequest { timeout_ms: Some(60_000), ..CompileRequest::new(&src) })
+        .unwrap();
+    assert!(full.ok);
+    assert_eq!(full.field("cached"), Some("miss"));
+    assert!(full.payload.contains("<4 x f64>"), "{}", full.payload);
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn concurrent_clients_get_consistent_answers() {
+    let (addr, daemon) = Server::spawn(test_config()).unwrap();
+
+    // Expected outputs, computed through the service itself first (the
+    // cache-consistency property below is what matters: every concurrent
+    // response must equal the sequential one).
+    let sources: Vec<String> = (0..4).map(|k| big_kernel(&format!("k{k}"), 4 + k)).collect();
+    let mut expected = Vec::new();
+    {
+        let mut client = Client::connect(addr).unwrap();
+        client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+        for src in &sources {
+            let r = client.compile(&CompileRequest::new(src)).unwrap();
+            assert!(r.ok);
+            expected.push(r.payload);
+        }
+    }
+
+    std::thread::scope(|s| {
+        for t in 0..8usize {
+            let sources = &sources;
+            let expected = &expected;
+            s.spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+                for round in 0..4 {
+                    let k = (t + round) % sources.len();
+                    let r = client.compile(&CompileRequest::new(&sources[k])).unwrap();
+                    assert!(r.ok, "thread {t}: {r:?}");
+                    assert_eq!(r.payload, expected[k], "thread {t} kernel {k} corrupted");
+                }
+            });
+        }
+    });
+
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.payload.contains("server - cache-hits"), "{}", stats.payload);
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn shutdown_rejects_new_work_and_drains() {
+    let (addr, daemon) = Server::spawn(test_config()).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    assert!(client.compile(&CompileRequest::new(SRC)).unwrap().ok);
+    assert_eq!(client.shutdown().unwrap().payload, "draining");
+
+    // Work submitted on the surviving connection is refused (queue closed)
+    // rather than silently dropped — as long as the daemon is still
+    // draining; afterwards the connection may simply be gone.
+    if let Ok(r) = client.compile(&CompileRequest::new(SRC)) {
+        assert_eq!(r.error, Some(ErrorKind::Shutdown), "{r:?}");
+    }
+    drop(client);
+    daemon.join().unwrap().unwrap();
+
+    // And the port is released.
+    assert!(Client::connect(addr).is_err(), "daemon must have exited");
+}
