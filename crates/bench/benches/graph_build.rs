@@ -5,9 +5,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lslp::{GraphBuilder, VectorizerConfig};
 use lslp_analysis::AddrInfo;
 use lslp_ir::Opcode;
+use lslp_target::TargetSpec;
 
 fn bench_graph_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph_build");
+    let tm = TargetSpec::default();
     for kernel in lslp_kernels::suite() {
         let f = kernel.compile();
         let addr = AddrInfo::analyze(&f);
@@ -23,7 +25,7 @@ fn bench_graph_build(c: &mut Criterion) {
             let cfg = VectorizerConfig::preset(cfg_name).unwrap();
             group.bench_with_input(BenchmarkId::new(cfg_name, kernel.name), &seeds, |b, seeds| {
                 b.iter(|| {
-                    GraphBuilder::new(&f, &cfg, &addr, &positions, &use_map)
+                    GraphBuilder::new(&f, &cfg, &tm, &addr, &positions, &use_map)
                         .build(std::hint::black_box(seeds))
                 })
             });

@@ -6,8 +6,24 @@
 //! simulated-cycle measurements are deterministic). The wall-clock figure
 //! (14) always runs sequentially — timing it on loaded cores would skew
 //! the medians.
-fn main() {
+//!
+//! `--smoke` skips the figures and instead runs the correctness oracle:
+//! every kernel is compiled under `O3` and `LSLP`, both are executed in
+//! the interpreter, and the final memory checksums must agree — a
+//! vector-vs-scalar mismatch is a miscompile and exits non-zero. `--target
+//! <SPEC>` restricts the smoke run to one target (default: every named
+//! target of the registry). This is what CI's build matrix runs.
+
+use std::process::ExitCode;
+
+use lslp::CompileOptions;
+use lslp_bench::TARGET_NAMES;
+use lslp_interp::Memory;
+
+fn main() -> ExitCode {
     let mut jobs = 1usize;
+    let mut smoke = false;
+    let mut target: Option<String> = None;
     let mut argv = std::env::args().skip(1);
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -17,8 +33,21 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| panic!("--jobs requires a number"));
             }
-            other => panic!("unknown option `{other}` (only --jobs N is supported)"),
+            "--smoke" => smoke = true,
+            "--target" => {
+                target = Some(argv.next().unwrap_or_else(|| panic!("--target requires a spec")));
+            }
+            other => {
+                panic!("unknown option `{other}` (supported: --jobs N, --smoke, --target SPEC)")
+            }
         }
+    }
+    if smoke {
+        return run_smoke(target.as_deref());
+    }
+    if target.is_some() {
+        eprintln!("all_experiments: --target only applies to --smoke");
+        return ExitCode::from(2);
     }
     use lslp_bench::figures as f;
     for section in [
@@ -29,8 +58,78 @@ fn main() {
         f::fig12(),
         f::fig13_jobs(jobs),
         f::fig14(10),
+        f::target_matrix_jobs(jobs),
     ] {
         println!("{section}");
         println!("{}", "=".repeat(72));
     }
+    ExitCode::SUCCESS
+}
+
+/// FNV-1a over every buffer, the same digest `lslpc --run` prints.
+fn checksum(mem: &Memory) -> u64 {
+    let mut sum = 0u64;
+    for name in mem.buffer_names() {
+        for &b in mem.bytes(name).unwrap() {
+            sum = sum.wrapping_mul(1099511628211).wrapping_add(b as u64);
+        }
+    }
+    sum
+}
+
+/// The scalar-vs-vector oracle: for each kernel × target, the vectorized
+/// program must leave memory byte-identical to the scalar one.
+fn run_smoke(target: Option<&str>) -> ExitCode {
+    let specs: Vec<&str> = match target {
+        Some(t) => vec![t],
+        None => TARGET_NAMES.to_vec(),
+    };
+    let mut failures = 0usize;
+    for spec in &specs {
+        for k in lslp_kernels::suite() {
+            let iters = (k.default_iters / 8).max(1);
+            let mut sums = Vec::new();
+            let mut vectorized = 0usize;
+            for cfg_name in ["O3", "LSLP"] {
+                let opts = match CompileOptions::preset(cfg_name).target(spec).build() {
+                    Ok(o) => o,
+                    Err(e) => {
+                        eprintln!("all_experiments: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                let mut f = k.compile();
+                let report = lslp::vectorize_function(&mut f, opts.config(), opts.target());
+                vectorized += report.trees_vectorized;
+                let mut mem = k.setup_memory(&f, iters);
+                if let Err(e) = k.run(&f, &mut mem, iters, opts.target()) {
+                    eprintln!("FAIL {spec} {}: {cfg_name} execution: {e}", k.name);
+                    failures += 1;
+                    sums.clear();
+                    break;
+                }
+                sums.push(checksum(&mem));
+            }
+            if sums.len() == 2 {
+                if sums[0] == sums[1] {
+                    println!(
+                        "ok   {spec:>12} {:<22} checksum {:016x} ({vectorized} tree(s))",
+                        k.name, sums[0]
+                    );
+                } else {
+                    eprintln!(
+                        "FAIL {spec:>12} {:<22} scalar {:016x} != vector {:016x}",
+                        k.name, sums[0], sums[1]
+                    );
+                    failures += 1;
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("all_experiments: {failures} oracle mismatch(es)");
+        return ExitCode::FAILURE;
+    }
+    println!("smoke: all kernels agree with the scalar oracle");
+    ExitCode::SUCCESS
 }

@@ -1,32 +1,8 @@
-//! Extension study: how the target's register width changes LSLP's
-//! decisions. The paper evaluates one AVX2 machine; sweeping the cost
-//! model shows the algorithm adapting its vector factor and profitability
-//! thresholds to narrower (SSE) and wider (AVX-512-class) targets.
-
-use lslp::{vectorize_function, VectorizerConfig};
-use lslp_target::CostModel;
-
+//! Extension study: the target matrix. The paper evaluates one AVX2
+//! machine; sweeping the target registry (`sse4.2`, `neon128`,
+//! `skylake-avx2`, `avx512`) shows the VF exploration adapting its vector
+//! factor and profitability thresholds to each ISA's register width and
+//! cost table. See `docs/TARGETS.md` for the registry itself.
 fn main() {
-    let targets: Vec<(&str, CostModel)> = vec![
-        ("sse-128", CostModel::sse_like()),
-        ("avx2-256", CostModel::skylake_like()),
-        ("avx512-512", CostModel::avx512_like()),
-    ];
-    println!("Extension: target sweep (LSLP applied cost / max VF used)\n");
-    print!("{:22}", "Kernel");
-    for (name, _) in &targets {
-        print!(" {name:>18}");
-    }
-    println!();
-    for k in lslp_kernels::suite() {
-        print!("{:22}", k.name);
-        for (_, tm) in &targets {
-            let mut f = k.compile();
-            let report = vectorize_function(&mut f, &VectorizerConfig::lslp(), tm);
-            let max_vf =
-                report.attempts.iter().filter(|a| a.vectorized).map(|a| a.vf).max().unwrap_or(0);
-            print!(" {:>12} / VF{max_vf}", report.applied_cost);
-        }
-        println!();
-    }
+    print!("{}", lslp_bench::figures::target_matrix());
 }

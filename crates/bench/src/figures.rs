@@ -4,10 +4,11 @@
 //! binaries and `all_experiments` share one implementation.
 
 use lslp_kernels::{motivation_kernels, spec_kernels, suite, synthesize, Kernel, BENCHMARKS};
+use lslp_target::CostModel;
 
 use crate::{
     format_table, geomean, measure_benchmark, measure_compile_phases, measure_compile_time,
-    measure_kernel, par_map_indexed, KernelRow,
+    measure_kernel, measure_kernel_on, par_map_indexed, KernelRow, TARGET_NAMES,
 };
 
 fn fmt_speedup(x: f64) -> String {
@@ -281,6 +282,86 @@ pub fn fig14(reps: usize) -> String {
     )
 }
 
+/// Extension experiment: the target matrix. Every kernel runs under LSLP
+/// on each named target of the registry; each cell reports the speedup
+/// over the *same target's* O3 baseline and, in brackets, the vector
+/// factors the VF exploration committed. The per-target decisions are the
+/// point: the same kernel picks narrower VFs on `sse4.2` than on `avx512`.
+pub fn target_matrix() -> String {
+    target_matrix_jobs(1)
+}
+
+/// [`target_matrix`] measured on up to `jobs` threads; rows are
+/// byte-identical to the sequential run.
+pub fn target_matrix_jobs(jobs: usize) -> String {
+    let (rows, table) = target_matrix_rows(&suite(), jobs);
+    let divergent: Vec<&str> = rows
+        .iter()
+        .filter(|(_, cells)| cells.first().map(|c| &c.vfs) != cells.last().map(|c| &c.vfs))
+        .map(|(name, _)| name.as_str())
+        .collect();
+    format!(
+        "Extension: target matrix — LSLP speedup over the same target's O3\n\
+         (committed vector factors in brackets)\n\n{table}\n\
+         Kernels whose chosen VF differs between {} and {}: {}\n",
+        TARGET_NAMES[0],
+        TARGET_NAMES[TARGET_NAMES.len() - 1],
+        if divergent.is_empty() { "none".to_string() } else { divergent.join(", ") }
+    )
+}
+
+/// One matrix cell: LSLP's result on one kernel for one target.
+struct MatrixCell {
+    speedup: f64,
+    vfs: Vec<usize>,
+}
+
+/// Measure the matrix and render its table. Returns the raw per-kernel
+/// cells (in [`TARGET_NAMES`] order) alongside the rendered text so tests
+/// can assert on the decisions rather than re-parse the table.
+fn target_matrix_rows(kernels: &[Kernel], jobs: usize) -> (Vec<(String, Vec<MatrixCell>)>, String) {
+    let targets: Vec<CostModel> =
+        TARGET_NAMES.iter().map(|n| CostModel::parse(n).expect("registry names parse")).collect();
+    let cells = par_map_indexed(kernels.len() * targets.len(), jobs, |i| {
+        let k = &kernels[i / targets.len()];
+        let tm = &targets[i % targets.len()];
+        let r = measure_kernel_on(k, &["O3", "LSLP"], k.default_iters / 8, tm);
+        MatrixCell { speedup: r.speedup[1], vfs: r.vfs[1].clone() }
+    });
+    let mut rows: Vec<(String, Vec<MatrixCell>)> = Vec::new();
+    for (i, chunk) in cells.chunks(targets.len()).enumerate() {
+        rows.push((
+            kernels[i].name.to_string(),
+            chunk.iter().map(|c| MatrixCell { speedup: c.speedup, vfs: c.vfs.clone() }).collect(),
+        ));
+    }
+    let mut headers: Vec<String> = vec!["Kernel".into()];
+    headers.extend(TARGET_NAMES.iter().map(|s| s.to_string()));
+    let fmt_cell = |c: &MatrixCell| {
+        let vfs = if c.vfs.is_empty() {
+            "-".to_string()
+        } else {
+            c.vfs.iter().map(usize::to_string).collect::<Vec<_>>().join("/")
+        };
+        format!("{} [{vfs}]", fmt_speedup(c.speedup))
+    };
+    let mut table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, cells)| {
+            let mut row = vec![name.clone()];
+            row.extend(cells.iter().map(fmt_cell));
+            row
+        })
+        .collect();
+    let mut grow = vec!["GMean".to_string()];
+    for t in 0..targets.len() {
+        let xs: Vec<f64> = rows.iter().map(|(_, cells)| cells[t].speedup).collect();
+        grow.push(fmt_speedup(geomean(&xs)));
+    }
+    table.push(grow);
+    (rows, format_table(&headers, &table))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,5 +393,40 @@ mod tests {
         let t = fig13();
         let line = t.lines().find(|l| l.starts_with("motivation_loads")).unwrap();
         assert!(line.trim_end().ends_with("1.000"), "LSLP column must be 1.0: {line}");
+    }
+
+    #[test]
+    fn target_matrix_shows_divergent_vf_choices() {
+        // The acceptance criterion of the multi-target extension: at least
+        // one kernel whose committed VFs differ between the narrowest
+        // (sse4.2) and widest (avx512) targets.
+        let (rows, _) = target_matrix_rows(&suite(), 1);
+        let divergent =
+            rows.iter().any(|(_, cells)| cells[0].vfs != cells[TARGET_NAMES.len() - 1].vfs);
+        assert!(divergent, "no kernel adapts its VF between sse4.2 and avx512");
+        // Every target must at least break even against its own O3.
+        for (name, cells) in &rows {
+            for (t, c) in cells.iter().enumerate() {
+                assert!(c.speedup >= 1.0, "{name} regresses on {}", TARGET_NAMES[t]);
+            }
+        }
+    }
+
+    #[test]
+    fn target_matrix_is_byte_identical_under_jobs() {
+        let kernels = motivation_kernels();
+        assert_eq!(target_matrix_rows(&kernels, 1).1, target_matrix_rows(&kernels, 4).1);
+    }
+
+    #[test]
+    fn target_matrix_skylake_column_matches_the_default_harness() {
+        // measure_kernel delegates to measure_kernel_on(skylake); the
+        // matrix's skylake-avx2 column must agree with the Fig 9 numbers.
+        let k = &suite()[0];
+        let default_row = measure_kernel(k, &["O3", "LSLP"], k.default_iters / 8);
+        let (rows, _) = target_matrix_rows(std::slice::from_ref(k), 1);
+        let sky = TARGET_NAMES.iter().position(|&n| n == "skylake-avx2").unwrap();
+        assert_eq!(rows[0].1[sky].speedup, default_row.speedup[1]);
+        assert_eq!(rows[0].1[sky].vfs, default_row.vfs[1]);
     }
 }

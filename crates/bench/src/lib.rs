@@ -19,13 +19,27 @@
 
 use std::time::Instant;
 
-use lslp::{vectorize_function, VectorizerConfig};
+use lslp::{vectorize_function, CompileOptions};
 use lslp_interp::perf::body_cycles;
 use lslp_kernels::{Kernel, WholeProgram};
 use lslp_target::CostModel;
 
+/// Build the validated [`CompileOptions`] for one configuration preset on
+/// one target — every measurement constructs its options through the
+/// public builder, like `lslpc` and `lslpd` do.
+fn options_for(config: &str, tm: &CostModel) -> CompileOptions {
+    CompileOptions::preset(config)
+        .target(&tm.spec_string())
+        .build()
+        .unwrap_or_else(|e| panic!("unknown configuration `{config}`: {e}"))
+}
+
 /// The four headline configurations of §5.1, in the paper's order.
 pub const CONFIG_NAMES: [&str; 4] = ["O3", "SLP-NR", "SLP", "LSLP"];
+
+/// The named targets of the registry, narrowest first — the column order
+/// of the target-matrix extension experiment.
+pub const TARGET_NAMES: [&str; 4] = ["sse4.2", "neon128", "skylake-avx2", "avx512"];
 
 /// Per-kernel, per-configuration measurements.
 #[derive(Clone, Debug)]
@@ -42,6 +56,9 @@ pub struct KernelRow {
     /// shipped kernel suite; a non-zero count means the guard rolled a
     /// transform back instead of miscompiling).
     pub incidents: Vec<usize>,
+    /// Vector factors of the committed trees per configuration, in commit
+    /// order. Empty when a configuration vectorized nothing.
+    pub vfs: Vec<Vec<usize>>,
 }
 
 /// Measure one kernel under the given configuration names.
@@ -51,26 +68,37 @@ pub struct KernelRow {
 /// Panics on unknown configuration names or kernel execution failure —
 /// both indicate harness bugs.
 pub fn measure_kernel(k: &Kernel, configs: &[&str], iters: usize) -> KernelRow {
-    let tm = CostModel::skylake_like();
+    measure_kernel_on(k, configs, iters, &CostModel::skylake_like())
+}
+
+/// [`measure_kernel`] against an explicit target. The default-target
+/// figures delegate here with the Skylake-class model, so the paper's
+/// tables are unchanged; the target-matrix extension sweeps the registry.
+///
+/// # Panics
+///
+/// Same conditions as [`measure_kernel`].
+pub fn measure_kernel_on(k: &Kernel, configs: &[&str], iters: usize, tm: &CostModel) -> KernelRow {
     let mut static_cost = Vec::new();
     let mut cycles = Vec::new();
     let mut incidents = Vec::new();
+    let mut vfs = Vec::new();
     for &name in configs {
-        let cfg = VectorizerConfig::preset(name)
-            .unwrap_or_else(|| panic!("unknown configuration `{name}`"));
+        let opts = options_for(name, tm);
         let mut f = k.compile();
-        let report = vectorize_function(&mut f, &cfg, &tm);
+        let report = vectorize_function(&mut f, opts.config(), tm);
         let mut mem = k.setup_memory(&f, iters);
         let c = k
-            .run(&f, &mut mem, iters, &tm)
-            .unwrap_or_else(|e| panic!("{} under {name}: {e}", k.name));
+            .run(&f, &mut mem, iters, tm)
+            .unwrap_or_else(|e| panic!("{} under {name} on {}: {e}", k.name, tm.name));
         static_cost.push(report.applied_cost);
         cycles.push(c);
         incidents.push(report.incidents.len());
+        vfs.push(report.attempts.iter().filter(|a| a.vectorized).map(|a| a.vf).collect());
     }
     let base = cycles[0] as f64;
     let speedup = cycles.iter().map(|&c| base / c as f64).collect();
-    KernelRow { name: k.name.to_string(), static_cost, cycles, speedup, incidents }
+    KernelRow { name: k.name.to_string(), static_cost, cycles, speedup, incidents, vfs }
 }
 
 /// Per-benchmark whole-program measurements (Figs 11–12).
@@ -97,7 +125,7 @@ pub fn measure_benchmark(wp: &WholeProgram, configs: &[&str]) -> BenchmarkRow {
     let mut weighted_cycles = Vec::new();
     let mut incidents = Vec::new();
     for &name in configs {
-        let cfg = VectorizerConfig::preset(name).expect("known configuration");
+        let cfg = options_for(name, &tm).config().clone();
         let mut cost = 0i64;
         let mut cyc = 0f64;
         let mut inc = 0usize;
@@ -133,8 +161,8 @@ pub fn measure_benchmark(wp: &WholeProgram, configs: &[&str]) -> BenchmarkRow {
 /// Individual runs are microseconds here, so the median is reported to
 /// suppress scheduler noise.
 pub fn measure_compile_time(k: &Kernel, cfg_name: &str, reps: usize) -> f64 {
-    let cfg = VectorizerConfig::preset(cfg_name).expect("known configuration");
     let tm = CostModel::skylake_like();
+    let cfg = options_for(cfg_name, &tm).config().clone();
     // Each sample batches several pipeline runs so a sample is comfortably
     // above timer resolution.
     const BATCH: usize = 8;
@@ -180,8 +208,8 @@ pub struct CompilePhases {
 /// optimization pipeline only (no frontend) via [`lslp::run_pipeline`]'s
 /// [`lslp::PipelineReport`] phase timers.
 pub fn measure_compile_phases(k: &Kernel, cfg_name: &str, reps: usize) -> CompilePhases {
-    let cfg = VectorizerConfig::preset(cfg_name).expect("known configuration");
     let tm = CostModel::skylake_like();
+    let cfg = options_for(cfg_name, &tm).config().clone();
     const BATCH: usize = 8;
     let m = lslp_frontend::compile(k.src).expect("kernel compiles");
     let mut totals = Vec::with_capacity(reps);

@@ -23,6 +23,9 @@ pub struct Args {
     pub input: String,
     /// Configuration preset name (`O3`, `SLP-NR`, `SLP`, `LSLP`, ...).
     pub config: String,
+    /// Target machine spec (`sse4.2`, `skylake-avx2`, `avx512`, `neon128`,
+    /// optionally with `+feature` suffixes); `None` = the default target.
+    pub target: Option<String>,
     /// Output selection.
     pub emit: Emit,
     /// Run the full `-O3`-style pipeline (scalar passes + vectorizer)
@@ -65,6 +68,7 @@ impl Default for Args {
         Args {
             input: String::new(),
             config: "LSLP".into(),
+            target: None,
             emit: Emit::Ir,
             pipeline: false,
             run: false,
@@ -105,6 +109,9 @@ USAGE:
 OPTIONS:
     --config <NAME>    O3 | SLP-NR | SLP | LSLP | LSLP-LA<n> | LSLP-Multi<n>
                        (default: LSLP)
+    --target <SPEC>    sse4.2 | skylake-avx2 | avx512 | neon128, with
+                       optional +feature suffixes, e.g. sse4.2+fast-div
+                       (default: skylake-avx2; see docs/TARGETS.md)
     --emit <WHAT>      ir | graphs | report | dot   (default: ir)
     --pipeline         run the full scalar+vector pipeline (simplify, fold,
                        cse, dce around the vectorizer)
@@ -155,6 +162,7 @@ pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
         match a.as_str() {
             "-h" | "--help" => return Err(ArgError(USAGE.to_string())),
             "--config" => args.config = value_of("--config")?,
+            "--target" => args.target = Some(value_of("--target")?),
             "--emit" => {
                 args.emit = match value_of("--emit")?.as_str() {
                     "ir" => Emit::Ir,
@@ -262,6 +270,15 @@ mod tests {
     fn stdin_dash_is_an_input() {
         let a = p(&["-"]).unwrap();
         assert_eq!(a.input, "-");
+    }
+
+    #[test]
+    fn target_flag_parses() {
+        let a = p(&["k.slc", "--target", "avx512+hw-gather"]).unwrap();
+        assert_eq!(a.target.as_deref(), Some("avx512+hw-gather"));
+        let d = p(&["k.slc"]).unwrap();
+        assert_eq!(d.target, None, "default target is the library's choice");
+        assert!(p(&["k.slc", "--target"]).unwrap_err().0.contains("requires a value"));
     }
 
     #[test]

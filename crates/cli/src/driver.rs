@@ -2,10 +2,8 @@
 
 use std::fmt::Write as _;
 
-use lslp::{
-    try_run_pipeline, try_run_vectorize_only, vectorize_function, GuardMode, PipelineReport,
-    VectorizerConfig,
-};
+use lslp::api::{CompileOptions, LslpError, Session};
+use lslp::{vectorize_function, PipelineReport, VectorizerConfig};
 use lslp_analysis::AnalysisManager;
 use lslp_interp::{measure_cycles, run_function_traced, Memory, Value};
 use lslp_ir::{Function, Module, Opcode, ScalarType, Type};
@@ -13,81 +11,30 @@ use lslp_target::CostModel;
 
 use crate::args::{Args, Emit};
 
-/// How a driver failure should be classified at the process boundary, so
-/// scripts and the compile service can tell user error from compiler bug.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum DriverErrorKind {
-    /// Bad invocation (unknown configuration/guard name): exit 2, like an
-    /// argument-parse failure.
-    Usage,
-    /// The *input* is at fault (SLC parse/type/verify error): exit 3.
-    Input,
-    /// The compiler itself failed (strict-guard abort, runtime failure
-    /// under `--run`): exit 1.
-    Internal,
-}
+/// The driver's error type is the library's: see [`lslp::api::LslpError`]
+/// for the classification and exit-code mapping.
+pub type DriverError = LslpError;
 
-/// A driver failure (message for stderr, non-zero exit). The second field
-/// selects the exit code (see [`DriverErrorKind`]); `.0` is the message.
-#[derive(Debug)]
-pub struct DriverError(pub String, pub DriverErrorKind);
+/// Re-export of [`lslp::api::ErrorClass`], kept under the historical
+/// driver name for callers that match on it.
+pub use lslp::api::ErrorClass as DriverErrorKind;
 
-impl DriverError {
-    fn usage(msg: String) -> DriverError {
-        DriverError(msg, DriverErrorKind::Usage)
+/// Build validated [`CompileOptions`] from the parsed command line.
+fn options(args: &Args) -> Result<CompileOptions, LslpError> {
+    let mut b = CompileOptions::preset(&args.config);
+    if let Some(t) = &args.target {
+        b = b.target(t);
     }
-
-    fn input(msg: String) -> DriverError {
-        DriverError(msg, DriverErrorKind::Input)
-    }
-
-    fn internal(msg: String) -> DriverError {
-        DriverError(msg, DriverErrorKind::Internal)
-    }
-
-    /// The classification for exit-code mapping.
-    pub fn kind(&self) -> DriverErrorKind {
-        self.1
-    }
-}
-
-impl std::fmt::Display for DriverError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.0)
-    }
-}
-
-impl std::error::Error for DriverError {}
-
-fn config(args: &Args) -> Result<VectorizerConfig, DriverError> {
-    let mut cfg = VectorizerConfig::preset(&args.config)
-        .ok_or_else(|| DriverError::usage(format!("unknown configuration `{}`", args.config)))?;
     if let Some(mode) = &args.guard {
-        cfg.guard = GuardMode::parse(mode)
-            .ok_or_else(|| DriverError::usage(format!("unknown guard mode `{mode}`")))?;
+        b = b.guard(mode);
     }
-    cfg.paranoid = args.paranoid;
-    Ok(cfg)
-}
-
-fn optimize(
-    m: &mut Module,
-    cfg: &VectorizerConfig,
-    pipeline: bool,
-    tm: &CostModel,
-) -> Result<Vec<PipelineReport>, DriverError> {
-    let mut rs = Vec::new();
-    for f in &mut m.functions {
-        // Both paths run under the pass manager, so per-pass timings,
-        // statistics, and analysis-cache counters are always available.
-        let r = if pipeline {
-            try_run_pipeline(f, cfg, tm)
-        } else {
-            try_run_vectorize_only(f, cfg, tm)
-        };
-        rs.push(r.map_err(|e| DriverError::internal(format!("@{}: {e}", f.name())))?);
+    if args.paranoid {
+        b = b.paranoid(true);
     }
-    Ok(rs)
+    if !args.pipeline {
+        b = b.vectorize_only();
+    }
+    Ok(b.build()?)
 }
 
 fn emit_dot(src_module: &Module, cfg: &VectorizerConfig, tm: &CostModel) -> String {
@@ -98,8 +45,8 @@ fn emit_dot(src_module: &Module, cfg: &VectorizerConfig, tm: &CostModel) -> Stri
         let positions = am.positions(f);
         let use_map = am.use_map(f);
         for chain in lslp::seeds::collect_store_chains(f, &addr) {
-            let graph =
-                lslp::GraphBuilder::new(f, cfg, &addr, &positions, &use_map).build(&chain.stores);
+            let graph = lslp::GraphBuilder::new(f, cfg, tm, &addr, &positions, &use_map)
+                .build(&chain.stores);
             let cost = lslp::graph_cost(f, &graph, tm, &use_map);
             let _ = writeln!(out, "// @{} — seed chain of {} stores", f.name(), chain.len());
             out.push_str(&graph.to_dot(f, Some(&cost.per_node)));
@@ -117,8 +64,8 @@ fn emit_graphs(src_module: &Module, cfg: &VectorizerConfig, tm: &CostModel) -> S
         let positions = am.positions(f);
         let use_map = am.use_map(f);
         for chain in lslp::seeds::collect_store_chains(f, &addr) {
-            let graph =
-                lslp::GraphBuilder::new(f, cfg, &addr, &positions, &use_map).build(&chain.stores);
+            let graph = lslp::GraphBuilder::new(f, cfg, tm, &addr, &positions, &use_map)
+                .build(&chain.stores);
             let cost = lslp::graph_cost(f, &graph, tm, &use_map);
             let _ = writeln!(out, "; seed chain of {} stores:", chain.len());
             for line in graph.dump(f).lines() {
@@ -268,7 +215,7 @@ fn run_kernels(
                 run_function_traced(f, &iter_args, &mut mem, |id, v| {
                     lines.push(format!("  {id} = {v}"));
                 })
-                .map_err(|e| DriverError::internal(format!("@{}: {e}", f.name())))?;
+                .map_err(|e| LslpError::Internal(format!("@{}: {e}", f.name())))?;
                 for l in lines {
                     let _ = writeln!(out, "{l}");
                 }
@@ -276,7 +223,7 @@ fn run_kernels(
                 continue;
             }
             cycles += measure_cycles(f, &iter_args, &mut mem, tm)
-                .map_err(|e| DriverError::internal(format!("@{}: {e}", f.name())))?
+                .map_err(|e| LslpError::Internal(format!("@{}: {e}", f.name())))?
                 .cycles;
         }
         let mut checksum = 0u64;
@@ -325,18 +272,20 @@ fn infer_elem(f: &Function, param: lslp_ir::ValueId) -> ScalarType {
 ///
 /// # Errors
 ///
-/// Returns [`DriverError`] for unknown configurations, compile errors, or
-/// runtime failures under `--run`.
-pub fn run_on_source(args: &Args, src: &str) -> Result<String, DriverError> {
-    let cfg = config(args)?;
-    let tm = CostModel::skylake_like();
-    let module = lslp_frontend::compile(src).map_err(|e| DriverError::input(e.to_string()))?;
+/// Returns [`LslpError`] for rejected options, compile errors, or runtime
+/// failures under `--run`; `.exit_code()` gives the process exit code.
+pub fn run_on_source(args: &Args, src: &str) -> Result<String, LslpError> {
+    let opts = options(args)?;
+    let mut session = Session::new(opts);
+    let cfg = session.options().config().clone();
+    let tm = session.target().clone();
+    let module = lslp_frontend::compile(src).map_err(|e| LslpError::Input(e.to_string()))?;
 
     let mut out = String::new();
     if let Some(other) = &args.compare {
         let mut cmp_args = args.clone();
         cmp_args.config = other.clone();
-        let cfg2 = config(&cmp_args)?;
+        let cfg2 = options(&cmp_args)?.config().clone();
         let _ = writeln!(out, "; cost comparison {} vs {}", args.config, other);
         for f in &module.functions {
             let mut f1 = f.clone();
@@ -368,25 +317,24 @@ pub fn run_on_source(args: &Args, src: &str) -> Result<String, DriverError> {
             Ok(out)
         }
         Emit::Ir | Emit::Report => {
-            let mut module = module;
-            let reports = optimize(&mut module, &cfg, args.pipeline, &tm)?;
+            let artifact = session.optimize(module)?;
             if args.emit == Emit::Report {
-                out.push_str(&emit_report(&module, &reports));
+                out.push_str(&emit_report(&artifact.module, &artifact.reports));
             } else {
-                out.push_str(&lslp_ir::print_module(&module));
+                out.push_str(&artifact.ir());
             }
             if args.print_pass_times || args.stats {
                 out.push('\n');
                 out.push_str(&emit_observability(
-                    &module,
-                    &reports,
+                    &artifact.module,
+                    &artifact.reports,
                     args.print_pass_times,
                     args.stats,
                 ));
             }
             if args.run {
                 out.push('\n');
-                out.push_str(&run_kernels(&module, args.iters, args.trace, &tm)?);
+                out.push_str(&run_kernels(&artifact.module, args.iters, args.trace, &tm)?);
             }
             Ok(out)
         }
@@ -533,14 +481,14 @@ mod tests {
     fn unknown_config_is_reported() {
         let a = args::parse(&["-".to_string(), "--config".into(), "GCC".into()]).unwrap();
         let err = run_on_source(&a, SRC).unwrap_err();
-        assert!(err.0.contains("unknown configuration"), "{err}");
+        assert!(err.to_string().contains("unknown configuration"), "{err}");
     }
 
     #[test]
     fn compile_errors_propagate() {
         let a = args::parse(&["-".to_string()]).unwrap();
         let err = run_on_source(&a, "kernel broken(").unwrap_err();
-        assert!(err.0.contains("slc error"), "{err}");
+        assert!(err.to_string().contains("slc error"), "{err}");
     }
 
     #[test]
@@ -548,11 +496,13 @@ mod tests {
         // Malformed input is the user's fault: exit 3 territory.
         let a = args::parse(&["-".to_string()]).unwrap();
         let err = run_on_source(&a, "kernel broken(").unwrap_err();
-        assert_eq!(err.kind(), DriverErrorKind::Input);
+        assert_eq!(err.class(), DriverErrorKind::Input);
+        assert_eq!(err.exit_code(), 3);
         // An unknown preset is a bad invocation: exit 2 territory.
         let a = args::parse(&["-".to_string(), "--config".into(), "GCC".into()]).unwrap();
         let err = run_on_source(&a, SRC).unwrap_err();
-        assert_eq!(err.kind(), DriverErrorKind::Usage);
+        assert_eq!(err.class(), DriverErrorKind::Usage);
+        assert_eq!(err.exit_code(), 2);
         let a = args::parse(&["-".to_string(), "--guard".into(), "rollback".into()]).unwrap();
         assert!(run_on_source(&a, SRC).is_ok());
     }

@@ -7,8 +7,6 @@
 use std::io::Read as _;
 use std::process::ExitCode;
 
-use lslp_cli::DriverErrorKind;
-
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match lslp_cli::parse(&argv) {
@@ -51,11 +49,9 @@ fn main() -> ExitCode {
         }
         Err(e) => {
             eprintln!("lslpc: {e}");
-            match e.kind() {
-                DriverErrorKind::Usage => ExitCode::from(2),
-                DriverErrorKind::Input => ExitCode::from(3),
-                DriverErrorKind::Internal => ExitCode::FAILURE,
-            }
+            // LslpError's exit-code mapping is stable: Usage → 2,
+            // Input → 3, Internal → 1.
+            ExitCode::from(e.exit_code() as u8)
         }
     }
 }

@@ -18,6 +18,7 @@ use std::rc::Rc;
 
 use lslp_analysis::{AnalysisManager, PositionMap};
 use lslp_ir::{Constant, Function, InstAttr, Opcode, Type, ValueId};
+use lslp_target::TargetSpec;
 
 use crate::graph::{NodeId, NodeKind, Placement, SlpGraph};
 
@@ -35,6 +36,7 @@ pub struct CodegenStats {
 struct Codegen<'a> {
     f: &'a mut Function,
     graph: &'a SlpGraph,
+    tm: &'a TargetSpec,
     positions: Rc<PositionMap>,
     /// Original uses snapshot (before any new instruction was pushed).
     uses: Rc<lslp_ir::UseMap>,
@@ -102,10 +104,41 @@ impl<'a> Codegen<'a> {
                 let (_, hi) = self.member_pos(node);
                 let child = self.graph.node(node).operands[0];
                 let val = self.emit(child, hi);
-                let ptr = self.f.args_of(scalars[0])[1];
-                let v = self.f.push(Opcode::Store, Type::Void, vec![val, ptr], InstAttr::None);
-                self.stats.vector_insts += 1;
-                self.queue(hi, v);
+                let elem = self.vec_ty(node).elem().expect("store lanes have data types");
+                let max = self.tm.max_vf(elem) as usize;
+                let n_lanes = lanes as usize;
+                let v = if n_lanes > max {
+                    // The target cannot hold the bundle in one register:
+                    // legalize by splitting into register-sized chunk
+                    // stores, each fed by a shuffle extracting its lanes.
+                    let mut last = val;
+                    let mut start = 0;
+                    while start < n_lanes {
+                        let chunk = max.min(n_lanes - start);
+                        let mask: Vec<u32> = (start..start + chunk).map(|l| l as u32).collect();
+                        let chunk_ty = Type::Scalar(elem).with_lanes(chunk as u32);
+                        let part = self.f.push(
+                            Opcode::ShuffleVector,
+                            chunk_ty,
+                            vec![val, val],
+                            InstAttr::Mask(mask),
+                        );
+                        self.queue(hi, part);
+                        let ptr = self.f.args_of(scalars[start])[1];
+                        last =
+                            self.f.push(Opcode::Store, Type::Void, vec![part, ptr], InstAttr::None);
+                        self.queue(hi, last);
+                        self.stats.vector_insts += 2;
+                        start += chunk;
+                    }
+                    last
+                } else {
+                    let ptr = self.f.args_of(scalars[0])[1];
+                    let v = self.f.push(Opcode::Store, Type::Void, vec![val, ptr], InstAttr::None);
+                    self.stats.vector_insts += 1;
+                    self.queue(hi, v);
+                    v
+                };
                 self.emit_pos.insert(node, hi);
                 for &s in &scalars {
                     self.dead_stores.insert(s);
@@ -288,49 +321,59 @@ pub struct GeneratedTree {
     pub root_value: Option<ValueId>,
 }
 
-/// Replace the scalars of `graph` with vector code inside `f`.
+/// Replace the scalars of `graph` with vector code inside `f`,
+/// legalizing for target `tm` (seed stores wider than one of its
+/// registers are split into chunk stores).
 ///
 /// The graph must have been built against the *current* state of `f`
 /// (positions are captured internally). Dead scalars are left for
 /// [`crate::dce::run`].
-pub fn generate(f: &mut Function, graph: &SlpGraph) -> CodegenStats {
-    generate_tree(f, graph).stats
+pub fn generate(f: &mut Function, graph: &SlpGraph, tm: &TargetSpec) -> CodegenStats {
+    generate_tree(f, graph, tm).stats
 }
 
 /// [`generate`], pulling the position/use maps from `am`'s cache instead
 /// of recomputing them (the pass driver's hot path).
-pub fn generate_with(f: &mut Function, graph: &SlpGraph, am: &mut AnalysisManager) -> CodegenStats {
-    generate_tree_with(f, graph, am).stats
+pub fn generate_with(
+    f: &mut Function,
+    graph: &SlpGraph,
+    tm: &TargetSpec,
+    am: &mut AnalysisManager,
+) -> CodegenStats {
+    generate_tree_with(f, graph, tm, am).stats
 }
 
 /// Like [`generate`], additionally returning the root's vector value so
 /// callers (e.g. horizontal-reduction codegen) can consume it.
-pub fn generate_tree(f: &mut Function, graph: &SlpGraph) -> GeneratedTree {
+pub fn generate_tree(f: &mut Function, graph: &SlpGraph, tm: &TargetSpec) -> GeneratedTree {
     let positions = Rc::new(f.position_map());
     let uses = Rc::new(f.use_map());
-    generate_tree_cached(f, graph, positions, uses)
+    generate_tree_cached(f, graph, tm, positions, uses)
 }
 
 /// [`generate_tree`] with analyses supplied by the [`AnalysisManager`].
 pub fn generate_tree_with(
     f: &mut Function,
     graph: &SlpGraph,
+    tm: &TargetSpec,
     am: &mut AnalysisManager,
 ) -> GeneratedTree {
     let positions = am.positions(f);
     let uses = am.use_map(f);
-    generate_tree_cached(f, graph, positions, uses)
+    generate_tree_cached(f, graph, tm, positions, uses)
 }
 
 fn generate_tree_cached(
     f: &mut Function,
     graph: &SlpGraph,
+    tm: &TargetSpec,
     positions: Rc<PositionMap>,
     uses: Rc<lslp_ir::UseMap>,
 ) -> GeneratedTree {
     let mut cg = Codegen {
         f,
         graph,
+        tm,
         positions,
         uses,
         queued: HashMap::new(),
@@ -357,11 +400,20 @@ mod tests {
     use lslp_ir::{verify_function, FunctionBuilder};
 
     fn vectorize(f: &mut Function, cfg: &VectorizerConfig, seeds: &[ValueId]) -> CodegenStats {
+        vectorize_on(f, cfg, &TargetSpec::default(), seeds)
+    }
+
+    fn vectorize_on(
+        f: &mut Function,
+        cfg: &VectorizerConfig,
+        tm: &TargetSpec,
+        seeds: &[ValueId],
+    ) -> CodegenStats {
         let addr = AddrInfo::analyze(f);
         let positions = f.position_map();
         let use_map = f.use_map();
-        let graph = GraphBuilder::new(f, cfg, &addr, &positions, &use_map).build(seeds);
-        generate(f, &graph)
+        let graph = GraphBuilder::new(f, cfg, tm, &addr, &positions, &use_map).build(seeds);
+        generate(f, &graph, tm)
     }
 
     fn simple_kernel() -> (Function, Vec<ValueId>) {
@@ -543,11 +595,12 @@ mod cmp_select_tests {
 
     fn vectorize(f: &mut Function, seeds: &[ValueId]) {
         let cfg = VectorizerConfig::lslp();
+        let tm = TargetSpec::default();
         let addr = AddrInfo::analyze(f);
         let positions = f.position_map();
         let use_map = f.use_map();
-        let graph = GraphBuilder::new(f, &cfg, &addr, &positions, &use_map).build(seeds);
-        generate(f, &graph);
+        let graph = GraphBuilder::new(f, &cfg, &tm, &addr, &positions, &use_map).build(seeds);
+        generate(f, &graph, &tm);
     }
 
     /// `A[i+o] = max(B[i+o], C[i+o])` via icmp+select, 4 lanes.
@@ -604,10 +657,11 @@ mod cmp_select_tests {
             stores.push(b.store(m, ga));
         }
         let cfg = VectorizerConfig::lslp();
+        let tm = TargetSpec::default();
         let addr = AddrInfo::analyze(&f);
         let positions = f.position_map();
         let use_map = f.use_map();
-        let graph = GraphBuilder::new(&f, &cfg, &addr, &positions, &use_map).build(&stores);
+        let graph = GraphBuilder::new(&f, &cfg, &tm, &addr, &positions, &use_map).build(&stores);
         let gathers = graph.nodes().iter().filter(|n| !n.is_vectorizable()).count();
         assert!(gathers > 0, "differing predicates cannot form a group:\n{}", graph.dump(&f));
     }
@@ -635,5 +689,49 @@ mod cmp_select_tests {
         verify_function(&f).unwrap();
         let text = lslp_ir::print_function(&f);
         assert!(text.contains("<16 x i16>"), "{text}");
+    }
+
+    /// A seed store chain wider than the target's registers is legalized
+    /// by splitting into chunk stores the target can hold.
+    #[test]
+    fn over_wide_store_splits_into_register_chunks() {
+        let mut f = Function::new("wide");
+        let pa = f.add_param("A", Type::PTR);
+        let pb = f.add_param("B", Type::PTR);
+        let i = f.add_param("i", Type::I64);
+        let mut stores = Vec::new();
+        for o in 0..4i64 {
+            let mut b = FunctionBuilder::new(&mut f);
+            let off = b.func().const_i64(o);
+            let idx = b.add(i, off);
+            let gb = b.gep(pb, idx, 8);
+            let lb = b.load(Type::I64, gb);
+            let s = b.add(lb, lb);
+            let ga = b.gep(pa, idx, 8);
+            stores.push(b.store(s, ga));
+        }
+        // sse4.2 holds two i64 lanes: the 4-lane seed store must become
+        // two shuffle+store pairs of <2 x i64>.
+        let cfg = VectorizerConfig::lslp();
+        let sse = lslp_target::TargetSpec::sse42();
+        vectorize_on_target(&mut f, &cfg, &sse, &stores);
+        verify_function(&f).unwrap();
+        let text = lslp_ir::print_function(&f);
+        assert_eq!(text.matches("store <2 x i64>").count(), 2, "{text}");
+        assert_eq!(text.matches("shufflevector").count(), 2, "{text}");
+        assert!(!text.contains("store <4 x i64>"), "{text}");
+    }
+
+    fn vectorize_on_target(
+        f: &mut Function,
+        cfg: &VectorizerConfig,
+        tm: &lslp_target::TargetSpec,
+        seeds: &[ValueId],
+    ) {
+        let addr = AddrInfo::analyze(f);
+        let positions = f.position_map();
+        let use_map = f.use_map();
+        let graph = GraphBuilder::new(f, cfg, tm, &addr, &positions, &use_map).build(seeds);
+        generate(f, &graph, tm);
     }
 }

@@ -45,7 +45,12 @@ fn node_cost(f: &Function, node: &Node, tm: &CostModel) -> i64 {
             tm.vector_cost(Opcode::Load, elem, lanes as u32) - lanes * tm.scalar_cost(Opcode::Load)
         }
         NodeKind::Store => {
-            tm.vector_cost(Opcode::Store, elem, lanes as u32)
+            // An over-wide seed store is legalized by splitting: each
+            // register-sized chunk also pays the shuffle that extracts its
+            // lanes (codegen emits one shuffle per chunk store).
+            let chunks = tm.registers_for(elem, lanes as u32);
+            let split_shuffles = if chunks > 1 { chunks * tm.shuffle_cost } else { 0 };
+            tm.vector_cost(Opcode::Store, elem, lanes as u32) + split_shuffles
                 - lanes * tm.scalar_cost(Opcode::Store)
         }
         NodeKind::Gather { .. } => {
@@ -141,10 +146,11 @@ mod tests {
     use lslp_ir::{FunctionBuilder, Type};
 
     fn graph_for(f: &Function, cfg: &VectorizerConfig, seeds: &[ValueId]) -> SlpGraph {
+        let tm = CostModel::default();
         let addr = AddrInfo::analyze(f);
         let positions = f.position_map();
         let use_map = f.use_map();
-        GraphBuilder::new(f, cfg, &addr, &positions, &use_map).build(seeds)
+        GraphBuilder::new(f, cfg, &tm, &addr, &positions, &use_map).build(seeds)
     }
 
     /// `A[i+o] = B[i+o] + C[i+o]` for two lanes: store −1, add −1, two load

@@ -16,6 +16,7 @@ use std::fmt;
 
 use lslp_analysis::{bundle_hoistable, bundle_schedulable, AddrInfo};
 use lslp_ir::{Function, Opcode, UseMap, ValueId};
+use lslp_target::TargetSpec;
 
 use crate::config::VectorizerConfig;
 use crate::multinode::{form_multinode, LaneChain};
@@ -49,6 +50,11 @@ pub enum GatherReason {
     /// The node-count fuel budget ([`VectorizerConfig::max_graph_nodes`])
     /// ran out; the rest of the subtree is conservatively gathered.
     NodeBudget,
+    /// The group is wider than the selected target's registers can hold
+    /// (more lanes than [`lslp_target::TargetSpec::max_vf`] for the
+    /// element type). Seed stores are exempt — codegen legalizes those by
+    /// splitting — but interior groups are gathered.
+    ExceedsTargetWidth,
 }
 
 impl fmt::Display for GatherReason {
@@ -64,6 +70,7 @@ impl fmt::Display for GatherReason {
             GatherReason::DepthLimit => "depth limit",
             GatherReason::Throttled => "throttled",
             GatherReason::NodeBudget => "node budget exhausted",
+            GatherReason::ExceedsTargetWidth => "exceeds target register width",
         };
         f.write_str(s)
     }
@@ -249,6 +256,7 @@ impl SlpGraph {
 pub struct GraphBuilder<'a> {
     f: &'a Function,
     cfg: &'a VectorizerConfig,
+    tm: &'a TargetSpec,
     addr: &'a AddrInfo,
     positions: &'a HashMap<ValueId, usize>,
     use_map: &'a UseMap,
@@ -258,10 +266,12 @@ pub struct GraphBuilder<'a> {
 }
 
 impl<'a> GraphBuilder<'a> {
-    /// Prepare a builder over the current function state.
+    /// Prepare a builder over the current function state for `tm`, the
+    /// target whose register width bounds every group's lane count.
     pub fn new(
         f: &'a Function,
         cfg: &'a VectorizerConfig,
+        tm: &'a TargetSpec,
         addr: &'a AddrInfo,
         positions: &'a HashMap<ValueId, usize>,
         use_map: &'a UseMap,
@@ -269,6 +279,7 @@ impl<'a> GraphBuilder<'a> {
         GraphBuilder {
             f,
             cfg,
+            tm,
             addr,
             positions,
             use_map,
@@ -353,6 +364,19 @@ impl<'a> GraphBuilder<'a> {
         if first.ty.is_vector() || f.ty(first.args[0]).is_vector() {
             // Pre-existing vector code is left alone.
             return self.gather(bundle, GatherReason::UnvectorizableOpcode);
+        }
+        // Target legality re-check: seed widening caps the root at the
+        // target's max VF, but callers can hand the builder wider seeds
+        // (direct API use, `--emit graph` on a long chain), and interior
+        // groups re-derive their element type lane by lane. Anything the
+        // target's registers cannot hold is gathered here — except seed
+        // stores, which codegen legalizes by splitting into chunks.
+        if first.op != Opcode::Store {
+            if let Some(elem) = first.ty.elem() {
+                if bundle.len() as u32 > self.tm.max_vf(elem) {
+                    return self.gather(bundle, GatherReason::ExceedsTargetWidth);
+                }
+            }
         }
 
         match first.op {
@@ -460,22 +484,36 @@ mod tests {
     use lslp_ir::{FunctionBuilder, Type};
 
     fn build_for(f: &Function, cfg: &VectorizerConfig, seeds: &[ValueId]) -> SlpGraph {
+        build_for_target(f, cfg, &TargetSpec::default(), seeds)
+    }
+
+    fn build_for_target(
+        f: &Function,
+        cfg: &VectorizerConfig,
+        tm: &TargetSpec,
+        seeds: &[ValueId],
+    ) -> SlpGraph {
         let addr = AddrInfo::analyze(f);
         let positions = f.position_map();
         let use_map = f.use_map();
-        GraphBuilder::new(f, cfg, &addr, &positions, &use_map).build(seeds)
+        GraphBuilder::new(f, cfg, tm, &addr, &positions, &use_map).build(seeds)
     }
 
     /// `A[i]   = B[i]   + C[i]`
     /// `A[i+1] = B[i+1] + C[i+1]` — the textbook fully-vectorizable case.
     fn simple_add_kernel() -> (Function, Vec<ValueId>) {
+        add_kernel_lanes(2)
+    }
+
+    /// [`simple_add_kernel`] with a configurable store-chain length.
+    fn add_kernel_lanes(lanes: i64) -> (Function, Vec<ValueId>) {
         let mut f = Function::new("k");
         let pa = f.add_param("A", Type::PTR);
         let pb = f.add_param("B", Type::PTR);
         let pc = f.add_param("C", Type::PTR);
         let i = f.add_param("i", Type::I64);
         let mut stores = Vec::new();
-        for o in 0..2 {
+        for o in 0..lanes {
             let mut b = FunctionBuilder::new(&mut f);
             let off = b.func().const_i64(o);
             let idx = b.add(i, off);
@@ -666,6 +704,33 @@ mod tests {
             assert!(g.contains(inner), "chain internals must be in-tree");
         }
     }
+
+    #[test]
+    fn interior_groups_respect_target_width() {
+        // An 8-store chain of i64: sse4.2 holds two i64 lanes per
+        // register, so the seed store survives (codegen legalizes it by
+        // splitting) but every interior group is over-wide and gathers.
+        // Regression test for the max-VF re-check: widening used to be
+        // checked only at seed collection, never inside `build_graph`.
+        let (f, seeds) = add_kernel_lanes(8);
+        let sse = TargetSpec::sse42();
+        let g = build_for_target(&f, &VectorizerConfig::lslp(), &sse, &seeds);
+        assert!(matches!(g.node(g.root()).kind, NodeKind::Store));
+        let reasons: Vec<GatherReason> = g
+            .nodes()
+            .iter()
+            .filter_map(|n| match n.kind {
+                NodeKind::Gather { reason } => Some(reason),
+                _ => None,
+            })
+            .collect();
+        assert!(reasons.contains(&GatherReason::ExceedsTargetWidth), "{}", g.dump(&f));
+        // The same seed fits one avx512 register: the tree stays clean.
+        let wide = TargetSpec::avx512();
+        let g = build_for_target(&f, &VectorizerConfig::lslp(), &wide, &seeds);
+        let gathers = g.nodes().iter().filter(|n| !n.is_vectorizable()).count();
+        assert_eq!(gathers, 0, "{}", g.dump(&f));
+    }
 }
 
 impl SlpGraph {
@@ -752,7 +817,8 @@ mod dot_tests {
         let addr = lslp_analysis::AddrInfo::analyze(&f);
         let positions = f.position_map();
         let use_map = f.use_map();
-        let g = GraphBuilder::new(&f, &cfg, &addr, &positions, &use_map).build(&stores);
+        let tm = TargetSpec::default();
+        let g = GraphBuilder::new(&f, &cfg, &tm, &addr, &positions, &use_map).build(&stores);
         let um = f.use_map();
         let cost = crate::cost::graph_cost(&f, &g, &lslp_target::CostModel::default(), &um);
         let dot = g.to_dot(&f, Some(&cost.per_node));
@@ -785,7 +851,8 @@ mod dot_tests {
         let addr = lslp_analysis::AddrInfo::analyze(&f);
         let positions = f.position_map();
         let use_map = f.use_map();
-        let mut g = GraphBuilder::new(&f, &cfg, &addr, &positions, &use_map).build(&stores);
+        let tm = TargetSpec::default();
+        let mut g = GraphBuilder::new(&f, &cfg, &tm, &addr, &positions, &use_map).build(&stores);
         let before_nodes = g.to_dot(&f, None).matches("\n  n").count();
         g.demote_to_gather(1, GatherReason::Throttled);
         let dot = g.to_dot(&f, None);

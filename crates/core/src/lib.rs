@@ -52,6 +52,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod codegen;
 pub mod config;
 pub mod cost;
@@ -72,6 +73,9 @@ pub mod simplify;
 pub mod stats;
 pub mod throttle;
 
+pub use api::{
+    Artifact, CompileOptions, CompileOptionsBuilder, ErrorClass, LslpError, OptionsError, Session,
+};
 pub use codegen::CodegenStats;
 pub use config::{ReorderKind, ScoreAgg, ScoreWeights, VectorizerConfig};
 pub use cost::{graph_cost, graph_cost_excluding, graph_cost_reachable, CostReport};

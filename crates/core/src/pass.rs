@@ -234,22 +234,29 @@ pub fn try_vectorize_function_with(
                     break 'restart;
                 }
                 let remaining = chain.len() - i;
+                // VF exploration: instead of committing to the widest
+                // legal factor, cost a candidate graph at *every* legal
+                // power-of-two VF (widest first, so the report reads
+                // top-down) and commit the cheapest per-lane profitable
+                // one — ties go to the wider factor, which keeps the
+                // default target's widest-first decisions intact.
+                let mut candidates: Vec<(usize, Vec<ValueId>, i64, usize)> = Vec::new();
                 let mut vf = pow2_floor(remaining.min(max_vf));
                 while vf >= 2 {
-                    // The deadline must also bound the narrowing retries:
-                    // a wide chain that keeps failing at high vf would
-                    // otherwise overrun the budget inside this loop.
+                    // The deadline must also bound the exploration: a wide
+                    // chain costed at every factor would otherwise overrun
+                    // the budget inside this loop.
                     fuel_check(deadline, cfg, &mut fuel_spent, &mut report.incidents)?;
                     if fuel_spent {
                         break 'restart;
                     }
                     let bundle = chain.stores[i..i + vf].to_vec();
                     if tried.insert(bundle.clone()) {
-                        // Rendered lazily: on commit inside the attempt
+                        // Rendered lazily: on evaluation inside the attempt
                         // (for the report), on rollback by the guard (for
                         // the incident) — never both, never for free.
                         let desc = |f: &Function| seed_desc(f, &addr, &bundle);
-                        let attempt = guard::run_guarded(
+                        let eval = guard::run_guarded(
                             f,
                             cfg.guard,
                             cfg.paranoid,
@@ -258,7 +265,7 @@ pub fn try_vectorize_function_with(
                             &mut report.incidents,
                             |f| {
                                 let mut graph =
-                                    GraphBuilder::new(f, cfg, &addr, &positions, &use_map)
+                                    GraphBuilder::new(f, cfg, tm, &addr, &positions, &use_map)
                                         .build(&bundle);
                                 if cfg.throttle {
                                     crate::throttle::throttle(f, &mut graph, tm, &use_map);
@@ -266,23 +273,20 @@ pub fn try_vectorize_function_with(
                                 let cost = graph_cost(f, &graph, tm, &use_map);
                                 let gathers =
                                     graph.nodes().iter().filter(|n| !n.is_vectorizable()).count();
-                                let vectorize = cost.total < cfg.cost_threshold;
                                 let attempt = Attempt {
                                     seed: seed_desc(f, &addr, &bundle),
                                     vf,
                                     cost: cost.total,
                                     nodes: graph.nodes().len(),
                                     gathers,
-                                    vectorized: vectorize,
+                                    vectorized: false,
                                 };
                                 let truncated = graph.budget_exhausted();
-                                let stats =
-                                    vectorize.then(|| codegen::generate_with(f, &graph, am));
-                                let mutated = stats.is_some();
-                                ((attempt, stats, truncated), mutated)
+                                // Costing only: nothing is mutated here.
+                                ((attempt, truncated), false)
                             },
                         )?;
-                        if let Some((attempt, stats, truncated)) = attempt {
+                        if let Some((attempt, truncated)) = eval {
                             if truncated {
                                 guard::record(
                                     cfg.guard,
@@ -299,19 +303,52 @@ pub fn try_vectorize_function_with(
                                 )?;
                             }
                             let cost = attempt.cost;
-                            let applied = attempt.vectorized;
+                            let idx = report.attempts.len();
                             report.attempts.push(attempt);
-                            if applied {
-                                report.absorb(&stats.expect("stats exist when vectorized"));
-                                report.applied_cost += cost;
-                                report.trees_vectorized += 1;
-                                continue 'restart;
+                            if cost < cfg.cost_threshold {
+                                candidates.push((vf, bundle, cost, idx));
                             }
                         }
-                        // A rolled-back attempt: the seed stays in `tried`,
-                        // so the pass moves on to narrower bundles.
+                        // A rolled-back evaluation: the seed stays in
+                        // `tried`, so the pass moves on to narrower VFs.
                     }
                     vf /= 2;
+                }
+                // Cheapest per-lane cost first (cross-multiplied to stay
+                // in integers); ties prefer the wider factor.
+                candidates.sort_by(|a, b| {
+                    (a.2 * b.0 as i64).cmp(&(b.2 * a.0 as i64)).then(b.0.cmp(&a.0))
+                });
+                for (_, bundle, cost, attempt_idx) in &candidates {
+                    let desc = |f: &Function| seed_desc(f, &addr, bundle);
+                    let committed = guard::run_guarded(
+                        f,
+                        cfg.guard,
+                        cfg.paranoid,
+                        "vectorize",
+                        Some(&desc as guard::SeedDesc),
+                        &mut report.incidents,
+                        |f| {
+                            // Rebuild the winning graph on the unchanged
+                            // function state (builds are deterministic).
+                            let mut graph =
+                                GraphBuilder::new(f, cfg, tm, &addr, &positions, &use_map)
+                                    .build(bundle);
+                            if cfg.throttle {
+                                crate::throttle::throttle(f, &mut graph, tm, &use_map);
+                            }
+                            let stats = codegen::generate_with(f, &graph, tm, am);
+                            (stats, true)
+                        },
+                    )?;
+                    if let Some(stats) = committed {
+                        report.attempts[*attempt_idx].vectorized = true;
+                        report.absorb(&stats);
+                        report.applied_cost += cost;
+                        report.trees_vectorized += 1;
+                        continue 'restart;
+                    }
+                    // Rolled back: fall through to the next-best VF.
                 }
                 i += 1;
             }

@@ -153,7 +153,7 @@ pub fn try_reduction_with(
     let addr = am.addr_info(f);
     let positions = am.positions(f);
     let use_map = am.use_map(f);
-    let graph = GraphBuilder::new(f, cfg, &addr, &positions, &use_map).build(&cand.lanes);
+    let graph = GraphBuilder::new(f, cfg, tm, &addr, &positions, &use_map).build(&cand.lanes);
     let doomed: HashSet<ValueId> = cand.chain.iter().copied().collect();
     let tree_cost = graph_cost_excluding(f, &graph, tm, &use_map, &doomed);
     let replaced_chain_ops = (m - 1) as i64;
@@ -164,7 +164,7 @@ pub fn try_reduction_with(
     }
 
     // Materialize the lane tree; its root value is the vector to reduce.
-    let tree = codegen::generate_tree_with(f, &graph, am);
+    let tree = codegen::generate_tree_with(f, &graph, tm, am);
     let vec_val = tree.root_value.expect("reduction tree produces a value");
 
     // Insert the log-shuffle reduction after the vector value and after

@@ -125,10 +125,11 @@ mod tests {
 
     fn build(f: &Function, seeds: &[ValueId]) -> SlpGraph {
         let cfg = VectorizerConfig::lslp();
+        let tm = lslp_target::TargetSpec::default();
         let addr = AddrInfo::analyze(f);
         let positions = f.position_map();
         let use_map = f.use_map();
-        GraphBuilder::new(f, &cfg, &addr, &positions, &use_map).build(seeds)
+        GraphBuilder::new(f, &cfg, &tm, &addr, &positions, &use_map).build(seeds)
     }
 
     /// `A[i+o] = (x_o * y_o) ^ B[i+o]`: the xor group is worth keeping but

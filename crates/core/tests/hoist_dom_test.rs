@@ -27,12 +27,13 @@ fn hoisted_load_ptr_dominance() {
     let seeds: Vec<ValueId> = vec![s0, s1];
 
     let cfg = VectorizerConfig::lslp();
+    let tm = lslp_target::TargetSpec::default();
     let addr = AddrInfo::analyze(&f);
     let positions = f.position_map();
     let use_map = f.use_map();
-    let graph = GraphBuilder::new(&f, &cfg, &addr, &positions, &use_map).build(&seeds);
+    let graph = GraphBuilder::new(&f, &cfg, &tm, &addr, &positions, &use_map).build(&seeds);
     println!("{}", graph.dump(&f));
-    lslp::codegen::generate(&mut f, &graph);
+    lslp::codegen::generate(&mut f, &graph, &tm);
     println!("{}", lslp_ir::print_function(&f));
     verify_function(&f).expect("vectorized code must verify");
 }

@@ -5,6 +5,12 @@
 //! here are abstract throughput units. Speedups are ratios of these counts
 //! between configurations, which tracks the static-cost story of the paper
 //! while accounting for dynamic execution (how often each path runs).
+//!
+//! The simulator prices instructions with the *same* per-target cost
+//! tables the vectorizer optimizes against (register splitting for
+//! over-wide bundles, per-type factors like half-rate `f64` SIMD), so
+//! simulated speedups are per-target: pass the [`TargetSpec`](CostModel)
+//! the code was compiled for.
 
 use lslp_ir::{Function, Inst, Opcode};
 use lslp_target::CostModel;

@@ -7,7 +7,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
-use crate::protocol::{CompileRequest, Response};
+use crate::protocol::{CompileRequest, Response, PROTOCOL_VERSION};
 
 /// A connected client.
 pub struct Client {
@@ -96,6 +96,17 @@ impl Client {
     /// successful [`Response`] with `ok == false`.
     pub fn compile(&mut self, req: &CompileRequest) -> Result<Response, ClientError> {
         self.roundtrip(&req.to_line())
+    }
+
+    /// Version handshake: announce this build's
+    /// [`PROTOCOL_VERSION`](crate::protocol::PROTOCOL_VERSION). An `ERR
+    /// kind=proto` response means the server does not speak it.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn hello(&mut self) -> Result<Response, ClientError> {
+        self.roundtrip(&format!("HELLO proto={PROTOCOL_VERSION}"))
     }
 
     /// Fetch the metrics dump.

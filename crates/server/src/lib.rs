@@ -39,16 +39,13 @@ use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use lslp::{
-    try_run_pipeline_with, try_run_vectorize_only, GuardMode, PipelineReport, SyncStatistics,
-    VectorizerConfig,
-};
+use lslp::api::CompileOptions;
+use lslp::{try_run_pipeline_with, try_run_vectorize_only, PipelineReport, SyncStatistics};
 use lslp_analysis::AnalysisManager;
-use lslp_target::CostModel;
 
 use cache::{content_key, CachedResult, ResultCache};
 use metrics::LatencyReservoir;
-use protocol::{CompileRequest, Emit, ErrorKind, Request, Response};
+use protocol::{CompileRequest, Emit, ErrorKind, Request, Response, PROTOCOL_VERSION};
 use queue::{Bounded, PushError};
 
 pub use client::Client;
@@ -241,6 +238,18 @@ fn handle_line(line: &str, shared: &Shared, local_addr: SocketAddr) -> String {
         }
     };
     match request {
+        Request::Hello { proto } => {
+            // Every protocol revision so far is a superset of the previous
+            // one, so any version up to ours is spoken verbatim.
+            if proto == 0 || proto > PROTOCOL_VERSION {
+                shared.registry.add("server", "errors-proto", 1);
+                return Response::err_line(
+                    ErrorKind::Proto,
+                    &format!("unsupported protocol version {proto} (server speaks 1..={PROTOCOL_VERSION})"),
+                );
+            }
+            Response::ok_line(&[("proto", PROTOCOL_VERSION.to_string())], "lslpd")
+        }
         Request::Ping => Response::ok_line(&[], "pong"),
         Request::Stats => {
             let payload = render_stats_payload(shared);
@@ -304,10 +313,9 @@ fn render_stats_payload(shared: &Shared) -> String {
 /// (the pass manager is instantiated per pipeline run under it) and drains
 /// the queue until close.
 fn worker_loop(shared: &Shared) {
-    let tm = CostModel::skylake_like();
     let mut am = AnalysisManager::new();
     while let Some(job) = shared.queue.pop() {
-        let response = compile_request(&job.req, shared, &tm, &mut am);
+        let response = compile_request(&job.req, shared, &mut am);
         // A vanished connection is not a worker error.
         let _ = job.reply.send(response);
     }
@@ -315,12 +323,7 @@ fn worker_loop(shared: &Shared) {
 
 /// Serve one compile request: cache lookup, pipeline run on miss, cache
 /// fill, metrics.
-fn compile_request(
-    req: &CompileRequest,
-    shared: &Shared,
-    tm: &CostModel,
-    am: &mut AnalysisManager,
-) -> String {
+fn compile_request(req: &CompileRequest, shared: &Shared, am: &mut AnalysisManager) -> String {
     let start = Instant::now();
     let budget_ms = req.timeout_ms.unwrap_or(shared.cfg.default_time_budget_ms);
     let emit_name = match req.emit {
@@ -328,9 +331,13 @@ fn compile_request(
         Emit::Report => "report",
     };
     let guard_name = req.guard.as_deref().unwrap_or("-");
+    // `target` participates in the key: the same source compiled for two
+    // targets yields two distinct cache entries.
+    let target_name = req.target.as_deref().unwrap_or("-");
     let parts = [
         req.src.as_str(),
         req.config.as_str(),
+        target_name,
         if req.pipeline { "1" } else { "0" },
         emit_name,
         guard_name,
@@ -348,33 +355,29 @@ fn compile_request(
     }
     shared.registry.add("server", "cache-misses", 1);
 
-    let mut cfg = match VectorizerConfig::preset(&req.config) {
-        Some(c) => c,
-        None => {
-            shared.registry.add("server", "errors-config", 1);
-            return Response::err_line(
-                ErrorKind::Config,
-                &format!("unknown configuration `{}`", req.config),
-            );
-        }
-    };
-    if let Some(mode) = &req.guard {
-        match GuardMode::parse(mode) {
-            Some(m) => cfg.guard = m,
-            None => {
-                shared.registry.add("server", "errors-config", 1);
-                return Response::err_line(
-                    ErrorKind::Config,
-                    &format!("unknown guard mode `{mode}`"),
-                );
-            }
-        }
-    }
     // The per-request timeout rides on the guard's compile-fuel budget: the
     // vectorizer stops attempting seeds at the deadline and the function
     // ships (partially) scalar, so a pathological input cannot pin a
     // worker.
-    cfg.time_budget_ms = Some(budget_ms.max(1));
+    let mut builder = CompileOptions::preset(&req.config).time_budget_ms(budget_ms.max(1));
+    if let Some(t) = &req.target {
+        builder = builder.target(t);
+    }
+    if let Some(mode) = &req.guard {
+        builder = builder.guard(mode);
+    }
+    if !req.pipeline {
+        builder = builder.vectorize_only();
+    }
+    let opts = match builder.build() {
+        Ok(o) => o,
+        Err(e) => {
+            shared.registry.add("server", "errors-config", 1);
+            return Response::err_line(ErrorKind::Config, &e.to_string());
+        }
+    };
+    let cfg = opts.config();
+    let tm = opts.target();
 
     let mut module = match lslp_frontend::compile(&req.src) {
         Ok(m) => m,
@@ -386,10 +389,10 @@ fn compile_request(
 
     let mut reports: Vec<PipelineReport> = Vec::with_capacity(module.functions.len());
     for f in &mut module.functions {
-        let run = if req.pipeline {
-            try_run_pipeline_with(f, &cfg, tm, am)
+        let run = if opts.pipeline() {
+            try_run_pipeline_with(f, cfg, tm, am)
         } else {
-            try_run_vectorize_only(f, &cfg, tm)
+            try_run_vectorize_only(f, cfg, tm)
         };
         match run {
             Ok(r) => reports.push(r),
@@ -486,9 +489,8 @@ mod tests {
     }
 
     fn run(req: &CompileRequest, shared: &Shared) -> Response {
-        let tm = CostModel::skylake_like();
         let mut am = AnalysisManager::new();
-        Response::parse(&compile_request(req, shared, &tm, &mut am)).unwrap()
+        Response::parse(&compile_request(req, shared, &mut am)).unwrap()
     }
 
     #[test]
@@ -526,6 +528,56 @@ mod tests {
         assert_ne!(lslp.payload, o3.payload);
         assert_eq!(s.registry.get("server", "cache-hits"), 0);
         assert_eq!(s.registry.get("server", "cache-misses"), 2);
+    }
+
+    #[test]
+    fn target_participates_in_the_cache_key() {
+        // Same source, two targets: two cache entries with byte-distinct
+        // artifacts (the 4×f64 chain fits one avx2 register but needs two
+        // sse4.2-sized stores).
+        let s = shared();
+        let avx2 = run(&CompileRequest::new(SRC), &s);
+        let sse =
+            run(&CompileRequest { target: Some("sse4.2".into()), ..CompileRequest::new(SRC) }, &s);
+        assert_eq!(avx2.field("cached"), Some("miss"));
+        assert_eq!(sse.field("cached"), Some("miss"), "different target is a different key");
+        assert_ne!(avx2.field("key"), sse.field("key"));
+        assert_ne!(avx2.payload, sse.payload, "artifacts must differ per target");
+        assert!(avx2.payload.contains("<4 x f64>"), "{}", avx2.payload);
+        assert!(sse.payload.contains("<2 x f64>"), "{}", sse.payload);
+        assert_eq!(s.registry.get("server", "cache-misses"), 2);
+        // Repeats of both hit their own entries.
+        assert_eq!(run(&CompileRequest::new(SRC), &s).field("cached"), Some("hit"));
+        let sse2 =
+            run(&CompileRequest { target: Some("sse4.2".into()), ..CompileRequest::new(SRC) }, &s);
+        assert_eq!(sse2.field("cached"), Some("hit"));
+        assert_eq!(sse2.payload, sse.payload);
+        assert_eq!(s.registry.get("server", "cache-hits"), 2);
+    }
+
+    #[test]
+    fn unknown_target_is_a_config_error() {
+        let s = shared();
+        let r =
+            run(&CompileRequest { target: Some("itanium".into()), ..CompileRequest::new(SRC) }, &s);
+        assert_eq!(r.error, Some(ErrorKind::Config), "{r:?}");
+        assert!(r.payload.contains("unknown target"), "{}", r.payload);
+    }
+
+    #[test]
+    fn hello_negotiates_the_protocol_version() {
+        let s = shared();
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let ok = Response::parse(&handle_line("HELLO proto=2", &s, addr)).unwrap();
+        assert!(ok.ok, "{ok:?}");
+        assert_eq!(ok.field("proto"), Some("2"));
+        assert_eq!(ok.payload, "lslpd");
+        let v1 = Response::parse(&handle_line("HELLO proto=1", &s, addr)).unwrap();
+        assert!(v1.ok, "older versions are spoken too: {v1:?}");
+        for bad in ["HELLO proto=99", "HELLO proto=0"] {
+            let r = Response::parse(&handle_line(bad, &s, addr)).unwrap();
+            assert_eq!(r.error, Some(ErrorKind::Proto), "{bad}: {r:?}");
+        }
     }
 
     #[test]

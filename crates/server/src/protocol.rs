@@ -11,8 +11,10 @@
 //!
 //! ```text
 //! request  := "COMPILE" (SP option)* SP "src=" escaped-source
+//!           | "HELLO" SP "proto=" N
 //!           | "STATS" | "PING" | "SHUTDOWN"
 //! option   := "config=" NAME      (preset, default LSLP)
+//!           | "target=" SPEC      (target machine, default skylake-avx2)
 //!           | "pipeline=" 0|1     (full scalar+vector pipeline, default 1)
 //!           | "emit=" ir|report   (default ir)
 //!           | "guard=" off|rollback|strict
@@ -23,9 +25,24 @@
 //!
 //! `src=`/`out=`/`msg=` always come last so the escaped payload may contain
 //! spaces and `=` freely.
+//!
+//! The protocol is versioned: clients may open with `HELLO proto=N` and
+//! the server answers `OK proto=<version> out=lslpd` when it speaks
+//! version `N`, or `ERR kind=proto` when it does not. `HELLO` is optional
+//! for backward compatibility — version-1 clients that skip the handshake
+//! keep working because every version-2 addition is a new optional field.
+//! Unknown request options are rejected with `ERR kind=proto`, never
+//! silently ignored, so a client using a newer field fails loudly on an
+//! older server.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// The wire-protocol version this build speaks.
+///
+/// History: 1 = the initial `COMPILE`/`STATS`/`PING`/`SHUTDOWN` protocol;
+/// 2 = adds the `HELLO` handshake and the `target=` compile option.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Escape a payload onto a single protocol line.
 pub fn escape(s: &str) -> String {
@@ -121,6 +138,9 @@ pub enum Emit {
 pub struct CompileRequest {
     /// Configuration preset name (`O3` | `SLP-NR` | `SLP` | `LSLP` | ...).
     pub config: String,
+    /// Target machine spec (`sse4.2`, `avx512+hw-gather`, ...); `None` =
+    /// the server's default target. Participates in the result-cache key.
+    pub target: Option<String>,
     /// Run the full scalar+vector pipeline (default) or the vectorizer
     /// alone.
     pub pipeline: bool,
@@ -141,6 +161,7 @@ impl Default for CompileRequest {
     fn default() -> CompileRequest {
         CompileRequest {
             config: "LSLP".into(),
+            target: None,
             pipeline: true,
             emit: Emit::Ir,
             guard: None,
@@ -160,6 +181,9 @@ impl CompileRequest {
     pub fn to_line(&self) -> String {
         let mut line = String::from("COMPILE");
         let _ = write!(line, " config={}", self.config);
+        if let Some(t) = &self.target {
+            let _ = write!(line, " target={t}");
+        }
         let _ = write!(line, " pipeline={}", if self.pipeline { 1 } else { 0 });
         if self.emit == Emit::Report {
             line.push_str(" emit=report");
@@ -180,6 +204,12 @@ impl CompileRequest {
 pub enum Request {
     /// Compile a source payload.
     Compile(CompileRequest),
+    /// Version handshake: the client announces the protocol version it
+    /// intends to speak.
+    Hello {
+        /// The client's protocol version.
+        proto: u32,
+    },
     /// Dump the metrics registry.
     Stats,
     /// Liveness check.
@@ -204,9 +234,25 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "PING" => Ok(Request::Ping),
         "SHUTDOWN" => Ok(Request::Shutdown),
         "COMPILE" => parse_compile(rest).map(Request::Compile),
+        "HELLO" => parse_hello(rest),
         "" => Err("empty request".into()),
         other => Err(format!("unknown verb `{other}`")),
     }
+}
+
+fn parse_hello(rest: &str) -> Result<Request, String> {
+    let mut proto = None;
+    for token in rest.split(' ').filter(|t| !t.is_empty()) {
+        let (key, value) =
+            token.split_once('=').ok_or_else(|| format!("expected key=value, got `{token}`"))?;
+        match key {
+            "proto" => {
+                proto = Some(value.parse().map_err(|e| format!("bad proto value: {e}"))?);
+            }
+            other => return Err(format!("unknown option `{other}`")),
+        }
+    }
+    Ok(Request::Hello { proto: proto.ok_or("HELLO requires proto=")? })
 }
 
 fn parse_compile(rest: &str) -> Result<CompileRequest, String> {
@@ -239,6 +285,7 @@ fn parse_compile(rest: &str) -> Result<CompileRequest, String> {
                 return Ok(req);
             }
             "config" => req.config = value.to_string(),
+            "target" => req.target = Some(value.to_string()),
             "pipeline" => {
                 req.pipeline = match value {
                     "0" => false,
@@ -374,9 +421,38 @@ mod tests {
     }
 
     #[test]
+    fn hello_handshake_parses() {
+        match parse_request("HELLO proto=2").unwrap() {
+            Request::Hello { proto } => assert_eq!(proto, 2),
+            other => panic!("wrong request: {other:?}"),
+        }
+        assert!(parse_request("HELLO").is_err(), "proto= is mandatory");
+        assert!(parse_request("HELLO proto=soon").is_err());
+        assert!(parse_request("HELLO proto=2 color=blue").is_err(), "unknown fields rejected");
+    }
+
+    #[test]
+    fn target_option_roundtrips_and_defaults_off_the_wire() {
+        let req =
+            CompileRequest { target: Some("avx512+hw-gather".into()), ..CompileRequest::new("x") };
+        match parse_request(&req.to_line()).unwrap() {
+            Request::Compile(r) => assert_eq!(r.target.as_deref(), Some("avx512+hw-gather")),
+            other => panic!("wrong request: {other:?}"),
+        }
+        // A version-1 line without target= still parses (target = None).
+        match parse_request("COMPILE config=LSLP pipeline=1 src=x").unwrap() {
+            Request::Compile(r) => assert_eq!(r.target, None),
+            other => panic!("wrong request: {other:?}"),
+        }
+        let default_line = CompileRequest::new("x").to_line();
+        assert!(!default_line.contains("target="), "default target stays off the wire");
+    }
+
+    #[test]
     fn compile_request_roundtrips() {
         let req = CompileRequest {
             config: "SLP".into(),
+            target: Some("sse4.2".into()),
             pipeline: false,
             emit: Emit::Report,
             guard: Some("strict".into()),
@@ -388,6 +464,7 @@ mod tests {
         match parse_request(&line).unwrap() {
             Request::Compile(r) => {
                 assert_eq!(r.config, "SLP");
+                assert_eq!(r.target.as_deref(), Some("sse4.2"));
                 assert!(!r.pipeline);
                 assert_eq!(r.emit, Emit::Report);
                 assert_eq!(r.guard.as_deref(), Some("strict"));
@@ -414,6 +491,10 @@ mod tests {
         assert!(parse_request("COMPILE pipeline=maybe src=x").is_err());
         assert!(parse_request("COMPILE timeout-ms=soon src=x").is_err());
         assert!(parse_request("COMPILE src=bad\\escape\\q").is_err());
+        assert!(
+            parse_request("COMPILE vectorwidth=8 src=x").is_err(),
+            "unknown options are rejected, not ignored"
+        );
     }
 
     #[test]

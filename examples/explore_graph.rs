@@ -31,7 +31,7 @@ fn main() {
                 .filter(|(_, _, i)| i.op == Opcode::Store)
                 .map(|(_, id, _)| id)
                 .collect();
-            let graph = GraphBuilder::new(&f, &cfg, &addr, &positions, &use_map).build(&seeds);
+            let graph = GraphBuilder::new(&f, &cfg, &tm, &addr, &positions, &use_map).build(&seeds);
             let cost = graph_cost(&f, &graph, &tm, &use_map);
             println!("--- {cfg_name} graph ---");
             print!("{}", graph.dump(&f));

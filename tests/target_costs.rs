@@ -1,0 +1,124 @@
+//! Golden per-target cost and VF-selection tests: the same kernels run
+//! under LSLP against every named target of the registry, pinning the
+//! applied static cost and the vector factors the VF exploration commits.
+//!
+//! These are change detectors for the cost tables in `lslp-target`: a
+//! table edit that shifts a decision (a kernel vectorizing where it did
+//! not, a VF widening or narrowing) fails here with the exact before/after
+//! numbers, rather than surfacing as a mysterious figure diff.
+
+use lslp::{vectorize_function, VectorizerConfig};
+use lslp_target::TargetSpec;
+
+/// Run `kernel` under LSLP on `target`; returns `(applied cost, committed
+/// VFs in commit order)`.
+fn lslp_on(kernel: &str, target: &str) -> (i64, Vec<usize>) {
+    let k = lslp_kernels::suite().into_iter().find(|k| k.name == kernel).expect("kernel exists");
+    let mut f = k.compile();
+    let tm = TargetSpec::parse(target).expect("registry target");
+    let report = vectorize_function(&mut f, &VectorizerConfig::lslp(), &tm);
+    lslp_ir::verify_function(&f).expect("output verifies");
+    let vfs = report.attempts.iter().filter(|a| a.vectorized).map(|a| a.vf).collect();
+    (report.applied_cost, vfs)
+}
+
+/// One golden cell: target name, applied cost, committed VFs.
+type Golden = (&'static str, i64, &'static [usize]);
+
+/// Golden table: `(kernel, [(target, cost, vfs); 4])`. Narrowest target
+/// first, matching the bench matrix's column order.
+const GOLDENS: &[(&str, [Golden; 4])] = &[
+    (
+        "motivation_loads",
+        [
+            ("sse4.2", -6, &[2]),
+            ("neon128", -6, &[2]),
+            ("skylake-avx2", -6, &[2]),
+            ("avx512", -6, &[2]),
+        ],
+    ),
+    (
+        "motivation_multi",
+        [
+            ("sse4.2", -10, &[2]),
+            ("neon128", -10, &[2]),
+            ("skylake-avx2", -10, &[2]),
+            ("avx512", -10, &[2]),
+        ],
+    ),
+    (
+        // 4 × f64 reciprocal chain: one 256-bit tree on AVX targets, two
+        // 128-bit trees on SSE, nothing on NEON (half-rate f64 SIMD
+        // cancels the per-op savings).
+        "hreciprocal",
+        [
+            ("sse4.2", -5, &[2, 2]),
+            ("neon128", 0, &[]),
+            ("skylake-avx2", -7, &[4]),
+            ("avx512", -7, &[4]),
+        ],
+    ),
+    (
+        // Profitable only with 4 lanes: 128-bit targets stay scalar.
+        "calc_z3",
+        [("sse4.2", 0, &[]), ("neon128", 0, &[]), ("skylake-avx2", -1, &[4]), ("avx512", -1, &[4])],
+    ),
+    (
+        "mesh1",
+        [
+            ("sse4.2", -13, &[2]),
+            ("neon128", 0, &[]),
+            ("skylake-avx2", -13, &[2]),
+            ("avx512", -13, &[2]),
+        ],
+    ),
+];
+
+#[test]
+fn golden_costs_per_target() {
+    for &(kernel, ref cells) in GOLDENS {
+        for &(target, cost, vfs) in cells {
+            let (got_cost, got_vfs) = lslp_on(kernel, target);
+            assert_eq!(got_cost, cost, "{kernel} on {target}: applied cost");
+            assert_eq!(got_vfs, vfs, "{kernel} on {target}: committed VFs");
+        }
+    }
+}
+
+/// The multi-target acceptance criterion: VF choices genuinely diverge
+/// between the narrowest and widest x86 targets.
+#[test]
+fn vf_choice_adapts_to_register_width() {
+    let (_, narrow) = lslp_on("hreciprocal", "sse4.2");
+    let (_, wide) = lslp_on("hreciprocal", "avx512");
+    assert_eq!(narrow, vec![2, 2], "128-bit registers split the 4-lane chain");
+    assert_eq!(wide, vec![4], "512-bit registers take it whole");
+}
+
+/// A wider register file never makes the cost model *worse* on the full
+/// suite: avx512's applied cost is ≤ sse4.2's for every kernel (more
+/// negative = better).
+#[test]
+fn wider_targets_never_lose_to_narrower_ones() {
+    for k in lslp_kernels::suite() {
+        let (narrow, _) = lslp_on(k.name, "sse4.2");
+        let (wide, _) = lslp_on(k.name, "avx512");
+        assert!(wide <= narrow, "{}: avx512 {wide} vs sse4.2 {narrow}", k.name);
+    }
+}
+
+/// Feature strings mutate the golden decisions predictably.
+#[test]
+fn feature_flags_shift_the_goldens() {
+    // `hw-gather` halves the cost of mixed gathers: `vsumsqr` flips from
+    // scalar to a profitable VF2 tree on the 128-bit target.
+    let (base, base_vfs) = lslp_on("vsumsqr", "sse4.2");
+    assert_eq!((base, base_vfs.len()), (0, 0), "stock sse4.2 stays scalar");
+    let (hw, hw_vfs) = lslp_on("vsumsqr", "sse4.2+hw-gather");
+    assert_eq!((hw, hw_vfs), (-4, vec![2]), "hw-gather makes the gathers affordable");
+    // `slow-insert` doubles scalar/vector boundary crossings:
+    // `hreciprocal` loses its gather-heavy first tree and keeps only the
+    // cheap one (-5 with two trees becomes -3 with one).
+    let (slow, slow_vfs) = lslp_on("hreciprocal", "sse4.2+slow-insert");
+    assert_eq!((slow, slow_vfs), (-3, vec![2]), "slow-insert drops the marginal tree");
+}
