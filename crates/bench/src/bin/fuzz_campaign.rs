@@ -1,0 +1,78 @@
+//! Throughput harness for the `lslp-fuzz` campaign: runs a sizable
+//! campaign and reports executions per second, coverage-signature count,
+//! and any failures (which also fail the run).
+//!
+//! ```text
+//! cargo run --release -p lslp-bench --bin fuzz_campaign -- [options]
+//!   --iters N       iteration budget (default 5000)
+//!   --seed N        campaign seed (default 1)
+//!   --target SPEC   restrict to one target (default: all four)
+//!   --time-budget S wall-clock cutoff in seconds (makes the run
+//!                   non-reproducible; omit for exact replay)
+//! ```
+//!
+//! Unlike `lslpc --fuzz`, this prints wall-clock throughput, so its
+//! output is *not* byte-reproducible; the deterministic summary lines
+//! come first and match the CLI for equal seeds and budgets.
+
+use std::time::Duration;
+
+use lslp_fuzz::{run_campaign, CampaignConfig};
+use lslp_target::TargetSpec;
+
+fn main() {
+    let mut iters: u64 = 5000;
+    let mut seed: u64 = 1;
+    let mut target: Option<String> = None;
+    let mut time_budget: Option<u64> = None;
+
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("fuzz_campaign: {flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--iters" => iters = value("--iters").parse().expect("numeric --iters"),
+            "--seed" => seed = value("--seed").parse().expect("numeric --seed"),
+            "--target" => target = Some(value("--target").clone()),
+            "--time-budget" => {
+                time_budget = Some(value("--time-budget").parse().expect("numeric --time-budget"))
+            }
+            other => {
+                eprintln!("fuzz_campaign: unknown option `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut cfg = CampaignConfig::new(iters, seed);
+    if let Some(spec) = &target {
+        match TargetSpec::parse(spec) {
+            Ok(tm) => cfg.targets = vec![tm],
+            Err(e) => {
+                eprintln!("fuzz_campaign: bad --target `{spec}`: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    cfg.time_budget = time_budget.map(Duration::from_secs);
+
+    let report = run_campaign(&cfg);
+    for line in report.summary_lines() {
+        println!("{line}");
+    }
+    let secs = report.elapsed.as_secs_f64().max(1e-9);
+    // One "execution" = one program through every oracle on every target.
+    println!(
+        "fuzz_campaign: {:.1} exec/s ({} programs, {} targets, {:.2}s)",
+        report.programs_built as f64 / secs,
+        report.programs_built,
+        cfg.targets.len(),
+        report.elapsed.as_secs_f64(),
+    );
+    std::process::exit(if report.failures.is_empty() { 0 } else { 1 });
+}

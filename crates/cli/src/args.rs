@@ -61,6 +61,14 @@ pub struct Args {
     pub addr: String,
     /// Worker-thread count for `--serve` (`None` = CPU count).
     pub workers: Option<usize>,
+    /// Run a fuzzing campaign of this many iterations instead of
+    /// compiling one input (see `docs/FUZZING.md`).
+    pub fuzz: Option<u64>,
+    /// Campaign seed for `--fuzz`; equal seeds replay byte-identically.
+    pub fuzz_seed: u64,
+    /// Regression-corpus directory for `--fuzz` (seeds the corpus and
+    /// receives minimized reproducers).
+    pub fuzz_dir: String,
 }
 
 impl Default for Args {
@@ -83,6 +91,9 @@ impl Default for Args {
             serve: false,
             addr: "127.0.0.1:7979".into(),
             workers: None,
+            fuzz: None,
+            fuzz_seed: 1,
+            fuzz_dir: "fuzz/corpus/regressions".into(),
         }
     }
 }
@@ -138,6 +149,15 @@ OPTIONS:
                        docs/SERVER.md for the protocol)
     --addr <H:P>       bind address for --serve (default: 127.0.0.1:7979)
     --workers <N>      worker threads for --serve (default: CPU count)
+    --fuzz <N>         run an N-iteration fuzzing campaign (no input file;
+                       differential/metamorphic oracles on every target —
+                       or just --target if given; see docs/FUZZING.md).
+                       Exits 1 if any oracle violation is found
+    --fuzz-seed <N>    campaign seed for --fuzz; equal seeds replay
+                       byte-identically (default: 1)
+    --fuzz-dir <PATH>  regression-corpus directory for --fuzz: existing
+                       reproducers seed the corpus, new minimized failures
+                       are written back (default: fuzz/corpus/regressions)
     -h, --help         show this help
 
 EXIT CODES:
@@ -200,6 +220,19 @@ pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
                         .map_err(|e| ArgError(format!("bad --workers value: {e}")))?,
                 )
             }
+            "--fuzz" => {
+                args.fuzz = Some(
+                    value_of("--fuzz")?
+                        .parse()
+                        .map_err(|e| ArgError(format!("bad --fuzz value: {e}")))?,
+                )
+            }
+            "--fuzz-seed" => {
+                args.fuzz_seed = value_of("--fuzz-seed")?
+                    .parse()
+                    .map_err(|e| ArgError(format!("bad --fuzz-seed value: {e}")))?
+            }
+            "--fuzz-dir" => args.fuzz_dir = value_of("--fuzz-dir")?,
             "-o" => args.output = Some(value_of("-o")?),
             flag if flag.starts_with('-') && flag != "-" => {
                 return Err(ArgError(format!("unknown option `{flag}` (see --help)")))
@@ -211,10 +244,12 @@ pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
             }
         }
     }
-    if args.serve {
-        // The daemon takes no input file; a stray one is a usage error.
+    if args.serve || args.fuzz.is_some() {
+        // Neither the daemon nor a fuzzing campaign takes an input file;
+        // a stray one is a usage error.
         if let Some(extra) = input {
-            return Err(ArgError(format!("--serve takes no input file (got `{extra}`)")));
+            let mode = if args.serve { "--serve" } else { "--fuzz" };
+            return Err(ArgError(format!("{mode} takes no input file (got `{extra}`)")));
         }
     } else {
         args.input = input.ok_or_else(|| ArgError(format!("no input file\n\n{USAGE}")))?;
@@ -314,6 +349,25 @@ mod tests {
         let d = p(&["k.slc"]).unwrap();
         assert!(!d.serve);
         assert_eq!(d.workers, None);
+    }
+
+    #[test]
+    fn fuzz_flags_parse() {
+        let a = p(&["--fuzz", "2000", "--fuzz-seed", "7", "--fuzz-dir", "corpus"]).unwrap();
+        assert_eq!(a.fuzz, Some(2000));
+        assert_eq!(a.fuzz_seed, 7);
+        assert_eq!(a.fuzz_dir, "corpus");
+        assert!(a.input.is_empty(), "fuzz mode has no input file");
+        let d = p(&["k.slc"]).unwrap();
+        assert_eq!(d.fuzz, None);
+        assert_eq!(d.fuzz_seed, 1);
+        assert_eq!(d.fuzz_dir, "fuzz/corpus/regressions");
+        assert!(p(&["--fuzz", "10", "kernel.slc"]).unwrap_err().0.contains("takes no input"));
+        assert!(p(&["--fuzz", "lots"]).unwrap_err().0.contains("bad --fuzz"));
+        assert!(p(&["--fuzz", "10", "--fuzz-seed", "x"])
+            .unwrap_err()
+            .0
+            .contains("bad --fuzz-seed"));
     }
 
     #[test]

@@ -1,0 +1,37 @@
+//! `lslpc --fuzz`: run an in-process fuzzing campaign over the compile
+//! stack (see `docs/FUZZING.md` and the `lslp-fuzz` crate).
+
+use std::path::PathBuf;
+
+use lslp::VectorizerConfig;
+use lslp_fuzz::{run_campaign, CampaignConfig};
+use lslp_target::TargetSpec;
+
+use crate::args::{ArgError, Args};
+
+/// Run the campaign described by `args`.
+///
+/// Returns the deterministic summary text (equal seeds produce
+/// byte-identical output) and the number of recorded failures — the
+/// caller maps a non-zero count to exit code 1.
+///
+/// # Errors
+///
+/// Returns [`ArgError`] when `--config` or `--target` does not name a
+/// valid preset/target.
+pub fn run_fuzz(args: &Args) -> Result<(String, usize), ArgError> {
+    let mut cfg = CampaignConfig::new(args.fuzz.unwrap_or(0), args.fuzz_seed);
+    cfg.base = VectorizerConfig::preset(&args.config)
+        .ok_or_else(|| ArgError(format!("unknown --config preset `{}`", args.config)))?;
+    if let Some(spec) = &args.target {
+        // CI shards the campaign one target per job; default is all four.
+        let tm =
+            TargetSpec::parse(spec).map_err(|e| ArgError(format!("bad --target `{spec}`: {e}")))?;
+        cfg.targets = vec![tm];
+    }
+    cfg.corpus_dir = Some(PathBuf::from(&args.fuzz_dir));
+    let report = run_campaign(&cfg);
+    let mut out = report.summary_lines().join("\n");
+    out.push('\n');
+    Ok((out, report.failures.len()))
+}

@@ -15,6 +15,8 @@
 
 pub mod args;
 pub mod driver;
+pub mod fuzz;
 
 pub use args::{parse, Args, Emit};
 pub use driver::{run_on_source, DriverError, DriverErrorKind};
+pub use fuzz::run_fuzz;

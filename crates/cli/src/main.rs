@@ -19,6 +19,9 @@ fn main() -> ExitCode {
     if args.serve {
         return serve(&args);
     }
+    if args.fuzz.is_some() {
+        return fuzz(&args);
+    }
     let src = if args.input == "-" {
         let mut s = String::new();
         if let Err(e) = std::io::stdin().read_to_string(&mut s) {
@@ -52,6 +55,32 @@ fn main() -> ExitCode {
             // LslpError's exit-code mapping is stable: Usage → 2,
             // Input → 3, Internal → 1.
             ExitCode::from(e.exit_code() as u8)
+        }
+    }
+}
+
+/// `lslpc --fuzz N`: run a fuzzing campaign; any oracle violation is a
+/// compiler bug, reported via exit code 1.
+fn fuzz(args: &lslp_cli::Args) -> ExitCode {
+    match lslp_cli::run_fuzz(args) {
+        Ok((summary, failures)) => {
+            if let Some(path) = &args.output {
+                if let Err(e) = std::fs::write(path, &summary) {
+                    eprintln!("lslpc: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            } else {
+                print!("{summary}");
+            }
+            if failures == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::from(2)
         }
     }
 }

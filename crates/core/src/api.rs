@@ -35,7 +35,7 @@ use lslp_analysis::AnalysisManager;
 use lslp_ir::Module;
 use lslp_target::{TargetParseError, TargetSpec};
 
-use crate::config::{ReorderKind, ScoreWeights, VectorizerConfig};
+use crate::config::{ReorderKind, Sabotage, ScoreWeights, VectorizerConfig};
 use crate::guard::GuardMode;
 use crate::pipeline::{try_run_pipeline_with, try_run_vectorize_only, PipelineReport};
 
@@ -256,6 +256,7 @@ pub struct CompileOptionsBuilder {
     throttle: Option<bool>,
     reductions: Option<bool>,
     pipeline: bool,
+    sabotage: Sabotage,
 }
 
 impl CompileOptionsBuilder {
@@ -274,6 +275,7 @@ impl CompileOptionsBuilder {
             throttle: None,
             reductions: None,
             pipeline: true,
+            sabotage: Sabotage::None,
         }
     }
 
@@ -351,6 +353,15 @@ impl CompileOptionsBuilder {
     /// scalar passes (the `--pipeline`-off path of `lslpc`).
     pub fn vectorize_only(mut self) -> Self {
         self.pipeline = false;
+        self
+    }
+
+    /// Test-only fault injection (see [`crate::config::Sabotage`]):
+    /// deliberately miscompile so the oracle test suite can prove it
+    /// would catch the bug. Not part of the supported API surface.
+    #[doc(hidden)]
+    pub fn sabotage(mut self, s: Sabotage) -> Self {
+        self.sabotage = s;
         self
     }
 
@@ -463,6 +474,7 @@ impl CompileOptionsBuilder {
         if let Some(r) = self.reductions {
             cfg.enable_reductions = r;
         }
+        cfg.sabotage = self.sabotage;
 
         Ok(CompileOptions { preset, config: cfg, target, pipeline: self.pipeline })
     }

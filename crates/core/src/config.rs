@@ -63,6 +63,31 @@ impl Default for ScoreWeights {
     }
 }
 
+/// Test-only fault injection: deliberately miscompile in a controlled way
+/// so the self-checking test suite (the `lslp-fuzz` oracles) can prove it
+/// would catch a real bug of the same class. Always
+/// [`Sabotage::None`] outside the negative tests; hidden from docs
+/// because it is not part of the supported configuration surface.
+#[doc(hidden)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Sabotage {
+    /// No fault injected (the only supported production value).
+    #[default]
+    None,
+    /// Permute the lanes of a committed vector store through a planted
+    /// lane-swapping shuffle mask: silent wrong-code, caught by
+    /// differential and metamorphic execution.
+    SwapShuffleMask,
+    /// Reverse the VF-exploration candidate order so the *worst* priced
+    /// profitable factor commits: caught by the cross-VF consistency
+    /// oracle (the code stays semantically correct).
+    CommitWorstVf,
+    /// Skip the final dead-scalar sweep: caught by the
+    /// pipeline-idempotence oracle (a clean recompile removes code the
+    /// sabotaged compile left behind).
+    SkipFinalDce,
+}
+
 /// Full configuration of the (L)SLP pass.
 ///
 /// Construct via the named presets ([`VectorizerConfig::slp`],
@@ -129,6 +154,10 @@ pub struct VectorizerConfig {
     /// out the pass stops attempting further seeds (work already committed
     /// is kept) and records a `FuelExhausted` incident.
     pub time_budget_ms: Option<u64>,
+    /// Test-only fault injection (see [`Sabotage`]); [`Sabotage::None`]
+    /// everywhere outside the oracle negative tests.
+    #[doc(hidden)]
+    pub sabotage: Sabotage,
 }
 
 impl VectorizerConfig {
@@ -151,6 +180,7 @@ impl VectorizerConfig {
             paranoid: false,
             max_graph_nodes: 4096,
             time_budget_ms: None,
+            sabotage: Sabotage::None,
         }
     }
 

@@ -77,7 +77,7 @@ pub use api::{
     Artifact, CompileOptions, CompileOptionsBuilder, ErrorClass, LslpError, OptionsError, Session,
 };
 pub use codegen::CodegenStats;
-pub use config::{ReorderKind, ScoreAgg, ScoreWeights, VectorizerConfig};
+pub use config::{ReorderKind, Sabotage, ScoreAgg, ScoreWeights, VectorizerConfig};
 pub use cost::{graph_cost, graph_cost_excluding, graph_cost_reachable, CostReport};
 pub use graph::{GatherReason, GraphBuilder, Node, NodeId, NodeKind, Placement, SlpGraph};
 pub use guard::{GuardError, GuardMode, Incident, IncidentKind};

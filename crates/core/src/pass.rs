@@ -4,18 +4,18 @@
 //! evaluates the cost, generates vector code when profitable, removes the
 //! group and repeats until no seed vectorizes, then sweeps dead scalars.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
 use std::time::{Duration, Instant};
 
 use lslp_analysis::{AddrInfo, AnalysisManager};
-use lslp_ir::{Function, Module, ValueId};
+use lslp_ir::{Function, InstAttr, Module, Opcode, Type, ValueId};
 use lslp_target::CostModel;
 
 use crate::codegen::{self, CodegenStats};
-use crate::config::VectorizerConfig;
+use crate::config::{Sabotage, VectorizerConfig};
 use crate::cost::graph_cost;
 use crate::dce;
-use crate::graph::GraphBuilder;
+use crate::graph::{GraphBuilder, NodeKind};
 use crate::guard::{self, GuardError, GuardMode, Incident, IncidentKind};
 use crate::seeds::collect_store_chains;
 
@@ -50,6 +50,11 @@ pub struct VectorizeReport {
     pub stats: CodegenStats,
     /// Instructions removed by the final DCE sweep.
     pub dce_removed: usize,
+    /// Histogram of gather reasons over every costed attempt (keyed by the
+    /// [`crate::GatherReason`] display name) — a cheap behavioral
+    /// fingerprint of *why* bundles failed to vectorize, used by the
+    /// coverage-guided fuzzer as a feedback signal.
+    pub gather_reasons: BTreeMap<String, u64>,
     /// Reduction-seed attempts (only when
     /// [`VectorizerConfig::enable_reductions`] is set).
     pub reductions: Vec<crate::reduce::ReductionAttempt>,
@@ -273,6 +278,14 @@ pub fn try_vectorize_function_with(
                                 let cost = graph_cost(f, &graph, tm, &use_map);
                                 let gathers =
                                     graph.nodes().iter().filter(|n| !n.is_vectorizable()).count();
+                                let reasons: Vec<String> = graph
+                                    .nodes()
+                                    .iter()
+                                    .filter_map(|n| match &n.kind {
+                                        NodeKind::Gather { reason } => Some(reason.to_string()),
+                                        _ => None,
+                                    })
+                                    .collect();
                                 let attempt = Attempt {
                                     seed: seed_desc(f, &addr, &bundle),
                                     vf,
@@ -283,10 +296,13 @@ pub fn try_vectorize_function_with(
                                 };
                                 let truncated = graph.budget_exhausted();
                                 // Costing only: nothing is mutated here.
-                                ((attempt, truncated), false)
+                                ((attempt, truncated, reasons), false)
                             },
                         )?;
-                        if let Some((attempt, truncated)) = eval {
+                        if let Some((attempt, truncated, reasons)) = eval {
+                            for r in reasons {
+                                *report.gather_reasons.entry(r).or_insert(0) += 1;
+                            }
                             if truncated {
                                 guard::record(
                                     cfg.guard,
@@ -319,6 +335,11 @@ pub fn try_vectorize_function_with(
                 candidates.sort_by(|a, b| {
                     (a.2 * b.0 as i64).cmp(&(b.2 * a.0 as i64)).then(b.0.cmp(&a.0))
                 });
+                if cfg.sabotage == Sabotage::CommitWorstVf {
+                    // Fault injection: prefer the most expensive per-lane
+                    // candidate, which the cross-VF oracle must flag.
+                    candidates.reverse();
+                }
                 for (_, bundle, cost, attempt_idx) in &candidates {
                     let desc = |f: &Function| seed_desc(f, &addr, bundle);
                     let committed = guard::run_guarded(
@@ -338,6 +359,9 @@ pub fn try_vectorize_function_with(
                                 crate::throttle::throttle(f, &mut graph, tm, &use_map);
                             }
                             let stats = codegen::generate_with(f, &graph, tm, am);
+                            if cfg.sabotage == Sabotage::SwapShuffleMask {
+                                sabotage_swap_mask(f);
+                            }
                             (stats, true)
                         },
                     )?;
@@ -377,12 +401,18 @@ pub fn try_vectorize_function_with(
             }
         }
     }
-    report.dce_removed =
+    report.dce_removed = if cfg.sabotage == Sabotage::SkipFinalDce {
+        // Fault injection: leave the dead scalar remainder in place, which
+        // the pipeline-idempotence oracle must flag (a clean recompile
+        // removes what this compile left behind).
+        0
+    } else {
         guard::run_guarded(f, cfg.guard, cfg.paranoid, "dce", None, &mut report.incidents, |f| {
             let n = dce::run(f);
             (n, n > 0)
         })?
-        .unwrap_or(0);
+        .unwrap_or(0)
+    };
     // Final checkpoint: every committed transaction was verified above, so
     // this should never fire — but if it does, fall back to the scalar
     // original rather than emit a broken function.
@@ -418,6 +448,42 @@ pub fn try_vectorize_function_with(
     }
     report.elapsed = start.elapsed();
     Ok(report)
+}
+
+/// [`Sabotage::SwapShuffleMask`]: plant a lane-swapping shuffle
+/// (`mask = [1, 0, 2, 3, ...]`) in front of the first vector store not
+/// already sabotaged. The result still verifies (the shuffle is
+/// type-correct) but silently permutes the first two stored lanes —
+/// exactly the class of wrong-code bug the execution oracles exist to
+/// catch. Test-only.
+fn sabotage_swap_mask(f: &mut Function) {
+    let already_swapped = |f: &Function, val: ValueId| {
+        f.inst(val).is_some_and(|i| {
+            i.op == Opcode::ShuffleVector
+                && matches!(&i.attr, InstAttr::Mask(m) if m.len() >= 2 && m[0] == 1 && m[1] == 0)
+        })
+    };
+    let target = f.iter_body().find_map(|(pos, v, inst)| {
+        if inst.op != Opcode::Store {
+            return None;
+        }
+        let val = inst.args[0];
+        match f.ty(val) {
+            Type::Vector(elem, lanes) if lanes >= 2 && !already_swapped(f, val) => {
+                Some((pos, v, val, elem, lanes))
+            }
+            _ => None,
+        }
+    });
+    if let Some((pos, store, val, elem, lanes)) = target {
+        let mut mask: Vec<u32> = (0..lanes).collect();
+        mask.swap(0, 1);
+        let ty = Type::Vector(elem, lanes);
+        let shuf = f.insert(pos, Opcode::ShuffleVector, ty, vec![val, val], InstAttr::Mask(mask));
+        if let Some(inst) = f.inst_mut(store) {
+            inst.args[0] = shuf;
+        }
+    }
 }
 
 /// Run the pass over every function of a module; returns per-function

@@ -1,0 +1,335 @@
+//! Materialize a [`Plan`] as an executable program.
+//!
+//! A plan builds into one straight-line function over the parameter list
+//! `(OUT, IN0..IN{arrays-1}, i)`. Two construction legs exist and are
+//! selected by [`Plan::via_slc`]: direct [`lslp_ir`] construction through
+//! [`FunctionBuilder`], or rendering SLC source and running it through
+//! `lslp_frontend::compile` (so the frontend is inside the fuzzed
+//! perimeter too). Either way the oracles only ever see the one resulting
+//! [`Function`].
+
+use lslp_ir::{Function, FunctionBuilder, Opcode, ScalarType, Type, ValueId};
+
+use crate::plan::{Plan, Shape};
+
+/// A built fuzz program plus the metadata the execution harness needs.
+pub struct Program {
+    /// The plan this program was built from.
+    pub plan: Plan,
+    /// The function under test.
+    pub function: Function,
+    /// The rendered SLC source (`via_slc` plans only, kept for reproducer
+    /// dumps).
+    pub slc: Option<String>,
+    /// Minimum element count every buffer must have for all accesses
+    /// (at `i = 0`) to stay in bounds.
+    pub min_len: usize,
+}
+
+impl Program {
+    /// Element type of every array in the program.
+    pub fn elem(&self) -> ScalarType {
+        if self.plan.int {
+            ScalarType::I64
+        } else {
+            ScalarType::F64
+        }
+    }
+}
+
+/// Build the program a plan describes.
+///
+/// # Errors
+///
+/// Returns a message when the SLC leg fails to compile — generator-rendered
+/// source must always be accepted, so any error here is itself a bug worth
+/// minimizing.
+pub fn build(plan: &Plan) -> Result<Program, String> {
+    let min_len = min_len(plan);
+    if plan.via_slc {
+        let src = render_slc(plan);
+        let m = lslp_frontend::compile(&src)
+            .map_err(|e| format!("generated SLC rejected: {e}\n--- source ---\n{src}"))?;
+        let function = m
+            .functions
+            .into_iter()
+            .next()
+            .ok_or_else(|| "frontend produced no function".to_string())?;
+        Ok(Program { plan: plan.clone(), function, slc: Some(src), min_len })
+    } else {
+        let function = build_ir(plan);
+        Ok(Program { plan: plan.clone(), function, slc: None, min_len })
+    }
+}
+
+/// Smallest buffer length (elements) covering every access at `i = 0`.
+fn min_len(plan: &Plan) -> usize {
+    let mut out_extent = 0;
+    let mut in_extent = 0;
+    for g in &plan.groups {
+        in_extent = in_extent.max(max_load_base(&g.shape) + g.lanes);
+        out_extent += g.lanes;
+    }
+    if let Some(r) = &plan.reduction {
+        in_extent = in_extent.max(r.width);
+        out_extent += 1;
+    }
+    out_extent.max(in_extent).max(1)
+}
+
+fn max_load_base(shape: &Shape) -> usize {
+    match shape {
+        Shape::Load { base, .. } => *base,
+        Shape::Const(_) => 0,
+        Shape::Bin { lhs, rhs, .. } | Shape::Mixed { lhs, rhs, .. } => {
+            max_load_base(lhs).max(max_load_base(rhs))
+        }
+        Shape::Chain { operands, .. } => operands.iter().map(max_load_base).max().unwrap_or(0),
+    }
+}
+
+/// Lane emission order: `reversed` groups store high lanes first, so seed
+/// collection must find the chain by address, not program order.
+fn lane_order(lanes: usize, reversed: bool) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..lanes).collect();
+    if reversed {
+        order.reverse();
+    }
+    order
+}
+
+/// Whether lane `l` swaps the operands of a commutative [`Shape::Bin`].
+fn swaps(swap_mask: u8, l: usize) -> bool {
+    (swap_mask >> (l % 8)) & 1 == 1
+}
+
+/// Chain operand visit order for lane `l`: rotate left by `rot * l`.
+fn chain_order(n: usize, rot: usize, l: usize) -> Vec<usize> {
+    let start = (rot * l) % n;
+    (0..n).map(|k| (start + k) % n).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Direct IR leg.
+// ---------------------------------------------------------------------------
+
+struct IrCtx {
+    ins: Vec<ValueId>,
+    i: ValueId,
+    int: bool,
+}
+
+fn build_ir(plan: &Plan) -> Function {
+    let elem_ty = if plan.int { Type::I64 } else { Type::F64 };
+    let mut f = Function::new("fuzz");
+    let out = f.add_param("OUT", Type::PTR);
+    let ins: Vec<ValueId> =
+        (0..plan.arrays).map(|a| f.add_param(format!("IN{a}"), Type::PTR)).collect();
+    let i = f.add_param("i", Type::I64);
+    let cx = IrCtx { ins, i, int: plan.int };
+
+    let mut out_base = 0;
+    for g in &plan.groups {
+        for l in lane_order(g.lanes, g.reversed) {
+            let v = emit_shape(&mut f, &cx, &g.shape, l, elem_ty);
+            emit_store(&mut f, &cx, out, out_base + l, v);
+        }
+        out_base += g.lanes;
+    }
+    if let Some(r) = &plan.reduction {
+        let mut acc = emit_load(&mut f, &cx, cx.ins[r.arr], 0, elem_ty);
+        for k in 1..r.width {
+            let e = emit_load(&mut f, &cx, cx.ins[r.arr], k, elem_ty);
+            let mut b = FunctionBuilder::new(&mut f);
+            acc = b.binop(r.op, acc, e);
+        }
+        emit_store(&mut f, &cx, out, out_base, acc);
+    }
+    f
+}
+
+fn emit_index(f: &mut Function, cx: &IrCtx, ptr: ValueId, off: usize) -> ValueId {
+    let c = f.const_i64(off as i64);
+    let mut b = FunctionBuilder::new(f);
+    let idx = b.add(cx.i, c);
+    b.gep(ptr, idx, 8)
+}
+
+fn emit_load(f: &mut Function, cx: &IrCtx, ptr: ValueId, off: usize, ty: Type) -> ValueId {
+    let g = emit_index(f, cx, ptr, off);
+    FunctionBuilder::new(f).load(ty, g)
+}
+
+fn emit_store(f: &mut Function, cx: &IrCtx, out: ValueId, off: usize, v: ValueId) {
+    let g = emit_index(f, cx, out, off);
+    FunctionBuilder::new(f).store(v, g);
+}
+
+fn emit_const(f: &mut Function, cx: &IrCtx, c: i64) -> ValueId {
+    if cx.int {
+        f.const_i64(c)
+    } else {
+        f.const_float(ScalarType::F64, c as f64)
+    }
+}
+
+fn emit_shape(f: &mut Function, cx: &IrCtx, shape: &Shape, l: usize, ty: Type) -> ValueId {
+    match shape {
+        Shape::Load { arr, base } => emit_load(f, cx, cx.ins[*arr], base + l, ty),
+        Shape::Const(c) => emit_const(f, cx, *c),
+        Shape::Bin { op, swap_mask, lhs, rhs } => {
+            let a = emit_shape(f, cx, lhs, l, ty);
+            let b = emit_shape(f, cx, rhs, l, ty);
+            let (a, b) = if swaps(*swap_mask, l) { (b, a) } else { (a, b) };
+            FunctionBuilder::new(f).binop(*op, a, b)
+        }
+        Shape::Chain { op, rot, operands } => {
+            let vals: Vec<ValueId> = operands.iter().map(|o| emit_shape(f, cx, o, l, ty)).collect();
+            let order = chain_order(vals.len(), *rot, l);
+            let mut acc = vals[order[0]];
+            for &k in &order[1..] {
+                acc = FunctionBuilder::new(f).binop(*op, acc, vals[k]);
+            }
+            acc
+        }
+        Shape::Mixed { op_even, op_odd, lhs, rhs } => {
+            let a = emit_shape(f, cx, lhs, l, ty);
+            let b = emit_shape(f, cx, rhs, l, ty);
+            let op = if l.is_multiple_of(2) { *op_even } else { *op_odd };
+            FunctionBuilder::new(f).binop(op, a, b)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SLC leg.
+// ---------------------------------------------------------------------------
+
+fn op_str(op: Opcode) -> &'static str {
+    match op {
+        Opcode::Add | Opcode::FAdd => "+",
+        Opcode::Sub | Opcode::FSub => "-",
+        Opcode::Mul | Opcode::FMul => "*",
+        Opcode::And => "&",
+        Opcode::Or => "|",
+        Opcode::Xor => "^",
+        Opcode::Shl => "<<",
+        other => panic!("no SLC rendering for {other}"),
+    }
+}
+
+fn render_slc(plan: &Plan) -> String {
+    let ty = if plan.int { "i64" } else { "f64" };
+    let mut params = format!("{ty}* OUT");
+    for a in 0..plan.arrays {
+        params.push_str(&format!(", {ty}* IN{a}"));
+    }
+    params.push_str(", i64 i");
+
+    let mut body = String::new();
+    let mut out_base = 0;
+    for g in &plan.groups {
+        for l in lane_order(g.lanes, g.reversed) {
+            let expr = render_shape(&g.shape, l, plan.int);
+            body.push_str(&format!("    OUT[i + {}] = {expr};\n", out_base + l));
+        }
+        out_base += g.lanes;
+    }
+    if let Some(r) = &plan.reduction {
+        let mut expr = format!("IN{}[i + 0]", r.arr);
+        for k in 1..r.width {
+            expr = format!("({expr} {} IN{}[i + {k}])", op_str(r.op), r.arr);
+        }
+        body.push_str(&format!("    OUT[i + {out_base}] = {expr};\n"));
+    }
+    format!("kernel fuzz({params}) {{\n{body}}}\n")
+}
+
+fn render_const(c: i64, int: bool) -> String {
+    if int {
+        format!("{c}")
+    } else {
+        format!("{c}.0")
+    }
+}
+
+fn render_shape(shape: &Shape, l: usize, int: bool) -> String {
+    match shape {
+        Shape::Load { arr, base } => format!("IN{arr}[i + {}]", base + l),
+        Shape::Const(c) => render_const(*c, int),
+        Shape::Bin { op, swap_mask, lhs, rhs } => {
+            let a = render_shape(lhs, l, int);
+            let b = render_shape(rhs, l, int);
+            let (a, b) = if swaps(*swap_mask, l) { (b, a) } else { (a, b) };
+            format!("({a} {} {b})", op_str(*op))
+        }
+        Shape::Chain { op, rot, operands } => {
+            let vals: Vec<String> = operands.iter().map(|o| render_shape(o, l, int)).collect();
+            let order = chain_order(vals.len(), *rot, l);
+            let mut acc = vals[order[0]].clone();
+            for &k in &order[1..] {
+                acc = format!("({acc} {} {})", op_str(*op), vals[k]);
+            }
+            acc
+        }
+        Shape::Mixed { op_even, op_odd, lhs, rhs } => {
+            let a = render_shape(lhs, l, int);
+            let b = render_shape(rhs, l, int);
+            let op = if l.is_multiple_of(2) { *op_even } else { *op_odd };
+            format!("({a} {} {b})", op_str(op))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::GroupPlan;
+    use rand::{Rng, SeedableRng};
+
+    /// Both construction legs of the same plan must compute identical
+    /// results (the SLC leg is only a different road to the same program).
+    #[test]
+    fn slc_and_ir_legs_agree() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut checked = 0;
+        for _ in 0..200 {
+            let len = rng.gen_range(8usize..96);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let mut plan = Plan::decode(&bytes);
+            plan.via_slc = false;
+            let ir_leg = build(&plan).expect("direct IR leg cannot fail");
+            plan.via_slc = true;
+            let slc_leg = build(&plan).expect("generated SLC must compile");
+            let a = crate::exec::run_capture(&ir_leg.function, &plan, ir_leg.min_len, 3)
+                .expect("IR leg executes");
+            let b = crate::exec::run_capture(&slc_leg.function, &plan, slc_leg.min_len, 3)
+                .expect("SLC leg executes");
+            assert!(
+                crate::exec::compare(&a, &b, true).is_none(),
+                "legs diverged for {plan:?}\n{}",
+                slc_leg.slc.unwrap()
+            );
+            checked += 1;
+        }
+        assert_eq!(checked, 200);
+    }
+
+    #[test]
+    fn reduction_renders_and_builds() {
+        let plan = Plan {
+            int: true,
+            via_slc: true,
+            arrays: 1,
+            groups: vec![GroupPlan {
+                lanes: 4,
+                reversed: false,
+                shape: Shape::Load { arr: 0, base: 0 },
+            }],
+            reduction: Some(crate::plan::ReductionPlan { op: Opcode::Add, arr: 0, width: 5 }),
+        };
+        let p = build(&plan).unwrap();
+        assert_eq!(p.min_len, 5);
+        assert!(p.slc.unwrap().contains("OUT[i + 4]"));
+    }
+}

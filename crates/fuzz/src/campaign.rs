@@ -1,0 +1,401 @@
+//! The coverage-guided campaign loop: generate, check, keep what's novel,
+//! shrink what fails.
+//!
+//! The loop is deterministic for a fixed seed and corpus directory: inputs
+//! come from a seeded RNG and the sorted regression corpus, oracle salts
+//! derive from the input bytes (never from the campaign seed), and the
+//! summary contains no wall-clock data — two runs with the same seed
+//! produce byte-identical output.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use lslp::VectorizerConfig;
+use lslp_target::TargetSpec;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::build;
+use crate::oracle::{self, CheckOutcome, OracleKind, Violation};
+use crate::plan::Plan;
+
+/// 64-bit FNV-1a: stable input fingerprints for salts and file names.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Campaign parameters.
+pub struct CampaignConfig {
+    /// Iteration budget.
+    pub iters: u64,
+    /// RNG seed; equal seeds replay the identical campaign.
+    pub seed: u64,
+    /// Targets every program is checked on.
+    pub targets: Vec<TargetSpec>,
+    /// Baseline vectorizer configuration.
+    pub base: VectorizerConfig,
+    /// Regression corpus directory: existing `*.case` files seed the
+    /// corpus, and minimized reproducers are written back here.
+    pub corpus_dir: Option<PathBuf>,
+    /// Stop minimizing/recording after this many distinct failures.
+    pub max_failures: usize,
+    /// Shrinker budget: candidate evaluations per failure.
+    pub shrink_budget: usize,
+    /// Optional wall-clock cutoff (bench/CI smoke use only — budgeted runs
+    /// are not byte-reproducible).
+    pub time_budget: Option<Duration>,
+}
+
+impl CampaignConfig {
+    /// Defaults: all four targets, the LSLP baseline, no corpus directory.
+    pub fn new(iters: u64, seed: u64) -> CampaignConfig {
+        CampaignConfig {
+            iters,
+            seed,
+            targets: oracle::default_targets(),
+            base: oracle::base_config(),
+            corpus_dir: None,
+            max_failures: 5,
+            shrink_budget: 200,
+            time_budget: None,
+        }
+    }
+}
+
+/// One recorded (minimized) failure.
+pub struct Failure {
+    /// Violated oracle names, sorted and deduplicated (`"build"` for
+    /// generator/frontend failures).
+    pub oracles: Vec<String>,
+    /// First violation's description.
+    pub detail: String,
+    /// Canonical bytes of the minimized reproducer.
+    pub bytes: Vec<u8>,
+    /// Where the reproducer was written, when a corpus dir is configured.
+    pub path: Option<PathBuf>,
+}
+
+/// Campaign summary.
+#[derive(Default)]
+pub struct CampaignReport {
+    /// Iterations executed (may stop early on a time budget).
+    pub iters_run: u64,
+    /// Programs that built and ran the oracles.
+    pub programs_built: u64,
+    /// Trees vectorized, summed over programs and targets.
+    pub trees_vectorized: u64,
+    /// Distinct coverage-signature keys reached.
+    pub signatures: usize,
+    /// Corpus entries at exit (seeded + kept-as-interesting).
+    pub corpus_entries: usize,
+    /// Recorded failures (bounded by `max_failures`).
+    pub failures: Vec<Failure>,
+    /// Wall-clock time (bench reporting only; never printed by `lslpc`).
+    pub elapsed: Duration,
+}
+
+impl CampaignReport {
+    /// Deterministic summary lines (no timing), as `lslpc --fuzz` prints
+    /// them.
+    pub fn summary_lines(&self) -> Vec<String> {
+        let mut lines = vec![
+            format!("fuzz: {} iterations, {} programs", self.iters_run, self.programs_built),
+            format!(
+                "fuzz: {} coverage signatures, {} corpus entries, {} trees vectorized",
+                self.signatures, self.corpus_entries, self.trees_vectorized
+            ),
+            format!("fuzz: {} failures", self.failures.len()),
+        ];
+        for f in &self.failures {
+            let loc = f.path.as_ref().map_or_else(|| hex(&f.bytes), |p| p.display().to_string());
+            lines.push(format!("fuzz: FAIL [{}] {} ({loc})", f.oracles.join(","), f.detail));
+        }
+        lines
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// Decode, build and run every oracle on one corpus entry. The salt is
+/// derived from the canonical bytes, so replay is machine-independent.
+pub fn check_bytes(
+    bytes: &[u8],
+    base: &VectorizerConfig,
+    targets: &[TargetSpec],
+) -> (Plan, CheckOutcome) {
+    let plan = Plan::decode(bytes);
+    let salt = fnv64(&plan.encode());
+    match build::build(&plan) {
+        Ok(p) => {
+            let outcome = oracle::check_program(&p, base, targets, salt);
+            (plan, outcome)
+        }
+        Err(e) => {
+            let mut out = CheckOutcome::default();
+            out.violations.push(Violation {
+                oracle: OracleKind::Differential,
+                target: "build".to_string(),
+                detail: e,
+            });
+            (plan, out)
+        }
+    }
+}
+
+/// Replay one reproducer file through all four oracles.
+///
+/// # Errors
+///
+/// Returns a message when the file cannot be read.
+pub fn replay_file(
+    path: &Path,
+    base: &VectorizerConfig,
+    targets: &[TargetSpec],
+) -> Result<(Plan, CheckOutcome), String> {
+    let bytes = fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(check_bytes(&bytes, base, targets))
+}
+
+/// The violated oracle names of a plan, sorted and deduplicated; empty
+/// when the plan passes. `"build"` when it cannot even build.
+fn violated_oracles(
+    plan: &Plan,
+    base: &VectorizerConfig,
+    targets: &[TargetSpec],
+) -> BTreeSet<String> {
+    let salt = fnv64(&plan.encode());
+    match build::build(plan) {
+        Ok(p) => oracle::check_program(&p, base, targets, salt)
+            .violations
+            .iter()
+            .map(|v| v.oracle.name().to_string())
+            .collect(),
+        Err(_) => std::iter::once("build".to_string()).collect(),
+    }
+}
+
+/// Greedy structural shrinking: repeatedly adopt the first smaller plan
+/// variant that still violates one of the originally violated oracles.
+pub fn shrink(
+    plan: &Plan,
+    original: &BTreeSet<String>,
+    base: &VectorizerConfig,
+    targets: &[TargetSpec],
+    budget: usize,
+) -> Plan {
+    let mut best = plan.clone();
+    let mut spent = 0;
+    'outer: while spent < budget {
+        for cand in best.shrink_candidates() {
+            if spent >= budget {
+                break 'outer;
+            }
+            spent += 1;
+            let kinds = violated_oracles(&cand, base, targets);
+            if kinds.iter().any(|k| original.contains(k)) {
+                best = cand;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    best
+}
+
+fn next_input(rng: &mut StdRng, corpus: &[Vec<u8>]) -> Vec<u8> {
+    if corpus.is_empty() || rng.gen_bool(0.5) {
+        let len = rng.gen_range(16usize..112);
+        return (0..len).map(|_| rng.next_u64() as u8).collect();
+    }
+    let mut b = corpus[rng.gen_range(0..corpus.len())].clone();
+    for _ in 0..rng.gen_range(1usize..4) {
+        match rng.gen_range(0u8..4) {
+            0 if !b.is_empty() => {
+                let i = rng.gen_range(0..b.len());
+                b[i] = rng.next_u64() as u8;
+            }
+            1 => b.push(rng.next_u64() as u8),
+            2 if b.len() > 1 => {
+                let keep = rng.gen_range(1..b.len());
+                b.truncate(keep);
+            }
+            _ if !b.is_empty() => {
+                let i = rng.gen_range(0..b.len());
+                b[i] ^= 1 << rng.gen_range(0u8..8);
+            }
+            _ => b.push(rng.next_u64() as u8),
+        }
+    }
+    b
+}
+
+/// Load the seed corpus: every `*.case` file under `dir`, in sorted file
+/// order, canonicalized through the codec.
+fn load_corpus(dir: &Path) -> Vec<Vec<u8>> {
+    let Ok(entries) = fs::read_dir(dir) else { return Vec::new() };
+    let mut paths: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "case"))
+        .collect();
+    paths.sort();
+    paths
+        .iter()
+        .filter_map(|p| fs::read(p).ok())
+        .map(|bytes| Plan::decode(&bytes).encode())
+        .collect()
+}
+
+fn write_reproducer(
+    dir: &Path,
+    oracles: &BTreeSet<String>,
+    plan: &Plan,
+    violations: &[Violation],
+) -> Option<PathBuf> {
+    fs::create_dir_all(dir).ok()?;
+    let bytes = plan.encode();
+    let first = oracles.iter().next().map_or("unknown", String::as_str);
+    let stem = format!("{first}-{:016x}", fnv64(&bytes));
+    let case = dir.join(format!("{stem}.case"));
+    fs::write(&case, &bytes).ok()?;
+    let mut txt = format!("bytes: {}\nplan: {plan:#?}\n", hex(&bytes));
+    if let Ok(p) = build::build(plan) {
+        if let Some(slc) = &p.slc {
+            txt.push_str(&format!("--- SLC ---\n{slc}"));
+        }
+        txt.push_str(&format!("--- IR ---\n{}", lslp_ir::print_function(&p.function)));
+    }
+    txt.push_str("--- violations ---\n");
+    for v in violations {
+        txt.push_str(&format!("[{}] {}: {}\n", v.oracle.name(), v.target, v.detail));
+    }
+    let _ = fs::write(dir.join(format!("{stem}.txt")), txt);
+    Some(case)
+}
+
+/// Run the campaign.
+pub fn run_campaign(cfg: &CampaignConfig) -> CampaignReport {
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut corpus: Vec<Vec<u8>> = cfg.corpus_dir.as_deref().map(load_corpus).unwrap_or_default();
+    let mut seen = BTreeSet::new();
+    let mut failed_inputs: BTreeSet<Vec<u8>> = BTreeSet::new();
+    let mut report = CampaignReport::default();
+
+    for _ in 0..cfg.iters {
+        if cfg.time_budget.is_some_and(|b| start.elapsed() >= b) {
+            break;
+        }
+        report.iters_run += 1;
+        let bytes = next_input(&mut rng, &corpus);
+        let plan = Plan::decode(&bytes);
+        let canonical = plan.encode();
+        let (_, outcome) = check_bytes(&canonical, &cfg.base, &cfg.targets);
+        let built = outcome.violations.first().is_none_or(|v| v.target != "build");
+        if built {
+            report.programs_built += 1;
+        }
+        report.trees_vectorized += outcome.trees_vectorized;
+        let mut novel = false;
+        for k in &outcome.signature {
+            if seen.insert(k.clone()) {
+                novel = true;
+            }
+        }
+        if novel {
+            corpus.push(canonical.clone());
+        }
+        if !outcome.violations.is_empty()
+            && report.failures.len() < cfg.max_failures
+            && failed_inputs.insert(canonical.clone())
+        {
+            let kinds: BTreeSet<String> = outcome
+                .violations
+                .iter()
+                .map(|v| {
+                    if v.target == "build" {
+                        "build".to_string()
+                    } else {
+                        v.oracle.name().to_string()
+                    }
+                })
+                .collect();
+            let min = shrink(&plan, &kinds, &cfg.base, &cfg.targets, cfg.shrink_budget);
+            let (_, min_outcome) = check_bytes(&min.encode(), &cfg.base, &cfg.targets);
+            let detail = min_outcome
+                .violations
+                .first()
+                .or(outcome.violations.first())
+                .map_or_else(String::new, |v| format!("{}: {}", v.target, v.detail));
+            let path = cfg
+                .corpus_dir
+                .as_deref()
+                .and_then(|d| write_reproducer(d, &kinds, &min, &min_outcome.violations));
+            report.failures.push(Failure {
+                oracles: kinds.into_iter().collect(),
+                detail,
+                bytes: min.encode(),
+                path,
+            });
+        }
+    }
+    report.signatures = seen.len();
+    report.corpus_entries = corpus.len();
+    report.elapsed = start.elapsed();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic mini-campaign: clean stack, so zero failures; and
+    /// two runs with the same seed must produce identical summaries.
+    #[test]
+    fn mini_campaign_is_clean_and_reproducible() {
+        let cfg = CampaignConfig::new(30, 1);
+        let a = run_campaign(&cfg);
+        assert_eq!(a.failures.len(), 0, "clean stack must have no violations: {:?}", {
+            a.failures.iter().map(|f| f.detail.clone()).collect::<Vec<_>>()
+        });
+        assert!(a.signatures > 0, "campaign must reach some coverage");
+        assert!(a.programs_built > 0);
+        let b = run_campaign(&cfg);
+        assert_eq!(a.summary_lines(), b.summary_lines());
+    }
+
+    #[test]
+    fn fnv64_is_stable() {
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"lslp"), fnv64(b"lslp"));
+        assert_ne!(fnv64(b"lslp"), fnv64(b"lslq"));
+    }
+
+    #[test]
+    fn shrinker_minimizes_a_planted_failure() {
+        // "Failure" stand-in: any plan with more than one group counts as
+        // failing. The shrinker must reach a single-group plan.
+        let plan = Plan::decode(&[3, 2, 2, 4, 1, 3, 1, 2, 1, 0, 0, 0, 5, 2, 0, 9, 9, 2, 1, 4]);
+        assert!(plan.groups.len() > 1);
+        let mut best = plan;
+        'outer: loop {
+            for cand in best.shrink_candidates() {
+                if cand.groups.len() > 1 {
+                    best = cand;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        assert_eq!(best.groups.len(), 2, "greedy loop stops when no candidate keeps >1 groups");
+    }
+}

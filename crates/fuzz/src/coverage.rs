@@ -1,0 +1,67 @@
+//! Cheap coverage signals: behavioral signatures derived from counters the
+//! compiler already maintains.
+//!
+//! The campaign has no branch instrumentation; instead it fingerprints
+//! each run with the committed-VF multiset, the tree count, the
+//! [`lslp::GatherReason`] histogram, guard-incident kinds, and the
+//! per-pass [`lslp::Statistics`] counters (all log2-bucketed so the key
+//! space stays small). An input that produces any previously unseen key is
+//! "interesting" and enters the corpus — the same feedback shape
+//! libFuzzer's value-profile mode uses, at a fraction of the cost.
+
+use lslp::{Statistics, VectorizeReport};
+
+/// Logarithmic bucket for a counter value: `0 → 0`, `1 → 1`, `2..3 → 2`,
+/// `4..7 → 3`, ... — one bucket per magnitude keeps the signature space
+/// bounded while still distinguishing "none", "a few" and "many".
+pub fn log2_bucket(n: u64) -> u32 {
+    64 - n.leading_zeros()
+}
+
+/// Signature keys from a vectorizer report.
+pub fn report_signature(target: &str, rep: &VectorizeReport) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut vfs: Vec<usize> = rep.attempts.iter().filter(|a| a.vectorized).map(|a| a.vf).collect();
+    vfs.sort_unstable();
+    keys.push(format!("t:{target}/vf:{vfs:?}"));
+    keys.push(format!("t:{target}/trees:{}", rep.trees_vectorized));
+    keys.push(format!("t:{target}/attempts:{}", log2_bucket(rep.attempts.len() as u64)));
+    for (reason, n) in &rep.gather_reasons {
+        keys.push(format!("t:{target}/gather:{reason}:{}", log2_bucket(*n)));
+    }
+    for inc in &rep.incidents {
+        keys.push(format!("t:{target}/incident:{:?}", inc.kind));
+    }
+    keys
+}
+
+/// Signature keys from the scalar pipeline's per-pass counters.
+pub fn stats_signature(target: &str, stats: &Statistics) -> Vec<String> {
+    stats
+        .rows()
+        .iter()
+        .map(|r| format!("t:{target}/stat:{}/{}:{}", r.pass, r.counter, log2_bucket(r.value)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_collapse_magnitudes() {
+        assert_eq!(log2_bucket(0), 0);
+        assert_eq!(log2_bucket(1), 1);
+        assert_eq!(log2_bucket(2), 2);
+        assert_eq!(log2_bucket(3), 2);
+        assert_eq!(log2_bucket(4), 3);
+        assert_eq!(log2_bucket(1023), 10);
+    }
+
+    #[test]
+    fn report_signature_is_deterministic() {
+        let rep = VectorizeReport::default();
+        assert_eq!(report_signature("sse4.2", &rep), report_signature("sse4.2", &rep));
+        assert!(report_signature("sse4.2", &rep).iter().all(|k| k.starts_with("t:sse4.2/")));
+    }
+}

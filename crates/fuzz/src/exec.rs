@@ -1,0 +1,168 @@
+//! Deterministic execution harness: run a function on synthesized inputs
+//! and capture the full memory state for comparison.
+//!
+//! Every oracle leg of one check runs with the same `salt`, so all legs
+//! see identical initial memory and identical `i`. Integer comparisons are
+//! byte-exact; float comparisons optionally allow a small relative
+//! tolerance (vectorization may reassociate under `fast_math`, which is
+//! not bit-exact for floats).
+
+use lslp_interp::{run_function, Memory, Value};
+use lslp_ir::Function;
+
+use crate::plan::Plan;
+
+/// Relative tolerance for reassociated float results.
+pub const FLOAT_TOLERANCE: f64 = 1e-8;
+
+/// Captured memory state after one execution: one vector per buffer, in
+/// parameter order (`OUT`, `IN0`, ...).
+pub enum Captured {
+    /// `i64` programs (byte-exact comparison).
+    Int(Vec<Vec<i64>>),
+    /// `f64` programs (tolerance comparison available).
+    Float(Vec<Vec<f64>>),
+}
+
+/// Deterministic initial value of element `k` of buffer `arr`
+/// (`0` = `OUT`, `1..` = `IN{arr-1}`) for an integer program.
+pub fn init_int(arr: usize, k: usize, salt: u64) -> i64 {
+    let j = arr as u64;
+    let k = k as u64;
+    let mix = j
+        .wrapping_mul(2_654_435_761)
+        .wrapping_add(k.wrapping_mul(97))
+        .wrapping_add(salt.wrapping_mul(131));
+    (mix % 1021) as i64 - 300
+}
+
+/// Deterministic initial value for a float program: finite, positive, and
+/// bounded (`0.25..=4.1875`), so products over bounded expression trees
+/// can never overflow or produce NaN.
+pub fn init_float(arr: usize, k: usize, salt: u64) -> f64 {
+    let j = arr as u64;
+    let k = k as u64;
+    let mix =
+        j.wrapping_mul(37).wrapping_add(k.wrapping_mul(11)).wrapping_add(salt.wrapping_mul(13));
+    0.25 + (mix % 64) as f64 / 16.0
+}
+
+fn buf_name(arr: usize) -> String {
+    if arr == 0 {
+        "OUT".to_string()
+    } else {
+        format!("IN{}", arr - 1)
+    }
+}
+
+/// Run `f` with the plan's parameter layout on salted inputs and capture
+/// every buffer afterwards.
+///
+/// The index parameter `i` is `salt % 3` (buffers are padded to match), so
+/// nonzero base offsets are exercised too.
+///
+/// # Errors
+///
+/// Any interpreter fault (out-of-bounds access, type error) is returned as
+/// a message — on a vectorized leg that is itself an oracle violation.
+pub fn run_capture(
+    f: &Function,
+    plan: &Plan,
+    min_len: usize,
+    salt: u64,
+) -> Result<Captured, String> {
+    let ioff = (salt % 3) as usize;
+    let len = min_len + ioff;
+    let n_bufs = plan.arrays + 1;
+    let mut mem = Memory::new();
+    let mut params: Vec<Value> = Vec::with_capacity(n_bufs + 1);
+    for a in 0..n_bufs {
+        let name = buf_name(a);
+        if plan.int {
+            let init: Vec<i64> = (0..len).map(|k| init_int(a, k, salt)).collect();
+            params.push(mem.alloc_i64(&name, &init));
+        } else {
+            let init: Vec<f64> = (0..len).map(|k| init_float(a, k, salt)).collect();
+            params.push(mem.alloc_f64(&name, &init));
+        }
+    }
+    params.push(Value::Int(ioff as i64));
+    run_function(f, &params, &mut mem).map_err(|e| format!("execution failed: {e}"))?;
+    if plan.int {
+        let bufs = (0..n_bufs)
+            .map(|a| (0..len).map(|k| mem.read_i64(&buf_name(a), k).unwrap()).collect())
+            .collect();
+        Ok(Captured::Int(bufs))
+    } else {
+        let bufs = (0..n_bufs)
+            .map(|a| (0..len).map(|k| mem.read_f64(&buf_name(a), k).unwrap()).collect())
+            .collect();
+        Ok(Captured::Float(bufs))
+    }
+}
+
+/// Compare two captures. Integers are always exact; floats are bit-exact
+/// when `exact` and within [`FLOAT_TOLERANCE`] (relative) otherwise.
+/// Returns a description of the first mismatch, or `None` when equal.
+pub fn compare(a: &Captured, b: &Captured, exact: bool) -> Option<String> {
+    match (a, b) {
+        (Captured::Int(xs), Captured::Int(ys)) => {
+            for (bi, (x, y)) in xs.iter().zip(ys).enumerate() {
+                for (k, (&u, &v)) in x.iter().zip(y).enumerate() {
+                    if u != v {
+                        return Some(format!("{}[{k}]: {u} != {v}", buf_name(bi)));
+                    }
+                }
+            }
+            None
+        }
+        (Captured::Float(xs), Captured::Float(ys)) => {
+            for (bi, (x, y)) in xs.iter().zip(ys).enumerate() {
+                for (k, (&u, &v)) in x.iter().zip(y).enumerate() {
+                    let ok = if exact {
+                        u.to_bits() == v.to_bits()
+                    } else if u == v || (u.is_nan() && v.is_nan()) {
+                        true
+                    } else {
+                        (u - v).abs() <= FLOAT_TOLERANCE * u.abs().max(v.abs()).max(1.0)
+                    };
+                    if !ok {
+                        return Some(format!("{}[{k}]: {u:?} != {v:?}", buf_name(bi)));
+                    }
+                }
+            }
+            None
+        }
+        _ => Some("capture type mismatch (int vs float)".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_values_are_deterministic_and_bounded() {
+        for arr in 0..4 {
+            for k in 0..64 {
+                for salt in 0..5u64 {
+                    assert_eq!(init_int(arr, k, salt), init_int(arr, k, salt));
+                    let f = init_float(arr, k, salt);
+                    assert!((0.25..=4.1875).contains(&f));
+                    assert!(init_int(arr, k, salt).abs() <= 720);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capture_roundtrip_on_identity_program() {
+        let plan = Plan::decode(&[1]); // int, 1 array, 1 group of 2 lanes
+        let p = crate::build::build(&plan).unwrap();
+        let a = run_capture(&p.function, &plan, p.min_len, 0).unwrap();
+        let b = run_capture(&p.function, &plan, p.min_len, 0).unwrap();
+        assert!(compare(&a, &b, true).is_none());
+        let c = run_capture(&p.function, &plan, p.min_len, 1).unwrap();
+        assert!(compare(&a, &c, true).is_some(), "different salts must differ");
+    }
+}

@@ -1,0 +1,460 @@
+//! The four correctness oracles, run on every generated program.
+//!
+//! 1. **Differential execution** — the vectorized function must compute
+//!    the same memory state as the scalar original, on every target and
+//!    under every guard mode (byte-exact for integers, within
+//!    [`crate::exec::FLOAT_TOLERANCE`] for reassociated floats).
+//! 2. **Metamorphic commutation** — randomly permuting the operands of
+//!    commutative instructions must not change the observable output
+//!    (byte-identical for integers), and for programs built purely from
+//!    commutative operations it must never make the vectorizer give up
+//!    entirely — recovering such reorderings is the claim the paper's
+//!    look-ahead makes. Milder cost-class drift (tree count or VF
+//!    multiset changing) is recorded as coverage, not failure:
+//!    campaigns showed the heuristic legitimately repacks near scoring
+//!    ties (one VF4 tree ↔ two VF2 trees; constant operands tie the
+//!    look-ahead scores) with output still correct.
+//! 3. **Cross-VF consistency** — within one exploration round the
+//!    committed vector factor must be per-lane no more expensive than any
+//!    other profitable factor the explorer priced.
+//! 4. **Pipeline idempotence** — printing the vectorized function,
+//!    re-parsing it, and recompiling it with a clean configuration must be
+//!    a fixpoint (the restart loop already compiles to one).
+
+use lslp::{
+    try_run_pipeline, try_vectorize_function, GuardMode, Sabotage, VectorizeReport,
+    VectorizerConfig,
+};
+use lslp_ir::{parse_function, print_function, Function};
+use lslp_target::TargetSpec;
+use rand::{Rng, SeedableRng};
+
+use crate::build::Program;
+use crate::coverage;
+use crate::exec::{compare, run_capture, Captured};
+
+/// Guard modes the differential oracle sweeps.
+pub const GUARD_MODES: [GuardMode; 3] = [GuardMode::Off, GuardMode::Rollback, GuardMode::Strict];
+
+/// Which oracle flagged a violation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum OracleKind {
+    /// Scalar-vs-vectorized differential execution.
+    Differential,
+    /// Metamorphic commutation (output or cost class changed).
+    Metamorphic,
+    /// VF-exploration winner costed worse than a priced alternative.
+    CrossVf,
+    /// Recompiling the emitted IR was not a fixpoint.
+    Idempotence,
+}
+
+impl OracleKind {
+    /// Stable lowercase name (used in reproducer file names).
+    pub fn name(self) -> &'static str {
+        match self {
+            OracleKind::Differential => "differential",
+            OracleKind::Metamorphic => "metamorphic",
+            OracleKind::CrossVf => "crossvf",
+            OracleKind::Idempotence => "idempotence",
+        }
+    }
+}
+
+/// One oracle violation.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// The oracle that fired.
+    pub oracle: OracleKind,
+    /// Target the program was compiled for.
+    pub target: String,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// The result of checking one program against every oracle on every
+/// target.
+#[derive(Default)]
+pub struct CheckOutcome {
+    /// All violations found (empty = the program passed).
+    pub violations: Vec<Violation>,
+    /// Coverage-signature keys this program reached.
+    pub signature: Vec<String>,
+    /// Trees vectorized across all targets (campaign statistic).
+    pub trees_vectorized: u64,
+}
+
+/// The campaign's baseline configuration: the paper's headline LSLP
+/// algorithm with the default rollback guard.
+pub fn base_config() -> VectorizerConfig {
+    VectorizerConfig::lslp()
+}
+
+/// The four built-in targets, in registry order.
+pub fn default_targets() -> Vec<TargetSpec> {
+    vec![
+        TargetSpec::sse42(),
+        TargetSpec::skylake_avx2(),
+        TargetSpec::avx512(),
+        TargetSpec::neon128(),
+    ]
+}
+
+/// Swap the operands of each commutative *data* instruction with
+/// probability 1/2 (seeded by `salt`, so the permutation replays).
+///
+/// Address arithmetic (anything feeding a `gep` index) is left alone: the
+/// paper's commutation claim is about reordering data-level packs, and the
+/// consecutive-load analysis canonicalizes `base + offset` syntactically —
+/// permuting it would (legitimately) change which loads look adjacent, not
+/// test the vectorizer.
+pub fn permute_commutative(f: &Function, salt: u64) -> Function {
+    let mut g = f.clone();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(salt ^ 0xc0ff_ee00_dead_beef);
+    let uses = g.use_map();
+    let body: Vec<_> = g.body().to_vec();
+    for v in body {
+        let feeds_gep = uses.uses(v).iter().any(|u| g.opcode(u.user) == Some(lslp_ir::Opcode::Gep));
+        let swap =
+            !feeds_gep && g.opcode(v).is_some_and(|op| op.is_commutative()) && rng.gen_bool(0.5);
+        if swap {
+            if let Some(inst) = g.inst_mut(v) {
+                inst.args.swap(0, 1);
+            }
+        }
+    }
+    g
+}
+
+/// The committed cost class of a report: how many trees vectorized, at
+/// which vector factors (sorted multiset).
+fn cost_class(rep: &VectorizeReport) -> (usize, Vec<usize>) {
+    let mut vfs: Vec<usize> = rep.attempts.iter().filter(|a| a.vectorized).map(|a| a.vf).collect();
+    vfs.sort_unstable();
+    (rep.trees_vectorized, vfs)
+}
+
+/// Run every oracle on `p` for each target. `salt` seeds input memory and
+/// the metamorphic permutation; equal salts replay bit-identically.
+pub fn check_program(
+    p: &Program,
+    base: &VectorizerConfig,
+    targets: &[TargetSpec],
+    salt: u64,
+) -> CheckOutcome {
+    let mut out = CheckOutcome::default();
+    let scalar = match run_capture(&p.function, &p.plan, p.min_len, salt) {
+        Ok(c) => c,
+        Err(e) => {
+            // A well-formed generated program must execute: failure here is
+            // a generator or interpreter bug and still worth minimizing.
+            out.violations.push(Violation {
+                oracle: OracleKind::Differential,
+                target: "scalar".to_string(),
+                detail: format!("scalar reference {e}"),
+            });
+            return out;
+        }
+    };
+    let exact = p.plan.int;
+    for tm in targets {
+        check_on_target(p, base, tm, salt, &scalar, exact, &mut out);
+    }
+    out
+}
+
+#[allow(clippy::too_many_lines)]
+fn check_on_target(
+    p: &Program,
+    base: &VectorizerConfig,
+    tm: &TargetSpec,
+    salt: u64,
+    scalar: &Captured,
+    exact: bool,
+    out: &mut CheckOutcome,
+) {
+    let target = tm.name.to_string();
+    let mut violate = |out: &mut CheckOutcome, oracle: OracleKind, detail: String| {
+        out.violations.push(Violation { oracle, target: target.clone(), detail });
+    };
+    let cfg = VectorizerConfig { guard: GuardMode::Rollback, ..base.clone() };
+
+    // Vectorize-only compile: the artifact the metamorphic, cross-VF and
+    // idempotence oracles all reason about.
+    let mut f_vo = p.function.clone();
+    let rep = match try_vectorize_function(&mut f_vo, &cfg, tm) {
+        Ok(rep) => rep,
+        Err(e) => {
+            violate(out, OracleKind::Differential, format!("rollback-mode abort: {e}"));
+            return;
+        }
+    };
+    out.trees_vectorized += rep.trees_vectorized as u64;
+    out.signature.extend(coverage::report_signature(&target, &rep));
+    for inc in &rep.incidents {
+        violate(out, OracleKind::Differential, format!("guard incident: {inc:?}"));
+    }
+
+    // Oracle 1a: the vectorize-only artifact against the scalar reference.
+    match run_capture(&f_vo, &p.plan, p.min_len, salt) {
+        Ok(vec_cap) => {
+            if let Some(d) = compare(scalar, &vec_cap, exact) {
+                violate(out, OracleKind::Differential, format!("vectorized output diverged: {d}"));
+            }
+            // Oracle 2: metamorphic commutation.
+            check_metamorphic(p, &cfg, tm, salt, scalar, &vec_cap, exact, &rep, out, &mut violate);
+        }
+        Err(e) => violate(out, OracleKind::Differential, format!("vectorized leg {e}")),
+    }
+
+    // Oracle 1b: the full pipeline under every guard mode.
+    for guard in GUARD_MODES {
+        let mut f = p.function.clone();
+        let gcfg = VectorizerConfig { guard, ..base.clone() };
+        match try_run_pipeline(&mut f, &gcfg, tm) {
+            Ok(prep) => {
+                for inc in prep.incidents.iter().chain(&prep.vectorize.incidents) {
+                    violate(
+                        out,
+                        OracleKind::Differential,
+                        format!("pipeline incident under {guard:?}: {inc:?}"),
+                    );
+                }
+                match run_capture(&f, &p.plan, p.min_len, salt) {
+                    Ok(cap) => {
+                        if let Some(d) = compare(scalar, &cap, exact) {
+                            violate(
+                                out,
+                                OracleKind::Differential,
+                                format!("pipeline output diverged under {guard:?}: {d}"),
+                            );
+                        }
+                    }
+                    Err(e) => violate(
+                        out,
+                        OracleKind::Differential,
+                        format!("pipeline leg under {guard:?} {e}"),
+                    ),
+                }
+                if guard == GuardMode::Rollback {
+                    out.signature.extend(coverage::stats_signature(&target, &prep.stats));
+                }
+            }
+            Err(e) => {
+                violate(out, OracleKind::Differential, format!("abort under {guard:?}: {e}"));
+            }
+        }
+    }
+
+    // Oracle 3: cross-VF consistency (needs a clean exploration record).
+    if rep.incidents.is_empty() {
+        check_cross_vf(&rep, cfg.cost_threshold, out, &mut violate);
+    }
+
+    // Oracle 4: pipeline idempotence.
+    check_idempotence(&f_vo, base, tm, out, &mut violate);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_metamorphic(
+    p: &Program,
+    cfg: &VectorizerConfig,
+    tm: &TargetSpec,
+    salt: u64,
+    scalar: &Captured,
+    vec_cap: &Captured,
+    exact: bool,
+    rep: &VectorizeReport,
+    out: &mut CheckOutcome,
+    violate: &mut impl FnMut(&mut CheckOutcome, OracleKind, String),
+) {
+    let mut f_pm = permute_commutative(&p.function, salt);
+    let rep_pm = match try_vectorize_function(&mut f_pm, cfg, tm) {
+        Ok(r) => r,
+        Err(e) => {
+            violate(out, OracleKind::Metamorphic, format!("permuted compile aborted: {e}"));
+            return;
+        }
+    };
+    match run_capture(&f_pm, &p.plan, p.min_len, salt) {
+        Ok(pm_cap) => {
+            // Integer commutation is exact, so the permuted-compiled output
+            // must be byte-identical to the original-compiled output; float
+            // codegen may reassociate differently after reordering, so the
+            // permuted output is held to the scalar reference instead.
+            let diff = if exact {
+                compare(vec_cap, &pm_cap, true)
+            } else {
+                compare(scalar, &pm_cap, false)
+            };
+            if let Some(d) = diff {
+                violate(
+                    out,
+                    OracleKind::Metamorphic,
+                    format!("commutation changed the output: {d}"),
+                );
+            }
+        }
+        Err(e) => violate(out, OracleKind::Metamorphic, format!("permuted leg {e}")),
+    }
+    let (trees_a, vfs_a) = cost_class(rep);
+    let (trees_b, vfs_b) = cost_class(&rep_pm);
+    if (trees_a, &vfs_a) != (trees_b, &vfs_b) {
+        // Class drift alone is NOT a violation: look-ahead is a
+        // heuristic, and campaigns showed even all-commutative programs
+        // can legitimately repack (one VF4 tree ↔ two VF2 trees, or VF4
+        // ↔ VF2 when constant operands tie the look-ahead scores), with
+        // the output still correct. The hard invariant is narrower: on
+        // a plan built purely from commutative operations, commutation
+        // must never make the vectorizer give up entirely — the
+        // recover-the-reordering claim the paper's look-ahead makes.
+        // Everything milder feeds the coverage signature.
+        if p.plan.commutation_stable() && trees_b == 0 && trees_a > 0 {
+            violate(
+                out,
+                OracleKind::Metamorphic,
+                format!(
+                    "commutation destroyed all vectorization: \
+                     {trees_a} trees at VFs {vfs_a:?} became none"
+                ),
+            );
+        } else {
+            out.signature.push(format!("t:{}/meta-cost-drift", tm.name));
+        }
+    }
+}
+
+/// Seed descriptions render as `BASE[+lo..+hi)`; recover `(BASE, lo)`.
+fn parse_seed(s: &str) -> Option<(&str, i64)> {
+    let (base, rest) = s.split_once("[+")?;
+    let (lo, _) = rest.split_once("..")?;
+    Some((base, lo.parse().ok()?))
+}
+
+fn check_cross_vf(
+    rep: &VectorizeReport,
+    threshold: i64,
+    out: &mut CheckOutcome,
+    violate: &mut impl FnMut(&mut CheckOutcome, OracleKind, String),
+) {
+    // Reconstruct exploration rounds: consecutive attempts at the same
+    // seed position with strictly decreasing VF are one round.
+    let mut rounds: Vec<Vec<&lslp::Attempt>> = Vec::new();
+    let mut prev: Option<(String, i64, usize)> = None;
+    for a in &rep.attempts {
+        let Some((base, lo)) = parse_seed(&a.seed) else { continue };
+        let same_round =
+            prev.as_ref().is_some_and(|(pb, pl, pvf)| pb == base && *pl == lo && a.vf < *pvf);
+        if !same_round {
+            rounds.push(Vec::new());
+        }
+        rounds.last_mut().expect("round exists").push(a);
+        prev = Some((base.to_string(), lo, a.vf));
+    }
+    for round in rounds {
+        let Some(winner) = round.iter().find(|a| a.vectorized) else { continue };
+        for a in &round {
+            if a.vectorized || a.cost >= threshold {
+                continue;
+            }
+            // Per-lane comparison, cross-multiplied to stay in integers
+            // (VFs are positive, so the inequality direction holds).
+            let a_scaled = a.cost * winner.vf as i64;
+            let w_scaled = winner.cost * a.vf as i64;
+            let strictly_better = a_scaled < w_scaled || (a_scaled == w_scaled && a.vf > winner.vf);
+            if strictly_better {
+                violate(
+                    out,
+                    OracleKind::CrossVf,
+                    format!(
+                        "committed VF{} (cost {}) at {} but VF{} (cost {}) is per-lane cheaper",
+                        winner.vf, winner.cost, winner.seed, a.vf, a.cost
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn check_idempotence(
+    f_vo: &Function,
+    base: &VectorizerConfig,
+    tm: &TargetSpec,
+    out: &mut CheckOutcome,
+    violate: &mut impl FnMut(&mut CheckOutcome, OracleKind, String),
+) {
+    let text1 = print_function(f_vo);
+    let mut f2 = match parse_function(&text1) {
+        Ok(f) => f,
+        Err(e) => {
+            violate(out, OracleKind::Idempotence, format!("emitted IR failed to re-parse: {e}"));
+            return;
+        }
+    };
+    // The recompile is always clean: a sabotaged first compile must be
+    // caught, not reproduced.
+    let clean =
+        VectorizerConfig { sabotage: Sabotage::None, guard: GuardMode::Rollback, ..base.clone() };
+    if let Err(e) = try_vectorize_function(&mut f2, &clean, tm) {
+        violate(out, OracleKind::Idempotence, format!("recompile aborted: {e}"));
+        return;
+    }
+    let text2 = print_function(&f2);
+    if text1 != text2 {
+        let diff = text1
+            .lines()
+            .zip(text2.lines())
+            .find(|(a, b)| a != b)
+            .map(|(a, b)| format!("`{a}` became `{b}`"))
+            .unwrap_or_else(|| {
+                format!("line count {} became {}", text1.lines().count(), text2.lines().count())
+            });
+        violate(
+            out,
+            OracleKind::Idempotence,
+            format!("recompiling emitted IR is not a fixpoint: {diff}"),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Plan;
+
+    /// A quick clean sweep: a handful of decoded programs must pass every
+    /// oracle on every target (the full campaign lives in `campaign.rs`
+    /// and behind `lslpc --fuzz`).
+    #[test]
+    fn clean_programs_pass_all_oracles() {
+        let base = base_config();
+        let targets = default_targets();
+        for seed in 0..10u8 {
+            let bytes = [seed, seed ^ 0x5a, 3, 1, 2, 0, 0, 4, 1, 2, 0, 1, seed, 9, 2];
+            let plan = Plan::decode(&bytes);
+            let p = crate::build::build(&plan).expect("build");
+            let outcome = check_program(&p, &base, &targets, u64::from(seed));
+            assert!(
+                outcome.violations.is_empty(),
+                "seed {seed} plan {plan:?} violated: {:?}",
+                outcome.violations
+            );
+            assert!(!outcome.signature.is_empty());
+        }
+    }
+
+    #[test]
+    fn permutation_is_deterministic_and_commutative_only() {
+        let plan = Plan::decode(&[1, 1, 1, 2, 0, 3, 0, 2, 1, 0, 0, 0, 0, 0, 2, 1]);
+        let p = crate::build::build(&plan).unwrap();
+        let a = permute_commutative(&p.function, 99);
+        let b = permute_commutative(&p.function, 99);
+        assert_eq!(print_function(&a), print_function(&b));
+        for (pos, v, inst) in p.function.iter_body() {
+            let swapped = a.inst(v).expect("same body").args != inst.args;
+            if swapped {
+                assert!(inst.op.is_commutative(), "swapped non-commutative {} at {pos}", inst.op);
+            }
+        }
+    }
+}

@@ -1,0 +1,531 @@
+//! The typed generation plan and its byte-stream codec.
+//!
+//! A [`Plan`] is the structured description of one fuzz program: a few
+//! groups of adjacent stores, each computing a lane expression biased
+//! toward SLP-shaped code (commutative chains, mixed-opcode
+//! near-isomorphism, per-lane operand swaps), optionally followed by a
+//! horizontal reduction tree. Plans decode *totally* from arbitrary bytes
+//! ([`Plan::decode`]) and re-encode canonically ([`Plan::encode`]):
+//!
+//! * `decode(encode(p)) == p` for every decoded or shrunk plan, so a
+//!   corpus entry replays exactly;
+//! * `encode(decode(bytes))` is the canonical corpus form of `bytes`
+//!   (mutation may produce non-canonical streams; the campaign always
+//!   stores the canonical re-encoding).
+
+use lslp_ir::Opcode;
+
+use crate::unstructured::Unstructured;
+
+/// Nesting limit for lane expressions; at the limit only leaves decode.
+pub const MAX_SHAPE_DEPTH: usize = 3;
+
+/// Binary opcodes for integer [`Shape::Bin`] nodes.
+const INT_BIN: &[Opcode] =
+    &[Opcode::Add, Opcode::Mul, Opcode::And, Opcode::Or, Opcode::Xor, Opcode::Sub, Opcode::Shl];
+/// Binary opcodes for float [`Shape::Bin`] nodes (no division: divisors
+/// could approach zero and NaN/inf would poison tolerance comparison).
+const FLOAT_BIN: &[Opcode] = &[Opcode::FAdd, Opcode::FMul, Opcode::FSub];
+/// Commutative opcodes for integer [`Shape::Chain`] nodes and reductions.
+const INT_CHAIN: &[Opcode] = &[Opcode::Add, Opcode::Mul, Opcode::And, Opcode::Or, Opcode::Xor];
+/// Commutative opcodes for float [`Shape::Chain`] nodes and reductions.
+const FLOAT_CHAIN: &[Opcode] = &[Opcode::FAdd, Opcode::FMul];
+/// Opcode pool for [`Shape::Mixed`] lanes (no shift: the alternating
+/// right-hand side would need the constant-amount special case).
+const INT_MIXED: &[Opcode] =
+    &[Opcode::Add, Opcode::Mul, Opcode::And, Opcode::Or, Opcode::Xor, Opcode::Sub];
+const FLOAT_MIXED: &[Opcode] = FLOAT_BIN;
+
+fn pick(table: &[Opcode], b: u8) -> Opcode {
+    table[b as usize % table.len()]
+}
+
+fn index_of(table: &[Opcode], op: Opcode) -> u8 {
+    table.iter().position(|&o| o == op).expect("opcode not in its table") as u8
+}
+
+/// A lane expression: evaluated once per lane `l` of a store group.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Shape {
+    /// `IN{arr}[i + base + l]` — a consecutive load run.
+    Load {
+        /// Input array index (`< Plan::arrays`).
+        arr: usize,
+        /// Base element offset, one of `{0, 2, 4, 6}`.
+        base: usize,
+    },
+    /// A lane-invariant constant in `1..=15` (splat material).
+    Const(i64),
+    /// A binary node; commutative ops swap their operands on the lanes
+    /// selected by `swap_mask` (bit `l % 8`), the near-isomorphism the
+    /// paper's look-ahead reordering exists to undo.
+    Bin {
+        /// The opcode (from the int/float bin table).
+        op: Opcode,
+        /// Per-lane operand-swap bits; always `0` for non-commutative ops.
+        swap_mask: u8,
+        /// Left operand.
+        lhs: Box<Shape>,
+        /// Right operand (always `Const` in `1..=7` under `Shl`).
+        rhs: Box<Shape>,
+    },
+    /// A left-folded chain of one commutative opcode whose operand order
+    /// rotates per lane by `rot * l` — multi-node formation fodder.
+    Chain {
+        /// The commutative opcode.
+        op: Opcode,
+        /// Per-lane rotation step (`< operands.len()`).
+        rot: usize,
+        /// Chain operands (2..=4).
+        operands: Vec<Shape>,
+    },
+    /// A binary node whose opcode alternates by lane parity — isomorphism
+    /// breaks the vanilla SLP matcher must cope with.
+    Mixed {
+        /// Opcode on even lanes.
+        op_even: Opcode,
+        /// Opcode on odd lanes.
+        op_odd: Opcode,
+        /// Left operand.
+        lhs: Box<Shape>,
+        /// Right operand.
+        rhs: Box<Shape>,
+    },
+}
+
+impl Shape {
+    fn decode(u: &mut Unstructured<'_>, int: bool, arrays: usize, depth: usize) -> Shape {
+        let tag = if depth >= MAX_SHAPE_DEPTH { u.byte() % 2 } else { u.byte() % 5 };
+        match tag {
+            0 => Shape::Load { arr: u.byte() as usize % arrays, base: 2 * (u.byte() as usize % 4) },
+            1 => Shape::Const(1 + i64::from(u.byte() % 15)),
+            2 => {
+                let op = pick(if int { INT_BIN } else { FLOAT_BIN }, u.byte());
+                let swap_byte = u.byte();
+                let swap_mask = if op.is_commutative() { swap_byte } else { 0 };
+                let lhs = Shape::decode(u, int, arrays, depth + 1);
+                let rhs = if op == Opcode::Shl {
+                    // Keep shift amounts small and constant so both the
+                    // SLC and direct-IR legs stay well-defined.
+                    Shape::Const(1 + i64::from(u.byte() % 7))
+                } else {
+                    Shape::decode(u, int, arrays, depth + 1)
+                };
+                Shape::Bin { op, swap_mask, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+            }
+            3 => {
+                let op = pick(if int { INT_CHAIN } else { FLOAT_CHAIN }, u.byte());
+                let n = 2 + u.byte() as usize % 3;
+                let rot = u.byte() as usize % n;
+                let operands = (0..n).map(|_| Shape::decode(u, int, arrays, depth + 1)).collect();
+                Shape::Chain { op, rot, operands }
+            }
+            _ => {
+                let table = if int { INT_MIXED } else { FLOAT_MIXED };
+                let op_even = pick(table, u.byte());
+                let op_odd = pick(table, u.byte());
+                let lhs = Shape::decode(u, int, arrays, depth + 1);
+                let rhs = Shape::decode(u, int, arrays, depth + 1);
+                Shape::Mixed { op_even, op_odd, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+            }
+        }
+    }
+
+    fn encode(&self, int: bool, out: &mut Vec<u8>) {
+        match self {
+            Shape::Load { arr, base } => {
+                out.push(0);
+                out.push(*arr as u8);
+                out.push((base / 2) as u8);
+            }
+            Shape::Const(c) => {
+                out.push(1);
+                out.push((c - 1) as u8);
+            }
+            Shape::Bin { op, swap_mask, lhs, rhs } => {
+                out.push(2);
+                out.push(index_of(if int { INT_BIN } else { FLOAT_BIN }, *op));
+                out.push(*swap_mask);
+                lhs.encode(int, out);
+                if *op == Opcode::Shl {
+                    let Shape::Const(c) = **rhs else { panic!("Shl rhs must be Const") };
+                    out.push((c - 1) as u8);
+                } else {
+                    rhs.encode(int, out);
+                }
+            }
+            Shape::Chain { op, rot, operands } => {
+                out.push(3);
+                out.push(index_of(if int { INT_CHAIN } else { FLOAT_CHAIN }, *op));
+                out.push((operands.len() - 2) as u8);
+                out.push(*rot as u8);
+                for o in operands {
+                    o.encode(int, out);
+                }
+            }
+            Shape::Mixed { op_even, op_odd, lhs, rhs } => {
+                let table = if int { INT_MIXED } else { FLOAT_MIXED };
+                out.push(4);
+                out.push(index_of(table, *op_even));
+                out.push(index_of(table, *op_odd));
+                lhs.encode(int, out);
+                rhs.encode(int, out);
+            }
+        }
+    }
+
+    /// Strictly smaller variants, most aggressive first. Subtree
+    /// replacements keep the depth invariant (`decode` never produces a
+    /// deeper tree than it consumed), so every candidate still round-trips.
+    fn shrink_candidates(&self) -> Vec<Shape> {
+        let mut out = Vec::new();
+        match self {
+            Shape::Load { arr, base } => {
+                if *base != 0 {
+                    out.push(Shape::Load { arr: *arr, base: 0 });
+                }
+                if *arr != 0 {
+                    out.push(Shape::Load { arr: 0, base: *base });
+                }
+            }
+            Shape::Const(c) => {
+                if *c != 1 {
+                    out.push(Shape::Const(1));
+                }
+            }
+            Shape::Bin { op, swap_mask, lhs, rhs } => {
+                out.push((**lhs).clone());
+                if *op != Opcode::Shl {
+                    out.push((**rhs).clone());
+                }
+                if *swap_mask != 0 {
+                    out.push(Shape::Bin {
+                        op: *op,
+                        swap_mask: 0,
+                        lhs: lhs.clone(),
+                        rhs: rhs.clone(),
+                    });
+                }
+                for l in lhs.shrink_candidates() {
+                    out.push(Shape::Bin {
+                        op: *op,
+                        swap_mask: *swap_mask,
+                        lhs: Box::new(l),
+                        rhs: rhs.clone(),
+                    });
+                }
+                if *op != Opcode::Shl {
+                    for r in rhs.shrink_candidates() {
+                        out.push(Shape::Bin {
+                            op: *op,
+                            swap_mask: *swap_mask,
+                            lhs: lhs.clone(),
+                            rhs: Box::new(r),
+                        });
+                    }
+                }
+            }
+            Shape::Chain { op, rot, operands } => {
+                for o in operands {
+                    out.push(o.clone());
+                }
+                if operands.len() > 2 {
+                    let mut ops = operands.clone();
+                    ops.pop();
+                    out.push(Shape::Chain { op: *op, rot: *rot % ops.len(), operands: ops });
+                }
+                if *rot != 0 {
+                    out.push(Shape::Chain { op: *op, rot: 0, operands: operands.clone() });
+                }
+                for (i, o) in operands.iter().enumerate() {
+                    for s in o.shrink_candidates() {
+                        let mut ops = operands.clone();
+                        ops[i] = s;
+                        out.push(Shape::Chain { op: *op, rot: *rot, operands: ops });
+                    }
+                }
+            }
+            Shape::Mixed { op_even, op_odd, lhs, rhs } => {
+                out.push((**lhs).clone());
+                out.push((**rhs).clone());
+                if op_even != op_odd {
+                    out.push(Shape::Mixed {
+                        op_even: *op_even,
+                        op_odd: *op_even,
+                        lhs: lhs.clone(),
+                        rhs: rhs.clone(),
+                    });
+                }
+                for l in lhs.shrink_candidates() {
+                    out.push(Shape::Mixed {
+                        op_even: *op_even,
+                        op_odd: *op_odd,
+                        lhs: Box::new(l),
+                        rhs: rhs.clone(),
+                    });
+                }
+                for r in rhs.shrink_candidates() {
+                    out.push(Shape::Mixed {
+                        op_even: *op_even,
+                        op_odd: *op_odd,
+                        lhs: lhs.clone(),
+                        rhs: Box::new(r),
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether every operation in the tree is commutative (no `Mixed`
+    /// nodes, no `Sub`/`FSub`/`Shl`). For such lane-isomorphic shapes the
+    /// committed cost class must survive operand commutation — the
+    /// paper's core claim; mixed-opcode lanes sit at packing boundaries
+    /// where the heuristic may legitimately flip.
+    pub fn commutative_only(&self) -> bool {
+        match self {
+            Shape::Load { .. } | Shape::Const(_) => true,
+            Shape::Bin { op, lhs, rhs, .. } => {
+                op.is_commutative() && lhs.commutative_only() && rhs.commutative_only()
+            }
+            Shape::Chain { operands, .. } => operands.iter().all(Shape::commutative_only),
+            Shape::Mixed { .. } => false,
+        }
+    }
+
+    /// Clamp every `Load` array index to `< arrays` (used when shrinking
+    /// the array count).
+    fn clamp_arrays(&mut self, arrays: usize) {
+        match self {
+            Shape::Load { arr, .. } => *arr %= arrays,
+            Shape::Const(_) => {}
+            Shape::Bin { lhs, rhs, .. } | Shape::Mixed { lhs, rhs, .. } => {
+                lhs.clamp_arrays(arrays);
+                rhs.clamp_arrays(arrays);
+            }
+            Shape::Chain { operands, .. } => {
+                for o in operands {
+                    o.clamp_arrays(arrays);
+                }
+            }
+        }
+    }
+}
+
+/// One group of `lanes` adjacent stores sharing a lane expression.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GroupPlan {
+    /// Store-group width, 2..=6 (non-powers-of-two exercise the VF
+    /// explorer's remainder handling).
+    pub lanes: usize,
+    /// Emit the lanes in reverse program order (seed collection must
+    /// still find the address-adjacent chain).
+    pub reversed: bool,
+    /// The per-lane expression.
+    pub shape: Shape,
+}
+
+/// A horizontal reduction: `OUT[i + total] = fold(op, IN{arr}[i..i+width])`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReductionPlan {
+    /// The commutative fold opcode.
+    pub op: Opcode,
+    /// Source array.
+    pub arr: usize,
+    /// Number of folded elements, 4..=8.
+    pub width: usize,
+}
+
+/// A complete generation plan. See the module docs for codec guarantees.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Plan {
+    /// Integer (`i64`) or float (`f64`) program.
+    pub int: bool,
+    /// Build the function by compiling rendered SLC source instead of
+    /// direct IR construction (exercises the frontend too).
+    pub via_slc: bool,
+    /// Number of input arrays, 1..=3.
+    pub arrays: usize,
+    /// Store groups, 1..=3; group `g` writes `OUT[i + base_g + l]` where
+    /// `base_g` is the cumulative lane count of earlier groups.
+    pub groups: Vec<GroupPlan>,
+    /// Optional trailing reduction store.
+    pub reduction: Option<ReductionPlan>,
+}
+
+impl Plan {
+    /// Decode a plan from arbitrary bytes. Total: every byte string maps
+    /// to a well-formed plan (exhausted streams read zero).
+    pub fn decode(bytes: &[u8]) -> Plan {
+        let mut u = Unstructured::new(bytes);
+        let flags = u.byte();
+        let int = flags & 1 != 0;
+        let via_slc = flags & 2 != 0;
+        let arrays = 1 + u.byte() as usize % 3;
+        let n_groups = 1 + u.byte() as usize % 3;
+        let groups = (0..n_groups)
+            .map(|_| GroupPlan {
+                lanes: 2 + u.byte() as usize % 5,
+                reversed: u.byte() & 1 != 0,
+                shape: Shape::decode(&mut u, int, arrays, 0),
+            })
+            .collect();
+        let reduction = (u.byte().is_multiple_of(4)).then(|| ReductionPlan {
+            op: pick(if int { INT_CHAIN } else { FLOAT_CHAIN }, u.byte()),
+            arr: u.byte() as usize % arrays,
+            width: 4 + u.byte() as usize % 5,
+        });
+        Plan { int, via_slc, arrays, groups, reduction }
+    }
+
+    /// Canonical byte encoding; `decode(encode(self)) == self`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.push(u8::from(self.int) | (u8::from(self.via_slc) << 1));
+        out.push((self.arrays - 1) as u8);
+        out.push((self.groups.len() - 1) as u8);
+        for g in &self.groups {
+            out.push((g.lanes - 2) as u8);
+            out.push(u8::from(g.reversed));
+            g.shape.encode(self.int, &mut out);
+        }
+        match &self.reduction {
+            Some(r) => {
+                out.push(0);
+                out.push(index_of(if self.int { INT_CHAIN } else { FLOAT_CHAIN }, r.op));
+                out.push(r.arr as u8);
+                out.push((r.width - 4) as u8);
+            }
+            None => out.push(1),
+        }
+        out
+    }
+
+    /// Whether the whole program is built from commutative operations
+    /// only (see [`Shape::commutative_only`]); gates the metamorphic
+    /// cost-class assertion.
+    pub fn commutation_stable(&self) -> bool {
+        self.groups.iter().all(|g| g.shape.commutative_only())
+    }
+
+    /// Structurally smaller plans for greedy shrinking, most aggressive
+    /// first. Every candidate is well-formed and round-trips through the
+    /// codec.
+    pub fn shrink_candidates(&self) -> Vec<Plan> {
+        let mut out = Vec::new();
+        if self.groups.len() > 1 {
+            for i in 0..self.groups.len() {
+                let mut p = self.clone();
+                p.groups.remove(i);
+                out.push(p);
+            }
+        }
+        if self.reduction.is_some() {
+            let mut p = self.clone();
+            p.reduction = None;
+            out.push(p);
+        }
+        if self.via_slc {
+            let mut p = self.clone();
+            p.via_slc = false;
+            out.push(p);
+        }
+        if self.arrays > 1 {
+            let mut p = self.clone();
+            p.arrays -= 1;
+            for g in &mut p.groups {
+                g.shape.clamp_arrays(p.arrays);
+            }
+            if let Some(r) = &mut p.reduction {
+                r.arr %= p.arrays;
+            }
+            out.push(p);
+        }
+        for (i, g) in self.groups.iter().enumerate() {
+            if g.lanes > 2 {
+                let mut p = self.clone();
+                p.groups[i].lanes -= 1;
+                out.push(p);
+            }
+            if g.reversed {
+                let mut p = self.clone();
+                p.groups[i].reversed = false;
+                out.push(p);
+            }
+            for s in g.shape.shrink_candidates() {
+                let mut p = self.clone();
+                p.groups[i].shape = s;
+                out.push(p);
+            }
+        }
+        if let Some(r) = &self.reduction {
+            if r.width > 4 {
+                let mut p = self.clone();
+                p.reduction.as_mut().unwrap().width -= 1;
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn decode_encode_roundtrip_on_random_bytes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..500 {
+            let len = rng.gen_range(0usize..128);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let p = Plan::decode(&bytes);
+            let canon = p.encode();
+            assert_eq!(Plan::decode(&canon), p, "canonical form must re-decode identically");
+            // encode is a fixpoint on canonical bytes.
+            assert_eq!(Plan::decode(&canon).encode(), canon);
+        }
+    }
+
+    #[test]
+    fn empty_and_short_streams_decode() {
+        let p = Plan::decode(&[]);
+        assert_eq!(p.arrays, 1);
+        assert_eq!(p.groups.len(), 1);
+        assert_eq!(Plan::decode(&p.encode()), p);
+        for n in 0..8 {
+            let bytes = vec![0xff; n];
+            let p = Plan::decode(&bytes);
+            assert_eq!(Plan::decode(&p.encode()), p);
+        }
+    }
+
+    #[test]
+    fn shrink_candidates_roundtrip_and_shrink() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let len = rng.gen_range(8usize..96);
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let p = Plan::decode(&bytes);
+            for c in p.shrink_candidates() {
+                assert_ne!(c, p, "shrink candidates must differ from the original");
+                assert_eq!(Plan::decode(&c.encode()), c, "candidate must round-trip");
+            }
+        }
+    }
+
+    #[test]
+    fn swap_mask_zero_for_noncommutative() {
+        // Byte stream forcing a Sub bin node: tag 2, op index 5 (Sub in
+        // INT_BIN), swap byte 0xff — the mask must decode to 0.
+        let bytes = [1, 0, 0, 0, 0, 2, 5, 0xff, 1, 0, 1, 0, 1];
+        let p = Plan::decode(&bytes);
+        if let Shape::Bin { op, swap_mask, .. } = &p.groups[0].shape {
+            assert_eq!(*op, Opcode::Sub);
+            assert_eq!(*swap_mask, 0);
+        } else {
+            panic!("expected Bin shape, got {:?}", p.groups[0].shape);
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! A total byte-stream decoder in the style of `arbitrary::Unstructured`.
+//!
+//! Every read is *total*: when the stream runs dry the decoder returns
+//! zeros instead of failing. This gives the generator two properties the
+//! campaign relies on:
+//!
+//! * **any byte string decodes** to a well-formed [`crate::plan::Plan`] —
+//!   mutation can never produce a rejected input, so no fuzzing time is
+//!   wasted on invalid corpus entries;
+//! * **decoding is a pure function of the bytes** — replaying a corpus
+//!   entry reproduces the exact same program on any machine.
+
+/// A cursor over raw fuzz bytes. Reads past the end yield `0`.
+pub struct Unstructured<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Unstructured<'a> {
+    /// Wrap a byte slice.
+    pub fn new(data: &'a [u8]) -> Unstructured<'a> {
+        Unstructured { data, pos: 0 }
+    }
+
+    /// Next byte, or `0` once the stream is exhausted.
+    pub fn byte(&mut self) -> u8 {
+        let b = self.data.get(self.pos).copied().unwrap_or(0);
+        self.pos += 1;
+        b
+    }
+
+    /// Next byte reduced into `lo..=hi` (inclusive; `lo <= hi` required).
+    pub fn int_in(&mut self, lo: u8, hi: u8) -> u8 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo) as u16 + 1;
+        lo + (self.byte() as u16 % span) as u8
+    }
+
+    /// Number of bytes consumed so far (including virtual zero reads).
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhausted_stream_reads_zero() {
+        let mut u = Unstructured::new(&[7]);
+        assert_eq!(u.byte(), 7);
+        assert_eq!(u.byte(), 0);
+        assert_eq!(u.byte(), 0);
+        assert_eq!(u.consumed(), 3);
+    }
+
+    #[test]
+    fn int_in_stays_in_range() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut u = Unstructured::new(&data);
+        for _ in 0..=255 {
+            let v = u.int_in(2, 6);
+            assert!((2..=6).contains(&v));
+        }
+    }
+}

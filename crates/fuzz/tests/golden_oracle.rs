@@ -1,0 +1,136 @@
+//! Golden-oracle negative tests: plant a known miscompile through the
+//! test-only [`Sabotage`] hook and prove the fuzzing oracles catch it.
+//!
+//! An oracle that never fires is indistinguishable from one that is
+//! wired up wrong; each sabotage variant here is paired with the oracle
+//! kinds designed to catch it, and the union of the three variants
+//! covers all four oracles:
+//!
+//! * `SwapShuffleMask` (lane-swapped vector store) → differential and,
+//!   for float programs, metamorphic;
+//! * `CommitWorstVf` (reversed candidate order) → cross-VF consistency;
+//! * `SkipFinalDce` (dead scalars survive) → pipeline idempotence.
+
+use lslp::{CompileOptions, Sabotage, Session, VectorizerConfig};
+use lslp_fuzz::{
+    base_config, build, check_program, default_targets, fnv64, OracleKind, Plan, Shape,
+};
+use lslp_fuzz::{GroupPlan, Program};
+use lslp_ir::Opcode;
+
+/// A 4-lane axpy-like group: wide enough that skylake/avx512 price both
+/// VF4 and VF2 (so `CommitWorstVf` has a worse candidate to commit), and
+/// the per-lane loads differ (so a lane swap is observable).
+fn axpy_plan(int: bool) -> Plan {
+    let op = if int { Opcode::Add } else { Opcode::FAdd };
+    Plan {
+        int,
+        via_slc: false,
+        arrays: 1,
+        groups: vec![GroupPlan {
+            lanes: 4,
+            reversed: false,
+            shape: Shape::Bin {
+                op,
+                swap_mask: 0,
+                lhs: Box::new(Shape::Load { arr: 0, base: 0 }),
+                rhs: Box::new(Shape::Const(3)),
+            },
+        }],
+        reduction: None,
+    }
+}
+
+fn build_plan(plan: &Plan) -> Program {
+    build(plan).expect("golden plan builds")
+}
+
+fn kinds_under(plan: &Plan, sabotage: Sabotage) -> Vec<OracleKind> {
+    let cfg = VectorizerConfig { sabotage, ..base_config() };
+    let p = build_plan(plan);
+    let salt = fnv64(&plan.encode());
+    let outcome = check_program(&p, &cfg, &default_targets(), salt);
+    let mut kinds: Vec<OracleKind> = outcome.violations.iter().map(|v| v.oracle).collect();
+    kinds.dedup();
+    kinds
+}
+
+#[test]
+fn clean_control_passes_every_oracle() {
+    for int in [true, false] {
+        let kinds = kinds_under(&axpy_plan(int), Sabotage::None);
+        assert!(kinds.is_empty(), "clean control (int={int}) flagged: {kinds:?}");
+    }
+}
+
+#[test]
+fn swapped_shuffle_mask_trips_differential_and_metamorphic() {
+    // Float: the metamorphic oracle compares the permuted-compiled output
+    // against the scalar reference, so a deterministic miscompile shared
+    // by both compiles still trips it.
+    let kinds = kinds_under(&axpy_plan(false), Sabotage::SwapShuffleMask);
+    assert!(
+        kinds.contains(&OracleKind::Differential),
+        "differential missed the lane swap: {kinds:?}"
+    );
+    assert!(
+        kinds.contains(&OracleKind::Metamorphic),
+        "metamorphic missed the lane swap: {kinds:?}"
+    );
+}
+
+#[test]
+fn committing_the_worst_vf_trips_cross_vf() {
+    let kinds = kinds_under(&axpy_plan(true), Sabotage::CommitWorstVf);
+    assert!(kinds.contains(&OracleKind::CrossVf), "cross-VF missed the bad commit: {kinds:?}");
+}
+
+#[test]
+fn skipping_final_dce_trips_idempotence() {
+    let kinds = kinds_under(&axpy_plan(true), Sabotage::SkipFinalDce);
+    assert!(
+        kinds.contains(&OracleKind::Idempotence),
+        "idempotence missed the dead code: {kinds:?}"
+    );
+}
+
+/// Together the planted bugs exercise every oracle the fuzzer runs.
+#[test]
+fn sabotage_union_covers_all_four_oracles() {
+    let mut seen = Vec::new();
+    seen.extend(kinds_under(&axpy_plan(false), Sabotage::SwapShuffleMask));
+    seen.extend(kinds_under(&axpy_plan(true), Sabotage::CommitWorstVf));
+    seen.extend(kinds_under(&axpy_plan(true), Sabotage::SkipFinalDce));
+    for kind in [
+        OracleKind::Differential,
+        OracleKind::Metamorphic,
+        OracleKind::CrossVf,
+        OracleKind::Idempotence,
+    ] {
+        assert!(seen.contains(&kind), "no sabotage variant reached {kind:?}");
+    }
+}
+
+/// The hook is reachable from the public options surface too, so the
+/// whole `Session` pipeline can be placed under oracle scrutiny.
+#[test]
+fn sabotage_plumbs_through_compile_options() {
+    let src = "kernel axpy(i64* OUT, i64* IN0, i64 i) {\n\
+               OUT[i + 0] = IN0[i + 0] + 3;\n\
+               OUT[i + 1] = IN0[i + 1] + 3;\n\
+               OUT[i + 2] = IN0[i + 2] + 3;\n\
+               OUT[i + 3] = IN0[i + 3] + 3;\n\
+               }";
+    let compile = |sabotage| {
+        let opts =
+            CompileOptions::preset("LSLP").sabotage(sabotage).build().expect("valid options");
+        let mut session = Session::new(opts);
+        session.compile(src).expect("compiles").ir()
+    };
+    // `SkipFinalDce` would be masked here: the full pipeline runs its own
+    // DCE pass after the vectorizer. The planted lane-swap shuffle has a
+    // use, so it survives all the way to the artifact.
+    let clean = compile(Sabotage::None);
+    let dirty = compile(Sabotage::SwapShuffleMask);
+    assert_ne!(clean, dirty, "the planted shuffle must survive into the artifact IR");
+}

@@ -1,0 +1,163 @@
+//! Protocol-robustness fuzzing for `lslpd`: random and structurally
+//! mutated request lines, at the parser level and over a real socket.
+//!
+//! Invariants under test:
+//!
+//! * `parse_request`/`unescape`/`Response::parse` never panic, whatever
+//!   the input (the functions are total over `&str`);
+//! * every parser rejection renders as a typed `ERR kind=proto` line that
+//!   round-trips through `Response::parse`;
+//! * the live server answers *every* line — random garbage, truncated
+//!   escapes, oversized payloads, unknown options, interleaved `HELLO`s —
+//!   with exactly one well-formed response, and keeps serving afterwards.
+
+use std::time::Duration;
+
+use lslp_server::protocol::{escape, parse_request, unescape, CompileRequest, ErrorKind, Response};
+use lslp_server::{Client, Server, ServerConfig};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Deterministic seed: failures reproduce anywhere.
+const SEED: u64 = 0x5150_F022;
+
+/// A printable-ish random line (no `\n`/`\r`: framing is the reader's
+/// job, one line per request is the contract being fuzzed).
+fn random_line(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(0..200usize);
+    (0..len)
+        .map(|_| {
+            // Bias toward protocol-relevant bytes so mutations reach deep
+            // into the option parser instead of dying at the verb.
+            match rng.gen_range(0..10u32) {
+                0 => '=',
+                1 => ' ',
+                2 => '\\',
+                3..=5 => (b'a' + rng.gen_range(0..26u8)) as char,
+                6 => (b'A' + rng.gen_range(0..26u8)) as char,
+                7 => (b'0' + rng.gen_range(0..10u8)) as char,
+                _ => char::from_u32(rng.gen_range(0x21..0x7f)).unwrap_or('?'),
+            }
+        })
+        .collect()
+}
+
+/// A valid COMPILE line with randomized fields, as mutation stock.
+fn valid_line(rng: &mut StdRng) -> String {
+    let configs = ["LSLP", "SLP", "O3", "LSLP-LA4"];
+    let req = CompileRequest {
+        config: configs[rng.gen_range(0..configs.len())].into(),
+        target: if rng.gen_bool(0.5) { Some("sse4.2".into()) } else { None },
+        pipeline: rng.gen_bool(0.5),
+        guard: if rng.gen_bool(0.3) { Some("strict".into()) } else { None },
+        timeout_ms: if rng.gen_bool(0.3) { Some(rng.gen_range(1..1000u64)) } else { None },
+        src: "kernel k(i64* A, i64 i) {\nA[i + 0] = A[i + 0] + 1;\n}".into(),
+        ..CompileRequest::default()
+    };
+    req.to_line()
+}
+
+/// Structurally mutate a valid line: truncations (possibly mid-escape),
+/// unknown options, verb damage, duplicated keys, planted bad escapes.
+fn mutate(rng: &mut StdRng, line: &str) -> String {
+    let mut s = line.to_string();
+    for _ in 0..rng.gen_range(1..4usize) {
+        match rng.gen_range(0..8u32) {
+            0 => {
+                // Truncate anywhere (all-ASCII stock), happily splitting
+                // an escape pair.
+                let at = rng.gen_range(0..=s.len());
+                s.truncate(at);
+            }
+            1 => s.push('\\'), // trailing lone backslash
+            2 => s = s.replacen("COMPILE", "COMPILE frob=1", 1),
+            3 => s = s.replace("config=", "konfig="),
+            4 => s = s.replacen("src=", "src=\\q", 1), // unknown escape
+            5 => s = format!("{} pipeline=2", s),      // duplicate, bad value
+            6 => {
+                let at = rng.gen_range(0..=s.len());
+                s.insert(at.min(s.len()), ['=', ' ', '\\'][rng.gen_range(0..3usize)]);
+            }
+            _ => {
+                if !s.is_empty() {
+                    let at = rng.gen_range(0..s.len());
+                    s.remove(at);
+                }
+            }
+        }
+    }
+    s
+}
+
+/// Parser-level fuzz: total functions, typed errors. No sockets, so this
+/// leg affords a large iteration count.
+#[test]
+fn parser_survives_random_and_mutated_lines() {
+    let mut rng = StdRng::seed_from_u64(SEED);
+    for i in 0..4000 {
+        let line = if i % 2 == 0 {
+            random_line(&mut rng)
+        } else {
+            let stock = valid_line(&mut rng);
+            mutate(&mut rng, &stock)
+        };
+        // Must not panic; on rejection the message must fit on an ERR line.
+        if let Err(msg) = parse_request(&line) {
+            let err = Response::err_line(ErrorKind::Proto, &msg);
+            let parsed = Response::parse(&err)
+                .unwrap_or_else(|e| panic!("ERR line for {line:?} unparseable: {e}"));
+            assert!(!parsed.ok);
+            assert_eq!(parsed.error, Some(ErrorKind::Proto), "typed kind for {line:?}");
+            assert_eq!(parsed.payload, msg, "message survives the wire for {line:?}");
+        }
+        // unescape is total too, and escape/unescape round-trips.
+        let _ = unescape(&line);
+        assert_eq!(unescape(&escape(&line)).as_deref(), Ok(line.as_str()));
+        // Response::parse is total over garbage as well.
+        let _ = Response::parse(&line);
+    }
+}
+
+/// Live-socket fuzz: the daemon answers every line with one well-formed
+/// response and keeps serving. Interleaves valid HELLOs, bad HELLOs,
+/// oversized payloads, and garbage on one connection.
+#[test]
+fn server_answers_every_mutated_line() {
+    let cfg = ServerConfig { addr: "127.0.0.1:0".into(), workers: 2, ..ServerConfig::default() };
+    let (addr, daemon) = Server::spawn(cfg).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let mut rng = StdRng::seed_from_u64(SEED);
+
+    for i in 0..120 {
+        let line = match i % 5 {
+            0 => random_line(&mut rng),
+            1 | 2 => {
+                let stock = valid_line(&mut rng);
+                mutate(&mut rng, &stock)
+            }
+            3 => format!("HELLO proto={}", rng.gen_range(0..4u32)),
+            _ => {
+                // Oversized-but-escaped payload: a legal line the parser
+                // must absorb without truncation or stack abuse.
+                let big = "x".repeat(rng.gen_range(64..256usize) * 1024);
+                format!("COMPILE src={}", escape(&big))
+            }
+        };
+        let line = line.replace(['\n', '\r'], " "); // keep one-line framing
+        if line.trim().is_empty() || line.trim() == "SHUTDOWN" {
+            continue; // an empty send would read as connection close
+        }
+        let resp =
+            client.roundtrip(&line).unwrap_or_else(|e| panic!("no response to {line:?}: {e}"));
+        if !resp.ok {
+            assert!(resp.error.is_some(), "ERR without a typed kind for {line:?}");
+        }
+    }
+
+    // The connection and the daemon both survived the abuse.
+    assert_eq!(client.ping().unwrap().payload, "pong");
+    let r = client.compile(&CompileRequest::new("kernel k(i64* A, i64 i) { A[i + 0] = 1; }"));
+    assert!(r.unwrap().ok, "server still compiles after the fuzz run");
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}

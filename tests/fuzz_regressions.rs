@@ -1,0 +1,70 @@
+//! Tier-1 regression replay: every reproducer the fuzzer ever minimized
+//! into `fuzz/corpus/regressions/` is re-run through all four oracles on
+//! every target. No fuzzing happens here — found bugs stay fixed.
+//!
+//! Registered as a test of `lslp-fuzz` (see `crates/fuzz/Cargo.toml`); it
+//! lives at the repository root with the other cross-crate integration
+//! tests.
+
+use std::path::PathBuf;
+
+use lslp_fuzz::{base_config, default_targets, replay_file};
+
+fn regressions_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/corpus/regressions")
+}
+
+#[test]
+fn replay_regression_corpus() {
+    let dir = regressions_dir();
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        // No corpus yet: trivially green.
+        return;
+    };
+    let mut cases: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "case"))
+        .collect();
+    cases.sort();
+    let base = base_config();
+    let targets = default_targets();
+    let mut broken = Vec::new();
+    for case in &cases {
+        let (plan, outcome) = replay_file(case, &base, &targets)
+            .unwrap_or_else(|e| panic!("unreadable corpus entry: {e}"));
+        if !outcome.violations.is_empty() {
+            broken.push(format!(
+                "{}: plan {plan:?} still violates: {:?}",
+                case.display(),
+                outcome
+                    .violations
+                    .iter()
+                    .map(|v| format!("[{}@{}] {}", v.oracle.name(), v.target, v.detail))
+                    .collect::<Vec<_>>()
+            ));
+        }
+    }
+    assert!(broken.is_empty(), "regression corpus entries still failing:\n{}", broken.join("\n"));
+}
+
+/// The corpus directory layout itself is part of the contract: `.case`
+/// files are raw plan bytes and must decode/re-encode canonically.
+#[test]
+fn corpus_entries_are_canonical() {
+    let dir = regressions_dir();
+    let Ok(entries) = std::fs::read_dir(&dir) else { return };
+    for e in entries.filter_map(Result::ok) {
+        let p = e.path();
+        if p.extension().is_some_and(|x| x == "case") {
+            let bytes = std::fs::read(&p).unwrap();
+            let plan = lslp_fuzz::Plan::decode(&bytes);
+            assert_eq!(
+                plan.encode(),
+                bytes,
+                "{} is not canonical; re-encode it with Plan::encode",
+                p.display()
+            );
+        }
+    }
+}
