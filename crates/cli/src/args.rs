@@ -61,6 +61,11 @@ pub struct Args {
     pub addr: String,
     /// Worker-thread count for `--serve` (`None` = CPU count).
     pub workers: Option<usize>,
+    /// Persistent cache directory for `--serve` (`None` = memory-only).
+    pub cache_dir: Option<String>,
+    /// Fault-injection spec for `--serve`, validated at parse time
+    /// (`None` = no injected faults).
+    pub chaos: Option<String>,
     /// Run a fuzzing campaign of this many iterations instead of
     /// compiling one input (see `docs/FUZZING.md`).
     pub fuzz: Option<u64>,
@@ -91,6 +96,8 @@ impl Default for Args {
             serve: false,
             addr: "127.0.0.1:7979".into(),
             workers: None,
+            cache_dir: None,
+            chaos: None,
             fuzz: None,
             fuzz_seed: 1,
             fuzz_dir: "fuzz/corpus/regressions".into(),
@@ -149,6 +156,10 @@ OPTIONS:
                        docs/SERVER.md for the protocol)
     --addr <H:P>       bind address for --serve (default: 127.0.0.1:7979)
     --workers <N>      worker threads for --serve (default: CPU count)
+    --cache-dir <DIR>  with --serve: persist the result cache under DIR so a
+                       restarted daemon starts warm (see docs/SERVER.md)
+    --chaos <SPEC>     with --serve: seeded fault injection, e.g.
+                       seed=7,panic=0.1,read-drop=0.05 (see docs/SERVER.md)
     --fuzz <N>         run an N-iteration fuzzing campaign (no input file;
                        differential/metamorphic oracles on every target —
                        or just --target if given; see docs/FUZZING.md).
@@ -213,6 +224,13 @@ pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
             "--stats" => args.stats = true,
             "--serve" => args.serve = true,
             "--addr" => args.addr = value_of("--addr")?,
+            "--cache-dir" => args.cache_dir = Some(value_of("--cache-dir")?),
+            "--chaos" => {
+                let spec = value_of("--chaos")?;
+                lslp_server::chaos::ChaosConfig::parse(&spec)
+                    .map_err(|e| ArgError(format!("bad --chaos: {e}")))?;
+                args.chaos = Some(spec);
+            }
             "--workers" => {
                 args.workers = Some(
                     value_of("--workers")?
@@ -339,16 +357,35 @@ mod tests {
 
     #[test]
     fn serve_flags_parse() {
-        let a = p(&["--serve", "--addr", "0.0.0.0:9000", "--workers", "8"]).unwrap();
+        let a = p(&[
+            "--serve",
+            "--addr",
+            "0.0.0.0:9000",
+            "--workers",
+            "8",
+            "--cache-dir",
+            "/tmp/lslp",
+            "--chaos",
+            "seed=7,panic=0.1",
+        ])
+        .unwrap();
         assert!(a.serve);
         assert_eq!(a.addr, "0.0.0.0:9000");
         assert_eq!(a.workers, Some(8));
+        assert_eq!(a.cache_dir.as_deref(), Some("/tmp/lslp"));
+        assert_eq!(a.chaos.as_deref(), Some("seed=7,panic=0.1"));
         assert!(a.input.is_empty(), "daemon mode has no input file");
         assert!(p(&["--serve", "kernel.slc"]).unwrap_err().0.contains("takes no input"));
         assert!(p(&["--serve", "--workers", "many"]).unwrap_err().0.contains("bad --workers"));
+        assert!(
+            p(&["--serve", "--chaos", "panic=2.0"]).unwrap_err().0.contains("bad --chaos"),
+            "chaos specs are validated at parse time"
+        );
         let d = p(&["k.slc"]).unwrap();
         assert!(!d.serve);
         assert_eq!(d.workers, None);
+        assert_eq!(d.cache_dir, None);
+        assert_eq!(d.chaos, None);
     }
 
     #[test]

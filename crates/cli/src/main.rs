@@ -91,6 +91,17 @@ fn serve(args: &lslp_cli::Args) -> ExitCode {
     if let Some(workers) = args.workers {
         cfg.workers = workers;
     }
+    cfg.cache_dir = args.cache_dir.clone();
+    if let Some(spec) = &args.chaos {
+        // Validated during argument parsing; re-parse into the config type.
+        match lslp_server::chaos::ChaosConfig::parse(spec) {
+            Ok(c) => cfg.chaos = Some(c),
+            Err(e) => {
+                eprintln!("lslpc: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let server = match lslp_server::Server::bind(cfg) {
         Ok(s) => s,
         Err(e) => {

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! lslpd [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]
-//!       [--cache-shards N] [--time-budget-ms N]
+//!       [--cache-shards N] [--time-budget-ms N] [--cache-dir DIR]
+//!       [--chaos SPEC]
 //! ```
 //!
 //! Serves the line-delimited protocol of `docs/SERVER.md` until a client
@@ -27,6 +28,14 @@ OPTIONS:
     --cache-cap <N>        result-cache entries across shards (default: 1024)
     --cache-shards <N>     result-cache shard count (default: 16)
     --time-budget-ms <N>   default per-request compile budget (default: 500)
+    --cache-dir <DIR>      persist the result cache under DIR (journal +
+                           checksummed entries); a restarted daemon starts
+                           warm, corrupt entries are quarantined, and disk
+                           failures degrade to memory-only (default: off)
+    --chaos <SPEC>         seeded fault injection, e.g.
+                           seed=7,panic=0.1,read-drop=0.05,delay=10:0.2
+                           (keys: seed, accept-drop, read-drop, write-drop,
+                           delay=MS:P, panic, corrupt; see docs/SERVER.md)
     -h, --help             show this help
 ";
 
@@ -61,6 +70,13 @@ fn parse_args(argv: &[String]) -> Result<ServerConfig, String> {
                     .parse()
                     .map_err(|e| format!("bad --time-budget-ms: {e}"))?
             }
+            "--cache-dir" => cfg.cache_dir = Some(value_of("--cache-dir")?),
+            "--chaos" => {
+                cfg.chaos = Some(
+                    lslp_server::chaos::ChaosConfig::parse(&value_of("--chaos")?)
+                        .map_err(|e| format!("bad --chaos: {e}"))?,
+                )
+            }
             other => return Err(format!("unknown option `{other}`\n\n{USAGE}")),
         }
     }
@@ -76,6 +92,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let chaos_active = cfg.chaos.as_ref().is_some_and(|c| c.is_active());
     let server = match Server::bind(cfg) {
         Ok(s) => s,
         Err(e) => {
@@ -83,6 +100,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if chaos_active {
+        eprintln!("lslpd: CHAOS ACTIVE — injecting faults on purpose");
+    }
     eprintln!("lslpd: serving on {}", server.local_addr());
     match server.run() {
         Ok(()) => {

@@ -61,6 +61,21 @@ pub fn content_key(parts: &[&str]) -> u64 {
     h
 }
 
+/// The same FNV-1a construction over raw byte slices — used by the disk
+/// tier ([`crate::persist`]) to checksum entry files (header + payload).
+pub fn content_key_bytes(parts: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for part in parts {
+        for &b in *part {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h ^= 0;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 struct Entry {
     /// Full key material, compared on lookup to rule out hash collisions.
     material: String,
@@ -124,18 +139,42 @@ impl ResultCache {
     }
 
     /// Insert a result, evicting the shard's least-recently-used entry when
-    /// the shard is at capacity.
-    pub fn insert(&self, key: u64, material: &str, result: CachedResult) {
+    /// the shard is at capacity. Returns the evicted key (if any) so a
+    /// tiered caller can tombstone the disk copy.
+    pub fn insert(&self, key: u64, material: &str, result: CachedResult) -> Option<u64> {
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard(key).lock().expect("cache shard lock");
+        let mut evicted = None;
         if !shard.map.contains_key(&key) && shard.map.len() >= self.shard_capacity {
             let victim = shard.map.iter().min_by_key(|(_, entry)| entry.stamp).map(|(&k, _)| k);
             if let Some(victim) = victim {
                 shard.map.remove(&victim);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
+                evicted = Some(victim);
             }
         }
         shard.map.insert(key, Entry { material: material.to_string(), result, stamp });
+        evicted
+    }
+
+    /// Every resident entry's last-access stamp, plus the clock's current
+    /// value. Test/diagnostic aid: stamps must all be strictly below the
+    /// clock, and distinct per assignment (the clock only moves forward).
+    #[doc(hidden)]
+    pub fn debug_stamps(&self) -> (Vec<u64>, u64) {
+        let stamps = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .expect("cache shard lock")
+                    .map
+                    .values()
+                    .map(|e| e.stamp)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        (stamps, self.clock.load(Ordering::Relaxed))
     }
 
     /// Point-in-time counters.
@@ -208,6 +247,46 @@ mod tests {
         assert_eq!(cache.counters().evictions, 0);
         assert_eq!(cache.get(1, "k1").unwrap().output, "1b");
         assert!(cache.get(2, "k2").is_some());
+    }
+
+    #[test]
+    fn eviction_storm_keeps_stamps_monotone_and_reports_victims() {
+        // Tiny capacity + concurrent hit/miss/evict churn: every eviction
+        // must be reported exactly once (the tier-2 tombstone contract),
+        // and LRU stamps must stay monotone — strictly below the clock and
+        // unique among residents (each assignment gets a fresh tick).
+        let cache = ResultCache::new(4, 1);
+        let evicted = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let (cache, evicted) = (&cache, &evicted);
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        let material = format!("m{}", (t * 31 + i) % 16);
+                        let key = content_key(&[&material]);
+                        if cache.get(key, &material).is_none() {
+                            if let Some(v) = cache.insert(key, &material, result(&material)) {
+                                evicted.lock().unwrap().push(v);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let c = cache.counters();
+        assert!(c.entries <= 4, "capacity respected: {}", c.entries);
+        assert_eq!(
+            evicted.lock().unwrap().len() as u64,
+            c.evictions,
+            "every eviction reported exactly once"
+        );
+        assert!(c.evictions > 0, "a 16-key storm over 4 slots must evict");
+        let (stamps, clock) = cache.debug_stamps();
+        assert!(stamps.iter().all(|&s| s < clock), "stamps below clock: {stamps:?} vs {clock}");
+        let mut sorted = stamps.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), stamps.len(), "stamps unique per assignment: {stamps:?}");
     }
 
     #[test]

@@ -13,28 +13,43 @@
 //! `std`-only by design: `TcpListener` + `thread` (the build environment
 //! has no package registry), which also keeps the concurrency model
 //! auditable — one acceptor, one lightweight thread per connection doing
-//! framing only, and a fixed pool of compile workers behind the queue.
+//! framing only, and a supervised pool of compile workers behind the
+//! queue.
 //!
-//! Failure containment: per-request compile budgets are fed into the pass
-//! guard's time-budget fuel ([`lslp::VectorizerConfig::time_budget_ms`]),
-//! so a pathological input degrades to (partially) scalar output and a
-//! `FuelExhausted` incident instead of stalling a worker; panics and
-//! miscompiles inside passes are already isolated by the transactional
-//! guard (see `docs/GUARD.md`).
+//! Crash safety is layered (see `docs/SERVER.md` §Recovery):
 //!
-//! See `docs/SERVER.md` for the protocol and operational semantics.
+//! * per-request compile budgets ride the pass guard's time-budget fuel
+//!   ([`lslp::VectorizerConfig::time_budget_ms`]), so a pathological
+//!   input degrades to (partially) scalar output instead of stalling a
+//!   worker; panics and miscompiles inside passes are isolated by the
+//!   transactional guard (`docs/GUARD.md`);
+//! * a **watchdog** supervises the worker pool: a worker thread that
+//!   dies outside a drain is respawned (`worker-restarts`), a worker
+//!   busy past the stall threshold gets a supplementary worker spawned
+//!   beside it (`worker-stalls`);
+//! * an optional **persistent tier** ([`persist`]) mirrors the result
+//!   cache to `--cache-dir` through checksummed, atomically-renamed
+//!   entry files plus an append-only journal, so a restarted daemon —
+//!   even after `kill -9` — starts warm, quarantining any corrupt
+//!   entries instead of failing;
+//! * a seeded **fault-injection layer** ([`chaos`]) drops connections,
+//!   delays/drops responses, panics workers, and corrupts disk entries
+//!   on demand, so all of the above is exercised by tests;
+//! * the `HEALTH` verb reports `ready`/`degraded`/`draining` for probes.
 
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 pub mod metrics;
+pub mod persist;
 pub mod protocol;
 pub mod queue;
 
 use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -44,11 +59,13 @@ use lslp::{try_run_pipeline_with, try_run_vectorize_only, PipelineReport, SyncSt
 use lslp_analysis::AnalysisManager;
 
 use cache::{content_key, CachedResult, ResultCache};
+use chaos::{Chaos, ChaosConfig};
 use metrics::LatencyReservoir;
+use persist::PersistentCache;
 use protocol::{CompileRequest, Emit, ErrorKind, Request, Response, PROTOCOL_VERSION};
 use queue::{Bounded, PushError};
 
-pub use client::Client;
+pub use client::{Client, RetryOutcome, RetryPolicy};
 
 /// Tunables for one daemon instance.
 #[derive(Clone, Debug)]
@@ -67,6 +84,13 @@ pub struct ServerConfig {
     /// Default per-request compile budget (ms) when the request does not
     /// carry `timeout-ms=`.
     pub default_time_budget_ms: u64,
+    /// Directory for the persistent cache tier (`None` = memory-only).
+    pub cache_dir: Option<String>,
+    /// Fault-injection spec (`None` = no injected faults).
+    pub chaos: Option<ChaosConfig>,
+    /// A worker busy on one job past this threshold is counted stalled
+    /// and a supplementary worker is spawned beside it.
+    pub stall_after_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -78,6 +102,9 @@ impl Default for ServerConfig {
             cache_capacity: 1024,
             cache_shards: 16,
             default_time_budget_ms: 500,
+            cache_dir: None,
+            chaos: None,
+            stall_after_ms: 10_000,
         }
     }
 }
@@ -89,14 +116,95 @@ struct Job {
     reply: mpsc::Sender<String>,
 }
 
-/// State shared by the acceptor, connection threads, and workers.
+/// Watchdog-visible worker-pool gauges.
+#[derive(Default)]
+struct Supervision {
+    /// Workers respawned after a panic death.
+    restarts: AtomicU64,
+    /// Stall incidents (worker busy past the threshold).
+    stalls: AtomicU64,
+    /// Workers currently alive (watchdog's last census).
+    alive: AtomicU64,
+}
+
+/// State shared by the acceptor, connection threads, workers, and the
+/// watchdog.
 struct Shared {
     cfg: ServerConfig,
     queue: Bounded<Job>,
     cache: ResultCache,
+    persist: Option<PersistentCache>,
+    chaos: Option<Chaos>,
+    supervision: Supervision,
     registry: SyncStatistics,
     latency: LatencyReservoir,
     shutdown: AtomicBool,
+    started: Instant,
+}
+
+impl Shared {
+    /// Allocate shared state: open the persistent tier (when configured)
+    /// and warm the memory cache from it.
+    fn new(cfg: ServerConfig) -> Shared {
+        let (persist, warm) = match &cfg.cache_dir {
+            Some(dir) => {
+                let (p, warm) = PersistentCache::open(std::path::Path::new(dir));
+                (Some(p), warm)
+            }
+            None => (None, Vec::new()),
+        };
+        let shared = Shared {
+            queue: Bounded::new(cfg.queue_capacity),
+            cache: ResultCache::new(cfg.cache_capacity, cfg.cache_shards),
+            persist,
+            chaos: cfg.chaos.clone().filter(|c| c.is_active()).map(Chaos::new),
+            supervision: Supervision::default(),
+            registry: SyncStatistics::new(),
+            latency: LatencyReservoir::new(),
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            cfg,
+        };
+        for entry in &warm {
+            // Disk already holds these; only memory (and any overflow
+            // tombstones) need updating.
+            tiered_insert(&shared, entry.key, &entry.material, &entry.result, false);
+        }
+        if let Some(p) = &shared.persist {
+            let c = p.counters();
+            if c.quarantined > 0 {
+                shared.registry.add("server", "quarantined-entries", c.quarantined);
+            }
+        }
+        shared
+    }
+}
+
+/// Insert into the memory tier and mirror the consequences to disk: the
+/// new artifact is persisted (unless it came *from* disk) and any entry
+/// the LRU pushed out is tombstoned in the journal so the disk tier never
+/// resurrects it.
+fn tiered_insert(shared: &Shared, key: u64, material: &str, result: &CachedResult, to_disk: bool) {
+    // Disk before memory: an eviction can only target a key that is
+    // already resident, so writing the entry file (and its `I` journal
+    // record) *before* the memory insert guarantees a concurrent
+    // evictor's unlink + tombstone always land after this key's write —
+    // a restart can never resurrect an entry the LRU already dropped.
+    // The inverse race (an entry unlinked while being re-inserted) only
+    // loses a disk copy, which degrades to a cold miss, never to a
+    // superset.
+    if to_disk {
+        if let Some(p) = &shared.persist {
+            let corrupt = shared.chaos.as_ref().is_some_and(|c| c.corrupt_entry());
+            p.record_insert(key, material, result, corrupt);
+        }
+    }
+    let evicted = shared.cache.insert(key, material, result.clone());
+    if let Some(victim) = evicted {
+        if let Some(p) = &shared.persist {
+            p.record_eviction(victim);
+        }
+    }
 }
 
 /// A bound-but-not-yet-running daemon.
@@ -107,22 +215,17 @@ pub struct Server {
 }
 
 impl Server {
-    /// Bind the listener and allocate the shared state.
+    /// Bind the listener and allocate the shared state (including the
+    /// warm-start replay of `--cache-dir`, when configured).
     ///
     /// # Errors
     ///
-    /// Propagates socket errors (bad address, port in use).
+    /// Propagates socket errors (bad address, port in use). Disk problems
+    /// never fail the bind — the cache degrades to memory-only instead.
     pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
-        let shared = Arc::new(Shared {
-            queue: Bounded::new(cfg.queue_capacity),
-            cache: ResultCache::new(cfg.cache_capacity, cfg.cache_shards),
-            registry: SyncStatistics::new(),
-            latency: LatencyReservoir::new(),
-            shutdown: AtomicBool::new(false),
-            cfg,
-        });
+        let shared = Arc::new(Shared::new(cfg));
         Ok(Server { listener, local_addr, shared })
     }
 
@@ -153,12 +256,10 @@ impl Server {
     /// Propagates accept-loop socket errors.
     pub fn run(self) -> std::io::Result<()> {
         let Server { listener, local_addr, shared } = self;
-        let workers: Vec<JoinHandle<()>> = (0..shared.cfg.workers.max(1))
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
-            })
-            .collect();
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || watchdog_loop(&shared))
+        };
 
         let mut connections: Vec<JoinHandle<()>> = Vec::new();
         for stream in listener.incoming() {
@@ -169,6 +270,10 @@ impl Server {
                 Ok(s) => s,
                 Err(_) => continue,
             };
+            if shared.chaos.as_ref().is_some_and(|c| c.drop_accept()) {
+                drop(stream);
+                continue;
+            }
             let shared = Arc::clone(&shared);
             connections.push(std::thread::spawn(move || {
                 // Connection errors only affect that client.
@@ -180,12 +285,11 @@ impl Server {
         }
 
         // Graceful shutdown: stop accepting, let workers drain everything
-        // already admitted to the queue, then join the framing threads
-        // (they observe the shutdown flag via their read timeout).
+        // already admitted to the queue (the SHUTDOWN handler has already
+        // closed the queue, waking idle workers), then join the framing
+        // threads (they observe the shutdown flag via their read timeout).
         shared.queue.close();
-        for w in workers {
-            let _ = w.join();
-        }
+        let _ = watchdog.join();
         for c in connections {
             let _ = c.join();
         }
@@ -196,6 +300,93 @@ impl Server {
 /// How long a connection thread blocks in `read` before re-checking the
 /// shutdown flag.
 const READ_TICK: Duration = Duration::from_millis(100);
+
+/// Watchdog census interval: the upper bound on how long a panicked
+/// worker's slot stays empty.
+const WATCHDOG_TICK: Duration = Duration::from_millis(20);
+
+/// Per-worker heartbeat block, shared between the worker thread and the
+/// watchdog.
+#[derive(Default)]
+struct WorkerState {
+    /// Bumped on every dequeue and every completed job.
+    epoch: AtomicU64,
+    /// Millis-since-server-start when the current job began; 0 = idle.
+    busy_since_ms: AtomicU64,
+    /// Set just before `worker_loop` returns normally (drain complete),
+    /// so the watchdog can tell a drained worker from a crashed one.
+    clean_exit: AtomicBool,
+}
+
+fn spawn_worker(shared: &Arc<Shared>) -> (Arc<WorkerState>, JoinHandle<()>) {
+    let state = Arc::new(WorkerState::default());
+    let handle = {
+        let shared = Arc::clone(shared);
+        let state = Arc::clone(&state);
+        std::thread::spawn(move || worker_loop(&shared, &state))
+    };
+    (state, handle)
+}
+
+/// The self-healing supervisor: spawns the worker pool, then once per
+/// tick takes a census. A worker that died without its clean-exit flag —
+/// a panic, injected or real — is respawned in place while there is still
+/// work to serve (`worker-restarts`); a worker stuck on one job past the
+/// stall threshold gets a supplementary worker spawned beside it
+/// (`worker-stalls`, pool capped at 2× configured). Returns once every
+/// worker has exited and the queue is drained.
+fn watchdog_loop(shared: &Arc<Shared>) {
+    let configured = shared.cfg.workers.max(1);
+    let mut slots: Vec<(Arc<WorkerState>, Option<JoinHandle<()>>)> =
+        (0..configured).map(|_| spawn_worker(shared)).map(|(s, h)| (s, Some(h))).collect();
+    let mut stall_flagged = vec![false; slots.len()];
+    shared.supervision.alive.store(configured as u64, Ordering::Relaxed);
+    loop {
+        std::thread::sleep(WATCHDOG_TICK);
+        let drained = shared.queue.is_closed() && shared.queue.is_empty();
+        let now_ms = shared.started.elapsed().as_millis() as u64;
+        let mut alive = 0u64;
+        for i in 0..slots.len() {
+            let finished = slots[i].1.as_ref().map(JoinHandle::is_finished).unwrap_or(true);
+            if !finished {
+                alive += 1;
+                let busy = slots[i].0.busy_since_ms.load(Ordering::Relaxed);
+                if busy > 0 && now_ms.saturating_sub(busy) > shared.cfg.stall_after_ms {
+                    if !stall_flagged[i] {
+                        stall_flagged[i] = true;
+                        shared.supervision.stalls.fetch_add(1, Ordering::Relaxed);
+                        shared.registry.add("server", "worker-stalls", 1);
+                        if slots.len() < configured * 2 {
+                            let (s, h) = spawn_worker(shared);
+                            slots.push((s, Some(h)));
+                            stall_flagged.push(false);
+                        }
+                    }
+                } else if busy == 0 {
+                    stall_flagged[i] = false;
+                }
+                continue;
+            }
+            if let Some(handle) = slots[i].1.take() {
+                // Collect the thread (and swallow its panic payload — the
+                // panic is the fault we are healing from).
+                let _ = handle.join();
+                if !slots[i].0.clean_exit.load(Ordering::Relaxed) && !drained {
+                    shared.supervision.restarts.fetch_add(1, Ordering::Relaxed);
+                    shared.registry.add("server", "worker-restarts", 1);
+                    let (s, h) = spawn_worker(shared);
+                    slots[i] = (s, Some(h));
+                    stall_flagged[i] = false;
+                    alive += 1;
+                }
+            }
+        }
+        shared.supervision.alive.store(alive, Ordering::Relaxed);
+        if alive == 0 && drained {
+            return;
+        }
+    }
+}
 
 fn serve_connection(
     stream: TcpStream,
@@ -211,8 +402,21 @@ fn serve_connection(
         match reader.read_line(&mut line) {
             Ok(0) => return Ok(()), // client closed
             Ok(_) => {
+                if shared.chaos.as_ref().is_some_and(|c| c.drop_read()) {
+                    // Injected connection reset after the request was read.
+                    return Ok(());
+                }
                 let response = handle_line(&line, shared, local_addr);
                 line.clear();
+                if let Some(chaos) = &shared.chaos {
+                    if let Some(delay) = chaos.response_delay() {
+                        std::thread::sleep(delay);
+                    }
+                    if chaos.drop_write() {
+                        // Injected connection reset instead of the response.
+                        return Ok(());
+                    }
+                }
                 writer.write_all(response.as_bytes())?;
                 writer.write_all(b"\n")?;
                 writer.flush()?;
@@ -251,26 +455,36 @@ fn handle_line(line: &str, shared: &Shared, local_addr: SocketAddr) -> String {
             Response::ok_line(&[("proto", PROTOCOL_VERSION.to_string())], "lslpd")
         }
         Request::Ping => Response::ok_line(&[], "pong"),
+        Request::Health => render_health(shared),
         Request::Stats => {
             let payload = render_stats_payload(shared);
             Response::ok_line(&[], &payload)
         }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
+            // Close the queue *now*: this wakes every worker parked on an
+            // empty queue, so the drain cannot hang waiting for work that
+            // will never come (the accept-loop teardown closes again,
+            // idempotently). New pushes now fail Closed → ERR shutdown.
+            shared.queue.close();
             // Unblock the acceptor, which is parked in `accept`.
             let _ = TcpStream::connect(local_addr);
             Response::ok_line(&[], "draining")
         }
         Request::Compile(req) => {
-            // The queue closes only once the acceptor has unparked; check
-            // the flag too so work arriving after the SHUTDOWN response is
-            // refused deterministically, not raced against the drain.
+            // The queue closes in the SHUTDOWN handler; check the flag too
+            // so work arriving after the SHUTDOWN response is refused
+            // deterministically, not raced against the drain.
             if shared.shutdown.load(Ordering::SeqCst) {
                 return Response::err_line(ErrorKind::Shutdown, "server is draining");
             }
             let (tx, rx) = mpsc::channel();
             match shared.queue.push(Job { req, reply: tx }) {
                 Ok(()) => rx.recv().unwrap_or_else(|_| {
+                    // The worker died (e.g. a panic) with the job in hand;
+                    // the watchdog is already respawning it. The client
+                    // gets a typed, retryable error — never a hang.
+                    shared.registry.add("server", "errors-worker-lost", 1);
                     Response::err_line(ErrorKind::Internal, "worker dropped the request")
                 }),
                 Err(PushError::Full(_)) => {
@@ -285,14 +499,50 @@ fn handle_line(line: &str, shared: &Shared, local_addr: SocketAddr) -> String {
     }
 }
 
+/// The `HEALTH` response: `draining` once shutdown began, `degraded`
+/// when the disk tier failed or the worker pool is empty, else `ready`.
+fn render_health(shared: &Shared) -> String {
+    let draining = shared.shutdown.load(Ordering::SeqCst);
+    let disk_degraded = shared.persist.as_ref().is_some_and(PersistentCache::is_degraded);
+    let alive = shared.supervision.alive.load(Ordering::Relaxed);
+    let status = if draining {
+        "draining"
+    } else if disk_degraded || alive == 0 {
+        "degraded"
+    } else {
+        "ready"
+    };
+    Response::ok_line(
+        &[
+            ("status", status.to_string()),
+            ("workers-alive", alive.to_string()),
+            ("worker-restarts", shared.supervision.restarts.load(Ordering::Relaxed).to_string()),
+            ("degraded", u32::from(disk_degraded).to_string()),
+        ],
+        "health",
+    )
+}
+
 fn render_stats_payload(shared: &Shared) -> String {
     let c = shared.cache.counters();
+    let p = shared.persist.as_ref().map(PersistentCache::counters).unwrap_or_default();
     let extra = [
         (
             "cache",
             format!(
                 "entries={} capacity={} hits={} misses={} evictions={}",
                 c.entries, shared.cfg.cache_capacity, c.hits, c.misses, c.evictions
+            ),
+        ),
+        (
+            "persist",
+            format!(
+                "enabled={} warm={} quarantined={} disk-errors={} degraded={}",
+                u32::from(shared.persist.is_some()),
+                p.warm_entries,
+                p.quarantined,
+                p.disk_errors,
+                u32::from(p.degraded),
             ),
         ),
         (
@@ -304,25 +554,56 @@ fn render_stats_payload(shared: &Shared) -> String {
                 shared.queue.capacity()
             ),
         ),
-        ("workers", shared.cfg.workers.to_string()),
+        (
+            "workers",
+            format!(
+                "configured={} alive={} restarts={} stalls={}",
+                shared.cfg.workers,
+                shared.supervision.alive.load(Ordering::Relaxed),
+                shared.supervision.restarts.load(Ordering::Relaxed),
+                shared.supervision.stalls.load(Ordering::Relaxed),
+            ),
+        ),
+        (
+            "chaos",
+            format!(
+                "active={} injected={}",
+                u32::from(shared.chaos.is_some()),
+                shared.chaos.as_ref().map(Chaos::injected_total).unwrap_or(0),
+            ),
+        ),
     ];
     metrics::render_stats(&shared.registry, &shared.latency, &extra)
 }
 
 /// One worker: owns its analysis manager for the lifetime of the thread
 /// (the pass manager is instantiated per pipeline run under it) and drains
-/// the queue until close.
-fn worker_loop(shared: &Shared) {
+/// the queue until close, keeping its heartbeat block current for the
+/// watchdog.
+fn worker_loop(shared: &Shared, state: &WorkerState) {
     let mut am = AnalysisManager::new();
     while let Some(job) = shared.queue.pop() {
+        state.epoch.fetch_add(1, Ordering::Relaxed);
+        state
+            .busy_since_ms
+            .store((shared.started.elapsed().as_millis() as u64).max(1), Ordering::Relaxed);
+        if let Some(chaos) = &shared.chaos {
+            // An injected mid-compile death: the thread unwinds holding the
+            // job, the reply channel drops (the client gets a typed
+            // internal error), and the watchdog respawns this worker.
+            chaos.maybe_panic_worker();
+        }
         let response = compile_request(&job.req, shared, &mut am);
+        state.busy_since_ms.store(0, Ordering::Relaxed);
+        state.epoch.fetch_add(1, Ordering::Relaxed);
         // A vanished connection is not a worker error.
         let _ = job.reply.send(response);
     }
+    state.clean_exit.store(true, Ordering::Relaxed);
 }
 
-/// Serve one compile request: cache lookup, pipeline run on miss, cache
-/// fill, metrics.
+/// Serve one compile request: cache lookup, pipeline run on miss, tiered
+/// cache fill, metrics.
 fn compile_request(req: &CompileRequest, shared: &Shared, am: &mut AnalysisManager) -> String {
     let start = Instant::now();
     let budget_ms = req.timeout_ms.unwrap_or(shared.cfg.default_time_budget_ms);
@@ -421,7 +702,7 @@ fn compile_request(req: &CompileRequest, shared: &Shared, am: &mut AnalysisManag
         Emit::Report => render_report(&module, &reports),
     };
     let result = CachedResult { output, trees, cost, incidents };
-    shared.cache.insert(key, &material, result.clone());
+    tiered_insert(shared, key, &material, &result, true);
     shared.registry.add("server", "requests-ok", 1);
     let us = start.elapsed().as_micros() as u64;
     shared.latency.record(us);
@@ -468,6 +749,7 @@ fn render_report(module: &lslp_ir::Module, reports: &[PipelineReport]) -> String
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicU32;
 
     const SRC: &str = "kernel k(f64* A, f64* B, i64 i) {
                            A[i+0] = B[i+0] * B[i+0];
@@ -477,15 +759,19 @@ mod tests {
                        }";
 
     fn shared() -> Shared {
-        let cfg = ServerConfig { workers: 1, ..ServerConfig::default() };
-        Shared {
-            queue: Bounded::new(cfg.queue_capacity),
-            cache: ResultCache::new(cfg.cache_capacity, cfg.cache_shards),
-            registry: SyncStatistics::new(),
-            latency: LatencyReservoir::new(),
-            shutdown: AtomicBool::new(false),
-            cfg,
-        }
+        Shared::new(ServerConfig { workers: 1, ..ServerConfig::default() })
+    }
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "lslp-server-{tag}-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     fn run(req: &CompileRequest, shared: &Shared) -> Response {
@@ -568,12 +854,14 @@ mod tests {
     fn hello_negotiates_the_protocol_version() {
         let s = shared();
         let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
-        let ok = Response::parse(&handle_line("HELLO proto=2", &s, addr)).unwrap();
+        let ok = Response::parse(&handle_line("HELLO proto=3", &s, addr)).unwrap();
         assert!(ok.ok, "{ok:?}");
-        assert_eq!(ok.field("proto"), Some("2"));
+        assert_eq!(ok.field("proto"), Some("3"));
         assert_eq!(ok.payload, "lslpd");
-        let v1 = Response::parse(&handle_line("HELLO proto=1", &s, addr)).unwrap();
-        assert!(v1.ok, "older versions are spoken too: {v1:?}");
+        for older in ["HELLO proto=1", "HELLO proto=2"] {
+            let r = Response::parse(&handle_line(older, &s, addr)).unwrap();
+            assert!(r.ok, "older versions are spoken too: {r:?}");
+        }
         for bad in ["HELLO proto=99", "HELLO proto=0"] {
             let r = Response::parse(&handle_line(bad, &s, addr)).unwrap();
             assert_eq!(r.error, Some(ErrorKind::Proto), "{bad}: {r:?}");
@@ -616,5 +904,125 @@ mod tests {
         // Budget 0 is clamped to 1ms; the compile may or may not finish
         // within it, but the response is always well-formed IR.
         assert!(r.payload.contains("@big"), "{}", r.payload);
+    }
+
+    #[test]
+    fn shutdown_closes_the_queue_eagerly() {
+        // The queue must close in the SHUTDOWN handler itself — not when
+        // the acceptor happens to unpark — so workers blocked on an empty
+        // queue wake immediately and the drain cannot hang.
+        let s = shared();
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        assert!(!s.queue.is_closed());
+        let r = Response::parse(&handle_line("SHUTDOWN", &s, addr)).unwrap();
+        assert_eq!(r.payload, "draining");
+        assert!(s.queue.is_closed(), "SHUTDOWN closes the queue before the acceptor wakes");
+        let again =
+            Response::parse(&handle_line(&CompileRequest::new(SRC).to_line(), &s, addr)).unwrap();
+        assert_eq!(again.error, Some(ErrorKind::Shutdown));
+    }
+
+    #[test]
+    fn health_reports_ready_then_draining() {
+        let s = shared();
+        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        s.supervision.alive.store(1, Ordering::Relaxed);
+        let h = Response::parse(&handle_line("HEALTH", &s, addr)).unwrap();
+        assert!(h.ok, "{h:?}");
+        assert_eq!(h.field("status"), Some("ready"));
+        assert_eq!(h.field("degraded"), Some("0"));
+        assert_eq!(h.field("workers-alive"), Some("1"));
+        handle_line("SHUTDOWN", &s, addr);
+        let h = Response::parse(&handle_line("HEALTH", &s, addr)).unwrap();
+        assert_eq!(h.field("status"), Some("draining"));
+    }
+
+    #[test]
+    fn persistent_tier_warms_a_fresh_instance() {
+        let dir = temp_dir("warm");
+        let cfg = || ServerConfig {
+            workers: 1,
+            cache_dir: Some(dir.to_string_lossy().into_owned()),
+            ..ServerConfig::default()
+        };
+        let s1 = Shared::new(cfg());
+        let first = run(&CompileRequest::new(SRC), &s1);
+        assert_eq!(first.field("cached"), Some("miss"));
+        drop(s1); // no clean handoff: the disk state alone must suffice
+
+        let s2 = Shared::new(cfg());
+        let c = s2.persist.as_ref().unwrap().counters();
+        assert_eq!(c.warm_entries, 1, "restart recovered the entry");
+        assert_eq!(c.quarantined, 0);
+        let warm = run(&CompileRequest::new(SRC), &s2);
+        assert_eq!(warm.field("cached"), Some("hit"), "warm start serves from cache");
+        assert_eq!(warm.payload, first.payload, "byte-identical across restart");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_storm_tombstones_the_disk_tier() {
+        // Tiny memory capacity + distinct requests: every LRU eviction
+        // must tombstone the journal and unlink its entry file, so a
+        // restart recovers exactly the resident set, never a superset.
+        let dir = temp_dir("storm");
+        let cfg = || ServerConfig {
+            workers: 1,
+            cache_capacity: 4,
+            cache_shards: 1,
+            cache_dir: Some(dir.to_string_lossy().into_owned()),
+            ..ServerConfig::default()
+        };
+        let s = Shared::new(cfg());
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let s = &s;
+                scope.spawn(move || {
+                    let mut am = AnalysisManager::new();
+                    for i in 0..4u64 {
+                        let n = t * 4 + i;
+                        let src = format!(
+                            "kernel k{n}(f64* A, f64* B, i64 i) {{\n  A[i+0] = B[i+0] + {n}.0;\n  A[i+1] = B[i+1] + {n}.0;\n}}"
+                        );
+                        let r = Response::parse(&compile_request(
+                            &CompileRequest::new(&src),
+                            s,
+                            &mut am,
+                        ))
+                        .unwrap();
+                        assert!(r.ok, "{r:?}");
+                    }
+                });
+            }
+        });
+        let evictions = s.cache.counters().evictions;
+        assert!(evictions > 0, "16 distinct requests over 4 slots must evict");
+        let journal = persist::read_journal(&dir);
+        assert_eq!(
+            journal.matches("\nT ").count() + usize::from(journal.starts_with("T ")),
+            evictions as usize,
+            "every eviction tombstoned exactly once:\n{journal}"
+        );
+        let (stamps, clock) = s.cache.debug_stamps();
+        assert!(stamps.iter().all(|&st| st < clock), "stamps monotone under churn");
+        drop(s);
+
+        // Restart: the survivors come back, the tombstoned entries do not.
+        let s2 = Shared::new(cfg());
+        let c = s2.persist.as_ref().unwrap().counters();
+        assert!(c.warm_entries <= 4, "no resurrection past capacity: {}", c.warm_entries);
+        assert_eq!(c.quarantined, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_dump_includes_resilience_gauges() {
+        let s = shared();
+        let dump = render_stats_payload(&s);
+        let persist_at = dump.find("persist: enabled=0").expect("persist gauge row");
+        let workers_at = dump.find("workers: configured=1 alive=0 restarts=0 stalls=0").unwrap();
+        let chaos_at = dump.find("chaos: active=0 injected=0").unwrap();
+        assert!(persist_at < workers_at && workers_at < chaos_at, "fixed gauge order:\n{dump}");
+        assert_eq!(render_stats_payload(&s), dump, "dump is deterministic");
     }
 }

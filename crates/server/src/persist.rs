@@ -1,0 +1,496 @@
+//! Persistent tier-2 cache: content-addressed artifacts on disk, so a
+//! restarted daemon starts warm.
+//!
+//! Layout under `--cache-dir`:
+//!
+//! ```text
+//! <dir>/entries/<key:016x>.entry   one checksummed artifact per content key
+//! <dir>/journal.log                append-only insert/tombstone records
+//! <dir>/quarantine/                corrupt entries moved aside at startup
+//! ```
+//!
+//! Entry files carry an FNV-1a checksum over header+payload and are
+//! written to a temp name then atomically renamed, so a crash — up to and
+//! including `kill -9` — leaves either the old entry, the new entry, or a
+//! stray temp file, never a half-written entry under its real name. The
+//! journal records `I <key>` on insert and `T <key>` on eviction; startup
+//! replays it, validates every surviving entry file, **quarantines**
+//! corrupt or truncated ones (moved to `quarantine/`, counted, served as
+//! misses) instead of failing, and adopts valid orphan entries whose
+//! journal record was lost to a crash.
+//!
+//! Failure policy: a disk error at runtime (full disk, permissions,
+//! yanked volume) flips the cache into **degraded** memory-only mode —
+//! counted in `disk-errors` and visible in `HEALTH`/`STATS` — and the
+//! daemon keeps serving; durability is shed before availability.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::cache::{content_key_bytes, CachedResult};
+
+const MAGIC: &str = "LSLPCACHE1";
+
+/// One artifact recovered from disk at startup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WarmEntry {
+    /// The content key (also the entry's file name).
+    pub key: u64,
+    /// Full key material, for collision rejection on lookup.
+    pub material: String,
+    /// The cached artifact.
+    pub result: CachedResult,
+}
+
+/// Point-in-time persistence counters for `STATS`/`HEALTH`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PersistCounters {
+    /// Entries recovered into the memory cache at startup.
+    pub warm_entries: u64,
+    /// Corrupt/truncated entries moved to `quarantine/` at startup.
+    pub quarantined: u64,
+    /// Runtime disk failures absorbed (each degrades one operation).
+    pub disk_errors: u64,
+    /// Whether the cache has degraded to memory-only.
+    pub degraded: bool,
+}
+
+/// The disk tier. All operations are infallible from the caller's view:
+/// errors degrade the tier instead of propagating.
+pub struct PersistentCache {
+    entries_dir: PathBuf,
+    journal: Mutex<Option<File>>,
+    degraded: AtomicBool,
+    disk_errors: AtomicU64,
+    warm_entries: AtomicU64,
+    quarantined: AtomicU64,
+    tmp_counter: AtomicU64,
+}
+
+impl PersistentCache {
+    /// Open (or create) the cache directory, replay the journal, validate
+    /// and quarantine entries, and return the warm set to seed the memory
+    /// cache with. Never fails: unusable directories yield an empty,
+    /// degraded cache.
+    pub fn open(dir: &Path) -> (PersistentCache, Vec<WarmEntry>) {
+        let entries_dir = dir.join("entries");
+        let quarantine_dir = dir.join("quarantine");
+        let journal_path = dir.join("journal.log");
+        let cache = PersistentCache {
+            entries_dir: entries_dir.clone(),
+            journal: Mutex::new(None),
+            degraded: AtomicBool::new(false),
+            disk_errors: AtomicU64::new(0),
+            warm_entries: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            tmp_counter: AtomicU64::new(0),
+        };
+        if fs::create_dir_all(&entries_dir).is_err() || fs::create_dir_all(&quarantine_dir).is_err()
+        {
+            cache.note_disk_error();
+            return (cache, Vec::new());
+        }
+
+        // Replay the journal into per-key liveness, preserving first-insert
+        // order so warm entries re-enter the memory cache oldest-first
+        // (their LRU stamps then reflect on-disk age).
+        let mut order: Vec<u64> = Vec::new();
+        let mut live: std::collections::HashMap<u64, bool> = std::collections::HashMap::new();
+        if let Ok(text) = fs::read_to_string(&journal_path) {
+            for line in text.lines() {
+                let parsed = match line.split_once(' ') {
+                    Some(("I", k)) => u64::from_str_radix(k, 16).ok().map(|k| (k, true)),
+                    Some(("T", k)) => u64::from_str_radix(k, 16).ok().map(|k| (k, false)),
+                    _ => None,
+                };
+                match parsed {
+                    Some((key, alive)) => {
+                        if live.insert(key, alive).is_none() {
+                            order.push(key);
+                        }
+                    }
+                    // A torn tail (crash mid-append) or scribbled line: stop
+                    // trusting the journal here; entry files self-validate.
+                    None => break,
+                }
+            }
+        }
+
+        // Scan the entries directory: it is the ground truth, the journal
+        // only contributes tombstones and ordering.
+        let mut on_disk: Vec<(u64, PathBuf)> = Vec::new();
+        if let Ok(rd) = fs::read_dir(&entries_dir) {
+            for de in rd.flatten() {
+                let path = de.path();
+                let key = path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .and_then(|n| n.strip_suffix(".entry"))
+                    .and_then(|n| u64::from_str_radix(n, 16).ok());
+                match key {
+                    Some(key) => on_disk.push((key, path)),
+                    // Stray temp files from an interrupted write.
+                    None => {
+                        let _ = fs::remove_file(&path);
+                    }
+                }
+            }
+        }
+        // Journal order first, then orphans (valid entries that lost their
+        // journal record to a crash between rename and append).
+        let rank = |key: u64| order.iter().position(|&k| k == key).unwrap_or(usize::MAX);
+        on_disk.sort_by_key(|&(key, _)| (rank(key), key));
+
+        let mut warm = Vec::new();
+        for (key, path) in on_disk {
+            if live.get(&key) == Some(&false) {
+                // Tombstoned; the unlink itself was lost to a crash.
+                let _ = fs::remove_file(&path);
+                continue;
+            }
+            match fs::read(&path).map_err(|e| e.to_string()).and_then(|b| decode_entry(key, &b)) {
+                Ok(entry) => warm.push(entry),
+                Err(_) => {
+                    let dst = quarantine_dir.join(path.file_name().expect("entry file name"));
+                    if fs::rename(&path, &dst).is_err() {
+                        let _ = fs::remove_file(&path);
+                    }
+                    cache.quarantined.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        cache.warm_entries.store(warm.len() as u64, Ordering::Relaxed);
+
+        match OpenOptions::new().create(true).append(true).open(&journal_path) {
+            Ok(f) => *cache.journal.lock().expect("journal lock") = Some(f),
+            Err(_) => cache.note_disk_error(),
+        }
+        (cache, warm)
+    }
+
+    /// Persist one artifact: checksummed entry file written via atomic
+    /// rename, then a journal `I` record. `corrupt` flips a payload byte
+    /// *after* the checksum is computed (chaos injection), so the entry is
+    /// quarantined on the next startup.
+    pub fn record_insert(&self, key: u64, material: &str, result: &CachedResult, corrupt: bool) {
+        if self.degraded.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut bytes = encode_entry(key, material, result);
+        if corrupt {
+            let payload_at = bytes.len() - (material.len() + result.output.len()).max(1);
+            let at = payload_at + (splitmix_index(key, bytes.len() - payload_at));
+            bytes[at] ^= 0x5a;
+        }
+        let tmp = self.entries_dir.join(format!(
+            ".tmp-{:016x}-{}",
+            key,
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        let written = fs::write(&tmp, &bytes)
+            .and_then(|()| fs::rename(&tmp, self.entries_dir.join(format!("{key:016x}.entry"))));
+        if written.is_err() {
+            let _ = fs::remove_file(&tmp);
+            self.note_disk_error();
+            return;
+        }
+        self.append_journal(&format!("I {key:016x}\n"));
+    }
+
+    /// Record an eviction: journal `T` record plus entry-file unlink, so
+    /// the disk tier never resurrects an entry the memory tier chose to
+    /// drop.
+    pub fn record_eviction(&self, key: u64) {
+        if self.degraded.load(Ordering::Relaxed) {
+            return;
+        }
+        self.append_journal(&format!("T {key:016x}\n"));
+        match fs::remove_file(self.entries_dir.join(format!("{key:016x}.entry"))) {
+            Ok(()) => {}
+            Err(e) if e.kind() == ErrorKind::NotFound => {}
+            Err(_) => self.note_disk_error(),
+        }
+    }
+
+    fn append_journal(&self, record: &str) {
+        let mut guard = self.journal.lock().expect("journal lock");
+        let failed = match guard.as_mut() {
+            Some(f) => f.write_all(record.as_bytes()).is_err(),
+            None => true,
+        };
+        if failed {
+            drop(guard);
+            self.note_disk_error();
+        }
+    }
+
+    /// A disk operation failed: count it and degrade to memory-only (the
+    /// daemon keeps serving; durability is shed before availability).
+    fn note_disk_error(&self) {
+        self.disk_errors.fetch_add(1, Ordering::Relaxed);
+        self.degraded.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the tier has degraded to memory-only.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time counters.
+    pub fn counters(&self) -> PersistCounters {
+        PersistCounters {
+            warm_entries: self.warm_entries.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            disk_errors: self.disk_errors.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Deterministic index in `[0, len)` for the chaos byte-flip.
+fn splitmix_index(key: u64, len: usize) -> usize {
+    (crate::chaos::splitmix64(key) % len.max(1) as u64) as usize
+}
+
+/// Serialize one entry: a single header line then raw payload bytes.
+///
+/// ```text
+/// LSLPCACHE1 key=<16hex> trees=<n> cost=<n> incidents=<n> mlen=<n> olen=<n> sum=<16hex>\n
+/// <material bytes><output bytes>
+/// ```
+///
+/// `sum` is FNV-1a over the header prefix (everything before ` sum=`)
+/// plus the payload, so both metadata and artifact corruption are caught.
+fn encode_entry(key: u64, material: &str, result: &CachedResult) -> Vec<u8> {
+    let prefix = format!(
+        "{MAGIC} key={key:016x} trees={} cost={} incidents={} mlen={} olen={}",
+        result.trees,
+        result.cost,
+        result.incidents,
+        material.len(),
+        result.output.len()
+    );
+    let mut payload = Vec::with_capacity(material.len() + result.output.len());
+    payload.extend_from_slice(material.as_bytes());
+    payload.extend_from_slice(result.output.as_bytes());
+    // Hash prefix and payload as exactly two parts — the decoder checksums
+    // `[header-prefix, payload]` without knowing the material/output split.
+    let sum = content_key_bytes(&[prefix.as_bytes(), &payload]);
+    let mut bytes = Vec::with_capacity(prefix.len() + 32 + payload.len());
+    bytes.extend_from_slice(prefix.as_bytes());
+    bytes.extend_from_slice(format!(" sum={sum:016x}\n").as_bytes());
+    bytes.extend_from_slice(&payload);
+    bytes
+}
+
+/// Parse and validate one entry file; any inconsistency (bad magic, bad
+/// checksum, short payload, key mismatch with the file name) is an error
+/// — the caller quarantines.
+fn decode_entry(expect_key: u64, bytes: &[u8]) -> Result<WarmEntry, String> {
+    let newline = bytes.iter().position(|&b| b == b'\n').ok_or("no header line")?;
+    let header = std::str::from_utf8(&bytes[..newline]).map_err(|_| "header not utf-8")?;
+    let payload = &bytes[newline + 1..];
+
+    let mut fields = header.split(' ');
+    if fields.next() != Some(MAGIC) {
+        return Err("bad magic".into());
+    }
+    let mut key = None;
+    let mut trees = None;
+    let mut cost = None;
+    let mut incidents = None;
+    let mut mlen = None;
+    let mut olen = None;
+    let mut sum = None;
+    for f in fields {
+        let (k, v) = f.split_once('=').ok_or("malformed header field")?;
+        match k {
+            "key" => key = u64::from_str_radix(v, 16).ok(),
+            "trees" => trees = v.parse::<usize>().ok(),
+            "cost" => cost = v.parse::<i64>().ok(),
+            "incidents" => incidents = v.parse::<usize>().ok(),
+            "mlen" => mlen = v.parse::<usize>().ok(),
+            "olen" => olen = v.parse::<usize>().ok(),
+            "sum" => sum = u64::from_str_radix(v, 16).ok(),
+            _ => return Err(format!("unknown header field `{k}`")),
+        }
+    }
+    let (key, trees, cost, incidents, mlen, olen, sum) =
+        match (key, trees, cost, incidents, mlen, olen, sum) {
+            (Some(a), Some(b), Some(c), Some(d), Some(e), Some(f), Some(g)) => {
+                (a, b, c, d, e, f, g)
+            }
+            _ => return Err("incomplete header".into()),
+        };
+    if key != expect_key {
+        return Err("key does not match file name".into());
+    }
+    if payload.len() != mlen + olen {
+        return Err(format!("payload length {} != mlen+olen {}", payload.len(), mlen + olen));
+    }
+    let prefix_end = header.rfind(" sum=").ok_or("no sum field")?;
+    let computed = content_key_bytes(&[&header.as_bytes()[..prefix_end], payload]);
+    if computed != sum {
+        return Err("checksum mismatch".into());
+    }
+    let material = String::from_utf8(payload[..mlen].to_vec()).map_err(|_| "material not utf-8")?;
+    let output = String::from_utf8(payload[mlen..].to_vec()).map_err(|_| "output not utf-8")?;
+    Ok(WarmEntry { key, material, result: CachedResult { output, trees, cost, incidents } })
+}
+
+/// Read a file fully (test helper shared with the crash-recovery test).
+#[doc(hidden)]
+pub fn read_journal(dir: &Path) -> String {
+    let mut s = String::new();
+    if let Ok(mut f) = File::open(dir.join("journal.log")) {
+        let _ = f.read_to_string(&mut s);
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "lslp-persist-{tag}-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn result(tag: &str) -> CachedResult {
+        CachedResult { output: format!("out-{tag}\nline2"), trees: 2, cost: -8, incidents: 1 }
+    }
+
+    #[test]
+    fn entry_roundtrips_and_detects_corruption() {
+        let r = result("x");
+        let bytes = encode_entry(0xabc, "mat\0LSLP", &r);
+        let entry = decode_entry(0xabc, &bytes).unwrap();
+        assert_eq!(entry.material, "mat\0LSLP");
+        assert_eq!(entry.result, r);
+        assert!(decode_entry(0xdef, &bytes).is_err(), "key mismatch");
+        for at in [0, bytes.len() / 2, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[at] ^= 0xff;
+            assert!(decode_entry(0xabc, &bad).is_err(), "flip at {at} must be caught");
+        }
+        assert!(decode_entry(0xabc, &bytes[..bytes.len() - 3]).is_err(), "truncation caught");
+    }
+
+    #[test]
+    fn restart_recovers_inserted_entries() {
+        let dir = temp_dir("warm");
+        let (cache, warm) = PersistentCache::open(&dir);
+        assert!(warm.is_empty());
+        cache.record_insert(1, "m1", &result("1"), false);
+        cache.record_insert(2, "m2", &result("2"), false);
+        assert!(!cache.is_degraded());
+        drop(cache);
+
+        let (cache, warm) = PersistentCache::open(&dir);
+        assert_eq!(warm.len(), 2);
+        assert_eq!(warm[0].key, 1, "journal order preserved");
+        assert_eq!(warm[1].key, 2);
+        assert_eq!(warm[0].result, result("1"));
+        let c = cache.counters();
+        assert_eq!((c.warm_entries, c.quarantined, c.disk_errors, c.degraded), (2, 0, 0, false));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eviction_tombstones_and_survives_restart() {
+        let dir = temp_dir("evict");
+        let (cache, _) = PersistentCache::open(&dir);
+        cache.record_insert(1, "m1", &result("1"), false);
+        cache.record_insert(2, "m2", &result("2"), false);
+        cache.record_eviction(1);
+        let journal = read_journal(&dir);
+        assert!(journal.contains("T 0000000000000001"), "tombstone journaled: {journal}");
+        drop(cache);
+
+        let (_, warm) = PersistentCache::open(&dir);
+        assert_eq!(warm.len(), 1);
+        assert_eq!(warm[0].key, 2, "evicted entry stays dead across restart");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entries_are_quarantined_not_fatal() {
+        let dir = temp_dir("quarantine");
+        let (cache, _) = PersistentCache::open(&dir);
+        cache.record_insert(1, "m1", &result("1"), false);
+        cache.record_insert(2, "m2", &result("2"), false);
+        cache.record_insert(3, "m3", &result("3"), true); // chaos-corrupted at write
+        drop(cache);
+
+        // Scribble over entry 1 and truncate entry 2's tail.
+        let e1 = dir.join("entries").join(format!("{:016x}.entry", 1u64));
+        let mut bytes = fs::read(&e1).unwrap();
+        let at = bytes.len() - 2;
+        bytes[at] ^= 0xff;
+        fs::write(&e1, &bytes).unwrap();
+        let e2 = dir.join("entries").join(format!("{:016x}.entry", 2u64));
+        let bytes = fs::read(&e2).unwrap();
+        fs::write(&e2, &bytes[..bytes.len() - 4]).unwrap();
+
+        let (cache, warm) = PersistentCache::open(&dir);
+        assert!(warm.is_empty(), "all three entries were damaged");
+        let c = cache.counters();
+        assert_eq!(c.quarantined, 3);
+        assert!(!c.degraded, "quarantine is recovery, not degradation");
+        assert_eq!(fs::read_dir(dir.join("quarantine")).unwrap().count(), 3);
+        assert_eq!(fs::read_dir(dir.join("entries")).unwrap().count(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn orphan_entries_are_adopted_and_torn_journal_tolerated() {
+        let dir = temp_dir("orphan");
+        let (cache, _) = PersistentCache::open(&dir);
+        cache.record_insert(1, "m1", &result("1"), false);
+        drop(cache);
+        // Simulate a crash between entry rename and journal append: a valid
+        // entry file with no journal record...
+        fs::write(
+            dir.join("entries").join(format!("{:016x}.entry", 9u64)),
+            encode_entry(9, "m9", &result("9")),
+        )
+        .unwrap();
+        // ...and a torn journal tail.
+        let mut j = OpenOptions::new().append(true).open(dir.join("journal.log")).unwrap();
+        j.write_all(b"I 00000000000").unwrap();
+        drop(j);
+
+        let (_, warm) = PersistentCache::open(&dir);
+        let keys: Vec<u64> = warm.iter().map(|w| w.key).collect();
+        assert!(keys.contains(&1) && keys.contains(&9), "orphan adopted: {keys:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unusable_directory_degrades_instead_of_failing() {
+        // A path that cannot be a directory (a file stands in its place).
+        let dir = temp_dir("degraded");
+        fs::create_dir_all(dir.parent().unwrap()).ok();
+        fs::write(&dir, b"not a directory").unwrap();
+        let (cache, warm) = PersistentCache::open(&dir);
+        assert!(warm.is_empty());
+        assert!(cache.is_degraded());
+        assert!(cache.counters().disk_errors >= 1);
+        // Writes after degradation are silent no-ops.
+        cache.record_insert(1, "m", &result("m"), false);
+        cache.record_eviction(1);
+        let _ = fs::remove_file(&dir);
+    }
+}

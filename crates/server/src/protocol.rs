@@ -12,7 +12,7 @@
 //! ```text
 //! request  := "COMPILE" (SP option)* SP "src=" escaped-source
 //!           | "HELLO" SP "proto=" N
-//!           | "STATS" | "PING" | "SHUTDOWN"
+//!           | "STATS" | "HEALTH" | "PING" | "SHUTDOWN"
 //! option   := "config=" NAME      (preset, default LSLP)
 //!           | "target=" SPEC      (target machine, default skylake-avx2)
 //!           | "pipeline=" 0|1     (full scalar+vector pipeline, default 1)
@@ -41,8 +41,9 @@ use std::fmt::Write as _;
 /// The wire-protocol version this build speaks.
 ///
 /// History: 1 = the initial `COMPILE`/`STATS`/`PING`/`SHUTDOWN` protocol;
-/// 2 = adds the `HELLO` handshake and the `target=` compile option.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// 2 = adds the `HELLO` handshake and the `target=` compile option;
+/// 3 = adds the `HEALTH` readiness verb.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Escape a payload onto a single protocol line.
 pub fn escape(s: &str) -> String {
@@ -212,6 +213,10 @@ pub enum Request {
     },
     /// Dump the metrics registry.
     Stats,
+    /// Readiness/degradation probe: `OK status=ready|degraded|draining`
+    /// with worker-liveness fields. Unlike `PING` (pure liveness), the
+    /// answer reflects whether the daemon is healthy enough to serve.
+    Health,
     /// Liveness check.
     Ping,
     /// Begin graceful shutdown: drain queued work, then exit.
@@ -231,6 +236,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     };
     match verb {
         "STATS" => Ok(Request::Stats),
+        "HEALTH" => Ok(Request::Health),
         "PING" => Ok(Request::Ping),
         "SHUTDOWN" => Ok(Request::Shutdown),
         "COMPILE" => parse_compile(rest).map(Request::Compile),
@@ -479,6 +485,7 @@ mod tests {
     fn control_verbs_parse() {
         assert!(matches!(parse_request("STATS").unwrap(), Request::Stats));
         assert!(matches!(parse_request("PING\n").unwrap(), Request::Ping));
+        assert!(matches!(parse_request("HEALTH\n").unwrap(), Request::Health));
         assert!(matches!(parse_request("SHUTDOWN\r\n").unwrap(), Request::Shutdown));
     }
 

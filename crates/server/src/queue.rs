@@ -81,11 +81,21 @@ impl<T> Bounded<T> {
         }
     }
 
-    /// Close the queue: rejects new pushes, wakes all poppers; items
-    /// already accepted are still handed out (drain semantics).
+    /// Close the queue: rejects new pushes, wakes **all** Condvar waiters
+    /// (so consumers blocked on an empty queue observe the close
+    /// immediately — drain cannot hang); items already accepted are still
+    /// handed out (drain semantics). Idempotent: the `SHUTDOWN` handler
+    /// closes eagerly and the accept-loop teardown closes again.
     pub fn close(&self) {
         self.state.lock().expect("queue lock").closed = true;
         self.available.notify_all();
+    }
+
+    /// Whether [`Bounded::close`] has been called. The worker watchdog
+    /// uses `is_closed() && is_empty()` to distinguish a drained pool
+    /// (workers exiting is expected) from a crashed worker (respawn).
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock").closed
     }
 
     /// Current depth.
@@ -136,6 +146,43 @@ mod tests {
         assert_eq!(q.pop(), Some("a"), "already-accepted work still drains");
         assert_eq!(q.pop(), Some("b"));
         assert_eq!(q.pop(), None, "drained + closed terminates consumers");
+    }
+
+    #[test]
+    fn close_wakes_all_blocked_poppers_on_an_empty_queue() {
+        // Regression test for shutdown-during-drain: several consumers are
+        // parked in `pop()` on an *empty* queue; `close()` must wake every
+        // one of them promptly, not rely on a future push or a dequeue-time
+        // flag check. A hang here is exactly the "drain never finishes"
+        // failure the SHUTDOWN handler's eager close prevents.
+        use std::sync::mpsc;
+        use std::time::Duration;
+
+        let q: &'static Bounded<u32> = Box::leak(Box::new(Bounded::new(4)));
+        let (tx, rx) = mpsc::channel();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let tx = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                let got = q.pop();
+                tx.send(got).unwrap();
+            }));
+        }
+        // Give the poppers time to park in the Condvar wait.
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!q.is_closed());
+        q.close();
+        q.close(); // idempotent
+        for _ in 0..4 {
+            let got = rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("popper must wake on close, not hang");
+            assert_eq!(got, None, "empty + closed yields None");
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(q.is_closed());
     }
 
     #[test]

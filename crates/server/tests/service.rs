@@ -1,10 +1,12 @@
 //! End-to-end tests for the `lslpd` service: real sockets, real worker
-//! pool, real shutdown.
+//! pool, real shutdown — including the self-healing paths (injected
+//! worker panics, persistent-cache restarts, health probes).
 
 use std::time::Duration;
 
+use lslp_server::chaos::ChaosConfig;
 use lslp_server::protocol::{CompileRequest, ErrorKind};
-use lslp_server::{Client, Server, ServerConfig};
+use lslp_server::{Client, RetryPolicy, Server, ServerConfig};
 
 const SRC: &str = "kernel k(f64* A, f64* B, i64 i) {
     A[i+0] = B[i+0] * B[i+0];
@@ -179,6 +181,119 @@ fn concurrent_clients_get_consistent_answers() {
     let stats = client.stats().unwrap();
     assert!(stats.payload.contains("server - cache-hits"), "{}", stats.payload);
     client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn health_probe_reports_ready_with_live_workers() {
+    let (addr, daemon) = Server::spawn(test_config()).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // Give the watchdog a tick to take its first census.
+    std::thread::sleep(Duration::from_millis(100));
+    let h = client.health().unwrap();
+    assert!(h.ok, "{h:?}");
+    assert_eq!(h.field("status"), Some("ready"));
+    assert_eq!(h.field("degraded"), Some("0"));
+    let alive: u64 = h.field("workers-alive").unwrap().parse().unwrap();
+    assert!(alive >= 1, "worker pool is up: {h:?}");
+    assert_eq!(h.field("worker-restarts"), Some("0"));
+
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn injected_worker_panics_are_typed_healed_and_drained() {
+    // Every job panics its worker (panic=1.0): the client must get a typed
+    // internal error — never a hang — the watchdog must respawn workers,
+    // and the daemon must still drain and exit cleanly on SHUTDOWN.
+    let cfg = ServerConfig {
+        chaos: Some(ChaosConfig { seed: 1, worker_panic: 1.0, ..ChaosConfig::default() }),
+        workers: 2,
+        ..test_config()
+    };
+    let (addr, daemon) = Server::spawn(cfg).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    let r = client.compile(&CompileRequest::new(SRC)).unwrap();
+    assert_eq!(r.error, Some(ErrorKind::Internal), "{r:?}");
+    assert!(r.payload.contains("worker dropped the request"), "{}", r.payload);
+
+    // The retrying client classifies that error as transient and keeps
+    // trying until its budget runs out — still no hang, still typed.
+    let policy = RetryPolicy {
+        max_retries: 2,
+        deadline: Some(Duration::from_secs(30)),
+        ..RetryPolicy::default()
+    };
+    let outcome = client.compile_with_retry(&CompileRequest::new(SRC), &policy);
+    assert!(outcome.gave_up, "every attempt hits a panicking worker");
+    assert_eq!(outcome.attempts, 3);
+    assert!(outcome.response.is_some(), "typed ERR, not a dead transport");
+
+    // Let the watchdog census catch up, then check the healing is visible.
+    std::thread::sleep(Duration::from_millis(200));
+    let h = client.health().unwrap();
+    let restarts: u64 = h.field("worker-restarts").unwrap().parse().unwrap();
+    assert!(restarts >= 1, "watchdog respawned panicked workers: {h:?}");
+    let stats = client.stats().unwrap();
+    assert!(stats.payload.contains("server - worker-restarts"), "{}", stats.payload);
+    assert!(stats.payload.contains("chaos: active=1"), "{}", stats.payload);
+
+    assert_eq!(client.shutdown().unwrap().payload, "draining");
+    daemon.join().unwrap().unwrap();
+}
+
+#[test]
+fn persistent_cache_survives_a_clean_restart_over_the_wire() {
+    let dir = std::env::temp_dir().join(format!("lslp-service-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg =
+        || ServerConfig { cache_dir: Some(dir.to_string_lossy().into_owned()), ..test_config() };
+
+    let (addr, daemon) = Server::spawn(cfg()).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let first = client.compile(&CompileRequest::new(SRC)).unwrap();
+    assert_eq!(first.field("cached"), Some("miss"));
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+
+    let (addr, daemon) = Server::spawn(cfg()).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    client.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    let stats = client.stats().unwrap();
+    assert!(stats.payload.contains("persist: enabled=1 warm=1"), "{}", stats.payload);
+    let warm = client.compile(&CompileRequest::new(SRC)).unwrap();
+    assert_eq!(warm.field("cached"), Some("hit"), "restart serves from the disk tier");
+    assert_eq!(warm.payload, first.payload, "byte-identical across restart");
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn retry_client_reconnects_across_a_daemon_generation() {
+    // A client holding a connection to a killed-and-replaced daemon on the
+    // same port must transparently reconnect and complete the request.
+    let (addr, daemon) = Server::spawn(test_config()).unwrap();
+    let mut client = Client::connect(addr).unwrap();
+    assert!(client.compile(&CompileRequest::new(SRC)).unwrap().ok);
+    client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+
+    // Same port, fresh daemon.
+    let cfg = ServerConfig { addr: addr.to_string(), ..test_config() };
+    let (_, daemon) = Server::spawn(cfg).unwrap();
+    let policy = RetryPolicy { deadline: Some(Duration::from_secs(30)), ..RetryPolicy::default() };
+    let outcome = client.compile_with_retry(&CompileRequest::new(SRC), &policy);
+    assert!(outcome.is_ok(), "{outcome:?}");
+    assert!(outcome.reconnects >= 1, "the dead connection forced a reconnect: {outcome:?}");
+
+    let _ = client.retry_line("SHUTDOWN", &policy);
     daemon.join().unwrap().unwrap();
 }
 
