@@ -43,8 +43,9 @@ pub struct Args {
     pub compare: Option<String>,
     /// Output file (stdout if absent).
     pub output: Option<String>,
-    /// Pass-guard mode override (`off` | `rollback` | `strict`); `None`
-    /// keeps the preset default (rollback).
+    /// Pass-guard mode override (`off` | `rollback` | `strict`), or a
+    /// rollback-strategy spelling (`snapshot` | `differential`); `None`
+    /// keeps the preset default (rollback with delta-log undo).
     pub guard: Option<String>,
     /// Paranoid mode: differentially execute every committed transform
     /// against its pre-transform snapshot (slow).
@@ -142,9 +143,13 @@ OPTIONS:
                        a cost comparison
     --guard <MODE>     off | rollback | strict — transactional pass guard
                        semantics (default: rollback). Every pass and seed
-                       attempt is snapshotted, panic-isolated and verified;
-                       rollback restores the scalar code on any incident,
-                       strict aborts compilation, off disables the guard
+                       attempt runs in a transaction, panic-isolated and
+                       verified; rollback restores the scalar code on any
+                       incident, strict aborts compilation, off disables
+                       the guard. Also accepts a rollback strategy:
+                       snapshot (restore from a full clone; debug fallback)
+                       or differential (delta rollback cross-checked
+                       against a snapshot; panics on divergence)
     --paranoid         differentially execute every committed transform
                        against its pre-transform snapshot (slow)
     --print-pass-times print per-pass wall-clock timings (and total analysis
@@ -214,7 +219,10 @@ pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
             "--compare" => args.compare = Some(value_of("--compare")?),
             "--guard" => {
                 let mode = value_of("--guard")?;
-                if !matches!(mode.as_str(), "off" | "rollback" | "strict") {
+                if !matches!(
+                    mode.as_str(),
+                    "off" | "rollback" | "strict" | "snapshot" | "differential"
+                ) {
                     return Err(ArgError(format!("unknown --guard mode `{mode}`")));
                 }
                 args.guard = Some(mode);
@@ -343,6 +351,10 @@ mod tests {
         assert_eq!(d.guard, None);
         assert!(!d.paranoid);
         assert!(p(&["k.slc", "--guard", "yolo"]).unwrap_err().0.contains("unknown --guard"));
+        let s = p(&["k.slc", "--guard", "snapshot"]).unwrap();
+        assert_eq!(s.guard.as_deref(), Some("snapshot"));
+        let diff = p(&["k.slc", "--guard", "differential"]).unwrap();
+        assert_eq!(diff.guard.as_deref(), Some("differential"));
     }
 
     #[test]

@@ -36,7 +36,7 @@ use lslp_ir::Module;
 use lslp_target::{TargetParseError, TargetSpec};
 
 use crate::config::{ReorderKind, Sabotage, ScoreWeights, VectorizerConfig};
-use crate::guard::GuardMode;
+use crate::guard::{GuardMode, RollbackStrategy};
 use crate::pipeline::{try_run_pipeline_with, try_run_vectorize_only, PipelineReport};
 
 // ---------------------------------------------------------------------------
@@ -101,7 +101,10 @@ impl fmt::Display for OptionsError {
             }
             OptionsError::BadTarget(e) => write!(f, "{e}"),
             OptionsError::UnknownGuard(name) => {
-                write!(f, "unknown guard mode `{name}` (try off, rollback, strict)")
+                write!(
+                    f,
+                    "unknown guard mode `{name}` (try off, rollback, strict, snapshot, differential)"
+                )
             }
             OptionsError::BadValue { option, why } => write!(f, "bad {option} value: {why}"),
             OptionsError::Inconsistent { option, why } => {
@@ -324,7 +327,12 @@ impl CompileOptionsBuilder {
         self
     }
 
-    /// Guard mode by name (`off` | `rollback` | `strict`).
+    /// Guard mode by name (`off` | `rollback` | `strict`), or a rollback
+    /// *strategy* spelling: `snapshot` (rollback mode restoring from a full
+    /// pre-pass clone — the debug fallback) or `differential` (rollback mode
+    /// that performs the delta rollback *and* checks it against a snapshot,
+    /// panicking on divergence). Plain `rollback`/`strict` use the default
+    /// delta-log strategy.
     pub fn guard(mut self, mode: &str) -> Self {
         self.guard = Some(mode.to_string());
         self
@@ -458,8 +466,22 @@ impl CompileOptionsBuilder {
             cfg.max_graph_nodes = nodes;
         }
         if let Some(mode) = &self.guard {
-            cfg.guard =
-                GuardMode::parse(mode).ok_or_else(|| OptionsError::UnknownGuard(mode.clone()))?;
+            // `snapshot` / `differential` select a rollback *strategy* on top
+            // of rollback mode; the plain mode names keep the delta default.
+            match mode.as_str() {
+                "snapshot" => {
+                    cfg.guard = GuardMode::Rollback;
+                    cfg.rollback = RollbackStrategy::Snapshot;
+                }
+                "differential" => {
+                    cfg.guard = GuardMode::Rollback;
+                    cfg.rollback = RollbackStrategy::Differential;
+                }
+                _ => {
+                    cfg.guard = GuardMode::parse(mode)
+                        .ok_or_else(|| OptionsError::UnknownGuard(mode.clone()))?;
+                }
+            }
         }
         if self.paranoid && cfg.guard == GuardMode::Off {
             return Err(OptionsError::Inconsistent {
@@ -662,6 +684,22 @@ mod tests {
             CompileOptions::preset("LSLP").guard("yolo").build(),
             Err(OptionsError::UnknownGuard(_))
         ));
+    }
+
+    #[test]
+    fn guard_strategy_spellings_resolve() {
+        let opts = CompileOptions::preset("LSLP").guard("snapshot").build().unwrap();
+        assert_eq!(opts.config.guard, GuardMode::Rollback);
+        assert_eq!(opts.config.rollback, RollbackStrategy::Snapshot);
+
+        let opts = CompileOptions::preset("LSLP").guard("differential").build().unwrap();
+        assert_eq!(opts.config.guard, GuardMode::Rollback);
+        assert_eq!(opts.config.rollback, RollbackStrategy::Differential);
+
+        // Plain mode names keep the delta default.
+        let opts = CompileOptions::preset("LSLP").guard("strict").build().unwrap();
+        assert_eq!(opts.config.guard, GuardMode::Strict);
+        assert_eq!(opts.config.rollback, RollbackStrategy::Delta);
     }
 
     #[test]

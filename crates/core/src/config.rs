@@ -1,6 +1,6 @@
 //! Vectorizer configuration and the paper's named presets.
 
-use crate::guard::GuardMode;
+use crate::guard::{GuardMode, GuardPolicy, RollbackStrategy};
 
 /// Operand-reordering strategy for commutative instruction groups.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -141,6 +141,10 @@ pub struct VectorizerConfig {
     /// per-seed vectorization attempt is snapshotted, panic-isolated, and
     /// verified before committing. Default [`GuardMode::Rollback`].
     pub guard: GuardMode,
+    /// Rollback mechanism of the guard: delta-undo transaction log
+    /// (default), full-clone snapshot (debug fallback), or differential
+    /// (both, asserting they agree on every rollback).
+    pub rollback: RollbackStrategy,
     /// Paranoid mode: additionally check every committed transform by
     /// differential execution against the pre-transform function with the
     /// `lslp_interp` oracle on synthesized inputs. Slow; off by default.
@@ -177,6 +181,7 @@ impl VectorizerConfig {
             enable_reductions: false,
             throttle: false,
             guard: GuardMode::Rollback,
+            rollback: RollbackStrategy::Delta,
             paranoid: false,
             max_graph_nodes: 4096,
             time_budget_ms: None,
@@ -219,6 +224,12 @@ impl VectorizerConfig {
     /// Figure 13; look-ahead depth kept at 8).
     pub fn lslp_multi(max_insts: usize) -> VectorizerConfig {
         VectorizerConfig { max_multinode_insts: max_insts, ..Self::lslp() }
+    }
+
+    /// The guard policy this configuration implies (failure semantics,
+    /// rollback mechanism, paranoid oracle), bundled for the guard layer.
+    pub fn guard_policy(&self) -> GuardPolicy {
+        GuardPolicy { mode: self.guard, strategy: self.rollback, paranoid: self.paranoid }
     }
 
     /// Look up a preset by the paper's configuration names: `O3`, `SLP-NR`,

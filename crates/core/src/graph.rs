@@ -239,7 +239,7 @@ impl SlpGraph {
                 .scalars
                 .iter()
                 .map(|&s| match f.value(s) {
-                    lslp_ir::ValueData::Const(c) => c.to_string(),
+                    lslp_ir::ValueData::Const(c) => f.const_value(*c).to_string(),
                     _ => f
                         .value_name(s)
                         .map(str::to_owned)
@@ -751,7 +751,7 @@ impl SlpGraph {
                 .scalars
                 .iter()
                 .map(|&s| match f.value(s) {
-                    lslp_ir::ValueData::Const(c) => c.to_string(),
+                    lslp_ir::ValueData::Const(c) => f.const_value(*c).to_string(),
                     _ => f
                         .value_name(s)
                         .map(str::to_owned)

@@ -2,13 +2,13 @@
 //! scalar fallback for the vectorizer pipeline.
 //!
 //! Every pass invocation and per-seed vectorization attempt can run as a
-//! *transaction*: the function is snapshotted, the transform runs inside
-//! [`std::panic::catch_unwind`], and the result is checked before it is
-//! committed — [`lslp_ir::verify_function`] always (release builds
-//! included), plus a differential execution against the scalar original
-//! with the [`lslp_interp`] oracle when *paranoid* mode is on. Any panic,
-//! verifier error, or oracle mismatch rolls the function back to the
-//! snapshot bit-for-bit, records a structured [`Incident`], and lets
+//! *transaction*: a rollback point is established, the transform runs
+//! inside [`std::panic::catch_unwind`], and the result is checked before
+//! it is committed — IR verification always (release builds included),
+//! plus a differential execution against the scalar original with the
+//! [`lslp_interp`] oracle when *paranoid* mode is on. Any panic, verifier
+//! error, or oracle mismatch rolls the function back to the rollback
+//! point bit-for-bit, records a structured [`Incident`], and lets
 //! compilation continue with the scalar code — a miscompiling or crashing
 //! transform degrades to a missed optimization instead of a wrong program
 //! or a dead compiler.
@@ -19,10 +19,27 @@
 //! * [`GuardMode::Strict`] — abort the pass with a [`GuardError`] on the
 //!   first incident (for CI and debugging, where a rollback would hide
 //!   the bug);
-//! * [`GuardMode::Off`] — the historical behavior: no snapshot, no panic
-//!   isolation, verification only via `debug_assert!` at the call sites.
+//! * [`GuardMode::Off`] — the historical behavior: no rollback point, no
+//!   panic isolation, verification only via `debug_assert!` at the call
+//!   sites.
 //!
-//! See `DESIGN.md` § "Pass guard & failure semantics".
+//! Orthogonally, [`RollbackStrategy`] selects the rollback *mechanism*:
+//!
+//! * [`RollbackStrategy::Delta`] (default) — open an IR transaction
+//!   ([`Function::begin_txn`]); rollback replays the delta log in reverse,
+//!   so a committed attempt costs ~nothing and a rollback costs
+//!   O(touched instructions) instead of O(function). Commits verify
+//!   incrementally ([`lslp_ir::verify_function_touched`]).
+//! * [`RollbackStrategy::Snapshot`] — the historical mechanism: a full
+//!   `Function::clone()` before the transform, restored by move on
+//!   failure. Kept as a debug fallback (`--guard snapshot`).
+//! * [`RollbackStrategy::Differential`] — run *both* mechanisms and
+//!   assert on every rollback that the delta-restored function is
+//!   bit-identical (printed form and epoch) to the snapshot. A divergence
+//!   is a bug in the delta log and panics immediately.
+//!
+//! See `DESIGN.md` § "Pass guard & failure semantics" and `docs/IR.md`
+//! § "Transactions" for the underlying delta-log contract.
 
 use std::any::Any;
 use std::cell::Cell;
@@ -31,7 +48,7 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::Once;
 
 use lslp_interp::{run_function, Memory, Value};
-use lslp_ir::{Function, ScalarType, Type};
+use lslp_ir::{Function, ScalarType, TxnMark, Type};
 
 /// Failure semantics of the transactional pass guard.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -66,6 +83,80 @@ impl fmt::Display for GuardMode {
             GuardMode::Rollback => "rollback",
             GuardMode::Strict => "strict",
         })
+    }
+}
+
+/// The mechanism a guarded transaction uses to restore the pre-transform
+/// state on failure. Orthogonal to [`GuardMode`] (which decides what
+/// *happens* after a failure).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum RollbackStrategy {
+    /// Delta-undo log (default): open an IR transaction; rollback replays
+    /// only the touched records, commit discards the log. O(changes), not
+    /// O(function).
+    #[default]
+    Delta,
+    /// Full `Function::clone()` snapshot, restored by move on failure.
+    /// The historical mechanism; kept as a debug fallback.
+    Snapshot,
+    /// Run both mechanisms and assert delta-rollback ≡ snapshot-rollback
+    /// (printed form and epoch) on every rollback. Debug/CI mode; a
+    /// divergence panics.
+    Differential,
+}
+
+impl RollbackStrategy {
+    /// Parse a CLI spelling (`delta`, `snapshot`, `differential`).
+    pub fn parse(s: &str) -> Option<RollbackStrategy> {
+        match s {
+            "delta" => Some(RollbackStrategy::Delta),
+            "snapshot" => Some(RollbackStrategy::Snapshot),
+            "differential" => Some(RollbackStrategy::Differential),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RollbackStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RollbackStrategy::Delta => "delta",
+            RollbackStrategy::Snapshot => "snapshot",
+            RollbackStrategy::Differential => "differential",
+        })
+    }
+}
+
+/// The complete guard configuration: failure semantics, rollback
+/// mechanism, and whether the differential-execution oracle runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct GuardPolicy {
+    /// What happens after an incident (rollback / abort / nothing).
+    pub mode: GuardMode,
+    /// How the pre-transform state is restored.
+    pub strategy: RollbackStrategy,
+    /// Whether to run the differential-execution oracle on every commit.
+    /// Paranoid mode keeps a snapshot for the oracle's "before" side even
+    /// under [`RollbackStrategy::Delta`].
+    pub paranoid: bool,
+}
+
+impl GuardPolicy {
+    /// A policy with the given failure semantics and default mechanism.
+    pub fn new(mode: GuardMode) -> GuardPolicy {
+        GuardPolicy { mode, ..GuardPolicy::default() }
+    }
+
+    /// Replace the rollback mechanism.
+    pub fn strategy(mut self, strategy: RollbackStrategy) -> GuardPolicy {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Enable or disable the paranoid oracle.
+    pub fn paranoid(mut self, paranoid: bool) -> GuardPolicy {
+        self.paranoid = paranoid;
+        self
     }
 }
 
@@ -171,50 +262,66 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// actually recorded, so the hot path never pays the formatting cost.
 pub type SeedDesc<'a> = &'a dyn Fn(&Function) -> String;
 
-/// Pass-instrumentation hooks: the snapshot / verify / rollback machinery
-/// of the transactional guard, factored out so the pass manager
+/// Pass-instrumentation hooks: the rollback-point / verify / rollback
+/// machinery of the transactional guard, factored out so the pass manager
 /// (`crate::pm::PassManager`) wraps whole passes with the same
 /// before/after-pass protocol that per-seed vectorization transactions
 /// use, instead of every call site re-implementing the wrapping.
 ///
 /// Protocol:
 ///
-/// 1. [`GuardInstrumentation::before_pass`] — snapshot the function;
+/// 1. [`GuardInstrumentation::before_pass`] — establish the rollback
+///    point (open an IR transaction and/or take a snapshot, per
+///    [`RollbackStrategy`]);
 /// 2. run the transform (under [`GuardInstrumentation::catch_panics`] when
 ///    panic isolation is wanted);
 /// 3. [`GuardInstrumentation::after_pass`] — verify the mutated function
 ///    (plus the differential-execution oracle in paranoid mode) and either
-///    commit (`None`) or roll back to the snapshot and return the
-///    [`Incident`].
+///    commit (`None`) or roll back and return the [`Incident`].
 ///
 /// The caller applies the [`GuardMode`] policy to a returned incident via
 /// [`record`]; [`GuardInstrumentation::transact`] bundles all of the above
 /// for one-shot transactions.
 pub struct GuardInstrumentation {
-    mode: GuardMode,
-    paranoid: bool,
+    policy: GuardPolicy,
     snapshot: Option<Function>,
+    txn: Option<TxnMark>,
 }
 
 impl GuardInstrumentation {
-    /// Instrumentation for the given failure semantics. Installs the quiet
-    /// panic hook once per process when the guard is active.
-    pub fn new(mode: GuardMode, paranoid: bool) -> GuardInstrumentation {
-        if mode != GuardMode::Off {
+    /// Instrumentation for the given policy. Installs the quiet panic hook
+    /// once per process when the guard is active.
+    pub fn new(policy: GuardPolicy) -> GuardInstrumentation {
+        if policy.mode != GuardMode::Off {
             install_quiet_hook();
         }
-        GuardInstrumentation { mode, paranoid, snapshot: None }
+        GuardInstrumentation { policy, snapshot: None, txn: None }
     }
 
     /// The failure semantics this instrumentation applies.
     pub fn mode(&self) -> GuardMode {
-        self.mode
+        self.policy.mode
     }
 
-    /// Before-pass hook: snapshot `f` so `after_pass` can roll back.
-    /// No-op (no snapshot cost) in [`GuardMode::Off`].
-    pub fn before_pass(&mut self, f: &Function) {
-        if self.mode != GuardMode::Off {
+    /// The full guard policy this instrumentation applies.
+    pub fn policy(&self) -> GuardPolicy {
+        self.policy
+    }
+
+    /// Before-pass hook: establish the rollback point. Under
+    /// [`RollbackStrategy::Delta`] this opens an IR transaction (no clone);
+    /// under [`RollbackStrategy::Snapshot`] it clones `f`; under
+    /// [`RollbackStrategy::Differential`] it does both. Paranoid mode
+    /// additionally keeps a snapshot in any strategy — the oracle needs the
+    /// pre-transform function to execute. No-op in [`GuardMode::Off`].
+    pub fn before_pass(&mut self, f: &mut Function) {
+        if self.policy.mode == GuardMode::Off {
+            return;
+        }
+        if self.policy.strategy != RollbackStrategy::Snapshot {
+            self.txn = Some(f.begin_txn());
+        }
+        if self.policy.strategy != RollbackStrategy::Delta || self.policy.paranoid {
             self.snapshot = Some(f.clone());
         }
     }
@@ -231,10 +338,15 @@ impl GuardInstrumentation {
     /// After-pass hook. `outcome` is `Ok(mutated)` when the transform
     /// completed (`mutated` says whether `f` changed, so clean read-only
     /// runs skip verification and oracle costs) or `Err(payload)` when it
-    /// panicked. Returns `None` on commit; on any failure restores `f`
-    /// from the `before_pass` snapshot bit-for-bit and returns the
-    /// incident. `seed` is evaluated lazily, only when an incident is
-    /// built (after rollback, so it describes the pre-transform state).
+    /// panicked. Returns `None` on commit (closing the IR transaction and
+    /// discarding the rollback point); on any failure restores `f` to the
+    /// `before_pass` state bit-for-bit and returns the incident. `seed` is
+    /// evaluated lazily, only when an incident is built (after rollback,
+    /// so it describes the pre-transform state).
+    ///
+    /// Commits under [`RollbackStrategy::Delta`] verify incrementally:
+    /// only instructions whose payload (or operand payload) the
+    /// transaction touched get the full per-opcode type check.
     pub fn after_pass(
         &mut self,
         pass: &str,
@@ -243,33 +355,52 @@ impl GuardInstrumentation {
         outcome: Result<bool, Box<dyn Any + Send>>,
     ) -> Option<Incident> {
         let snapshot = self.snapshot.take();
-        if self.mode == GuardMode::Off {
+        let txn = self.txn.take();
+        if self.policy.mode == GuardMode::Off {
             if let Err(payload) = outcome {
                 panic::resume_unwind(payload);
             }
             return None;
         }
-        let snapshot = snapshot.expect("before_pass must run before after_pass");
-        let fail = |f: &mut Function, kind: IncidentKind, detail: String| {
-            *f = snapshot.clone();
-            Incident { pass: pass.to_string(), seed: seed.map(|d| d(f)), kind, detail }
+        if self.policy.strategy != RollbackStrategy::Snapshot {
+            assert!(txn.is_some(), "before_pass must run before after_pass");
+        } else {
+            assert!(snapshot.is_some(), "before_pass must run before after_pass");
+        }
+        let commit = |f: &mut Function| {
+            if let Some(mark) = txn {
+                f.commit_txn(mark);
+            }
         };
-        let incident = match outcome {
-            Err(payload) => fail(f, IncidentKind::Panic, panic_message(payload)),
+        let failure = match outcome {
+            Err(payload) => Some((IncidentKind::Panic, panic_message(payload))),
             Ok(mutated) => {
                 if !mutated {
+                    commit(f);
                     return None;
                 }
-                if let Err(e) = lslp_ir::verify_function(f) {
-                    fail(f, IncidentKind::VerifyError, e.to_string())
-                } else if let Err(detail) = oracle_check(self.paranoid, &snapshot, f) {
-                    fail(f, IncidentKind::OracleMismatch, detail)
-                } else {
-                    return None;
+                let verdict = match txn {
+                    Some(mark) => lslp_ir::verify_function_touched(f, &f.touched_since(mark)),
+                    None => lslp_ir::verify_function(f),
+                };
+                match verdict {
+                    Err(e) => Some((IncidentKind::VerifyError, e.to_string())),
+                    Ok(()) => oracle_check(self.policy.paranoid, snapshot.as_ref(), f)
+                        .err()
+                        .map(|detail| (IncidentKind::OracleMismatch, detail)),
                 }
             }
         };
-        Some(incident)
+        match failure {
+            None => {
+                commit(f);
+                None
+            }
+            Some((kind, detail)) => {
+                restore(self.policy.strategy, f, txn, snapshot, pass);
+                Some(Incident { pass: pass.to_string(), seed: seed.map(|d| d(f)), kind, detail })
+            }
+        }
     }
 
     /// One complete guarded transaction over `f`: snapshot, run `body`
@@ -287,7 +418,7 @@ impl GuardInstrumentation {
         f: &mut Function,
         body: impl FnOnce(&mut Function) -> (T, bool),
     ) -> Result<T, Incident> {
-        if self.mode == GuardMode::Off {
+        if self.policy.mode == GuardMode::Off {
             let (t, _mutated) = body(f);
             return Ok(t);
         }
@@ -299,6 +430,46 @@ impl GuardInstrumentation {
         match self.after_pass(pass, seed, f, flag) {
             None => Ok(value.expect("commit implies the body completed")),
             Some(incident) => Err(incident),
+        }
+    }
+}
+
+/// Restore `f` to its pre-transform state using the given mechanism.
+/// Under [`RollbackStrategy::Differential`], both mechanisms run and any
+/// divergence between them panics — that is the mode's purpose.
+fn restore(
+    strategy: RollbackStrategy,
+    f: &mut Function,
+    txn: Option<TxnMark>,
+    snapshot: Option<Function>,
+    pass: &str,
+) {
+    match strategy {
+        RollbackStrategy::Delta => {
+            f.rollback_txn(txn.expect("delta guard holds an open transaction"));
+        }
+        RollbackStrategy::Snapshot => {
+            // Restore by move: the snapshot is owned here and consumed by
+            // exactly one rollback, so no second clone is needed.
+            *f = snapshot.expect("snapshot guard holds a snapshot");
+        }
+        RollbackStrategy::Differential => {
+            let snap = snapshot.expect("differential guard holds a snapshot");
+            f.rollback_txn(txn.expect("differential guard holds an open transaction"));
+            let delta_print = lslp_ir::print_function(f);
+            let snap_print = lslp_ir::print_function(&snap);
+            assert!(
+                delta_print == snap_print,
+                "differential guard: delta-rollback diverged from snapshot-rollback \
+                 in pass {pass}\n--- delta-restored ---\n{delta_print}\
+                 --- snapshot ---\n{snap_print}"
+            );
+            assert_eq!(
+                f.epoch(),
+                snap.epoch(),
+                "differential guard: delta-rollback restored a different epoch \
+                 than the snapshot in pass {pass}"
+            );
         }
     }
 }
@@ -322,18 +493,17 @@ impl GuardInstrumentation {
 /// Returns [`GuardError`] carrying the incident in strict mode.
 pub fn run_guarded<T>(
     f: &mut Function,
-    mode: GuardMode,
-    paranoid: bool,
+    policy: GuardPolicy,
     pass: &str,
     seed: Option<SeedDesc>,
     incidents: &mut Vec<Incident>,
     body: impl FnOnce(&mut Function) -> (T, bool),
 ) -> Result<Option<T>, GuardError> {
-    let mut gi = GuardInstrumentation::new(mode, paranoid);
+    let mut gi = GuardInstrumentation::new(policy);
     match gi.transact(pass, seed, f, body) {
         Ok(t) => Ok(Some(t)),
         Err(incident) => {
-            record(mode, incidents, incident)?;
+            record(policy.mode, incidents, incident)?;
             Ok(None)
         }
     }
@@ -425,11 +595,14 @@ fn capture(f: &Function, float_mode: bool) -> Option<Memory> {
 /// integer programs, within relative tolerance for float programs (the
 /// vectorizer reassociates under fast-math). A `before` that does not
 /// execute (e.g. out-of-bounds under the synthesized inputs) makes the
-/// oracle inconclusive, which counts as agreement.
-fn oracle_check(paranoid: bool, before: &Function, after: &Function) -> Result<(), String> {
+/// oracle inconclusive, which counts as agreement. `before` is the
+/// paranoid-mode snapshot; it is always present when `paranoid` is set
+/// (see [`GuardInstrumentation::before_pass`]).
+fn oracle_check(paranoid: bool, before: Option<&Function>, after: &Function) -> Result<(), String> {
     if !paranoid {
         return Ok(());
     }
+    let before = before.expect("paranoid mode keeps a snapshot for the oracle");
     let float_mode = touches_float(before);
     let Some(pre) = capture(before, float_mode) else {
         return Ok(());
@@ -478,10 +651,8 @@ mod tests {
     fn commit_passes_result_through() {
         let mut f = store_kernel();
         let mut incidents = Vec::new();
-        let r =
-            run_guarded(&mut f, GuardMode::Rollback, false, "test", None, &mut incidents, |_| {
-                (42, false)
-            });
+        let policy = GuardPolicy::new(GuardMode::Rollback);
+        let r = run_guarded(&mut f, policy, "test", None, &mut incidents, |_| (42, false));
         assert_eq!(r.unwrap(), Some(42));
         assert!(incidents.is_empty());
     }
@@ -494,8 +665,7 @@ mod tests {
         let desc = |_: &Function| "A[+0..+8)".to_string();
         let r = run_guarded(
             &mut f,
-            GuardMode::Rollback,
-            false,
+            GuardPolicy::new(GuardMode::Rollback),
             "test",
             Some(&desc as SeedDesc),
             &mut incidents,
@@ -521,8 +691,7 @@ mod tests {
         let mut incidents = Vec::new();
         let r = run_guarded(
             &mut f,
-            GuardMode::Strict,
-            false,
+            GuardPolicy::new(GuardMode::Strict),
             "test",
             None,
             &mut incidents,
@@ -541,8 +710,7 @@ mod tests {
         let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
             run_guarded(
                 &mut f,
-                GuardMode::Off,
-                false,
+                GuardPolicy::new(GuardMode::Off),
                 "test",
                 None,
                 &mut incidents,
@@ -556,8 +724,8 @@ mod tests {
     fn instrumentation_hooks_compose() {
         let mut f = store_kernel();
         let before = lslp_ir::print_function(&f);
-        let mut gi = GuardInstrumentation::new(GuardMode::Rollback, false);
-        gi.before_pass(&f);
+        let mut gi = GuardInstrumentation::new(GuardPolicy::new(GuardMode::Rollback));
+        gi.before_pass(&mut f);
         let outcome: Result<(), _> = gi.catch_panics(|| {
             f.add_param("junk", Type::I64);
             panic!("late panic");
@@ -574,7 +742,7 @@ mod tests {
     #[test]
     fn transact_commits_clean_mutations() {
         let mut f = store_kernel();
-        let mut gi = GuardInstrumentation::new(GuardMode::Strict, false);
+        let mut gi = GuardInstrumentation::new(GuardPolicy::new(GuardMode::Strict));
         let r = gi.transact("test", None, &mut f, |f| {
             let n = f.num_values();
             f.add_param("extra", Type::I64);
@@ -591,6 +759,96 @@ mod tests {
         }
         assert_eq!(GuardMode::parse("paranoid"), None);
         assert_eq!(GuardMode::default(), GuardMode::Rollback);
+    }
+
+    #[test]
+    fn strategy_parsing_round_trips() {
+        for s in
+            [RollbackStrategy::Delta, RollbackStrategy::Snapshot, RollbackStrategy::Differential]
+        {
+            assert_eq!(RollbackStrategy::parse(&s.to_string()), Some(s));
+        }
+        assert_eq!(RollbackStrategy::parse("clone"), None);
+        assert_eq!(RollbackStrategy::default(), RollbackStrategy::Delta);
+    }
+
+    #[test]
+    fn delta_is_the_default_and_opens_a_txn() {
+        let mut f = store_kernel();
+        let mut gi = GuardInstrumentation::new(GuardPolicy::new(GuardMode::Rollback));
+        gi.before_pass(&mut f);
+        assert!(f.in_txn(), "delta guard opens an IR transaction");
+        let incident = gi.after_pass("t", None, &mut f, Ok(false));
+        assert!(incident.is_none());
+        assert!(!f.in_txn(), "after_pass closes the transaction");
+    }
+
+    #[test]
+    fn snapshot_strategy_restores_bit_for_bit() {
+        let mut f = store_kernel();
+        let before = lslp_ir::print_function(&f);
+        let e0 = f.epoch();
+        let mut incidents = Vec::new();
+        let policy = GuardPolicy::new(GuardMode::Rollback).strategy(RollbackStrategy::Snapshot);
+        let r = run_guarded(&mut f, policy, "test", None, &mut incidents, |f| {
+            f.add_param("junk", Type::I64);
+            panic!("boom");
+            #[allow(unreachable_code)]
+            ((), true)
+        });
+        assert_eq!(r.unwrap(), None);
+        assert_eq!(lslp_ir::print_function(&f), before);
+        assert_eq!(f.epoch(), e0, "snapshot restore keeps the pre-txn epoch");
+        assert!(!f.in_txn(), "snapshot strategy never opens a transaction");
+        assert_eq!(incidents.len(), 1);
+    }
+
+    #[test]
+    fn delta_strategy_restores_bit_for_bit() {
+        let mut f = store_kernel();
+        let before = lslp_ir::print_function(&f);
+        let e0 = f.epoch();
+        let mut incidents = Vec::new();
+        let policy = GuardPolicy::new(GuardMode::Rollback);
+        let r = run_guarded(&mut f, policy, "test", None, &mut incidents, |f| {
+            // An invalid mutation that completes: exercises the verify-error
+            // path (incremental verification, then delta rollback).
+            let a = f.params()[1];
+            let bad = f.add_param("b", Type::F64);
+            f.push(lslp_ir::Opcode::Add, Type::I64, vec![a, bad], lslp_ir::InstAttr::None);
+            ((), true)
+        });
+        assert_eq!(r.unwrap(), None);
+        assert_eq!(lslp_ir::print_function(&f), before, "delta rollback is bit-for-bit");
+        assert_eq!(f.epoch(), e0, "delta rollback restores the pre-txn epoch");
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].kind, IncidentKind::VerifyError);
+    }
+
+    #[test]
+    fn differential_strategy_agrees_on_clean_rollbacks() {
+        let mut f = store_kernel();
+        let before = lslp_ir::print_function(&f);
+        let mut incidents = Vec::new();
+        let policy = GuardPolicy::new(GuardMode::Rollback).strategy(RollbackStrategy::Differential);
+        for _ in 0..3 {
+            let r = run_guarded(&mut f, policy, "test", None, &mut incidents, |f| {
+                f.add_param("junk", Type::I64);
+                panic!("boom");
+                #[allow(unreachable_code)]
+                ((), true)
+            });
+            assert_eq!(r.unwrap(), None);
+        }
+        assert_eq!(lslp_ir::print_function(&f), before);
+        assert_eq!(incidents.len(), 3);
+        // A committing transaction under differential also works.
+        let r = run_guarded(&mut f, policy, "test", None, &mut incidents, |f| {
+            f.add_param("extra", Type::I64);
+            ((), true)
+        });
+        assert_eq!(r.unwrap(), Some(()));
+        assert_eq!(f.params().len(), 4);
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub use codegen::CodegenStats;
 pub use config::{ReorderKind, Sabotage, ScoreAgg, ScoreWeights, VectorizerConfig};
 pub use cost::{graph_cost, graph_cost_excluding, graph_cost_reachable, CostReport};
 pub use graph::{GatherReason, GraphBuilder, Node, NodeId, NodeKind, Placement, SlpGraph};
-pub use guard::{GuardError, GuardMode, Incident, IncidentKind};
+pub use guard::{GuardError, GuardMode, GuardPolicy, Incident, IncidentKind, RollbackStrategy};
 pub use lslp_analysis::{AnalysisKind, AnalysisManager, CacheStats, PreservedAnalyses};
 pub use pass::{
     try_vectorize_function, try_vectorize_function_with, vectorize_function, vectorize_module,

@@ -203,7 +203,21 @@ pub fn try_vectorize_function_with(
     }
     // Scalar fallback anchor: if the function is somehow left broken at
     // the end despite the per-attempt checks, restore the scalar original.
-    let entry_snapshot = (cfg.guard != GuardMode::Off).then(|| f.clone());
+    // Under the delta strategy this is a whole-pass transaction (the
+    // per-seed transactions nest inside it); under the snapshot and
+    // differential strategies it stays a full clone.
+    enum Anchor {
+        None,
+        Snapshot(Box<Function>),
+        Txn(lslp_ir::TxnMark),
+    }
+    let anchor = if cfg.guard == GuardMode::Off {
+        Anchor::None
+    } else if cfg.rollback == crate::guard::RollbackStrategy::Delta {
+        Anchor::Txn(f.begin_txn())
+    } else {
+        Anchor::Snapshot(Box::new(f.clone()))
+    };
 
     let mut tried: HashSet<Vec<ValueId>> = HashSet::new();
     let mut fuel_spent = false;
@@ -263,8 +277,7 @@ pub fn try_vectorize_function_with(
                         let desc = |f: &Function| seed_desc(f, &addr, &bundle);
                         let eval = guard::run_guarded(
                             f,
-                            cfg.guard,
-                            cfg.paranoid,
+                            cfg.guard_policy(),
                             "vectorize",
                             Some(&desc as guard::SeedDesc),
                             &mut report.incidents,
@@ -344,8 +357,7 @@ pub fn try_vectorize_function_with(
                     let desc = |f: &Function| seed_desc(f, &addr, bundle);
                     let committed = guard::run_guarded(
                         f,
-                        cfg.guard,
-                        cfg.paranoid,
+                        cfg.guard_policy(),
                         "vectorize",
                         Some(&desc as guard::SeedDesc),
                         &mut report.incidents,
@@ -382,8 +394,7 @@ pub fn try_vectorize_function_with(
     if cfg.enable_reductions {
         let reds = guard::run_guarded(
             f,
-            cfg.guard,
-            cfg.paranoid,
+            cfg.guard_policy(),
             "reductions",
             None,
             &mut report.incidents,
@@ -407,7 +418,7 @@ pub fn try_vectorize_function_with(
         // removes what this compile left behind).
         0
     } else {
-        guard::run_guarded(f, cfg.guard, cfg.paranoid, "dce", None, &mut report.incidents, |f| {
+        guard::run_guarded(f, cfg.guard_policy(), "dce", None, &mut report.incidents, |f| {
             let n = dce::run(f);
             (n, n > 0)
         })?
@@ -416,35 +427,45 @@ pub fn try_vectorize_function_with(
     // Final checkpoint: every committed transaction was verified above, so
     // this should never fire — but if it does, fall back to the scalar
     // original rather than emit a broken function.
-    if let Some(snapshot) = entry_snapshot {
-        if let Err(e) = lslp_ir::verify_function(f) {
-            *f = snapshot;
-            let incident = Incident {
-                pass: "vectorize".into(),
-                seed: None,
-                kind: IncidentKind::VerifyError,
-                detail: format!("final checkpoint failed, scalar fallback taken: {e}"),
-            };
-            if cfg.guard == GuardMode::Strict {
-                return Err(GuardError(incident));
-            }
-            report = VectorizeReport {
-                incidents: {
-                    let mut v = report.incidents;
-                    v.push(incident);
-                    v
-                },
-                elapsed: start.elapsed(),
-                ..VectorizeReport::default()
-            };
-            return Ok(report);
+    match anchor {
+        Anchor::None => {
+            debug_assert!(
+                lslp_ir::verify_function(f).is_ok(),
+                "vectorized function failed verification: {:?}",
+                lslp_ir::verify_function(f)
+            );
         }
-    } else {
-        debug_assert!(
-            lslp_ir::verify_function(f).is_ok(),
-            "vectorized function failed verification: {:?}",
-            lslp_ir::verify_function(f)
-        );
+        anchor @ (Anchor::Snapshot(_) | Anchor::Txn(_)) => {
+            if let Err(e) = lslp_ir::verify_function(f) {
+                match anchor {
+                    Anchor::Snapshot(snapshot) => *f = *snapshot,
+                    Anchor::Txn(mark) => f.rollback_txn(mark),
+                    Anchor::None => unreachable!(),
+                }
+                let incident = Incident {
+                    pass: "vectorize".into(),
+                    seed: None,
+                    kind: IncidentKind::VerifyError,
+                    detail: format!("final checkpoint failed, scalar fallback taken: {e}"),
+                };
+                if cfg.guard == GuardMode::Strict {
+                    return Err(GuardError(incident));
+                }
+                report = VectorizeReport {
+                    incidents: {
+                        let mut v = report.incidents;
+                        v.push(incident);
+                        v
+                    },
+                    elapsed: start.elapsed(),
+                    ..VectorizeReport::default()
+                };
+                return Ok(report);
+            }
+            if let Anchor::Txn(mark) = anchor {
+                f.commit_txn(mark);
+            }
+        }
     }
     report.elapsed = start.elapsed();
     Ok(report)

@@ -99,7 +99,7 @@ pub fn try_run_pipeline_with(
     let mut report = PipelineReport::default();
     let stats = Statistics::new();
     let cx = PassContext { cfg, tm, stats: &stats };
-    let mut pm = PassManager::new(cfg.guard, cfg.paranoid);
+    let mut pm = PassManager::new(cfg.guard_policy());
     let outcome = run_schedule(f, &cx, &mut pm, am, &mut report, start);
     // Observability is filled in even when a strict-mode abort unwinds the
     // schedule, so callers can still see how far the run got.
@@ -157,7 +157,7 @@ pub fn try_run_vectorize_only(
     let mut report = PipelineReport::default();
     let stats = Statistics::new();
     let cx = PassContext { cfg, tm, stats: &stats };
-    let mut pm = PassManager::new(cfg.guard, cfg.paranoid);
+    let mut pm = PassManager::new(cfg.guard_policy());
     let mut vp = VectorizePass::default();
     let outcome = pm.run_pass(&mut vp, f, &mut am, &cx);
     let vectorize = vp.take_report();

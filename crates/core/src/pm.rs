@@ -26,7 +26,7 @@ use lslp_ir::Function;
 use lslp_target::CostModel;
 
 use crate::config::VectorizerConfig;
-use crate::guard::{GuardError, GuardInstrumentation, GuardMode, Incident};
+use crate::guard::{GuardError, GuardInstrumentation, GuardMode, GuardPolicy, Incident};
 use crate::pass::VectorizeReport;
 use crate::stats::Statistics;
 
@@ -114,9 +114,9 @@ pub struct PassManager {
 
 impl PassManager {
     /// A pass manager with the given guard policy.
-    pub fn new(mode: GuardMode, paranoid: bool) -> PassManager {
+    pub fn new(policy: GuardPolicy) -> PassManager {
         PassManager {
-            guard: GuardInstrumentation::new(mode, paranoid),
+            guard: GuardInstrumentation::new(policy),
             timings: Vec::new(),
             incidents: Vec::new(),
         }
@@ -346,7 +346,7 @@ mod tests {
         let tm = CostModel::default();
         let stats = Statistics::new();
         let cx = PassContext { cfg: &cfg, tm: &tm, stats: &stats };
-        let mut pm = PassManager::new(GuardMode::Rollback, false);
+        let mut pm = PassManager::new(GuardPolicy::new(GuardMode::Rollback));
         let n = pm.run_pass(&mut SimplifyPass, &mut f, &mut am, &cx).unwrap();
         assert!(n > 0, "simplify must fire on x + 0");
         assert_eq!(stats.get("simplify", "rewrites"), n as u64);
@@ -364,7 +364,7 @@ mod tests {
         let tm = CostModel::default();
         let stats = Statistics::new();
         let cx = PassContext { cfg: &cfg, tm: &tm, stats: &stats };
-        let mut pm = PassManager::new(GuardMode::Rollback, false);
+        let mut pm = PassManager::new(GuardPolicy::new(GuardMode::Rollback));
         // Warm the cache, then run a pass that won't change anything
         // (simplify already ran), and make sure the entries survive.
         pm.run_pass(&mut SimplifyPass, &mut f, &mut am, &cx).unwrap();
@@ -402,7 +402,7 @@ mod tests {
         let tm = CostModel::default();
         let stats = Statistics::new();
         let cx = PassContext { cfg: &cfg, tm: &tm, stats: &stats };
-        let mut pm = PassManager::new(GuardMode::Rollback, false);
+        let mut pm = PassManager::new(GuardPolicy::new(GuardMode::Rollback));
         let n = pm.run_pass(&mut PanicPass, &mut f, &mut am, &cx).unwrap();
         assert_eq!(n, 0);
         assert_eq!(lslp_ir::print_function(&f), before, "rollback must restore");
@@ -438,7 +438,7 @@ mod tests {
         let tm = CostModel::default();
         let stats = Statistics::new();
         let cx = PassContext { cfg: &cfg, tm: &tm, stats: &stats };
-        let mut pm = PassManager::new(GuardMode::Strict, false);
+        let mut pm = PassManager::new(GuardPolicy::new(GuardMode::Strict));
         let err = pm.run_pass(&mut PanicPass, &mut f, &mut am, &cx).unwrap_err();
         assert_eq!(err.0.pass, "panicky");
         assert_eq!(pm.timings().len(), 1, "aborted runs are still timed");
@@ -478,7 +478,7 @@ mod tests {
         let tm = CostModel::default();
         let stats = Statistics::new();
         let cx = PassContext { cfg: &cfg, tm: &tm, stats: &stats };
-        let mut pm = PassManager::new(GuardMode::Rollback, false);
+        let mut pm = PassManager::new(GuardPolicy::new(GuardMode::Rollback));
         pm.run_pass(&mut RenamePass, &mut f, &mut am, &cx).unwrap();
         let misses = am.cache_stats().misses;
         let _ = am.addr_info(&f);

@@ -215,7 +215,7 @@ impl<'a> Interp<'a> {
             return Ok(v.clone());
         }
         match self.f.value(id) {
-            ValueData::Const(c) => Ok(const_value(c)),
+            ValueData::Const(c) => Ok(const_value(self.f.const_value(*c))),
             _ => Err(ExecError::new(format!("value {id} used before definition"))),
         }
     }

@@ -1,11 +1,26 @@
-//! Functions, modules, and use-def bookkeeping.
+//! Functions, modules, use-def bookkeeping, and the delta-undo
+//! transaction log.
+//!
+//! All values live in index-addressed arenas inside [`Function`]: the value
+//! arena (indexed by [`ValueId`]) holds small, cheaply-movable payloads, and
+//! constants are interned once into a per-function pool (indexed by
+//! [`ConstId`]) so the arena entry for a constant is a copyable id rather
+//! than a (potentially large, e.g. vector) payload.
+//!
+//! Mutation is transactional: inside a [`Function::begin_txn`] /
+//! [`Function::commit_txn`] / [`Function::rollback_txn`] window, every
+//! mutating method appends a reversible [`Delta`] record, and rollback
+//! replays only the touched records — O(changes), not O(function) — while
+//! restoring the pre-transaction epoch so epoch-keyed analysis caches stay
+//! warm. Outside a transaction no records are kept and mutation is
+//! log-free.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::inst::{Inst, InstAttr, Opcode};
 use crate::types::Type;
-use crate::value::{Constant, ValueId};
+use crate::value::{ConstId, Constant, ValueId};
 
 /// Process-wide source of mutation epochs. Every mutation of any function
 /// draws a fresh value, so an epoch identifies *one specific content state*
@@ -13,6 +28,20 @@ use crate::value::{Constant, ValueId};
 /// equal epochs are guaranteed identical. Cached analyses key on this.
 static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
 
+/// Draw a fresh, never-before-seen epoch.
+///
+/// Ordering rationale: `Relaxed` is sufficient. The entire contract —
+/// "every draw returns a distinct value, and the values handed out are
+/// monotone along the counter's modification order" — is a property of the
+/// single atomic read-modify-write itself: `fetch_add` on one cell is
+/// guaranteed to observe and produce a total modification order regardless
+/// of memory-ordering strength, so no two threads can ever receive the same
+/// epoch and no draw can return a value below one already handed out.
+/// Stronger orderings (`Acquire`/`Release`/`SeqCst`) would only add
+/// synchronizes-with edges to *other* memory locations, and the epoch
+/// protocol never relies on such edges: an epoch is compared for equality
+/// against values stored in the same-thread `Function` it stamps, never
+/// used to publish unrelated data across threads.
 fn fresh_epoch() -> u64 {
     NEXT_EPOCH.fetch_add(1, Ordering::Relaxed)
 }
@@ -27,8 +56,9 @@ pub enum ValueData {
         /// The parameter type.
         ty: Type,
     },
-    /// An interned constant.
-    Const(Constant),
+    /// An interned constant; the payload lives in the function's constant
+    /// pool and is resolved via [`Function::const_value`].
+    Const(ConstId),
     /// An instruction; only instructions appear in the body.
     Inst(Inst),
 }
@@ -63,11 +93,51 @@ impl UseMap {
     }
 }
 
+/// One reversible mutation record in a function's [`DeltaLog`].
+///
+/// Each mutating method of [`Function`] appends exactly the records needed
+/// to undo itself, in operation order; [`Function::rollback_txn`] pops and
+/// undoes them in reverse. Records are only kept while a transaction is
+/// open ([`Function::in_txn`]).
+#[derive(Clone, Debug)]
+enum Delta {
+    /// A value was allocated at the end of the arena.
+    Alloc { v: ValueId },
+    /// A constant was interned at the end of the pool.
+    ConstIntern,
+    /// A parameter handle was appended.
+    ParamPush,
+    /// An instruction was appended to the body.
+    BodyPush,
+    /// An instruction was inserted into the body at `at`.
+    BodyInsert { at: usize },
+    /// The whole body order was replaced; `old` is the previous order.
+    BodyReplace { old: Vec<ValueId> },
+    /// A value's debug name was set; `old` is the previous name.
+    SetName { v: ValueId, old: Option<String> },
+    /// An instruction payload was (possibly) mutated in place; `old` is the
+    /// full previous record.
+    SetInst { v: ValueId, old: Inst },
+}
+
+/// A position in a function's delta log plus the epoch at that point.
+///
+/// Returned by [`Function::begin_txn`]; pass it back to
+/// [`Function::commit_txn`] or [`Function::rollback_txn`]. Marks are
+/// `Copy` and nest naturally (a mark taken inside an outer transaction
+/// rolls back only the inner window).
+#[derive(Clone, Copy, Debug)]
+pub struct TxnMark {
+    len: usize,
+    epoch: u64,
+}
+
 /// A straight-line function: parameters, interned constants, and a single
 /// ordered list of instructions (the *body*).
 ///
-/// All values live in one arena indexed by [`ValueId`]. Instructions removed
-/// from the body stay in the arena as orphans; only body membership defines
+/// All values live in one arena indexed by [`ValueId`]; constant payloads
+/// live once in a pool indexed by [`ConstId`]. Instructions removed from
+/// the body stay in the arena as orphans; only body membership defines
 /// program semantics.
 #[derive(Clone, Debug)]
 pub struct Function {
@@ -76,7 +146,18 @@ pub struct Function {
     names: Vec<Option<String>>,
     params: Vec<ValueId>,
     body: Vec<ValueId>,
-    const_map: HashMap<Constant, ValueId>,
+    /// Interned constant payloads, indexed by [`ConstId`].
+    consts: Vec<Constant>,
+    /// Canonical value handle for each pool entry (1:1 with `consts`).
+    const_vals: Vec<ValueId>,
+    /// Interning index: constant payload → pool id. Only consulted when
+    /// interning (parse/build time), never on the per-attempt hot path.
+    const_lookup: HashMap<Constant, ConstId>,
+    /// Reversible records for the open transaction window(s); empty when
+    /// no transaction is open.
+    log: Vec<Delta>,
+    /// Number of nested open transactions.
+    txn_depth: u32,
     /// Mutation epoch: refreshed from a process-wide counter on every
     /// mutation, preserved by `Clone` (a clone has identical content).
     /// Equal epochs imply identical content, so analysis caches keyed by
@@ -93,7 +174,11 @@ impl Function {
             names: Vec::new(),
             params: Vec::new(),
             body: Vec::new(),
-            const_map: HashMap::new(),
+            consts: Vec::new(),
+            const_vals: Vec::new(),
+            const_lookup: HashMap::new(),
+            log: Vec::new(),
+            txn_depth: 0,
             epoch: fresh_epoch(),
         }
     }
@@ -108,8 +193,9 @@ impl Function {
     /// Every mutating method refreshes this from a process-wide counter, so
     /// an epoch names one specific content state: if two `Function` values
     /// report the same epoch they are bit-identical (clones preserve the
-    /// epoch together with the content; a transactional rollback that
-    /// restores a snapshot therefore also restores its epoch, keeping
+    /// epoch together with the content; a transactional rollback — whether
+    /// by snapshot restore or by [`Function::rollback_txn`] delta replay —
+    /// therefore also restores the pre-transaction epoch, keeping
     /// epoch-keyed analysis caches warm). Cached analyses compare this
     /// against the epoch they were computed at to detect staleness.
     pub fn epoch(&self) -> u64 {
@@ -121,11 +207,140 @@ impl Function {
         self.epoch = fresh_epoch();
     }
 
+    /// Append a reversible record if a transaction is open.
+    fn record(&mut self, d: Delta) {
+        if self.txn_depth > 0 {
+            self.log.push(d);
+        }
+    }
+
+    // ----- transactions ---------------------------------------------------
+
+    /// Open a transaction window; mutations from here on are recorded in
+    /// the delta log until the matching [`Function::commit_txn`] or
+    /// [`Function::rollback_txn`]. Transactions nest: an inner mark rolls
+    /// back only the mutations made after it.
+    pub fn begin_txn(&mut self) -> TxnMark {
+        self.txn_depth += 1;
+        TxnMark { len: self.log.len(), epoch: self.epoch }
+    }
+
+    /// Close the transaction opened at `mark`, keeping its mutations. When
+    /// the outermost transaction commits, the log is discarded (a committed
+    /// attempt costs nothing beyond the mutations themselves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn commit_txn(&mut self, mark: TxnMark) {
+        assert!(self.txn_depth > 0, "commit_txn without begin_txn");
+        debug_assert!(mark.len <= self.log.len(), "stale transaction mark");
+        self.txn_depth -= 1;
+        if self.txn_depth == 0 {
+            self.log.clear();
+        }
+    }
+
+    /// Close the transaction opened at `mark`, undoing every mutation made
+    /// since, in reverse order, and restoring the pre-transaction epoch
+    /// (so epoch-keyed analysis caches computed before the transaction stay
+    /// warm — the content is bit-identical to the pre-transaction state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is open.
+    pub fn rollback_txn(&mut self, mark: TxnMark) {
+        assert!(self.txn_depth > 0, "rollback_txn without begin_txn");
+        while self.log.len() > mark.len {
+            let d = self.log.pop().expect("log shorter than its mark");
+            self.undo(d);
+        }
+        self.epoch = mark.epoch;
+        self.txn_depth -= 1;
+        if self.txn_depth == 0 {
+            self.log.clear();
+        }
+    }
+
+    /// Whether a transaction is currently open.
+    pub fn in_txn(&self) -> bool {
+        self.txn_depth > 0
+    }
+
+    /// Number of delta records currently held (0 outside transactions).
+    /// Exposed for diagnostics and benchmarks.
+    pub fn delta_len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// The set of values touched (allocated or mutated) since `mark`.
+    ///
+    /// Used by the incremental verifier on commit: an instruction whose id
+    /// is absent from this set *and* all of whose operands are absent has
+    /// an unchanged payload with unchanged operand payloads, so its
+    /// per-opcode type rules cannot have been invalidated. Body *order*
+    /// changes are deliberately not reflected here — order-sensitive
+    /// checks (duplicates, def-before-use) are cheap and always run in
+    /// full.
+    pub fn touched_since(&self, mark: TxnMark) -> HashSet<ValueId> {
+        let mut touched = HashSet::new();
+        for d in &self.log[mark.len.min(self.log.len())..] {
+            match d {
+                Delta::Alloc { v } | Delta::SetName { v, .. } | Delta::SetInst { v, .. } => {
+                    touched.insert(*v);
+                }
+                Delta::ConstIntern
+                | Delta::ParamPush
+                | Delta::BodyPush
+                | Delta::BodyInsert { .. }
+                | Delta::BodyReplace { .. } => {}
+            }
+        }
+        touched
+    }
+
+    /// Undo one record. Called in reverse log order only.
+    fn undo(&mut self, d: Delta) {
+        match d {
+            Delta::Alloc { v } => {
+                debug_assert_eq!(v.index() + 1, self.values.len(), "undo out of order");
+                self.values.pop();
+                self.names.pop();
+            }
+            Delta::ConstIntern => {
+                let c = self.consts.pop().expect("undo ConstIntern on empty pool");
+                self.const_vals.pop();
+                self.const_lookup.remove(&c);
+            }
+            Delta::ParamPush => {
+                self.params.pop();
+            }
+            Delta::BodyPush => {
+                self.body.pop();
+            }
+            Delta::BodyInsert { at } => {
+                self.body.remove(at);
+            }
+            Delta::BodyReplace { old } => {
+                self.body = old;
+            }
+            Delta::SetName { v, old } => {
+                self.names[v.index()] = old;
+            }
+            Delta::SetInst { v, old } => {
+                self.values[v.index()] = ValueData::Inst(old);
+            }
+        }
+    }
+
+    // ----- construction ---------------------------------------------------
+
     fn alloc(&mut self, data: ValueData, name: Option<String>) -> ValueId {
         self.touch();
         let id = ValueId::from_raw(self.values.len() as u32);
         self.values.push(data);
         self.names.push(name);
+        self.record(Delta::Alloc { v: id });
         id
     }
 
@@ -134,6 +349,7 @@ impl Function {
         let index = self.params.len() as u32;
         let id = self.alloc(ValueData::Arg { index, ty }, Some(name.into()));
         self.params.push(id);
+        self.record(Delta::ParamPush);
         id
     }
 
@@ -143,13 +359,19 @@ impl Function {
     }
 
     /// Intern a constant, returning a stable handle (equal constants share
-    /// one handle, so handle equality is constant equality).
+    /// one handle, so handle equality is constant equality). Re-interning a
+    /// known constant is not a mutation: it returns the existing handle and
+    /// leaves the epoch untouched.
     pub fn constant(&mut self, c: Constant) -> ValueId {
-        if let Some(&id) = self.const_map.get(&c) {
-            return id;
+        if let Some(&cid) = self.const_lookup.get(&c) {
+            return self.const_vals[cid.index()];
         }
-        let id = self.alloc(ValueData::Const(c.clone()), None);
-        self.const_map.insert(c, id);
+        let cid = ConstId::from_raw(self.consts.len() as u32);
+        self.consts.push(c.clone());
+        self.const_lookup.insert(c, cid);
+        let id = self.alloc(ValueData::Const(cid), None);
+        self.const_vals.push(id);
+        self.record(Delta::ConstIntern);
         id
     }
 
@@ -172,6 +394,7 @@ impl Function {
     pub fn push(&mut self, op: Opcode, ty: Type, args: Vec<ValueId>, attr: InstAttr) -> ValueId {
         let id = self.alloc(ValueData::Inst(Inst::new(op, ty, args, attr)), None);
         self.body.push(id);
+        self.record(Delta::BodyPush);
         id
     }
 
@@ -191,19 +414,25 @@ impl Function {
         assert!(at <= self.body.len(), "insert position out of range");
         let id = self.alloc(ValueData::Inst(Inst::new(op, ty, args, attr)), None);
         self.body.insert(at, id);
+        self.record(Delta::BodyInsert { at });
         id
     }
 
     /// Attach a debug name to a value (shown by the printer).
     pub fn set_value_name(&mut self, v: ValueId, name: impl Into<String>) {
         self.touch();
-        self.names[v.index()] = Some(name.into());
+        let old = self.names[v.index()].replace(name.into());
+        // `replace` already stored the new name; keep the previous one for
+        // the undo record.
+        self.record(Delta::SetName { v, old });
     }
 
     /// The debug name of a value, if any.
     pub fn value_name(&self, v: ValueId) -> Option<&str> {
         self.names[v.index()].as_deref()
     }
+
+    // ----- queries --------------------------------------------------------
 
     /// The payload of a value.
     ///
@@ -226,6 +455,12 @@ impl Function {
     pub fn inst_mut(&mut self, v: ValueId) -> Option<&mut Inst> {
         // Conservatively assume the caller mutates through the reference.
         self.touch();
+        if self.txn_depth > 0 {
+            if let ValueData::Inst(old) = &self.values[v.index()] {
+                let old = old.clone();
+                self.log.push(Delta::SetInst { v, old });
+            }
+        }
         match &mut self.values[v.index()] {
             ValueData::Inst(i) => Some(i),
             _ => None,
@@ -235,9 +470,31 @@ impl Function {
     /// The constant, if `v` is a constant.
     pub fn as_const(&self, v: ValueId) -> Option<&Constant> {
         match self.value(v) {
-            ValueData::Const(c) => Some(c),
+            ValueData::Const(c) => Some(&self.consts[c.index()]),
             _ => None,
         }
+    }
+
+    /// The pool id, if `v` is a constant.
+    pub fn const_id(&self, v: ValueId) -> Option<ConstId> {
+        match self.value(v) {
+            ValueData::Const(c) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Resolve an interned constant's payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` was not interned by this function.
+    pub fn const_value(&self, c: ConstId) -> &Constant {
+        &self.consts[c.index()]
+    }
+
+    /// Number of distinct interned constants.
+    pub fn num_consts(&self) -> usize {
+        self.consts.len()
     }
 
     /// Whether `v` is an instruction.
@@ -269,7 +526,7 @@ impl Function {
     pub fn ty(&self, v: ValueId) -> Type {
         match self.value(v) {
             ValueData::Arg { ty, .. } => *ty,
-            ValueData::Const(c) => c.ty(),
+            ValueData::Const(c) => self.consts[c.index()].ty(),
             ValueData::Inst(i) => i.ty,
         }
     }
@@ -307,11 +564,26 @@ impl Function {
         UseMap { map }
     }
 
+    // ----- mutation -------------------------------------------------------
+
     /// Replace every body use of `old` with `new`.
     pub fn replace_uses(&mut self, old: ValueId, new: ValueId) {
         self.touch();
         let body = self.body.clone();
         for user in body {
+            let uses_old = matches!(
+                &self.values[user.index()],
+                ValueData::Inst(inst) if inst.args.contains(&old)
+            );
+            if !uses_old {
+                continue;
+            }
+            if self.txn_depth > 0 {
+                if let ValueData::Inst(prev) = &self.values[user.index()] {
+                    let prev = prev.clone();
+                    self.log.push(Delta::SetInst { v: user, old: prev });
+                }
+            }
             if let ValueData::Inst(inst) = &mut self.values[user.index()] {
                 for arg in &mut inst.args {
                     if *arg == old {
@@ -325,6 +597,10 @@ impl Function {
     /// Remove the given instructions from the body (they become orphans).
     pub fn remove_from_body(&mut self, dead: &HashSet<ValueId>) {
         self.touch();
+        if self.txn_depth > 0 {
+            let old = self.body.clone();
+            self.log.push(Delta::BodyReplace { old });
+        }
         self.body.retain(|v| !dead.contains(v));
     }
 
@@ -338,13 +614,16 @@ impl Function {
     ///
     /// Panics if `new_order` contains duplicates or non-instructions.
     pub fn rebuild_body(&mut self, new_order: Vec<ValueId>) {
-        self.touch();
         let mut seen = HashSet::with_capacity(new_order.len());
         for &v in &new_order {
             assert!(self.is_inst(v), "rebuild_body: {v} is not an instruction");
             assert!(seen.insert(v), "rebuild_body: {v} appears twice");
         }
-        self.body = new_order;
+        // Validation precedes both the mutation and the record, so a
+        // panicking call leaves the log consistent with the content.
+        self.touch();
+        let old = std::mem::replace(&mut self.body, new_order);
+        self.record(Delta::BodyReplace { old });
     }
 
     /// Iterate over `(position, id, inst)` for the body.
@@ -385,6 +664,7 @@ impl Module {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::printer::print_function;
     use crate::{ScalarType, Type};
 
     fn sample() -> (Function, ValueId, ValueId) {
@@ -407,6 +687,11 @@ mod tests {
         let cf1 = f.const_float(ScalarType::F64, 0.5);
         let cf2 = f.const_float(ScalarType::F64, 0.5);
         assert_eq!(cf1, cf2);
+        assert_eq!(f.num_consts(), 3);
+        // The pool resolves both directions.
+        let cid = f.const_id(c1).unwrap();
+        assert_eq!(f.const_value(cid).as_int(), Some(7));
+        assert_eq!(f.as_const(c1).unwrap().as_int(), Some(7));
     }
 
     #[test]
@@ -511,6 +796,154 @@ mod tests {
         let a = Function::new("a");
         let b = Function::new("b");
         assert_ne!(a.epoch(), b.epoch());
+    }
+
+    #[test]
+    fn epoch_draws_are_unique_and_monotone_across_threads() {
+        // Two threads hammering the epoch counter must each observe
+        // strictly increasing draws, and the union must be duplicate-free.
+        // This pins the `Relaxed` rationale on `fresh_epoch`: uniqueness
+        // and monotonicity come from the single atomic RMW, not from any
+        // cross-location ordering.
+        const DRAWS: usize = 10_000;
+        let worker = || {
+            let mut out = Vec::with_capacity(DRAWS);
+            let mut f = Function::new("spin");
+            for _ in 0..DRAWS {
+                f.add_param("p", Type::I64);
+                out.push(f.epoch());
+            }
+            out
+        };
+        let t1 = std::thread::spawn(worker);
+        let t2 = std::thread::spawn(worker);
+        let a = t1.join().unwrap();
+        let b = t2.join().unwrap();
+        for seq in [&a, &b] {
+            assert!(seq.windows(2).all(|w| w[0] < w[1]), "per-thread draws must be monotone");
+        }
+        let mut all: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "no epoch may ever be handed out twice");
+    }
+
+    #[test]
+    fn txn_rollback_restores_content_and_epoch() {
+        let (mut f, add, mul) = sample();
+        let before = print_function(&f);
+        let e0 = f.epoch();
+
+        let mark = f.begin_txn();
+        // One of each kind of mutation.
+        let p = f.add_param("extra", Type::F64);
+        let c = f.const_i64(99);
+        let s = f.push(Opcode::Sub, Type::I64, vec![c, c], InstAttr::None);
+        f.insert(0, Opcode::Add, Type::I64, vec![c, c], InstAttr::None);
+        f.set_value_name(add, "renamed");
+        f.set_value_name(s, "s");
+        if let Some(i) = f.inst_mut(mul) {
+            i.args.swap(0, 1);
+        }
+        f.replace_uses(add, c);
+        let mut dead = HashSet::new();
+        dead.insert(add);
+        f.remove_from_body(&dead);
+        let order: Vec<ValueId> = f.body().iter().rev().copied().collect();
+        f.rebuild_body(order);
+        assert_ne!(print_function(&f), before);
+        let _ = p;
+
+        f.rollback_txn(mark);
+        assert_eq!(print_function(&f), before, "rollback must be bit-identical");
+        assert_eq!(f.epoch(), e0, "rollback restores the pre-txn epoch");
+        assert!(!f.in_txn());
+        assert_eq!(f.delta_len(), 0);
+        assert_eq!(f.num_values(), 4, "allocations are undone");
+        assert_eq!(f.num_consts(), 1, "interning is undone");
+        // The undone constant can be re-interned cleanly.
+        let again = f.const_i64(99);
+        assert_eq!(f.as_const(again).unwrap().as_int(), Some(99));
+    }
+
+    #[test]
+    fn txn_commit_keeps_changes_and_clears_log() {
+        let (mut f, _, _) = sample();
+        let mark = f.begin_txn();
+        let c = f.const_i64(5);
+        f.push(Opcode::Add, Type::I64, vec![c, c], InstAttr::None);
+        assert!(f.delta_len() > 0);
+        f.commit_txn(mark);
+        assert_eq!(f.body_len(), 3);
+        assert_eq!(f.delta_len(), 0, "outermost commit discards the log");
+        assert!(!f.in_txn());
+    }
+
+    #[test]
+    fn nested_txns_roll_back_independently() {
+        let (mut f, _, _) = sample();
+        let outer = f.begin_txn();
+        let c = f.const_i64(5);
+        f.push(Opcode::Add, Type::I64, vec![c, c], InstAttr::None);
+        let mid = print_function(&f);
+
+        let inner = f.begin_txn();
+        f.push(Opcode::Mul, Type::I64, vec![c, c], InstAttr::None);
+        f.rollback_txn(inner);
+        assert_eq!(print_function(&f), mid, "inner rollback keeps outer work");
+        assert!(f.in_txn());
+
+        let inner2 = f.begin_txn();
+        f.push(Opcode::Sub, Type::I64, vec![c, c], InstAttr::None);
+        f.commit_txn(inner2);
+        assert_eq!(f.body_len(), 4);
+
+        let before_outer = print_function(&f);
+        f.commit_txn(outer);
+        assert_eq!(print_function(&f), before_outer);
+        assert!(!f.in_txn());
+        assert_eq!(f.delta_len(), 0);
+    }
+
+    #[test]
+    fn touched_since_names_mutated_values() {
+        let (mut f, add, mul) = sample();
+        let mark = f.begin_txn();
+        let c = f.const_i64(42);
+        let s = f.push(Opcode::Sub, Type::I64, vec![c, c], InstAttr::None);
+        if let Some(i) = f.inst_mut(mul) {
+            i.args.swap(0, 1);
+        }
+        let touched = f.touched_since(mark);
+        assert!(touched.contains(&c));
+        assert!(touched.contains(&s));
+        assert!(touched.contains(&mul));
+        assert!(!touched.contains(&add));
+        f.rollback_txn(mark);
+    }
+
+    #[test]
+    fn mutation_outside_txn_keeps_no_log() {
+        let (mut f, _, _) = sample();
+        let c = f.const_i64(9);
+        f.push(Opcode::Add, Type::I64, vec![c, c], InstAttr::None);
+        assert_eq!(f.delta_len(), 0);
+    }
+
+    #[test]
+    fn clone_mid_txn_restores_consistently() {
+        // Snapshot/differential guards clone mid-transaction; assigning the
+        // clone back must restore content, epoch, and log state together.
+        let (mut f, _, _) = sample();
+        let mark = f.begin_txn();
+        let snap = f.clone();
+        let c = f.const_i64(123);
+        f.push(Opcode::Add, Type::I64, vec![c, c], InstAttr::None);
+        f = snap;
+        assert!(f.in_txn());
+        f.rollback_txn(mark);
+        assert!(!f.in_txn());
     }
 
     #[test]

@@ -46,10 +46,10 @@ mod value;
 mod verifier;
 
 pub use builder::FunctionBuilder;
-pub use function::{Function, Module, Use, UseMap, ValueData};
+pub use function::{Function, Module, TxnMark, Use, UseMap, ValueData};
 pub use inst::{FloatPred, Inst, InstAttr, IntPred, Opcode};
 pub use parser::{parse_function, parse_module, ParseError};
 pub use printer::{print_function, print_module};
 pub use types::{ScalarType, Type};
-pub use value::{Constant, ValueId};
-pub use verifier::{verify_function, verify_module, VerifyError};
+pub use value::{ConstId, Constant, ValueId};
+pub use verifier::{verify_function, verify_function_touched, verify_module, VerifyError};

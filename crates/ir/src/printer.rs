@@ -91,7 +91,7 @@ impl Namer {
 
 fn operand(f: &Function, namer: &Namer, v: ValueId) -> String {
     match f.value(v) {
-        ValueData::Const(c) => c.to_string(),
+        ValueData::Const(c) => f.const_value(*c).to_string(),
         _ => format!("%{}", namer.name(v)),
     }
 }

@@ -36,6 +36,41 @@ impl fmt::Display for ValueId {
     }
 }
 
+/// A handle to an interned [`Constant`] in one function's constant pool.
+///
+/// Equal constants intern to the same id, so id equality is constant
+/// equality within a function. Like [`ValueId`], a `ConstId` is a plain
+/// index and is only meaningful together with the function that interned
+/// it — this is what lets `ValueData` stay small and `Copy`-cheap while
+/// the (potentially large, e.g. vector) constant payload lives once in
+/// the pool.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ConstId(u32);
+
+impl ConstId {
+    /// Create a handle from a raw pool index. Intended for the owning
+    /// function and serialization code; arbitrary indices will panic on use.
+    pub fn from_raw(raw: u32) -> ConstId {
+        ConstId(raw)
+    }
+
+    /// The raw pool index.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The raw pool index as `usize`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ConstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
 /// A compile-time constant.
 ///
 /// Floats are stored by their IEEE bit pattern so that constants are `Eq` and

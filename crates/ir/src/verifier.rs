@@ -40,7 +40,11 @@ impl<'f> Checker<'f> {
         VerifyError { function: self.f.name().to_string(), value, message: message.into() }
     }
 
-    fn check_inst(
+    /// The order-sensitive structural half of instruction checking:
+    /// operand handles in range, definition before use. Cheap, and always
+    /// run in full (even by the incremental verifier) because body
+    /// reordering can invalidate it without touching any payload.
+    fn check_operands(
         &self,
         id: ValueId,
         inst: &Inst,
@@ -57,6 +61,26 @@ impl<'f> Checker<'f> {
                 );
             }
         }
+        Ok(())
+    }
+
+    fn check_inst(
+        &self,
+        id: ValueId,
+        inst: &Inst,
+        defined: &HashSet<ValueId>,
+    ) -> Result<(), VerifyError> {
+        self.check_operands(id, inst, defined)?;
+        self.check_types(id, inst)
+    }
+
+    /// The per-opcode half: operand counts, type rules, attributes. Depends
+    /// only on this instruction's payload and its operands' payloads, so the
+    /// incremental verifier may skip it for instructions with no touched
+    /// payload in reach. Callers must have run [`Checker::check_operands`]
+    /// first (operand handles are indexed unchecked here).
+    fn check_types(&self, id: ValueId, inst: &Inst) -> Result<(), VerifyError> {
+        let f = self.f;
         let aty = |i: usize| f.ty(inst.args[i]);
         let nargs = inst.args.len();
         let expect_args = |n: usize| -> Result<(), VerifyError> {
@@ -275,6 +299,53 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
     Ok(())
 }
 
+/// Incrementally verify a function after a transaction commit.
+///
+/// `touched` is the set of values whose payloads were allocated or mutated
+/// since the transaction began (see
+/// [`Function::touched_since`](crate::Function::touched_since)). The
+/// order-sensitive structural checks — duplicate body entries,
+/// non-instructions in the body, operand handles in range, definition
+/// before use — are always run over the whole body (body *order* can
+/// change without any payload being touched, and these checks are a cheap
+/// linear walk). The per-opcode type rules, which depend only on an
+/// instruction's own payload and its operands' payloads, run only for
+/// instructions that are touched or have a touched operand.
+///
+/// For a valid `touched` set this accepts exactly the functions
+/// [`verify_function`] accepts; it may differ only in *which* error is
+/// reported first for an invalid function.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found, with the offending value.
+pub fn verify_function_touched(
+    f: &Function,
+    touched: &HashSet<ValueId>,
+) -> Result<(), VerifyError> {
+    let checker = Checker { f };
+    let mut seen = HashSet::new();
+    let mut defined: HashSet<ValueId> = HashSet::new();
+    for &id in f.body() {
+        if !seen.insert(id) {
+            return Err(checker.err(Some(id), "instruction appears twice in body"));
+        }
+        match f.value(id) {
+            ValueData::Inst(inst) => {
+                checker.check_operands(id, inst, &defined)?;
+                let in_reach =
+                    touched.contains(&id) || inst.args.iter().any(|a| touched.contains(a));
+                if in_reach {
+                    checker.check_types(id, inst)?;
+                }
+            }
+            _ => return Err(checker.err(Some(id), "body contains a non-instruction")),
+        }
+        defined.insert(id);
+    }
+    Ok(())
+}
+
 /// Verify every function of a module.
 ///
 /// # Errors
@@ -425,6 +496,59 @@ mod tests {
         let x = f.add_param("x", Type::I64);
         f.push(Opcode::Store, Type::I64, vec![x, a], InstAttr::None);
         assert!(verify_function(&f).is_err());
+    }
+
+    #[test]
+    fn incremental_verify_catches_touched_type_errors() {
+        let mut f = Function::new("t");
+        let a = f.add_param("a", Type::I64);
+        let b = f.add_param("b", Type::F64);
+        f.push(Opcode::Add, Type::I64, vec![a, a], InstAttr::None);
+        assert!(verify_function(&f).is_ok());
+        let mark = f.begin_txn();
+        let bad = f.push(Opcode::Add, Type::I64, vec![a, b], InstAttr::None);
+        let touched = f.touched_since(mark);
+        assert!(touched.contains(&bad));
+        let err = verify_function_touched(&f, &touched).unwrap_err();
+        assert_eq!(err.value, Some(bad));
+        f.rollback_txn(mark);
+        assert!(verify_function_touched(&f, &HashSet::new()).is_ok());
+    }
+
+    #[test]
+    fn incremental_verify_always_checks_structure() {
+        // An untouched instruction can still become invalid through body
+        // reordering (use before def); the incremental verifier must catch
+        // that even with an empty touched set.
+        let mut f = Function::new("t");
+        let a = f.add_param("a", Type::I64);
+        let x = f.push(Opcode::Add, Type::I64, vec![a, a], InstAttr::None);
+        let y = f.push(Opcode::Mul, Type::I64, vec![x, x], InstAttr::None);
+        f.rebuild_body(vec![y, x]);
+        let err = verify_function_touched(&f, &HashSet::new()).unwrap_err();
+        assert!(err.message.contains("before definition"), "{err}");
+    }
+
+    #[test]
+    fn incremental_verify_checks_users_of_touched_values() {
+        // Mutating an operand's payload must re-check its (untouched) user.
+        let mut f = Function::new("t");
+        let a = f.add_param("a", Type::I64);
+        let b = f.add_param("b", Type::F64);
+        let x = f.push(Opcode::Add, Type::I64, vec![a, a], InstAttr::None);
+        let user = f.push(Opcode::Mul, Type::I64, vec![x, x], InstAttr::None);
+        let mark = f.begin_txn();
+        if let Some(i) = f.inst_mut(x) {
+            // Retype x to a (valid) float add; `user` is now a Mul over F64.
+            i.ty = Type::F64;
+            i.op = Opcode::FAdd;
+            i.args = vec![b, b];
+        }
+        let touched = f.touched_since(mark);
+        assert!(touched.contains(&x) && !touched.contains(&user));
+        let err = verify_function_touched(&f, &touched).unwrap_err();
+        assert_eq!(err.value, Some(user));
+        f.rollback_txn(mark);
     }
 
     #[test]

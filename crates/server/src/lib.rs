@@ -22,7 +22,12 @@
 //!   ([`lslp::VectorizerConfig::time_budget_ms`]), so a pathological
 //!   input degrades to (partially) scalar output instead of stalling a
 //!   worker; panics and miscompiles inside passes are isolated by the
-//!   transactional guard (`docs/GUARD.md`);
+//!   transactional guard (`docs/GUARD.md`). The guard's default delta-log
+//!   strategy means workers no longer pay a defensive whole-function
+//!   clone per guarded pass and seed attempt — rollback state is the
+//!   reversible mutation log inside the [`Function`](lslp_ir::Function)
+//!   itself (`guard=snapshot` per request brings the old behavior back
+//!   for debugging);
 //! * a **watchdog** supervises the worker pool: a worker thread that
 //!   dies outside a drain is respawned (`worker-restarts`), a worker
 //!   busy past the stall threshold gets a supplementary worker spawned
@@ -880,6 +885,19 @@ mod tests {
         assert_eq!(guard.error, Some(ErrorKind::Config));
         assert_eq!(s.registry.get("server", "errors-parse"), 1);
         assert_eq!(s.registry.get("server", "errors-config"), 2);
+    }
+
+    #[test]
+    fn guard_strategy_spellings_are_accepted() {
+        // The rollback-strategy spellings reach the options builder and
+        // compile identically to the delta default on clean input.
+        let s = shared();
+        for mode in ["snapshot", "differential", "rollback"] {
+            let r =
+                run(&CompileRequest { guard: Some(mode.into()), ..CompileRequest::new(SRC) }, &s);
+            assert!(r.ok, "guard={mode}: {r:?}");
+            assert!(r.payload.contains("<4 x f64>"), "guard={mode} vectorizes");
+        }
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!           | "target=" SPEC      (target machine, default skylake-avx2)
 //!           | "pipeline=" 0|1     (full scalar+vector pipeline, default 1)
 //!           | "emit=" ir|report   (default ir)
-//!           | "guard=" off|rollback|strict
+//!           | "guard=" off|rollback|strict|snapshot|differential
 //!           | "timeout-ms=" N    (compile budget, default server-wide)
 //! response := "OK" (SP field)* SP "out=" escaped-payload
 //!           | "ERR kind=" KIND SP "msg=" escaped-message
@@ -147,7 +147,9 @@ pub struct CompileRequest {
     pub pipeline: bool,
     /// Payload selection.
     pub emit: Emit,
-    /// Guard-mode override (`None` keeps the preset default).
+    /// Guard-mode override (`None` keeps the preset default: rollback with
+    /// delta-log undo). Also accepts the rollback-strategy spellings
+    /// `snapshot` and `differential`.
     pub guard: Option<String>,
     /// Per-request compile budget in milliseconds (`None` = the server's
     /// default). Fed into the guard's time-budget fuel, so a pathological

@@ -92,8 +92,10 @@ fn check_one(
     Ok(())
 }
 
-/// Greedily shrink a failing case along each axis while it keeps failing.
-fn shrink(mut cfg: GenConfig, preset: &str, guard: GuardMode, paranoid: bool) -> GenConfig {
+/// Greedily shrink a failing case along each axis while the given failure
+/// predicate keeps holding. Shared by the differential-execution sweep and
+/// the delta-undo property test below.
+fn shrink_by(mut cfg: GenConfig, fails: impl Fn(&GenConfig) -> bool) -> GenConfig {
     loop {
         let mut candidates = Vec::new();
         if cfg.groups > 1 {
@@ -111,11 +113,16 @@ fn shrink(mut cfg: GenConfig, preset: &str, guard: GuardMode, paranoid: bool) ->
         if cfg.arrays > 1 {
             candidates.push(GenConfig { arrays: cfg.arrays - 1, ..cfg.clone() });
         }
-        match candidates.into_iter().find(|c| check_one(c, preset, guard, paranoid).is_err()) {
+        match candidates.into_iter().find(|c| fails(c)) {
             Some(smaller) => cfg = smaller,
             None => return cfg,
         }
     }
+}
+
+/// Greedily shrink a failing oracle case while it keeps failing.
+fn shrink(cfg: GenConfig, preset: &str, guard: GuardMode, paranoid: bool) -> GenConfig {
+    shrink_by(cfg, |c| check_one(c, preset, guard, paranoid).is_err())
 }
 
 /// FNV-1a of a cell name. The per-cell seed mix is derived from the
@@ -124,8 +131,13 @@ fn shrink(mut cfg: GenConfig, preset: &str, guard: GuardMode, paranoid: bool) ->
 /// extension of `PRESETS`/`GUARDS` — a failure seed from one machine or
 /// revision reproduces on any other.
 fn cell_hash(preset: &str, guard: GuardMode) -> u64 {
+    fnv(&format!("{preset}/{guard}"))
+}
+
+/// FNV-1a over a name.
+fn fnv(name: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for b in format!("{preset}/{guard}").bytes() {
+    for b in name.bytes() {
         h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
     }
     h
@@ -181,6 +193,138 @@ fn integer_programs_survive_all_guard_modes() {
 #[test]
 fn float_programs_survive_all_guard_modes() {
     fuzz(false, false);
+}
+
+// ---------------------------------------------------------------------------
+// Delta-undo property: rollback is a perfect inverse of any mutation mix
+// ---------------------------------------------------------------------------
+
+/// Splitmix-style step for the mutation driver — deterministic from the
+/// generator seed, so every failure replays from its `GenConfig` alone.
+fn next_rand(state: &mut u64) -> u64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+/// Apply `count` pseudo-random mutations drawn from the full `Function`
+/// mutation surface: allocation (params, constants, instructions), payload
+/// edits (`inst_mut`, `replace_uses`, names), and body-order changes
+/// (`remove_from_body`, `rebuild_body`). Validity of the result is
+/// irrelevant — rollback must restore even from invalid intermediate IR.
+fn random_mutations(f: &mut lslp_ir::Function, seed: u64, count: usize) {
+    use lslp_ir::{InstAttr, Opcode, Type, ValueId};
+    let mut s = seed | 1;
+    for _ in 0..count {
+        let n = f.num_values() as u64;
+        let pick = |s: &mut u64| ValueId::from_raw((next_rand(s) % n) as u32);
+        match next_rand(&mut s) % 8 {
+            0 => {
+                f.add_param(format!("p{}", next_rand(&mut s)), Type::I64);
+            }
+            1 => {
+                f.const_i64((next_rand(&mut s) % 7) as i64 - 3);
+            }
+            2 => {
+                let (a, b) = (pick(&mut s), pick(&mut s));
+                f.push(Opcode::Add, Type::I64, vec![a, b], InstAttr::None);
+            }
+            3 => {
+                let v = pick(&mut s);
+                let name = format!("n{}", next_rand(&mut s) % 100);
+                f.set_value_name(v, name);
+            }
+            4 => {
+                let (v, replacement) = (pick(&mut s), pick(&mut s));
+                let k = next_rand(&mut s);
+                if let Some(inst) = f.inst_mut(v) {
+                    if !inst.args.is_empty() {
+                        let idx = (k % inst.args.len() as u64) as usize;
+                        inst.args[idx] = replacement;
+                    }
+                }
+            }
+            5 => {
+                let (old, new) = (pick(&mut s), pick(&mut s));
+                f.replace_uses(old, new);
+            }
+            6 => {
+                if f.body_len() > 1 {
+                    let victim = f.body()[(next_rand(&mut s) % f.body_len() as u64) as usize];
+                    f.remove_from_body(&std::collections::HashSet::from([victim]));
+                }
+            }
+            _ => {
+                let mut order = f.body().to_vec();
+                if !order.is_empty() {
+                    let by = (next_rand(&mut s) % order.len() as u64) as usize;
+                    order.rotate_left(by);
+                    f.rebuild_body(order);
+                }
+            }
+        }
+    }
+}
+
+/// One delta-undo trial: generate a program, hit it with a random mutation
+/// sequence inside a transaction, roll back, and demand the printed form,
+/// the epoch, and the verifier verdict are all byte-identical to the
+/// pre-transaction state.
+fn delta_undo_check(gen_cfg: &GenConfig) -> Result<(), String> {
+    let p = generate(gen_cfg);
+    let mut f = p.function;
+    let before_print = lslp_ir::print_function(&f);
+    let before_epoch = f.epoch();
+    let before_verdict = format!("{:?}", lslp_ir::verify_function(&f));
+    let before_values = f.num_values();
+
+    let mark = f.begin_txn();
+    let count = 4 + (gen_cfg.seed % 13) as usize;
+    random_mutations(&mut f, gen_cfg.seed ^ 0xd1b5_4a32_d192_ed03, count);
+    f.rollback_txn(mark);
+
+    if f.num_values() != before_values {
+        return Err(format!("value count {} != {before_values}", f.num_values()));
+    }
+    let after_print = lslp_ir::print_function(&f);
+    if after_print != before_print {
+        return Err(format!(
+            "printed form diverged:\n--- before\n{before_print}\n--- after\n{after_print}"
+        ));
+    }
+    if f.epoch() != before_epoch {
+        return Err(format!("epoch {} != pre-txn {before_epoch}", f.epoch()));
+    }
+    let after_verdict = format!("{:?}", lslp_ir::verify_function(&f));
+    if after_verdict != before_verdict {
+        return Err(format!("verifier verdict changed: {before_verdict} -> {after_verdict}"));
+    }
+    Ok(())
+}
+
+#[test]
+fn delta_rollback_is_a_perfect_undo() {
+    for int in [true, false] {
+        let mix = fnv(if int { "delta-undo/int" } else { "delta-undo/float" });
+        for seed in 0..SEEDS_PER_CONFIG {
+            let gen_cfg = GenConfig {
+                seed: seed.wrapping_mul(0x9e3779b97f4a7c15) ^ mix,
+                groups: 1 + (seed % 2) as usize,
+                lanes: [2, 3, 4][(seed % 3) as usize],
+                depth: 1 + (seed % 4) as u32,
+                int,
+                swap_prob: (seed % 10) as f64 / 10.0,
+                arrays: 1 + (seed % 3) as usize,
+            };
+            if let Err(e) = delta_undo_check(&gen_cfg) {
+                let min = shrink_by(gen_cfg.clone(), |c| delta_undo_check(c).is_err());
+                let err = delta_undo_check(&min).unwrap_err();
+                panic!(
+                    "delta-undo failure (cell seed {seed}, gen {gen_cfg:?}): {e}\n\
+                     minimal reproducer {min:?}: {err}"
+                );
+            }
+        }
+    }
 }
 
 #[test]

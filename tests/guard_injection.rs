@@ -15,7 +15,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-use lslp::guard::{self, GuardMode, IncidentKind};
+use lslp::guard::{self, GuardMode, GuardPolicy, IncidentKind, RollbackStrategy};
 use lslp::{try_vectorize_function, VectorizerConfig};
 use lslp_ir::{Function, FunctionBuilder, Opcode, Type, ValueId};
 use lslp_target::CostModel;
@@ -65,8 +65,7 @@ fn corrupting_pass_rolls_back_bit_for_bit() {
     let mut incidents = Vec::new();
     let r = guard::run_guarded(
         &mut f,
-        GuardMode::Rollback,
-        false,
+        GuardPolicy::new(GuardMode::Rollback),
         "mock-corrupt",
         None,
         &mut incidents,
@@ -91,8 +90,7 @@ fn corrupting_pass_under_strict_returns_error() {
     let mut incidents = Vec::new();
     let err = guard::run_guarded(
         &mut f,
-        GuardMode::Strict,
-        false,
+        GuardPolicy::new(GuardMode::Strict),
         "mock-corrupt",
         None,
         &mut incidents,
@@ -113,8 +111,7 @@ fn corrupting_pass_under_off_persists_corruption() {
     let mut incidents = Vec::new();
     let r = guard::run_guarded(
         &mut f,
-        GuardMode::Off,
-        false,
+        GuardPolicy::new(GuardMode::Off),
         "mock-corrupt",
         None,
         &mut incidents,
@@ -138,8 +135,7 @@ fn panicking_pass_is_isolated_per_mode() {
     let mut incidents = Vec::new();
     let r = guard::run_guarded(
         &mut f,
-        GuardMode::Rollback,
-        false,
+        GuardPolicy::new(GuardMode::Rollback),
         "mock-panic",
         None,
         &mut incidents,
@@ -155,8 +151,7 @@ fn panicking_pass_is_isolated_per_mode() {
     let mut f = kernel();
     let err = guard::run_guarded(
         &mut f,
-        GuardMode::Strict,
-        false,
+        GuardPolicy::new(GuardMode::Strict),
         "mock-panic",
         None,
         &mut Vec::new(),
@@ -171,8 +166,7 @@ fn panicking_pass_is_isolated_per_mode() {
     let propagated = catch_unwind(AssertUnwindSafe(|| {
         let _ = guard::run_guarded(
             &mut f,
-            GuardMode::Off,
-            false,
+            GuardPolicy::new(GuardMode::Off),
             "mock-panic",
             None,
             &mut incidents,
@@ -189,8 +183,7 @@ fn miscompiling_pass_caught_only_by_paranoid_oracle() {
     let mut incidents = Vec::new();
     let r = guard::run_guarded(
         &mut f,
-        GuardMode::Rollback,
-        false,
+        GuardPolicy::new(GuardMode::Rollback),
         "mock-miscompile",
         None,
         &mut incidents,
@@ -205,8 +198,7 @@ fn miscompiling_pass_caught_only_by_paranoid_oracle() {
     let before = lslp_ir::print_function(&f);
     let r = guard::run_guarded(
         &mut f,
-        GuardMode::Rollback,
-        true,
+        GuardPolicy::new(GuardMode::Rollback).paranoid(true),
         "mock-miscompile",
         None,
         &mut incidents,
@@ -216,6 +208,29 @@ fn miscompiling_pass_caught_only_by_paranoid_oracle() {
     assert_eq!(lslp_ir::print_function(&f), before);
     assert_eq!(incidents.len(), 1);
     assert_eq!(incidents[0].kind, IncidentKind::OracleMismatch);
+}
+
+#[test]
+fn differential_strategy_is_clean_across_all_targets() {
+    // The differential strategy runs every rollback twice — delta log and
+    // snapshot — and panics if they ever disagree. Sweeping the kernel
+    // suite across the whole target registry is the strongest "delta
+    // rollback ≡ snapshot rollback" statement the real pass pipeline can
+    // make.
+    for target in ["sse4.2", "skylake-avx2", "avx512", "neon128"] {
+        let tm = CostModel::parse(target).expect("registry names parse");
+        for k in lslp_kernels::suite() {
+            let mut f = k.compile();
+            let cfg = VectorizerConfig {
+                rollback: RollbackStrategy::Differential,
+                ..VectorizerConfig::lslp()
+            };
+            let report = try_vectorize_function(&mut f, &cfg, &tm)
+                .unwrap_or_else(|e| panic!("{} on {target}: {e}", k.name));
+            assert!(report.incidents.is_empty(), "{} on {target}: clean suite", k.name);
+            lslp_ir::verify_function(&f).unwrap_or_else(|e| panic!("{} on {target}: {e}", k.name));
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

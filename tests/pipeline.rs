@@ -5,8 +5,8 @@ use std::rc::Rc;
 
 use lslp::{
     try_vectorize_function_with, vectorize_function, vectorize_module, AnalysisKind,
-    AnalysisManager, GuardMode, Pass, PassContext, PassManager, PassResult, PreservedAnalyses,
-    ReorderKind, Statistics, VectorizerConfig,
+    AnalysisManager, GuardMode, GuardPolicy, Pass, PassContext, PassManager, PassResult,
+    PreservedAnalyses, ReorderKind, Statistics, VectorizerConfig,
 };
 use lslp_interp::{run_function, Memory, Value};
 
@@ -279,7 +279,7 @@ fn preserving_pass_leaves_cache_warm_across_pass_manager() {
     let tm = CostModel::default();
     let stats = Statistics::new();
     let cx = PassContext { cfg: &cfg, tm: &tm, stats: &stats };
-    let mut pm = PassManager::new(GuardMode::Rollback, false);
+    let mut pm = PassManager::new(GuardPolicy::new(GuardMode::Rollback));
     let n = pm.run_pass(&mut RenamePass, &mut f, &mut am, &cx).unwrap();
     assert_eq!(n, 1);
 
