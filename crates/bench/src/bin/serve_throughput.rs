@@ -38,9 +38,18 @@
 //!                       watchdog worker respawn
 //!   --no-shutdown       leave the target running on exit (for kill -9
 //!                       crash tests driven from CI)
+//!   --pipeline N        pipelined-vs-serial comparison: prime the cache,
+//!                       drive one serial lockstep pass and one pooled
+//!                       pipelined pass (N tagged requests in flight per
+//!                       connection), print both and the speedup; with
+//!                       depth >= 8, pool >= 4, and no fault injection the
+//!                       pipelined pass must be >= 3x serial throughput
+//!   --pool N            connection-pool size for --pipeline (default 4)
 //!   --smoke             CI mode: fire N concurrent requests (default 32,
 //!                       including one malformed and one timeout-inducing),
-//!                       assert every one gets a response, then SHUTDOWN
+//!                       assert every one gets a response, then SHUTDOWN;
+//!                       with --pipeline it also drives a pooled pipelined
+//!                       burst and asserts every tagged request is answered
 //!   --warm-check        probe mode: assert the target recovered warm
 //!                       entries from its cache dir (persist warm > 0) and
 //!                       serves a suite kernel; used after a kill -9
@@ -61,7 +70,7 @@ use lslp_bench::format_table;
 use lslp_server::chaos::ChaosConfig;
 use lslp_server::metrics::percentiles;
 use lslp_server::protocol::{CompileRequest, ErrorKind};
-use lslp_server::{Client, RetryOutcome, RetryPolicy, Server, ServerConfig};
+use lslp_server::{Client, Pool, PoolConfig, RetryOutcome, RetryPolicy, Server, ServerConfig};
 use lslp_target::CostModel;
 
 /// Generous per-request budget: large enough that the guard's deadline
@@ -75,6 +84,8 @@ fn main() {
         run_warm_check(&opts)
     } else if opts.smoke {
         run_smoke(&opts)
+    } else if opts.pipeline.is_some() {
+        run_pipeline_compare(&opts)
     } else {
         run_load(&opts)
     };
@@ -95,6 +106,8 @@ struct Opts {
     no_shutdown: bool,
     smoke: bool,
     warm_check: bool,
+    pipeline: Option<usize>,
+    pool: usize,
 }
 
 impl Opts {
@@ -113,6 +126,8 @@ impl Opts {
             no_shutdown: false,
             smoke: false,
             warm_check: false,
+            pipeline: None,
+            pool: 4,
         };
         fn num(argv: &mut impl Iterator<Item = String>, name: &str) -> usize {
             argv.next()
@@ -146,6 +161,8 @@ impl Opts {
                 "--no-shutdown" => opts.no_shutdown = true,
                 "--smoke" => opts.smoke = true,
                 "--warm-check" => opts.warm_check = true,
+                "--pipeline" => opts.pipeline = Some(num(&mut argv, "--pipeline").max(1)),
+                "--pool" => opts.pool = num(&mut argv, "--pool").max(1),
                 other => {
                     eprintln!("serve_throughput: unknown option `{other}`");
                     std::process::exit(2);
@@ -184,6 +201,14 @@ fn server_config(opts: &Opts) -> ServerConfig {
     }
     cfg.cache_dir = opts.cache_dir.clone();
     cfg.chaos = opts.chaos.clone();
+    if let Some(depth) = opts.pipeline {
+        // Size the in-process server for the offered load, exactly as an
+        // operator would via --queue-cap/--pipeline-depth: a queue smaller
+        // than pool x depth turns the whole pipelined pass into
+        // overload-and-backoff.
+        cfg.pipeline_depth = cfg.pipeline_depth.max(depth);
+        cfg.queue_capacity = cfg.queue_capacity.max(2 * depth * opts.pool);
+    }
     cfg
 }
 
@@ -236,7 +261,32 @@ fn build_expected() -> Vec<Expected> {
         let name = format!("synth{groups}");
         sources.push((name.clone(), big_kernel(&name, groups)));
     }
+    expected_for(sources)
+}
 
+/// Compact request mix for the pipelined-vs-serial comparison. Pipelining
+/// amortizes per-request transport overhead (syscalls, scheduler
+/// round-trips); the suite's synthetics move tens of kilobytes per
+/// response, which turns either mode into a payload-bandwidth benchmark
+/// and masks that effect entirely. The probe kernels are distinct (no
+/// accidental coalescing) but small, so the comparison measures request
+/// turnaround, not memcpy.
+fn build_probe_expected(count: usize) -> Vec<Expected> {
+    let sources = (0..count)
+        .map(|i| {
+            let name = format!("probe{i}");
+            let mut src = format!("kernel {name}(f64* A, f64* B, i64 i) {{\n");
+            for l in 0..4 {
+                src.push_str(&format!("  A[i+{l}] = B[i+{l}] * B[i+{l}] + {i}.0;\n"));
+            }
+            src.push('}');
+            (name, src)
+        })
+        .collect();
+    expected_for(sources)
+}
+
+fn expected_for(sources: Vec<(String, String)>) -> Vec<Expected> {
     let tm = CostModel::skylake_like();
     let mut am = AnalysisManager::new();
     let mut cfg = VectorizerConfig::preset("LSLP").expect("LSLP preset");
@@ -321,6 +371,173 @@ fn drive_pass(addr: &str, expected: &[Expected], total: usize, opts: &Opts) -> P
         out.elapsed = start.elapsed();
         out
     })
+}
+
+/// Fold one finished request into a pass outcome, checking the payload
+/// against the local expectation.
+fn record_outcome(out: &mut PassOutcome, exp: &Expected, outcome: &RetryOutcome) {
+    out.latencies_us.push(outcome.elapsed.as_micros() as u64);
+    out.attempts += outcome.attempts as u64;
+    out.reconnects += outcome.reconnects as u64;
+    if outcome.response.as_ref().is_some_and(|r| r.ok && r.payload != exp.payload) {
+        eprintln!("serve_throughput: corrupted payload for `{}`", exp.name);
+        out.corrupted += 1;
+    }
+    match &outcome.response {
+        Some(r) if r.ok => out.ok += 1,
+        Some(_) => out.errors += 1,
+        None => out.gave_up += 1,
+    }
+}
+
+/// `--pipeline N`: the serving-layer comparison the v4 protocol exists
+/// for. The cache is primed first so both passes measure dispatch, not
+/// compilation; the serial pass drives one connection in strict lockstep
+/// (the v1–v3 client model); the pipelined pass drives a connection pool
+/// with `N` tagged requests in flight per connection.
+fn run_pipeline_compare(opts: &Opts) -> bool {
+    let depth = opts.pipeline.expect("dispatched on --pipeline");
+    let (addr, handle) = connect_target(opts);
+    eprintln!(
+        "serve_throughput: pipelined-vs-serial against {addr} (depth {depth}, pool {})",
+        opts.pool
+    );
+
+    eprintln!("serve_throughput: computing expected payloads locally...");
+    let expected = build_probe_expected(32);
+    let total = opts.requests.unwrap_or(expected.len() * opts.repeat);
+    let mut ok = true;
+
+    // Prime: one sequential pass over the distinct kernels.
+    {
+        let mut client = Client::connect(&addr).expect("connect");
+        for exp in &expected {
+            let o = client.compile_with_retry(&exp.req, &opts.policy(0));
+            if !o.is_ok() && !opts.tolerate_faults {
+                eprintln!(
+                    "serve_throughput: FAIL: priming `{}` failed: {:?}",
+                    exp.name, o.response
+                );
+                ok = false;
+            }
+        }
+    }
+
+    let mix: Vec<&Expected> = (0..total).map(|i| &expected[i % expected.len()]).collect();
+
+    // Three passes per mode, keeping the fastest of each: a single pass on
+    // a busy host measures the scheduler as much as the server, and the
+    // *best* pass is the one that reflects what each mode can sustain.
+    const PASSES: usize = 3;
+
+    // Serial passes: one connection, one request in flight, ever.
+    let serial = (0..PASSES)
+        .map(|_| {
+            let mut client = Client::connect(&addr).expect("connect");
+            let mut out = PassOutcome::default();
+            let start = Instant::now();
+            for exp in &mix {
+                let outcome = client.compile_with_retry(&exp.req, &opts.policy(1));
+                record_outcome(&mut out, exp, &outcome);
+            }
+            out.elapsed = start.elapsed();
+            out
+        })
+        .min_by_key(|out| out.elapsed)
+        .expect("at least one serial pass");
+
+    // Pipelined passes: the pooled client, `depth` in flight per connection.
+    let pipelined = (0..PASSES)
+        .map(|_| {
+            let pool =
+                Pool::new(PoolConfig { max_size: opts.pool, ..PoolConfig::new(addr.clone()) });
+            let reqs: Vec<CompileRequest> = mix.iter().map(|e| e.req.clone()).collect();
+            let start = Instant::now();
+            let outcomes = pool.compile_many(&reqs, depth, &opts.policy(2));
+            let mut out = PassOutcome::default();
+            for (exp, outcome) in mix.iter().zip(&outcomes) {
+                record_outcome(&mut out, exp, outcome);
+            }
+            out.elapsed = start.elapsed();
+            out
+        })
+        .min_by_key(|out| out.elapsed)
+        .expect("at least one pipelined pass");
+
+    let mut rows = Vec::new();
+    for (mode, conns, d, out) in
+        [("serial", 1, 1, &serial), ("pipelined", opts.pool, depth, &pipelined)]
+    {
+        let mut lat = out.latencies_us.clone();
+        let summary = percentiles(&mut lat);
+        let secs = out.elapsed.as_secs_f64();
+        rows.push(vec![
+            mode.to_string(),
+            conns.to_string(),
+            d.to_string(),
+            total.to_string(),
+            out.ok.to_string(),
+            out.errors.to_string(),
+            out.gave_up.to_string(),
+            out.corrupted.to_string(),
+            format!("{:.1}", secs * 1e3),
+            format!("{:.1}", out.ok as f64 / secs),
+            format!("{:.2}", summary.p50_us as f64 / 1e3),
+            format!("{:.2}", summary.p99_us as f64 / 1e3),
+        ]);
+    }
+    let headers: Vec<String> = [
+        "mode",
+        "conns",
+        "depth",
+        "requests",
+        "ok",
+        "errors",
+        "gave-up",
+        "corrupt",
+        "elapsed-ms",
+        "req/s",
+        "p50-ms",
+        "p99-ms",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    println!("{}", format_table(&headers, &rows));
+
+    let serial_rps = serial.ok as f64 / serial.elapsed.as_secs_f64();
+    let pipelined_rps = pipelined.ok as f64 / pipelined.elapsed.as_secs_f64();
+    let speedup = pipelined_rps / serial_rps;
+    println!("pipelined-over-serial throughput: {speedup:.2}x");
+
+    for (mode, out) in [("serial", &serial), ("pipelined", &pipelined)] {
+        if out.corrupted > 0 || out.gave_up > 0 {
+            eprintln!(
+                "serve_throughput: FAIL ({mode}): {} corrupted / {} gave up of {total}",
+                out.corrupted, out.gave_up
+            );
+            ok = false;
+        }
+        if !opts.tolerate_faults && (out.errors > 0 || out.ok != total as u64) {
+            eprintln!(
+                "serve_throughput: FAIL ({mode}): {} ok / {} errors of {total}",
+                out.ok, out.errors
+            );
+            ok = false;
+        }
+    }
+    // The headline acceptance bar: with a meaningful depth and pool, on a
+    // healthy target, pipelining must buy at least 3x.
+    if depth >= 8 && opts.pool >= 4 && !opts.tolerate_faults && speedup < 3.0 {
+        eprintln!("serve_throughput: FAIL: pipelined speedup {speedup:.2}x < 3.00x");
+        ok = false;
+    }
+
+    if !opts.no_shutdown && handle.is_some() {
+        let control = Client::connect(&addr).expect("connect control client");
+        shutdown_always(control, handle, opts, &mut ok);
+    }
+    ok
 }
 
 /// Interesting gauges off a STATS payload.
@@ -577,6 +794,38 @@ fn run_smoke(opts: &Opts) -> bool {
         eprintln!("smoke: request {missing} never reported");
         ok = false;
     }
+
+    // Pipelined leg: a pooled tagged burst through the same target. Every
+    // request must settle — OK, or a typed ERR under injected faults.
+    if let Some(depth) = opts.pipeline {
+        let pool = Pool::new(PoolConfig { max_size: opts.pool, ..PoolConfig::new(addr.clone()) });
+        let reqs: Vec<CompileRequest> = (0..depth * 2)
+            .map(|i| CompileRequest {
+                timeout_ms: Some(AMPLE_BUDGET_MS),
+                ..CompileRequest::new(suite[i % suite.len()].src)
+            })
+            .collect();
+        let outcomes = pool.compile_many(&reqs, depth, &opts.policy(777));
+        let mut pipelined_tolerated = 0u64;
+        for (i, o) in outcomes.iter().enumerate() {
+            match &o.response {
+                Some(r) if r.ok => {}
+                Some(_) if opts.tolerate_faults => pipelined_tolerated += 1,
+                other => {
+                    eprintln!("smoke: pipelined request {i} failed: {other:?}");
+                    ok = false;
+                }
+            }
+        }
+        eprintln!(
+            "smoke: pipelined leg done ({} requests, depth {depth}, pool {}, {} typed errors tolerated)",
+            reqs.len(),
+            opts.pool,
+            pipelined_tolerated
+        );
+        tolerated += pipelined_tolerated;
+    }
+
     if ok {
         println!(
             "smoke: all {n} responses arrived (1 malformed rejected, {tolerated} typed errors tolerated)"

@@ -102,7 +102,11 @@ impl fmt::Display for Statistics {
 /// deterministic modulo counter values).
 #[derive(Debug, Default)]
 pub struct SyncStatistics {
-    counters: Mutex<BTreeMap<(String, String), u64>>,
+    /// Nested pass → counter → value so the hot [`SyncStatistics::add`]
+    /// path can look up existing cells by `&str` without allocating the
+    /// owned `(String, String)` key a flat map would demand (the compile
+    /// service bumps per-request counters on every served request).
+    counters: Mutex<BTreeMap<String, BTreeMap<String, u64>>>,
 }
 
 impl SyncStatistics {
@@ -116,12 +120,14 @@ impl SyncStatistics {
         if n == 0 {
             return;
         }
-        *self
-            .counters
-            .lock()
-            .expect("statistics lock")
-            .entry((pass.to_string(), counter.to_string()))
-            .or_insert(0) += n;
+        let mut counters = self.counters.lock().expect("statistics lock");
+        // Borrowed-key lookup first: the cell exists on every call but the
+        // first, and `entry()` would force two String allocations per call.
+        if let Some(cell) = counters.get_mut(pass).and_then(|c| c.get_mut(counter)) {
+            *cell += n;
+            return;
+        }
+        *counters.entry(pass.to_string()).or_default().entry(counter.to_string()).or_insert(0) += n;
     }
 
     /// Current value of a counter (0 when never reported).
@@ -129,7 +135,8 @@ impl SyncStatistics {
         self.counters
             .lock()
             .expect("statistics lock")
-            .get(&(pass.to_string(), counter.to_string()))
+            .get(pass)
+            .and_then(|c| c.get(counter))
             .copied()
             .unwrap_or(0)
     }
@@ -139,15 +146,17 @@ impl SyncStatistics {
     pub fn absorb(&self, other: &Statistics) {
         let mut counters = self.counters.lock().expect("statistics lock");
         for row in other.rows() {
-            *counters.entry((row.pass, row.counter)).or_insert(0) += row.value;
+            *counters.entry(row.pass).or_default().entry(row.counter).or_insert(0) += row.value;
         }
     }
 
     /// A point-in-time copy as a plain [`Statistics`].
     pub fn snapshot(&self) -> Statistics {
         let s = Statistics::new();
-        for ((pass, counter), &value) in self.counters.lock().expect("statistics lock").iter() {
-            s.add(pass, counter, value);
+        for (pass, cells) in self.counters.lock().expect("statistics lock").iter() {
+            for (counter, &value) in cells {
+                s.add(pass, counter, value);
+            }
         }
         s
     }

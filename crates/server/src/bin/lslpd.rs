@@ -3,7 +3,7 @@
 //! ```text
 //! lslpd [--addr HOST:PORT] [--workers N] [--queue-cap N] [--cache-cap N]
 //!       [--cache-shards N] [--time-budget-ms N] [--cache-dir DIR]
-//!       [--chaos SPEC]
+//!       [--chaos SPEC] [--max-conns N] [--pipeline-depth N]
 //! ```
 //!
 //! Serves the line-delimited protocol of `docs/SERVER.md` until a client
@@ -36,6 +36,12 @@ OPTIONS:
                            seed=7,panic=0.1,read-drop=0.05,delay=10:0.2
                            (keys: seed, accept-drop, read-drop, write-drop,
                            delay=MS:P, panic, corrupt; see docs/SERVER.md)
+    --max-conns <N>        connection limit; accepts beyond it get one
+                           ERR kind=overload line and are closed
+                           (default: 1024)
+    --pipeline-depth <N>   per-connection in-flight compile budget; a
+                           connection at the limit stops being read until
+                           completions drain (default: 32)
     -h, --help             show this help
 ";
 
@@ -71,6 +77,22 @@ fn parse_args(argv: &[String]) -> Result<ServerConfig, String> {
                     .map_err(|e| format!("bad --time-budget-ms: {e}"))?
             }
             "--cache-dir" => cfg.cache_dir = Some(value_of("--cache-dir")?),
+            "--max-conns" => {
+                cfg.max_conns = value_of("--max-conns")?
+                    .parse()
+                    .map_err(|e| format!("bad --max-conns: {e}"))?;
+                if cfg.max_conns == 0 {
+                    return Err("bad --max-conns: must be at least 1".into());
+                }
+            }
+            "--pipeline-depth" => {
+                cfg.pipeline_depth = value_of("--pipeline-depth")?
+                    .parse()
+                    .map_err(|e| format!("bad --pipeline-depth: {e}"))?;
+                if cfg.pipeline_depth == 0 {
+                    return Err("bad --pipeline-depth: must be at least 1".into());
+                }
+            }
             "--chaos" => {
                 cfg.chaos = Some(
                     lslp_server::chaos::ChaosConfig::parse(&value_of("--chaos")?)

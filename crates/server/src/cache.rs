@@ -46,6 +46,27 @@ pub struct CachedResult {
     pub incidents: usize,
 }
 
+/// Does `material` equal `parts.join("\0")`, compared without building
+/// the joined string?
+fn material_matches(material: &str, parts: &[&str]) -> bool {
+    let m = material.as_bytes();
+    let mut off = 0usize;
+    for (i, p) in parts.iter().enumerate() {
+        if i > 0 {
+            if m.get(off) != Some(&0) {
+                return false;
+            }
+            off += 1;
+        }
+        let end = off + p.len();
+        if m.len() < end || &m[off..end] != p.as_bytes() {
+            return false;
+        }
+        off = end;
+    }
+    off == m.len()
+}
+
 /// FNV-1a over the request's content fields, with `\0` separators so field
 /// boundaries cannot alias (`("ab","c")` vs `("a","bc")`).
 pub fn content_key(parts: &[&str]) -> u64 {
@@ -127,6 +148,26 @@ impl ResultCache {
         let mut shard = self.shard(key).lock().expect("cache shard lock");
         match shard.map.get_mut(&key) {
             Some(entry) if entry.material == material => {
+                entry.stamp = stamp;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(entry.result.clone())
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// [`ResultCache::get`] for a caller holding the key material as
+    /// parts (the serve fast path): the collision check compares the
+    /// stored joined material piecewise, so no joined string is
+    /// allocated per probe.
+    pub fn get_parts(&self, key: u64, parts: &[&str]) -> Option<CachedResult> {
+        let stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+        let mut shard = self.shard(key).lock().expect("cache shard lock");
+        match shard.map.get_mut(&key) {
+            Some(entry) if material_matches(&entry.material, parts) => {
                 entry.stamp = stamp;
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(entry.result.clone())

@@ -102,6 +102,9 @@ pub struct RetryOutcome {
     /// The retry budget or deadline ran out while the operation was still
     /// failing retryably.
     pub gave_up: bool,
+    /// Wall clock from first attempt to final outcome (backoffs
+    /// included), for latency accounting in load generators.
+    pub elapsed: Duration,
 }
 
 impl RetryOutcome {
@@ -188,6 +191,79 @@ impl Client {
         Response::parse(&response).map_err(ClientError::Protocol)
     }
 
+    /// Pipelining: send one request line without waiting for the
+    /// response. Pair with [`Client::recv_line_step`]; on a v4 server,
+    /// tagged requests may be answered out of order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        debug_assert!(!line.contains('\n'), "requests are single lines");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Pipelining: send a pre-rendered batch of `\n`-terminated request
+    /// lines in one write, so a window refill costs one syscall instead
+    /// of one per request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport failures.
+    pub fn send_batch(&mut self, batch: &str) -> std::io::Result<()> {
+        debug_assert!(batch.is_empty() || batch.ends_with('\n'), "batches are newline-terminated");
+        self.writer.write_all(batch.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Pipelining: is a complete response line already sitting in the read
+    /// buffer? When true, [`Client::recv_line_step`] returns it without
+    /// touching the socket — the drain loop of a pipelined client uses
+    /// this to consume a whole burst of responses on one read syscall.
+    pub fn has_buffered_response(&self) -> bool {
+        self.reader.buffer().contains(&b'\n')
+    }
+
+    /// Pipelining: try to read one response line, accumulating partial
+    /// bytes in `buf` across read-timeout ticks so a slow response is
+    /// never torn. Returns `Ok(None)` on a read timeout (call again),
+    /// `Ok(Some(..))` when a full line arrived (`buf` is cleared).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure or EOF,
+    /// [`ClientError::Protocol`] on a malformed response line.
+    pub fn recv_line_step(&mut self, buf: &mut String) -> Result<Option<Response>, ClientError> {
+        match self.reader.read_line(buf) {
+            Ok(0) => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+            Ok(_) => {
+                if buf.ends_with('\n') {
+                    let parsed = Response::parse(buf).map_err(ClientError::Protocol)?;
+                    buf.clear();
+                    Ok(Some(parsed))
+                } else {
+                    // `read_line` only stops short of a newline at EOF.
+                    Err(ClientError::Io(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "server closed mid-response",
+                    )))
+                }
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                Ok(None)
+            }
+            Err(e) => Err(ClientError::Io(e)),
+        }
+    }
+
     /// [`Client::roundtrip`] with resilience: retry `overload` rejections
     /// and transient worker-lost errors with jittered exponential backoff,
     /// reconnect and retry on transport failure, and give up at the retry
@@ -213,12 +289,19 @@ impl Client {
                             attempts,
                             reconnects,
                             gave_up: false,
+                            elapsed: started.elapsed(),
                         };
                     }
                 }
                 Err(ClientError::Protocol(_)) => {
                     // A garbled response is a bug, not load: don't retry.
-                    return RetryOutcome { response: None, attempts, reconnects, gave_up: true };
+                    return RetryOutcome {
+                        response: None,
+                        attempts,
+                        reconnects,
+                        gave_up: true,
+                        elapsed: started.elapsed(),
+                    };
                 }
                 Err(ClientError::Io(_)) => {
                     last = None;
@@ -231,7 +314,13 @@ impl Client {
                 }
             }
             if attempts > policy.max_retries {
-                return RetryOutcome { response: last, attempts, reconnects, gave_up: true };
+                return RetryOutcome {
+                    response: last,
+                    attempts,
+                    reconnects,
+                    gave_up: true,
+                    elapsed: started.elapsed(),
+                };
             }
             // Exponential backoff with deterministic jitter in [0.5, 1.0]×.
             let shift = (attempts - 1).min(16);
@@ -241,7 +330,13 @@ impl Client {
             let delay = exp.mul_f64(0.5 + 0.5 * frac);
             if let Some(deadline) = policy.deadline {
                 if started.elapsed() + delay >= deadline {
-                    return RetryOutcome { response: last, attempts, reconnects, gave_up: true };
+                    return RetryOutcome {
+                        response: last,
+                        attempts,
+                        reconnects,
+                        gave_up: true,
+                        elapsed: started.elapsed(),
+                    };
                 }
             }
             std::thread::sleep(delay);

@@ -10,11 +10,15 @@
 //! percentiles) accumulate in a [`lslp::SyncStatistics`] registry and are
 //! served by the `STATS` verb ([`metrics`]).
 //!
-//! `std`-only by design: `TcpListener` + `thread` (the build environment
-//! has no package registry), which also keeps the concurrency model
-//! auditable — one acceptor, one lightweight thread per connection doing
-//! framing only, and a supervised pool of compile workers behind the
-//! queue.
+//! `std`-only by design: nonblocking `TcpListener` + `thread` (the build
+//! environment has no package registry), which also keeps the concurrency
+//! model auditable — one readiness-driven event-loop thread owning every
+//! connection ([`net`]: poll-based registration, per-connection buffers
+//! and frame decoding, protocol-v4 pipelining with tagged out-of-order
+//! responses), and a supervised pool of compile workers behind the
+//! queue, joined to the loop by a completion seam. The client side adds
+//! a bounded connection pool with a pipelined `compile_many`
+//! ([`pool`]).
 //!
 //! Crash safety is layered (see `docs/SERVER.md` §Recovery):
 //!
@@ -48,14 +52,15 @@ pub mod cache;
 pub mod chaos;
 pub mod client;
 pub mod metrics;
+pub(crate) mod net;
 pub mod persist;
+pub mod pool;
 pub mod protocol;
 pub mod queue;
 
-use std::io::{BufRead, BufReader, ErrorKind as IoErrorKind, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -71,6 +76,7 @@ use protocol::{CompileRequest, Emit, ErrorKind, Request, Response, PROTOCOL_VERS
 use queue::{Bounded, PushError};
 
 pub use client::{Client, RetryOutcome, RetryPolicy};
+pub use pool::{Pool, PoolConfig};
 
 /// Tunables for one daemon instance.
 #[derive(Clone, Debug)]
@@ -96,6 +102,13 @@ pub struct ServerConfig {
     /// A worker busy on one job past this threshold is counted stalled
     /// and a supplementary worker is spawned beside it.
     pub stall_after_ms: u64,
+    /// Connection limit: accepts beyond it get one `ERR kind=overload`
+    /// line and are closed.
+    pub max_conns: usize,
+    /// Per-connection pipelining budget: a connection at this many
+    /// in-flight compiles stops being read (TCP backpressure) until
+    /// completions drain.
+    pub pipeline_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -110,15 +123,18 @@ impl Default for ServerConfig {
             cache_dir: None,
             chaos: None,
             stall_after_ms: 10_000,
+            max_conns: 1024,
+            pipeline_depth: 32,
         }
     }
 }
 
-/// One unit of compile work: the parsed request plus the channel the
-/// connection thread is blocked on.
+/// One unit of compile work: the parsed request plus the completion
+/// handle that routes the response back through the event loop. Dropping
+/// the handle unsent (a worker panic) reports the job worker-lost.
 struct Job {
     req: CompileRequest,
-    reply: mpsc::Sender<String>,
+    done: net::Completion,
 }
 
 /// Watchdog-visible worker-pool gauges.
@@ -141,6 +157,7 @@ struct Shared {
     persist: Option<PersistentCache>,
     chaos: Option<Chaos>,
     supervision: Supervision,
+    net: net::NetGauges,
     registry: SyncStatistics,
     latency: LatencyReservoir,
     shutdown: AtomicBool,
@@ -164,6 +181,7 @@ impl Shared {
             persist,
             chaos: cfg.chaos.clone().filter(|c| c.is_active()).map(Chaos::new),
             supervision: Supervision::default(),
+            net: net::NetGauges::default(),
             registry: SyncStatistics::new(),
             latency: LatencyReservoir::new(),
             shutdown: AtomicBool::new(false),
@@ -182,6 +200,11 @@ impl Shared {
             }
         }
         shared
+    }
+
+    /// Has graceful shutdown been requested?
+    fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
     }
 }
 
@@ -253,58 +276,30 @@ impl Server {
         Ok((addr, std::thread::spawn(move || server.run())))
     }
 
-    /// Serve until a `SHUTDOWN` request arrives, then drain queued work,
-    /// join every worker and connection thread, and return.
+    /// Serve until a `SHUTDOWN` request arrives, then drain: the event
+    /// loop exits once every connection is quiesced (nothing in flight,
+    /// owed, or buffered), and the watchdog joins once the worker pool
+    /// has drained the queue.
     ///
     /// # Errors
     ///
-    /// Propagates accept-loop socket errors.
+    /// Propagates event-loop socket/poller errors.
     pub fn run(self) -> std::io::Result<()> {
-        let Server { listener, local_addr, shared } = self;
+        let Server { listener, local_addr: _, shared } = self;
         let watchdog = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || watchdog_loop(&shared))
         };
-
-        let mut connections: Vec<JoinHandle<()>> = Vec::new();
-        for stream in listener.incoming() {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match stream {
-                Ok(s) => s,
-                Err(_) => continue,
-            };
-            if shared.chaos.as_ref().is_some_and(|c| c.drop_accept()) {
-                drop(stream);
-                continue;
-            }
-            let shared = Arc::clone(&shared);
-            connections.push(std::thread::spawn(move || {
-                // Connection errors only affect that client.
-                let _ = serve_connection(stream, &shared, local_addr);
-            }));
-            // Reap finished connection threads so a long-lived daemon does
-            // not accumulate handles.
-            connections.retain(|h| !h.is_finished());
-        }
-
-        // Graceful shutdown: stop accepting, let workers drain everything
-        // already admitted to the queue (the SHUTDOWN handler has already
-        // closed the queue, waking idle workers), then join the framing
-        // threads (they observe the shutdown flag via their read timeout).
+        let result = net::EventLoop::new(listener, Arc::clone(&shared))
+            .and_then(|mut event_loop| event_loop.run());
+        // The SHUTDOWN handler already closed the queue (waking idle
+        // workers); close again for the error path, idempotently, so the
+        // watchdog's drain condition can be met.
         shared.queue.close();
         let _ = watchdog.join();
-        for c in connections {
-            let _ = c.join();
-        }
-        Ok(())
+        result
     }
 }
-
-/// How long a connection thread blocks in `read` before re-checking the
-/// shutdown flag.
-const READ_TICK: Duration = Duration::from_millis(100);
 
 /// Watchdog census interval: the upper bound on how long a panicked
 /// worker's slot stays empty.
@@ -393,64 +388,15 @@ fn watchdog_loop(shared: &Arc<Shared>) {
     }
 }
 
-fn serve_connection(
-    stream: TcpStream,
-    shared: &Shared,
-    local_addr: SocketAddr,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(READ_TICK))?;
-    stream.set_nodelay(true).ok();
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let mut line = String::new();
-    loop {
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // client closed
-            Ok(_) => {
-                if shared.chaos.as_ref().is_some_and(|c| c.drop_read()) {
-                    // Injected connection reset after the request was read.
-                    return Ok(());
-                }
-                let response = handle_line(&line, shared, local_addr);
-                line.clear();
-                if let Some(chaos) = &shared.chaos {
-                    if let Some(delay) = chaos.response_delay() {
-                        std::thread::sleep(delay);
-                    }
-                    if chaos.drop_write() {
-                        // Injected connection reset instead of the response.
-                        return Ok(());
-                    }
-                }
-                writer.write_all(response.as_bytes())?;
-                writer.write_all(b"\n")?;
-                writer.flush()?;
-            }
-            Err(e) if e.kind() == IoErrorKind::WouldBlock || e.kind() == IoErrorKind::TimedOut => {
-                // `read_line` keeps partial bytes in `line`; just re-poll.
-                if shared.shutdown.load(Ordering::SeqCst) && line.is_empty() {
-                    return Ok(());
-                }
-            }
-            Err(e) if e.kind() == IoErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-fn handle_line(line: &str, shared: &Shared, local_addr: SocketAddr) -> String {
-    let request = match protocol::parse_request(line) {
-        Ok(r) => r,
-        Err(msg) => {
-            shared.registry.add("server", "errors-proto", 1);
-            return Response::err_line(ErrorKind::Proto, &msg);
-        }
-    };
+/// Answer a control verb synchronously (the event loop serializes the
+/// response through the connection's reorder buffer so control answers
+/// keep their place among in-flight untagged compiles).
+fn control_response(request: &Request, shared: &Shared) -> String {
     match request {
         Request::Hello { proto } => {
             // Every protocol revision so far is a superset of the previous
             // one, so any version up to ours is spoken verbatim.
-            if proto == 0 || proto > PROTOCOL_VERSION {
+            if *proto == 0 || *proto > PROTOCOL_VERSION {
                 shared.registry.add("server", "errors-proto", 1);
                 return Response::err_line(
                     ErrorKind::Proto,
@@ -469,37 +415,40 @@ fn handle_line(line: &str, shared: &Shared, local_addr: SocketAddr) -> String {
             shared.shutdown.store(true, Ordering::SeqCst);
             // Close the queue *now*: this wakes every worker parked on an
             // empty queue, so the drain cannot hang waiting for work that
-            // will never come (the accept-loop teardown closes again,
+            // will never come (the run-loop teardown closes again,
             // idempotently). New pushes now fail Closed → ERR shutdown.
             shared.queue.close();
-            // Unblock the acceptor, which is parked in `accept`.
-            let _ = TcpStream::connect(local_addr);
             Response::ok_line(&[], "draining")
         }
-        Request::Compile(req) => {
-            // The queue closes in the SHUTDOWN handler; check the flag too
-            // so work arriving after the SHUTDOWN response is refused
-            // deterministically, not raced against the drain.
-            if shared.shutdown.load(Ordering::SeqCst) {
-                return Response::err_line(ErrorKind::Shutdown, "server is draining");
-            }
-            let (tx, rx) = mpsc::channel();
-            match shared.queue.push(Job { req, reply: tx }) {
-                Ok(()) => rx.recv().unwrap_or_else(|_| {
-                    // The worker died (e.g. a panic) with the job in hand;
-                    // the watchdog is already respawning it. The client
-                    // gets a typed, retryable error — never a hang.
-                    shared.registry.add("server", "errors-worker-lost", 1);
-                    Response::err_line(ErrorKind::Internal, "worker dropped the request")
-                }),
-                Err(PushError::Full(_)) => {
-                    shared.registry.add("server", "rejected-overload", 1);
-                    Response::err_line(ErrorKind::Overload, "work queue full, retry with backoff")
-                }
-                Err(PushError::Closed(_)) => {
-                    Response::err_line(ErrorKind::Shutdown, "server is draining")
-                }
-            }
+        Request::Compile(_) => unreachable!("compiles go through dispatch_compile"),
+    }
+}
+
+/// Hand one `COMPILE` to the worker queue. `Err` carries the response
+/// line to send instead (draining / overload) — the completion handle is
+/// disarmed on that path, so no worker-lost report is fabricated.
+fn dispatch_compile(
+    shared: &Shared,
+    req: CompileRequest,
+    done: net::Completion,
+) -> Result<(), String> {
+    // The queue closes in the SHUTDOWN handler; check the flag too so
+    // work arriving after the SHUTDOWN response is refused
+    // deterministically, not raced against the drain.
+    if shared.is_shutting_down() {
+        done.disarm();
+        return Err(Response::err_line(ErrorKind::Shutdown, "server is draining"));
+    }
+    match shared.queue.push(Job { req, done }) {
+        Ok(()) => Ok(()),
+        Err(PushError::Full(job)) => {
+            job.done.disarm();
+            shared.registry.add("server", "rejected-overload", 1);
+            Err(Response::err_line(ErrorKind::Overload, "work queue full, retry with backoff"))
+        }
+        Err(PushError::Closed(job)) => {
+            job.done.disarm();
+            Err(Response::err_line(ErrorKind::Shutdown, "server is draining"))
         }
     }
 }
@@ -523,6 +472,8 @@ fn render_health(shared: &Shared) -> String {
             ("workers-alive", alive.to_string()),
             ("worker-restarts", shared.supervision.restarts.load(Ordering::Relaxed).to_string()),
             ("degraded", u32::from(disk_degraded).to_string()),
+            ("connections", shared.net.connections_open.load(Ordering::Relaxed).to_string()),
+            ("inflight", shared.net.inflight.load(Ordering::Relaxed).to_string()),
         ],
         "health",
     )
@@ -557,6 +508,19 @@ fn render_stats_payload(shared: &Shared) -> String {
                 shared.queue.len(),
                 shared.queue.max_depth(),
                 shared.queue.capacity()
+            ),
+        ),
+        (
+            "net",
+            format!(
+                "connections-open={} inflight-requests={} pipeline-depth-hwm={} accepted={} rejected-conn-limit={} max-conns={} pipeline-depth={}",
+                shared.net.connections_open.load(Ordering::Relaxed),
+                shared.net.inflight.load(Ordering::Relaxed),
+                shared.net.pipeline_hwm.load(Ordering::Relaxed),
+                shared.net.accepted_total.load(Ordering::Relaxed),
+                shared.net.rejected_conn_limit.load(Ordering::Relaxed),
+                shared.cfg.max_conns,
+                shared.cfg.pipeline_depth,
             ),
         ),
         (
@@ -601,10 +565,59 @@ fn worker_loop(shared: &Shared, state: &WorkerState) {
         let response = compile_request(&job.req, shared, &mut am);
         state.busy_since_ms.store(0, Ordering::Relaxed);
         state.epoch.fetch_add(1, Ordering::Relaxed);
-        // A vanished connection is not a worker error.
-        let _ = job.reply.send(response);
+        // A vanished connection is not a worker error: the loop discards
+        // completions whose connection token is stale.
+        job.done.send(response);
     }
     state.clean_exit.store(true, Ordering::Relaxed);
+}
+
+/// Cache identity of a request: every field that changes the output
+/// participates (`tag` does not — it is routing, not content). `target`
+/// participates so the same source compiled for two targets yields two
+/// distinct cache entries.
+fn request_cache_key(req: &CompileRequest, shared: &Shared) -> (u64, String) {
+    let budget_ms = req.timeout_ms.unwrap_or(shared.cfg.default_time_budget_ms).to_string();
+    let parts = request_key_parts(req, &budget_ms);
+    (content_key(&parts), parts.join("\0"))
+}
+
+/// The ordered key-material segments of [`request_cache_key`].
+fn request_key_parts<'a>(req: &'a CompileRequest, budget_ms: &'a str) -> [&'a str; 7] {
+    [
+        req.src.as_str(),
+        req.config.as_str(),
+        req.target.as_deref().unwrap_or("-"),
+        if req.pipeline { "1" } else { "0" },
+        match req.emit {
+            Emit::Ir => "ir",
+            Emit::Report => "report",
+        },
+        req.guard.as_deref().unwrap_or("-"),
+        budget_ms,
+    ]
+}
+
+/// Inline cache probe for the event loop: a warm hit is answered on the
+/// loop thread without a worker round-trip, so a pipelined batch of hits
+/// costs one read and one coalesced write instead of a cross-thread
+/// ping-pong per request. Returns `None` on a miss, during drain (the
+/// dispatch path owns shutdown refusal), and under chaos (the injected
+/// worker-death site must stay reachable for every request).
+pub(crate) fn cached_fast_path(shared: &Shared, req: &CompileRequest) -> Option<String> {
+    if shared.chaos.is_some() || shared.is_shutting_down() {
+        return None;
+    }
+    let start = Instant::now();
+    let budget_ms = req.timeout_ms.unwrap_or(shared.cfg.default_time_budget_ms).to_string();
+    let parts = request_key_parts(req, &budget_ms);
+    let key = content_key(&parts);
+    let hit = shared.cache.get_parts(key, &parts)?;
+    shared.registry.add("server", "cache-hits", 1);
+    shared.registry.add("server", "requests-ok", 1);
+    let us = start.elapsed().as_micros() as u64;
+    shared.latency.record(us);
+    Some(ok_response(key, "hit", &hit, us))
 }
 
 /// Serve one compile request: cache lookup, pipeline run on miss, tiered
@@ -612,25 +625,7 @@ fn worker_loop(shared: &Shared, state: &WorkerState) {
 fn compile_request(req: &CompileRequest, shared: &Shared, am: &mut AnalysisManager) -> String {
     let start = Instant::now();
     let budget_ms = req.timeout_ms.unwrap_or(shared.cfg.default_time_budget_ms);
-    let emit_name = match req.emit {
-        Emit::Ir => "ir",
-        Emit::Report => "report",
-    };
-    let guard_name = req.guard.as_deref().unwrap_or("-");
-    // `target` participates in the key: the same source compiled for two
-    // targets yields two distinct cache entries.
-    let target_name = req.target.as_deref().unwrap_or("-");
-    let parts = [
-        req.src.as_str(),
-        req.config.as_str(),
-        target_name,
-        if req.pipeline { "1" } else { "0" },
-        emit_name,
-        guard_name,
-        &budget_ms.to_string(),
-    ];
-    let material = parts.join("\0");
-    let key = content_key(&parts);
+    let (key, material) = request_cache_key(req, shared);
 
     if let Some(hit) = shared.cache.get(key, &material) {
         shared.registry.add("server", "cache-hits", 1);
@@ -715,17 +710,18 @@ fn compile_request(req: &CompileRequest, shared: &Shared, am: &mut AnalysisManag
 }
 
 fn ok_response(key: u64, cached: &str, result: &CachedResult, us: u64) -> String {
-    Response::ok_line(
-        &[
-            ("key", format!("{key:016x}")),
-            ("cached", cached.to_string()),
-            ("trees", result.trees.to_string()),
-            ("cost", result.cost.to_string()),
-            ("incidents", result.incidents.to_string()),
-            ("us", us.to_string()),
-        ],
-        &result.output,
-    )
+    use std::fmt::Write as _;
+    // Rendered in one pass into one buffer: this runs for every served
+    // request, and the field-vector form of `ok_line` costs six interim
+    // strings plus a second payload-sized allocation for the escape.
+    let mut line = String::with_capacity(result.output.len() + result.output.len() / 8 + 96);
+    let _ = write!(
+        line,
+        "OK key={key:016x} cached={cached} trees={} cost={} incidents={} us={} out=",
+        result.trees, result.cost, result.incidents, us
+    );
+    protocol::escape_into(&mut line, &result.output);
+    line
 }
 
 /// The `emit=report` payload: one summary line per function plus incident
@@ -855,20 +851,25 @@ mod tests {
         assert!(r.payload.contains("unknown target"), "{}", r.payload);
     }
 
+    fn control(line: &str, s: &Shared) -> Response {
+        let req = protocol::parse_request(line).unwrap();
+        Response::parse(&control_response(&req, s)).unwrap()
+    }
+
     #[test]
     fn hello_negotiates_the_protocol_version() {
         let s = shared();
-        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
-        let ok = Response::parse(&handle_line("HELLO proto=3", &s, addr)).unwrap();
+        let ok = control("HELLO proto=4", &s);
         assert!(ok.ok, "{ok:?}");
-        assert_eq!(ok.field("proto"), Some("3"));
+        assert_eq!(ok.field("proto"), Some("4"));
         assert_eq!(ok.payload, "lslpd");
-        for older in ["HELLO proto=1", "HELLO proto=2"] {
-            let r = Response::parse(&handle_line(older, &s, addr)).unwrap();
+        for older in ["HELLO proto=1", "HELLO proto=2", "HELLO proto=3"] {
+            let r = control(older, &s);
             assert!(r.ok, "older versions are spoken too: {r:?}");
+            assert_eq!(r.field("proto"), Some("4"), "server always states its own version");
         }
         for bad in ["HELLO proto=99", "HELLO proto=0"] {
-            let r = Response::parse(&handle_line(bad, &s, addr)).unwrap();
+            let r = control(bad, &s);
             assert_eq!(r.error, Some(ErrorKind::Proto), "{bad}: {r:?}");
         }
     }
@@ -927,31 +928,31 @@ mod tests {
     #[test]
     fn shutdown_closes_the_queue_eagerly() {
         // The queue must close in the SHUTDOWN handler itself — not when
-        // the acceptor happens to unpark — so workers blocked on an empty
+        // the event loop notices the flag — so workers blocked on an empty
         // queue wake immediately and the drain cannot hang.
         let s = shared();
-        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
         assert!(!s.queue.is_closed());
-        let r = Response::parse(&handle_line("SHUTDOWN", &s, addr)).unwrap();
+        let r = control("SHUTDOWN", &s);
         assert_eq!(r.payload, "draining");
-        assert!(s.queue.is_closed(), "SHUTDOWN closes the queue before the acceptor wakes");
-        let again =
-            Response::parse(&handle_line(&CompileRequest::new(SRC).to_line(), &s, addr)).unwrap();
+        assert!(s.queue.is_closed(), "SHUTDOWN closes the queue in its own handler");
+        let refused = dispatch_compile(&s, CompileRequest::new(SRC), net::detached_completion())
+            .expect_err("compiles are refused while draining");
+        let again = Response::parse(&refused).unwrap();
         assert_eq!(again.error, Some(ErrorKind::Shutdown));
     }
 
     #[test]
     fn health_reports_ready_then_draining() {
         let s = shared();
-        let addr: SocketAddr = "127.0.0.1:1".parse().unwrap();
         s.supervision.alive.store(1, Ordering::Relaxed);
-        let h = Response::parse(&handle_line("HEALTH", &s, addr)).unwrap();
+        let h = control("HEALTH", &s);
         assert!(h.ok, "{h:?}");
         assert_eq!(h.field("status"), Some("ready"));
         assert_eq!(h.field("degraded"), Some("0"));
         assert_eq!(h.field("workers-alive"), Some("1"));
-        handle_line("SHUTDOWN", &s, addr);
-        let h = Response::parse(&handle_line("HEALTH", &s, addr)).unwrap();
+        assert_eq!(h.field("connections"), Some("0"), "connection gauge surfaces in HEALTH");
+        control("SHUTDOWN", &s);
+        let h = control("HEALTH", &s);
         assert_eq!(h.field("status"), Some("draining"));
     }
 

@@ -1,0 +1,323 @@
+//! Per-connection state for the event loop: nonblocking buffers, the
+//! line-frame decoder, and the v4 ordering machinery.
+//!
+//! A connection owns
+//!
+//! * a **read buffer** the loop fills whenever the socket is readable,
+//!   from which complete `\n`-terminated frames are split off;
+//! * a **write buffer** the loop drains whenever the socket is writable,
+//!   absorbing partial writes;
+//! * the **reorder buffer** for untagged responses: every untagged
+//!   request is assigned a per-connection serial at decode time, and its
+//!   response — synchronous or from a worker — is released strictly in
+//!   serial order, preserving the v1–v3 FIFO contract even though the
+//!   worker pool completes out of order. Tagged responses bypass the
+//!   buffer and are written the moment they complete;
+//! * the **in-flight set**: dispatched-but-unanswered compiles, bounded
+//!   by the server's pipeline depth. A connection at its depth limit
+//!   simply stops being polled for reads — backpressure by not reading,
+//!   so a pipelining client experiences TCP flow control, never a lost
+//!   request.
+
+use std::collections::{BTreeMap, HashSet};
+use std::io::{ErrorKind as IoErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+/// A connection must consume a frame within this many buffered bytes;
+/// beyond it the line cannot be a legal request and the connection is
+/// poisoned (one `ERR kind=proto`, then close).
+pub const MAX_FRAME_BYTES: usize = 8 * 1024 * 1024;
+
+/// Stop reading from a connection whose client is not draining its
+/// responses once this many bytes are queued for write.
+pub const WRITE_HIGH_WATER: usize = 4 * 1024 * 1024;
+
+/// Kill a connection outright if its write backlog exceeds this bound
+/// (a client that stopped reading entirely must not pin server memory).
+pub const WRITE_HARD_LIMIT: usize = 64 * 1024 * 1024;
+
+/// What `Conn::read_frames` observed on the socket.
+pub enum ReadEvent {
+    /// Zero or more complete frames were decoded.
+    Frames(Vec<String>),
+    /// The peer closed its write side (EOF after any decoded frames).
+    Eof(Vec<String>),
+    /// The buffered partial line exceeded [`MAX_FRAME_BYTES`].
+    Overflow,
+    /// Transport error: the connection is dead.
+    Broken,
+}
+
+/// One live client connection.
+pub struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    /// Bytes of `read_buf` already scanned for `\n` (avoids re-scanning a
+    /// long partial frame on every readiness event).
+    scanned: usize,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// Negotiated protocol version (`HELLO proto=N`); defaults to the
+    /// server's version for clients that skip the handshake.
+    pub proto: u32,
+    /// Serial assigned to the next untagged request.
+    pub next_serial: u64,
+    /// Serial whose response is released next.
+    next_release: u64,
+    /// Completed-but-unreleased untagged responses.
+    reorder: BTreeMap<u64, String>,
+    /// Tags currently in flight on this connection.
+    pub inflight_tags: HashSet<String>,
+    /// Dispatched compiles (tagged + untagged) awaiting completion.
+    pub inflight: usize,
+    /// Peer closed its write side; serve what is in flight, then drop.
+    pub peer_closed: bool,
+    /// Chaos write gate: nothing is flushed before this instant.
+    pub write_gate: Option<Instant>,
+}
+
+impl Conn {
+    /// Wrap a freshly accepted stream (made nonblocking here).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `set_nonblocking` failures.
+    pub fn new(stream: TcpStream, server_proto: u32) -> std::io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true).ok();
+        Ok(Conn {
+            stream,
+            read_buf: Vec::new(),
+            scanned: 0,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            proto: server_proto,
+            next_serial: 0,
+            next_release: 0,
+            reorder: BTreeMap::new(),
+            inflight_tags: HashSet::new(),
+            inflight: 0,
+            peer_closed: false,
+            write_gate: None,
+        })
+    }
+
+    /// The raw descriptor for poll registration.
+    #[cfg(unix)]
+    pub fn fd(&self) -> super::sys::RawFd {
+        use std::os::fd::AsRawFd;
+        self.stream.as_raw_fd()
+    }
+
+    /// Portable fallback: descriptors are never polled, only carried.
+    #[cfg(not(unix))]
+    pub fn fd(&self) -> super::sys::RawFd {
+        0
+    }
+
+    /// Should the loop poll this connection for readability? Not once the
+    /// peer half-closed, not at the pipeline-depth limit, and not while
+    /// the client is sitting on a large unread response backlog.
+    pub fn wants_read(&self, pipeline_depth: usize) -> bool {
+        !self.peer_closed
+            && self.inflight < pipeline_depth.max(1)
+            && self.pending_write_len() < WRITE_HIGH_WATER
+    }
+
+    /// Should the loop poll this connection for writability?
+    pub fn wants_write(&self, now: Instant) -> bool {
+        self.pending_write_len() > 0 && self.write_gate.is_none_or(|gate| gate <= now)
+    }
+
+    /// Bytes queued for write and not yet accepted by the kernel.
+    pub fn pending_write_len(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+
+    /// Responses completed but still held for in-order release, plus
+    /// dispatched work: when all three are zero the connection is fully
+    /// quiesced (nothing owed to the client).
+    pub fn is_quiesced(&self) -> bool {
+        self.inflight == 0 && self.reorder.is_empty() && self.pending_write_len() == 0
+    }
+
+    /// Drain the socket into the read buffer and split off every complete
+    /// frame. Never blocks.
+    pub fn read_frames(&mut self) -> ReadEvent {
+        let mut eof = false;
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    self.read_buf.extend_from_slice(&chunk[..n]);
+                    if self.read_buf.len() > MAX_FRAME_BYTES {
+                        // Even if a newline lurks in the chunk, a frame
+                        // this large is already illegal.
+                        return ReadEvent::Overflow;
+                    }
+                }
+                Err(e) if e.kind() == IoErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == IoErrorKind::Interrupted => continue,
+                Err(_) => return ReadEvent::Broken,
+            }
+        }
+        // Split frames by cursor and compact once at the end: draining the
+        // buffer per frame would memmove the whole backlog for every line,
+        // turning a deep pipelined burst into quadratic memcpy.
+        let mut frames = Vec::new();
+        let mut consumed = 0usize;
+        while let Some(nl) = self.read_buf[self.scanned..].iter().position(|&b| b == b'\n') {
+            let end = self.scanned + nl;
+            let line = String::from_utf8_lossy(&self.read_buf[consumed..end]).into_owned();
+            frames.push(line);
+            consumed = end + 1;
+            self.scanned = consumed;
+        }
+        self.read_buf.drain(..consumed);
+        self.scanned = self.read_buf.len();
+        if eof {
+            self.peer_closed = true;
+            ReadEvent::Eof(frames)
+        } else {
+            ReadEvent::Frames(frames)
+        }
+    }
+
+    /// Queue one response line (newline appended here).
+    pub fn queue_write(&mut self, line: &str) {
+        self.write_buf.extend_from_slice(line.as_bytes());
+        self.write_buf.push(b'\n');
+    }
+
+    /// Queue `line` with `tag=<tag>` spliced in after the verb, directly
+    /// into the write buffer — the per-response path of a pipelined
+    /// connection, so no interim tagged string is allocated.
+    pub fn queue_write_tagged(&mut self, tag: &str, line: &str) {
+        match line.split_once(' ') {
+            Some((verb, rest)) => {
+                self.write_buf.extend_from_slice(verb.as_bytes());
+                self.write_buf.extend_from_slice(b" tag=");
+                self.write_buf.extend_from_slice(tag.as_bytes());
+                self.write_buf.push(b' ');
+                self.write_buf.extend_from_slice(rest.as_bytes());
+            }
+            None => {
+                self.write_buf.extend_from_slice(line.as_bytes());
+                self.write_buf.extend_from_slice(b" tag=");
+                self.write_buf.extend_from_slice(tag.as_bytes());
+            }
+        }
+        self.write_buf.push(b'\n');
+    }
+
+    /// Complete the untagged request with serial `serial`, releasing it —
+    /// and any blocked successors — in FIFO order.
+    pub fn complete_serial(&mut self, serial: u64, line: String) {
+        self.reorder.insert(serial, line);
+        while let Some(line) = self.reorder.remove(&self.next_release) {
+            self.queue_write(&line);
+            self.next_release += 1;
+        }
+    }
+
+    /// Flush as much of the write buffer as the kernel will take. Returns
+    /// `false` when the transport is broken.
+    pub fn flush(&mut self, now: Instant) -> bool {
+        if let Some(gate) = self.write_gate {
+            if gate > now {
+                return true;
+            }
+            self.write_gate = None;
+        }
+        while self.write_pos < self.write_buf.len() {
+            match self.stream.write(&self.write_buf[self.write_pos..]) {
+                Ok(0) => return false,
+                Ok(n) => self.write_pos += n,
+                Err(e) if e.kind() == IoErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == IoErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if self.write_pos == self.write_buf.len() {
+            self.write_buf.clear();
+            self.write_pos = 0;
+        } else if self.write_pos > WRITE_HIGH_WATER {
+            // Compact so a slow-draining client does not pin dead bytes.
+            self.write_buf.drain(..self.write_pos);
+            self.write_pos = 0;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn pair() -> (TcpStream, Conn) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        (client, Conn::new(server_side, 4).unwrap())
+    }
+
+    #[test]
+    fn frames_split_on_newlines_across_partial_reads() {
+        let (mut client, mut conn) = pair();
+        client.write_all(b"PING\nSTA").unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        match conn.read_frames() {
+            ReadEvent::Frames(f) => assert_eq!(f, vec!["PING".to_string()]),
+            _ => panic!("expected frames"),
+        }
+        client.write_all(b"TS\nHEALTH\n").unwrap();
+        client.flush().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        match conn.read_frames() {
+            ReadEvent::Frames(f) => {
+                assert_eq!(f, vec!["STATS".to_string(), "HEALTH".to_string()]);
+            }
+            _ => panic!("expected frames"),
+        }
+    }
+
+    #[test]
+    fn reorder_buffer_releases_serials_in_order() {
+        let (_client, mut conn) = pair();
+        conn.complete_serial(2, "OK out=two".into());
+        conn.complete_serial(1, "OK out=one".into());
+        assert_eq!(conn.pending_write_len(), 0, "serial 0 still blocks the line");
+        conn.complete_serial(0, "OK out=zero".into());
+        let queued = String::from_utf8(conn.write_buf.clone()).unwrap();
+        assert_eq!(queued, "OK out=zero\nOK out=one\nOK out=two\n");
+        assert!(conn.is_quiesced() || conn.pending_write_len() > 0);
+    }
+
+    #[test]
+    fn eof_still_yields_buffered_frames() {
+        let (mut client, mut conn) = pair();
+        client.write_all(b"PING\n").unwrap();
+        drop(client);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        match conn.read_frames() {
+            ReadEvent::Eof(f) => assert_eq!(f, vec!["PING".to_string()]),
+            ReadEvent::Frames(f) => {
+                // Race: EOF may surface on the next read.
+                assert_eq!(f, vec!["PING".to_string()]);
+                match conn.read_frames() {
+                    ReadEvent::Eof(rest) => assert!(rest.is_empty()),
+                    _ => panic!("expected eof"),
+                }
+            }
+            _ => panic!("expected frames then eof"),
+        }
+        assert!(conn.peer_closed);
+    }
+}

@@ -19,8 +19,9 @@
 //!           | "emit=" ir|report   (default ir)
 //!           | "guard=" off|rollback|strict|snapshot|differential
 //!           | "timeout-ms=" N    (compile budget, default server-wide)
+//!           | "tag=" TOKEN       (v4: pipelining tag, echoed in the response)
 //! response := "OK" (SP field)* SP "out=" escaped-payload
-//!           | "ERR kind=" KIND SP "msg=" escaped-message
+//!           | "ERR" [SP "tag=" TOKEN] SP "kind=" KIND SP "msg=" escaped-message
 //! ```
 //!
 //! `src=`/`out=`/`msg=` always come last so the escaped payload may contain
@@ -34,48 +35,96 @@
 //! Unknown request options are rejected with `ERR kind=proto`, never
 //! silently ignored, so a client using a newer field fails loudly on an
 //! older server.
+//!
+//! **Pipelining (v4).** A `COMPILE` may carry a client-chosen `tag=`
+//! ([`valid_tag`]): the response echoes the tag and may arrive **out of
+//! order** relative to other tagged responses on the same connection, so
+//! one connection can keep many compiles in flight. Untagged requests
+//! keep the strict one-in-one-out FIFO ordering of v1–v3 — the server
+//! holds their responses in a per-connection reorder buffer — which is
+//! what keeps old clients working unmodified against a v4 server. A tag
+//! that is already in flight on the same connection is rejected with
+//! `ERR tag=<tag> kind=proto` without disturbing the first request.
 
-use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 /// The wire-protocol version this build speaks.
 ///
 /// History: 1 = the initial `COMPILE`/`STATS`/`PING`/`SHUTDOWN` protocol;
 /// 2 = adds the `HELLO` handshake and the `target=` compile option;
-/// 3 = adds the `HEALTH` readiness verb.
-pub const PROTOCOL_VERSION: u32 = 3;
+/// 3 = adds the `HEALTH` readiness verb;
+/// 4 = adds the `tag=` compile option and out-of-order tagged responses
+/// (request pipelining / multiplexing).
+pub const PROTOCOL_VERSION: u32 = 4;
+
+/// Maximum length of a pipelining tag.
+pub const MAX_TAG_LEN: usize = 64;
+
+/// Is `s` a legal pipelining tag? Tags are wire *atoms* — they are echoed
+/// verbatim as a response field — so they are restricted to 1–64 chars of
+/// `[A-Za-z0-9._:-]`: no spaces, no `=`, no escapes.
+pub fn valid_tag(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= MAX_TAG_LEN
+        && s.bytes().all(|b| b.is_ascii_alphanumeric() || matches!(b, b'.' | b'_' | b':' | b'-'))
+}
 
 /// Escape a payload onto a single protocol line.
+///
+/// Scans bytes and copies unescaped runs wholesale instead of pushing
+/// char-by-char — this runs once per response on the serve hot path, and
+/// payloads are mostly literal text. The specials are all ASCII, so byte
+/// positions are always UTF-8 boundaries.
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + s.len() / 8);
-    for c in s.chars() {
-        match c {
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            c => out.push(c),
-        }
-    }
+    escape_into(&mut out, s);
     out
+}
+
+/// [`escape`] appended onto an existing buffer — lets a response renderer
+/// build its whole line in one allocation.
+pub fn escape_into(out: &mut String, s: &str) {
+    let mut start = 0;
+    for (i, b) in s.bytes().enumerate() {
+        let rep = match b {
+            b'\\' => "\\\\",
+            b'\n' => "\\n",
+            b'\r' => "\\r",
+            _ => continue,
+        };
+        out.push_str(&s[start..i]);
+        out.push_str(rep);
+        start = i + 1;
+    }
+    out.push_str(&s[start..]);
 }
 
 /// Invert [`escape`]. Unknown escapes and a trailing lone `\` error.
 pub fn unescape(s: &str) -> Result<String, String> {
+    let bytes = s.as_bytes();
     let mut out = String::with_capacity(s.len());
-    let mut it = s.chars();
-    while let Some(c) = it.next() {
-        if c != '\\' {
-            out.push(c);
+    let mut start = 0;
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'\\' {
+            i += 1;
             continue;
         }
-        match it.next() {
-            Some('\\') => out.push('\\'),
-            Some('n') => out.push('\n'),
-            Some('r') => out.push('\r'),
-            Some(other) => return Err(format!("bad escape `\\{other}`")),
+        out.push_str(&s[start..i]);
+        match bytes.get(i + 1) {
+            Some(b'\\') => out.push('\\'),
+            Some(b'n') => out.push('\n'),
+            Some(b'r') => out.push('\r'),
+            Some(_) => {
+                let other = s[i + 1..].chars().next().expect("byte after backslash");
+                return Err(format!("bad escape `\\{other}`"));
+            }
             None => return Err("truncated escape at end of line".into()),
         }
+        i += 2;
+        start = i;
     }
+    out.push_str(&s[start..]);
     Ok(out)
 }
 
@@ -156,6 +205,11 @@ pub struct CompileRequest {
     /// input degrades to (partially) scalar output instead of stalling a
     /// worker.
     pub timeout_ms: Option<u64>,
+    /// Pipelining tag (v4): echoed in the response, which may then
+    /// complete out of order relative to other tagged requests on the
+    /// same connection. `None` keeps the serial v1–v3 FIFO ordering.
+    /// Does **not** participate in the result-cache key.
+    pub tag: Option<String>,
     /// The SLC source (unescaped).
     pub src: String,
 }
@@ -169,6 +223,7 @@ impl Default for CompileRequest {
             emit: Emit::Ir,
             guard: None,
             timeout_ms: None,
+            tag: None,
             src: String::new(),
         }
     }
@@ -182,23 +237,36 @@ impl CompileRequest {
 
     /// Render the request as one protocol line (no trailing newline).
     pub fn to_line(&self) -> String {
-        let mut line = String::from("COMPILE");
-        let _ = write!(line, " config={}", self.config);
+        let mut line = String::with_capacity(self.src.len() + self.src.len() / 8 + 64);
+        self.line_into(self.tag.as_deref(), &mut line);
+        line
+    }
+
+    /// Append this request's wire line onto `buf`, with `tag` overriding
+    /// `self.tag`. A pipelining client renders a whole window of requests
+    /// into one write buffer this way, with no interim line strings.
+    pub fn line_into(&self, tag: Option<&str>, buf: &mut String) {
+        buf.push_str("COMPILE");
+        let _ = write!(buf, " config={}", self.config);
         if let Some(t) = &self.target {
-            let _ = write!(line, " target={t}");
+            let _ = write!(buf, " target={t}");
         }
-        let _ = write!(line, " pipeline={}", if self.pipeline { 1 } else { 0 });
+        let _ = write!(buf, " pipeline={}", if self.pipeline { 1 } else { 0 });
         if self.emit == Emit::Report {
-            line.push_str(" emit=report");
+            buf.push_str(" emit=report");
         }
         if let Some(g) = &self.guard {
-            let _ = write!(line, " guard={g}");
+            let _ = write!(buf, " guard={g}");
         }
         if let Some(ms) = self.timeout_ms {
-            let _ = write!(line, " timeout-ms={ms}");
+            let _ = write!(buf, " timeout-ms={ms}");
         }
-        let _ = write!(line, " src={}", escape(&self.src));
-        line
+        if let Some(tag) = tag {
+            debug_assert!(valid_tag(tag), "tags must be wire atoms");
+            let _ = write!(buf, " tag={tag}");
+        }
+        buf.push_str(" src=");
+        escape_into(buf, &self.src);
     }
 }
 
@@ -265,31 +333,21 @@ fn parse_hello(rest: &str) -> Result<Request, String> {
 
 fn parse_compile(rest: &str) -> Result<CompileRequest, String> {
     let mut req = CompileRequest::default();
-    let mut remaining = rest;
+    // Walk tokens by byte offset so `src=` can swallow the untouched tail
+    // of the line (the escaped payload may contain spaces) without
+    // re-joining previously split pieces.
+    let mut cursor = 0usize;
     loop {
-        let token = match remaining.split_once(' ') {
-            Some((t, r)) => {
-                remaining = r;
-                t
-            }
-            None => {
-                let t = remaining;
-                remaining = "";
-                t
-            }
-        };
+        if cursor >= rest.len() {
+            return Err("missing src= payload".into());
+        }
+        let token_end = rest[cursor..].find(' ').map_or(rest.len(), |p| cursor + p);
+        let token = &rest[cursor..token_end];
         let (key, value) =
             token.split_once('=').ok_or_else(|| format!("expected key=value, got `{token}`"))?;
         match key {
             "src" => {
-                // `src=` swallows the rest of the line (the escaped payload
-                // may contain spaces).
-                let raw = if remaining.is_empty() {
-                    value.to_string()
-                } else {
-                    [value, remaining].join(" ")
-                };
-                req.src = unescape(&raw)?;
+                req.src = unescape(&rest[cursor + key.len() + 1..])?;
                 return Ok(req);
             }
             "config" => req.config = value.to_string(),
@@ -313,11 +371,17 @@ fn parse_compile(rest: &str) -> Result<CompileRequest, String> {
                 req.timeout_ms =
                     Some(value.parse().map_err(|e| format!("bad timeout-ms value: {e}"))?)
             }
+            "tag" => {
+                if !valid_tag(value) {
+                    return Err(format!(
+                        "bad tag `{value}` (1..={MAX_TAG_LEN} chars of [A-Za-z0-9._:-])"
+                    ));
+                }
+                req.tag = Some(value.to_string());
+            }
             other => return Err(format!("unknown option `{other}`")),
         }
-        if remaining.is_empty() {
-            return Err("missing src= payload".into());
-        }
+        cursor = token_end + 1;
     }
 }
 
@@ -328,8 +392,12 @@ pub struct Response {
     pub ok: bool,
     /// The `kind=` of an `ERR` response.
     pub error: Option<ErrorKind>,
-    /// All `key=value` fields before the payload, in wire order.
-    pub fields: BTreeMap<String, String>,
+    /// All `key=value` fields before the payload, verbatim in wire order.
+    /// Kept as one undissected slice of the line — fields are atoms (no
+    /// escapes, no spaces), so [`Response::field`] scans on demand instead
+    /// of paying a map and two string allocations per field on every
+    /// response a pipelining client drains.
+    raw_fields: String,
     /// The unescaped `out=` / `msg=` payload.
     pub payload: String,
 }
@@ -351,9 +419,35 @@ impl Response {
         format!("ERR kind={} msg={}", kind.name(), escape(msg))
     }
 
+    /// Render an `ERR` response line echoing a pipelining tag.
+    pub fn err_line_tagged(tag: &str, kind: ErrorKind, msg: &str) -> String {
+        debug_assert!(valid_tag(tag), "tags must be wire atoms");
+        format!("ERR tag={tag} kind={} msg={}", kind.name(), escape(msg))
+    }
+
+    /// Inject `tag=<tag>` into an already-rendered response line, right
+    /// after the `OK`/`ERR` verb. Used by the server to stamp a worker's
+    /// response with the connection-level pipelining tag the worker never
+    /// sees.
+    pub fn tag_line(tag: &str, line: &str) -> String {
+        debug_assert!(valid_tag(tag), "tags must be wire atoms");
+        match line.split_once(' ') {
+            Some((verb, rest)) => format!("{verb} tag={tag} {rest}"),
+            None => format!("{line} tag={tag}"),
+        }
+    }
+
+    /// The echoed pipelining tag, when present.
+    pub fn tag(&self) -> Option<&str> {
+        self.field("tag")
+    }
+
     /// A named field, when present.
     pub fn field(&self, key: &str) -> Option<&str> {
-        self.fields.get(key).map(String::as_str)
+        self.raw_fields.split(' ').find_map(|t| {
+            let (k, v) = t.split_once('=')?;
+            (k == key).then_some(v)
+        })
     }
 
     /// Parse one response line.
@@ -370,47 +464,36 @@ impl Response {
             "ERR" => false,
             other => return Err(format!("unknown response verb `{other}`")),
         };
-        let mut fields = BTreeMap::new();
+        // Walk tokens by byte offset: everything before the payload marker
+        // becomes the raw field region verbatim (one allocation), and the
+        // escaped payload is the untouched tail of the line.
         let mut payload = None;
-        let mut remaining = rest;
-        while !remaining.is_empty() {
-            let token = match remaining.split_once(' ') {
-                Some((t, r)) => {
-                    remaining = r;
-                    t
-                }
-                None => {
-                    let t = remaining;
-                    remaining = "";
-                    t
-                }
-            };
-            let (key, value) = token
+        let mut fields_end = 0usize;
+        let mut cursor = 0usize;
+        while cursor < rest.len() {
+            let token_end = rest[cursor..].find(' ').map_or(rest.len(), |p| cursor + p);
+            let token = &rest[cursor..token_end];
+            let (key, _) = token
                 .split_once('=')
                 .ok_or_else(|| format!("expected key=value, got `{token}`"))?;
             if key == "out" || key == "msg" {
-                let raw = if remaining.is_empty() {
-                    value.to_string()
-                } else {
-                    [value, remaining].join(" ")
-                };
-                payload = Some(unescape(&raw)?);
+                payload = Some(unescape(&rest[cursor + key.len() + 1..])?);
                 break;
             }
-            fields.insert(key.to_string(), value.to_string());
+            fields_end = token_end;
+            cursor = token_end + 1;
         }
         let payload = payload.ok_or("response has no out=/msg= payload")?;
-        let error = if ok {
-            None
-        } else {
-            Some(
-                fields
-                    .get("kind")
-                    .and_then(|k| ErrorKind::parse(k))
+        let mut resp =
+            Response { ok, error: None, raw_fields: rest[..fields_end].to_string(), payload };
+        if !ok {
+            resp.error = Some(
+                resp.field("kind")
+                    .and_then(ErrorKind::parse)
                     .ok_or("ERR response without a known kind=")?,
-            )
-        };
-        Ok(Response { ok, error, fields, payload })
+            );
+        }
+        Ok(resp)
     }
 }
 
@@ -465,6 +548,7 @@ mod tests {
             emit: Emit::Report,
             guard: Some("strict".into()),
             timeout_ms: Some(25),
+            tag: None,
             src: "kernel k(f64* A, i64 i) {\n  A[i] = A[i] + 1.0;\n}".into(),
         };
         let line = req.to_line();
@@ -481,6 +565,50 @@ mod tests {
             }
             other => panic!("wrong request: {other:?}"),
         }
+    }
+
+    #[test]
+    fn tags_roundtrip_and_validate() {
+        let req = CompileRequest { tag: Some("t-42.x:y_z".into()), ..CompileRequest::new("x") };
+        match parse_request(&req.to_line()).unwrap() {
+            Request::Compile(r) => assert_eq!(r.tag.as_deref(), Some("t-42.x:y_z")),
+            other => panic!("wrong request: {other:?}"),
+        }
+        // Untagged lines stay untagged (v1-v3 lines are valid v4 lines).
+        let untagged = CompileRequest::new("x").to_line();
+        assert!(!untagged.contains("tag="), "default tag stays off the wire");
+
+        assert!(valid_tag("a"));
+        assert!(valid_tag(&"x".repeat(MAX_TAG_LEN)));
+        assert!(!valid_tag(""));
+        assert!(!valid_tag(&"x".repeat(MAX_TAG_LEN + 1)));
+        assert!(!valid_tag("has space"));
+        assert!(!valid_tag("has=eq"));
+        assert!(!valid_tag("esc\\ape"));
+        assert!(parse_request("COMPILE tag= src=x").is_err(), "empty tag rejected");
+        assert!(parse_request("COMPILE tag=a b src=x").is_err(), "tag is one token");
+        assert!(parse_request(&format!("COMPILE tag={} src=x", "y".repeat(65))).is_err());
+    }
+
+    #[test]
+    fn tagged_responses_roundtrip() {
+        let ok = Response::tag_line("t7", &Response::ok_line(&[("cached", "hit".into())], "ir"));
+        let r = Response::parse(&ok).unwrap();
+        assert!(r.ok);
+        assert_eq!(r.tag(), Some("t7"));
+        assert_eq!(r.field("cached"), Some("hit"));
+        assert_eq!(r.payload, "ir");
+
+        let e = Response::parse(&Response::err_line_tagged("t7", ErrorKind::Proto, "duplicate"))
+            .unwrap();
+        assert!(!e.ok);
+        assert_eq!(e.tag(), Some("t7"));
+        assert_eq!(e.error, Some(ErrorKind::Proto));
+        assert_eq!(e.payload, "duplicate");
+
+        // An untagged response has no tag.
+        let plain = Response::parse(&Response::ok_line(&[], "x")).unwrap();
+        assert_eq!(plain.tag(), None);
     }
 
     #[test]

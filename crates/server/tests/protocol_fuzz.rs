@@ -11,9 +11,13 @@
 //!   escapes, oversized payloads, unknown options, interleaved `HELLO`s —
 //!   with exactly one well-formed response, and keeps serving afterwards.
 
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::time::Duration;
 
-use lslp_server::protocol::{escape, parse_request, unescape, CompileRequest, ErrorKind, Response};
+use lslp_server::protocol::{
+    escape, parse_request, unescape, CompileRequest, ErrorKind, Response, MAX_TAG_LEN,
+};
 use lslp_server::{Client, Server, ServerConfig};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
@@ -159,5 +163,167 @@ fn server_answers_every_mutated_line() {
     let r = client.compile(&CompileRequest::new("kernel k(i64* A, i64 i) { A[i + 0] = 1; }"));
     assert!(r.unwrap().ok, "server still compiles after the fuzz run");
     client.shutdown().unwrap();
+    daemon.join().unwrap().unwrap();
+}
+
+/// A kernel slow enough that a request stays in flight while the frames
+/// behind it in the same burst are decoded.
+fn slow_kernel(name: &str) -> String {
+    let mut src = format!("kernel {name}(f64* A, f64* B, f64* C, i64 i) {{\n");
+    for idx in 0..256 {
+        src.push_str(&format!(
+            "  A[i+{idx}] = (B[i+{idx}] * C[i+{idx}] + B[i+{idx}]) * C[i+{idx}];\n"
+        ));
+    }
+    src.push('}');
+    src
+}
+
+/// Read exactly `n` response lines, parsing each.
+fn read_responses(reader: &mut BufReader<TcpStream>, n: usize) -> Vec<Response> {
+    let mut out = Vec::with_capacity(n);
+    let mut line = String::new();
+    while out.len() < n {
+        line.clear();
+        let got = reader.read_line(&mut line).unwrap();
+        assert!(got > 0, "server closed early: got {}/{n} responses", out.len());
+        out.push(
+            Response::parse(&line).unwrap_or_else(|e| panic!("garbled response {line:?}: {e}")),
+        );
+    }
+    out
+}
+
+/// Pipelining-layer fuzz (protocol v4): duplicate in-flight tags, missing
+/// and malformed tags, and frames torn across arbitrarily small writes.
+/// The server must answer every frame with one typed response — echoing
+/// the offending tag where one can be extracted — never hang, and never
+/// route a response to the wrong tag.
+#[test]
+fn server_rejects_v4_tag_mutations_and_never_mixes_responses() {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        pipeline_depth: 32,
+        ..ServerConfig::default()
+    };
+    let (addr, daemon) = Server::spawn(cfg).unwrap();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0x7a67);
+    let src = "kernel k(i64* A, i64 i) {\nA[i + 0] = A[i + 0] + 1;\n}";
+
+    for round in 0..24u32 {
+        match round % 4 {
+            0 => {
+                // Duplicate in-flight tag: a slow tagged compile, then the
+                // same tag again in the same burst. Exactly one OK and one
+                // `ERR tag=<tag> kind=proto`, first request undisturbed.
+                let tag = format!("dup{round}");
+                let heavy = slow_kernel(&format!("h{round}"));
+                let first = CompileRequest {
+                    timeout_ms: Some(60_000),
+                    tag: Some(tag.clone()),
+                    ..CompileRequest::new(&heavy)
+                };
+                let second = CompileRequest { tag: Some(tag.clone()), ..CompileRequest::new(src) };
+                let burst = format!("{}\n{}\n", first.to_line(), second.to_line());
+                stream.write_all(burst.as_bytes()).unwrap();
+                let responses = read_responses(&mut reader, 2);
+                let errs: Vec<_> = responses.iter().filter(|r| !r.ok).collect();
+                assert_eq!(errs.len(), 1, "round {round}: {responses:?}");
+                assert_eq!(errs[0].error, Some(ErrorKind::Proto));
+                assert_eq!(errs[0].tag(), Some(tag.as_str()), "offending tag echoed");
+                assert!(errs[0].payload.contains("already in flight"), "{}", errs[0].payload);
+                let ok = responses.iter().find(|r| r.ok).unwrap();
+                assert_eq!(ok.tag(), Some(tag.as_str()));
+                assert!(ok.payload.contains(&format!("@h{round}")), "first request compiled");
+            }
+            1 => {
+                // Missing and malformed tags: every line draws one typed
+                // proto error; the connection keeps serving.
+                let bads = [
+                    format!("COMPILE tag= src={}", escape(src)),
+                    format!("COMPILE tag={} src={}", "y".repeat(MAX_TAG_LEN + 1), escape(src)),
+                    format!("COMPILE tag=sp%ce src={}", escape(src)),
+                    format!("COMPILE tag=a\\b src={}", escape(src)),
+                ];
+                stream.write_all(bads.join("\n").as_bytes()).unwrap();
+                stream.write_all(b"\n").unwrap();
+                for (i, r) in read_responses(&mut reader, bads.len()).iter().enumerate() {
+                    assert!(!r.ok, "bad tag {i} accepted: {r:?}");
+                    assert_eq!(r.error, Some(ErrorKind::Proto), "typed kind for bad tag {i}");
+                }
+            }
+            2 => {
+                // Interleaved partial frames: 8 uniquely tagged compiles of
+                // 8 distinct kernels, the whole burst torn into 1–24-byte
+                // writes. Reassembly must answer each tag exactly once with
+                // the matching kernel — proof against response mixups.
+                let mut burst = String::new();
+                for i in 0..8u32 {
+                    let name = format!("k{round}x{i}");
+                    let req = CompileRequest {
+                        tag: Some(format!("t{round}x{i}")),
+                        ..CompileRequest::new(&format!(
+                            "kernel {name}(i64* A, i64 i) {{\nA[i + 0] = A[i + 0] + {i};\n}}"
+                        ))
+                    };
+                    burst.push_str(&req.to_line());
+                    burst.push('\n');
+                }
+                let bytes = burst.as_bytes();
+                let mut at = 0;
+                while at < bytes.len() {
+                    let n = rng.gen_range(1..24usize).min(bytes.len() - at);
+                    stream.write_all(&bytes[at..at + n]).unwrap();
+                    stream.flush().unwrap();
+                    at += n;
+                    if rng.gen_bool(0.2) {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                let responses = read_responses(&mut reader, 8);
+                let mut seen = std::collections::HashSet::new();
+                for r in &responses {
+                    assert!(r.ok, "{r:?}");
+                    let tag = r.tag().expect("tagged in, tagged out").to_string();
+                    let i: u32 = tag.rsplit('x').next().unwrap().parse().unwrap();
+                    assert!(
+                        r.payload.contains(&format!("@k{round}x{i}")),
+                        "tag {tag} answered with the wrong kernel: {}",
+                        r.payload.lines().next().unwrap_or("")
+                    );
+                    assert!(seen.insert(tag), "tag answered twice: {responses:?}");
+                }
+                assert_eq!(seen.len(), 8);
+            }
+            _ => {
+                // Random structural mutations of tagged lines: one line,
+                // one response, typed on rejection.
+                let stock =
+                    CompileRequest { tag: Some(format!("m{round}")), ..CompileRequest::new(src) }
+                        .to_line();
+                let line = mutate(&mut rng, &stock).replace(['\n', '\r'], " ");
+                if line.trim().is_empty() {
+                    continue;
+                }
+                stream.write_all(line.as_bytes()).unwrap();
+                stream.write_all(b"\n").unwrap();
+                let r = &read_responses(&mut reader, 1)[0];
+                if !r.ok {
+                    assert!(r.error.is_some(), "untyped ERR for {line:?}");
+                }
+            }
+        }
+    }
+
+    // The pipelined connection survived every mutation category.
+    stream.write_all(b"PING\n").unwrap();
+    assert_eq!(read_responses(&mut reader, 1)[0].payload, "pong");
+    let mut ctl = Client::connect(addr).unwrap();
+    ctl.set_timeout(Some(Duration::from_secs(30))).unwrap();
+    ctl.shutdown().unwrap();
     daemon.join().unwrap().unwrap();
 }
