@@ -1,0 +1,259 @@
+//! Extension study: statement-packing strategies. Greedy seed-order
+//! packing (the paper's algorithm) against the global planner
+//! (`--packing global`: DP over each seed-group chain plus a bounded
+//! branch-and-bound) across the fig9 kernel suite × the four registry
+//! targets, plus a local "greedy trap" kernel where seed order is
+//! adversarial.
+//!
+//! Three measurements per (kernel, target) cell:
+//!
+//! 1. **Artifact cost** — [`lslp::function_cost`] of the committed IR
+//!    under each strategy. The global planner carries a greedy floor, so
+//!    `global > greedy` in any cell is a planner bug, not a trade-off.
+//! 2. **Committed VFs** — the vector-factor multiset each strategy
+//!    committed, so a win is attributable to a different pack set.
+//! 3. **Compile time** — median wall-clock of the vectorizer pass per
+//!    strategy; the global portfolio prices both strategies up front, so
+//!    bounded overhead is the claim being checked.
+//!
+//! Results go to stdout as a table and to `BENCH_ext_packing.json`
+//! (`--out` overrides). `--smoke` runs few reps and exits non-zero if
+//! any cell has `global` costlier than `greedy`, if the geomean
+//! compile-time overhead exceeds 5×, or if no cell is a strict win —
+//! the CI regression gate. `--target NAME` restricts the matrix to one
+//! target.
+
+use std::time::Instant;
+
+use lslp::{function_cost, try_vectorize_function, PackingStrategy, VectorizerConfig};
+use lslp_bench::{format_table, geomean};
+use lslp_ir::Function;
+use lslp_kernels::suite;
+use lslp_target::{TargetSpec, TARGET_NAMES};
+
+/// Kernels where greedy's seed-order commit is adversarial: the first
+/// pair it prices drags in a gather and locks out the clean pair behind
+/// it. Local to this bench on purpose — the shared suite stays the
+/// paper's table, and these rows exist to exhibit a strict global win.
+const TRAP_KERNELS: &[(&str, &str)] = &[(
+    "greedy_trap",
+    "kernel greedy_trap(i64* A, i64* B, i64* C, i64 x, i64 y, i64 i) {
+         A[i+0] = B[i+0] + x;
+         A[i+1] = B[i+1] + C[i+1];
+         A[i+2] = B[i+2] + C[i+2];
+         A[i+3] = y;
+     }",
+)];
+
+fn compile_slc(name: &str, src: &str) -> Function {
+    let m = lslp_frontend::compile(src)
+        .unwrap_or_else(|e| panic!("trap kernel {name} does not compile: {e}"));
+    m.functions.into_iter().next().expect("one kernel per source")
+}
+
+/// One strategy's leg of a cell: committed artifact cost, committed VF
+/// multiset, and median compile microseconds.
+struct Leg {
+    cost: i64,
+    vfs: String,
+    micros: f64,
+}
+
+fn run_leg(proto: &Function, strategy: PackingStrategy, tm: &TargetSpec, reps: usize) -> Leg {
+    let cfg = VectorizerConfig { packing: strategy, ..VectorizerConfig::lslp() };
+    const BATCH: usize = 4;
+    let mut samples = Vec::with_capacity(reps);
+    let mut committed = (0, String::new());
+    for rep in 0..=reps {
+        let start = Instant::now();
+        for _ in 0..BATCH {
+            let mut f = proto.clone();
+            let rep_v = try_vectorize_function(&mut f, &cfg, tm).expect("bench kernels compile");
+            std::hint::black_box(&f);
+            let mut vfs: Vec<usize> =
+                rep_v.attempts.iter().filter(|a| a.vectorized).map(|a| a.vf).collect();
+            vfs.sort_unstable_by(|a, b| b.cmp(a));
+            let joined = vfs.iter().map(ToString::to_string).collect::<Vec<_>>().join("+");
+            committed =
+                (function_cost(&f, tm), if joined.is_empty() { "-".into() } else { joined });
+        }
+        let per = start.elapsed().as_nanos() as f64 / BATCH as f64 / 1000.0;
+        if rep > 0 {
+            samples.push(per);
+        }
+    }
+    samples.sort_by(f64::total_cmp);
+    Leg { cost: committed.0, vfs: committed.1, micros: samples[samples.len() / 2] }
+}
+
+struct Cell {
+    kernel: String,
+    target: String,
+    greedy: Leg,
+    global: Leg,
+}
+
+impl Cell {
+    /// `<` = global strictly cheaper, `>` = costlier (a bug), `=` = tie.
+    fn verdict(&self) -> &'static str {
+        match self.global.cost.cmp(&self.greedy.cost) {
+            std::cmp::Ordering::Less => "<",
+            std::cmp::Ordering::Greater => ">",
+            std::cmp::Ordering::Equal => "=",
+        }
+    }
+
+    fn overhead(&self) -> f64 {
+        self.global.micros / self.greedy.micros
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn emit_json(cells: &[Cell], reps: usize, smoke: bool, wins: usize, overhead_gm: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"ext_packing\",\n");
+    out.push_str(&format!("  \"reps\": {reps},\n  \"smoke\": {smoke},\n"));
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"target\": \"{}\", \
+             \"greedy_cost\": {}, \"global_cost\": {}, \
+             \"greedy_vfs\": \"{}\", \"global_vfs\": \"{}\", \
+             \"greedy_us\": {:.1}, \"global_us\": {:.1}, \
+             \"compile_overhead\": {:.3}, \"global_strictly_cheaper\": {}}}{}\n",
+            json_escape(&c.kernel),
+            json_escape(&c.target),
+            c.greedy.cost,
+            c.global.cost,
+            json_escape(&c.greedy.vfs),
+            json_escape(&c.global.vfs),
+            c.greedy.micros,
+            c.global.micros,
+            c.overhead(),
+            c.global.cost < c.greedy.cost,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"strict_wins\": {wins},\n"));
+    out.push_str(&format!("  \"geomean_compile_overhead\": {overhead_gm:.3}\n"));
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut out_path = "BENCH_ext_packing.json".to_string();
+    let mut reps = if smoke { 3 } else { 15 };
+    let mut only_target: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => {}
+            "--reps" => {
+                reps = it.next().and_then(|v| v.parse().ok()).expect("--reps takes a number")
+            }
+            "--out" => out_path = it.next().expect("--out takes a path").clone(),
+            "--target" => {
+                only_target = Some(it.next().expect("--target takes a name").clone());
+            }
+            other => {
+                eprintln!(
+                    "usage: ext_packing [--smoke] [--reps N] [--out PATH] [--target NAME] \
+                     (got `{other}`)"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let targets: Vec<TargetSpec> = TARGET_NAMES
+        .iter()
+        .filter(|n| only_target.as_deref().is_none_or(|o| o == **n))
+        .map(|n| TargetSpec::lookup(n).expect("registry name resolves"))
+        .collect();
+    if targets.is_empty() {
+        eprintln!(
+            "unknown --target `{}` (known targets: {})",
+            only_target.unwrap_or_default(),
+            TARGET_NAMES.join(", ")
+        );
+        std::process::exit(2);
+    }
+
+    let mut protos: Vec<(String, Function)> =
+        suite().iter().map(|k| (k.name.to_string(), k.compile())).collect();
+    protos.extend(TRAP_KERNELS.iter().map(|(n, src)| ((*n).to_string(), compile_slc(n, src))));
+
+    let mut cells = Vec::new();
+    for (name, proto) in &protos {
+        for tm in &targets {
+            let greedy = run_leg(proto, PackingStrategy::Greedy, tm, reps);
+            let global = run_leg(proto, PackingStrategy::Global, tm, reps);
+            cells.push(Cell { kernel: name.clone(), target: tm.name.to_string(), greedy, global });
+        }
+    }
+
+    let headers: Vec<String> =
+        ["Kernel", "Target", "greedy $", "global $", "", "greedy VFs", "global VFs", "time ×"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let table: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.kernel.clone(),
+                c.target.clone(),
+                c.greedy.cost.to_string(),
+                c.global.cost.to_string(),
+                c.verdict().to_string(),
+                c.greedy.vfs.clone(),
+                c.global.vfs.clone(),
+                format!("{:.2}", c.overhead()),
+            ]
+        })
+        .collect();
+    print!("{}", format_table(&headers, &table));
+
+    let wins = cells.iter().filter(|c| c.global.cost < c.greedy.cost).count();
+    let regressions: Vec<&Cell> = cells.iter().filter(|c| c.global.cost > c.greedy.cost).collect();
+    let overhead_gm = geomean(&cells.iter().map(Cell::overhead).collect::<Vec<_>>());
+    println!(
+        "cells: {} | strict global wins: {wins} | regressions: {} | \
+         geomean compile overhead (global/greedy): {overhead_gm:.3}",
+        cells.len(),
+        regressions.len()
+    );
+
+    std::fs::write(&out_path, emit_json(&cells, reps, smoke, wins, overhead_gm))
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("wrote {out_path}");
+
+    if smoke {
+        for c in &regressions {
+            eprintln!(
+                "REGRESSION: global packing costlier than greedy on {}/{} ({} > {})",
+                c.kernel, c.target, c.global.cost, c.greedy.cost
+            );
+        }
+        let mut fail = !regressions.is_empty();
+        if overhead_gm > 5.0 {
+            eprintln!(
+                "REGRESSION: global packing compile-time overhead {overhead_gm:.3} > 5.0 geomean"
+            );
+            fail = true;
+        }
+        if wins == 0 {
+            eprintln!("REGRESSION: no cell shows a strict global win (trap kernel regressed)");
+            fail = true;
+        }
+        if fail {
+            std::process::exit(1);
+        }
+    }
+}

@@ -47,6 +47,9 @@ pub struct Args {
     /// rollback-strategy spelling (`snapshot` | `differential`); `None`
     /// keeps the preset default (rollback with delta-log undo).
     pub guard: Option<String>,
+    /// Statement-packing strategy (`greedy` | `global`); `None` keeps the
+    /// preset default (greedy, the paper's per-lane-cheapest commit).
+    pub packing: Option<String>,
     /// Paranoid mode: differentially execute every committed transform
     /// against its pre-transform snapshot (slow).
     pub paranoid: bool,
@@ -91,6 +94,7 @@ impl Default for Args {
             compare: None,
             output: None,
             guard: None,
+            packing: None,
             paranoid: false,
             print_pass_times: false,
             stats: false,
@@ -150,6 +154,12 @@ OPTIONS:
                        snapshot (restore from a full clone; debug fallback)
                        or differential (delta rollback cross-checked
                        against a snapshot; panics on divergence)
+    --packing <NAME>   greedy | global — statement-packing strategy
+                       (default: greedy). greedy commits the cheapest
+                       per-lane VF at each seed position (the paper's
+                       algorithm); global plans whole pack sets per store
+                       chain by DP + branch-and-bound and is never
+                       costlier than greedy (see docs/PACKING.md)
     --paranoid         differentially execute every committed transform
                        against its pre-transform snapshot (slow)
     --print-pass-times print per-pass wall-clock timings (and total analysis
@@ -226,6 +236,15 @@ pub fn parse(argv: &[String]) -> Result<Args, ArgError> {
                     return Err(ArgError(format!("unknown --guard mode `{mode}`")));
                 }
                 args.guard = Some(mode);
+            }
+            "--packing" => {
+                let strategy = value_of("--packing")?;
+                if !matches!(strategy.as_str(), "greedy" | "global") {
+                    return Err(ArgError(format!(
+                        "unknown --packing strategy `{strategy}` (try greedy, global)"
+                    )));
+                }
+                args.packing = Some(strategy);
             }
             "--paranoid" => args.paranoid = true,
             "--print-pass-times" => args.print_pass_times = true,
@@ -340,6 +359,17 @@ mod tests {
         let d = p(&["k.slc"]).unwrap();
         assert_eq!(d.target, None, "default target is the library's choice");
         assert!(p(&["k.slc", "--target"]).unwrap_err().0.contains("requires a value"));
+    }
+
+    #[test]
+    fn packing_flag_parses_and_validates() {
+        let a = p(&["k.slc", "--packing", "global"]).unwrap();
+        assert_eq!(a.packing.as_deref(), Some("global"));
+        let d = p(&["k.slc"]).unwrap();
+        assert_eq!(d.packing, None, "default packing is the preset's choice");
+        let e = p(&["k.slc", "--packing", "exhaustive"]).unwrap_err();
+        assert!(e.0.contains("try greedy, global"), "{e}");
+        assert!(p(&["k.slc", "--packing"]).unwrap_err().0.contains("requires a value"));
     }
 
     #[test]

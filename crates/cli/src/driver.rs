@@ -28,6 +28,9 @@ fn options(args: &Args) -> Result<CompileOptions, LslpError> {
     if let Some(mode) = &args.guard {
         b = b.guard(mode);
     }
+    if let Some(strategy) = &args.packing {
+        b = b.packing(strategy);
+    }
     if args.paranoid {
         b = b.paranoid(true);
     }
@@ -99,12 +102,13 @@ fn emit_report(m: &Module, reports: &[PipelineReport]) -> String {
         for a in &r.attempts {
             let _ = writeln!(
                 out,
-                "  seed {} VF={} cost={} nodes={} gathers={} -> {}",
+                "  seed {} VF={} cost={} nodes={} gathers={} strategy={} -> {}",
                 a.seed,
                 a.vf,
                 a.cost,
                 a.nodes,
                 a.gathers,
+                a.strategy,
                 if a.vectorized { "vectorized" } else { "scalar" }
             );
         }
@@ -440,6 +444,39 @@ mod tests {
         ] {
             assert_eq!(run(extra), baseline, "guard flags {extra:?} changed the output");
         }
+    }
+
+    #[test]
+    fn packing_strategies_accepted_end_to_end() {
+        // A clean 4-lane kernel has one obviously-best packing, so both
+        // strategies land on the same IR (global ties and defers to
+        // greedy, so its attempts are greedy-tagged too).
+        let baseline = run(&[]);
+        assert_eq!(run(&["--packing", "greedy"]), baseline);
+        assert_eq!(run(&["--packing", "global"]), baseline);
+        let report = run(&["--emit", "report"]);
+        assert!(report.contains("strategy=greedy"), "{report}");
+    }
+
+    #[test]
+    fn global_packing_wins_the_greedy_trap_end_to_end() {
+        // Greedy pairs lanes 0–1 (dragging in the `x` gather) and locks
+        // out the clean 1–2 pair; the global planner takes 1–2 instead.
+        const TRAP: &str = "kernel trap(i64* A, i64* B, i64* C, i64 x, i64 y, i64 i) {
+                                A[i+0] = B[i+0] + x;
+                                A[i+1] = B[i+1] + C[i+1];
+                                A[i+2] = B[i+2] + C[i+2];
+                                A[i+3] = y;
+                            }";
+        let run_trap = |extra: &[&str]| {
+            let mut argv: Vec<String> = vec!["-".into()];
+            argv.extend(extra.iter().map(|s| s.to_string()));
+            run_on_source(&args::parse(&argv).unwrap(), TRAP).unwrap()
+        };
+        let report = run_trap(&["--packing", "global", "--emit", "report"]);
+        assert!(report.contains("strategy=global -> vectorized"), "{report}");
+        let greedy = run_trap(&["--emit", "report"]);
+        assert!(!greedy.contains("strategy=global"), "{greedy}");
     }
 
     #[test]

@@ -35,7 +35,7 @@ use lslp_analysis::AnalysisManager;
 use lslp_ir::Module;
 use lslp_target::{TargetParseError, TargetSpec};
 
-use crate::config::{ReorderKind, Sabotage, ScoreWeights, VectorizerConfig};
+use crate::config::{PackingStrategy, ReorderStrategy, Sabotage, ScoreWeights, VectorizerConfig};
 use crate::guard::{GuardMode, RollbackStrategy};
 use crate::pipeline::{try_run_pipeline_with, try_run_vectorize_only, PipelineReport};
 
@@ -255,6 +255,7 @@ pub struct CompileOptionsBuilder {
     time_budget_ms: Option<u64>,
     max_graph_nodes: Option<usize>,
     guard: Option<String>,
+    packing: Option<String>,
     paranoid: bool,
     throttle: Option<bool>,
     reductions: Option<bool>,
@@ -274,6 +275,7 @@ impl CompileOptionsBuilder {
             time_budget_ms: None,
             max_graph_nodes: None,
             guard: None,
+            packing: None,
             paranoid: false,
             throttle: None,
             reductions: None,
@@ -338,6 +340,15 @@ impl CompileOptionsBuilder {
         self
     }
 
+    /// Statement-packing strategy by name (`greedy` | `global`): greedy
+    /// per-lane-cheapest commit (the paper's algorithm, the default) or
+    /// goSLP-style global pack-set selection, which is never costlier
+    /// than greedy on the same input (see `docs/PACKING.md`).
+    pub fn packing(mut self, strategy: &str) -> Self {
+        self.packing = Some(strategy.to_string());
+        self
+    }
+
     /// Differentially execute every committed transform against its
     /// pre-transform snapshot (slow; requires the guard to be on).
     pub fn paranoid(mut self, on: bool) -> Self {
@@ -389,7 +400,7 @@ impl CompileOptionsBuilder {
         };
 
         // Reordering knobs only make sense where reordering happens.
-        let look_ahead_capable = cfg.reorder == ReorderKind::LookAhead;
+        let look_ahead_capable = cfg.reorder == ReorderStrategy::LookAhead;
         if self.look_ahead.is_some() && !look_ahead_capable {
             return Err(OptionsError::Inconsistent {
                 option: "look_ahead",
@@ -482,6 +493,20 @@ impl CompileOptionsBuilder {
                         .ok_or_else(|| OptionsError::UnknownGuard(mode.clone()))?;
                 }
             }
+        }
+        if let Some(p) = &self.packing {
+            // The knob parses like every other strategy knob
+            // (`ReorderStrategy`, `TargetSpec::parse`): exact lowercase
+            // spellings, typed error listing the alternatives.
+            if !cfg.enabled {
+                return Err(OptionsError::Inconsistent {
+                    option: "packing",
+                    why: format!("preset `{preset}` disables the vectorizer"),
+                });
+            }
+            cfg.packing = p
+                .parse::<PackingStrategy>()
+                .map_err(|e| OptionsError::BadValue { option: "packing", why: e.to_string() })?;
         }
         if self.paranoid && cfg.guard == GuardMode::Off {
             return Err(OptionsError::Inconsistent {
@@ -700,6 +725,33 @@ mod tests {
         let opts = CompileOptions::preset("LSLP").guard("strict").build().unwrap();
         assert_eq!(opts.config.guard, GuardMode::Strict);
         assert_eq!(opts.config.rollback, RollbackStrategy::Delta);
+    }
+
+    #[test]
+    fn packing_strategy_spellings_resolve() {
+        let opts = CompileOptions::preset("LSLP").packing("global").build().unwrap();
+        assert_eq!(opts.config.packing, PackingStrategy::Global);
+        let opts = CompileOptions::preset("LSLP").packing("greedy").build().unwrap();
+        assert_eq!(opts.config.packing, PackingStrategy::Greedy);
+        // Unset keeps the greedy default.
+        let opts = CompileOptions::preset("LSLP").build().unwrap();
+        assert_eq!(opts.config.packing, PackingStrategy::Greedy);
+    }
+
+    #[test]
+    fn bad_packing_spelling_is_a_typed_error() {
+        let err = CompileOptions::preset("LSLP").packing("Global").build().unwrap_err();
+        let Err(OptionsError::BadValue { option: "packing", why }) =
+            CompileOptions::preset("LSLP").packing("exhaustive").build()
+        else {
+            panic!("{err:?}");
+        };
+        assert!(why.contains("greedy, global"), "{why}");
+        // And a preset with the vectorizer off has nothing to pack.
+        assert!(matches!(
+            CompileOptions::preset("O3").packing("global").build(),
+            Err(OptionsError::Inconsistent { option: "packing", .. })
+        ));
     }
 
     #[test]

@@ -1,10 +1,37 @@
 //! Vectorizer configuration and the paper's named presets.
 
+use std::fmt;
+use std::str::FromStr;
+
 use crate::guard::{GuardMode, GuardPolicy, RollbackStrategy};
 
+/// A strategy knob was given an unknown spelling (the [`FromStr`] error of
+/// [`ReorderStrategy`] and [`PackingStrategy`]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseStrategyError {
+    /// Which knob rejected the spelling (`"reorder"` / `"packing"`).
+    pub knob: &'static str,
+    /// The rejected spelling.
+    pub given: String,
+    /// The legal spellings, comma-separated.
+    pub expected: &'static str,
+}
+
+impl fmt::Display for ParseStrategyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown {} strategy `{}` (try {})", self.knob, self.given, self.expected)
+    }
+}
+
+impl std::error::Error for ParseStrategyError {}
+
 /// Operand-reordering strategy for commutative instruction groups.
+///
+/// Round-trips through its kebab-case spelling like
+/// `lslp_target::TargetSpec::parse`/`spec_string`:
+/// `ReorderStrategy::from_str(s).unwrap().name() == s`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
-pub enum ReorderKind {
+pub enum ReorderStrategy {
     /// No reordering at all — the paper's `SLP-NR` configuration.
     NoReorder,
     /// Vanilla SLP reordering: per-lane swaps driven only by the immediate
@@ -14,6 +41,97 @@ pub enum ReorderKind {
     /// LSLP reordering: the single-pass, mode-tracking algorithm of
     /// Listing 5 with look-ahead tie-breaking (Listings 6–7).
     LookAhead,
+}
+
+impl ReorderStrategy {
+    /// The canonical kebab-case spelling ([`FromStr`] inverts it).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReorderStrategy::NoReorder => "no-reorder",
+            ReorderStrategy::Opcode => "opcode",
+            ReorderStrategy::LookAhead => "look-ahead",
+        }
+    }
+}
+
+impl fmt::Display for ReorderStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for ReorderStrategy {
+    type Err = ParseStrategyError;
+
+    fn from_str(s: &str) -> Result<ReorderStrategy, ParseStrategyError> {
+        match s {
+            "no-reorder" => Ok(ReorderStrategy::NoReorder),
+            "opcode" => Ok(ReorderStrategy::Opcode),
+            "look-ahead" => Ok(ReorderStrategy::LookAhead),
+            _ => Err(ParseStrategyError {
+                knob: "reorder",
+                given: s.to_string(),
+                expected: "no-reorder, opcode, look-ahead",
+            }),
+        }
+    }
+}
+
+/// Pre-rename spelling of [`ReorderStrategy`], kept so existing call sites
+/// keep compiling.
+#[deprecated(note = "renamed to `ReorderStrategy` for knob-naming coherence")]
+pub type ReorderKind = ReorderStrategy;
+
+/// Statement-packing strategy: how costed candidate packs are selected for
+/// commitment (see `lslp::packing` for the machinery).
+///
+/// Round-trips through its spelling like [`ReorderStrategy`]:
+/// `PackingStrategy::from_str(s).unwrap().name() == s`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum PackingStrategy {
+    /// The paper's greedy bottom-up commit: at each chain position, commit
+    /// the cheapest-per-lane profitable VF and restart.
+    #[default]
+    Greedy,
+    /// goSLP-style global selection: enumerate candidate packs across all
+    /// seed groups and legal VFs, pick a pack *set* by dynamic programming
+    /// over each seed-group chain (with a bounded branch-and-bound
+    /// refinement over inter-pack permutation penalties), and keep the
+    /// result only when it beats a trial greedy run on the same function —
+    /// never costlier than [`PackingStrategy::Greedy`].
+    Global,
+}
+
+impl PackingStrategy {
+    /// The canonical spelling ([`FromStr`] inverts it).
+    pub fn name(self) -> &'static str {
+        match self {
+            PackingStrategy::Greedy => "greedy",
+            PackingStrategy::Global => "global",
+        }
+    }
+}
+
+impl fmt::Display for PackingStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for PackingStrategy {
+    type Err = ParseStrategyError;
+
+    fn from_str(s: &str) -> Result<PackingStrategy, ParseStrategyError> {
+        match s {
+            "greedy" => Ok(PackingStrategy::Greedy),
+            "global" => Ok(PackingStrategy::Global),
+            _ => Err(ParseStrategyError {
+                knob: "packing",
+                given: s.to_string(),
+                expected: "greedy, global",
+            }),
+        }
+    }
 }
 
 /// How look-ahead sub-scores are aggregated (paper footnote 4).
@@ -86,6 +204,12 @@ pub enum Sabotage {
     /// pipeline-idempotence oracle (a clean recompile removes code the
     /// sabotaged compile left behind).
     SkipFinalDce,
+    /// Make [`PackingStrategy::Global`] commit the *empty* pack set and
+    /// skip its greedy-trial floor — the maximal-cost legal pack set, since
+    /// every profitable pack has negative cost. The code stays correct but
+    /// the artifact is costlier than greedy's on any vectorizable input:
+    /// caught by the packing-quality oracle.
+    CommitWorstPackSet,
 }
 
 /// Full configuration of the (L)SLP pass.
@@ -104,8 +228,12 @@ pub struct VectorizerConfig {
     /// baseline, which has all vectorizers disabled).
     pub enabled: bool,
     /// Operand reordering strategy.
-    pub reorder: ReorderKind,
-    /// Maximum look-ahead depth for [`ReorderKind::LookAhead`]
+    pub reorder: ReorderStrategy,
+    /// Statement-packing strategy: greedy per-lane-cheapest commit (the
+    /// paper's algorithm, the default) or goSLP-style global pack-set
+    /// selection (see `lslp::packing`).
+    pub packing: PackingStrategy,
+    /// Maximum look-ahead depth for [`ReorderStrategy::LookAhead`]
     /// (the paper uses 8 by default and sweeps 0–4 in §5.3).
     pub la_depth: u32,
     /// Maximum number of chained commutative instructions collected into a
@@ -168,7 +296,8 @@ impl VectorizerConfig {
     fn base() -> VectorizerConfig {
         VectorizerConfig {
             enabled: true,
-            reorder: ReorderKind::Opcode,
+            reorder: ReorderStrategy::Opcode,
+            packing: PackingStrategy::Greedy,
             la_depth: 0,
             max_multinode_insts: 1,
             max_vf: 16,
@@ -196,7 +325,7 @@ impl VectorizerConfig {
 
     /// `SLP-NR`: vanilla SLP with operand reordering disabled.
     pub fn slp_nr() -> VectorizerConfig {
-        VectorizerConfig { reorder: ReorderKind::NoReorder, ..Self::base() }
+        VectorizerConfig { reorder: ReorderStrategy::NoReorder, ..Self::base() }
     }
 
     /// `SLP`: vanilla bottom-up SLP with opcode-based reordering.
@@ -207,7 +336,7 @@ impl VectorizerConfig {
     /// `LSLP`: multi-node formation plus look-ahead reordering (depth 8).
     pub fn lslp() -> VectorizerConfig {
         VectorizerConfig {
-            reorder: ReorderKind::LookAhead,
+            reorder: ReorderStrategy::LookAhead,
             la_depth: 8,
             max_multinode_insts: usize::MAX,
             ..Self::base()
@@ -268,14 +397,40 @@ mod tests {
     #[test]
     fn presets_match_paper_semantics() {
         assert!(!VectorizerConfig::o3().enabled);
-        assert_eq!(VectorizerConfig::slp_nr().reorder, ReorderKind::NoReorder);
+        assert_eq!(VectorizerConfig::slp_nr().reorder, ReorderStrategy::NoReorder);
         let slp = VectorizerConfig::slp();
-        assert_eq!(slp.reorder, ReorderKind::Opcode);
+        assert_eq!(slp.reorder, ReorderStrategy::Opcode);
         assert_eq!(slp.max_multinode_insts, 1);
         let lslp = VectorizerConfig::lslp();
-        assert_eq!(lslp.reorder, ReorderKind::LookAhead);
+        assert_eq!(lslp.reorder, ReorderStrategy::LookAhead);
         assert_eq!(lslp.la_depth, 8);
         assert_eq!(lslp.max_multinode_insts, usize::MAX);
+        // Every preset keeps the paper's greedy packing as the default.
+        assert_eq!(lslp.packing, PackingStrategy::Greedy);
+    }
+
+    #[test]
+    fn strategy_knobs_round_trip_their_spellings() {
+        for r in [ReorderStrategy::NoReorder, ReorderStrategy::Opcode, ReorderStrategy::LookAhead] {
+            assert_eq!(r.name().parse::<ReorderStrategy>().unwrap(), r);
+            assert_eq!(r.to_string(), r.name());
+        }
+        for p in [PackingStrategy::Greedy, PackingStrategy::Global] {
+            assert_eq!(p.name().parse::<PackingStrategy>().unwrap(), p);
+            assert_eq!(p.to_string(), p.name());
+        }
+        let err = "lookahead".parse::<ReorderStrategy>().unwrap_err();
+        assert_eq!(err.knob, "reorder");
+        let err = "Global".parse::<PackingStrategy>().unwrap_err();
+        assert_eq!(err.knob, "packing");
+        assert!(err.to_string().contains("greedy, global"), "{err}");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_reorder_kind_alias_still_compiles() {
+        let k: ReorderKind = ReorderStrategy::Opcode;
+        assert_eq!(k, ReorderStrategy::Opcode);
     }
 
     #[test]
@@ -292,6 +447,7 @@ mod tests {
     #[test]
     fn default_is_lslp() {
         let d = VectorizerConfig::default();
-        assert_eq!(d.reorder, ReorderKind::LookAhead);
+        assert_eq!(d.reorder, ReorderStrategy::LookAhead);
+        assert_eq!(d.packing, PackingStrategy::Greedy);
     }
 }

@@ -62,6 +62,7 @@ pub mod fold;
 pub mod graph;
 pub mod guard;
 pub mod multinode;
+pub mod packing;
 pub mod pass;
 pub mod pipeline;
 pub mod pm;
@@ -77,11 +78,17 @@ pub use api::{
     Artifact, CompileOptions, CompileOptionsBuilder, ErrorClass, LslpError, OptionsError, Session,
 };
 pub use codegen::CodegenStats;
-pub use config::{ReorderKind, Sabotage, ScoreAgg, ScoreWeights, VectorizerConfig};
+#[allow(deprecated)]
+pub use config::ReorderKind;
+pub use config::{
+    PackingStrategy, ParseStrategyError, ReorderStrategy, Sabotage, ScoreAgg, ScoreWeights,
+    VectorizerConfig,
+};
 pub use cost::{graph_cost, graph_cost_excluding, graph_cost_reachable, CostReport};
 pub use graph::{GatherReason, GraphBuilder, Node, NodeId, NodeKind, Placement, SlpGraph};
 pub use guard::{GuardError, GuardMode, GuardPolicy, Incident, IncidentKind, RollbackStrategy};
 pub use lslp_analysis::{AnalysisKind, AnalysisManager, CacheStats, PreservedAnalyses};
+pub use packing::{function_cost, GlobalStrategy, GreedyStrategy, PackCx, Strategy};
 pub use pass::{
     try_vectorize_function, try_vectorize_function_with, vectorize_function, vectorize_module,
     Attempt, VectorizeReport,

@@ -1,23 +1,23 @@
 //! The vectorization pass driver (paper Figure 1).
 //!
-//! Finds seed store chains, builds the (L)SLP graph per seed group,
-//! evaluates the cost, generates vector code when profitable, removes the
-//! group and repeats until no seed vectorizes, then sweeps dead scalars.
+//! Finds seed store chains and hands pack selection to the configured
+//! [`crate::packing::Strategy`] (greedy per-lane-cheapest by default, or
+//! the global DP/branch-and-bound planner), then runs reduction
+//! vectorization, sweeps dead scalars, and verifies against the scalar
+//! fallback anchor.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
-use lslp_analysis::{AddrInfo, AnalysisManager};
+use lslp_analysis::AnalysisManager;
 use lslp_ir::{Function, InstAttr, Module, Opcode, Type, ValueId};
 use lslp_target::CostModel;
 
-use crate::codegen::{self, CodegenStats};
-use crate::config::{Sabotage, VectorizerConfig};
-use crate::cost::graph_cost;
+use crate::codegen::CodegenStats;
+use crate::config::{PackingStrategy, Sabotage, VectorizerConfig};
 use crate::dce;
-use crate::graph::{GraphBuilder, NodeKind};
 use crate::guard::{self, GuardError, GuardMode, Incident, IncidentKind};
-use crate::seeds::collect_store_chains;
+use crate::packing::{strategy_for, PackCx};
 
 /// One attempted seed group.
 #[derive(Clone, Debug)]
@@ -34,6 +34,9 @@ pub struct Attempt {
     pub gathers: usize,
     /// Whether vector code was generated.
     pub vectorized: bool,
+    /// Which packing strategy costed (and, when `vectorized`, committed)
+    /// this candidate.
+    pub strategy: PackingStrategy,
 }
 
 /// The result of running the pass over one function.
@@ -69,32 +72,10 @@ pub struct VectorizeReport {
 }
 
 impl VectorizeReport {
-    fn absorb(&mut self, s: &CodegenStats) {
+    pub(crate) fn absorb(&mut self, s: &CodegenStats) {
         self.stats.vector_insts += s.vector_insts;
         self.stats.extracts += s.extracts;
         self.stats.stores_deleted += s.stores_deleted;
-    }
-}
-
-fn seed_desc(f: &Function, addr: &AddrInfo, bundle: &[ValueId]) -> String {
-    let Some(loc) = addr.loc(bundle[0]) else {
-        return format!("{} stores", bundle.len());
-    };
-    let base = f
-        .value_name(loc.addr.base)
-        .map(str::to_owned)
-        .unwrap_or_else(|| format!("%{}", loc.addr.base.raw()));
-    let lo = loc.addr.offset.konst;
-    let hi = lo + (bundle.len() as i64) * loc.bytes as i64;
-    format!("{base}[+{lo}..+{hi})")
-}
-
-/// Largest power of two ≤ `n`.
-fn pow2_floor(n: usize) -> usize {
-    if n == 0 {
-        0
-    } else {
-        1 << (usize::BITS - 1 - n.leading_zeros())
     }
 }
 
@@ -152,33 +133,6 @@ pub fn try_vectorize_function(
     try_vectorize_function_with(f, cfg, tm, &mut AnalysisManager::new())
 }
 
-/// Check the wall-clock compile budget; flips `fuel_spent` and records one
-/// [`IncidentKind::FuelExhausted`] incident the first time it trips.
-fn fuel_check(
-    deadline: Option<Instant>,
-    cfg: &VectorizerConfig,
-    fuel_spent: &mut bool,
-    incidents: &mut Vec<Incident>,
-) -> Result<(), GuardError> {
-    if *fuel_spent || deadline.is_none_or(|d| Instant::now() <= d) {
-        return Ok(());
-    }
-    *fuel_spent = true;
-    guard::record(
-        cfg.guard,
-        incidents,
-        Incident {
-            pass: "vectorize".into(),
-            seed: None,
-            kind: IncidentKind::FuelExhausted,
-            detail: format!(
-                "time budget of {}ms exhausted; remaining seeds skipped",
-                cfg.time_budget_ms.unwrap_or(0)
-            ),
-        },
-    )
-}
-
 /// [`try_vectorize_function`], pulling analyses from `am`'s epoch-keyed
 /// cache: each restart of the seed loop re-queries the manager, which
 /// recomputes only what a committed transformation invalidated (a
@@ -219,177 +173,20 @@ pub fn try_vectorize_function_with(
         Anchor::Snapshot(Box::new(f.clone()))
     };
 
-    let mut tried: HashSet<Vec<ValueId>> = HashSet::new();
+    // Pack selection: everything between seeding and the reduction pass
+    // lives behind the `PackingStrategy` seam (see `crate::packing`).
     let mut fuel_spent = false;
-    'restart: loop {
-        let addr = am.addr_info(f);
-        let chains = collect_store_chains(f, &addr);
-        let positions = am.positions(f);
-        let use_map = am.use_map(f);
-        for chain in &chains {
-            let Some(elem) = f.ty(f.args_of(chain.stores[0])[0]).elem() else {
-                // A store whose stored value has no element type (void):
-                // nothing we could widen. Skip the chain and record it.
-                let bundle = chain.stores.clone();
-                if tried.insert(bundle.clone()) {
-                    guard::record(
-                        cfg.guard,
-                        &mut report.incidents,
-                        Incident {
-                            pass: "vectorize".into(),
-                            seed: Some(seed_desc(f, &addr, &bundle)),
-                            kind: IncidentKind::UnsupportedSeed,
-                            detail: "stored value has no element type".into(),
-                        },
-                    )?;
-                }
-                continue;
-            };
-            let max_vf = (tm.max_vf(elem) as usize).min(cfg.max_vf as usize);
-            let mut i = 0;
-            while i < chain.len() {
-                fuel_check(deadline, cfg, &mut fuel_spent, &mut report.incidents)?;
-                if fuel_spent {
-                    break 'restart;
-                }
-                let remaining = chain.len() - i;
-                // VF exploration: instead of committing to the widest
-                // legal factor, cost a candidate graph at *every* legal
-                // power-of-two VF (widest first, so the report reads
-                // top-down) and commit the cheapest per-lane profitable
-                // one — ties go to the wider factor, which keeps the
-                // default target's widest-first decisions intact.
-                let mut candidates: Vec<(usize, Vec<ValueId>, i64, usize)> = Vec::new();
-                let mut vf = pow2_floor(remaining.min(max_vf));
-                while vf >= 2 {
-                    // The deadline must also bound the exploration: a wide
-                    // chain costed at every factor would otherwise overrun
-                    // the budget inside this loop.
-                    fuel_check(deadline, cfg, &mut fuel_spent, &mut report.incidents)?;
-                    if fuel_spent {
-                        break 'restart;
-                    }
-                    let bundle = chain.stores[i..i + vf].to_vec();
-                    if tried.insert(bundle.clone()) {
-                        // Rendered lazily: on evaluation inside the attempt
-                        // (for the report), on rollback by the guard (for
-                        // the incident) — never both, never for free.
-                        let desc = |f: &Function| seed_desc(f, &addr, &bundle);
-                        let eval = guard::run_guarded(
-                            f,
-                            cfg.guard_policy(),
-                            "vectorize",
-                            Some(&desc as guard::SeedDesc),
-                            &mut report.incidents,
-                            |f| {
-                                let mut graph =
-                                    GraphBuilder::new(f, cfg, tm, &addr, &positions, &use_map)
-                                        .build(&bundle);
-                                if cfg.throttle {
-                                    crate::throttle::throttle(f, &mut graph, tm, &use_map);
-                                }
-                                let cost = graph_cost(f, &graph, tm, &use_map);
-                                let gathers =
-                                    graph.nodes().iter().filter(|n| !n.is_vectorizable()).count();
-                                let reasons: Vec<String> = graph
-                                    .nodes()
-                                    .iter()
-                                    .filter_map(|n| match &n.kind {
-                                        NodeKind::Gather { reason } => Some(reason.to_string()),
-                                        _ => None,
-                                    })
-                                    .collect();
-                                let attempt = Attempt {
-                                    seed: seed_desc(f, &addr, &bundle),
-                                    vf,
-                                    cost: cost.total,
-                                    nodes: graph.nodes().len(),
-                                    gathers,
-                                    vectorized: false,
-                                };
-                                let truncated = graph.budget_exhausted();
-                                // Costing only: nothing is mutated here.
-                                ((attempt, truncated, reasons), false)
-                            },
-                        )?;
-                        if let Some((attempt, truncated, reasons)) = eval {
-                            for r in reasons {
-                                *report.gather_reasons.entry(r).or_insert(0) += 1;
-                            }
-                            if truncated {
-                                guard::record(
-                                    cfg.guard,
-                                    &mut report.incidents,
-                                    Incident {
-                                        pass: "vectorize".into(),
-                                        seed: Some(attempt.seed.clone()),
-                                        kind: IncidentKind::FuelExhausted,
-                                        detail: format!(
-                                            "graph truncated at {} nodes",
-                                            cfg.max_graph_nodes
-                                        ),
-                                    },
-                                )?;
-                            }
-                            let cost = attempt.cost;
-                            let idx = report.attempts.len();
-                            report.attempts.push(attempt);
-                            if cost < cfg.cost_threshold {
-                                candidates.push((vf, bundle, cost, idx));
-                            }
-                        }
-                        // A rolled-back evaluation: the seed stays in
-                        // `tried`, so the pass moves on to narrower VFs.
-                    }
-                    vf /= 2;
-                }
-                // Cheapest per-lane cost first (cross-multiplied to stay
-                // in integers); ties prefer the wider factor.
-                candidates.sort_by(|a, b| {
-                    (a.2 * b.0 as i64).cmp(&(b.2 * a.0 as i64)).then(b.0.cmp(&a.0))
-                });
-                if cfg.sabotage == Sabotage::CommitWorstVf {
-                    // Fault injection: prefer the most expensive per-lane
-                    // candidate, which the cross-VF oracle must flag.
-                    candidates.reverse();
-                }
-                for (_, bundle, cost, attempt_idx) in &candidates {
-                    let desc = |f: &Function| seed_desc(f, &addr, bundle);
-                    let committed = guard::run_guarded(
-                        f,
-                        cfg.guard_policy(),
-                        "vectorize",
-                        Some(&desc as guard::SeedDesc),
-                        &mut report.incidents,
-                        |f| {
-                            // Rebuild the winning graph on the unchanged
-                            // function state (builds are deterministic).
-                            let mut graph =
-                                GraphBuilder::new(f, cfg, tm, &addr, &positions, &use_map)
-                                    .build(bundle);
-                            if cfg.throttle {
-                                crate::throttle::throttle(f, &mut graph, tm, &use_map);
-                            }
-                            let stats = codegen::generate_with(f, &graph, tm, am);
-                            if cfg.sabotage == Sabotage::SwapShuffleMask {
-                                sabotage_swap_mask(f);
-                            }
-                            (stats, true)
-                        },
-                    )?;
-                    if let Some(stats) = committed {
-                        report.attempts[*attempt_idx].vectorized = true;
-                        report.absorb(&stats);
-                        report.applied_cost += cost;
-                        report.trees_vectorized += 1;
-                        continue 'restart;
-                    }
-                    // Rolled back: fall through to the next-best VF.
-                }
-                i += 1;
-            }
-        }
-        break;
+    {
+        let mut cx = PackCx {
+            f: &mut *f,
+            cfg,
+            tm,
+            am,
+            report: &mut report,
+            deadline,
+            fuel_spent: &mut fuel_spent,
+        };
+        strategy_for(cfg.packing).run(&mut cx)?;
     }
     if cfg.enable_reductions {
         let reds = guard::run_guarded(
@@ -477,7 +274,7 @@ pub fn try_vectorize_function_with(
 /// type-correct) but silently permutes the first two stored lanes —
 /// exactly the class of wrong-code bug the execution oracles exist to
 /// catch. Test-only.
-fn sabotage_swap_mask(f: &mut Function) {
+pub(crate) fn sabotage_swap_mask(f: &mut Function) {
     let already_swapped = |f: &Function, val: ValueId| {
         f.inst(val).is_some_and(|i| {
             i.op == Opcode::ShuffleVector
@@ -598,17 +395,6 @@ mod tests {
         let mut f = axpy_kernel(2);
         let report = vectorize_function(&mut f, &VectorizerConfig::lslp(), &CostModel::default());
         assert_eq!(report.attempts[0].seed, "A[+0..+16)");
-    }
-
-    #[test]
-    fn pow2_floor_values() {
-        assert_eq!(pow2_floor(0), 0);
-        assert_eq!(pow2_floor(1), 1);
-        assert_eq!(pow2_floor(2), 2);
-        assert_eq!(pow2_floor(3), 2);
-        assert_eq!(pow2_floor(4), 4);
-        assert_eq!(pow2_floor(7), 4);
-        assert_eq!(pow2_floor(8), 8);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! `final_order` array of paper Listing 5: operands assigned to slots so
 //! that each slot's lane values form the next vectorization candidates.
 //!
-//! Three strategies (selected by [`ReorderKind`]):
+//! Three strategies (selected by [`ReorderStrategy`]):
 //!
 //! * **NoReorder** (`SLP-NR`): keep the original order.
 //! * **Opcode** (vanilla SLP): a per-lane swap of the two operands when the
@@ -20,7 +20,7 @@
 use lslp_analysis::AddrInfo;
 use lslp_ir::{Function, Opcode, ValueId};
 
-use crate::config::{ReorderKind, VectorizerConfig};
+use crate::config::{ReorderStrategy, VectorizerConfig};
 use crate::score::{consecutive_or_match, la_score_weighted};
 
 /// Per-slot search state (paper Table 1).
@@ -225,9 +225,9 @@ pub fn reorder_operands(
     cfg: &VectorizerConfig,
 ) -> Vec<Vec<ValueId>> {
     match cfg.reorder {
-        ReorderKind::NoReorder => reorder_none(lane_operands),
-        ReorderKind::Opcode => reorder_vanilla(f, addr, lane_operands),
-        ReorderKind::LookAhead => reorder_lookahead(f, addr, lane_operands, cfg),
+        ReorderStrategy::NoReorder => reorder_none(lane_operands),
+        ReorderStrategy::Opcode => reorder_vanilla(f, addr, lane_operands),
+        ReorderStrategy::LookAhead => reorder_lookahead(f, addr, lane_operands, cfg),
     }
 }
 

@@ -151,7 +151,7 @@ pub fn check_bytes(
     }
 }
 
-/// Replay one reproducer file through all four oracles.
+/// Replay one reproducer file through all five oracles.
 ///
 /// # Errors
 ///

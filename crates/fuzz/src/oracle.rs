@@ -1,4 +1,4 @@
-//! The four correctness oracles, run on every generated program.
+//! The five correctness oracles, run on every generated program.
 //!
 //! 1. **Differential execution** — the vectorized function must compute
 //!    the same memory state as the scalar original, on every target and
@@ -20,10 +20,16 @@
 //! 4. **Pipeline idempotence** — printing the vectorized function,
 //!    re-parsing it, and recompiling it with a clean configuration must be
 //!    a fixpoint (the restart loop already compiles to one).
+//! 5. **Packing quality** — recompiling with the `global` packing
+//!    strategy must never produce a costlier artifact than `greedy`
+//!    (by [`lslp::function_cost`] on the committed IR), and the
+//!    globally-packed artifact must itself match the scalar reference.
+//!    The global portfolio falls back to greedy whenever its trial plan
+//!    does not strictly win, so any regression here is a planner bug.
 
 use lslp::{
-    try_run_pipeline, try_vectorize_function, GuardMode, Sabotage, VectorizeReport,
-    VectorizerConfig,
+    function_cost, try_run_pipeline, try_vectorize_function, GuardMode, PackingStrategy, Sabotage,
+    VectorizeReport, VectorizerConfig,
 };
 use lslp_ir::{parse_function, print_function, Function};
 use lslp_target::TargetSpec;
@@ -47,6 +53,9 @@ pub enum OracleKind {
     CrossVf,
     /// Recompiling the emitted IR was not a fixpoint.
     Idempotence,
+    /// Global packing produced a costlier (or incorrect) artifact than
+    /// greedy.
+    PackingQuality,
 }
 
 impl OracleKind {
@@ -57,6 +66,7 @@ impl OracleKind {
             OracleKind::Metamorphic => "metamorphic",
             OracleKind::CrossVf => "crossvf",
             OracleKind::Idempotence => "idempotence",
+            OracleKind::PackingQuality => "packing",
         }
     }
 }
@@ -253,6 +263,58 @@ fn check_on_target(
 
     // Oracle 4: pipeline idempotence.
     check_idempotence(&f_vo, base, tm, out, &mut violate);
+
+    // Oracle 5: packing quality (global vs the greedy artifact above).
+    check_packing_quality(p, &cfg, tm, salt, scalar, exact, &f_vo, out, &mut violate);
+}
+
+/// Oracle 5: recompile with [`PackingStrategy::Global`] and hold the
+/// artifact to two invariants — never costlier than the greedy artifact
+/// (the portfolio's greedy floor), and still differentially correct
+/// against the scalar reference. A strict win is recorded as coverage.
+#[allow(clippy::too_many_arguments)]
+fn check_packing_quality(
+    p: &Program,
+    cfg: &VectorizerConfig,
+    tm: &TargetSpec,
+    salt: u64,
+    scalar: &Captured,
+    exact: bool,
+    f_vo: &Function,
+    out: &mut CheckOutcome,
+    violate: &mut impl FnMut(&mut CheckOutcome, OracleKind, String),
+) {
+    let mut f_gl = p.function.clone();
+    let gcfg = VectorizerConfig { packing: PackingStrategy::Global, ..cfg.clone() };
+    if let Err(e) = try_vectorize_function(&mut f_gl, &gcfg, tm) {
+        violate(out, OracleKind::PackingQuality, format!("global compile aborted: {e}"));
+        return;
+    }
+    let greedy_cost = function_cost(f_vo, tm);
+    let global_cost = function_cost(&f_gl, tm);
+    if global_cost > greedy_cost {
+        violate(
+            out,
+            OracleKind::PackingQuality,
+            format!("global artifact costs {global_cost}, greedy costs {greedy_cost}"),
+        );
+    } else if global_cost < greedy_cost {
+        out.signature.push(format!("t:{}/packing-global-win", tm.name));
+    }
+    // A cheaper artifact only counts if it is still correct: the global
+    // leg must pass the same differential bar as the greedy one.
+    match run_capture(&f_gl, &p.plan, p.min_len, salt) {
+        Ok(cap) => {
+            if let Some(d) = compare(scalar, &cap, exact) {
+                violate(
+                    out,
+                    OracleKind::PackingQuality,
+                    format!("global-packed output diverged: {d}"),
+                );
+            }
+        }
+        Err(e) => violate(out, OracleKind::PackingQuality, format!("global-packed leg {e}")),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]

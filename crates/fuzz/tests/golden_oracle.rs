@@ -3,13 +3,15 @@
 //!
 //! An oracle that never fires is indistinguishable from one that is
 //! wired up wrong; each sabotage variant here is paired with the oracle
-//! kinds designed to catch it, and the union of the three variants
-//! covers all four oracles:
+//! kinds designed to catch it, and the union of the four variants
+//! covers all five oracles:
 //!
 //! * `SwapShuffleMask` (lane-swapped vector store) → differential and,
 //!   for float programs, metamorphic;
 //! * `CommitWorstVf` (reversed candidate order) → cross-VF consistency;
-//! * `SkipFinalDce` (dead scalars survive) → pipeline idempotence.
+//! * `SkipFinalDce` (dead scalars survive) → pipeline idempotence;
+//! * `CommitWorstPackSet` (global planner commits nothing) → packing
+//!   quality.
 
 use lslp::{CompileOptions, Sabotage, Session, VectorizerConfig};
 use lslp_fuzz::{
@@ -94,18 +96,32 @@ fn skipping_final_dce_trips_idempotence() {
     );
 }
 
+#[test]
+fn committing_the_worst_pack_set_trips_packing_quality() {
+    // Under `CommitWorstPackSet` the global planner commits nothing, so
+    // its artifact stays scalar while greedy's vectorizes — a strictly
+    // costlier global artifact, exactly what the oracle polices.
+    let kinds = kinds_under(&axpy_plan(true), Sabotage::CommitWorstPackSet);
+    assert!(
+        kinds.contains(&OracleKind::PackingQuality),
+        "packing quality missed the empty commit: {kinds:?}"
+    );
+}
+
 /// Together the planted bugs exercise every oracle the fuzzer runs.
 #[test]
-fn sabotage_union_covers_all_four_oracles() {
+fn sabotage_union_covers_all_five_oracles() {
     let mut seen = Vec::new();
     seen.extend(kinds_under(&axpy_plan(false), Sabotage::SwapShuffleMask));
     seen.extend(kinds_under(&axpy_plan(true), Sabotage::CommitWorstVf));
     seen.extend(kinds_under(&axpy_plan(true), Sabotage::SkipFinalDce));
+    seen.extend(kinds_under(&axpy_plan(true), Sabotage::CommitWorstPackSet));
     for kind in [
         OracleKind::Differential,
         OracleKind::Metamorphic,
         OracleKind::CrossVf,
         OracleKind::Idempotence,
+        OracleKind::PackingQuality,
     ] {
         assert!(seen.contains(&kind), "no sabotage variant reached {kind:?}");
     }

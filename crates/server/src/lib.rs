@@ -583,7 +583,7 @@ fn request_cache_key(req: &CompileRequest, shared: &Shared) -> (u64, String) {
 }
 
 /// The ordered key-material segments of [`request_cache_key`].
-fn request_key_parts<'a>(req: &'a CompileRequest, budget_ms: &'a str) -> [&'a str; 7] {
+fn request_key_parts<'a>(req: &'a CompileRequest, budget_ms: &'a str) -> [&'a str; 8] {
     [
         req.src.as_str(),
         req.config.as_str(),
@@ -594,6 +594,7 @@ fn request_key_parts<'a>(req: &'a CompileRequest, budget_ms: &'a str) -> [&'a st
             Emit::Report => "report",
         },
         req.guard.as_deref().unwrap_or("-"),
+        req.packing.as_deref().unwrap_or("-"),
         budget_ms,
     ]
 }
@@ -646,6 +647,9 @@ fn compile_request(req: &CompileRequest, shared: &Shared, am: &mut AnalysisManag
     }
     if let Some(mode) = &req.guard {
         builder = builder.guard(mode);
+    }
+    if let Some(p) = &req.packing {
+        builder = builder.packing(p);
     }
     if !req.pipeline {
         builder = builder.vectorize_only();
@@ -843,6 +847,28 @@ mod tests {
     }
 
     #[test]
+    fn packing_participates_in_the_cache_key() {
+        // Same source under greedy and global packing: distinct cache
+        // entries, even when the artifacts agree (the strategy changes
+        // what the compiler *may* emit, so it must key the cache).
+        let s = shared();
+        let greedy = run(&CompileRequest::new(SRC), &s);
+        let global =
+            run(&CompileRequest { packing: Some("global".into()), ..CompileRequest::new(SRC) }, &s);
+        assert_eq!(greedy.field("cached"), Some("miss"));
+        assert_eq!(global.field("cached"), Some("miss"), "different packing is a different key");
+        assert_ne!(greedy.field("key"), global.field("key"));
+        assert!(global.ok, "{global:?}");
+        assert!(global.payload.contains("<4 x f64>"), "{}", global.payload);
+        assert_eq!(s.registry.get("server", "cache-misses"), 2);
+        // Both repeat warm against their own entries.
+        let again =
+            run(&CompileRequest { packing: Some("global".into()), ..CompileRequest::new(SRC) }, &s);
+        assert_eq!(again.field("cached"), Some("hit"));
+        assert_eq!(again.payload, global.payload);
+    }
+
+    #[test]
     fn unknown_target_is_a_config_error() {
         let s = shared();
         let r =
@@ -859,14 +885,14 @@ mod tests {
     #[test]
     fn hello_negotiates_the_protocol_version() {
         let s = shared();
-        let ok = control("HELLO proto=4", &s);
+        let ok = control("HELLO proto=5", &s);
         assert!(ok.ok, "{ok:?}");
-        assert_eq!(ok.field("proto"), Some("4"));
+        assert_eq!(ok.field("proto"), Some("5"));
         assert_eq!(ok.payload, "lslpd");
-        for older in ["HELLO proto=1", "HELLO proto=2", "HELLO proto=3"] {
+        for older in ["HELLO proto=1", "HELLO proto=2", "HELLO proto=3", "HELLO proto=4"] {
             let r = control(older, &s);
             assert!(r.ok, "older versions are spoken too: {r:?}");
-            assert_eq!(r.field("proto"), Some("4"), "server always states its own version");
+            assert_eq!(r.field("proto"), Some("5"), "server always states its own version");
         }
         for bad in ["HELLO proto=99", "HELLO proto=0"] {
             let r = control(bad, &s);

@@ -18,6 +18,7 @@
 //!           | "pipeline=" 0|1     (full scalar+vector pipeline, default 1)
 //!           | "emit=" ir|report   (default ir)
 //!           | "guard=" off|rollback|strict|snapshot|differential
+//!           | "packing=" greedy|global  (v5: statement-packing strategy)
 //!           | "timeout-ms=" N    (compile budget, default server-wide)
 //!           | "tag=" TOKEN       (v4: pipelining tag, echoed in the response)
 //! response := "OK" (SP field)* SP "out=" escaped-payload
@@ -54,8 +55,9 @@ use std::fmt::Write as _;
 /// 2 = adds the `HELLO` handshake and the `target=` compile option;
 /// 3 = adds the `HEALTH` readiness verb;
 /// 4 = adds the `tag=` compile option and out-of-order tagged responses
-/// (request pipelining / multiplexing).
-pub const PROTOCOL_VERSION: u32 = 4;
+/// (request pipelining / multiplexing);
+/// 5 = adds the `packing=` compile option (statement-packing strategy).
+pub const PROTOCOL_VERSION: u32 = 5;
 
 /// Maximum length of a pipelining tag.
 pub const MAX_TAG_LEN: usize = 64;
@@ -200,6 +202,11 @@ pub struct CompileRequest {
     /// delta-log undo). Also accepts the rollback-strategy spellings
     /// `snapshot` and `differential`.
     pub guard: Option<String>,
+    /// Statement-packing strategy (v5): `greedy` | `global`; `None` keeps
+    /// the preset default (greedy). Changes the artifact, so it
+    /// participates in the result-cache key. Validated at parse time —
+    /// an unknown spelling is `ERR kind=proto`.
+    pub packing: Option<String>,
     /// Per-request compile budget in milliseconds (`None` = the server's
     /// default). Fed into the guard's time-budget fuel, so a pathological
     /// input degrades to (partially) scalar output instead of stalling a
@@ -222,6 +229,7 @@ impl Default for CompileRequest {
             pipeline: true,
             emit: Emit::Ir,
             guard: None,
+            packing: None,
             timeout_ms: None,
             tag: None,
             src: String::new(),
@@ -257,6 +265,9 @@ impl CompileRequest {
         }
         if let Some(g) = &self.guard {
             let _ = write!(buf, " guard={g}");
+        }
+        if let Some(p) = &self.packing {
+            let _ = write!(buf, " packing={p}");
         }
         if let Some(ms) = self.timeout_ms {
             let _ = write!(buf, " timeout-ms={ms}");
@@ -367,6 +378,12 @@ fn parse_compile(rest: &str) -> Result<CompileRequest, String> {
                 }
             }
             "guard" => req.guard = Some(value.to_string()),
+            "packing" => match value {
+                "greedy" | "global" => req.packing = Some(value.to_string()),
+                other => {
+                    return Err(format!("unknown packing strategy `{other}` (try greedy, global)"))
+                }
+            },
             "timeout-ms" => {
                 req.timeout_ms =
                     Some(value.parse().map_err(|e| format!("bad timeout-ms value: {e}"))?)
@@ -547,6 +564,7 @@ mod tests {
             pipeline: false,
             emit: Emit::Report,
             guard: Some("strict".into()),
+            packing: Some("global".into()),
             timeout_ms: Some(25),
             tag: None,
             src: "kernel k(f64* A, i64 i) {\n  A[i] = A[i] + 1.0;\n}".into(),
@@ -560,6 +578,7 @@ mod tests {
                 assert!(!r.pipeline);
                 assert_eq!(r.emit, Emit::Report);
                 assert_eq!(r.guard.as_deref(), Some("strict"));
+                assert_eq!(r.packing.as_deref(), Some("global"));
                 assert_eq!(r.timeout_ms, Some(25));
                 assert_eq!(r.src, req.src);
             }
@@ -588,6 +607,22 @@ mod tests {
         assert!(parse_request("COMPILE tag= src=x").is_err(), "empty tag rejected");
         assert!(parse_request("COMPILE tag=a b src=x").is_err(), "tag is one token");
         assert!(parse_request(&format!("COMPILE tag={} src=x", "y".repeat(65))).is_err());
+    }
+
+    #[test]
+    fn packing_option_roundtrips_and_validates() {
+        // Spellings are checked at parse time — a typo is a proto error
+        // before the request ever reaches a worker.
+        match parse_request("COMPILE packing=global src=x").unwrap() {
+            Request::Compile(r) => assert_eq!(r.packing.as_deref(), Some("global")),
+            other => panic!("wrong request: {other:?}"),
+        }
+        let err = parse_request("COMPILE packing=exhaustive src=x").unwrap_err();
+        assert!(err.contains("try greedy, global"), "{err}");
+        // Old clients never send packing=, and the default stays off the
+        // wire, so v1-v4 lines are valid v5 lines.
+        let default_line = CompileRequest::new("x").to_line();
+        assert!(!default_line.contains("packing="), "default packing stays off the wire");
     }
 
     #[test]

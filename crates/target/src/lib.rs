@@ -304,6 +304,22 @@ impl TargetSpec {
     pub fn registers_for(&self, elem: ScalarType, lanes: u32) -> i64 {
         (lanes * elem.bits()).div_ceil(self.register_bits).max(1) as i64
     }
+
+    /// Permutation penalty charged when two *abutting* packs of the same
+    /// store chain are committed at different shapes: values flowing
+    /// between the packs (or a later repack of the chain) need a
+    /// cross-register shuffle per register of the wider pack. Zero when
+    /// the shapes agree — adjacent same-VF packs compose without any
+    /// lane movement. Used by the global packing planner
+    /// (`lslp::packing`) to score candidate pack *sets*; the greedy
+    /// packer never consults it.
+    pub fn cross_pack_shuffle_cost(&self, elem: ScalarType, a_lanes: u32, b_lanes: u32) -> i64 {
+        if a_lanes == b_lanes {
+            0
+        } else {
+            self.shuffle_cost * self.registers_for(elem, a_lanes.max(b_lanes))
+        }
+    }
 }
 
 impl Default for TargetSpec {
@@ -437,6 +453,24 @@ mod tests {
         assert_eq!(t.spec_string(), "sse4.2+slow-insert+hw-gather");
         // Round-trips through parse.
         assert_eq!(TargetSpec::parse(&t.spec_string()).unwrap(), t);
+    }
+
+    #[test]
+    fn cross_pack_shuffle_cost_scales_with_shape_mismatch() {
+        let t = TargetSpec::skylake_avx2();
+        // Same shape: no permutation needed.
+        assert_eq!(t.cross_pack_shuffle_cost(ScalarType::I64, 4, 4), 0);
+        // Mismatched shapes: one shuffle per register of the wider pack,
+        // symmetric in the operand order.
+        let c = t.cross_pack_shuffle_cost(ScalarType::I64, 4, 2);
+        assert_eq!(c, t.shuffle_cost * t.registers_for(ScalarType::I64, 4));
+        assert_eq!(c, t.cross_pack_shuffle_cost(ScalarType::I64, 2, 4));
+        // Wider element types span more registers and pay proportionally.
+        let neon = TargetSpec::neon128();
+        assert!(
+            neon.cross_pack_shuffle_cost(ScalarType::I64, 8, 2)
+                >= neon.cross_pack_shuffle_cost(ScalarType::I32, 8, 2)
+        );
     }
 
     #[test]

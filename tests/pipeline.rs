@@ -6,7 +6,7 @@ use std::rc::Rc;
 use lslp::{
     try_vectorize_function_with, vectorize_function, vectorize_module, AnalysisKind,
     AnalysisManager, GuardMode, GuardPolicy, Pass, PassContext, PassManager, PassResult,
-    PreservedAnalyses, ReorderKind, Statistics, VectorizerConfig,
+    PreservedAnalyses, ReorderStrategy, Statistics, VectorizerConfig,
 };
 use lslp_interp::{run_function, Memory, Value};
 
@@ -103,7 +103,7 @@ fn config_presets_differ_only_where_documented() {
     let slp = VectorizerConfig::slp();
     let nr = VectorizerConfig::slp_nr();
     assert_eq!(nr.max_multinode_insts, slp.max_multinode_insts);
-    assert_eq!(nr.reorder, ReorderKind::NoReorder);
+    assert_eq!(nr.reorder, ReorderStrategy::NoReorder);
     let lslp = VectorizerConfig::lslp();
     assert_eq!(lslp.cost_threshold, slp.cost_threshold);
     assert_eq!(lslp.max_vf, slp.max_vf);
