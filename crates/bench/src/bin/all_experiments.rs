@@ -59,6 +59,7 @@ fn main() -> ExitCode {
         f::fig13_jobs(jobs),
         f::fig14(10),
         f::target_matrix_jobs(jobs),
+        f::loop_study_jobs(jobs),
     ] {
         println!("{section}");
         println!("{}", "=".repeat(72));

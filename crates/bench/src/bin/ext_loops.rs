@@ -1,0 +1,9 @@
+//! Extension study: counted loops and branches. The paper evaluates
+//! straight-line code cut out of real loop bodies; this study feeds the
+//! `loop_kernels` suite — counted loops, optionally with branch diamonds
+//! in the body — through the full pipeline, where if-conversion and
+//! unroll-and-SLP flatten the CFG into the straight-line form the
+//! vectorizer accepts. See `docs/CONTROL_FLOW.md` for the pass designs.
+fn main() {
+    print!("{}", lslp_bench::figures::loop_study());
+}

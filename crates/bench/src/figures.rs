@@ -6,9 +6,12 @@
 use lslp_kernels::{motivation_kernels, spec_kernels, suite, synthesize, Kernel, BENCHMARKS};
 use lslp_target::CostModel;
 
+use lslp_kernels::loop_kernels;
+
 use crate::{
     format_table, geomean, measure_benchmark, measure_compile_phases, measure_compile_time,
-    measure_kernel, measure_kernel_on, par_map_indexed, KernelRow, TARGET_NAMES,
+    measure_kernel, measure_kernel_on, measure_loop_kernel, measure_loop_kernel_on,
+    par_map_indexed, KernelRow, LoopKernelRow, TARGET_NAMES,
 };
 
 fn fmt_speedup(x: f64) -> String {
@@ -362,6 +365,126 @@ fn target_matrix_rows(kernels: &[Kernel], jobs: usize) -> (Vec<(String, Vec<Matr
     (rows, format_table(&headers, &table))
 }
 
+/// Extension experiment: the loop study. The counted-loop kernels compile
+/// to small CFGs; the full pipeline flattens them (if-conversion turns
+/// branch diamonds into `select`s, unroll-and-SLP peels the counted loop)
+/// before the straight-line vectorizer runs. Every configuration —
+/// including the `O3` baseline — runs the same scalar pipeline, so the
+/// speedups isolate vectorization rather than loop-overhead removal.
+pub fn loop_study() -> String {
+    loop_study_jobs(1)
+}
+
+/// [`loop_study`] measured on up to `jobs` threads; rows are
+/// byte-identical to the sequential run.
+pub fn loop_study_jobs(jobs: usize) -> String {
+    let (sky, table) = loop_study_sky_rows(jobs);
+    let diamonds: Vec<String> = sky
+        .iter()
+        .filter(|r| *r.if_converted.last().unwrap() > 0)
+        .map(|r| r.row.name.clone())
+        .collect();
+    let (_, matrix) = loop_study_matrix_rows(jobs);
+    format!(
+        "Extension: loop study — counted loops and branches through\n\
+         if-conversion + unroll-and-SLP (full pipeline, Skylake-class target)\n\n{table}\n\
+         Kernels whose branches were if-converted: {}\n\n\
+         LSLP speedup per target over the same target's flattened scalar\n\
+         pipeline (committed vector factors in brackets):\n\n{matrix}",
+        if diamonds.is_empty() { "none".to_string() } else { diamonds.join(", ") }
+    )
+}
+
+/// The Skylake-class per-configuration block of the loop study. Returns
+/// the raw rows alongside the rendered table so tests can assert on the
+/// pipeline's decisions rather than re-parse the text.
+fn loop_study_sky_rows(jobs: usize) -> (Vec<LoopKernelRow>, String) {
+    let configs = ["O3", "SLP-NR", "SLP", "LSLP"];
+    let kernels = loop_kernels();
+    let rows: Vec<LoopKernelRow> = par_map_indexed(kernels.len(), jobs, |i| {
+        let k = &kernels[i];
+        measure_loop_kernel(k, &configs, k.default_iters / 8)
+    });
+    let headers: Vec<String> =
+        ["Kernel", "SLP-NR", "SLP", "LSLP", "if-conv", "unrolled", "LSLP VFs"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    let lslp = configs.len() - 1;
+    let mut table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let vfs = if r.row.vfs[lslp].is_empty() {
+                "-".to_string()
+            } else {
+                r.row.vfs[lslp].iter().map(usize::to_string).collect::<Vec<_>>().join("/")
+            };
+            vec![
+                r.row.name.clone(),
+                fmt_speedup(r.row.speedup[1]),
+                fmt_speedup(r.row.speedup[2]),
+                fmt_speedup(r.row.speedup[3]),
+                r.if_converted[lslp].to_string(),
+                r.unrolled[lslp].to_string(),
+                vfs,
+            ]
+        })
+        .collect();
+    let mut grow = vec!["GMean".to_string()];
+    for c in 1..=3 {
+        let xs: Vec<f64> = rows.iter().map(|r| r.row.speedup[c]).collect();
+        grow.push(fmt_speedup(geomean(&xs)));
+    }
+    grow.extend(["".to_string(), "".to_string(), "".to_string()]);
+    table.push(grow);
+    (rows, format_table(&headers, &table))
+}
+
+/// The per-target LSLP block of the loop study, in [`TARGET_NAMES`] order.
+fn loop_study_matrix_rows(jobs: usize) -> (Vec<(String, Vec<MatrixCell>)>, String) {
+    let targets: Vec<CostModel> =
+        TARGET_NAMES.iter().map(|n| CostModel::parse(n).expect("registry names parse")).collect();
+    let kernels = loop_kernels();
+    let cells = par_map_indexed(kernels.len() * targets.len(), jobs, |i| {
+        let k = &kernels[i / targets.len()];
+        let tm = &targets[i % targets.len()];
+        let r = measure_loop_kernel_on(k, &["O3", "LSLP"], k.default_iters / 8, tm);
+        MatrixCell { speedup: r.row.speedup[1], vfs: r.row.vfs[1].clone() }
+    });
+    let mut rows: Vec<(String, Vec<MatrixCell>)> = Vec::new();
+    for (i, chunk) in cells.chunks(targets.len()).enumerate() {
+        rows.push((
+            kernels[i].name.to_string(),
+            chunk.iter().map(|c| MatrixCell { speedup: c.speedup, vfs: c.vfs.clone() }).collect(),
+        ));
+    }
+    let mut headers: Vec<String> = vec!["Kernel".into()];
+    headers.extend(TARGET_NAMES.iter().map(|s| s.to_string()));
+    let fmt_cell = |c: &MatrixCell| {
+        let vfs = if c.vfs.is_empty() {
+            "-".to_string()
+        } else {
+            c.vfs.iter().map(usize::to_string).collect::<Vec<_>>().join("/")
+        };
+        format!("{} [{vfs}]", fmt_speedup(c.speedup))
+    };
+    let mut table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|(name, cells)| {
+            let mut row = vec![name.clone()];
+            row.extend(cells.iter().map(fmt_cell));
+            row
+        })
+        .collect();
+    let mut grow = vec!["GMean".to_string()];
+    for t in 0..targets.len() {
+        let xs: Vec<f64> = rows.iter().map(|(_, cells)| cells[t].speedup).collect();
+        grow.push(fmt_speedup(geomean(&xs)));
+    }
+    table.push(grow);
+    (rows, format_table(&headers, &table))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,6 +533,41 @@ mod tests {
                 assert!(c.speedup >= 1.0, "{name} regresses on {}", TARGET_NAMES[t]);
             }
         }
+    }
+
+    #[test]
+    fn loop_study_vectorizes_loop_and_branchy_kernels() {
+        // The acceptance criterion of the control-flow extension: at least
+        // one counted-loop kernel and one branchy kernel come out of the
+        // pipeline with a committed VF > 1 and a real speedup.
+        let (sky, _) = loop_study_sky_rows(1);
+        let lslp = sky[0].row.speedup.len() - 1;
+        let smin = sky.iter().find(|r| r.row.name == "smin_loop").unwrap();
+        assert!(smin.unrolled[lslp] > 0, "smin_loop's counted loop must unroll");
+        assert!(smin.if_converted[lslp] > 0, "smin_loop's diamond must if-convert");
+        assert!(!smin.row.vfs[lslp].is_empty(), "smin_loop must vectorize under LSLP");
+        assert!(smin.row.speedup[lslp] > 1.0, "smin_loop must beat the scalar pipeline");
+        let saxpy = sky.iter().find(|r| r.row.name == "saxpy_loop").unwrap();
+        assert!(!saxpy.row.vfs[lslp].is_empty(), "saxpy_loop must vectorize under LSLP");
+        // No kernel may regress against the flattened scalar baseline, and
+        // the pass guards must stay silent throughout.
+        for r in &sky {
+            assert!(r.row.speedup[lslp] >= 1.0, "{} regresses under LSLP", r.row.name);
+            assert!(r.row.incidents.iter().all(|&i| i == 0), "{} tripped a guard", r.row.name);
+        }
+        // The vector-min idiom if-converts to a full-rate `select`, so it
+        // keeps a committed VF on every registry target (the f64 kernels
+        // legitimately break even on neon128's half-rate f64 SIMD).
+        let (matrix, _) = loop_study_matrix_rows(1);
+        let (_, cells) = matrix.iter().find(|(n, _)| n == "smin_loop").unwrap();
+        for (t, c) in cells.iter().enumerate() {
+            assert!(!c.vfs.is_empty(), "smin_loop lost its VF on {}", TARGET_NAMES[t]);
+        }
+    }
+
+    #[test]
+    fn loop_study_is_byte_identical_under_jobs() {
+        assert_eq!(loop_study_jobs(1), loop_study_jobs(4), "--jobs must not change the table");
     }
 
     #[test]

@@ -101,6 +101,76 @@ pub fn measure_kernel_on(k: &Kernel, configs: &[&str], iters: usize, tm: &CostMo
     KernelRow { name: k.name.to_string(), static_cost, cycles, speedup, incidents, vfs }
 }
 
+/// Per-kernel measurements for the loop-study extension: a [`KernelRow`]
+/// plus the CFG-flattening counters of [`lslp::PipelineReport`] per
+/// configuration.
+#[derive(Clone, Debug)]
+pub struct LoopKernelRow {
+    /// The standard per-configuration measurements.
+    pub row: KernelRow,
+    /// Branch diamonds turned into `select`s by if-conversion.
+    pub if_converted: Vec<usize>,
+    /// Counted loops fully unrolled ahead of SLP seeding.
+    pub unrolled: Vec<usize>,
+}
+
+/// [`measure_loop_kernel_on`] on the default Skylake-class target.
+///
+/// # Panics
+///
+/// Same conditions as [`measure_kernel`].
+pub fn measure_loop_kernel(k: &Kernel, configs: &[&str], iters: usize) -> LoopKernelRow {
+    measure_loop_kernel_on(k, configs, iters, &CostModel::skylake_like())
+}
+
+/// [`measure_kernel_on`] through the whole pipeline ([`lslp::run_pipeline`])
+/// instead of the bare vectorizer pass. The loop-study kernels compile to
+/// small CFGs; only the pipeline's if-conversion and unroll-and-SLP passes
+/// flatten them into the straight-line form the vectorizer accepts, so the
+/// bare-pass harness would leave them untouched under every configuration.
+/// Every configuration (including `O3`) runs the same scalar pipeline, so
+/// the baseline is the *flattened* scalar code and the reported speedup
+/// isolates vectorization rather than loop-overhead removal.
+///
+/// # Panics
+///
+/// Same conditions as [`measure_kernel`].
+pub fn measure_loop_kernel_on(
+    k: &Kernel,
+    configs: &[&str],
+    iters: usize,
+    tm: &CostModel,
+) -> LoopKernelRow {
+    let mut static_cost = Vec::new();
+    let mut cycles = Vec::new();
+    let mut incidents = Vec::new();
+    let mut vfs = Vec::new();
+    let mut if_converted = Vec::new();
+    let mut unrolled = Vec::new();
+    for &name in configs {
+        let opts = options_for(name, tm);
+        let mut f = k.compile();
+        let report = lslp::run_pipeline(&mut f, opts.config(), tm);
+        let mut mem = k.setup_memory(&f, iters);
+        let c = k
+            .run(&f, &mut mem, iters, tm)
+            .unwrap_or_else(|e| panic!("{} under {name} on {}: {e}", k.name, tm.name));
+        static_cost.push(report.vectorize.applied_cost);
+        cycles.push(c);
+        incidents.push(report.incidents.len() + report.vectorize.incidents.len());
+        vfs.push(report.vectorize.attempts.iter().filter(|a| a.vectorized).map(|a| a.vf).collect());
+        if_converted.push(report.if_converted);
+        unrolled.push(report.unrolled);
+    }
+    let base = cycles[0] as f64;
+    let speedup = cycles.iter().map(|&c| base / c as f64).collect();
+    LoopKernelRow {
+        row: KernelRow { name: k.name.to_string(), static_cost, cycles, speedup, incidents, vfs },
+        if_converted,
+        unrolled,
+    }
+}
+
 /// Per-benchmark whole-program measurements (Figs 11–12).
 #[derive(Clone, Debug)]
 pub struct BenchmarkRow {

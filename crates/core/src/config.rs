@@ -210,6 +210,11 @@ pub enum Sabotage {
     /// the artifact is costlier than greedy's on any vectorizable input:
     /// caught by the packing-quality oracle.
     CommitWorstPackSet,
+    /// Swap the two arms of every if-converted diamond (the `select` picks
+    /// the else-value when the condition holds): silent wrong-code on any
+    /// input where the arms differ, caught by the differential
+    /// scalar-vs-compiled execution oracle.
+    SwapIfArms,
 }
 
 /// Full configuration of the (L)SLP pass.

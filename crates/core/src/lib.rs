@@ -61,6 +61,7 @@ pub mod dce;
 pub mod fold;
 pub mod graph;
 pub mod guard;
+pub mod ifconv;
 pub mod multinode;
 pub mod packing;
 pub mod pass;
@@ -73,6 +74,7 @@ pub mod seeds;
 pub mod simplify;
 pub mod stats;
 pub mod throttle;
+pub mod unroll;
 
 pub use api::{
     Artifact, CompileOptions, CompileOptionsBuilder, ErrorClass, LslpError, OptionsError, Session,
@@ -98,7 +100,8 @@ pub use pipeline::{
     try_run_vectorize_only, PipelineReport,
 };
 pub use pm::{
-    CsePass, DcePass, FoldPass, Pass, PassContext, PassManager, PassResult, PassTiming,
-    SimplifyPass, VectorizePass,
+    CsePass, DcePass, FoldPass, IfConvertPass, Pass, PassContext, PassManager, PassResult,
+    PassTiming, SimplifyPass, UnrollLoopsPass, VectorizePass,
 };
 pub use stats::{StatRow, Statistics, SyncStatistics};
+pub use unroll::UNROLL_BUDGET;

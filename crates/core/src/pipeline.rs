@@ -22,13 +22,18 @@ use crate::config::VectorizerConfig;
 use crate::guard::{GuardError, GuardMode, Incident};
 use crate::pass::VectorizeReport;
 use crate::pm::{
-    CsePass, DcePass, FoldPass, PassContext, PassManager, PassTiming, SimplifyPass, VectorizePass,
+    CsePass, DcePass, FoldPass, IfConvertPass, PassContext, PassManager, PassTiming, SimplifyPass,
+    UnrollLoopsPass, VectorizePass,
 };
 use crate::stats::Statistics;
 
 /// Statistics from one pipeline run over a function.
 #[derive(Clone, Debug, Default)]
 pub struct PipelineReport {
+    /// Branch diamonds turned into `select`s by if-conversion.
+    pub if_converted: usize,
+    /// Counted loops fully unrolled before seeding.
+    pub unrolled: usize,
     /// Rewrites performed by algebraic simplification.
     pub simplified: usize,
     /// Instructions folded to constants.
@@ -125,6 +130,12 @@ fn run_schedule(
     report: &mut PipelineReport,
     start: Instant,
 ) -> Result<(), GuardError> {
+    // Control-flow lowering first: if-conversion turns branch diamonds into
+    // selects (including inside loop bodies), then unrolling peels counted
+    // loops — after these two, any function the frontend could produce is
+    // straight-line again and the scalar pipeline and vectorizer apply.
+    report.if_converted = pm.run_pass(&mut IfConvertPass, f, am, cx)?;
+    report.unrolled = pm.run_pass(&mut UnrollLoopsPass, f, am, cx)?;
     for _ in 0..SCALAR_ROUNDS {
         report.simplified += pm.run_pass(&mut SimplifyPass, f, am, cx)?;
         report.folded += pm.run_pass(&mut FoldPass, f, am, cx)?;
@@ -266,9 +277,11 @@ mod tests {
     fn per_pass_timings_cover_the_schedule() {
         let mut f = busy_function();
         let report = run_pipeline(&mut f, &VectorizerConfig::lslp(), &CostModel::default());
-        // 2 rounds × 4 scalar passes + vectorize + final dce.
-        assert_eq!(report.pass_timings.len(), SCALAR_ROUNDS * 4 + 2);
-        assert_eq!(report.pass_timings[0].pass, "simplify");
+        // if-convert + unroll + 2 rounds × 4 scalar passes + vectorize +
+        // final dce.
+        assert_eq!(report.pass_timings.len(), SCALAR_ROUNDS * 4 + 4);
+        assert_eq!(report.pass_timings[0].pass, "if-convert");
+        assert_eq!(report.pass_timings[1].pass, "unroll");
         let names: Vec<_> = report.pass_timings.iter().map(|t| t.pass).collect();
         assert!(names.contains(&"vectorize"));
         assert_eq!(*names.last().unwrap(), "dce");

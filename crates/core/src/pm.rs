@@ -204,6 +204,53 @@ impl PassManager {
 // Pass implementations for the pipeline's transforms
 // ---------------------------------------------------------------------------
 
+/// If-conversion ([`crate::ifconv`]) as a pass: branch diamonds become
+/// `select`s so the straight-line vectorizer can see through them.
+#[derive(Default)]
+pub struct IfConvertPass;
+
+impl Pass for IfConvertPass {
+    fn name(&self) -> &'static str {
+        "if-convert"
+    }
+
+    fn run(&mut self, f: &mut Function, _am: &mut AnalysisManager, cx: &PassContext) -> PassResult {
+        // Flattening the CFG can rewrite the function even when no diamond
+        // converts, so mutation is judged by the epoch, not the count.
+        let pre = f.epoch();
+        let swap = cx.cfg.sabotage == crate::config::Sabotage::SwapIfArms;
+        let n = crate::ifconv::run_with(f, swap);
+        cx.stats.add(self.name(), "diamonds-converted", n as u64);
+        if f.epoch() == pre {
+            PassResult::unchanged()
+        } else {
+            PassResult::mutated(n.max(1))
+        }
+    }
+}
+
+/// Unroll-and-SLP ([`crate::unroll`]) as a pass: small counted loops are
+/// fully unrolled so adjacent-store seeding finds packs across iterations.
+#[derive(Default)]
+pub struct UnrollLoopsPass;
+
+impl Pass for UnrollLoopsPass {
+    fn name(&self) -> &'static str {
+        "unroll"
+    }
+
+    fn run(&mut self, f: &mut Function, _am: &mut AnalysisManager, cx: &PassContext) -> PassResult {
+        let pre = f.epoch();
+        let n = crate::unroll::run(f);
+        cx.stats.add(self.name(), "loops-unrolled", n as u64);
+        if f.epoch() == pre {
+            PassResult::unchanged()
+        } else {
+            PassResult::mutated(n.max(1))
+        }
+    }
+}
+
 /// Algebraic simplification ([`crate::simplify`]) as a pass.
 #[derive(Default)]
 pub struct SimplifyPass;

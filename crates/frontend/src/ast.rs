@@ -47,6 +47,24 @@ pub enum BinOp {
     LShr,
 }
 
+/// Comparison operators for `if` conditions (signed on integers, ordered
+/// on floats).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
 /// An expression, annotated with its source position for diagnostics.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Expr {
@@ -107,6 +125,23 @@ pub enum Expr {
         /// Source line/column.
         pos: (usize, usize),
     },
+    /// `if a < b { then } else { else }` — an expression; both arms are
+    /// mandatory and yield the same type. Lowers to a branch diamond in
+    /// the IR CFG (if-conversion later turns it into a `select`).
+    IfElse {
+        /// Left comparison operand.
+        clhs: Box<Expr>,
+        /// The comparison.
+        cmp: CmpOp,
+        /// Right comparison operand.
+        crhs: Box<Expr>,
+        /// Value when the comparison holds.
+        then_e: Box<Expr>,
+        /// Value otherwise.
+        else_e: Box<Expr>,
+        /// Source line/column.
+        pos: (usize, usize),
+    },
 }
 
 impl Expr {
@@ -119,7 +154,8 @@ impl Expr {
             | Expr::Index { pos, .. }
             | Expr::Neg { pos, .. }
             | Expr::Cast { pos, .. }
-            | Expr::Binary { pos, .. } => *pos,
+            | Expr::Binary { pos, .. }
+            | Expr::IfElse { pos, .. } => *pos,
         }
     }
 }
@@ -127,14 +163,40 @@ impl Expr {
 /// A statement.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Stmt {
-    /// `let name[: ty] = expr;`
+    /// `let [mut] name[: ty] = expr;`
     Let {
         /// Binding name.
         name: String,
+        /// Whether re-assignment (`name = expr;`) is allowed.
+        mutable: bool,
         /// Optional type annotation (inferred otherwise).
         ty: Option<ScalarType>,
         /// Bound expression.
         expr: Expr,
+        /// Source line/column.
+        pos: (usize, usize),
+    },
+    /// `name = expr;` — re-assignment of a `let mut` binding. Inside a
+    /// `loop`, assignments to bindings declared outside the loop become
+    /// loop-carried values.
+    SetVar {
+        /// The binding being updated.
+        name: String,
+        /// The new value.
+        value: Expr,
+        /// Source line/column.
+        pos: (usize, usize),
+    },
+    /// `loop var in 0..N { body }` — a *runtime* counted loop lowered to
+    /// the IR's `CountedLoop` region (contrast [`Stmt::For`], which is
+    /// unrolled at compile time by the frontend itself).
+    Loop {
+        /// Induction variable name (an `i64`, counting `0..trip`).
+        var: String,
+        /// Compile-time trip count.
+        trip: i64,
+        /// The loop body.
+        body: Vec<Stmt>,
         /// Source line/column.
         pos: (usize, usize),
     },

@@ -39,6 +39,12 @@ pub enum TokKind {
     Shl,
     Shr,
     LShr,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
     Equals,
     DotDot,
     Eof,
@@ -70,6 +76,12 @@ impl std::fmt::Display for TokKind {
             TokKind::Shl => f.write_str("`<<`"),
             TokKind::Shr => f.write_str("`>>`"),
             TokKind::LShr => f.write_str("`>>>`"),
+            TokKind::Lt => f.write_str("`<`"),
+            TokKind::Le => f.write_str("`<=`"),
+            TokKind::Gt => f.write_str("`>`"),
+            TokKind::Ge => f.write_str("`>=`"),
+            TokKind::EqEq => f.write_str("`==`"),
+            TokKind::Ne => f.write_str("`!=`"),
             TokKind::Equals => f.write_str("`=`"),
             TokKind::DotDot => f.write_str("`..`"),
             TokKind::Eof => f.write_str("end of input"),
@@ -175,9 +187,19 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, CompileError> {
                 bump!();
                 TokKind::Caret
             }
+            b'=' if bytes.get(i + 1) == Some(&b'=') => {
+                bump!();
+                bump!();
+                TokKind::EqEq
+            }
             b'=' => {
                 bump!();
                 TokKind::Equals
+            }
+            b'!' if bytes.get(i + 1) == Some(&b'=') => {
+                bump!();
+                bump!();
+                TokKind::Ne
             }
             b'.' if bytes.get(i + 1) == Some(&b'.') => {
                 bump!();
@@ -189,6 +211,15 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, CompileError> {
                 bump!();
                 TokKind::Shl
             }
+            b'<' if bytes.get(i + 1) == Some(&b'=') => {
+                bump!();
+                bump!();
+                TokKind::Le
+            }
+            b'<' => {
+                bump!();
+                TokKind::Lt
+            }
             b'>' if bytes.get(i + 1) == Some(&b'>') => {
                 bump!();
                 bump!();
@@ -198,6 +229,15 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, CompileError> {
                 } else {
                     TokKind::Shr
                 }
+            }
+            b'>' if bytes.get(i + 1) == Some(&b'=') => {
+                bump!();
+                bump!();
+                TokKind::Ge
+            }
+            b'>' => {
+                bump!();
+                TokKind::Gt
             }
             b'0'..=b'9' => {
                 let start = i;
@@ -305,6 +345,33 @@ mod tests {
                 TokKind::Float(1e-3),
                 TokKind::Float(2.5e2),
                 TokKind::Int(1000),
+                TokKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comparisons_disambiguate_from_shifts() {
+        assert_eq!(
+            kinds("a < b <= c > d >= e == f != g << h >> i"),
+            vec![
+                TokKind::Ident("a".into()),
+                TokKind::Lt,
+                TokKind::Ident("b".into()),
+                TokKind::Le,
+                TokKind::Ident("c".into()),
+                TokKind::Gt,
+                TokKind::Ident("d".into()),
+                TokKind::Ge,
+                TokKind::Ident("e".into()),
+                TokKind::EqEq,
+                TokKind::Ident("f".into()),
+                TokKind::Ne,
+                TokKind::Ident("g".into()),
+                TokKind::Shl,
+                TokKind::Ident("h".into()),
+                TokKind::Shr,
+                TokKind::Ident("i".into()),
                 TokKind::Eof
             ]
         );

@@ -2,7 +2,7 @@
 
 use lslp_ir::ScalarType;
 
-use crate::ast::{BinOp, Expr, Kernel, Param, ParamType, Program, Stmt};
+use crate::ast::{BinOp, CmpOp, Expr, Kernel, Param, ParamType, Program, Stmt};
 use crate::lex::{tokenize, TokKind, Token};
 use crate::CompileError;
 
@@ -155,9 +155,58 @@ impl Parser {
         Ok(e)
     }
 
+    /// `cmp_op` maps a comparison token, if the cursor is at one.
+    fn cmp_op(&self) -> Option<CmpOp> {
+        match self.peek().kind {
+            TokKind::Lt => Some(CmpOp::Lt),
+            TokKind::Le => Some(CmpOp::Le),
+            TokKind::Gt => Some(CmpOp::Gt),
+            TokKind::Ge => Some(CmpOp::Ge),
+            TokKind::EqEq => Some(CmpOp::Eq),
+            TokKind::Ne => Some(CmpOp::Ne),
+            _ => None,
+        }
+    }
+
+    /// `if a < b { expr } else { expr }` — a single comparison, both arms
+    /// mandatory (the result must have a value on every path).
+    fn if_expr(&mut self, pos: (usize, usize)) -> Result<Expr, CompileError> {
+        let clhs = self.expr()?;
+        let Some(cmp) = self.cmp_op() else {
+            return Err(self.err_here(format!(
+                "expected a comparison (`<` `<=` `>` `>=` `==` `!=`), found {}",
+                self.peek().kind
+            )));
+        };
+        self.advance();
+        let crhs = self.expr()?;
+        self.expect(TokKind::LBrace)?;
+        let then_e = self.expr()?;
+        self.expect(TokKind::RBrace)?;
+        let (kw, line, col) = self.expect_ident()?;
+        if kw != "else" {
+            return Err(CompileError::new(line, col, format!("expected `else`, found `{kw}`")));
+        }
+        self.expect(TokKind::LBrace)?;
+        let else_e = self.expr()?;
+        self.expect(TokKind::RBrace)?;
+        Ok(Expr::IfElse {
+            clhs: Box::new(clhs),
+            cmp,
+            crhs: Box::new(crhs),
+            then_e: Box::new(then_e),
+            else_e: Box::new(else_e),
+            pos,
+        })
+    }
+
     fn primary(&mut self) -> Result<Expr, CompileError> {
         let t = self.peek().clone();
         match t.kind {
+            TokKind::Ident(ref kw) if kw == "if" => {
+                self.advance();
+                self.if_expr((t.line, t.col))
+            }
             TokKind::Int(v) => {
                 self.advance();
                 Ok(Expr::IntLit { value: v, pos: (t.line, t.col) })
@@ -236,8 +285,45 @@ impl Parser {
                 self.expect(TokKind::RBrace)?;
                 return Ok(Stmt::For { var, start, end, body, pos: (t.line, t.col) });
             }
+            if name == "loop" {
+                self.advance();
+                let (var, ..) = self.expect_ident()?;
+                let (kw, line, col) = self.expect_ident()?;
+                if kw != "in" {
+                    return Err(CompileError::new(
+                        line,
+                        col,
+                        format!("expected `in`, found `{kw}`"),
+                    ));
+                }
+                let start = self.expect_int()?;
+                self.expect(TokKind::DotDot)?;
+                let trip = self.expect_int()?;
+                if start != 0 {
+                    return Err(CompileError::new(t.line, t.col, "`loop` ranges must start at 0"));
+                }
+                if !(1..=64).contains(&trip) {
+                    return Err(CompileError::new(
+                        t.line,
+                        t.col,
+                        format!("`loop` trip count must be 1..=64, got {trip}"),
+                    ));
+                }
+                self.expect(TokKind::LBrace)?;
+                let mut body = Vec::new();
+                while !self.at(&TokKind::RBrace) {
+                    body.push(self.stmt()?);
+                }
+                self.expect(TokKind::RBrace)?;
+                return Ok(Stmt::Loop { var, trip, body, pos: (t.line, t.col) });
+            }
             if name == "let" {
                 self.advance();
+                let mut mutable = false;
+                if matches!(&self.peek().kind, TokKind::Ident(kw) if kw == "mut") {
+                    self.advance();
+                    mutable = true;
+                }
                 let (bind, line, col) = self.expect_ident()?;
                 let ty = if self.at(&TokKind::Colon) {
                     self.advance();
@@ -248,18 +334,24 @@ impl Parser {
                 self.expect(TokKind::Equals)?;
                 let expr = self.expr()?;
                 self.expect(TokKind::Semi)?;
-                return Ok(Stmt::Let { name: bind, ty, expr, pos: (line, col) });
+                return Ok(Stmt::Let { name: bind, mutable, ty, expr, pos: (line, col) });
             }
-            // array[index] = value;
-            let array = name.clone();
+            // array[index] = value;  |  name = value;
+            let target = name.clone();
             self.advance();
+            if self.at(&TokKind::Equals) {
+                self.advance();
+                let value = self.expr()?;
+                self.expect(TokKind::Semi)?;
+                return Ok(Stmt::SetVar { name: target, value, pos: (t.line, t.col) });
+            }
             self.expect(TokKind::LBracket)?;
             let index = self.expr()?;
             self.expect(TokKind::RBracket)?;
             self.expect(TokKind::Equals)?;
             let value = self.expr()?;
             self.expect(TokKind::Semi)?;
-            return Ok(Stmt::Assign { array, index, value, pos: (t.line, t.col) });
+            return Ok(Stmt::Assign { array: target, index, value, pos: (t.line, t.col) });
         }
         Err(self.err_here(format!("expected statement, found {}", t.kind)))
     }

@@ -1,16 +1,19 @@
 //! Materialize a [`Plan`] as an executable program.
 //!
-//! A plan builds into one straight-line function over the parameter list
-//! `(OUT, IN0..IN{arrays-1}, i)`. Two construction legs exist and are
-//! selected by [`Plan::via_slc`]: direct [`lslp_ir`] construction through
-//! [`FunctionBuilder`], or rendering SLC source and running it through
-//! `lslp_frontend::compile` (so the frontend is inside the fuzzed
-//! perimeter too). Either way the oracles only ever see the one resulting
-//! [`Function`].
+//! A plan builds into one function over the parameter list
+//! `(OUT, IN0..IN{arrays-1}, i)` — straight-line for
+//! [`ControlPlan::None`], a small CFG (counted loop and/or branch
+//! diamonds) otherwise. Two construction legs exist and are selected by
+//! [`Plan::via_slc`]: direct [`lslp_ir`] construction, or rendering SLC
+//! source and running it through `lslp_frontend::compile` (so the
+//! frontend is inside the fuzzed perimeter too). Either way the oracles
+//! only ever see the one resulting [`Function`].
 
-use lslp_ir::{Function, FunctionBuilder, Opcode, ScalarType, Type, ValueId};
+use lslp_ir::{
+    BlockId, FloatPred, Function, InstAttr, IntPred, Opcode, ScalarType, Terminator, Type, ValueId,
+};
 
-use crate::plan::{Plan, Shape};
+use crate::plan::{ControlPlan, Plan, Shape};
 
 /// A built fuzz program plus the metadata the execution harness needs.
 pub struct Program {
@@ -62,14 +65,41 @@ pub fn build(plan: &Plan) -> Result<Program, String> {
     }
 }
 
+/// Trip count and branchiness implied by the control plan (`trip = 1`
+/// means the groups run once, with no enclosing loop).
+fn control_shape(plan: &Plan) -> (usize, bool) {
+    match plan.control {
+        ControlPlan::None => (1, false),
+        ControlPlan::IfDiamond => (1, true),
+        ControlPlan::Loop { trip, branchy } => (trip, branchy),
+    }
+}
+
+/// Per-iteration index stride under a loop: the total output lane count,
+/// so consecutive iterations write adjacent, disjoint store runs (the
+/// cross-iteration adjacency unroll-and-SLP exists to exploit).
+fn out_stride(plan: &Plan) -> usize {
+    plan.groups.iter().map(|g| g.lanes).sum()
+}
+
 /// Smallest buffer length (elements) covering every access at `i = 0`.
 fn min_len(plan: &Plan) -> usize {
+    let (trip, branchy) = control_shape(plan);
+    let stride = out_stride(plan);
     let mut out_extent = 0;
     let mut in_extent = 0;
     for g in &plan.groups {
         in_extent = in_extent.max(max_load_base(&g.shape) + g.lanes);
         out_extent += g.lanes;
     }
+    if branchy {
+        // Each diamond gates on `IN0` loaded at the lane's output offset.
+        in_extent = in_extent.max(out_extent);
+    }
+    // Iteration `k` shifts every body access by `k * stride`.
+    let shift = (trip - 1) * stride;
+    out_extent += shift;
+    in_extent += shift;
     if let Some(r) = &plan.reduction {
         in_extent = in_extent.max(r.width);
         out_extent += 1;
@@ -114,9 +144,29 @@ fn chain_order(n: usize, rot: usize, l: usize) -> Vec<usize> {
 // ---------------------------------------------------------------------------
 
 struct IrCtx {
+    out: ValueId,
     ins: Vec<ValueId>,
     i: ValueId,
     int: bool,
+    /// Loop-body context: the induction variable and the per-iteration
+    /// index stride (every access adds `iv * stride`).
+    iv: Option<(ValueId, usize)>,
+}
+
+/// Append an instruction to block `bb` (CFG construction) or to the
+/// straight-line body.
+fn emit(
+    f: &mut Function,
+    bb: Option<BlockId>,
+    op: Opcode,
+    ty: Type,
+    args: Vec<ValueId>,
+    attr: InstAttr,
+) -> ValueId {
+    match bb {
+        Some(b) => f.push_in_block(b, op, ty, args, attr),
+        None => f.push(op, ty, args, attr),
+    }
 }
 
 fn build_ir(plan: &Plan) -> Function {
@@ -126,43 +176,162 @@ fn build_ir(plan: &Plan) -> Function {
     let ins: Vec<ValueId> =
         (0..plan.arrays).map(|a| f.add_param(format!("IN{a}"), Type::PTR)).collect();
     let i = f.add_param("i", Type::I64);
-    let cx = IrCtx { ins, i, int: plan.int };
+    let mut cx = IrCtx { out, ins, i, int: plan.int, iv: None };
+    let stride = out_stride(plan);
 
-    let mut out_base = 0;
-    for g in &plan.groups {
-        for l in lane_order(g.lanes, g.reversed) {
-            let v = emit_shape(&mut f, &cx, &g.shape, l, elem_ty);
-            emit_store(&mut f, &cx, out, out_base + l, v);
+    match plan.control {
+        ControlPlan::None => {
+            let mut bb = None;
+            emit_groups(&mut f, &cx, plan, elem_ty, false, &mut bb);
+            emit_reduction(&mut f, &cx, plan, elem_ty, stride, bb);
         }
-        out_base += g.lanes;
-    }
-    if let Some(r) = &plan.reduction {
-        let mut acc = emit_load(&mut f, &cx, cx.ins[r.arr], 0, elem_ty);
-        for k in 1..r.width {
-            let e = emit_load(&mut f, &cx, cx.ins[r.arr], k, elem_ty);
-            let mut b = FunctionBuilder::new(&mut f);
-            acc = b.binop(r.op, acc, e);
+        ControlPlan::IfDiamond => {
+            let entry = f.init_cfg();
+            let mut bb = Some(entry);
+            emit_groups(&mut f, &cx, plan, elem_ty, true, &mut bb);
+            emit_reduction(&mut f, &cx, plan, elem_ty, stride, bb);
+            f.set_term(bb.expect("CFG mode"), Terminator::Ret);
         }
-        emit_store(&mut f, &cx, out, out_base, acc);
+        ControlPlan::Loop { trip, branchy } => {
+            let entry = f.init_cfg();
+            let body = f.add_block();
+            let exit = f.add_block();
+            let iv = f.add_block_param(body, None, Type::I64);
+            let trip_c = f.const_i64(trip as i64);
+            f.set_term(entry, Terminator::Loop { trip: trip_c, body, init: vec![], exit });
+            cx.iv = Some((iv, stride));
+            let mut bb = Some(body);
+            emit_groups(&mut f, &cx, plan, elem_ty, branchy, &mut bb);
+            f.set_term(bb.expect("CFG mode"), Terminator::Continue { args: vec![] });
+            cx.iv = None;
+            emit_reduction(&mut f, &cx, plan, elem_ty, trip * stride, Some(exit));
+            f.set_term(exit, Terminator::Ret);
+        }
     }
     f
 }
 
-fn emit_index(f: &mut Function, cx: &IrCtx, ptr: ValueId, off: usize) -> ValueId {
+/// Emit every store group into `bb`, advancing it through diamond joins
+/// when `branchy`.
+fn emit_groups(
+    f: &mut Function,
+    cx: &IrCtx,
+    plan: &Plan,
+    elem_ty: Type,
+    branchy: bool,
+    bb: &mut Option<BlockId>,
+) {
+    let mut out_base = 0;
+    for g in &plan.groups {
+        for l in lane_order(g.lanes, g.reversed) {
+            let mut v = emit_shape(f, cx, &g.shape, l, elem_ty, *bb);
+            if branchy {
+                v = emit_diamond(f, cx, v, out_base + l, elem_ty, bb);
+            }
+            emit_store(f, cx, cx.out, out_base + l, v, *bb);
+        }
+        out_base += g.lanes;
+    }
+}
+
+fn emit_reduction(
+    f: &mut Function,
+    cx: &IrCtx,
+    plan: &Plan,
+    elem_ty: Type,
+    out_base: usize,
+    bb: Option<BlockId>,
+) {
+    let Some(r) = &plan.reduction else { return };
+    let mut acc = emit_load(f, cx, cx.ins[r.arr], 0, elem_ty, bb);
+    for k in 1..r.width {
+        let e = emit_load(f, cx, cx.ins[r.arr], k, elem_ty, bb);
+        acc = emit(f, bb, r.op, elem_ty, vec![acc, e], InstAttr::None);
+    }
+    emit_store(f, cx, cx.out, out_base, acc, bb);
+}
+
+/// Gate a lane value behind a branch diamond:
+/// `if IN0[idx] < T { v } else { IN0[idx] }` with empty arm blocks, the
+/// exact shape if-conversion turns into a `select`. Advances `bb` to the
+/// join block.
+fn emit_diamond(
+    f: &mut Function,
+    cx: &IrCtx,
+    v: ValueId,
+    off: usize,
+    elem_ty: Type,
+    bb: &mut Option<BlockId>,
+) -> ValueId {
+    let cur = bb.expect("branchy emission requires CFG mode");
+    let gate = emit_load(f, cx, cx.ins[0], off, elem_ty, Some(cur));
+    // Thresholds sit inside the salted init ranges (ints are -300..720,
+    // floats 0.25..4.1875), so both arms are exercised.
+    let (op, attr, thresh) = if cx.int {
+        (Opcode::ICmp, InstAttr::IntPred(IntPred::Slt), f.const_i64(0))
+    } else {
+        (Opcode::FCmp, InstAttr::FloatPred(FloatPred::Olt), f.const_float(ScalarType::F64, 1.0))
+    };
+    let cond = f.push_in_block(cur, op, Type::Scalar(ScalarType::I8), vec![gate, thresh], attr);
+    let then_b = f.add_block();
+    let else_b = f.add_block();
+    let join = f.add_block();
+    let res = f.add_block_param(join, None, elem_ty);
+    f.set_term(
+        cur,
+        Terminator::Br {
+            cond,
+            then_to: then_b,
+            then_args: vec![],
+            else_to: else_b,
+            else_args: vec![],
+        },
+    );
+    f.set_term(then_b, Terminator::Jump { target: join, args: vec![v] });
+    f.set_term(else_b, Terminator::Jump { target: join, args: vec![gate] });
+    *bb = Some(join);
+    res
+}
+
+fn emit_index(
+    f: &mut Function,
+    cx: &IrCtx,
+    ptr: ValueId,
+    off: usize,
+    bb: Option<BlockId>,
+) -> ValueId {
     let c = f.const_i64(off as i64);
-    let mut b = FunctionBuilder::new(f);
-    let idx = b.add(cx.i, c);
-    b.gep(ptr, idx, 8)
+    let mut idx = emit(f, bb, Opcode::Add, Type::I64, vec![cx.i, c], InstAttr::None);
+    if let Some((iv, stride)) = cx.iv {
+        let s = f.const_i64(stride as i64);
+        let scaled = emit(f, bb, Opcode::Mul, Type::I64, vec![s, iv], InstAttr::None);
+        idx = emit(f, bb, Opcode::Add, Type::I64, vec![idx, scaled], InstAttr::None);
+    }
+    emit(f, bb, Opcode::Gep, Type::PTR, vec![ptr, idx], InstAttr::ElemBytes(8))
 }
 
-fn emit_load(f: &mut Function, cx: &IrCtx, ptr: ValueId, off: usize, ty: Type) -> ValueId {
-    let g = emit_index(f, cx, ptr, off);
-    FunctionBuilder::new(f).load(ty, g)
+fn emit_load(
+    f: &mut Function,
+    cx: &IrCtx,
+    ptr: ValueId,
+    off: usize,
+    ty: Type,
+    bb: Option<BlockId>,
+) -> ValueId {
+    let g = emit_index(f, cx, ptr, off, bb);
+    emit(f, bb, Opcode::Load, ty, vec![g], InstAttr::None)
 }
 
-fn emit_store(f: &mut Function, cx: &IrCtx, out: ValueId, off: usize, v: ValueId) {
-    let g = emit_index(f, cx, out, off);
-    FunctionBuilder::new(f).store(v, g);
+fn emit_store(
+    f: &mut Function,
+    cx: &IrCtx,
+    out: ValueId,
+    off: usize,
+    v: ValueId,
+    bb: Option<BlockId>,
+) {
+    let g = emit_index(f, cx, out, off, bb);
+    emit(f, bb, Opcode::Store, Type::Void, vec![v, g], InstAttr::None);
 }
 
 fn emit_const(f: &mut Function, cx: &IrCtx, c: i64) -> ValueId {
@@ -173,30 +342,38 @@ fn emit_const(f: &mut Function, cx: &IrCtx, c: i64) -> ValueId {
     }
 }
 
-fn emit_shape(f: &mut Function, cx: &IrCtx, shape: &Shape, l: usize, ty: Type) -> ValueId {
+fn emit_shape(
+    f: &mut Function,
+    cx: &IrCtx,
+    shape: &Shape,
+    l: usize,
+    ty: Type,
+    bb: Option<BlockId>,
+) -> ValueId {
     match shape {
-        Shape::Load { arr, base } => emit_load(f, cx, cx.ins[*arr], base + l, ty),
+        Shape::Load { arr, base } => emit_load(f, cx, cx.ins[*arr], base + l, ty, bb),
         Shape::Const(c) => emit_const(f, cx, *c),
         Shape::Bin { op, swap_mask, lhs, rhs } => {
-            let a = emit_shape(f, cx, lhs, l, ty);
-            let b = emit_shape(f, cx, rhs, l, ty);
+            let a = emit_shape(f, cx, lhs, l, ty, bb);
+            let b = emit_shape(f, cx, rhs, l, ty, bb);
             let (a, b) = if swaps(*swap_mask, l) { (b, a) } else { (a, b) };
-            FunctionBuilder::new(f).binop(*op, a, b)
+            emit(f, bb, *op, ty, vec![a, b], InstAttr::None)
         }
         Shape::Chain { op, rot, operands } => {
-            let vals: Vec<ValueId> = operands.iter().map(|o| emit_shape(f, cx, o, l, ty)).collect();
+            let vals: Vec<ValueId> =
+                operands.iter().map(|o| emit_shape(f, cx, o, l, ty, bb)).collect();
             let order = chain_order(vals.len(), *rot, l);
             let mut acc = vals[order[0]];
             for &k in &order[1..] {
-                acc = FunctionBuilder::new(f).binop(*op, acc, vals[k]);
+                acc = emit(f, bb, *op, ty, vec![acc, vals[k]], InstAttr::None);
             }
             acc
         }
         Shape::Mixed { op_even, op_odd, lhs, rhs } => {
-            let a = emit_shape(f, cx, lhs, l, ty);
-            let b = emit_shape(f, cx, rhs, l, ty);
+            let a = emit_shape(f, cx, lhs, l, ty, bb);
+            let b = emit_shape(f, cx, rhs, l, ty, bb);
             let op = if l.is_multiple_of(2) { *op_even } else { *op_odd };
-            FunctionBuilder::new(f).binop(op, a, b)
+            emit(f, bb, op, ty, vec![a, b], InstAttr::None)
         }
     }
 }
@@ -218,6 +395,14 @@ fn op_str(op: Opcode) -> &'static str {
     }
 }
 
+/// Render a buffer index: `i + off` plus `stride*k` inside a loop body.
+fn render_index(off: usize, loop_stride: Option<usize>) -> String {
+    match loop_stride {
+        Some(s) => format!("i + {off} + {s}*k"),
+        None => format!("i + {off}"),
+    }
+}
+
 fn render_slc(plan: &Plan) -> String {
     let ty = if plan.int { "i64" } else { "f64" };
     let mut params = format!("{ty}* OUT");
@@ -226,21 +411,47 @@ fn render_slc(plan: &Plan) -> String {
     }
     params.push_str(", i64 i");
 
+    let (trip, branchy) = control_shape(plan);
+    let in_loop = trip > 1;
+    let ls = in_loop.then(|| out_stride(plan));
+    let pad = if in_loop { "        " } else { "    " };
+    let thresh = if plan.int { "0" } else { "1.0" };
+
     let mut body = String::new();
+    if in_loop {
+        body.push_str(&format!("    loop k in 0..{trip} {{\n"));
+    }
     let mut out_base = 0;
     for g in &plan.groups {
         for l in lane_order(g.lanes, g.reversed) {
-            let expr = render_shape(&g.shape, l, plan.int);
-            body.push_str(&format!("    OUT[i + {}] = {expr};\n", out_base + l));
+            let expr = render_shape(&g.shape, l, plan.int, ls);
+            let idx = render_index(out_base + l, ls);
+            if branchy {
+                // The gate and value are bound first so the `if` arms are
+                // bare variable references — empty arm blocks, matching
+                // the direct-IR leg and the if-converter's legality rule.
+                let n = out_base + l;
+                body.push_str(&format!("{pad}let g{n}: {ty} = IN0[{idx}];\n"));
+                body.push_str(&format!("{pad}let v{n}: {ty} = {expr};\n"));
+                body.push_str(&format!(
+                    "{pad}OUT[{idx}] = if g{n} < {thresh} {{ v{n} }} else {{ g{n} }};\n"
+                ));
+            } else {
+                body.push_str(&format!("{pad}OUT[{idx}] = {expr};\n"));
+            }
         }
         out_base += g.lanes;
     }
+    if in_loop {
+        body.push_str("    }\n");
+    }
     if let Some(r) = &plan.reduction {
+        let total = trip * out_stride(plan);
         let mut expr = format!("IN{}[i + 0]", r.arr);
         for k in 1..r.width {
             expr = format!("({expr} {} IN{}[i + {k}])", op_str(r.op), r.arr);
         }
-        body.push_str(&format!("    OUT[i + {out_base}] = {expr};\n"));
+        body.push_str(&format!("    OUT[i + {total}] = {expr};\n"));
     }
     format!("kernel fuzz({params}) {{\n{body}}}\n")
 }
@@ -253,18 +464,18 @@ fn render_const(c: i64, int: bool) -> String {
     }
 }
 
-fn render_shape(shape: &Shape, l: usize, int: bool) -> String {
+fn render_shape(shape: &Shape, l: usize, int: bool, ls: Option<usize>) -> String {
     match shape {
-        Shape::Load { arr, base } => format!("IN{arr}[i + {}]", base + l),
+        Shape::Load { arr, base } => format!("IN{arr}[{}]", render_index(base + l, ls)),
         Shape::Const(c) => render_const(*c, int),
         Shape::Bin { op, swap_mask, lhs, rhs } => {
-            let a = render_shape(lhs, l, int);
-            let b = render_shape(rhs, l, int);
+            let a = render_shape(lhs, l, int, ls);
+            let b = render_shape(rhs, l, int, ls);
             let (a, b) = if swaps(*swap_mask, l) { (b, a) } else { (a, b) };
             format!("({a} {} {b})", op_str(*op))
         }
         Shape::Chain { op, rot, operands } => {
-            let vals: Vec<String> = operands.iter().map(|o| render_shape(o, l, int)).collect();
+            let vals: Vec<String> = operands.iter().map(|o| render_shape(o, l, int, ls)).collect();
             let order = chain_order(vals.len(), *rot, l);
             let mut acc = vals[order[0]].clone();
             for &k in &order[1..] {
@@ -273,8 +484,8 @@ fn render_shape(shape: &Shape, l: usize, int: bool) -> String {
             acc
         }
         Shape::Mixed { op_even, op_odd, lhs, rhs } => {
-            let a = render_shape(lhs, l, int);
-            let b = render_shape(rhs, l, int);
+            let a = render_shape(lhs, l, int, ls);
+            let b = render_shape(rhs, l, int, ls);
             let op = if l.is_multiple_of(2) { *op_even } else { *op_odd };
             format!("({a} {} {b})", op_str(op))
         }
@@ -327,9 +538,80 @@ mod tests {
                 shape: Shape::Load { arr: 0, base: 0 },
             }],
             reduction: Some(crate::plan::ReductionPlan { op: Opcode::Add, arr: 0, width: 5 }),
+            control: ControlPlan::None,
         };
         let p = build(&plan).unwrap();
         assert_eq!(p.min_len, 5);
         assert!(p.slc.unwrap().contains("OUT[i + 4]"));
+    }
+
+    fn control_base(int: bool, control: ControlPlan) -> Plan {
+        let op = if int { Opcode::Add } else { Opcode::FAdd };
+        Plan {
+            int,
+            via_slc: false,
+            arrays: 1,
+            groups: vec![GroupPlan {
+                lanes: 4,
+                reversed: false,
+                shape: Shape::Bin {
+                    op,
+                    swap_mask: 0,
+                    lhs: Box::new(Shape::Load { arr: 0, base: 0 }),
+                    rhs: Box::new(Shape::Const(3)),
+                },
+            }],
+            reduction: Some(crate::plan::ReductionPlan { op, arr: 0, width: 4 }),
+            control,
+        }
+    }
+
+    /// Control plans build a verifying CFG on both legs, and the legs
+    /// still agree.
+    #[test]
+    fn control_legs_build_cfgs_and_agree() {
+        for int in [true, false] {
+            for control in [
+                ControlPlan::Loop { trip: 3, branchy: false },
+                ControlPlan::Loop { trip: 4, branchy: true },
+                ControlPlan::IfDiamond,
+            ] {
+                let mut plan = control_base(int, control);
+                let ir_leg = build(&plan).expect("direct IR leg cannot fail");
+                assert!(
+                    ir_leg.function.cfg().is_some(),
+                    "{control:?} must build a CFG on the IR leg"
+                );
+                lslp_ir::verify_function(&ir_leg.function)
+                    .unwrap_or_else(|e| panic!("{control:?} (IR leg): {e}"));
+                plan.via_slc = true;
+                let slc_leg = build(&plan).expect("generated SLC must compile");
+                assert!(slc_leg.function.cfg().is_some(), "{control:?} (SLC leg) must be a CFG");
+                let a = crate::exec::run_capture(&ir_leg.function, &plan, ir_leg.min_len, 5)
+                    .expect("IR leg executes");
+                let b = crate::exec::run_capture(&slc_leg.function, &plan, slc_leg.min_len, 5)
+                    .expect("SLC leg executes");
+                assert!(
+                    crate::exec::compare(&a, &b, true).is_none(),
+                    "legs diverged for {plan:?}\n{}",
+                    slc_leg.slc.unwrap()
+                );
+            }
+        }
+    }
+
+    /// Loop iterations write disjoint adjacent runs; `min_len` covers the
+    /// full footprint.
+    #[test]
+    fn loop_min_len_covers_every_iteration() {
+        let plan = control_base(true, ControlPlan::Loop { trip: 3, branchy: true });
+        let p = build(&plan).unwrap();
+        // 4 lanes * 3 iterations + 1 reduction slot.
+        assert_eq!(p.min_len, 13);
+        // Shifting the index by the salt's `i` offset must stay in bounds.
+        for salt in 0..6 {
+            crate::exec::run_capture(&p.function, &plan, p.min_len, salt)
+                .unwrap_or_else(|e| panic!("salt {salt}: {e}"));
+        }
     }
 }

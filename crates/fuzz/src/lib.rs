@@ -7,13 +7,16 @@
 //!
 //! * [`plan`] — a typed, seed-deterministic program description decoded
 //!   *totally* from raw bytes (any corpus entry replays exactly) with a
-//!   canonical re-encoding and structural shrinking;
-//! * [`build`] — materializes a plan as one straight-line function,
-//!   either by direct IR construction or by compiling rendered SLC
-//!   source (so the frontend is fuzzed too);
-//! * [`oracle`] — four correctness oracles run on every program and
+//!   canonical re-encoding and structural shrinking; plans optionally
+//!   carry control flow ([`plan::ControlPlan`]: counted loops with
+//!   2–8 iterations, branch diamonds, or both), putting if-conversion
+//!   and unroll-and-SLP inside the fuzzed perimeter;
+//! * [`build`] — materializes a plan as one function (straight-line, or
+//!   a small CFG for control plans), either by direct IR construction or
+//!   by compiling rendered SLC source (so the frontend is fuzzed too);
+//! * [`oracle`] — five correctness oracles run on every program and
 //!   every target: differential execution, metamorphic commutation,
-//!   cross-VF consistency, and pipeline idempotence;
+//!   cross-VF consistency, pipeline idempotence, and packing quality;
 //! * [`campaign`] — the feedback loop: cheap coverage signatures
 //!   ([`coverage`]) keep interesting inputs, failures shrink to minimal
 //!   reproducers in `fuzz/corpus/regressions/`.
@@ -47,5 +50,5 @@ pub use campaign::{
 pub use oracle::{
     base_config, check_program, default_targets, CheckOutcome, OracleKind, Violation,
 };
-pub use plan::{GroupPlan, Plan, ReductionPlan, Shape};
+pub use plan::{ControlPlan, GroupPlan, Plan, ReductionPlan, Shape};
 pub use unstructured::Unstructured;

@@ -153,6 +153,16 @@ pub fn check_program(
     salt: u64,
 ) -> CheckOutcome {
     let mut out = CheckOutcome::default();
+    // Control-flow plans are their own coverage dimension: keeping one of
+    // each shape in the corpus guarantees the if-conversion and unroll
+    // passes stay exercised by mutation.
+    match p.plan.control {
+        crate::plan::ControlPlan::None => {}
+        crate::plan::ControlPlan::Loop { branchy, .. } => {
+            out.signature.push(if branchy { "plan:loop-branchy" } else { "plan:loop" }.to_string())
+        }
+        crate::plan::ControlPlan::IfDiamond => out.signature.push("plan:if-diamond".to_string()),
+    }
     let scalar = match run_capture(&p.function, &p.plan, p.min_len, salt) {
         Ok(c) => c,
         Err(e) => {

@@ -4,7 +4,10 @@
 //! groups of adjacent stores, each computing a lane expression biased
 //! toward SLP-shaped code (commutative chains, mixed-opcode
 //! near-isomorphism, per-lane operand swaps), optionally followed by a
-//! horizontal reduction tree. Plans decode *totally* from arbitrary bytes
+//! horizontal reduction tree and optionally wrapped in control flow
+//! ([`ControlPlan`]: a counted loop and/or per-lane branch diamonds, so
+//! the if-conversion and unroll passes sit inside the fuzzed perimeter).
+//! Plans decode *totally* from arbitrary bytes
 //! ([`Plan::decode`]) and re-encode canonically ([`Plan::encode`]):
 //!
 //! * `decode(encode(p)) == p` for every decoded or shrunk plan, so a
@@ -325,6 +328,31 @@ pub struct GroupPlan {
     pub shape: Shape,
 }
 
+/// Optional control flow wrapped around the store groups.
+///
+/// The variant is encoded as a *suffix* of the byte stream and
+/// [`ControlPlan::None`] encodes to **zero bytes**, so every pre-existing
+/// canonical corpus entry keeps its exact bytes (an exhausted stream reads
+/// zero, which decodes to `None`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ControlPlan {
+    /// Straight-line program (the classic corpus shape).
+    None,
+    /// Run the store groups inside a counted loop; iteration `k` shifts
+    /// every load and store index by `k * stride` (stride = total lanes),
+    /// so full unrolling exposes adjacent stores across iterations.
+    Loop {
+        /// Compile-time trip count, 2..=8.
+        trip: usize,
+        /// Gate each lane's stored value behind a branch diamond
+        /// (if-conversion fodder inside the loop body).
+        branchy: bool,
+    },
+    /// No loop, but each lane's stored value goes through a branch
+    /// diamond: `if IN0[idx] < T { v } else { IN0[idx] }`.
+    IfDiamond,
+}
+
 /// A horizontal reduction: `OUT[i + total] = fold(op, IN{arr}[i..i+width])`.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ReductionPlan {
@@ -351,6 +379,8 @@ pub struct Plan {
     pub groups: Vec<GroupPlan>,
     /// Optional trailing reduction store.
     pub reduction: Option<ReductionPlan>,
+    /// Control flow wrapped around the store groups (loop / if-diamond).
+    pub control: ControlPlan,
 }
 
 impl Plan {
@@ -375,7 +405,13 @@ impl Plan {
             arr: u.byte() as usize % arrays,
             width: 4 + u.byte() as usize % 5,
         });
-        Plan { int, via_slc, arrays, groups, reduction }
+        // The control suffix: an exhausted (legacy) stream reads 0 = None.
+        let control = match u.byte() % 3 {
+            0 => ControlPlan::None,
+            1 => ControlPlan::Loop { trip: 2 + u.byte() as usize % 7, branchy: u.byte() & 1 != 0 },
+            _ => ControlPlan::IfDiamond,
+        };
+        Plan { int, via_slc, arrays, groups, reduction, control }
     }
 
     /// Canonical byte encoding; `decode(encode(self)) == self`.
@@ -397,6 +433,16 @@ impl Plan {
                 out.push((r.width - 4) as u8);
             }
             None => out.push(1),
+        }
+        match self.control {
+            // Zero bytes: legacy corpus entries stay byte-identical.
+            ControlPlan::None => {}
+            ControlPlan::Loop { trip, branchy } => {
+                out.push(1);
+                out.push((trip - 2) as u8);
+                out.push(u8::from(branchy));
+            }
+            ControlPlan::IfDiamond => out.push(2),
         }
         out
     }
@@ -465,6 +511,29 @@ impl Plan {
                 out.push(p);
             }
         }
+        match self.control {
+            ControlPlan::None => {}
+            ControlPlan::IfDiamond => {
+                let mut p = self.clone();
+                p.control = ControlPlan::None;
+                out.push(p);
+            }
+            ControlPlan::Loop { trip, branchy } => {
+                let mut p = self.clone();
+                p.control = ControlPlan::None;
+                out.push(p);
+                if branchy {
+                    let mut p = self.clone();
+                    p.control = ControlPlan::Loop { trip, branchy: false };
+                    out.push(p);
+                }
+                if trip > 2 {
+                    let mut p = self.clone();
+                    p.control = ControlPlan::Loop { trip: trip - 1, branchy };
+                    out.push(p);
+                }
+            }
+        }
         out
     }
 }
@@ -512,6 +581,52 @@ mod tests {
                 assert_ne!(c, p, "shrink candidates must differ from the original");
                 assert_eq!(Plan::decode(&c.encode()), c, "candidate must round-trip");
             }
+        }
+    }
+
+    #[test]
+    fn none_control_encodes_to_zero_bytes() {
+        // Corpus byte-stability: the control variant is a strict suffix
+        // and `None` contributes nothing, so every legacy canonical entry
+        // keeps its exact bytes under the extended codec.
+        let p = Plan::decode(&[]);
+        assert_eq!(p.control, ControlPlan::None);
+        let base = p.encode();
+        for control in [
+            ControlPlan::Loop { trip: 2, branchy: false },
+            ControlPlan::Loop { trip: 8, branchy: true },
+            ControlPlan::IfDiamond,
+        ] {
+            let mut q = p.clone();
+            q.control = control;
+            let enc = q.encode();
+            assert_eq!(&enc[..base.len()], &base[..], "control must be a suffix");
+            assert!(enc.len() > base.len());
+            assert_eq!(Plan::decode(&enc), q, "control round-trips");
+        }
+    }
+
+    #[test]
+    fn control_suffix_decodes_from_trailing_bytes() {
+        // A legacy canonical stream plus one trailing byte `1` plus trip
+        // and branchy bytes decodes to a loop plan.
+        let mut bytes = Plan::decode(&[]).encode();
+        bytes.extend([1, 3, 1]);
+        let p = Plan::decode(&bytes);
+        assert_eq!(p.control, ControlPlan::Loop { trip: 5, branchy: true });
+        assert_eq!(p.encode(), bytes, "canonical loop suffix is a fixpoint");
+    }
+
+    #[test]
+    fn control_shrinks_toward_straight_line() {
+        let mut p = Plan::decode(&[]);
+        p.control = ControlPlan::Loop { trip: 4, branchy: true };
+        let cands = p.shrink_candidates();
+        assert!(cands.iter().any(|c| c.control == ControlPlan::None));
+        assert!(cands.iter().any(|c| c.control == ControlPlan::Loop { trip: 4, branchy: false }));
+        assert!(cands.iter().any(|c| c.control == ControlPlan::Loop { trip: 3, branchy: true }));
+        for c in cands {
+            assert_eq!(Plan::decode(&c.encode()), c, "candidate must round-trip");
         }
     }
 

@@ -15,7 +15,7 @@
 
 use lslp::{CompileOptions, Sabotage, Session, VectorizerConfig};
 use lslp_fuzz::{
-    base_config, build, check_program, default_targets, fnv64, OracleKind, Plan, Shape,
+    base_config, build, check_program, default_targets, fnv64, ControlPlan, OracleKind, Plan, Shape,
 };
 use lslp_fuzz::{GroupPlan, Program};
 use lslp_ir::Opcode;
@@ -40,7 +40,16 @@ fn axpy_plan(int: bool) -> Plan {
             },
         }],
         reduction: None,
+        control: ControlPlan::None,
     }
+}
+
+/// The axpy group wrapped in control flow: every lane's value goes
+/// through a branch diamond (`if IN0[idx] < T { v } else { IN0[idx] }`),
+/// optionally inside a counted loop. The arms always differ (`v` is the
+/// gate load plus 3), so a swapped select miscompiles on every lane.
+fn control_plan(int: bool, control: ControlPlan) -> Plan {
+    Plan { control, ..axpy_plan(int) }
 }
 
 fn build_plan(plan: &Plan) -> Program {
@@ -62,6 +71,51 @@ fn clean_control_passes_every_oracle() {
     for int in [true, false] {
         let kinds = kinds_under(&axpy_plan(int), Sabotage::None);
         assert!(kinds.is_empty(), "clean control (int={int}) flagged: {kinds:?}");
+    }
+}
+
+#[test]
+fn clean_control_flow_plans_pass_every_oracle() {
+    for int in [true, false] {
+        for control in [
+            ControlPlan::Loop { trip: 4, branchy: true },
+            ControlPlan::Loop { trip: 3, branchy: false },
+            ControlPlan::IfDiamond,
+        ] {
+            let kinds = kinds_under(&control_plan(int, control), Sabotage::None);
+            assert!(
+                kinds.is_empty(),
+                "clean control plan (int={int}, {control:?}) flagged: {kinds:?}"
+            );
+        }
+    }
+}
+
+/// The control-flow golden test: a miscompiled if-conversion (swapped
+/// select arms) must be caught by the differential oracle — the pipeline
+/// legs flatten the diamonds through the sabotaged pass and their output
+/// diverges from the scalar CFG reference.
+#[test]
+fn swapped_if_arms_trip_the_differential_oracle() {
+    for int in [true, false] {
+        for control in [ControlPlan::Loop { trip: 4, branchy: true }, ControlPlan::IfDiamond] {
+            let kinds = kinds_under(&control_plan(int, control), Sabotage::SwapIfArms);
+            assert!(
+                kinds.contains(&OracleKind::Differential),
+                "differential missed the swapped if-arms (int={int}, {control:?}): {kinds:?}"
+            );
+        }
+    }
+}
+
+/// `SwapIfArms` is a no-op on programs with no diamonds: the straight-line
+/// corpus must stay green under it (no false alarms).
+#[test]
+fn swapped_if_arms_is_inert_without_diamonds() {
+    for plan in [axpy_plan(true), control_plan(true, ControlPlan::Loop { trip: 3, branchy: false })]
+    {
+        let kinds = kinds_under(&plan, Sabotage::SwapIfArms);
+        assert!(kinds.is_empty(), "diamond-free plan flagged under SwapIfArms: {kinds:?}");
     }
 }
 

@@ -5,11 +5,15 @@ use std::error::Error;
 use std::fmt;
 
 use lslp_ir::{
-    Constant, FloatPred, Function, Inst, InstAttr, IntPred, Opcode, ScalarType, Type, ValueData,
-    ValueId,
+    BlockId, Constant, FloatPred, Function, Inst, InstAttr, IntPred, Opcode, ScalarType,
+    Terminator, Type, ValueData, ValueId,
 };
 
 use crate::memory::{Memory, Value};
+
+/// Per-instruction cost hook for [`run_function_costed`]: maps one
+/// executed instruction to its cycle price.
+pub type InstCostFn<'a> = &'a dyn Fn(&Function, &Inst) -> i64;
 
 /// A runtime failure: division by zero, out-of-bounds access, missing
 /// argument, or malformed IR that slipped past the verifier.
@@ -207,6 +211,11 @@ struct Interp<'a> {
     mem: &'a mut Memory,
     env: HashMap<ValueId, Value>,
     stats: ExecStats,
+    /// Optional per-instruction cost hook; accumulated into `cycles`.
+    /// Used by the performance simulator for CFG functions, where the
+    /// dynamic instruction stream differs from the static body.
+    cost: Option<InstCostFn<'a>>,
+    cycles: i64,
 }
 
 impl<'a> Interp<'a> {
@@ -222,6 +231,9 @@ impl<'a> Interp<'a> {
 
     fn exec_inst(&mut self, id: ValueId, inst: &Inst) -> Result<(), ExecError> {
         self.stats.insts += 1;
+        if let Some(cost) = self.cost {
+            self.cycles += cost(self.f, inst);
+        }
         let is_vec = inst.ty.is_vector() || inst.args.iter().any(|&a| self.f.ty(a).is_vector());
         if is_vec {
             self.stats.vector_insts += 1;
@@ -358,6 +370,138 @@ impl<'a> Interp<'a> {
         }
         Ok(())
     }
+
+    // ----- control flow ---------------------------------------------------
+
+    fn exec_block(
+        &mut self,
+        b: BlockId,
+        observe: &mut impl FnMut(ValueId, &Value),
+    ) -> Result<(), ExecError> {
+        let insts = self.f.cfg().expect("CFG function").block(b).insts().to_vec();
+        for id in insts {
+            let inst = self.f.inst(id).expect("blocks contain instructions").clone();
+            self.exec_inst(id, &inst)?;
+            if let Some(v) = self.env.get(&id) {
+                observe(id, v);
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_args(&self, args: &[ValueId]) -> Result<Vec<Value>, ExecError> {
+        args.iter().map(|&a| self.value(a)).collect()
+    }
+
+    fn bind_params(&mut self, b: BlockId, vals: Vec<Value>) -> Result<(), ExecError> {
+        let params = self.f.cfg().expect("CFG function").block(b).params().to_vec();
+        if params.len() != vals.len() {
+            return Err(ExecError::new(format!(
+                "block {b} expects {} arguments, got {}",
+                params.len(),
+                vals.len()
+            )));
+        }
+        for (p, v) in params.into_iter().zip(vals) {
+            self.env.insert(p, v);
+        }
+        Ok(())
+    }
+
+    fn take_fuel(fuel: &mut u64) -> Result<(), ExecError> {
+        if *fuel == 0 {
+            return Err(ExecError::new("block transition limit exceeded"));
+        }
+        *fuel -= 1;
+        Ok(())
+    }
+
+    /// Run a loop-body region from `start` until its `continue`, returning
+    /// the evaluated carried values.
+    fn run_region(
+        &mut self,
+        start: BlockId,
+        fuel: &mut u64,
+        observe: &mut impl FnMut(ValueId, &Value),
+    ) -> Result<Vec<Value>, ExecError> {
+        let mut cur = start;
+        loop {
+            Self::take_fuel(fuel)?;
+            self.exec_block(cur, observe)?;
+            let term = self.f.cfg().expect("CFG function").block(cur).term().clone();
+            match term {
+                Terminator::Continue { args } => return self.eval_args(&args),
+                Terminator::Jump { target, args } => {
+                    let vals = self.eval_args(&args)?;
+                    self.bind_params(target, vals)?;
+                    cur = target;
+                }
+                Terminator::Br { cond, then_to, then_args, else_to, else_args } => {
+                    let taken = self.value(cond)?.as_int() != 0;
+                    let (target, args) =
+                        if taken { (then_to, then_args) } else { (else_to, else_args) };
+                    let vals = self.eval_args(&args)?;
+                    self.bind_params(target, vals)?;
+                    cur = target;
+                }
+                Terminator::Ret => {
+                    return Err(ExecError::new("ret inside a loop body"));
+                }
+                Terminator::Loop { .. } => {
+                    return Err(ExecError::new("nested counted loops are not supported"));
+                }
+            }
+        }
+    }
+
+    /// The block driver for CFG functions: execute from the entry block
+    /// until `ret`, running counted-loop regions `trip` times each.
+    fn run_cfg(&mut self, observe: &mut impl FnMut(ValueId, &Value)) -> Result<(), ExecError> {
+        // Backstop against unstructured jump cycles (the verifier does not
+        // forbid them); generous compared to any real kernel.
+        let mut fuel: u64 = 100_000;
+        let mut cur = self.f.cfg().expect("CFG function").entry();
+        loop {
+            Self::take_fuel(&mut fuel)?;
+            self.exec_block(cur, observe)?;
+            let term = self.f.cfg().expect("CFG function").block(cur).term().clone();
+            match term {
+                Terminator::Ret => return Ok(()),
+                Terminator::Jump { target, args } => {
+                    let vals = self.eval_args(&args)?;
+                    self.bind_params(target, vals)?;
+                    cur = target;
+                }
+                Terminator::Br { cond, then_to, then_args, else_to, else_args } => {
+                    let taken = self.value(cond)?.as_int() != 0;
+                    let (target, args) =
+                        if taken { (then_to, then_args) } else { (else_to, else_args) };
+                    let vals = self.eval_args(&args)?;
+                    self.bind_params(target, vals)?;
+                    cur = target;
+                }
+                Terminator::Loop { trip, body, init, exit } => {
+                    let trip = self.value(trip)?.as_int();
+                    if trip < 1 {
+                        return Err(ExecError::new("loop trip count must be ≥ 1"));
+                    }
+                    let mut carried = self.eval_args(&init)?;
+                    for k in 0..trip {
+                        let mut vals = Vec::with_capacity(carried.len() + 1);
+                        vals.push(Value::Int(k));
+                        vals.extend(carried.iter().cloned());
+                        self.bind_params(body, vals)?;
+                        carried = self.run_region(body, &mut fuel, observe)?;
+                    }
+                    self.bind_params(exit, carried)?;
+                    cur = exit;
+                }
+                Terminator::Continue { .. } => {
+                    return Err(ExecError::new("continue outside a loop region"));
+                }
+            }
+        }
+    }
 }
 
 /// Execute a function against `mem` with the given argument values.
@@ -395,9 +539,42 @@ pub fn run_function_traced(
             args.len()
         )));
     }
-    let mut interp = Interp { f, mem, env: HashMap::new(), stats: ExecStats::default() };
+    let (_, stats) = run_function_costed(f, args, mem, None, &mut observe)?;
+    Ok(stats)
+}
+
+/// Like [`run_function`], additionally charging each *executed*
+/// instruction via `cost` and returning the accumulated total. For CFG
+/// functions this prices the dynamic instruction stream (loop bodies
+/// execute `trip` times, only one branch arm runs); for straight-line
+/// bodies it matches the static estimate.
+///
+/// # Errors
+///
+/// Same failure modes as [`run_function`].
+pub fn run_function_costed(
+    f: &Function,
+    args: &[Value],
+    mem: &mut Memory,
+    cost: Option<InstCostFn<'_>>,
+    observe: &mut impl FnMut(ValueId, &Value),
+) -> Result<(i64, ExecStats), ExecError> {
+    if args.len() != f.params().len() {
+        return Err(ExecError::new(format!(
+            "@{} expects {} arguments, got {}",
+            f.name(),
+            f.params().len(),
+            args.len()
+        )));
+    }
+    let mut interp =
+        Interp { f, mem, env: HashMap::new(), stats: ExecStats::default(), cost, cycles: 0 };
     for (&p, v) in f.params().iter().zip(args) {
         interp.env.insert(p, v.clone());
+    }
+    if f.cfg().is_some() {
+        interp.run_cfg(observe)?;
+        return Ok((interp.cycles, interp.stats));
     }
     for (_, id, _) in f.iter_body() {
         // Re-fetch the instruction to satisfy the borrow checker.
@@ -407,7 +584,7 @@ pub fn run_function_traced(
             observe(id, v);
         }
     }
-    Ok(interp.stats)
+    Ok((interp.cycles, interp.stats))
 }
 
 #[cfg(test)]
@@ -610,6 +787,123 @@ mod tests {
         .unwrap_err();
         assert!(err.message.contains("out-of-bounds"), "{err}");
     }
+
+    // ----- CFG execution --------------------------------------------------
+
+    #[test]
+    fn cfg_diamond_selects_branch() {
+        // max(x, y) via a branch diamond with a join block parameter.
+        let src = "func @max(%A: ptr) {
+bb0:
+  %x = load i64, %A
+  %p = gep %A, 1, 8
+  %y = load i64, %p
+  %c = icmp sgt i64 %x, %y
+  br %c, bb1, bb2
+bb1:
+  jump bb3(%x)
+bb2:
+  jump bb3(%y)
+bb3(%m: i64):
+  %q = gep %A, 2, 8
+  store i64 %m, %q
+  ret
+}";
+        let mut mem = Memory::new();
+        let a = mem.alloc_i64("A", &[7, 3, 0]);
+        run(src, &[a], &mut mem).unwrap();
+        assert_eq!(mem.read_i64("A", 2), Some(7));
+
+        let mut mem = Memory::new();
+        let a = mem.alloc_i64("A", &[3, 9, 0]);
+        run(src, &[a], &mut mem).unwrap();
+        assert_eq!(mem.read_i64("A", 2), Some(9));
+    }
+
+    #[test]
+    fn cfg_counted_loop_accumulates() {
+        // Sum four elements through a loop-carried accumulator.
+        let src = "func @sum(%A: ptr) {
+bb0:
+  loop 4, bb1(0), bb2
+bb1(%i: i64, %acc: i64):
+  %p = gep %A, %i, 8
+  %x = load i64, %p
+  %next = add i64 %acc, %x
+  continue %next
+bb2(%total: i64):
+  %q = gep %A, 4, 8
+  store i64 %total, %q
+  ret
+}";
+        let mut mem = Memory::new();
+        let a = mem.alloc_i64("A", &[10, 20, 30, 40, 0]);
+        run(src, &[a], &mut mem).unwrap();
+        assert_eq!(mem.read_i64("A", 4), Some(100));
+    }
+
+    #[test]
+    fn cfg_loop_iv_counts_from_zero() {
+        // The induction variable is the first body parameter: sum 0..5 = 10.
+        let src = "func @iv(%A: ptr) {
+bb0:
+  loop 5, bb1(0), bb2
+bb1(%i: i64, %acc: i64):
+  %next = add i64 %acc, %i
+  continue %next
+bb2(%total: i64):
+  store i64 %total, %A
+  ret
+}";
+        let mut mem = Memory::new();
+        let a = mem.alloc_i64("A", &[0]);
+        run(src, &[a], &mut mem).unwrap();
+        assert_eq!(mem.read_i64("A", 0), Some(10));
+    }
+
+    #[test]
+    fn cfg_branchy_loop_body() {
+        // Clamp negatives to zero inside the loop body: a diamond per
+        // iteration feeding the carried accumulator.
+        let src = "func @clampsum(%A: ptr) {
+bb0:
+  loop 4, bb1(0), bb5
+bb1(%i: i64, %acc: i64):
+  %p = gep %A, %i, 8
+  %x = load i64, %p
+  %c = icmp slt i64 %x, 0
+  br %c, bb2, bb3
+bb2:
+  jump bb4(0)
+bb3:
+  jump bb4(%x)
+bb4(%v: i64):
+  %next = add i64 %acc, %v
+  continue %next
+bb5(%total: i64):
+  %q = gep %A, 4, 8
+  store i64 %total, %q
+  ret
+}";
+        let mut mem = Memory::new();
+        let a = mem.alloc_i64("A", &[5, -7, 3, -1, 0]);
+        run(src, &[a], &mut mem).unwrap();
+        assert_eq!(mem.read_i64("A", 4), Some(8));
+    }
+
+    #[test]
+    fn cfg_jump_cycle_hits_transition_limit() {
+        let src = "func @spin(%A: ptr) {
+bb0:
+  jump bb1
+bb1:
+  jump bb0
+}";
+        let mut mem = Memory::new();
+        let a = mem.alloc_i64("A", &[0]);
+        let err = run(src, &[a], &mut mem).unwrap_err();
+        assert!(err.message.contains("block transition limit"), "{err}");
+    }
 }
 
 #[cfg(test)]
@@ -660,5 +954,31 @@ mod trace_tests {
         assert_eq!(vecs, 2);
         assert_eq!(mem.read_i64("A", 0), Some(6));
         assert_eq!(mem.read_i64("A", 1), Some(20));
+    }
+
+    // ----- CFG execution --------------------------------------------------
+
+    #[test]
+    fn cfg_trace_observes_loop_iterations() {
+        let f = parse_function(
+            "func @t(%A: ptr) {
+bb0:
+  loop 3, bb1(1), bb2
+bb1(%i: i64, %acc: i64):
+  %next = mul i64 %acc, 2
+  continue %next
+bb2(%total: i64):
+  store i64 %total, %A
+  ret
+}",
+        )
+        .unwrap();
+        lslp_ir::verify_function(&f).unwrap();
+        let mut mem = Memory::new();
+        let a = mem.alloc_i64("A", &[0]);
+        let mut muls = Vec::new();
+        run_function_traced(&f, &[a], &mut mem, |_, v| muls.push(v.as_int())).unwrap();
+        assert_eq!(muls, vec![2, 4, 8], "observe fires once per iteration");
+        assert_eq!(mem.read_i64("A", 0), Some(8));
     }
 }

@@ -32,6 +32,8 @@ mod exec;
 mod memory;
 pub mod perf;
 
-pub use exec::{run_function, run_function_traced, ExecError, ExecStats};
+pub use exec::{
+    run_function, run_function_costed, run_function_traced, ExecError, ExecStats, InstCostFn,
+};
 pub use memory::{Memory, Value};
 pub use perf::{measure_cycles, PerfResult};

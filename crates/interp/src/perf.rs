@@ -15,7 +15,7 @@
 use lslp_ir::{Function, Inst, Opcode};
 use lslp_target::CostModel;
 
-use crate::exec::{run_function, ExecError, ExecStats};
+use crate::exec::{run_function, run_function_costed, ExecError, ExecStats};
 use crate::memory::{Memory, Value};
 
 /// Result of a simulated run.
@@ -64,6 +64,14 @@ pub fn measure_cycles(
     mem: &mut Memory,
     tm: &CostModel,
 ) -> Result<PerfResult, ExecError> {
+    if f.cfg().is_some() {
+        // CFG code: the dynamic instruction stream differs from the static
+        // body (loop bodies run `trip` times; only one branch arm runs), so
+        // charge each instruction as it executes.
+        let (cycles, stats) =
+            run_function_costed(f, args, mem, Some(&|f, i| inst_cycles(f, i, tm)), &mut |_, _| {})?;
+        return Ok(PerfResult { cycles, stats });
+    }
     // Straight-line code: every body instruction executes exactly once, so
     // the dynamic cycle count equals the static body estimate. Running the
     // interpreter both validates the code and yields the stats.

@@ -18,6 +18,7 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::cfg::{Block, BlockId, Cfg, Terminator};
 use crate::inst::{Inst, InstAttr, Opcode};
 use crate::types::Type;
 use crate::value::{ConstId, Constant, ValueId};
@@ -61,6 +62,12 @@ pub enum ValueData {
     Const(ConstId),
     /// An instruction; only instructions appear in the body.
     Inst(Inst),
+    /// A block parameter (phi-equivalent) of a CFG function. Bound per
+    /// incoming edge by the predecessor's terminator arguments.
+    BlockParam {
+        /// The parameter type.
+        ty: Type,
+    },
 }
 
 /// One use of a value: which instruction uses it and at which operand slot.
@@ -118,6 +125,24 @@ enum Delta {
     /// An instruction payload was (possibly) mutated in place; `old` is the
     /// full previous record.
     SetInst { v: ValueId, old: Inst },
+    /// A CFG was initialised (one empty entry block).
+    CfgInit,
+    /// A block was appended to the CFG.
+    CfgBlockAdd,
+    /// A block parameter was appended to block `b`.
+    CfgBlockParamPush { b: BlockId },
+    /// An instruction was appended to block `b`.
+    CfgInstPush { b: BlockId },
+    /// Block `b`'s instruction order was replaced; `old` is the previous
+    /// order.
+    CfgInstsReplace { b: BlockId, old: Vec<ValueId> },
+    /// Block `b`'s parameter list was replaced; `old` is the previous list.
+    CfgParamsReplace { b: BlockId, old: Vec<ValueId> },
+    /// Block `b`'s terminator was replaced; `old` is the previous one.
+    CfgSetTerm { b: BlockId, old: Terminator },
+    /// The CFG was dissolved into a straight-line body; `old` is the whole
+    /// previous CFG.
+    CfgDissolve { old: Cfg },
 }
 
 /// A position in a function's delta log plus the epoch at that point.
@@ -163,6 +188,10 @@ pub struct Function {
     /// Equal epochs imply identical content, so analysis caches keyed by
     /// epoch stay warm across snapshot/rollback cycles.
     epoch: u64,
+    /// Control-flow graph, when this is a CFG function. `None` means the
+    /// classic straight-line form; `Some` means the body is empty and every
+    /// instruction lives in a block.
+    cfg: Option<Cfg>,
 }
 
 impl Function {
@@ -180,6 +209,7 @@ impl Function {
             log: Vec::new(),
             txn_depth: 0,
             epoch: fresh_epoch(),
+            cfg: None,
         }
     }
 
@@ -293,7 +323,15 @@ impl Function {
                 | Delta::ParamPush
                 | Delta::BodyPush
                 | Delta::BodyInsert { .. }
-                | Delta::BodyReplace { .. } => {}
+                | Delta::BodyReplace { .. }
+                | Delta::CfgInit
+                | Delta::CfgBlockAdd
+                | Delta::CfgBlockParamPush { .. }
+                | Delta::CfgInstPush { .. }
+                | Delta::CfgInstsReplace { .. }
+                | Delta::CfgParamsReplace { .. }
+                | Delta::CfgSetTerm { .. }
+                | Delta::CfgDissolve { .. } => {}
             }
         }
         touched
@@ -330,7 +368,36 @@ impl Function {
             Delta::SetInst { v, old } => {
                 self.values[v.index()] = ValueData::Inst(old);
             }
+            Delta::CfgInit => {
+                self.cfg = None;
+            }
+            Delta::CfgBlockAdd => {
+                self.cfg_mut().blocks.pop();
+            }
+            Delta::CfgBlockParamPush { b } => {
+                self.cfg_mut().blocks[b.index()].params.pop();
+            }
+            Delta::CfgInstPush { b } => {
+                self.cfg_mut().blocks[b.index()].insts.pop();
+            }
+            Delta::CfgInstsReplace { b, old } => {
+                self.cfg_mut().blocks[b.index()].insts = old;
+            }
+            Delta::CfgParamsReplace { b, old } => {
+                self.cfg_mut().blocks[b.index()].params = old;
+            }
+            Delta::CfgSetTerm { b, old } => {
+                self.cfg_mut().blocks[b.index()].term = old;
+            }
+            Delta::CfgDissolve { old } => {
+                self.cfg = Some(old);
+            }
         }
+    }
+
+    /// The CFG, for undo paths that know it must exist.
+    fn cfg_mut(&mut self) -> &mut Cfg {
+        self.cfg.as_mut().expect("undo requires the CFG it mutated")
     }
 
     // ----- construction ---------------------------------------------------
@@ -528,7 +595,13 @@ impl Function {
             ValueData::Arg { ty, .. } => *ty,
             ValueData::Const(c) => self.consts[c.index()].ty(),
             ValueData::Inst(i) => i.ty,
+            ValueData::BlockParam { ty } => *ty,
         }
+    }
+
+    /// Whether `v` is a block parameter of a CFG function.
+    pub fn is_block_param(&self, v: ValueId) -> bool {
+        matches!(self.value(v), ValueData::BlockParam { .. })
     }
 
     /// The instruction body, in execution order.
@@ -566,29 +639,54 @@ impl Function {
 
     // ----- mutation -------------------------------------------------------
 
-    /// Replace every body use of `old` with `new`.
+    /// Replace every use of `old` with `new` in one instruction, logging
+    /// the previous payload when inside a transaction.
+    fn rewrite_user(&mut self, user: ValueId, old: ValueId, new: ValueId) {
+        let uses_old = matches!(
+            &self.values[user.index()],
+            ValueData::Inst(inst) if inst.args.contains(&old)
+        );
+        if !uses_old {
+            return;
+        }
+        if self.txn_depth > 0 {
+            if let ValueData::Inst(prev) = &self.values[user.index()] {
+                let prev = prev.clone();
+                self.log.push(Delta::SetInst { v: user, old: prev });
+            }
+        }
+        if let ValueData::Inst(inst) = &mut self.values[user.index()] {
+            for arg in &mut inst.args {
+                if *arg == old {
+                    *arg = new;
+                }
+            }
+        }
+    }
+
+    /// Replace every use of `old` with `new`: body instructions, and on CFG
+    /// functions also every block instruction and terminator operand.
     pub fn replace_uses(&mut self, old: ValueId, new: ValueId) {
         self.touch();
         let body = self.body.clone();
         for user in body {
-            let uses_old = matches!(
-                &self.values[user.index()],
-                ValueData::Inst(inst) if inst.args.contains(&old)
-            );
-            if !uses_old {
-                continue;
-            }
-            if self.txn_depth > 0 {
-                if let ValueData::Inst(prev) = &self.values[user.index()] {
-                    let prev = prev.clone();
-                    self.log.push(Delta::SetInst { v: user, old: prev });
+            self.rewrite_user(user, old, new);
+        }
+        if self.cfg.is_some() {
+            let num_blocks = self.cfg.as_ref().expect("checked above").blocks.len();
+            for bi in 0..num_blocks {
+                let b = BlockId::from_raw(bi as u32);
+                let insts = self.cfg.as_ref().expect("checked above").blocks[bi].insts.clone();
+                for user in insts {
+                    self.rewrite_user(user, old, new);
                 }
-            }
-            if let ValueData::Inst(inst) = &mut self.values[user.index()] {
-                for arg in &mut inst.args {
-                    if *arg == old {
-                        *arg = new;
+                let prev = self.cfg.as_ref().expect("checked above").blocks[bi].term.clone();
+                let mut term = prev.clone();
+                if term.rewrite_operands(old, new) {
+                    if self.txn_depth > 0 {
+                        self.log.push(Delta::CfgSetTerm { b, old: prev });
                     }
+                    self.cfg.as_mut().expect("checked above").blocks[bi].term = term;
                 }
             }
         }
@@ -634,6 +732,170 @@ impl Function {
             };
             (i, v, inst)
         })
+    }
+
+    // ----- control flow ---------------------------------------------------
+
+    /// The control-flow graph, when this is a CFG function.
+    pub fn cfg(&self) -> Option<&Cfg> {
+        self.cfg.as_ref()
+    }
+
+    /// The block data for `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a straight-line function or an out-of-range id.
+    pub fn block(&self, b: BlockId) -> &Block {
+        self.cfg.as_ref().expect("block() on a straight-line function").block(b)
+    }
+
+    /// Number of CFG blocks (0 on a straight-line function).
+    pub fn num_blocks(&self) -> usize {
+        self.cfg.as_ref().map_or(0, Cfg::num_blocks)
+    }
+
+    /// Turn this straight-line function into a CFG function with one empty
+    /// entry block (terminated by `ret`); returns the entry block id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a CFG already exists or the body is non-empty (CFG
+    /// functions keep all instructions in blocks; lower the body into the
+    /// entry block instead).
+    pub fn init_cfg(&mut self) -> BlockId {
+        assert!(self.cfg.is_none(), "init_cfg: CFG already present");
+        assert!(self.body.is_empty(), "init_cfg: body must be empty");
+        self.touch();
+        let cfg = Cfg::new();
+        let entry = cfg.entry();
+        self.cfg = Some(cfg);
+        self.record(Delta::CfgInit);
+        entry
+    }
+
+    /// Append a new empty block (terminated by `ret`); returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a straight-line function.
+    pub fn add_block(&mut self) -> BlockId {
+        self.touch();
+        let cfg = self.cfg.as_mut().expect("add_block on a straight-line function");
+        let id = BlockId::from_raw(cfg.blocks.len() as u32);
+        cfg.blocks.push(Block::new());
+        self.record(Delta::CfgBlockAdd);
+        id
+    }
+
+    /// Append a parameter of type `ty` to block `b`; returns its handle.
+    /// Pass `None` as the name to let the printer auto-number it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a straight-line function or an out-of-range block id.
+    pub fn add_block_param(&mut self, b: BlockId, name: Option<String>, ty: Type) -> ValueId {
+        assert!(self.cfg.as_ref().is_some_and(|c| c.contains(b)), "add_block_param: no block {b}");
+        let id = self.alloc(ValueData::BlockParam { ty }, name);
+        self.cfg.as_mut().expect("checked above").blocks[b.index()].params.push(id);
+        self.record(Delta::CfgBlockParamPush { b });
+        id
+    }
+
+    /// Append an instruction to block `b`; returns its handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a straight-line function or an out-of-range block id.
+    pub fn push_in_block(
+        &mut self,
+        b: BlockId,
+        op: Opcode,
+        ty: Type,
+        args: Vec<ValueId>,
+        attr: InstAttr,
+    ) -> ValueId {
+        assert!(self.cfg.as_ref().is_some_and(|c| c.contains(b)), "push_in_block: no block {b}");
+        let id = self.alloc(ValueData::Inst(Inst::new(op, ty, args, attr)), None);
+        self.cfg.as_mut().expect("checked above").blocks[b.index()].insts.push(id);
+        self.record(Delta::CfgInstPush { b });
+        id
+    }
+
+    /// Replace block `b`'s terminator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a straight-line function or an out-of-range block id.
+    pub fn set_term(&mut self, b: BlockId, term: Terminator) {
+        assert!(self.cfg.as_ref().is_some_and(|c| c.contains(b)), "set_term: no block {b}");
+        self.touch();
+        let slot = &mut self.cfg.as_mut().expect("checked above").blocks[b.index()].term;
+        let old = std::mem::replace(slot, term);
+        self.record(Delta::CfgSetTerm { b, old });
+    }
+
+    /// Replace block `b`'s instruction order. Instructions left out become
+    /// orphans.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a straight-line function, an out-of-range block id, or a
+    /// list with duplicates or non-instructions.
+    pub fn set_block_insts(&mut self, b: BlockId, insts: Vec<ValueId>) {
+        assert!(self.cfg.as_ref().is_some_and(|c| c.contains(b)), "set_block_insts: no block {b}");
+        let mut seen = HashSet::with_capacity(insts.len());
+        for &v in &insts {
+            assert!(self.is_inst(v), "set_block_insts: {v} is not an instruction");
+            assert!(seen.insert(v), "set_block_insts: {v} appears twice");
+        }
+        // Validation precedes both the mutation and the record, so a
+        // panicking call leaves the log consistent with the content.
+        self.touch();
+        let slot = &mut self.cfg.as_mut().expect("checked above").blocks[b.index()].insts;
+        let old = std::mem::replace(slot, insts);
+        self.record(Delta::CfgInstsReplace { b, old });
+    }
+
+    /// Replace block `b`'s parameter list. Dropped parameters become
+    /// orphans (rewrite their uses first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a straight-line function, an out-of-range block id, or a
+    /// list containing non-block-parameters.
+    pub fn set_block_params(&mut self, b: BlockId, params: Vec<ValueId>) {
+        assert!(self.cfg.as_ref().is_some_and(|c| c.contains(b)), "set_block_params: no block {b}");
+        for &v in &params {
+            assert!(self.is_block_param(v), "set_block_params: {v} is not a block parameter");
+        }
+        self.touch();
+        let slot = &mut self.cfg.as_mut().expect("checked above").blocks[b.index()].params;
+        let old = std::mem::replace(slot, params);
+        self.record(Delta::CfgParamsReplace { b, old });
+    }
+
+    /// Dissolve the CFG back into a straight-line function whose body is
+    /// `new_body`. The caller guarantees `new_body` is the linearised
+    /// program (the passes only call this after reducing the CFG to a
+    /// single straight-line chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a straight-line function, or if `new_body` contains
+    /// duplicates or non-instructions.
+    pub fn dissolve_cfg(&mut self, new_body: Vec<ValueId>) {
+        assert!(self.cfg.is_some(), "dissolve_cfg on a straight-line function");
+        let mut seen = HashSet::with_capacity(new_body.len());
+        for &v in &new_body {
+            assert!(self.is_inst(v), "dissolve_cfg: {v} is not an instruction");
+            assert!(seen.insert(v), "dissolve_cfg: {v} appears twice");
+        }
+        self.touch();
+        let old = std::mem::replace(&mut self.body, new_body);
+        self.record(Delta::BodyReplace { old });
+        let old_cfg = self.cfg.take().expect("checked above");
+        self.record(Delta::CfgDissolve { old: old_cfg });
     }
 }
 
@@ -944,6 +1206,52 @@ mod tests {
         assert!(f.in_txn());
         f.rollback_txn(mark);
         assert!(!f.in_txn());
+    }
+
+    #[test]
+    fn cfg_txn_rollback_restores_blocks() {
+        use crate::cfg::{BlockId, Terminator};
+        // Build a small diamond, then mutate every CFG surface inside a
+        // transaction and roll back; the print must be byte-identical.
+        let mut f = Function::new("cfg");
+        let a = f.add_param("A", Type::PTR);
+        let entry = f.init_cfg();
+        let join = f.add_block();
+        let m = f.add_block_param(join, Some("m".into()), Type::I64);
+        let c0 = f.const_i64(7);
+        f.set_term(entry, Terminator::Jump { target: join, args: vec![c0] });
+        let g = f.push_in_block(join, Opcode::Gep, Type::PTR, vec![a, m], InstAttr::ElemBytes(8));
+        f.push_in_block(join, Opcode::Store, Type::Void, vec![m, g], InstAttr::None);
+        let before = print_function(&f);
+        let e0 = f.epoch();
+
+        let mark = f.begin_txn();
+        let extra = f.add_block();
+        let p = f.add_block_param(extra, None, Type::F64);
+        f.push_in_block(extra, Opcode::FAdd, Type::F64, vec![p, p], InstAttr::None);
+        f.set_term(entry, Terminator::Jump { target: extra, args: vec![] });
+        f.set_block_params(join, vec![]);
+        f.set_block_insts(join, vec![]);
+        let c1 = f.const_i64(9);
+        f.replace_uses(c0, c1);
+        assert_ne!(print_function(&f), before);
+        f.rollback_txn(mark);
+        assert_eq!(print_function(&f), before, "CFG rollback must be bit-identical");
+        assert_eq!(f.epoch(), e0);
+        assert_eq!(f.num_blocks(), 2);
+
+        // Dissolving rolls back too (body and CFG restored together).
+        let mark = f.begin_txn();
+        f.set_term(entry, Terminator::Ret);
+        f.set_block_insts(join, vec![]);
+        f.set_block_params(join, vec![]);
+        f.dissolve_cfg(vec![g]);
+        assert!(f.cfg().is_none());
+        assert_eq!(f.body_len(), 1);
+        f.rollback_txn(mark);
+        assert_eq!(print_function(&f), before);
+        assert!(f.cfg().is_some());
+        assert_eq!(f.block(BlockId::from_raw(1)).insts().len(), 2);
     }
 
     #[test]

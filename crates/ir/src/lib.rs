@@ -1,15 +1,20 @@
 //! # lslp-ir
 //!
-//! A typed, SSA-based, straight-line intermediate representation used by the
-//! LSLP auto-vectorizer reproduction (Porpodas, Rocha, Góes — CGO 2018).
+//! A typed, SSA-based intermediate representation used by the LSLP
+//! auto-vectorizer reproduction (Porpodas, Rocha, Góes — CGO 2018).
 //!
 //! The IR deliberately models the slice of LLVM IR that the SLP/LSLP
 //! algorithms inspect: scalar and vector integer/float arithmetic, memory
 //! access through `gep`/`load`/`store`, and the vector shuffle/insert/extract
 //! instructions emitted by vector code generation. Functions are
-//! *straight-line*: a single basic block of instructions in execution order,
-//! which is exactly the granularity at which bottom-up SLP operates (each
-//! vectorization group must live in one block).
+//! *straight-line* by default — a single basic block of instructions in
+//! execution order, which is exactly the granularity at which bottom-up SLP
+//! operates (each vectorization group must live in one block). A function
+//! may instead carry a small [`Cfg`]: basic blocks with block parameters
+//! (the phi-equivalents), branches, and structured counted-loop regions
+//! (see `docs/CONTROL_FLOW.md`); the pipeline's if-conversion and
+//! unroll-and-SLP passes flatten such CFGs back into straight-line bodies
+//! before the vectorizer runs.
 //!
 //! ## Quick tour
 //!
@@ -37,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod cfg;
 mod function;
 mod inst;
 mod parser;
@@ -46,6 +52,7 @@ mod value;
 mod verifier;
 
 pub use builder::FunctionBuilder;
+pub use cfg::{Block, BlockId, Cfg, Terminator};
 pub use function::{Function, Module, TxnMark, Use, UseMap, ValueData};
 pub use inst::{FloatPred, Inst, InstAttr, IntPred, Opcode};
 pub use parser::{parse_function, parse_module, ParseError};

@@ -1,9 +1,10 @@
 //! Parser for the textual IR format produced by [`crate::print_function`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
+use crate::cfg::{BlockId, Terminator};
 use crate::function::{Function, Module};
 use crate::inst::{FloatPred, InstAttr, IntPred, Opcode};
 use crate::types::{ScalarType, Type};
@@ -277,13 +278,30 @@ struct Parser<'s> {
     tok: Tok,
     line: usize,
     col: usize,
+    /// Block receiving parsed instructions; `None` in straight-line bodies.
+    cur_block: Option<BlockId>,
 }
 
 impl<'s> Parser<'s> {
     fn new(src: &'s str) -> Result<Parser<'s>, ParseError> {
         let mut lex = Lexer::new(src);
         let (tok, line, col) = lex.next()?;
-        Ok(Parser { lex, tok, line, col })
+        Ok(Parser { lex, tok, line, col, cur_block: None })
+    }
+
+    /// Append an instruction to the current block (CFG mode) or the body.
+    fn emit(
+        &mut self,
+        f: &mut Function,
+        op: Opcode,
+        ty: Type,
+        args: Vec<ValueId>,
+        attr: InstAttr,
+    ) -> ValueId {
+        match self.cur_block {
+            Some(b) => f.push_in_block(b, op, ty, args, attr),
+            None => f.push(op, ty, args, attr),
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
@@ -449,7 +467,7 @@ impl<'s> Parser<'s> {
                 let a = self.operand(f, names, ty)?;
                 self.expect(&Tok::Comma)?;
                 let b = self.operand(f, names, ty)?;
-                let id = f.push(o, ty, vec![a, b], InstAttr::None);
+                let id = self.emit(f, o, ty, vec![a, b], InstAttr::None);
                 self.define(f, names, result_name, id)
             }
             Opcode::ICmp | Opcode::FCmp => {
@@ -473,7 +491,7 @@ impl<'s> Parser<'s> {
                             .ok_or_else(|| self.err(format!("unknown predicate `{predname}`")))?,
                     )
                 };
-                let id = f.push(op, rty, vec![a, b], attr);
+                let id = self.emit(f, op, rty, vec![a, b], attr);
                 self.define(f, names, result_name, id)
             }
             Opcode::Select => {
@@ -487,7 +505,7 @@ impl<'s> Parser<'s> {
                 let a = self.operand(f, names, ty)?;
                 self.expect(&Tok::Comma)?;
                 let b = self.operand(f, names, ty)?;
-                let id = f.push(op, ty, vec![c, a, b], InstAttr::None);
+                let id = self.emit(f, op, ty, vec![c, a, b], InstAttr::None);
                 self.define(f, names, result_name, id)
             }
             Opcode::Gep => {
@@ -499,14 +517,15 @@ impl<'s> Parser<'s> {
                 if bytes <= 0 {
                     return Err(self.err("gep stride must be positive"));
                 }
-                let id = f.push(op, Type::PTR, vec![base, idx], InstAttr::ElemBytes(bytes as u32));
+                let id =
+                    self.emit(f, op, Type::PTR, vec![base, idx], InstAttr::ElemBytes(bytes as u32));
                 self.define(f, names, result_name, id)
             }
             Opcode::Load => {
                 let ty = self.parse_type()?;
                 self.expect(&Tok::Comma)?;
                 let ptr = self.operand(f, names, Type::PTR)?;
-                let id = f.push(op, ty, vec![ptr], InstAttr::None);
+                let id = self.emit(f, op, ty, vec![ptr], InstAttr::None);
                 self.define(f, names, result_name, id)
             }
             Opcode::Store => {
@@ -514,7 +533,7 @@ impl<'s> Parser<'s> {
                 let val = self.operand(f, names, ty)?;
                 self.expect(&Tok::Comma)?;
                 let ptr = self.operand(f, names, Type::PTR)?;
-                f.push(op, Type::Void, vec![val, ptr], InstAttr::None);
+                self.emit(f, op, Type::Void, vec![val, ptr], InstAttr::None);
                 if result_name.is_some() {
                     return Err(self.err("store does not produce a value"));
                 }
@@ -528,7 +547,7 @@ impl<'s> Parser<'s> {
                 let val = self.operand(f, names, Type::Scalar(elem))?;
                 self.expect(&Tok::Comma)?;
                 let lane = self.operand(f, names, Type::I64)?;
-                let id = f.push(op, ty, vec![vec, val, lane], InstAttr::None);
+                let id = self.emit(f, op, ty, vec![vec, val, lane], InstAttr::None);
                 self.define(f, names, result_name, id)
             }
             Opcode::ExtractElement => {
@@ -537,7 +556,7 @@ impl<'s> Parser<'s> {
                 let vec = self.operand(f, names, ty)?;
                 self.expect(&Tok::Comma)?;
                 let lane = self.operand(f, names, Type::I64)?;
-                let id = f.push(op, Type::Scalar(elem), vec![vec, lane], InstAttr::None);
+                let id = self.emit(f, op, Type::Scalar(elem), vec![vec, lane], InstAttr::None);
                 self.define(f, names, result_name, id)
             }
             Opcode::ShuffleVector => {
@@ -561,7 +580,7 @@ impl<'s> Parser<'s> {
                 }
                 self.expect(&Tok::RBracket)?;
                 let rty = Type::Vector(elem, mask.len() as u32);
-                let id = f.push(op, rty, vec![a, b], InstAttr::Mask(mask));
+                let id = self.emit(f, op, rty, vec![a, b], InstAttr::Mask(mask));
                 self.define(f, names, result_name, id)
             }
             other if other.is_cast() => {
@@ -572,7 +591,7 @@ impl<'s> Parser<'s> {
                     return Err(self.err(format!("expected `to` in cast, found `{kw}`")));
                 }
                 let dst = self.parse_type()?;
-                let id = f.push(other, dst, vec![v], InstAttr::None);
+                let id = self.emit(f, other, dst, vec![v], InstAttr::None);
                 self.define(f, names, result_name, id)
             }
             other => Err(self.err(format!("cannot parse opcode `{other}`"))),
@@ -612,11 +631,201 @@ impl<'s> Parser<'s> {
         }
         self.expect(&Tok::RParen)?;
         self.expect(&Tok::LBrace)?;
-        while self.tok != Tok::RBrace {
-            self.parse_inst(&mut f, &mut names)?;
+        let is_cfg = matches!(&self.tok, Tok::Ident(s) if Self::block_number(s).is_some());
+        if is_cfg {
+            self.parse_cfg_body(&mut f, &mut names)?;
+        } else {
+            while self.tok != Tok::RBrace {
+                self.parse_inst(&mut f, &mut names)?;
+            }
         }
         self.expect(&Tok::RBrace)?;
         Ok(f)
+    }
+
+    /// `bbN` → `N`; anything else → `None`.
+    fn block_number(label: &str) -> Option<u32> {
+        let digits = label.strip_prefix("bb")?;
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        digits.parse().ok()
+    }
+
+    /// Resolve a `bbN` label, materialising blocks up to `N` so forward
+    /// references work; labels keep their printed numbering.
+    fn block_id_of(&mut self, f: &mut Function, label: &str) -> Result<BlockId, ParseError> {
+        let n = Self::block_number(label)
+            .ok_or_else(|| self.err(format!("expected block label `bbN`, found `{label}`")))?;
+        while f.num_blocks() <= n as usize {
+            f.add_block();
+        }
+        Ok(BlockId::from_raw(n))
+    }
+
+    /// One edge argument (or loop-carried init): a `%value`, or an inline
+    /// constant literal. Literal types are not recoverable from context
+    /// here, so integers parse as `i64` and floats as `f64` — the only
+    /// constant types the CFG layers produce.
+    fn edge_arg(
+        &mut self,
+        f: &mut Function,
+        names: &HashMap<String, ValueId>,
+    ) -> Result<ValueId, ParseError> {
+        match self.advance()? {
+            Tok::Percent(name) => names
+                .get(&name)
+                .copied()
+                .ok_or_else(|| self.err(format!("unknown value `%{name}`"))),
+            Tok::Int(v) => Ok(f.const_i64(v)),
+            Tok::Float(v) => Ok(f.const_float(ScalarType::F64, v)),
+            other => Err(self.err(format!("expected edge argument, found {other}"))),
+        }
+    }
+
+    /// `bbN` or `bbN(arg, ...)`.
+    fn parse_edge(
+        &mut self,
+        f: &mut Function,
+        names: &HashMap<String, ValueId>,
+    ) -> Result<(BlockId, Vec<ValueId>), ParseError> {
+        let label = self.expect_ident()?;
+        let b = self.block_id_of(f, &label)?;
+        let mut args = Vec::new();
+        if self.tok == Tok::LParen {
+            self.advance()?;
+            if self.tok != Tok::RParen {
+                loop {
+                    args.push(self.edge_arg(f, names)?);
+                    if self.tok == Tok::Comma {
+                        self.advance()?;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Tok::RParen)?;
+        }
+        Ok((b, args))
+    }
+
+    fn parse_terminator(
+        &mut self,
+        f: &mut Function,
+        names: &HashMap<String, ValueId>,
+    ) -> Result<Terminator, ParseError> {
+        let kw = self.expect_ident()?;
+        match kw.as_str() {
+            "ret" => Ok(Terminator::Ret),
+            "jump" => {
+                let (target, args) = self.parse_edge(f, names)?;
+                Ok(Terminator::Jump { target, args })
+            }
+            "br" => {
+                let cond = self.operand(f, names, Type::Scalar(ScalarType::I8))?;
+                self.expect(&Tok::Comma)?;
+                let (then_to, then_args) = self.parse_edge(f, names)?;
+                self.expect(&Tok::Comma)?;
+                let (else_to, else_args) = self.parse_edge(f, names)?;
+                Ok(Terminator::Br { cond, then_to, then_args, else_to, else_args })
+            }
+            "loop" => {
+                let trip = self.operand(f, names, Type::I64)?;
+                self.expect(&Tok::Comma)?;
+                let (body, init) = self.parse_edge(f, names)?;
+                self.expect(&Tok::Comma)?;
+                let label = self.expect_ident()?;
+                let exit = self.block_id_of(f, &label)?;
+                Ok(Terminator::Loop { trip, body, init, exit })
+            }
+            "continue" => {
+                let mut args = Vec::new();
+                if matches!(self.tok, Tok::Percent(_) | Tok::Int(_) | Tok::Float(_)) {
+                    loop {
+                        args.push(self.edge_arg(f, names)?);
+                        if self.tok == Tok::Comma {
+                            self.advance()?;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                Ok(Terminator::Continue { args })
+            }
+            other => Err(self.err(format!("unknown terminator `{other}`"))),
+        }
+    }
+
+    fn parse_cfg_body(
+        &mut self,
+        f: &mut Function,
+        names: &mut HashMap<String, ValueId>,
+    ) -> Result<(), ParseError> {
+        f.init_cfg();
+        let mut defined: HashSet<u32> = HashSet::new();
+        while self.tok != Tok::RBrace {
+            let label = self.expect_ident()?;
+            let b = self.block_id_of(f, &label)?;
+            if !defined.insert(b.index() as u32) {
+                return Err(self.err(format!("block {b} redefined")));
+            }
+            if self.tok == Tok::LParen {
+                self.advance()?;
+                if self.tok != Tok::RParen {
+                    loop {
+                        let pname = match self.advance()? {
+                            Tok::Percent(n) => n,
+                            other => {
+                                return Err(
+                                    self.err(format!("expected block parameter, found {other}"))
+                                )
+                            }
+                        };
+                        self.expect(&Tok::Colon)?;
+                        let ty = self.parse_type()?;
+                        // Numeric auto-names are positional, not debug names
+                        // (mirrors `define`).
+                        let dbg = if pname.parse::<usize>().is_err() {
+                            Some(pname.clone())
+                        } else {
+                            None
+                        };
+                        let id = f.add_block_param(b, dbg, ty);
+                        if names.insert(pname.clone(), id).is_some() {
+                            return Err(self.err(format!("value `%{pname}` redefined")));
+                        }
+                        if self.tok == Tok::Comma {
+                            self.advance()?;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RParen)?;
+            }
+            self.expect(&Tok::Colon)?;
+            self.cur_block = Some(b);
+            loop {
+                match &self.tok {
+                    Tok::Ident(s)
+                        if matches!(s.as_str(), "ret" | "jump" | "br" | "loop" | "continue") =>
+                    {
+                        break;
+                    }
+                    Tok::RBrace => return Err(self.err(format!("block {b} missing terminator"))),
+                    _ => self.parse_inst(f, names)?,
+                }
+            }
+            let term = self.parse_terminator(f, names)?;
+            f.set_term(b, term);
+            self.cur_block = None;
+        }
+        for n in 0..f.num_blocks() as u32 {
+            if !defined.contains(&n) {
+                return Err(self.err(format!("block bb{n} referenced but never defined")));
+            }
+        }
+        Ok(())
     }
 }
 
@@ -771,5 +980,86 @@ mod tests {
     fn parse_function_rejects_two() {
         let err = parse_function("func @a() { }\nfunc @b() { }").unwrap_err();
         assert!(err.message.contains("exactly one"), "{err}");
+    }
+
+    #[test]
+    fn parses_if_diamond_cfg() {
+        roundtrip(
+            "func @diamond(%A: ptr, %x: i64) {
+             bb0:
+               %c = icmp slt i64 %x, 0
+               br %c, bb1, bb2
+             bb1:
+               %n = sub i64 0, %x
+               jump bb3(%n)
+             bb2:
+               jump bb3(%x)
+             bb3(%m: i64):
+               store i64 %m, %A
+               ret
+             }",
+        );
+    }
+
+    #[test]
+    fn parses_counted_loop_cfg() {
+        roundtrip(
+            "func @loop4(%A: ptr) {
+             bb0:
+               loop 4, bb1(0), bb2
+             bb1(%i: i64, %acc: i64):
+               %next = add i64 %acc, %i
+               continue %next
+             bb2(%sum: i64):
+               store i64 %sum, %A
+               ret
+             }",
+        );
+    }
+
+    #[test]
+    fn cfg_block_labels_keep_their_numbers() {
+        // A forward reference to bb2 before bb1's header must not renumber.
+        let f = parse_function(
+            "func @fwd(%x: i64) {
+             bb0:
+               %c = icmp slt i64 %x, 0
+               br %c, bb2, bb1
+             bb1:
+               jump bb3(%x)
+             bb2:
+               jump bb3(0)
+             bb3(%m: i64):
+               ret
+             }",
+        )
+        .unwrap();
+        verify_function(&f).unwrap();
+        let text = print_function(&f);
+        assert!(text.contains("br %c, bb2, bb1"), "{text}");
+    }
+
+    #[test]
+    fn cfg_rejects_missing_terminator() {
+        let err = parse_function(
+            "func @bad(%x: i64) {
+             bb0:
+               %c = add i64 %x, 1
+             }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("missing terminator"), "{err}");
+    }
+
+    #[test]
+    fn cfg_rejects_undefined_block() {
+        let err = parse_function(
+            "func @bad(%x: i64) {
+             bb0:
+               jump bb1
+             }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("never defined"), "{err}");
     }
 }

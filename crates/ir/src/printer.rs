@@ -14,6 +14,7 @@
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
+use crate::cfg::Terminator;
 use crate::function::{Function, Module, ValueData};
 use crate::inst::{Inst, InstAttr, Opcode};
 use crate::value::ValueId;
@@ -47,21 +48,36 @@ impl Namer {
             n.assign(p, base);
         }
         for &v in f.body() {
-            if f.ty(v).is_void() {
-                continue;
-            }
-            match f.value_name(v) {
-                Some(name) => {
-                    let base = sanitize(name);
-                    n.assign(v, base);
+            n.name_value(f, v);
+        }
+        if let Some(cfg) = f.cfg() {
+            for b in cfg.block_ids() {
+                let block = cfg.block(b);
+                for &p in block.params() {
+                    n.name_value(f, p);
                 }
-                None => {
-                    let num = n.fresh_number();
-                    n.names.insert(v, num);
+                for &v in block.insts() {
+                    n.name_value(f, v);
                 }
             }
         }
         n
+    }
+
+    fn name_value(&mut self, f: &Function, v: ValueId) {
+        if f.ty(v).is_void() {
+            return;
+        }
+        match f.value_name(v) {
+            Some(name) => {
+                let base = sanitize(name);
+                self.assign(v, base);
+            }
+            None => {
+                let num = self.fresh_number();
+                self.names.insert(v, num);
+            }
+        }
     }
 
     fn fresh_number(&mut self) -> String {
@@ -153,6 +169,58 @@ fn print_inst(out: &mut String, f: &Function, namer: &Namer, id: ValueId, inst: 
     out.push('\n');
 }
 
+/// Render a branch edge: `bbN` or `bbN(%a, %b)`.
+fn edge(f: &Function, namer: &Namer, target: crate::cfg::BlockId, args: &[ValueId]) -> String {
+    let mut s = target.to_string();
+    if !args.is_empty() {
+        s.push('(');
+        for (i, &a) in args.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&operand(f, namer, a));
+        }
+        s.push(')');
+    }
+    s
+}
+
+fn print_term(out: &mut String, f: &Function, namer: &Namer, term: &Terminator) {
+    out.push_str("  ");
+    match term {
+        Terminator::Ret => out.push_str("ret"),
+        Terminator::Jump { target, args } => {
+            let _ = write!(out, "jump {}", edge(f, namer, *target, args));
+        }
+        Terminator::Br { cond, then_to, then_args, else_to, else_args } => {
+            let _ = write!(
+                out,
+                "br {}, {}, {}",
+                operand(f, namer, *cond),
+                edge(f, namer, *then_to, then_args),
+                edge(f, namer, *else_to, else_args)
+            );
+        }
+        Terminator::Loop { trip, body, init, exit } => {
+            let _ = write!(
+                out,
+                "loop {}, {}, {}",
+                operand(f, namer, *trip),
+                edge(f, namer, *body, init),
+                exit
+            );
+        }
+        Terminator::Continue { args } => {
+            out.push_str("continue");
+            for (i, &a) in args.iter().enumerate() {
+                out.push_str(if i > 0 { ", " } else { " " });
+                out.push_str(&operand(f, namer, a));
+            }
+        }
+    }
+    out.push('\n');
+}
+
 /// Render a function in the textual IR format.
 pub fn print_function(f: &Function) -> String {
     let namer = Namer::new(f);
@@ -165,8 +233,32 @@ pub fn print_function(f: &Function) -> String {
         let _ = write!(out, "%{}: {}", namer.name(p), f.ty(p));
     }
     out.push_str(") {\n");
-    for (_, id, inst) in f.iter_body() {
-        print_inst(&mut out, f, &namer, id, inst);
+    if let Some(cfg) = f.cfg() {
+        for b in cfg.block_ids() {
+            let block = cfg.block(b);
+            let _ = write!(out, "{b}");
+            if !block.params().is_empty() {
+                out.push('(');
+                for (i, &p) in block.params().iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "%{}: {}", namer.name(p), f.ty(p));
+                }
+                out.push(')');
+            }
+            out.push_str(":\n");
+            for &v in block.insts() {
+                if let Some(inst) = f.inst(v) {
+                    print_inst(&mut out, f, &namer, v, inst);
+                }
+            }
+            print_term(&mut out, f, &namer, block.term());
+        }
+    } else {
+        for (_, id, inst) in f.iter_body() {
+            print_inst(&mut out, f, &namer, id, inst);
+        }
     }
     out.push_str("}\n");
     out

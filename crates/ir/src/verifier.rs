@@ -1,9 +1,10 @@
 //! Structural and type verification of functions.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::error::Error;
 use std::fmt;
 
+use crate::cfg::{BlockId, Terminator};
 use crate::function::{Function, Module, ValueData};
 use crate::inst::{Inst, InstAttr, Opcode};
 use crate::types::Type;
@@ -274,13 +275,347 @@ impl<'f> Checker<'f> {
     }
 }
 
+/// CFG-specific verification: block structure, reachability, dominance
+/// based visibility, terminator shape, and loop regions.
+fn verify_cfg(f: &Function) -> Result<(), VerifyError> {
+    let checker = Checker { f };
+    let cfg = f.cfg().expect("verify_cfg requires a CFG");
+    if f.body_len() != 0 {
+        return Err(checker.err(None, "CFG function must keep its straight-line body empty"));
+    }
+    let entry = cfg.entry();
+    if !cfg.block(entry).params().is_empty() {
+        return Err(checker.err(
+            cfg.block(entry).params().first().copied(),
+            "entry block cannot have parameters",
+        ));
+    }
+
+    // Blame carrier for terminator-level errors: the first value operand the
+    // terminator references, if any.
+    let term_blame = |b: BlockId| cfg.block(b).term().value_operands().first().copied();
+
+    // Reachability from the entry, rejecting branches to missing blocks.
+    let mut reach: Vec<BlockId> = Vec::new();
+    let mut seen: HashSet<BlockId> = HashSet::new();
+    let mut stack = vec![entry];
+    seen.insert(entry);
+    while let Some(b) = stack.pop() {
+        reach.push(b);
+        for s in cfg.block(b).term().successors() {
+            if !cfg.contains(s) {
+                return Err(checker.err(term_blame(b), format!("{b}: branch to missing block {s}")));
+            }
+            if seen.insert(s) {
+                stack.push(s);
+            }
+        }
+    }
+
+    // Block membership: every listed instruction is an instruction and
+    // appears in exactly one reachable block; parameters are block
+    // parameters owned by exactly one block.
+    let mut inst_seen: HashSet<ValueId> = HashSet::new();
+    let mut param_seen: HashSet<ValueId> = HashSet::new();
+    for &b in &reach {
+        for &p in cfg.block(b).params() {
+            if p.index() >= f.num_values() || !f.is_block_param(p) {
+                return Err(checker
+                    .err(Some(p), format!("{b}: parameter list entry is not a block parameter")));
+            }
+            if !param_seen.insert(p) {
+                return Err(checker.err(Some(p), "block parameter appears in two blocks"));
+            }
+        }
+        for &v in cfg.block(b).insts() {
+            if v.index() >= f.num_values() || !f.is_inst(v) {
+                return Err(checker.err(Some(v), format!("{b}: block contains a non-instruction")));
+            }
+            if !inst_seen.insert(v) {
+                return Err(checker.err(Some(v), "instruction appears twice across blocks"));
+            }
+        }
+    }
+
+    // Predecessors and iterative dominators over the reachable subgraph.
+    let mut preds: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+    for &b in &reach {
+        for s in cfg.block(b).term().successors() {
+            preds.entry(s).or_default().push(b);
+        }
+    }
+    let all: HashSet<BlockId> = reach.iter().copied().collect();
+    let mut dom: HashMap<BlockId, HashSet<BlockId>> = HashMap::new();
+    dom.insert(entry, [entry].into_iter().collect());
+    for &b in reach.iter().skip(1) {
+        dom.insert(b, all.clone());
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in reach.iter().skip(1) {
+            let mut next: Option<HashSet<BlockId>> = None;
+            for p in preds.get(&b).map_or(&[][..], Vec::as_slice) {
+                let pd = &dom[p];
+                next = Some(match next {
+                    None => pd.clone(),
+                    Some(acc) => acc.intersection(pd).copied().collect(),
+                });
+            }
+            let mut next = next.unwrap_or_default();
+            next.insert(b);
+            if next != dom[&b] {
+                dom.insert(b, next);
+                changed = true;
+            }
+        }
+    }
+
+    // Loop regions: walk each loop body, rejecting nesting, returns, and
+    // direct escapes to the exit; every region leaf must be a `continue`.
+    let mut region_of: HashMap<BlockId, BlockId> = HashMap::new();
+    for &h in &reach {
+        let Terminator::Loop { body, exit, .. } = cfg.block(h).term() else {
+            continue;
+        };
+        let mut stack = vec![*body];
+        let mut in_region: HashSet<BlockId> = [*body].into_iter().collect();
+        while let Some(b) = stack.pop() {
+            if b == *exit {
+                return Err(checker.err(
+                    term_blame(h),
+                    format!("{h}: loop body reaches the exit block {exit} directly"),
+                ));
+            }
+            match cfg.block(b).term() {
+                Terminator::Loop { .. } => {
+                    return Err(
+                        checker.err(term_blame(b), "nested counted loops are not supported")
+                    );
+                }
+                Terminator::Ret => {
+                    return Err(checker.err(None, format!("{b}: loop body cannot return")));
+                }
+                Terminator::Continue { .. } => {}
+                t => {
+                    for s in t.successors() {
+                        if in_region.insert(s) {
+                            stack.push(s);
+                        }
+                    }
+                }
+            }
+            if let Some(prev) = region_of.insert(b, h) {
+                return Err(checker.err(
+                    None,
+                    format!("{b}: block belongs to two loop regions ({prev} and {h})"),
+                ));
+            }
+        }
+    }
+    for &b in &reach {
+        if matches!(cfg.block(b).term(), Terminator::Continue { .. }) && !region_of.contains_key(&b)
+        {
+            return Err(checker.err(term_blame(b), format!("{b}: continue outside a loop region")));
+        }
+    }
+
+    // Per-block operand visibility (dominance), instruction type rules, and
+    // terminator shape.
+    for &b in &reach {
+        let mut visible: HashSet<ValueId> = HashSet::new();
+        for d in &dom[&b] {
+            visible.extend(cfg.block(*d).params().iter().copied());
+            if d != &b {
+                visible.extend(cfg.block(*d).insts().iter().copied());
+            }
+        }
+        let check_operand = |id: Option<ValueId>,
+                             a: ValueId,
+                             visible: &HashSet<ValueId>|
+         -> Result<(), VerifyError> {
+            if a.index() >= f.num_values() {
+                return Err(checker.err(id, "operand handle out of range"));
+            }
+            if (f.is_inst(a) || f.is_block_param(a)) && !visible.contains(&a) {
+                return Err(checker.err(
+                    id,
+                    format!("operand {a} used before definition (or from a non-dominating block)"),
+                ));
+            }
+            Ok(())
+        };
+        for &v in cfg.block(b).insts() {
+            let inst = f.inst(v).expect("membership checked above");
+            for &a in &inst.args {
+                check_operand(Some(v), a, &visible)?;
+            }
+            checker.check_types(v, inst)?;
+            visible.insert(v);
+        }
+        let term = cfg.block(b).term();
+        for a in term.value_operands() {
+            check_operand(term_blame(b), a, &visible)?;
+        }
+        let check_edge = |target: BlockId, args: &[ValueId]| -> Result<(), VerifyError> {
+            let tparams = cfg.block(target).params();
+            if args.len() != tparams.len() {
+                let blame = args.first().copied().or_else(|| tparams.first().copied());
+                return Err(checker.err(
+                    blame,
+                    format!(
+                        "{b}: block-parameter arity mismatch: {target} expects {} arguments, got {}",
+                        tparams.len(),
+                        args.len()
+                    ),
+                ));
+            }
+            for (&a, &p) in args.iter().zip(tparams) {
+                if f.ty(a) != f.ty(p) {
+                    return Err(checker.err(
+                        Some(a),
+                        format!(
+                            "{b}: block-parameter type mismatch: {target} expects {}, got {}",
+                            f.ty(p),
+                            f.ty(a)
+                        ),
+                    ));
+                }
+            }
+            Ok(())
+        };
+        match term {
+            Terminator::Ret => {}
+            Terminator::Jump { target, args } => check_edge(*target, args)?,
+            Terminator::Br { cond, then_to, then_args, else_to, else_args } => {
+                if f.ty(*cond) != Type::Scalar(crate::ScalarType::I8) {
+                    return Err(checker.err(
+                        Some(*cond),
+                        format!("{b}: branch condition must be scalar i8, got {}", f.ty(*cond)),
+                    ));
+                }
+                check_edge(*then_to, then_args)?;
+                check_edge(*else_to, else_args)?;
+            }
+            Terminator::Loop { trip, body, init, exit } => {
+                match f.as_const(*trip).and_then(|c| c.as_int()) {
+                    Some(n) if n >= 1 => {}
+                    Some(n) => {
+                        return Err(checker.err(
+                            Some(*trip),
+                            format!("{b}: loop trip count must be ≥ 1, got {n}"),
+                        ));
+                    }
+                    None => {
+                        return Err(
+                            checker.err(Some(*trip), format!("{b}: non-constant trip count"))
+                        );
+                    }
+                }
+                let bparams = cfg.block(*body).params();
+                if bparams.len() != init.len() + 1 {
+                    return Err(checker.err(
+                        term_blame(b),
+                        format!(
+                            "{b}: block-parameter arity mismatch: loop body {body} needs \
+                             [iv, carried...] = {} parameters, has {}",
+                            init.len() + 1,
+                            bparams.len()
+                        ),
+                    ));
+                }
+                if f.ty(bparams[0]) != Type::I64 {
+                    return Err(checker.err(
+                        Some(bparams[0]),
+                        format!(
+                            "{b}: loop induction parameter must be i64, got {}",
+                            f.ty(bparams[0])
+                        ),
+                    ));
+                }
+                for (&a, &p) in init.iter().zip(&bparams[1..]) {
+                    if f.ty(a) != f.ty(p) {
+                        return Err(checker.err(
+                            Some(a),
+                            format!(
+                                "{b}: loop carried value type mismatch: {} vs {}",
+                                f.ty(a),
+                                f.ty(p)
+                            ),
+                        ));
+                    }
+                }
+                let eparams = cfg.block(*exit).params();
+                if eparams.len() != init.len() {
+                    return Err(checker.err(
+                        term_blame(b),
+                        format!(
+                            "{b}: block-parameter arity mismatch: loop exit {exit} needs {} \
+                             parameters, has {}",
+                            init.len(),
+                            eparams.len()
+                        ),
+                    ));
+                }
+                for (&a, &p) in init.iter().zip(eparams) {
+                    if f.ty(a) != f.ty(p) {
+                        return Err(checker.err(
+                            Some(p),
+                            format!(
+                                "{b}: loop exit parameter type mismatch: {} vs {}",
+                                f.ty(p),
+                                f.ty(a)
+                            ),
+                        ));
+                    }
+                }
+            }
+            Terminator::Continue { args } => {
+                let h = region_of[&b];
+                let Terminator::Loop { init, .. } = cfg.block(h).term() else {
+                    unreachable!("region headers are loops");
+                };
+                if args.len() != init.len() {
+                    return Err(checker.err(
+                        term_blame(b),
+                        format!(
+                            "{b}: block-parameter arity mismatch: continue carries {} values, \
+                             loop {h} has {}",
+                            args.len(),
+                            init.len()
+                        ),
+                    ));
+                }
+                for (&a, &i) in args.iter().zip(init) {
+                    if f.ty(a) != f.ty(i) {
+                        return Err(checker.err(
+                            Some(a),
+                            format!(
+                                "{b}: continue carried type mismatch: {} vs {}",
+                                f.ty(a),
+                                f.ty(i)
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Verify a function: operand availability (definition-before-use in the
-/// straight-line body), per-opcode operand counts, and type rules.
+/// straight-line body, dominance-based visibility on CFG functions),
+/// per-opcode operand counts, type rules, and — on CFG functions — block
+/// structure, terminator shape, and counted-loop regions.
 ///
 /// # Errors
 ///
 /// Returns the first [`VerifyError`] found, with the offending value.
 pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+    if f.cfg().is_some() {
+        return verify_cfg(f);
+    }
     let checker = Checker { f };
     let mut seen = HashSet::new();
     let mut defined: HashSet<ValueId> = HashSet::new();
@@ -323,6 +658,11 @@ pub fn verify_function_touched(
     f: &Function,
     touched: &HashSet<ValueId>,
 ) -> Result<(), VerifyError> {
+    if f.cfg().is_some() {
+        // CFG functions are small (pre-vectorization shapes); dominance and
+        // region checks are global properties, so run the full verifier.
+        return verify_cfg(f);
+    }
     let checker = Checker { f };
     let mut seen = HashSet::new();
     let mut defined: HashSet<ValueId> = HashSet::new();
@@ -549,6 +889,168 @@ mod tests {
         let err = verify_function_touched(&f, &touched).unwrap_err();
         assert_eq!(err.value, Some(user));
         f.rollback_txn(mark);
+    }
+
+    #[test]
+    fn cfg_rejects_branch_to_missing_block() {
+        use crate::cfg::{BlockId, Terminator};
+        let mut f = Function::new("bad");
+        let x = f.add_param("x", Type::I64);
+        let entry = f.init_cfg();
+        let c = f.push_in_block(
+            entry,
+            Opcode::ICmp,
+            Type::Scalar(ScalarType::I8),
+            vec![x, x],
+            InstAttr::IntPred(crate::IntPred::Slt),
+        );
+        f.set_term(
+            entry,
+            Terminator::Br {
+                cond: c,
+                then_to: BlockId::from_raw(7),
+                then_args: vec![],
+                else_to: entry,
+                else_args: vec![],
+            },
+        );
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.message.contains("branch to missing block bb7"), "{err}");
+        assert_eq!(err.value, Some(c), "the branch condition is blamed");
+    }
+
+    #[test]
+    fn cfg_rejects_block_param_arity_mismatch() {
+        use crate::cfg::Terminator;
+        let mut f = Function::new("bad");
+        let x = f.add_param("x", Type::I64);
+        let entry = f.init_cfg();
+        let join = f.add_block();
+        let p = f.add_block_param(join, Some("p".into()), Type::I64);
+        let q = f.add_block_param(join, Some("q".into()), Type::I64);
+        let _ = (p, q);
+        // One argument for two parameters.
+        f.set_term(entry, Terminator::Jump { target: join, args: vec![x] });
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.message.contains("block-parameter arity mismatch"), "{err}");
+        assert_eq!(err.value, Some(x), "the edge argument is blamed");
+    }
+
+    #[test]
+    fn cfg_rejects_use_before_def_across_blocks() {
+        use crate::cfg::Terminator;
+        // A value defined in the `then` arm used in the join block: the
+        // defining block does not dominate the user.
+        let mut f = Function::new("bad");
+        let a = f.add_param("A", Type::PTR);
+        let x = f.add_param("x", Type::I64);
+        let entry = f.init_cfg();
+        let then_b = f.add_block();
+        let else_b = f.add_block();
+        let join = f.add_block();
+        let c = f.push_in_block(
+            entry,
+            Opcode::ICmp,
+            Type::Scalar(ScalarType::I8),
+            vec![x, x],
+            InstAttr::IntPred(crate::IntPred::Slt),
+        );
+        f.set_term(
+            entry,
+            Terminator::Br {
+                cond: c,
+                then_to: then_b,
+                then_args: vec![],
+                else_to: else_b,
+                else_args: vec![],
+            },
+        );
+        let n = f.push_in_block(then_b, Opcode::Sub, Type::I64, vec![x, x], InstAttr::None);
+        f.set_term(then_b, Terminator::Jump { target: join, args: vec![] });
+        f.set_term(else_b, Terminator::Jump { target: join, args: vec![] });
+        let user =
+            f.push_in_block(join, Opcode::Gep, Type::PTR, vec![a, n], InstAttr::ElemBytes(8));
+        f.push_in_block(join, Opcode::Store, Type::Void, vec![x, user], InstAttr::None);
+        let err = verify_function(&f).unwrap_err();
+        assert_eq!(err.value, Some(user), "the cross-block user is blamed");
+        assert!(err.message.contains(&n.to_string()), "names the non-dominating def: {err}");
+        assert!(err.message.contains("non-dominating"), "{err}");
+    }
+
+    #[test]
+    fn cfg_rejects_non_constant_trip_count() {
+        use crate::cfg::Terminator;
+        let mut f = Function::new("bad");
+        let n = f.add_param("n", Type::I64);
+        let entry = f.init_cfg();
+        let body = f.add_block();
+        let exit = f.add_block();
+        f.add_block_param(body, Some("i".into()), Type::I64);
+        f.set_term(entry, Terminator::Loop { trip: n, body, init: vec![], exit });
+        f.set_term(body, Terminator::Continue { args: vec![] });
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.message.contains("non-constant trip count"), "{err}");
+        assert_eq!(err.value, Some(n), "the trip operand is blamed");
+    }
+
+    #[test]
+    fn cfg_rejects_nested_loops() {
+        use crate::cfg::Terminator;
+        let mut f = Function::new("bad");
+        let entry = f.init_cfg();
+        let outer_body = f.add_block();
+        let inner_body = f.add_block();
+        let inner_exit = f.add_block();
+        let outer_exit = f.add_block();
+        let t = f.const_i64(2);
+        f.add_block_param(outer_body, Some("i".into()), Type::I64);
+        f.add_block_param(inner_body, Some("j".into()), Type::I64);
+        f.set_term(
+            entry,
+            Terminator::Loop { trip: t, body: outer_body, init: vec![], exit: outer_exit },
+        );
+        f.set_term(
+            outer_body,
+            Terminator::Loop { trip: t, body: inner_body, init: vec![], exit: inner_exit },
+        );
+        f.set_term(inner_body, Terminator::Continue { args: vec![] });
+        f.set_term(inner_exit, Terminator::Continue { args: vec![] });
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.message.contains("nested counted loops"), "{err}");
+    }
+
+    #[test]
+    fn cfg_rejects_continue_outside_loop() {
+        use crate::cfg::Terminator;
+        let mut f = Function::new("bad");
+        let x = f.add_param("x", Type::I64);
+        let entry = f.init_cfg();
+        f.set_term(entry, Terminator::Continue { args: vec![x] });
+        let err = verify_function(&f).unwrap_err();
+        assert!(err.message.contains("continue outside a loop region"), "{err}");
+        assert_eq!(err.value, Some(x));
+    }
+
+    #[test]
+    fn cfg_accepts_valid_loop_and_incremental_delegates() {
+        use crate::cfg::Terminator;
+        let mut f = Function::new("ok");
+        let a = f.add_param("A", Type::PTR);
+        let entry = f.init_cfg();
+        let body = f.add_block();
+        let exit = f.add_block();
+        let t = f.const_i64(4);
+        let z = f.const_i64(0);
+        let i = f.add_block_param(body, Some("i".into()), Type::I64);
+        let acc = f.add_block_param(body, Some("acc".into()), Type::I64);
+        let sum = f.add_block_param(exit, Some("sum".into()), Type::I64);
+        f.set_term(entry, Terminator::Loop { trip: t, body, init: vec![z], exit });
+        let nx = f.push_in_block(body, Opcode::Add, Type::I64, vec![acc, i], InstAttr::None);
+        f.set_term(body, Terminator::Continue { args: vec![nx] });
+        f.push_in_block(exit, Opcode::Store, Type::Void, vec![sum, a], InstAttr::None);
+        verify_function(&f).unwrap();
+        // The incremental entry delegates to the full CFG verifier.
+        verify_function_touched(&f, &HashSet::new()).unwrap();
     }
 
     #[test]

@@ -90,6 +90,89 @@ pub fn narrow_kernels() -> Vec<Kernel> {
     }]
 }
 
+/// Kernels written with *runtime* control flow: SLC `loop` statements
+/// (lowered to the IR's `CountedLoop` region, fully unrolled by the
+/// unroll-and-SLP pass) and `if` expressions (lowered to branch diamonds,
+/// flattened by if-conversion). These exercise the CFG front of the
+/// pipeline; the straight-line vectorizer only ever sees their flattened
+/// form.
+pub fn loop_kernels() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "saxpy_loop",
+            benchmark: "loop study",
+            file_line: "counted-loop saxpy",
+            src: "kernel saxpy_loop(f64* OUT, f64* X, f64* Y, i64 i) {
+                      loop k in 0..8 {
+                          OUT[i+k] = 2.5 * X[i+k] + Y[i+k];
+                      }
+                  }",
+            i_step: 8,
+            idx_scale: 1,
+            idx_off: 7,
+            elem: ElemKind::F64,
+            default_iters: 128,
+        },
+        Kernel {
+            name: "dot_loop",
+            benchmark: "loop study",
+            file_line: "loop-carried reduction",
+            src: "kernel dot_loop(f64* OUT, f64* X, f64* Y, i64 i) {
+                      let mut s: f64 = 0.0;
+                      loop k in 0..8 {
+                          s = s + X[8*i+k] * Y[8*i+k];
+                      }
+                      OUT[i] = s;
+                  }",
+            i_step: 1,
+            idx_scale: 8,
+            idx_off: 7,
+            elem: ElemKind::F64,
+            default_iters: 128,
+        },
+        Kernel {
+            name: "smin_loop",
+            benchmark: "loop study",
+            file_line: "branchy integer loop",
+            // Vector-min idiom: the diamond if-converts to `select`, which
+            // every target prices at full rate — the one loop kernel whose
+            // committed VF is > 1 on all four registry targets (the f64
+            // kernels break even on neon128's half-rate f64 SIMD).
+            src: "kernel smin_loop(i64* OUT, i64* X, i64* Y, i64 i) {
+                      loop k in 0..4 {
+                          let a = X[i+k];
+                          let b = Y[i+k];
+                          OUT[i+k] = if a < b { a } else { b };
+                      }
+                  }",
+            i_step: 4,
+            idx_scale: 1,
+            idx_off: 3,
+            elem: ElemKind::I64,
+            default_iters: 256,
+        },
+        Kernel {
+            name: "clamp_loop",
+            benchmark: "loop study",
+            file_line: "branchy loop body",
+            // Threshold sits inside the initializer's value range
+            // (0.5..1.5), so both branch arms are exercised.
+            src: "kernel clamp_loop(f64* OUT, f64* X, i64 i) {
+                      loop k in 0..4 {
+                          let v = X[i+k];
+                          let c = if v < 0.75 { 0.75 } else { v };
+                          OUT[i+k] = c * c;
+                      }
+                  }",
+            i_step: 4,
+            idx_scale: 1,
+            idx_off: 3,
+            elem: ElemKind::F64,
+            default_iters: 256,
+        },
+    ]
+}
+
 /// A broader set of SPEC-flavoured kernels exercising wider shapes than
 /// Table 2: complex arithmetic, quaternion products, and stencils. Used by
 /// the extended regression tests and the `ext_targets` sweep.
@@ -192,9 +275,33 @@ mod tests {
 
     #[test]
     fn extension_kernels_compile() {
-        for k in reduction_kernels().iter().chain(&narrow_kernels()).chain(&extended_kernels()) {
+        for k in reduction_kernels()
+            .iter()
+            .chain(&narrow_kernels())
+            .chain(&extended_kernels())
+            .chain(&loop_kernels())
+        {
             let f = k.compile();
             lslp_ir::verify_function(&f).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn loop_kernels_carry_a_cfg() {
+        for k in loop_kernels() {
+            let f = k.compile();
+            assert!(f.cfg().is_some(), "{} should lower to a CFG", k.name);
+        }
+    }
+
+    #[test]
+    fn loop_kernels_run_scalar() {
+        let tm = lslp_target::CostModel::default();
+        for k in loop_kernels() {
+            let f = k.compile();
+            let mut mem = k.setup_memory(&f, 4);
+            let cycles = k.run(&f, &mut mem, 4, &tm).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            assert!(cycles > 0);
         }
     }
 

@@ -24,7 +24,7 @@ pub mod generator;
 pub mod suite;
 pub mod wholeprog;
 
-pub use extensions::{extended_kernels, narrow_kernels, reduction_kernels};
+pub use extensions::{extended_kernels, loop_kernels, narrow_kernels, reduction_kernels};
 pub use generator::{generate, GenConfig, GeneratedProgram};
 pub use suite::{motivation_kernels, spec_kernels, suite, ElemKind, Kernel};
 pub use wholeprog::{synthesize, WholeProgram, BENCHMARKS};

@@ -327,6 +327,142 @@ fn delta_rollback_is_a_perfect_undo() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Delta-undo property over the CFG mutation surface
+// ---------------------------------------------------------------------------
+
+/// Apply `count` pseudo-random mutations drawn from the *CFG* mutation
+/// surface: block allocation, block parameters, in-block instruction
+/// insertion, terminator rewrites, instruction/parameter reordering,
+/// use-replacement, and full CFG dissolution. As with the straight-line
+/// battery, intermediate validity is irrelevant — rollback must restore
+/// from any state the mutators can reach.
+fn random_cfg_mutations(f: &mut lslp_ir::Function, seed: u64, count: usize) {
+    use lslp_ir::{BlockId, InstAttr, Opcode, Terminator, Type, ValueId};
+    let mut s = seed | 1;
+    for _ in 0..count {
+        let n = f.num_values() as u64;
+        let pick = |s: &mut u64| ValueId::from_raw((next_rand(s) % n) as u32);
+        if f.cfg().is_none() {
+            // A dissolve landed earlier in the sequence; keep exercising
+            // the shared surface on the straight-line remainder.
+            let (old, new) = (pick(&mut s), pick(&mut s));
+            f.replace_uses(old, new);
+            continue;
+        }
+        let nb = f.num_blocks() as u64;
+        let pick_block = |s: &mut u64| BlockId::from_raw((next_rand(s) % nb) as u32);
+        match next_rand(&mut s) % 8 {
+            0 => {
+                f.add_block();
+            }
+            1 => {
+                let b = pick_block(&mut s);
+                f.add_block_param(b, None, Type::I64);
+            }
+            2 => {
+                let b = pick_block(&mut s);
+                let (x, y) = (pick(&mut s), pick(&mut s));
+                f.push_in_block(b, Opcode::Add, Type::I64, vec![x, y], InstAttr::None);
+            }
+            3 => {
+                let b = pick_block(&mut s);
+                let term = match next_rand(&mut s) % 4 {
+                    0 => Terminator::Ret,
+                    1 => Terminator::Jump { target: pick_block(&mut s), args: vec![] },
+                    2 => Terminator::Continue { args: vec![pick(&mut s)] },
+                    _ => Terminator::Br {
+                        cond: pick(&mut s),
+                        then_to: pick_block(&mut s),
+                        then_args: vec![],
+                        else_to: pick_block(&mut s),
+                        else_args: vec![pick(&mut s)],
+                    },
+                };
+                f.set_term(b, term);
+            }
+            4 => {
+                let b = pick_block(&mut s);
+                let mut insts = f.cfg().unwrap().block(b).insts().to_vec();
+                if !insts.is_empty() {
+                    let by = (next_rand(&mut s) % insts.len() as u64) as usize;
+                    insts.rotate_left(by);
+                    insts.truncate((next_rand(&mut s) % (insts.len() as u64 + 1)) as usize);
+                }
+                f.set_block_insts(b, insts);
+            }
+            5 => {
+                let b = pick_block(&mut s);
+                let mut params = f.cfg().unwrap().block(b).params().to_vec();
+                params.truncate((next_rand(&mut s) % (params.len() as u64 + 1)) as usize);
+                f.set_block_params(b, params);
+            }
+            6 => {
+                let (old, new) = (pick(&mut s), pick(&mut s));
+                f.replace_uses(old, new);
+            }
+            _ => {
+                // Flatten: adopt every block's instructions in block order,
+                // exactly as the real if-conversion/unroll flatten does.
+                let cfg = f.cfg().unwrap();
+                let body: Vec<ValueId> =
+                    cfg.block_ids().flat_map(|b| cfg.block(b).insts().to_vec()).collect();
+                f.dissolve_cfg(body);
+            }
+        }
+    }
+}
+
+/// The CFG base-function pool: every loop-study kernel (counted loops,
+/// branch diamonds, loop-carried values) — real shapes, not toys.
+fn cfg_base(which: u64) -> lslp_ir::Function {
+    let kernels = lslp_kernels::loop_kernels();
+    kernels[(which % kernels.len() as u64) as usize].compile()
+}
+
+/// One CFG delta-undo trial, mirroring [`delta_undo_check`].
+fn cfg_delta_undo_check(seed: u64) -> Result<(), String> {
+    let mut f = cfg_base(seed);
+    let before_print = lslp_ir::print_function(&f);
+    let before_epoch = f.epoch();
+    let before_verdict = format!("{:?}", lslp_ir::verify_function(&f));
+    let before_values = f.num_values();
+
+    let mark = f.begin_txn();
+    let count = 4 + (seed % 13) as usize;
+    random_cfg_mutations(&mut f, seed ^ 0xa076_1d64_78bd_642f, count);
+    f.rollback_txn(mark);
+
+    if f.num_values() != before_values {
+        return Err(format!("value count {} != {before_values}", f.num_values()));
+    }
+    let after_print = lslp_ir::print_function(&f);
+    if after_print != before_print {
+        return Err(format!(
+            "printed form diverged:\n--- before\n{before_print}\n--- after\n{after_print}"
+        ));
+    }
+    if f.epoch() != before_epoch {
+        return Err(format!("epoch {} != pre-txn {before_epoch}", f.epoch()));
+    }
+    let after_verdict = format!("{:?}", lslp_ir::verify_function(&f));
+    if after_verdict != before_verdict {
+        return Err(format!("verifier verdict changed: {before_verdict} -> {after_verdict}"));
+    }
+    Ok(())
+}
+
+#[test]
+fn delta_rollback_restores_cfg_functions_byte_for_byte() {
+    let mix = fnv("delta-undo/cfg");
+    for seed in 0..2 * SEEDS_PER_CONFIG {
+        let mixed = seed.wrapping_mul(0x9e3779b97f4a7c15) ^ mix;
+        if let Err(e) = cfg_delta_undo_check(mixed) {
+            panic!("CFG delta-undo failure (cell seed {seed}, mixed {mixed:#x}): {e}");
+        }
+    }
+}
+
 #[test]
 fn paranoid_oracle_raises_no_false_alarms() {
     // The differential oracle re-executes every committed transform; on
